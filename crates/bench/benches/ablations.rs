@@ -1,0 +1,240 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation measures the *work* (wall time of the full procedure) of a
+//! design variant on identical topologies; the companion message-count and
+//! quality numbers are printed once per bench so the trade-off is visible
+//! in the bench log:
+//!
+//! * PM equation (1) vs (2) vs EM — selection quality and traffic;
+//! * local recovery on vs off — maintenance under mobility;
+//! * CARD depth-escalated queries vs expanding-ring search;
+//! * bordercast query-detection levels (none / QD1 / QD1+QD2).
+
+use card_core::{CardConfig, CardWorld, SelectionMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_routing::expanding_ring::{doubling_schedule, expanding_ring_search};
+use manet_routing::network::Network;
+use manet_routing::zrp::{bordercast_search, BordercastConfig, QueryDetection};
+use mobility::waypoint::RandomWaypoint;
+use net_topology::node::NodeId;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Duration;
+
+fn scenario() -> Scenario {
+    Scenario::new(200, 500.0, 500.0, 50.0)
+}
+
+fn base_cfg() -> CardConfig {
+    CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(10)
+        .with_target_contacts(5)
+        .with_seed(17)
+}
+
+fn bench_pm_equations(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for method in [
+            SelectionMethod::ProbabilisticEq1,
+            SelectionMethod::ProbabilisticEq2,
+            SelectionMethod::Edge,
+        ] {
+            let mut w = CardWorld::build(&scenario(), base_cfg().with_method(method));
+            w.select_all_contacts();
+            eprintln!(
+                "[ablation_pm_equations] {:8}: reach {:5.1}%  contacts/node {:.2}  sel msgs/node {:.1}",
+                method.label(),
+                w.reachability_summary(1).mean_pct,
+                w.mean_contacts(),
+                w.stats().total_where(MsgKind::is_selection) as f64 / 200.0,
+            );
+        }
+    });
+    let mut group = c.benchmark_group("ablation_pm_equations");
+    for method in [
+        SelectionMethod::ProbabilisticEq1,
+        SelectionMethod::ProbabilisticEq2,
+        SelectionMethod::Edge,
+    ] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| {
+                let mut w = CardWorld::build(&scenario(), base_cfg().with_method(method));
+                w.select_all_contacts();
+                black_box(w.total_contacts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_recovery(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for recovery in [true, false] {
+            let mut cfg = base_cfg();
+            cfg.local_recovery = recovery;
+            let mut w = CardWorld::build(&scenario(), cfg);
+            w.select_all_contacts();
+            let mut model = RandomWaypoint::new(
+                200,
+                scenario().field(),
+                2.0,
+                8.0,
+                0.0,
+                SeedSplitter::new(cfg.seed).stream("abl-rec", 0),
+            );
+            w.run_mobile(&mut model, SimDuration::from_secs(6));
+            let t = w.maintenance_totals();
+            eprintln!(
+                "[ablation_local_recovery] recovery={:5}: lost {:4}  recovered {:4}  contacts kept {:4}",
+                recovery, t.lost, t.recovered, w.total_contacts(),
+            );
+        }
+    });
+    let mut group = c.benchmark_group("ablation_local_recovery");
+    for (label, recovery) in [("with_recovery", true), ("without_recovery", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = base_cfg();
+                cfg.local_recovery = recovery;
+                let mut w = CardWorld::build(&scenario(), cfg);
+                w.select_all_contacts();
+                let mut model = RandomWaypoint::new(
+                    200,
+                    scenario().field(),
+                    2.0,
+                    8.0,
+                    0.0,
+                    SeedSplitter::new(cfg.seed).stream("abl-rec", 0),
+                );
+                w.run_mobile(&mut model, SimDuration::from_secs(3));
+                black_box(w.total_contacts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn query_pairs(net: &Network, count: usize) -> Vec<(NodeId, NodeId)> {
+    let bfs = net_topology::bfs::full_bfs(net.adj(), NodeId::new(0));
+    let pool: Vec<NodeId> = bfs.visited().to_vec();
+    let mut rng = SeedSplitter::new(23).stream("abl-pairs", 0);
+    (0..count)
+        .map(|_| loop {
+            let s = *rng.choose(&pool).unwrap();
+            let t = *rng.choose(&pool).unwrap();
+            if s != t {
+                break (s, t);
+            }
+        })
+        .collect()
+}
+
+fn bench_card_vs_expanding_ring(c: &mut Criterion) {
+    let cfg = base_cfg().with_depth(3);
+    let mut world = CardWorld::build(&scenario(), cfg);
+    world.select_all_contacts();
+    let pairs = query_pairs(world.network(), 15);
+    let schedule = doubling_schedule(20);
+
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        let mut card_msgs = 0u64;
+        let mut ers_msgs = 0u64;
+        let mut world2 = CardWorld::build(&scenario(), cfg);
+        world2.select_all_contacts();
+        for &(s, t) in &pairs {
+            card_msgs += world2.query(s, t).total_messages();
+            let mut st = MsgStats::default();
+            ers_msgs +=
+                expanding_ring_search(world2.network().adj(), s, t, &schedule, &mut st, SimTime::ZERO)
+                    .total_messages();
+        }
+        eprintln!(
+            "[ablation_expanding_ring] CARD {} msgs vs expanding-ring {} msgs over {} queries",
+            card_msgs, ers_msgs, pairs.len(),
+        );
+    });
+
+    let mut group = c.benchmark_group("ablation_query_mechanism");
+    group.bench_function("card_dsq_d3", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &(s, t) in &pairs {
+                total += world.query(s, t).total_messages();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("expanding_ring", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &(s, t) in &pairs {
+                let mut st = MsgStats::default();
+                total += expanding_ring_search(
+                    world.network().adj(),
+                    s,
+                    t,
+                    &schedule,
+                    &mut st,
+                    SimTime::ZERO,
+                )
+                .total_messages();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_detection(c: &mut Criterion) {
+    let net = Network::from_scenario(&scenario(), 2, 17);
+    let pairs = query_pairs(&net, 15);
+    let mut group = c.benchmark_group("ablation_query_detection");
+    for (label, qd) in [
+        ("none", QueryDetection::None),
+        ("qd1", QueryDetection::Qd1),
+        ("qd1_qd2", QueryDetection::Qd1Qd2),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &(s, t) in &pairs {
+                    let mut st = MsgStats::default();
+                    total += bordercast_search(
+                        net.adj(),
+                        net.tables(),
+                        s,
+                        t,
+                        &BordercastConfig { qd, max_bordercasts: 100_000 },
+                        &mut st,
+                        SimTime::ZERO,
+                    )
+                    .total_messages();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets =
+        bench_pm_equations,
+        bench_local_recovery,
+        bench_card_vs_expanding_ring,
+        bench_query_detection,
+}
+criterion_main!(ablations);

@@ -1,0 +1,151 @@
+//! Micro-benchmarks of the hot substrate paths.
+//!
+//! These are the inner loops every experiment leans on: event scheduling,
+//! connectivity rebuilds, hop-limited BFS, bitset unions (reachability) and
+//! single CSQ walks. Useful for catching performance regressions that the
+//! end-to-end figure benches would only show indirectly.
+
+use card_core::csq::select_contacts;
+use card_core::{CardConfig, ContactTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_routing::neighborhood::NeighborhoodTables;
+use manet_routing::network::Network;
+use mobility::waypoint::RandomWaypoint;
+use net_topology::bfs::khop_bfs;
+use net_topology::node::NodeId;
+use net_topology::scenario::SCENARIO_5;
+use sim_core::engine::Engine;
+use sim_core::rng::{RngStream, SeedSplitter};
+use sim_core::stats::MsgStats;
+use sim_core::time::{SimDuration, SimTime};
+use sim_core::util::BitSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine_schedule_drain_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            for i in 0..10_000u32 {
+                engine.schedule_at(SimTime::from_ticks((i as u64 * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = engine.next_event() {
+                acc += v as u64;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let scenario = SCENARIO_5;
+    c.bench_function("scenario5_build_adjacency", |b| {
+        b.iter(|| black_box(scenario.instantiate(black_box(3))))
+    });
+}
+
+fn bench_neighborhood_tables(c: &mut Criterion) {
+    let (_, adj) = SCENARIO_5.instantiate(3);
+    c.bench_function("scenario5_tables_r3", |b| {
+        b.iter(|| black_box(NeighborhoodTables::compute(black_box(&adj), 3)))
+    });
+}
+
+fn bench_khop_bfs(c: &mut Criterion) {
+    let (_, adj) = SCENARIO_5.instantiate(3);
+    c.bench_function("khop_bfs_r3_all_sources", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in NodeId::all(adj.node_count()) {
+                total += khop_bfs(&adj, src, 3).visited_count();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_mobility_tick(c: &mut Criterion) {
+    let scenario = SCENARIO_5;
+    c.bench_function("network_mobility_tick_500", |b| {
+        let mut net = Network::from_scenario(&scenario, 3, 3);
+        let mut model = RandomWaypoint::new(
+            scenario.nodes,
+            scenario.field(),
+            1.0,
+            5.0,
+            0.0,
+            RngStream::seed_from_u64(5),
+        );
+        b.iter(|| {
+            net.advance(&mut model, SimDuration::from_millis(100));
+            black_box(net.adj().link_count())
+        })
+    });
+}
+
+fn bench_bitset_union(c: &mut Criterion) {
+    let mut sets = Vec::new();
+    let mut rng = RngStream::seed_from_u64(9);
+    for _ in 0..64 {
+        let mut s = BitSet::new(1000);
+        for _ in 0..50 {
+            s.insert(rng.index(1000));
+        }
+        sets.push(s);
+    }
+    c.bench_function("bitset_union_64x1000", |b| {
+        b.iter(|| {
+            let mut acc = BitSet::new(1000);
+            for s in &sets {
+                acc.union_with(s);
+            }
+            black_box(acc.len())
+        })
+    });
+}
+
+fn bench_csq_walk(c: &mut Criterion) {
+    let net = Network::from_scenario(&SCENARIO_5, 3, 3);
+    let cfg = CardConfig::default()
+        .with_radius(3)
+        .with_max_contact_distance(16)
+        .with_target_contacts(5);
+    let splitter = SeedSplitter::new(11);
+    c.bench_function("select_contacts_one_source", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut rng = splitter.stream("bench", i);
+            i += 1;
+            let mut table = ContactTable::new();
+            let mut stats = MsgStats::default();
+            select_contacts(
+                &net,
+                &cfg,
+                NodeId::new(0),
+                &mut table,
+                &mut rng,
+                &mut stats,
+                SimTime::ZERO,
+            );
+            black_box(table.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets =
+        bench_event_queue,
+        bench_topology_build,
+        bench_neighborhood_tables,
+        bench_khop_bfs,
+        bench_mobility_tick,
+        bench_bitset_union,
+        bench_csq_walk,
+}
+criterion_main!(micro);

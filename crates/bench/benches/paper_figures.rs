@@ -1,0 +1,120 @@
+//! One benchmark per table/figure of the paper's evaluation (§IV).
+//!
+//! Each benchmark regenerates its table/figure end-to-end on the module's
+//! `quick()` configuration (same shapes, reduced sizes), so `cargo bench`
+//! both exercises every experiment path and tracks the runtime cost of the
+//! reproduction itself. The paper-sized runs live in the `repro` binary
+//! (`cargo run --release -p experiments --bin repro -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_table1(c: &mut Criterion) {
+    configure(c).bench_function("table1_topology_metrics", |b| {
+        b.iter(|| black_box(experiments::table1::run(black_box(7))))
+    });
+}
+
+fn bench_fig03_04(c: &mut Criterion) {
+    let params = experiments::fig03_04::Params::quick();
+    c.bench_function("fig03_04_pm_vs_em", |b| {
+        b.iter(|| black_box(experiments::fig03_04::run(black_box(&params))))
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let params = experiments::fig05::Params::quick();
+    c.bench_function("fig05_vary_radius", |b| {
+        b.iter(|| black_box(experiments::fig05::run(black_box(&params))))
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let params = experiments::fig06::Params::quick();
+    c.bench_function("fig06_vary_max_contact_distance", |b| {
+        b.iter(|| black_box(experiments::fig06::run(black_box(&params))))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let params = experiments::fig07::Params::quick();
+    c.bench_function("fig07_vary_noc", |b| {
+        b.iter(|| black_box(experiments::fig07::run(black_box(&params))))
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let params = experiments::fig08::Params::quick();
+    c.bench_function("fig08_vary_depth", |b| {
+        b.iter(|| black_box(experiments::fig08::run(black_box(&params))))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let params = experiments::fig09::Params::quick();
+    c.bench_function("fig09_network_sizes", |b| {
+        b.iter(|| black_box(experiments::fig09::run(black_box(&params))))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let params = experiments::fig10::Params::quick();
+    c.bench_function("fig10_overhead_by_noc", |b| {
+        b.iter(|| black_box(experiments::fig10::run(black_box(&params))))
+    });
+}
+
+fn bench_fig11_12(c: &mut Criterion) {
+    let params = experiments::fig11_12::Params::quick();
+    c.bench_function("fig11_12_overhead_by_r", |b| {
+        b.iter(|| black_box(experiments::fig11_12::run(black_box(&params))))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let params = experiments::fig13::Params::quick();
+    c.bench_function("fig13_overhead_over_time", |b| {
+        b.iter(|| black_box(experiments::fig13::run(black_box(&params))))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let params = experiments::fig14::Params::quick();
+    c.bench_function("fig14_tradeoff", |b| {
+        b.iter(|| black_box(experiments::fig14::run(black_box(&params))))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let params = experiments::fig15::Params::quick();
+    c.bench_function("fig15_scheme_comparison", |b| {
+        b.iter(|| black_box(experiments::fig15::run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets =
+        bench_table1,
+        bench_fig03_04,
+        bench_fig05,
+        bench_fig06,
+        bench_fig07,
+        bench_fig08,
+        bench_fig09,
+        bench_fig10,
+        bench_fig11_12,
+        bench_fig13,
+        bench_fig14,
+        bench_fig15,
+}
+criterion_main!(figures);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: all content lives in `benches/`.
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,195 @@
+//! Contact entries and per-node contact tables.
+//!
+//! A contact is a node 2R‥r hops away, stored together with the *source
+//! path* the CSQ traversed to reach it (§III.C.1 step 6: "the path to the
+//! contact is returned and stored at the source node"). The path is what
+//! maintenance validates and queries travel along.
+
+use net_topology::node::NodeId;
+
+/// One selected contact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contact {
+    /// The contact node itself.
+    pub id: NodeId,
+    /// Source path, inclusive: `path[0]` is the source, `path.last()` is
+    /// the contact. Hop length is `path.len() - 1`.
+    pub path: Vec<NodeId>,
+}
+
+impl Contact {
+    /// Create a contact with its source path.
+    ///
+    /// # Panics
+    /// Panics unless the path starts somewhere, ends at `id`, and has at
+    /// least one hop.
+    pub fn new(id: NodeId, path: Vec<NodeId>) -> Self {
+        assert!(path.len() >= 2, "contact path needs at least one hop");
+        assert_eq!(*path.last().unwrap(), id, "path must end at the contact");
+        Contact { id, path }
+    }
+
+    /// Hop count of the stored path.
+    #[inline]
+    pub fn hops(&self) -> u16 {
+        (self.path.len() - 1) as u16
+    }
+
+    /// The source end of the path.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.path[0]
+    }
+}
+
+/// The contact table of one source node.
+#[derive(Clone, Debug, Default)]
+pub struct ContactTable {
+    contacts: Vec<Contact>,
+}
+
+impl ContactTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ContactTable { contacts: Vec::new() }
+    }
+
+    /// Number of live contacts.
+    pub fn len(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// True when no contacts are held.
+    pub fn is_empty(&self) -> bool {
+        self.contacts.is_empty()
+    }
+
+    /// The contacts, in selection order.
+    pub fn contacts(&self) -> &[Contact] {
+        &self.contacts
+    }
+
+    /// Iterate over contact node ids (the CSQ `Contact_List`).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.contacts.iter().map(|c| c.id)
+    }
+
+    /// Is `node` already a contact?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.contacts.iter().any(|c| c.id == node)
+    }
+
+    /// Add a newly selected contact.
+    ///
+    /// # Panics
+    /// Panics if `node` is already present (selection must not duplicate).
+    pub fn add(&mut self, contact: Contact) {
+        assert!(
+            !self.contains(contact.id),
+            "duplicate contact {:?}",
+            contact.id
+        );
+        self.contacts.push(contact);
+    }
+
+    /// Remove a contact by id; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let before = self.contacts.len();
+        self.contacts.retain(|c| c.id != node);
+        self.contacts.len() != before
+    }
+
+    /// Replace the stored path of contact `node` (after local recovery
+    /// re-routed it). No-op if the contact is gone.
+    pub fn update_path(&mut self, node: NodeId, path: Vec<NodeId>) {
+        if let Some(c) = self.contacts.iter_mut().find(|c| c.id == node) {
+            debug_assert_eq!(*path.last().unwrap(), node);
+            c.path = path;
+        }
+    }
+
+    /// Drop every contact (used when re-initializing a node).
+    pub fn clear(&mut self) {
+        self.contacts.clear();
+    }
+
+    /// Mutable access for maintenance (retain-style filtering).
+    pub(crate) fn contacts_mut(&mut self) -> &mut Vec<Contact> {
+        &mut self.contacts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chain(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| n(i)).collect()
+    }
+
+    #[test]
+    fn contact_path_accessors() {
+        let c = Contact::new(n(5), chain(&[0, 2, 4, 5]));
+        assert_eq!(c.hops(), 3);
+        assert_eq!(c.source(), n(0));
+        assert_eq!(c.id, n(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "end at the contact")]
+    fn path_must_end_at_contact() {
+        Contact::new(n(5), chain(&[0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn single_node_path_rejected() {
+        Contact::new(n(0), chain(&[0]));
+    }
+
+    #[test]
+    fn table_add_remove() {
+        let mut t = ContactTable::new();
+        assert!(t.is_empty());
+        t.add(Contact::new(n(7), chain(&[0, 3, 7])));
+        t.add(Contact::new(n(9), chain(&[0, 4, 9])));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(n(7)));
+        assert!(!t.contains(n(8)));
+        assert_eq!(t.ids().collect::<Vec<_>>(), vec![n(7), n(9)]);
+        assert!(t.remove(n(7)));
+        assert!(!t.remove(n(7)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate contact")]
+    fn duplicate_add_panics() {
+        let mut t = ContactTable::new();
+        t.add(Contact::new(n(7), chain(&[0, 3, 7])));
+        t.add(Contact::new(n(7), chain(&[0, 4, 7])));
+    }
+
+    #[test]
+    fn update_path_swaps_route() {
+        let mut t = ContactTable::new();
+        t.add(Contact::new(n(7), chain(&[0, 3, 7])));
+        t.update_path(n(7), chain(&[0, 2, 5, 7]));
+        assert_eq!(t.contacts()[0].hops(), 3);
+        // updating a missing contact is a no-op
+        t.update_path(n(9), chain(&[0, 9]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = ContactTable::new();
+        t.add(Contact::new(n(1), chain(&[0, 1])));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! The Contact Selection Query (CSQ) — §III.C.1.
+//!
+//! Selection procedure, exactly as the paper specifies:
+//!
+//! 1. the source sends a CSQ *through each of its edge nodes, one at a
+//!    time* (the query travels the known intra-zone route, R hops);
+//! 2. the edge node forwards the CSQ to a randomly chosen neighbor;
+//! 3. each node receiving the CSQ runs the PM/EM decision
+//!    ([`crate::selection`]);
+//! 4. a refusing node forwards the query to a random untried neighbor
+//!    (never back where it came from);
+//! 5. the query walks depth-first to at most `r` hops, **backtracking**
+//!    when it runs out of fresh neighbors or hits the hop limit; every
+//!    backtrack hop is a counted control message (this is the overhead that
+//!    separates PM from EM in Figs 4 and 12);
+//! 6. on acceptance the traversed path is returned to the source (R + d
+//!    reply hops) and stored.
+//!
+//! The walk keeps a per-query visited set — the protocol equivalent of
+//! "query and source IDs are included to prevent looping" (§III.C.2.b).
+
+use manet_routing::network::Network;
+use net_topology::node::NodeId;
+use sim_core::rng::RngStream;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::SimTime;
+
+use crate::config::CardConfig;
+use crate::contact::{Contact, ContactTable};
+use crate::selection::decides_to_be_contact;
+
+/// Outcome counters of a single CSQ walk (one edge node launch).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsqWalkStats {
+    /// Forward CSQ hops (including the R hops to the edge node).
+    pub forward_msgs: u64,
+    /// Backtrack hops.
+    pub backtrack_msgs: u64,
+    /// Reply hops returning the chosen path (0 when no contact found).
+    pub reply_msgs: u64,
+    /// Nodes that evaluated the PM/EM decision.
+    pub nodes_evaluated: u64,
+}
+
+impl CsqWalkStats {
+    /// Total messages of this walk.
+    pub fn total(&self) -> u64 {
+        self.forward_msgs + self.backtrack_msgs + self.reply_msgs
+    }
+}
+
+/// Launch one CSQ from `source` through `edge`: random DFS with
+/// backtracking out to `cfg.max_contact_distance` hops. Returns the contact
+/// if one accepted. Records messages into `stats` at time `at`.
+///
+/// DFS state is *per node, per query*, exactly as §III.C.1 describes it:
+/// every node remembers which neighbors it has already tried for this query
+/// (step 5: the previous node "forwards it to another randomly chosen
+/// neighbor"), and never forwards to a node currently on the query's path
+/// ("the query and source IDs are included to prevent looping"). Off-path
+/// nodes may be *walked through* again via a different route — but each
+/// node **evaluates the contact decision only once** per query: a node
+/// whose probability draw failed stays failed, which is precisely the
+/// "lost opportunities when the probability fails" cost the paper charges
+/// against PM. The walk is bounded: each forward consumes one (node,
+/// neighbor) pair, so it ends after at most 2·|edges| steps even without
+/// the `max_csq_steps` budget.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn csq_walk(
+    net: &Network,
+    cfg: &CardConfig,
+    source: NodeId,
+    edge: NodeId,
+    contact_list: &[NodeId],
+    rng: &mut RngStream,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> (Option<Contact>, CsqWalkStats) {
+    let tables = net.tables();
+    let mut ws = CsqWalkStats::default();
+
+    // Intra-zone route source -> edge node (known proactively).
+    let Some(route) = tables.of(source).path_to(edge) else {
+        return (None, ws); // stale edge (mobility raced the tables)
+    };
+    ws.forward_msgs += route.len() as u64 - 1;
+
+    let edge_list: Vec<NodeId> = tables.of(source).edge_nodes().to_vec();
+    let r = cfg.max_contact_distance;
+    let n = net.node_count();
+
+    // Per-node DFS state for this query.
+    let mut tried: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut on_path = vec![false; n];
+    let mut evaluated = vec![false; n];
+    for &v in &route {
+        on_path[v.index()] = true;
+        evaluated[v.index()] = true; // intra-zone nodes are never candidates
+    }
+    // The edge node must not bounce the query straight back into the zone.
+    if route.len() >= 2 {
+        tried[edge.index()].push(route[route.len() - 2]);
+    }
+
+    // Walk stack beyond (and including) the edge node. Walk depth
+    // d = hops from source = (route.len() - 1) + (walk.len() - 1).
+    let mut walk: Vec<NodeId> = vec![edge];
+    let mut steps: u32 = 0;
+    let budget = cfg.csq_budget();
+    let mut scratch: Vec<NodeId> = Vec::new();
+
+    while let Some(&cur) = walk.last() {
+        if steps >= budget {
+            break;
+        }
+        let d = (route.len() - 1 + walk.len() - 1) as u16;
+
+        // Untried, off-path neighbors of the current node.
+        let next = if d < r {
+            scratch.clear();
+            scratch.extend(
+                net.adj()
+                    .neighbors(cur)
+                    .iter()
+                    .copied()
+                    .filter(|nb| !on_path[nb.index()] && !tried[cur.index()].contains(nb)),
+            );
+            rng.choose(&scratch).copied()
+        } else {
+            None
+        };
+
+        match next {
+            Some(x) => {
+                steps += 1;
+                ws.forward_msgs += 1;
+                tried[cur.index()].push(x);
+                on_path[x.index()] = true;
+                walk.push(x);
+                let d_x = d + 1;
+                let accepts = if evaluated[x.index()] {
+                    false // this node already declined this query
+                } else {
+                    evaluated[x.index()] = true;
+                    ws.nodes_evaluated += 1;
+                    decides_to_be_contact(
+                        cfg,
+                        tables,
+                        x,
+                        source,
+                        contact_list,
+                        &edge_list,
+                        d_x,
+                        rng,
+                    )
+                };
+                if accepts {
+                    // Path = intra-zone route + walk (skip duplicated edge node).
+                    let mut path = route.clone();
+                    path.extend_from_slice(&walk[1..]);
+                    ws.reply_msgs += path.len() as u64 - 1;
+                    stats.record_n(at, MsgKind::Csq, ws.forward_msgs);
+                    stats.record_n(at, MsgKind::CsqBacktrack, ws.backtrack_msgs);
+                    stats.record_n(at, MsgKind::CsqReply, ws.reply_msgs);
+                    return (Some(Contact::new(x, path)), ws);
+                }
+            }
+            None => {
+                // Dead end (or hop limit): backtrack one hop.
+                let popped = walk.pop().expect("walk non-empty");
+                on_path[popped.index()] = false;
+                if !walk.is_empty() {
+                    steps += 1;
+                    ws.backtrack_msgs += 1;
+                }
+            }
+        }
+    }
+
+    stats.record_n(at, MsgKind::Csq, ws.forward_msgs);
+    stats.record_n(at, MsgKind::CsqBacktrack, ws.backtrack_msgs);
+    (None, ws)
+}
+
+/// §III.C.1 step 1: run CSQs through the source's edge nodes (shuffled),
+/// one at a time, until the table holds `cfg.target_contacts` contacts,
+/// `max_walks` CSQs have been launched, or every edge node has been tried.
+/// Returns per-walk stats.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn select_contacts_limited(
+    net: &Network,
+    cfg: &CardConfig,
+    source: NodeId,
+    table: &mut ContactTable,
+    rng: &mut RngStream,
+    stats: &mut MsgStats,
+    at: SimTime,
+    max_walks: usize,
+) -> Vec<CsqWalkStats> {
+    let mut edges: Vec<NodeId> = net.tables().of(source).edge_nodes().to_vec();
+    rng.shuffle(&mut edges);
+    let mut walk_stats = Vec::new();
+
+    for edge in edges.into_iter().take(max_walks) {
+        if table.len() >= cfg.target_contacts {
+            break;
+        }
+        let contact_list: Vec<NodeId> = table.ids().collect();
+        let (found, ws) = csq_walk(net, cfg, source, edge, &contact_list, rng, stats, at);
+        walk_stats.push(ws);
+        if let Some(c) = found {
+            if !table.contains(c.id) {
+                table.add(c);
+            }
+        }
+    }
+    walk_stats
+}
+
+/// Full selection pass: CSQs through *every* edge node (used for the
+/// paper's from-scratch selection analyses, Figs 3–9).
+pub fn select_contacts(
+    net: &Network,
+    cfg: &CardConfig,
+    source: NodeId,
+    table: &mut ContactTable,
+    rng: &mut RngStream,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> Vec<CsqWalkStats> {
+    select_contacts_limited(net, cfg, source, table, rng, stats, at, usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectionMethod;
+    use net_topology::scenario::Scenario;
+    use sim_core::time::SimDuration;
+
+    fn stats() -> MsgStats {
+        MsgStats::new(SimDuration::from_secs(2))
+    }
+
+    /// A dense-enough random network where contacts exist.
+    fn test_net() -> Network {
+        // ~short paths: 200 nodes, 600x600, range 60 → avg degree ~ 6
+        Network::from_scenario(&Scenario::new(200, 600.0, 600.0, 60.0), 2, 11)
+    }
+
+    fn cfg_em() -> CardConfig {
+        CardConfig::default()
+            .with_radius(2)
+            .with_max_contact_distance(10)
+            .with_target_contacts(4)
+            .with_method(SelectionMethod::Edge)
+    }
+
+    #[test]
+    fn em_walk_finds_valid_contact() {
+        let net = test_net();
+        let cfg = cfg_em();
+        let mut rng = RngStream::seed_from_u64(3);
+        let mut st = stats();
+        let source = NodeId::new(0);
+        let mut table = ContactTable::new();
+        let walks = select_contacts(&net, &cfg, source, &mut table, &mut rng, &mut st, SimTime::ZERO);
+        assert!(!walks.is_empty());
+        if table.is_empty() {
+            // extremely unlucky seed — fail loudly so we pick another seed
+            panic!("no contacts selected on a 200-node network");
+        }
+        for c in table.contacts() {
+            // EM invariant: walk-path hops within (2R, r]
+            assert!(c.hops() > 2 * cfg.radius, "hops {} <= 2R", c.hops());
+            assert!(c.hops() <= cfg.max_contact_distance);
+            assert_eq!(c.source(), source);
+            // true distance also > 2R (the edge check is geometric)
+            let bfs = net_topology::bfs::full_bfs(net.adj(), source);
+            assert!(bfs.distance(c.id).unwrap() > 2 * cfg.radius);
+            // the stored path is a valid hop-by-hop route
+            for w in c.path.windows(2) {
+                assert!(net.is_link(w[0], w[1]), "broken stored path");
+            }
+            // no overlap with the source neighborhood at selection time
+            assert!(!net.tables().of(c.id).contains(source));
+        }
+    }
+
+    #[test]
+    fn contact_list_prevents_overlapping_contacts() {
+        let net = test_net();
+        let cfg = cfg_em();
+        let mut rng = RngStream::seed_from_u64(5);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        select_contacts(&net, &cfg, NodeId::new(1), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        // pairwise: no contact inside another contact's neighborhood
+        let ids: Vec<NodeId> = table.ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                assert!(
+                    !net.tables().of(a).contains(b),
+                    "contacts {a} and {b} have overlapping neighborhoods"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_recorded_by_kind() {
+        let net = test_net();
+        let cfg = cfg_em();
+        let mut rng = RngStream::seed_from_u64(7);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        let walks =
+            select_contacts(&net, &cfg, NodeId::new(2), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        let fwd: u64 = walks.iter().map(|w| w.forward_msgs).sum();
+        let bt: u64 = walks.iter().map(|w| w.backtrack_msgs).sum();
+        let rep: u64 = walks.iter().map(|w| w.reply_msgs).sum();
+        assert_eq!(st.total(MsgKind::Csq), fwd);
+        assert_eq!(st.total(MsgKind::CsqBacktrack), bt);
+        assert_eq!(st.total(MsgKind::CsqReply), rep);
+        assert_eq!(st.total_where(MsgKind::is_selection), fwd + bt + rep);
+        for w in &walks {
+            assert_eq!(w.total(), w.forward_msgs + w.backtrack_msgs + w.reply_msgs);
+        }
+    }
+
+    #[test]
+    fn respects_target_contacts_cap() {
+        let net = test_net();
+        let cfg = cfg_em().with_target_contacts(1);
+        let mut rng = RngStream::seed_from_u64(9);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        select_contacts(&net, &cfg, NodeId::new(3), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        assert!(table.len() <= 1);
+    }
+
+    #[test]
+    fn pm_eq2_contact_is_beyond_2r_in_walk_distance() {
+        let net = test_net();
+        let cfg = cfg_em().with_method(SelectionMethod::ProbabilisticEq2);
+        let mut rng = RngStream::seed_from_u64(13);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        select_contacts(&net, &cfg, NodeId::new(4), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        for c in table.contacts() {
+            assert!(c.hops() > 2 * cfg.radius, "eq2 P=0 at d<=2R, got {}", c.hops());
+            assert!(c.hops() <= cfg.max_contact_distance);
+        }
+    }
+
+    #[test]
+    fn isolated_source_selects_nothing() {
+        // One lonely node: no edge nodes, no walks, no messages.
+        let net = Network::from_positions(
+            net_topology::geometry::Field::square(100.0),
+            vec![net_topology::geometry::Point2::new(50.0, 50.0)],
+            30.0,
+            2,
+        );
+        let cfg = cfg_em();
+        let mut rng = RngStream::seed_from_u64(1);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        let walks =
+            select_contacts(&net, &cfg, NodeId::new(0), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        assert!(walks.is_empty());
+        assert!(table.is_empty());
+        assert_eq!(st.grand_total(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let net = test_net();
+            let cfg = cfg_em();
+            let mut rng = RngStream::seed_from_u64(seed);
+            let mut st = stats();
+            let mut table = ContactTable::new();
+            select_contacts(&net, &cfg, NodeId::new(5), &mut table, &mut rng, &mut st, SimTime::ZERO);
+            (table.ids().collect::<Vec<_>>(), st.grand_total())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn budget_caps_walk() {
+        let net = test_net();
+        let mut cfg = cfg_em();
+        cfg.max_csq_steps = 3; // floored to 2r by csq_budget()
+        let budget = cfg.csq_budget() as u64;
+        assert_eq!(budget, 2 * cfg.max_contact_distance as u64);
+        let mut rng = RngStream::seed_from_u64(17);
+        let mut st = stats();
+        let edge = net.tables().of(NodeId::new(0)).edge_nodes().first().copied();
+        if let Some(edge) = edge {
+            let (_, ws) =
+                csq_walk(&net, &cfg, NodeId::new(0), edge, &[], &mut rng, &mut st, SimTime::ZERO);
+            // intra-zone route hops are charged before the budgeted DFS
+            assert!(ws.forward_msgs + ws.backtrack_msgs <= budget + cfg.radius as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn limited_selection_launches_at_most_max_walks() {
+        let net = test_net();
+        let cfg = cfg_em();
+        let mut rng = RngStream::seed_from_u64(23);
+        let mut st = stats();
+        let mut table = ContactTable::new();
+        let walks = select_contacts_limited(
+            &net, &cfg, NodeId::new(6), &mut table, &mut rng, &mut st, SimTime::ZERO, 2,
+        );
+        assert!(walks.len() <= 2);
+        assert!(table.len() <= 2);
+    }
+}

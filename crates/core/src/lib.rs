@@ -1,0 +1,54 @@
+//! # card-core — the CARD protocol
+//!
+//! The paper's primary contribution (§III): a hybrid resource-discovery
+//! architecture in which each node proactively knows its R-hop
+//! *neighborhood* and reactively maintains a few *contacts* — nodes between
+//! 2R and r hops away whose neighborhoods do not overlap its own — acting as
+//! small-world shortcuts for queries beyond the neighborhood.
+//!
+//! Modules, mirroring the paper's §III.C mechanism descriptions:
+//!
+//! * [`config`] — every protocol parameter (R, r, NoC, D, selection method,
+//!   validation period) in one [`config::CardConfig`];
+//! * [`contact`] — contact entries and per-node contact tables;
+//! * [`selection`] — the contact-selection *decision*: probabilistic method
+//!   PM (equations 1 and 2) and edge method EM (§III.C.2);
+//! * [`csq`] — the Contact Selection Query: a random depth-first walk with
+//!   backtracking out to at most r hops (§III.C.1);
+//! * [`maintenance`] — periodic contact validation with local recovery
+//!   (§III.C.3);
+//! * [`query`] — the Destination Search Query with depth-of-search
+//!   escalation (§III.C.4);
+//! * [`reachability`] — the paper's reachability metric (§III.B) and its
+//!   distribution histograms;
+//! * [`resources`] — resource-level (anycast) discovery: registries, the
+//!   §V "resource distribution" models, and resource DSQs;
+//! * [`world`] — [`world::CardWorld`]: network + per-node CARD state +
+//!   event-driven simulation loop (mobility ticks, validation rounds).
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod contact;
+pub mod csq;
+pub mod maintenance;
+pub mod query;
+pub mod reachability;
+pub mod resources;
+pub mod selection;
+pub mod world;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::config::{CardConfig, SelectionMethod};
+    pub use crate::contact::{Contact, ContactTable};
+    pub use crate::query::QueryOutcome;
+    pub use crate::reachability::{ReachabilitySummary, REACH_BUCKET_PCT};
+    pub use crate::resources::{ResourceDistribution, ResourceId, ResourceRegistry};
+    pub use crate::world::CardWorld;
+}
+
+pub use config::{CardConfig, SelectionMethod};
+pub use contact::{Contact, ContactTable};
+pub use query::QueryOutcome;
+pub use reachability::ReachabilitySummary;
+pub use world::CardWorld;

@@ -1,0 +1,261 @@
+//! The Destination Search Query (DSQ) — §III.C.4.
+//!
+//! A source looking for target T first checks its own neighborhood table.
+//! Failing that it sends a DSQ with depth D=1 to each contact, one at a
+//! time: the contact answers from its neighborhood table. If no answer
+//! comes back, the source escalates with D=2 — contacts recognize the query
+//! is not for them, decrement D and forward to *their* contacts — and so on
+//! up to the configured maximum depth: a tree search over contact links,
+//! "similar to the expanding ring search … [but] much more efficient … as
+//! the queries are not flooded with different TTLs but are directed to
+//! individual nodes".
+
+use manet_routing::network::Network;
+use net_topology::node::NodeId;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::SimTime;
+
+use crate::contact::ContactTable;
+
+/// Result of one resource-discovery query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Was a path to the target returned?
+    pub found: bool,
+    /// The escalation depth that answered (0 = own neighborhood).
+    pub depth_used: u16,
+    /// DSQ forward messages (all escalation attempts).
+    pub query_msgs: u64,
+    /// Reply messages (answering contact chain back to the source).
+    pub reply_msgs: u64,
+}
+
+impl QueryOutcome {
+    /// Total control messages.
+    pub fn total_messages(&self) -> u64 {
+        self.query_msgs + self.reply_msgs
+    }
+}
+
+/// One escalation attempt at exactly `depth` levels: a level-synchronous
+/// walk of the contact graph. Every contact is consumed at its *minimal*
+/// level (loop prevention via query IDs), so the set of neighborhoods
+/// consulted matches [`crate::reachability::reachability_set`] exactly —
+/// level-k contacts relay when k < depth and answer from their
+/// neighborhood tables when k = depth (§III.C.4). Returns the reply hop
+/// count when found.
+fn attempt(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    target: NodeId,
+    depth: u16,
+    query_msgs: &mut u64,
+) -> Option<u64> {
+    let mut seen = vec![false; net.node_count()];
+    seen[source.index()] = true;
+    // (contact, accumulated hops from the source along contact paths)
+    let mut frontier: Vec<(NodeId, u64)> = vec![(source, 0)];
+
+    for level in 1..=depth {
+        let mut next = Vec::new();
+        for &(node, dist) in &frontier {
+            for contact in contact_tables[node.index()].contacts() {
+                let c = contact.id;
+                if seen[c.index()] {
+                    continue;
+                }
+                seen[c.index()] = true;
+                let at_contact = dist + contact.hops() as u64;
+                *query_msgs += contact.hops() as u64;
+                if level == depth {
+                    // final level: answer from the neighborhood table
+                    if net.tables().of(c).contains(target) {
+                        return Some(at_contact);
+                    }
+                } else {
+                    next.push((c, at_contact));
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() && level < depth {
+            break; // ran out of contacts before reaching the final level
+        }
+    }
+    None
+}
+
+/// Run a full CARD query from `source` for `target`, escalating the depth
+/// of search from 1 to `max_depth` (§III.C.4). Messages are recorded into
+/// `stats` at time `at`.
+pub fn dsq_query(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> QueryOutcome {
+    // Step 0: the neighborhood table answers locally for free.
+    if net.tables().of(source).contains(target) {
+        return QueryOutcome { found: true, depth_used: 0, query_msgs: 0, reply_msgs: 0 };
+    }
+
+    let mut query_msgs = 0u64;
+    for depth in 1..=max_depth {
+        if let Some(reply) = attempt(net, contact_tables, source, target, depth, &mut query_msgs) {
+            stats.record_n(at, MsgKind::Dsq, query_msgs);
+            stats.record_n(at, MsgKind::DsqReply, reply);
+            return QueryOutcome {
+                found: true,
+                depth_used: depth,
+                query_msgs,
+                reply_msgs: reply,
+            };
+        }
+    }
+
+    stats.record_n(at, MsgKind::Dsq, query_msgs);
+    QueryOutcome { found: false, depth_used: max_depth, query_msgs, reply_msgs: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use net_topology::geometry::{Field, Point2};
+    use sim_core::time::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn mk_stats() -> MsgStats {
+        MsgStats::new(SimDuration::from_secs(2))
+    }
+
+    /// A 16-node line, 40 m spacing, range 50 m, R = 2.
+    fn line_net() -> Network {
+        let positions: Vec<Point2> =
+            (0..16).map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0)).collect();
+        Network::from_positions(Field::square(700.0), positions, 50.0, 2)
+    }
+
+    /// Hand-built contact structure on the line:
+    /// node 0 has contact 6 (6 hops), node 6 has contact 12 (6 hops).
+    fn tables_for_line(net: &Network) -> Vec<ContactTable> {
+        let mut tables: Vec<ContactTable> = (0..net.node_count()).map(|_| ContactTable::new()).collect();
+        tables[0].add(Contact::new(n(6), (0..7).map(n).collect()));
+        tables[6].add(Contact::new(n(12), (6..13).map(n).collect()));
+        tables
+    }
+
+    #[test]
+    fn own_neighborhood_is_depth_zero_and_free() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut st = mk_stats();
+        let out = dsq_query(&net, &tables, n(0), n(2), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 0);
+        assert_eq!(out.total_messages(), 0);
+        assert_eq!(st.grand_total(), 0);
+    }
+
+    #[test]
+    fn depth_one_answers_from_contact_neighborhood() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut st = mk_stats();
+        // node 7 is 1 hop from contact 6 → in its R=2 neighborhood
+        let out = dsq_query(&net, &tables, n(0), n(7), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 1);
+        assert_eq!(out.query_msgs, 6, "one DSQ along the 6-hop contact path");
+        assert_eq!(out.reply_msgs, 6);
+        assert_eq!(st.total(MsgKind::Dsq), 6);
+        assert_eq!(st.total(MsgKind::DsqReply), 6);
+    }
+
+    #[test]
+    fn depth_two_reaches_contacts_of_contacts() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut st = mk_stats();
+        // node 13 is within R=2 of second-level contact 12, but NOT of 6.
+        let out = dsq_query(&net, &tables, n(0), n(13), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 2);
+        // D=1 attempt: 6 msgs (failed). D=2 attempt: 6 (to c1) + 6 (to c2).
+        assert_eq!(out.query_msgs, 6 + 12);
+        // reply: from node 12 back through the contact chain: 12 hops
+        assert_eq!(out.reply_msgs, 12);
+    }
+
+    #[test]
+    fn miss_beyond_search_horizon() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut st = mk_stats();
+        // node 15 is 3 hops past contact 12: outside every queried zone
+        let out = dsq_query(&net, &tables, n(0), n(15), 2, &mut st, SimTime::ZERO);
+        assert!(!out.found);
+        assert_eq!(out.depth_used, 2);
+        assert!(out.query_msgs > 0);
+        assert_eq!(out.reply_msgs, 0);
+    }
+
+    #[test]
+    fn deeper_search_finds_what_shallow_missed() {
+        let net = line_net();
+        let mut tables = tables_for_line(&net);
+        tables[12].add(Contact::new(n(15), vec![n(12), n(13), n(14), n(15)]));
+        let mut st = mk_stats();
+        let shallow = dsq_query(&net, &tables, n(0), n(15), 2, &mut st, SimTime::ZERO);
+        // n15 IS within R=2 of contact n12's... dist(12,15)=3 > 2, so D=2 misses;
+        // at D=3 the level-3 contact n15 sees itself in its own neighborhood.
+        assert!(!shallow.found);
+        let deep = dsq_query(&net, &tables, n(0), n(15), 3, &mut st, SimTime::ZERO);
+        assert!(deep.found);
+        assert_eq!(deep.depth_used, 3);
+    }
+
+    #[test]
+    fn escalation_accumulates_messages() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut st = mk_stats();
+        // found at depth 2 → cost includes the failed depth-1 attempt
+        let out = dsq_query(&net, &tables, n(0), n(13), 2, &mut st, SimTime::ZERO);
+        // hypothetical: starting directly at D=2 would be cheaper
+        let mut direct = 0u64;
+        attempt(&net, &tables, n(0), n(13), 2, &mut direct).unwrap();
+        assert!(out.query_msgs > direct, "escalation must cost more than direct D=2");
+    }
+
+    #[test]
+    fn no_contacts_means_immediate_miss() {
+        let net = line_net();
+        let tables: Vec<ContactTable> =
+            (0..net.node_count()).map(|_| ContactTable::new()).collect();
+        let mut st = mk_stats();
+        let out = dsq_query(&net, &tables, n(0), n(9), 3, &mut st, SimTime::ZERO);
+        assert!(!out.found);
+        assert_eq!(out.total_messages(), 0);
+    }
+
+    #[test]
+    fn contact_cycles_do_not_loop() {
+        let net = line_net();
+        let mut tables: Vec<ContactTable> =
+            (0..net.node_count()).map(|_| ContactTable::new()).collect();
+        // 0 -> 6 -> 0 cycle
+        tables[0].add(Contact::new(n(6), (0..7).map(n).collect()));
+        tables[6].add(Contact::new(n(0), (0..7).rev().map(n).collect()));
+        let mut st = mk_stats();
+        let out = dsq_query(&net, &tables, n(0), n(15), 3, &mut st, SimTime::ZERO);
+        assert!(!out.found, "must terminate despite the contact cycle");
+    }
+}

@@ -1,0 +1,430 @@
+//! Resources and resource-level discovery.
+//!
+//! CARD is a *resource* discovery architecture (§I): the target `T` of a
+//! DSQ is "a destination or target resource". Node lookup is the special
+//! case of a resource hosted by exactly one node. This module supplies the
+//! general case:
+//!
+//! * [`ResourceId`] — an application-level resource name;
+//! * [`ResourceRegistry`] — which nodes host which resources. The
+//!   proactive neighborhood protocol disseminates host announcements within
+//!   R hops, so any node can answer "who in my zone hosts ρ?" from its
+//!   tables — precisely the lookup a DSQ-carrying contact performs;
+//! * [`resource_query`] — the §III.C.4 query mechanism with *anycast*
+//!   semantics: it returns as soon as any instance of the resource is
+//!   found, preferring zone-local instances (no messages) and escalating
+//!   the depth of search exactly like the node-lookup DSQ.
+//!
+//! §V names "resource distributions in the network" as an evaluation
+//! dimension; [`distribute`] provides the standard distributions (uniform
+//! random, replicated, clustered) the experiments sweep.
+
+use manet_routing::network::Network;
+use net_topology::node::NodeId;
+use sim_core::rng::RngStream;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::SimTime;
+use sim_core::util::BitSet;
+
+use crate::contact::ContactTable;
+use crate::query::QueryOutcome;
+
+/// An application-level resource identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ρ{}", self.0)
+    }
+}
+
+/// Which nodes host which resources.
+///
+/// Backed by per-resource host bitsets so the zone lookup ("any host of ρ
+/// within my neighborhood?") is a single bitset intersection against the
+/// neighborhood membership set.
+#[derive(Clone, Debug)]
+pub struct ResourceRegistry {
+    nodes: usize,
+    /// Per resource: hosts as a bitset over node ids.
+    hosts: Vec<BitSet>,
+}
+
+impl ResourceRegistry {
+    /// An empty registry for `resources` resources over `nodes` nodes.
+    pub fn new(nodes: usize, resources: usize) -> Self {
+        ResourceRegistry {
+            nodes,
+            hosts: (0..resources).map(|_| BitSet::new(nodes)).collect(),
+        }
+    }
+
+    /// Number of distinct resources.
+    pub fn resource_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Register `node` as a host of `resource`.
+    ///
+    /// # Panics
+    /// Panics if the resource or node is out of range.
+    pub fn add_host(&mut self, resource: ResourceId, node: NodeId) {
+        self.hosts[resource.index()].insert(node.index());
+    }
+
+    /// Does `node` host `resource`?
+    pub fn hosts(&self, resource: ResourceId, node: NodeId) -> bool {
+        self.hosts[resource.index()].contains(node.index())
+    }
+
+    /// All hosts of `resource`.
+    pub fn hosts_of(&self, resource: ResourceId) -> impl Iterator<Item = NodeId> + '_ {
+        self.hosts[resource.index()].iter().map(NodeId::from)
+    }
+
+    /// Number of hosts of `resource`.
+    pub fn host_count(&self, resource: ResourceId) -> usize {
+        self.hosts[resource.index()].len()
+    }
+
+    /// Is some host of `resource` inside `zone` (a neighborhood membership
+    /// bitset)? This is the table lookup a contact performs on receiving a
+    /// DSQ for ρ.
+    pub fn in_zone(&self, resource: ResourceId, zone: &BitSet) -> bool {
+        self.hosts[resource.index()].intersects(zone)
+    }
+
+    /// The number of nodes this registry covers.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+}
+
+/// How resource instances are spread over the network (§V "resource
+/// distributions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceDistribution {
+    /// Each resource on `replicas` hosts chosen uniformly at random.
+    UniformReplicated {
+        /// Number of hosts per resource.
+        replicas: usize,
+    },
+    /// Each resource's replicas clustered around a random seed host: the
+    /// seed plus its `replicas - 1` nearest nodes (in hops).
+    Clustered {
+        /// Number of hosts per resource.
+        replicas: usize,
+    },
+}
+
+/// Build a registry of `resources` resources over the network per the
+/// distribution, deterministically from `rng`.
+pub fn distribute(
+    net: &Network,
+    resources: usize,
+    dist: ResourceDistribution,
+    rng: &mut RngStream,
+) -> ResourceRegistry {
+    let n = net.node_count();
+    let mut reg = ResourceRegistry::new(n, resources);
+    for ridx in 0..resources {
+        let resource = ResourceId(ridx as u32);
+        match dist {
+            ResourceDistribution::UniformReplicated { replicas } => {
+                let mut placed = 0;
+                let mut guard = 0;
+                while placed < replicas.min(n) && guard < 100 * replicas.max(1) {
+                    let node = NodeId::from(rng.index(n));
+                    guard += 1;
+                    if !reg.hosts(resource, node) {
+                        reg.add_host(resource, node);
+                        placed += 1;
+                    }
+                }
+            }
+            ResourceDistribution::Clustered { replicas } => {
+                let seed = NodeId::from(rng.index(n));
+                reg.add_host(resource, seed);
+                // nearest nodes by hop distance, BFS discovery order
+                let bfs = net_topology::bfs::full_bfs(net.adj(), seed);
+                for &v in bfs.visited().iter().skip(1).take(replicas.saturating_sub(1)) {
+                    reg.add_host(resource, v);
+                }
+            }
+        }
+    }
+    reg
+}
+
+/// Anycast resource query (§III.C.4 with a resource target): check the own
+/// zone, then escalate D = 1, 2, … `max_depth`, forwarding to contacts
+/// level-synchronously; a final-level contact answers iff some host of the
+/// resource lies in its neighborhood table.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn resource_query(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    registry: &ResourceRegistry,
+    source: NodeId,
+    resource: ResourceId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> QueryOutcome {
+    // Zone-local instance: answered from the proactive tables, free.
+    if registry.in_zone(resource, net.tables().of(source).members()) {
+        return QueryOutcome { found: true, depth_used: 0, query_msgs: 0, reply_msgs: 0 };
+    }
+
+    let mut query_msgs = 0u64;
+    for depth in 1..=max_depth {
+        let mut seen = vec![false; net.node_count()];
+        seen[source.index()] = true;
+        let mut frontier: Vec<(NodeId, u64)> = vec![(source, 0)];
+        for level in 1..=depth {
+            let mut next = Vec::new();
+            for &(node, dist) in &frontier {
+                for contact in contact_tables[node.index()].contacts() {
+                    let c = contact.id;
+                    if seen[c.index()] {
+                        continue;
+                    }
+                    seen[c.index()] = true;
+                    let at_contact = dist + contact.hops() as u64;
+                    query_msgs += contact.hops() as u64;
+                    if level == depth {
+                        if registry.in_zone(resource, net.tables().of(c).members()) {
+                            stats.record_n(at, MsgKind::Dsq, query_msgs);
+                            stats.record_n(at, MsgKind::DsqReply, at_contact);
+                            return QueryOutcome {
+                                found: true,
+                                depth_used: depth,
+                                query_msgs,
+                                reply_msgs: at_contact,
+                            };
+                        }
+                    } else {
+                        next.push((c, at_contact));
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() && level < depth {
+                break;
+            }
+        }
+    }
+    stats.record_n(at, MsgKind::Dsq, query_msgs);
+    QueryOutcome { found: false, depth_used: max_depth, query_msgs, reply_msgs: 0 }
+}
+
+/// The set of resources discoverable by `source` at contact depth `depth`:
+/// resources with a host inside the source's reachability set.
+pub fn discoverable_resources(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    registry: &ResourceRegistry,
+    source: NodeId,
+    depth: u16,
+) -> Vec<ResourceId> {
+    let reach = crate::reachability::reachability_set(net, contact_tables, source, depth);
+    (0..registry.resource_count() as u32)
+        .map(ResourceId)
+        .filter(|&r| registry.in_zone(r, &reach))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use net_topology::geometry::{Field, Point2};
+    use sim_core::time::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn mk_stats() -> MsgStats {
+        MsgStats::new(SimDuration::from_secs(2))
+    }
+
+    /// 16-node line, 40 m spacing, range 50 m, R=2.
+    fn line_net() -> Network {
+        let positions: Vec<Point2> =
+            (0..16).map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0)).collect();
+        Network::from_positions(Field::square(700.0), positions, 50.0, 2)
+    }
+
+    fn tables_for_line(net: &Network) -> Vec<ContactTable> {
+        let mut tables: Vec<ContactTable> =
+            (0..net.node_count()).map(|_| ContactTable::new()).collect();
+        tables[0].add(Contact::new(n(6), (0..7).map(n).collect()));
+        tables[6].add(Contact::new(n(12), (6..13).map(n).collect()));
+        tables
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut reg = ResourceRegistry::new(10, 3);
+        assert_eq!(reg.resource_count(), 3);
+        assert_eq!(reg.node_count(), 10);
+        let r = ResourceId(1);
+        assert_eq!(reg.host_count(r), 0);
+        reg.add_host(r, n(4));
+        reg.add_host(r, n(7));
+        reg.add_host(r, n(4)); // idempotent
+        assert_eq!(reg.host_count(r), 2);
+        assert!(reg.hosts(r, n(4)));
+        assert!(!reg.hosts(r, n(5)));
+        assert_eq!(reg.hosts_of(r).collect::<Vec<_>>(), vec![n(4), n(7)]);
+        assert_eq!(format!("{r}"), "ρ1");
+    }
+
+    #[test]
+    fn zone_lookup_uses_bitset_intersection() {
+        let net = line_net();
+        let mut reg = ResourceRegistry::new(16, 1);
+        let r = ResourceId(0);
+        reg.add_host(r, n(8));
+        // node 7's zone (R=2) = {5..9} contains host 8
+        assert!(reg.in_zone(r, net.tables().of(n(7)).members()));
+        // node 0's zone = {0,1,2} does not
+        assert!(!reg.in_zone(r, net.tables().of(n(0)).members()));
+    }
+
+    #[test]
+    fn zone_local_resource_is_free() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut reg = ResourceRegistry::new(16, 1);
+        reg.add_host(ResourceId(0), n(2));
+        let mut st = mk_stats();
+        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 0);
+        assert_eq!(out.total_messages(), 0);
+    }
+
+    #[test]
+    fn contact_zone_resource_found_at_depth_one() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut reg = ResourceRegistry::new(16, 1);
+        reg.add_host(ResourceId(0), n(7)); // inside contact 6's zone
+        let mut st = mk_stats();
+        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 1);
+        assert_eq!(out.query_msgs, 6);
+        assert_eq!(st.total(MsgKind::Dsq), 6);
+    }
+
+    #[test]
+    fn anycast_prefers_any_instance() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut reg = ResourceRegistry::new(16, 1);
+        // replicas at 13 (needs depth 2) and at 5 (depth 1): depth-1 answer wins
+        reg.add_host(ResourceId(0), n(13));
+        reg.add_host(ResourceId(0), n(5));
+        let mut st = mk_stats();
+        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 1, "nearer replica answers first");
+    }
+
+    #[test]
+    fn missing_resource_escalates_and_misses() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let reg = ResourceRegistry::new(16, 1); // no hosts anywhere
+        let mut st = mk_stats();
+        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        assert!(!out.found);
+        assert!(out.query_msgs > 0, "escalation paid for nothing");
+        assert_eq!(out.reply_msgs, 0);
+    }
+
+    #[test]
+    fn uniform_distribution_places_exact_replicas() {
+        let net = line_net();
+        let mut rng = RngStream::seed_from_u64(5);
+        let reg = distribute(
+            &net,
+            4,
+            ResourceDistribution::UniformReplicated { replicas: 3 },
+            &mut rng,
+        );
+        for r in 0..4u32 {
+            assert_eq!(reg.host_count(ResourceId(r)), 3);
+        }
+    }
+
+    #[test]
+    fn clustered_distribution_places_adjacent_replicas() {
+        let net = line_net();
+        let mut rng = RngStream::seed_from_u64(7);
+        let reg = distribute(&net, 2, ResourceDistribution::Clustered { replicas: 3 }, &mut rng);
+        for r in 0..2u32 {
+            let hosts: Vec<NodeId> = reg.hosts_of(ResourceId(r)).collect();
+            assert_eq!(hosts.len(), 3);
+            // on a line, 3 BFS-nearest nodes span at most 2 hops
+            let ids: Vec<i64> = hosts.iter().map(|h| h.index() as i64).collect();
+            let spread = ids.iter().max().unwrap() - ids.iter().min().unwrap();
+            assert!(spread <= 2, "clustered hosts too spread: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn discoverable_matches_query_outcomes() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut rng = RngStream::seed_from_u64(9);
+        let reg = distribute(
+            &net,
+            6,
+            ResourceDistribution::UniformReplicated { replicas: 2 },
+            &mut rng,
+        );
+        let disc = discoverable_resources(&net, &tables, &reg, n(0), 2);
+        for r in 0..6u32 {
+            let resource = ResourceId(r);
+            let mut st = mk_stats();
+            let out = resource_query(&net, &tables, &reg, n(0), resource, 2, &mut st, SimTime::ZERO);
+            assert_eq!(
+                out.found,
+                disc.contains(&resource),
+                "query({resource}) disagrees with discoverable set"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_of_distribution() {
+        let net = line_net();
+        let mk = |seed| {
+            let mut rng = RngStream::seed_from_u64(seed);
+            let reg = distribute(
+                &net,
+                3,
+                ResourceDistribution::UniformReplicated { replicas: 2 },
+                &mut rng,
+            );
+            (0..3u32)
+                .flat_map(|r| reg.hosts_of(ResourceId(r)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

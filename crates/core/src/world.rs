@@ -1,0 +1,528 @@
+//! `CardWorld` — the complete protocol-over-network world.
+//!
+//! Couples a [`Network`] with per-node CARD state (contact tables, RNG
+//! streams) and drives the event loop of the mobile experiments: mobility
+//! ticks (topology refresh) interleaved with per-period validation rounds
+//! (§III.C.3) and re-selection (rule 5). All static analyses (reachability,
+//! one-shot selection, queries) are direct method calls.
+
+use manet_routing::network::Network;
+use mobility::model::MobilityModel;
+use net_topology::node::NodeId;
+use net_topology::scenario::Scenario;
+use sim_core::engine::Engine;
+use sim_core::rng::{RngStream, SeedSplitter};
+use sim_core::stats::{MsgStats, TimeSeries};
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::config::CardConfig;
+use crate::contact::ContactTable;
+use crate::csq::{select_contacts, select_contacts_limited};
+use crate::maintenance::{validate_contacts, ValidationReport};
+use crate::query::{dsq_query, QueryOutcome};
+use crate::reachability::ReachabilitySummary;
+
+/// Aggregated maintenance counters over a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceTotals {
+    /// Successful path validations.
+    pub validated: u64,
+    /// Contacts lost to unsalvageable paths.
+    pub lost: u64,
+    /// Contacts dropped by the `[2R, r]` rule.
+    pub dropped_out_of_range: u64,
+    /// Paths healed by local recovery.
+    pub recovered: u64,
+}
+
+impl MaintenanceTotals {
+    fn absorb(&mut self, r: &ValidationReport) {
+        self.validated += r.validated as u64;
+        self.lost += r.lost as u64;
+        self.dropped_out_of_range += r.dropped_out_of_range as u64;
+        self.recovered += r.recovered as u64;
+    }
+}
+
+/// Simulation events of the mobile run loop.
+enum SimEvent {
+    /// Move nodes and refresh connectivity + neighborhood tables.
+    MobilityTick,
+    /// Validate every node's contacts; re-select up to NoC (§III.C.3.5).
+    ValidationRound,
+}
+
+/// The CARD world: network + per-node protocol state + measurement.
+pub struct CardWorld {
+    net: Network,
+    cfg: CardConfig,
+    contacts: Vec<ContactTable>,
+    stats: MsgStats,
+    node_rngs: Vec<RngStream>,
+    /// Absolute virtual time reached so far (advanced by `run_mobile`).
+    now: SimTime,
+    /// (time, total live contacts) after each validation round (Fig 13).
+    contacts_series: TimeSeries,
+    maintenance: MaintenanceTotals,
+    /// Per-node selection backoff: rounds left to skip, and the backoff
+    /// level that produced that skip count.
+    backoff_remaining: Vec<u32>,
+    backoff_level: Vec<u32>,
+}
+
+/// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
+const MAX_BACKOFF_LEVEL: u32 = 5;
+
+impl CardWorld {
+    /// Instantiate a scenario (uniform placement from `cfg.seed`) and build
+    /// the world.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`CardConfig::validate`]).
+    pub fn build(scenario: &Scenario, cfg: CardConfig) -> Self {
+        cfg.validate();
+        let net = Network::from_scenario(scenario, cfg.radius, cfg.seed);
+        Self::from_network(net, cfg)
+    }
+
+    /// Wrap an existing network (custom topologies, tests).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the network's zone radius
+    /// differs from `cfg.radius`.
+    pub fn from_network(net: Network, cfg: CardConfig) -> Self {
+        cfg.validate();
+        assert_eq!(
+            net.radius(),
+            cfg.radius,
+            "network zone radius {} != config R {}",
+            net.radius(),
+            cfg.radius
+        );
+        let n = net.node_count();
+        let splitter = SeedSplitter::new(cfg.seed);
+        let node_rngs = (0..n).map(|i| splitter.stream("card-node", i as u64)).collect();
+        CardWorld {
+            net,
+            cfg,
+            contacts: (0..n).map(|_| ContactTable::new()).collect(),
+            stats: MsgStats::new(SimDuration::from_secs(2)),
+            node_rngs,
+            now: SimTime::ZERO,
+            contacts_series: TimeSeries::new(),
+            maintenance: MaintenanceTotals::default(),
+            backoff_remaining: vec![0; n],
+            backoff_level: vec![0; n],
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &CardConfig {
+        &self.cfg
+    }
+
+    /// Message statistics accumulated so far.
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The contact table of one node.
+    pub fn contact_table(&self, node: NodeId) -> &ContactTable {
+        &self.contacts[node.index()]
+    }
+
+    /// All contact tables, indexed by node id.
+    pub fn contact_tables(&self) -> &[ContactTable] {
+        &self.contacts
+    }
+
+    /// Total live contacts across all nodes.
+    pub fn total_contacts(&self) -> usize {
+        self.contacts.iter().map(ContactTable::len).sum()
+    }
+
+    /// Mean live contacts per node.
+    pub fn mean_contacts(&self) -> f64 {
+        if self.contacts.is_empty() {
+            return 0.0;
+        }
+        self.total_contacts() as f64 / self.contacts.len() as f64
+    }
+
+    /// `(time, total contacts)` after each validation round.
+    pub fn contacts_series(&self) -> &TimeSeries {
+        &self.contacts_series
+    }
+
+    /// Aggregated maintenance outcomes.
+    pub fn maintenance_totals(&self) -> &MaintenanceTotals {
+        &self.maintenance
+    }
+
+    /// Run contact selection (one pass over shuffled edge nodes, §III.C.1)
+    /// for a single node, topping its table up toward NoC.
+    pub fn select_contacts_for(&mut self, node: NodeId) {
+        let rng = &mut self.node_rngs[node.index()];
+        select_contacts(
+            &self.net,
+            &self.cfg,
+            node,
+            &mut self.contacts[node.index()],
+            rng,
+            &mut self.stats,
+            self.now,
+        );
+    }
+
+    /// Initial contact selection for every node.
+    pub fn select_all_contacts(&mut self) {
+        for node in NodeId::all(self.net.node_count()) {
+            self.select_contacts_for(node);
+        }
+    }
+
+    /// One validation round for every node: validate paths (healing with
+    /// local recovery), drop rule-4 violators, then — per §III.C.3 rule 5 —
+    /// re-select toward NoC.
+    ///
+    /// Re-selection is throttled twice, which is what keeps steady-state
+    /// overhead at the per-node magnitudes of Figs 10–13 (the paper's
+    /// steady state is essentially validation-only):
+    /// * at most `cfg.selection_walks_per_round` CSQs per node per round
+    ///   ("one at a time", §III.C.1);
+    /// * exponential backoff after fruitless rounds — a node whose
+    ///   selection attempt yields nothing skips `2^level − 1` rounds
+    ///   (level capped at 5), resetting on any success. Saturated nodes
+    ///   (NoC above the annulus capacity) therefore go quiet instead of
+    ///   re-sweeping the region every period.
+    pub fn validation_round(&mut self) {
+        for node in NodeId::all(self.net.node_count()) {
+            let report = validate_contacts(
+                &self.net,
+                &self.cfg,
+                node,
+                &mut self.contacts[node.index()],
+                &mut self.stats,
+                self.now,
+            );
+            self.maintenance.absorb(&report);
+            let i = node.index();
+            if self.contacts[i].len() >= self.cfg.target_contacts {
+                self.backoff_level[i] = 0;
+                self.backoff_remaining[i] = 0;
+                continue;
+            }
+            if self.backoff_remaining[i] > 0 {
+                self.backoff_remaining[i] -= 1;
+                continue;
+            }
+            let before = self.contacts[i].len();
+            let rng = &mut self.node_rngs[i];
+            select_contacts_limited(
+                &self.net,
+                &self.cfg,
+                node,
+                &mut self.contacts[i],
+                rng,
+                &mut self.stats,
+                self.now,
+                self.cfg.selection_walks_per_round,
+            );
+            if self.contacts[i].len() > before {
+                self.backoff_level[i] = 0;
+                self.backoff_remaining[i] = 0;
+            } else {
+                self.backoff_level[i] = (self.backoff_level[i] + 1).min(MAX_BACKOFF_LEVEL);
+                self.backoff_remaining[i] = (1u32 << self.backoff_level[i]) - 1;
+            }
+        }
+        self.contacts_series
+            .push(self.now, self.total_contacts() as f64);
+    }
+
+    /// Issue a resource-discovery query (§III.C.4) from `source` for
+    /// `target`, escalating depth up to `cfg.depth`.
+    pub fn query(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
+        dsq_query(
+            &self.net,
+            &self.contacts,
+            source,
+            target,
+            self.cfg.depth,
+            &mut self.stats,
+            self.now,
+        )
+    }
+
+    /// Reachability distribution at contact depth `depth` (Figs 5–9).
+    pub fn reachability_summary(&self, depth: u16) -> ReachabilitySummary {
+        ReachabilitySummary::compute(&self.net, &self.contacts, depth)
+    }
+
+    /// Run the mobile protocol loop for `duration`: mobility ticks every
+    /// `cfg.mobility_tick`, validation rounds every `cfg.validation_period`
+    /// (offset by 1 µs so coincident mobility updates apply first).
+    ///
+    /// Virtual time (`now()`), statistics and the contacts series all
+    /// advance; calling `run_mobile` again continues the same timeline.
+    pub fn run_mobile(&mut self, model: &mut dyn MobilityModel, duration: SimDuration) {
+        let base = self.now;
+        let mut engine: Engine<SimEvent> = Engine::with_horizon(SimTime::ZERO + duration);
+        if !model.is_static() {
+            engine.schedule_at(SimTime::ZERO + self.cfg.mobility_tick, SimEvent::MobilityTick);
+        }
+        // First round effectively at t=0 (selection starts immediately),
+        // then every period; the 1 µs offset makes coincident mobility
+        // ticks apply before the round.
+        engine.schedule_at(SimTime::ZERO + SimDuration::from_micros(1), SimEvent::ValidationRound);
+
+        while let Some((t, ev)) = engine.next_event() {
+            self.now = base + t.since(SimTime::ZERO);
+            match ev {
+                SimEvent::MobilityTick => {
+                    self.net.advance(model, self.cfg.mobility_tick);
+                    engine.schedule_in(self.cfg.mobility_tick, SimEvent::MobilityTick);
+                }
+                SimEvent::ValidationRound => {
+                    self.validation_round();
+                    engine.schedule_in(self.cfg.validation_period, SimEvent::ValidationRound);
+                }
+            }
+        }
+        self.now = base + duration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectionMethod;
+    use mobility::statics::StaticModel;
+    use mobility::waypoint::RandomWaypoint;
+    use sim_core::stats::MsgKind;
+
+    fn scenario() -> Scenario {
+        Scenario::new(150, 500.0, 500.0, 60.0)
+    }
+
+    fn cfg() -> CardConfig {
+        CardConfig::default()
+            .with_radius(2)
+            .with_max_contact_distance(8)
+            .with_target_contacts(4)
+            .with_seed(21)
+    }
+
+    #[test]
+    fn build_and_select() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        assert_eq!(w.network().node_count(), 150);
+        assert_eq!(w.total_contacts(), 0);
+        w.select_all_contacts();
+        assert!(w.total_contacts() > 0, "a 150-node network must yield contacts");
+        assert!(w.mean_contacts() <= 4.0);
+        assert!(w.stats().total(MsgKind::Csq) > 0);
+    }
+
+    #[test]
+    fn selection_raises_reachability() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        let before = w.reachability_summary(1).mean_pct;
+        w.select_all_contacts();
+        let after = w.reachability_summary(1).mean_pct;
+        assert!(
+            after > before,
+            "contacts must increase mean reachability ({before:.1}% -> {after:.1}%)"
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut w = CardWorld::build(&scenario(), cfg());
+            w.select_all_contacts();
+            let mut model = RandomWaypoint::new(
+                150,
+                w.network().field(),
+                1.0,
+                10.0,
+                0.0,
+                SeedSplitter::new(w.config().seed).stream("mobility", 0),
+            );
+            w.run_mobile(&mut model, SimDuration::from_secs(3));
+            (
+                w.total_contacts(),
+                w.stats().grand_total(),
+                w.maintenance_totals().clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn static_run_keeps_contacts_and_counts_maintenance() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        w.select_all_contacts();
+        let contacts_before = w.total_contacts();
+        w.run_mobile(&mut StaticModel, SimDuration::from_secs(4));
+        // static topology: nothing lost, nothing out of range; re-selection
+        // passes (rule 5) may only ADD contacts for nodes still below NoC
+        assert!(w.total_contacts() >= contacts_before);
+        assert_eq!(w.maintenance_totals().lost, 0);
+        assert_eq!(w.maintenance_totals().dropped_out_of_range, 0);
+        assert!(w.stats().total(MsgKind::Validation) > 0, "validation still polls");
+        // validation rounds happened at ~0,1,2,3 s (round at 4s is at the horizon)
+        assert_eq!(w.contacts_series().len(), 4);
+        assert_eq!(w.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn mobile_run_loses_and_reselects() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        w.select_all_contacts();
+        let mut model = RandomWaypoint::new(
+            150,
+            w.network().field(),
+            10.0,
+            20.0,
+            0.0,
+            SeedSplitter::new(7).stream("mobility", 0),
+        );
+        w.run_mobile(&mut model, SimDuration::from_secs(6));
+        let totals = w.maintenance_totals();
+        assert!(
+            totals.lost + totals.dropped_out_of_range > 0,
+            "fast mobility should break some contact paths"
+        );
+        assert!(w.stats().total(MsgKind::Validation) > 0);
+        // re-selection kept tables alive
+        assert!(w.total_contacts() > 0);
+    }
+
+    #[test]
+    fn local_recovery_heals_under_mild_mobility() {
+        let mut config = cfg();
+        config.validation_period = SimDuration::from_secs(1);
+        let mut w = CardWorld::build(&scenario(), config);
+        w.select_all_contacts();
+        let mut model = RandomWaypoint::new(
+            150,
+            w.network().field(),
+            3.0,
+            8.0,
+            0.0,
+            SeedSplitter::new(9).stream("mobility", 0),
+        );
+        w.run_mobile(&mut model, SimDuration::from_secs(8));
+        assert!(
+            w.maintenance_totals().recovered > 0,
+            "mild mobility should exercise local recovery"
+        );
+    }
+
+    #[test]
+    fn timeline_continues_across_runs() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        w.select_all_contacts();
+        w.run_mobile(&mut StaticModel, SimDuration::from_secs(2));
+        assert_eq!(w.now(), SimTime::from_secs(2));
+        w.run_mobile(&mut StaticModel, SimDuration::from_secs(2));
+        assert_eq!(w.now(), SimTime::from_secs(4));
+        // series timestamps are strictly increasing across the two runs
+        let times: Vec<_> = w.contacts_series().points().iter().map(|(t, _)| *t).collect();
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn query_uses_world_state() {
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(3));
+        w.select_all_contacts();
+        // find some target beyond the source's neighborhood but reachable
+        let source = NodeId::new(0);
+        let reach = crate::reachability::reachability_set(w.network(), w.contact_tables(), source, 3);
+        let nb = w.network().tables().of(source).members().clone();
+        let beyond: Vec<usize> = reach.iter().filter(|&i| !nb.contains(i)).collect();
+        if let Some(&target) = beyond.first() {
+            let out = w.query(source, NodeId::from(target));
+            assert!(out.found, "target inside the depth-3 reach set must be found");
+            assert!(out.depth_used >= 1);
+            assert!(out.query_msgs > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "network zone radius")]
+    fn radius_mismatch_rejected() {
+        let net = Network::from_scenario(&scenario(), 3, 1);
+        let _ = CardWorld::from_network(net, cfg()); // cfg has R=2
+    }
+
+    #[test]
+    fn saturated_nodes_back_off_selection() {
+        // A tiny NoC-unreachable configuration: after a few fruitless
+        // rounds, selection traffic per round must fall toward zero even
+        // though tables stay below NoC.
+        let mut config = cfg().with_target_contacts(50); // far above capacity
+        config.validation_period = SimDuration::from_secs(1);
+        let mut w = CardWorld::build(&scenario(), config);
+        w.select_all_contacts();
+        // run long enough for the backoff to reach its cap
+        w.run_mobile(&mut StaticModel, SimDuration::from_secs(12));
+        let early: u64 = (0..3)
+            .map(|b| w.stats().in_bucket_where(b, MsgKind::is_selection))
+            .sum();
+        let late: u64 = (3..6)
+            .map(|b| w.stats().in_bucket_where(b, MsgKind::is_selection))
+            .sum();
+        assert!(
+            late < early / 2,
+            "backoff should quiesce fruitless selection (early {early}, late {late})"
+        );
+        assert!(w.mean_contacts() < 50.0, "capacity is genuinely below NoC");
+    }
+
+    #[test]
+    fn backoff_resets_when_a_contact_is_found() {
+        // With NoC at capacity, nodes that reach NoC keep level 0: the
+        // series stays stable and the maintenance counters keep moving.
+        let mut w = CardWorld::build(&scenario(), cfg());
+        w.select_all_contacts();
+        let before = w.maintenance_totals().validated;
+        w.run_mobile(&mut StaticModel, SimDuration::from_secs(3));
+        assert!(w.maintenance_totals().validated > before);
+    }
+
+    #[test]
+    fn em_vs_pm_reachability_order() {
+        // The headline Fig 3 claim, in miniature: EM ≥ PM in mean reachability.
+        let em = {
+            let mut w = CardWorld::build(&scenario(), cfg().with_method(SelectionMethod::Edge));
+            w.select_all_contacts();
+            w.reachability_summary(1).mean_pct
+        };
+        let pm = {
+            let mut w = CardWorld::build(
+                &scenario(),
+                cfg().with_method(SelectionMethod::ProbabilisticEq2),
+            );
+            w.select_all_contacts();
+            w.reachability_summary(1).mean_pct
+        };
+        assert!(
+            em >= pm * 0.95,
+            "EM ({em:.1}%) should not trail PM ({pm:.1}%) meaningfully"
+        );
+    }
+}

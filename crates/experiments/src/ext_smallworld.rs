@@ -1,0 +1,187 @@
+//! Extension experiment: contacts create a small world.
+//!
+//! §I: "Contacts act as short cuts that attempt to transform the network
+//! into a small world by reducing the degrees of separation", grounded in
+//! Watts–Strogatz [10][11] and Helmy's small-world wireless study [13].
+//! The paper asserts this qualitatively; this experiment quantifies it:
+//! measure the unit-disk graph's clustering coefficient and characteristic
+//! path length, then overlay each node's contact links as shortcut edges
+//! and re-measure. The small-world signature is a large path-length drop at
+//! (nearly) unchanged clustering.
+
+use crate::output::markdown_table;
+use card_core::{CardConfig, CardWorld};
+use net_topology::node::NodeId;
+use net_topology::smallworld::{with_shortcuts, SmallWorldMetrics};
+use net_topology::scenario::{Scenario, SCENARIO_5};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family.
+    pub scenario: Scenario,
+    /// CARD parameters used to select the contact overlay.
+    pub radius: u16,
+    /// Maximum contact distance.
+    pub max_contact_distance: u16,
+    /// NoC values to sweep (each yields one overlay row).
+    pub noc_values: Vec<usize>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            max_contact_distance: 16,
+            noc_values: vec![0, 2, 4, 6, 8, 10],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+            radius: 2,
+            max_contact_distance: 9,
+            noc_values: vec![0, 2, 4],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// One overlay measurement.
+#[derive(Clone, Debug)]
+pub struct OverlayRow {
+    /// NoC used for the overlay (0 = bare unit-disk graph).
+    pub noc: usize,
+    /// Contact links added.
+    pub shortcut_links: usize,
+    /// Metrics of the (augmented) graph.
+    pub metrics: SmallWorldMetrics,
+}
+
+/// Run the sweep: measure the base graph, then each contact overlay.
+pub fn run(params: &Params) -> Vec<OverlayRow> {
+    params
+        .noc_values
+        .iter()
+        .map(|&noc| {
+            let cfg = CardConfig::default()
+                .with_seed(params.seed)
+                .with_radius(params.radius)
+                .with_max_contact_distance(params.max_contact_distance)
+                .with_target_contacts(noc);
+            let mut world = CardWorld::build(&params.scenario, cfg);
+            if noc > 0 {
+                world.select_all_contacts();
+            }
+            let shortcuts: Vec<(NodeId, NodeId)> = NodeId::all(world.network().node_count())
+                .flat_map(|s| {
+                    world
+                        .contact_table(s)
+                        .ids()
+                        .map(move |c| (s, c))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let augmented = with_shortcuts(world.network().adj(), &shortcuts);
+            OverlayRow {
+                noc,
+                shortcut_links: shortcuts.len(),
+                metrics: SmallWorldMetrics::compute(&augmented),
+            }
+        })
+        .collect()
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, rows: &[OverlayRow]) -> String {
+    let headers = [
+        "NoC",
+        "Contact shortcuts",
+        "Clustering",
+        "Char. path length",
+        "Connected pairs",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.noc.to_string(),
+                r.shortcut_links.to_string(),
+                format!("{:.3}", r.metrics.clustering),
+                format!("{:.2}", r.metrics.path_length),
+                format!("{:.0}%", 100.0 * r.metrics.connected_pair_fraction),
+            ]
+        })
+        .collect();
+    format!(
+        "### Extension — small-world effect of contacts ({}, R={}, r={})\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.max_contact_distance,
+        markdown_table(&headers, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contacts_shrink_path_length_without_killing_clustering() {
+        let params = Params::quick();
+        let rows = run(&params);
+        let base = &rows[0];
+        let most = rows.last().unwrap();
+        assert_eq!(base.noc, 0);
+        assert_eq!(base.shortcut_links, 0);
+        assert!(most.shortcut_links > 0);
+        assert!(
+            most.metrics.path_length < base.metrics.path_length * 0.9,
+            "contacts must shrink the characteristic path length \
+             ({:.2} -> {:.2})",
+            base.metrics.path_length,
+            most.metrics.path_length
+        );
+        // Watts–Strogatz small-world criterion: clustering stays far above
+        // the random-graph level C_rand ≈ <k>/n even after the overlay
+        // dilutes it with (non-triangle-forming) long-range shortcuts.
+        let n = params.scenario.nodes as f64;
+        let approx_degree = 8.0; // unit-disk degree at these densities
+        let c_random = approx_degree / n;
+        assert!(
+            most.metrics.clustering > 5.0 * c_random,
+            "clustering ({:.3}) must remain well above random-graph level ({:.3})",
+            most.metrics.clustering,
+            c_random
+        );
+    }
+
+    #[test]
+    fn path_length_decreases_monotonically_with_noc() {
+        let rows = run(&Params::quick());
+        for w in rows.windows(2) {
+            assert!(
+                w[1].metrics.path_length <= w[0].metrics.path_length + 0.05,
+                "more contacts should not lengthen paths: {:?} -> {:?}",
+                w[0].metrics.path_length,
+                w[1].metrics.path_length
+            );
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let params = Params::quick();
+        let text = render(&params, &run(&params));
+        assert!(text.contains("small-world"));
+        assert!(text.contains("Char. path length"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Fig 5 — effect of neighborhood radius R on the reachability distribution.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, r=16, NoC=10, D=1, R = 1…7.
+//! Expected shape: the distribution shifts right as R grows (bigger
+//! neighborhoods + still-viable contacts), then collapses back left at
+//! R=7, where the 2R=14‥16 annulus is too thin to place contacts.
+
+use crate::output::histogram_table;
+use crate::runner::parallel_map;
+use card_core::reachability::REACH_BUCKET_PCT;
+use card_core::{CardConfig, CardWorld};
+use net_topology::scenario::{Scenario, SCENARIO_5};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Maximum contact distance r (paper: 16).
+    pub max_contact_distance: u16,
+    /// NoC (paper: 10).
+    pub target_contacts: usize,
+    /// R sweep values (paper: 1–7).
+    pub radius_values: Vec<u16>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            max_contact_distance: 16,
+            target_contacts: 10,
+            radius_values: (1..=7).collect(),
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+            max_contact_distance: 8,
+            target_contacts: 5,
+            radius_values: vec![1, 2, 3],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// One histogram per swept R.
+#[derive(Clone, Debug)]
+pub struct RadiusSweep {
+    /// The swept R values.
+    pub radius_values: Vec<u16>,
+    /// 5%-bucket histogram counts per R.
+    pub histograms: Vec<Vec<u64>>,
+    /// Mean reachability per R.
+    pub mean_pct: Vec<f64>,
+    /// Mean contacts actually selected per R (shows the R=7 collapse).
+    pub mean_contacts: Vec<f64>,
+}
+
+/// Run the R sweep.
+pub fn run(params: &Params) -> RadiusSweep {
+    let results = parallel_map(params.radius_values.clone(), |radius| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(radius)
+            .with_max_contact_distance(params.max_contact_distance)
+            .with_target_contacts(params.target_contacts);
+        let mut world = CardWorld::build(&params.scenario, cfg);
+        world.select_all_contacts();
+        let summary = world.reachability_summary(1);
+        (
+            summary.histogram.counts().to_vec(),
+            summary.mean_pct,
+            world.mean_contacts(),
+        )
+    });
+    RadiusSweep {
+        radius_values: params.radius_values.clone(),
+        histograms: results.iter().map(|r| r.0.clone()).collect(),
+        mean_pct: results.iter().map(|r| r.1).collect(),
+        mean_contacts: results.iter().map(|r| r.2).collect(),
+    }
+}
+
+/// Render as Markdown (one histogram column per R, plus summary rows).
+pub fn render(params: &Params, sweep: &RadiusSweep) -> String {
+    let edges: Vec<f64> = (1..=20).map(|i| i as f64 * REACH_BUCKET_PCT).collect();
+    let series: Vec<(String, Vec<u64>)> = sweep
+        .radius_values
+        .iter()
+        .zip(&sweep.histograms)
+        .map(|(radius, h)| (format!("R={radius}"), h.clone()))
+        .collect();
+    let mut out = format!(
+        "### Fig 5 — reachability distribution vs R ({}, r={}, NoC={}, D=1)\n\n{}",
+        params.scenario.label(),
+        params.max_contact_distance,
+        params.target_contacts,
+        histogram_table(&edges, &series)
+    );
+    out.push_str("\nMean reachability %: ");
+    for (radius, m) in sweep.radius_values.iter().zip(&sweep.mean_pct) {
+        out.push_str(&format!("R={radius}: {m:.1}  "));
+    }
+    out.push_str("\nMean contacts: ");
+    for (radius, c) in sweep.radius_values.iter().zip(&sweep.mean_contacts) {
+        out.push_str(&format!("R={radius}: {c:.2}  "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shifts_right_with_r() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        assert_eq!(sweep.histograms.len(), 3);
+        // every histogram covers all nodes
+        for h in &sweep.histograms {
+            assert_eq!(h.iter().sum::<u64>(), params.scenario.nodes as u64);
+        }
+        // R=2 and R=3 both dominate R=1 in mean reachability (Fig 5 shape)
+        assert!(
+            sweep.mean_pct[1] > sweep.mean_pct[0],
+            "R=2 ({:.1}%) should beat R=1 ({:.1}%)",
+            sweep.mean_pct[1],
+            sweep.mean_pct[0]
+        );
+    }
+
+    #[test]
+    fn annulus_collapse_reduces_contacts() {
+        // When 2R approaches r the contact count collapses (the R=7 effect):
+        // quick params: r=8, so R=3 (2R=6) has a thinner annulus than R=2.
+        let sweep = run(&Params::quick());
+        let c_r2 = sweep.mean_contacts[1];
+        let c_r3 = sweep.mean_contacts[2];
+        assert!(
+            c_r3 < c_r2,
+            "thin annulus must yield fewer contacts (R=3: {c_r3:.2} vs R=2: {c_r2:.2})"
+        );
+    }
+
+    #[test]
+    fn render_has_all_radius_columns() {
+        let params = Params::quick();
+        let text = render(&params, &run(&params));
+        for r in &params.radius_values {
+            assert!(text.contains(&format!("R={r}")));
+        }
+    }
+}

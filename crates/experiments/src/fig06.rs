@@ -1,0 +1,165 @@
+//! Fig 6 — effect of maximum contact distance r on reachability.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, R=3, NoC=10, D=1,
+//! r = 2R, 2R+2, …, 2R+12. Expected shape: reachability grows with r (a
+//! wider annulus fits more non-overlapping contacts), with diminishing
+//! returns past r ≈ 2R+8; r = 2R yields essentially the bare neighborhood.
+
+use crate::output::histogram_table;
+use crate::runner::parallel_map;
+use card_core::reachability::REACH_BUCKET_PCT;
+use card_core::{CardConfig, CardWorld};
+use net_topology::scenario::{Scenario, SCENARIO_5};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// NoC (paper: 10).
+    pub target_contacts: usize,
+    /// Offsets added to 2R to form the r sweep (paper: 0, 2, …, 12).
+    pub r_offsets: Vec<u16>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            target_contacts: 10,
+            r_offsets: (0..=6).map(|k| 2 * k).collect(),
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+            radius: 2,
+            target_contacts: 5,
+            r_offsets: vec![0, 2, 4],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+
+    /// The absolute r values of the sweep.
+    pub fn r_values(&self) -> Vec<u16> {
+        self.r_offsets.iter().map(|o| 2 * self.radius + o).collect()
+    }
+}
+
+/// Results of the r sweep.
+#[derive(Clone, Debug)]
+pub struct RSweep {
+    /// Swept r values.
+    pub r_values: Vec<u16>,
+    /// 5%-bucket histograms per r.
+    pub histograms: Vec<Vec<u64>>,
+    /// Mean reachability per r.
+    pub mean_pct: Vec<f64>,
+    /// Mean contacts selected per r.
+    pub mean_contacts: Vec<f64>,
+}
+
+/// Run the r sweep.
+pub fn run(params: &Params) -> RSweep {
+    let r_values = params.r_values();
+    let results = parallel_map(r_values.clone(), |r| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(params.radius)
+            .with_max_contact_distance(r)
+            .with_target_contacts(params.target_contacts);
+        let mut world = CardWorld::build(&params.scenario, cfg);
+        world.select_all_contacts();
+        let summary = world.reachability_summary(1);
+        (
+            summary.histogram.counts().to_vec(),
+            summary.mean_pct,
+            world.mean_contacts(),
+        )
+    });
+    RSweep {
+        r_values,
+        histograms: results.iter().map(|r| r.0.clone()).collect(),
+        mean_pct: results.iter().map(|r| r.1).collect(),
+        mean_contacts: results.iter().map(|r| r.2).collect(),
+    }
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, sweep: &RSweep) -> String {
+    let edges: Vec<f64> = (1..=20).map(|i| i as f64 * REACH_BUCKET_PCT).collect();
+    let series: Vec<(String, Vec<u64>)> = sweep
+        .r_values
+        .iter()
+        .zip(&sweep.histograms)
+        .map(|(r, h)| (format!("r={r}"), h.clone()))
+        .collect();
+    let mut out = format!(
+        "### Fig 6 — reachability distribution vs r ({}, R={}, NoC={}, D=1)\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.target_contacts,
+        histogram_table(&edges, &series)
+    );
+    out.push_str("\nMean reachability %: ");
+    for (r, m) in sweep.r_values.iter().zip(&sweep.mean_pct) {
+        out.push_str(&format!("r={r}: {m:.1}  "));
+    }
+    out.push_str("\nMean contacts: ");
+    for (r, c) in sweep.r_values.iter().zip(&sweep.mean_contacts) {
+        out.push_str(&format!("r={r}: {c:.2}  "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_grows_with_r() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        // r = 2R: (almost) no contacts, reachability ≈ neighborhood only
+        assert!(
+            sweep.mean_contacts[0] < 0.25,
+            "r=2R should yield ~no contacts, got {:.2}",
+            sweep.mean_contacts[0]
+        );
+        // wider annulus ⇒ more contacts and more reachability
+        let last = sweep.mean_contacts.len() - 1;
+        assert!(sweep.mean_contacts[last] > sweep.mean_contacts[0]);
+        assert!(
+            sweep.mean_pct[last] > sweep.mean_pct[0] + 3.0,
+            "r=2R+4 ({:.1}%) must clearly beat r=2R ({:.1}%)",
+            sweep.mean_pct[last],
+            sweep.mean_pct[0]
+        );
+    }
+
+    #[test]
+    fn r_values_derived_from_offsets() {
+        let params = Params::default();
+        assert_eq!(params.r_values(), vec![6, 8, 10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn histograms_cover_all_nodes() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        for h in &sweep.histograms {
+            assert_eq!(h.iter().sum::<u64>(), params.scenario.nodes as u64);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Fig 7 — effect of NoC on the reachability distribution.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, R=3, r=10, D=1,
+//! NoC = 0, 2, …, 12. Expected shape: reachability rises sharply with the
+//! first few contacts, then saturates around NoC ≈ 6 — the R=3/r=10
+//! annulus only fits so many non-overlapping contact neighborhoods.
+
+use crate::output::histogram_table;
+use crate::runner::parallel_map;
+use card_core::reachability::REACH_BUCKET_PCT;
+use card_core::{CardConfig, CardWorld};
+use net_topology::scenario::{Scenario, SCENARIO_5};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// Maximum contact distance r (paper: 10).
+    pub max_contact_distance: u16,
+    /// NoC sweep values (paper: 0, 2, …, 12).
+    pub noc_values: Vec<usize>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            max_contact_distance: 10,
+            noc_values: (0..=6).map(|k| 2 * k).collect(),
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+            radius: 2,
+            max_contact_distance: 8,
+            noc_values: vec![0, 2, 4, 6],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Results of the NoC sweep.
+#[derive(Clone, Debug)]
+pub struct NocSweep {
+    /// Swept NoC values.
+    pub noc_values: Vec<usize>,
+    /// 5%-bucket histograms per NoC.
+    pub histograms: Vec<Vec<u64>>,
+    /// Mean reachability per NoC.
+    pub mean_pct: Vec<f64>,
+    /// Mean contacts actually selected per NoC (saturation).
+    pub mean_contacts: Vec<f64>,
+}
+
+/// Run the NoC sweep.
+pub fn run(params: &Params) -> NocSweep {
+    let results = parallel_map(params.noc_values.clone(), |noc| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(params.radius)
+            .with_max_contact_distance(params.max_contact_distance)
+            .with_target_contacts(noc);
+        let mut world = CardWorld::build(&params.scenario, cfg);
+        world.select_all_contacts();
+        let summary = world.reachability_summary(1);
+        (
+            summary.histogram.counts().to_vec(),
+            summary.mean_pct,
+            world.mean_contacts(),
+        )
+    });
+    NocSweep {
+        noc_values: params.noc_values.clone(),
+        histograms: results.iter().map(|r| r.0.clone()).collect(),
+        mean_pct: results.iter().map(|r| r.1).collect(),
+        mean_contacts: results.iter().map(|r| r.2).collect(),
+    }
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, sweep: &NocSweep) -> String {
+    let edges: Vec<f64> = (1..=20).map(|i| i as f64 * REACH_BUCKET_PCT).collect();
+    let series: Vec<(String, Vec<u64>)> = sweep
+        .noc_values
+        .iter()
+        .zip(&sweep.histograms)
+        .map(|(noc, h)| (format!("NoC={noc}"), h.clone()))
+        .collect();
+    let mut out = format!(
+        "### Fig 7 — reachability distribution vs NoC ({}, R={}, r={}, D=1)\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.max_contact_distance,
+        histogram_table(&edges, &series)
+    );
+    out.push_str("\nMean reachability %: ");
+    for (noc, m) in sweep.noc_values.iter().zip(&sweep.mean_pct) {
+        out.push_str(&format!("NoC={noc}: {m:.1}  "));
+    }
+    out.push_str("\nMean contacts: ");
+    for (noc, c) in sweep.noc_values.iter().zip(&sweep.mean_contacts) {
+        out.push_str(&format!("NoC={noc}: {c:.2}  "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_rises_then_saturates() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        // NoC=0: bare neighborhood
+        assert_eq!(sweep.mean_contacts[0], 0.0);
+        // first contacts buy the most reachability
+        assert!(
+            sweep.mean_pct[1] > sweep.mean_pct[0] + 2.0,
+            "NoC=2 ({:.1}%) must clearly beat NoC=0 ({:.1}%)",
+            sweep.mean_pct[1],
+            sweep.mean_pct[0]
+        );
+        // saturation: contacts actually selected stop tracking NoC
+        let last = sweep.noc_values.len() - 1;
+        assert!(
+            sweep.mean_contacts[last] < sweep.noc_values[last] as f64,
+            "selection must saturate below the requested NoC"
+        );
+        // monotone non-decreasing means (within noise)
+        for w in sweep.mean_pct.windows(2) {
+            assert!(w[1] >= w[0] - 1.0, "reachability dropped: {w:?}");
+        }
+    }
+
+    #[test]
+    fn noc_zero_distribution_is_neighborhood_only() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        // with R=2 on a 150-node network, neighborhoods stay under ~30%
+        let low_buckets: u64 = sweep.histograms[0][..6].iter().sum();
+        assert_eq!(low_buckets, params.scenario.nodes as u64);
+    }
+}

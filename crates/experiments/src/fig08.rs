@@ -1,0 +1,153 @@
+//! Fig 8 — effect of depth of search D on the reachability distribution.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, R=3, NoC=10, r=10, D = 1, 2, 3.
+//! Expected shape: reachability climbs sharply with D — the contact tree
+//! ("contacts of contacts") is what makes CARD scale. Contacts are selected
+//! once; D is purely a query/analysis parameter, so a single world serves
+//! all three curves.
+
+use crate::output::histogram_table;
+use crate::runner::parallel_map;
+use card_core::reachability::REACH_BUCKET_PCT;
+use card_core::{CardConfig, CardWorld};
+use net_topology::scenario::{Scenario, SCENARIO_5};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// Maximum contact distance r (paper: 10).
+    pub max_contact_distance: u16,
+    /// NoC (paper: 10).
+    pub target_contacts: usize,
+    /// Depth values (paper: 1–3).
+    pub depth_values: Vec<u16>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            max_contact_distance: 10,
+            target_contacts: 10,
+            depth_values: vec![1, 2, 3],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+            radius: 2,
+            max_contact_distance: 8,
+            target_contacts: 4,
+            depth_values: vec![1, 2, 3],
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Results of the depth sweep.
+#[derive(Clone, Debug)]
+pub struct DepthSweep {
+    /// Swept depth values.
+    pub depth_values: Vec<u16>,
+    /// 5%-bucket histograms per depth.
+    pub histograms: Vec<Vec<u64>>,
+    /// Mean reachability per depth.
+    pub mean_pct: Vec<f64>,
+}
+
+/// Run the depth sweep (one selection pass, D varied analytically).
+pub fn run(params: &Params) -> DepthSweep {
+    let cfg = CardConfig::default()
+        .with_seed(params.seed)
+        .with_radius(params.radius)
+        .with_max_contact_distance(params.max_contact_distance)
+        .with_target_contacts(params.target_contacts);
+    let mut world = CardWorld::build(&params.scenario, cfg);
+    world.select_all_contacts();
+
+    // Reachability summaries at different depths are independent reads.
+    let world_ref = &world;
+    let results = parallel_map(params.depth_values.clone(), move |d| {
+        let summary = world_ref.reachability_summary(d);
+        (summary.histogram.counts().to_vec(), summary.mean_pct)
+    });
+    DepthSweep {
+        depth_values: params.depth_values.clone(),
+        histograms: results.iter().map(|r| r.0.clone()).collect(),
+        mean_pct: results.iter().map(|r| r.1).collect(),
+    }
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, sweep: &DepthSweep) -> String {
+    let edges: Vec<f64> = (1..=20).map(|i| i as f64 * REACH_BUCKET_PCT).collect();
+    let series: Vec<(String, Vec<u64>)> = sweep
+        .depth_values
+        .iter()
+        .zip(&sweep.histograms)
+        .map(|(d, h)| (format!("D={d}"), h.clone()))
+        .collect();
+    let mut out = format!(
+        "### Fig 8 — reachability distribution vs D ({}, R={}, r={}, NoC={})\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.max_contact_distance,
+        params.target_contacts,
+        histogram_table(&edges, &series)
+    );
+    out.push_str("\nMean reachability %: ");
+    for (d, m) in sweep.depth_values.iter().zip(&sweep.mean_pct) {
+        out.push_str(&format!("D={d}: {m:.1}  "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_climbs_sharply_with_depth() {
+        let sweep = run(&Params::quick());
+        assert_eq!(sweep.mean_pct.len(), 3);
+        assert!(
+            sweep.mean_pct[1] > sweep.mean_pct[0] * 1.3,
+            "D=2 ({:.1}%) should be well above D=1 ({:.1}%)",
+            sweep.mean_pct[1],
+            sweep.mean_pct[0]
+        );
+        assert!(
+            sweep.mean_pct[2] >= sweep.mean_pct[1],
+            "D=3 must not lose reachability"
+        );
+    }
+
+    #[test]
+    fn histograms_cover_all_nodes() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        for h in &sweep.histograms {
+            assert_eq!(h.iter().sum::<u64>(), params.scenario.nodes as u64);
+        }
+    }
+
+    #[test]
+    fn render_lists_depths() {
+        let params = Params::quick();
+        let text = render(&params, &run(&params));
+        assert!(text.contains("D=1") && text.contains("D=2") && text.contains("D=3"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig 10 — effect of NoC on maintenance overhead over time.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, R=3, r=10, D=1,
+//! NoC ∈ {3, 4, 5, 7}, overhead (control messages) per node plotted at
+//! t = 2, 4, 6, 8, 10 s. Expected shape: more contacts ⇒ more paths to
+//! validate and re-select ⇒ uniformly higher overhead curves.
+
+use crate::mobile::{per_node_series, run_mobile, total_overhead_pred};
+use crate::output::markdown_table;
+use crate::runner::parallel_map;
+use card_core::CardConfig;
+use net_topology::scenario::{Scenario, SCENARIO_5};
+use sim_core::time::SimDuration;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// Maximum contact distance r (paper: 10).
+    pub max_contact_distance: u16,
+    /// NoC sweep values (paper: 3, 4, 5, 7).
+    pub noc_values: Vec<usize>,
+    /// Simulated duration (paper plots 10 s).
+    pub duration_secs: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            max_contact_distance: 10,
+            noc_values: vec![3, 4, 5, 7],
+            duration_secs: 10,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(120, 400.0, 400.0, 50.0),
+            radius: 2,
+            max_contact_distance: 8,
+            noc_values: vec![2, 4],
+            duration_secs: 6,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+
+    /// Number of 2-second buckets.
+    pub fn buckets(&self) -> usize {
+        (self.duration_secs as usize).div_ceil(2)
+    }
+}
+
+/// One overhead-vs-time curve per NoC.
+#[derive(Clone, Debug)]
+pub struct OverheadSweep {
+    /// Swept NoC values.
+    pub noc_values: Vec<usize>,
+    /// Per-bucket overhead per node (selection+maintenance), one series
+    /// per NoC value; bucket k covers [2k, 2k+2) seconds.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Run the sweep.
+pub fn run(params: &Params) -> OverheadSweep {
+    let buckets = params.buckets();
+    let series = parallel_map(params.noc_values.clone(), |noc| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(params.radius)
+            .with_max_contact_distance(params.max_contact_distance)
+            .with_target_contacts(noc);
+        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        per_node_series(&world, total_overhead_pred, buckets)
+    });
+    OverheadSweep { noc_values: params.noc_values.clone(), series }
+}
+
+/// Render as Markdown (rows = report times, columns = NoC values).
+pub fn render(params: &Params, sweep: &OverheadSweep) -> String {
+    let mut headers = vec!["t (s)".to_string()];
+    headers.extend(sweep.noc_values.iter().map(|noc| format!("NoC={noc}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..params.buckets())
+        .map(|k| {
+            let mut row = vec![format!("{}", 2 * (k + 1))];
+            row.extend(sweep.series.iter().map(|s| format!("{:.1}", s[k])));
+            row
+        })
+        .collect();
+    format!(
+        "### Fig 10 — overhead/node vs time by NoC ({}, R={}, r={}, D=1)\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.max_contact_distance,
+        markdown_table(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_contacts_cost_more_overhead() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        assert_eq!(sweep.series.len(), 2);
+        let total_low: f64 = sweep.series[0].iter().sum();
+        let total_high: f64 = sweep.series[1].iter().sum();
+        assert!(
+            total_high > total_low,
+            "NoC=4 overhead ({total_high:.1}) must exceed NoC=2 ({total_low:.1})"
+        );
+    }
+
+    #[test]
+    fn every_bucket_reported() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        for s in &sweep.series {
+            assert_eq!(s.len(), params.buckets());
+        }
+        let text = render(&params, &sweep);
+        assert!(text.contains("NoC=2") && text.contains("NoC=4"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Figs 11 & 12 — effect of r on total and backtracking overhead over time.
+//!
+//! Paper setup: N=500, 710×710 m, tx 50 m, NoC=5, R=3, D=1,
+//! r ∈ {8, 9, 10, 12, 15}. The counter-intuitive headline (§IV.B.2):
+//! total overhead *decreases* with larger r, because a wider annulus makes
+//! CSQ walks succeed sooner — the collapse in backtracking (Fig 12)
+//! outweighs the longer validation paths. Both figures come from the same
+//! runs: Fig 11 plots selection+maintenance, Fig 12 backtracking only.
+
+use crate::mobile::{per_node_series, run_mobile, total_overhead_pred};
+use crate::output::markdown_table;
+use crate::runner::parallel_map;
+use card_core::CardConfig;
+use net_topology::scenario::{Scenario, SCENARIO_5};
+use sim_core::stats::MsgKind;
+use sim_core::time::SimDuration;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// NoC (paper: 5).
+    pub target_contacts: usize,
+    /// r sweep values (paper: 8, 9, 10, 12, 15).
+    pub r_values: Vec<u16>,
+    /// Simulated duration (paper plots 10 s).
+    pub duration_secs: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            target_contacts: 5,
+            r_values: vec![8, 9, 10, 12, 15],
+            duration_secs: 10,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(120, 400.0, 400.0, 50.0),
+            radius: 2,
+            target_contacts: 3,
+            r_values: vec![5, 8],
+            duration_secs: 6,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+
+    /// Number of 2-second buckets.
+    pub fn buckets(&self) -> usize {
+        (self.duration_secs as usize).div_ceil(2)
+    }
+}
+
+/// Total-overhead and backtracking series per swept r.
+#[derive(Clone, Debug)]
+pub struct ROverheadSweep {
+    /// Swept r values.
+    pub r_values: Vec<u16>,
+    /// Fig 11: per-bucket selection+maintenance messages per node.
+    pub total_series: Vec<Vec<f64>>,
+    /// Fig 12: per-bucket backtracking messages per node.
+    pub backtrack_series: Vec<Vec<f64>>,
+}
+
+/// Run the sweep.
+pub fn run(params: &Params) -> ROverheadSweep {
+    let buckets = params.buckets();
+    let results = parallel_map(params.r_values.clone(), |r| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(params.radius)
+            .with_max_contact_distance(r)
+            .with_target_contacts(params.target_contacts);
+        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        (
+            per_node_series(&world, total_overhead_pred, buckets),
+            per_node_series(&world, |k| k == MsgKind::CsqBacktrack, buckets),
+        )
+    });
+    ROverheadSweep {
+        r_values: params.r_values.clone(),
+        total_series: results.iter().map(|r| r.0.clone()).collect(),
+        backtrack_series: results.iter().map(|r| r.1.clone()).collect(),
+    }
+}
+
+fn render_one(
+    title: &str,
+    params: &Params,
+    r_values: &[u16],
+    series: &[Vec<f64>],
+) -> String {
+    let mut headers = vec!["t (s)".to_string()];
+    headers.extend(r_values.iter().map(|r| format!("r={r}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..params.buckets())
+        .map(|k| {
+            let mut row = vec![format!("{}", 2 * (k + 1))];
+            row.extend(series.iter().map(|s| format!("{:.1}", s[k])));
+            row
+        })
+        .collect();
+    format!("{title}\n\n{}", markdown_table(&header_refs, &rows))
+}
+
+/// Render both figures.
+pub fn render(params: &Params, sweep: &ROverheadSweep) -> String {
+    let f11 = render_one(
+        &format!(
+            "### Fig 11 — total overhead/node vs time by r ({}, NoC={}, R={}, D=1)",
+            params.scenario.label(),
+            params.target_contacts,
+            params.radius
+        ),
+        params,
+        &sweep.r_values,
+        &sweep.total_series,
+    );
+    let f12 = render_one(
+        &format!(
+            "### Fig 12 — backtracking overhead/node vs time by r ({}, NoC={}, R={}, D=1)",
+            params.scenario.label(),
+            params.target_contacts,
+            params.radius
+        ),
+        params,
+        &sweep.r_values,
+        &sweep.backtrack_series,
+    );
+    format!("{f11}\n{f12}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backtracking_drops_with_wider_annulus() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        let bt_narrow: f64 = sweep.backtrack_series[0].iter().sum();
+        let bt_wide: f64 = sweep.backtrack_series[1].iter().sum();
+        assert!(
+            bt_wide < bt_narrow,
+            "r={} backtracking ({bt_wide:.1}) must be below r={} ({bt_narrow:.1})",
+            params.r_values[1],
+            params.r_values[0]
+        );
+    }
+
+    #[test]
+    fn total_overhead_follows_backtracking_down() {
+        // The Fig 11 headline: total overhead decreases with r because the
+        // backtracking savings dominate the longer paths.
+        let params = Params::quick();
+        let sweep = run(&params);
+        let t_narrow: f64 = sweep.total_series[0].iter().sum();
+        let t_wide: f64 = sweep.total_series[1].iter().sum();
+        assert!(
+            t_wide < t_narrow * 1.1,
+            "total overhead should not grow materially with r \
+             (r={}: {t_wide:.1} vs r={}: {t_narrow:.1})",
+            params.r_values[1],
+            params.r_values[0]
+        );
+    }
+
+    #[test]
+    fn render_emits_both_figures() {
+        let params = Params::quick();
+        let text = render(&params, &run(&params));
+        assert!(text.contains("Fig 11"));
+        assert!(text.contains("Fig 12"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Fig 14 — the reachability-vs-overhead trade-off.
+//!
+//! Both curves over NoC = 0…10, normalized to their own maxima: mean
+//! reachability (static analysis) and total selection+maintenance overhead
+//! (a 10 s mobile run). The paper's point: reachability saturates while
+//! overhead keeps climbing, leaving a "desirable region" where ≥ 50%
+//! reachability is bought at moderate overhead.
+
+use crate::mobile::{run_mobile, total_overhead_pred};
+use crate::output::markdown_table;
+use crate::runner::parallel_map;
+use card_core::CardConfig;
+use net_topology::scenario::{Scenario, SCENARIO_5};
+use sim_core::time::SimDuration;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Topology family (paper: scenario 5).
+    pub scenario: Scenario,
+    /// Neighborhood radius R (paper: 3).
+    pub radius: u16,
+    /// Maximum contact distance r (16, consistent with Figs 5/9).
+    pub max_contact_distance: u16,
+    /// NoC sweep (paper: 0–10).
+    pub noc_values: Vec<usize>,
+    /// Mobile-run duration for the overhead measurement.
+    pub duration_secs: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scenario: SCENARIO_5,
+            radius: 3,
+            max_contact_distance: 16,
+            noc_values: (0..=10).collect(),
+            duration_secs: 10,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            scenario: Scenario::new(120, 400.0, 400.0, 50.0),
+            radius: 2,
+            max_contact_distance: 8,
+            noc_values: vec![0, 2, 4, 6],
+            duration_secs: 4,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Normalized trade-off curves.
+#[derive(Clone, Debug)]
+pub struct TradeoffSweep {
+    /// Swept NoC values.
+    pub noc_values: Vec<usize>,
+    /// Mean reachability (%) per NoC.
+    pub reachability_pct: Vec<f64>,
+    /// Total overhead per node per NoC.
+    pub overhead_per_node: Vec<f64>,
+    /// Reachability normalized to its maximum (the Fig 14 y-axis).
+    pub reachability_norm: Vec<f64>,
+    /// Overhead normalized to its maximum.
+    pub overhead_norm: Vec<f64>,
+}
+
+/// Run the sweep.
+pub fn run(params: &Params) -> TradeoffSweep {
+    let results = parallel_map(params.noc_values.clone(), |noc| {
+        let cfg = CardConfig::default()
+            .with_seed(params.seed)
+            .with_radius(params.radius)
+            .with_max_contact_distance(params.max_contact_distance)
+            .with_target_contacts(noc);
+        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        let reach = world.reachability_summary(1).mean_pct;
+        let overhead = world.stats().total_where(total_overhead_pred) as f64
+            / world.network().node_count() as f64;
+        (reach, overhead)
+    });
+    let reachability_pct: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let overhead_per_node: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let rmax = reachability_pct.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let omax = overhead_per_node.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    TradeoffSweep {
+        noc_values: params.noc_values.clone(),
+        reachability_norm: reachability_pct.iter().map(|v| v / rmax).collect(),
+        overhead_norm: overhead_per_node.iter().map(|v| v / omax).collect(),
+        reachability_pct,
+        overhead_per_node,
+    }
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, sweep: &TradeoffSweep) -> String {
+    let headers = [
+        "NoC",
+        "Reachability (%)",
+        "Overhead / node",
+        "Reachability (norm)",
+        "Overhead (norm)",
+    ];
+    let rows: Vec<Vec<String>> = sweep
+        .noc_values
+        .iter()
+        .enumerate()
+        .map(|(i, noc)| {
+            vec![
+                noc.to_string(),
+                format!("{:.1}", sweep.reachability_pct[i]),
+                format!("{:.1}", sweep.overhead_per_node[i]),
+                format!("{:.2}", sweep.reachability_norm[i]),
+                format!("{:.2}", sweep.overhead_norm[i]),
+            ]
+        })
+        .collect();
+    format!(
+        "### Fig 14 — reachability vs overhead trade-off ({}, R={}, r={})\n\n{}",
+        params.scenario.label(),
+        params.radius,
+        params.max_contact_distance,
+        markdown_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_curves_rise_with_noc() {
+        let params = Params::quick();
+        let sweep = run(&params);
+        let k = sweep.noc_values.len();
+        assert!(sweep.reachability_pct[k - 1] > sweep.reachability_pct[0]);
+        assert!(sweep.overhead_per_node[k - 1] > sweep.overhead_per_node[0]);
+        // normalized curves peak at 1.0
+        let rmax = sweep.reachability_norm.iter().cloned().fold(f64::MIN, f64::max);
+        let omax = sweep.overhead_norm.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((rmax - 1.0).abs() < 1e-9);
+        assert!((omax - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tradeoff_exists() {
+        // Reachability saturates; overhead does not: their normalized gap
+        // should widen at high NoC. At minimum they must not be identical.
+        let params = Params::quick();
+        let sweep = run(&params);
+        assert_ne!(sweep.reachability_norm, sweep.overhead_norm);
+    }
+}

@@ -1,0 +1,339 @@
+//! Fig 15 — CARD vs flooding vs bordercasting.
+//!
+//! Paper setup: querying traffic per node for 50 queries between random
+//! source/destination pairs, at N ∈ {250, 500, 1000}; CARD additionally
+//! shows its contact selection + maintenance overhead as a separate series.
+//! Expected shape: flooding ≫ bordercasting ≫ CARD, with the gap widening
+//! with network size; flooding/bordercasting succeed on 100% of
+//! (connected) queries, CARD on ~95% at D=3.
+//!
+//! Query pairs are drawn from the largest connected component so that the
+//! baselines' "100% success" is well-defined, mirroring the paper.
+
+use crate::output::markdown_table;
+use crate::runner::parallel_map;
+use card_core::{CardConfig, CardWorld};
+use manet_routing::flooding::flood_search;
+use manet_routing::network::Network;
+use manet_routing::zrp::{bordercast_search, BordercastConfig};
+use mobility::waypoint::RandomWaypoint;
+use net_topology::bfs::full_bfs;
+use net_topology::node::NodeId;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Per-size CARD tuning: the Fig 9 configurations (the paper tunes R, r and
+/// NoC per network size). Bordercasting shares the same zone radius — both
+/// protocols run on the identical proactive zone infrastructure.
+#[derive(Clone, Debug)]
+pub struct SizeCase {
+    /// Topology family.
+    pub scenario: Scenario,
+    /// Zone/neighborhood radius shared by CARD and bordercasting.
+    pub radius: u16,
+    /// CARD maximum contact distance.
+    pub max_contact_distance: u16,
+    /// CARD NoC.
+    pub target_contacts: usize,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// The network sizes to compare.
+    pub cases: Vec<SizeCase>,
+    /// Number of random queries (paper: 50).
+    pub queries: usize,
+    /// CARD depth of search (paper: D=3 → ~95% success).
+    pub depth: u16,
+    /// Mobile maintenance window for CARD's overhead series (seconds).
+    pub overhead_window_secs: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            cases: vec![
+                SizeCase {
+                    scenario: Scenario::new(250, 500.0, 500.0, 50.0),
+                    radius: 3,
+                    max_contact_distance: 14,
+                    target_contacts: 10,
+                },
+                SizeCase {
+                    scenario: Scenario::new(500, 710.0, 710.0, 50.0),
+                    radius: 5,
+                    max_contact_distance: 17,
+                    target_contacts: 12,
+                },
+                SizeCase {
+                    scenario: Scenario::new(1000, 1000.0, 1000.0, 50.0),
+                    radius: 6,
+                    max_contact_distance: 24,
+                    target_contacts: 15,
+                },
+            ],
+            queries: 50,
+            depth: 3,
+            overhead_window_secs: 10,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Reduced configuration for benches/CI.
+    pub fn quick() -> Self {
+        Params {
+            cases: vec![SizeCase {
+                scenario: Scenario::new(150, 400.0, 400.0, 50.0),
+                radius: 2,
+                max_contact_distance: 10,
+                target_contacts: 5,
+            }],
+            queries: 15,
+            depth: 3,
+            overhead_window_secs: 4,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Comparison numbers for one network size.
+#[derive(Clone, Debug)]
+pub struct SizeResult {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Flooding query traffic per node.
+    pub flooding_per_node: f64,
+    /// Bordercasting (QD1+QD2) query traffic per node.
+    pub bordercast_per_node: f64,
+    /// CARD query traffic per node.
+    pub card_query_per_node: f64,
+    /// CARD selection+maintenance overhead per node (the extra series the
+    /// paper plots alongside).
+    pub card_overhead_per_node: f64,
+    /// Success rates over the query set.
+    pub flooding_success: f64,
+    /// Bordercast success rate.
+    pub bordercast_success: f64,
+    /// CARD success rate (paper: ~95% at D=3).
+    pub card_success: f64,
+}
+
+/// Nodes of the largest connected component.
+fn largest_component(net: &Network) -> Vec<NodeId> {
+    let n = net.node_count();
+    let mut seen = vec![false; n];
+    let mut best: Vec<NodeId> = Vec::new();
+    for s in NodeId::all(n) {
+        if seen[s.index()] {
+            continue;
+        }
+        let bfs = full_bfs(net.adj(), s);
+        for &v in bfs.visited() {
+            seen[v.index()] = true;
+        }
+        if bfs.visited_count() > best.len() {
+            best = bfs.visited().to_vec();
+        }
+    }
+    best
+}
+
+/// Draw `count` source≠target pairs from `pool`.
+fn draw_pairs(
+    pool: &[NodeId],
+    count: usize,
+    rng: &mut sim_core::rng::RngStream,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(pool.len() >= 2, "need at least two connected nodes");
+    (0..count)
+        .map(|_| loop {
+            let s = *rng.choose(pool).expect("non-empty");
+            let t = *rng.choose(pool).expect("non-empty");
+            if s != t {
+                break (s, t);
+            }
+        })
+        .collect()
+}
+
+/// Run the comparison for one size case.
+fn run_case(case: &SizeCase, params: &Params) -> SizeResult {
+    let splitter = SeedSplitter::new(params.seed);
+    let net = Network::from_scenario(&case.scenario, case.radius, params.seed);
+    let n = net.node_count() as f64;
+    let pool = largest_component(&net);
+    let mut pair_rng = splitter.stream("fig15-pairs", case.scenario.nodes as u64);
+    let pairs = draw_pairs(&pool, params.queries, &mut pair_rng);
+
+    // --- flooding ---
+    let mut flood_stats = MsgStats::default();
+    let mut flood_hits = 0usize;
+    for &(s, t) in &pairs {
+        if flood_search(net.adj(), s, t, &mut flood_stats, SimTime::ZERO).found {
+            flood_hits += 1;
+        }
+    }
+
+    // --- bordercasting (QD1 + QD2) ---
+    let mut bc_stats = MsgStats::default();
+    let mut bc_hits = 0usize;
+    for &(s, t) in &pairs {
+        let out = bordercast_search(
+            net.adj(),
+            net.tables(),
+            s,
+            t,
+            &BordercastConfig::default(),
+            &mut bc_stats,
+            SimTime::ZERO,
+        );
+        if out.found {
+            bc_hits += 1;
+        }
+    }
+
+    // --- CARD: same topology (same seed ⇒ same placement) ---
+    let cfg = CardConfig::default()
+        .with_seed(params.seed)
+        .with_radius(case.radius)
+        .with_max_contact_distance(case.max_contact_distance)
+        .with_target_contacts(case.target_contacts)
+        .with_depth(params.depth);
+    let mut world = CardWorld::build(&case.scenario, cfg);
+    world.select_all_contacts();
+    // Queries run against the converged architecture (fresh tables), as in
+    // the paper's querying experiment.
+    let mut card_hits = 0usize;
+    for &(s, t) in &pairs {
+        if world.query(s, t).found {
+            card_hits += 1;
+        }
+    }
+    let card_query = world
+        .stats()
+        .total(MsgKind::Dsq)
+        .saturating_add(world.stats().total(MsgKind::DsqReply)) as f64;
+
+    // Maintenance window under mobility — the paper's separate CARD
+    // overhead series. (No queries run here, so the Dsq totals above are
+    // unaffected.)
+    let mut model = RandomWaypoint::new(
+        case.scenario.nodes,
+        case.scenario.field(),
+        crate::mobile::DEFAULT_SPEED.0,
+        crate::mobile::DEFAULT_SPEED.1,
+        0.0,
+        splitter.stream("fig15-mobility", case.scenario.nodes as u64),
+    );
+    world.run_mobile(&mut model, SimDuration::from_secs(params.overhead_window_secs));
+    let overhead = world.stats().total_where(crate::mobile::total_overhead_pred) as f64;
+
+    let q = params.queries as f64;
+    SizeResult {
+        nodes: case.scenario.nodes,
+        flooding_per_node: flood_stats.total(MsgKind::Flood) as f64 / n,
+        bordercast_per_node: bc_stats.total(MsgKind::Bordercast) as f64 / n,
+        card_query_per_node: card_query / n,
+        card_overhead_per_node: overhead / n,
+        flooding_success: flood_hits as f64 / q,
+        bordercast_success: bc_hits as f64 / q,
+        card_success: card_hits as f64 / q,
+    }
+}
+
+/// Run every size case.
+pub fn run(params: &Params) -> Vec<SizeResult> {
+    parallel_map(params.cases.clone(), |case| run_case(&case, params))
+}
+
+/// Render as Markdown.
+pub fn render(params: &Params, results: &[SizeResult]) -> String {
+    let headers = [
+        "Nodes",
+        "Flooding msgs/node",
+        "Bordercast msgs/node",
+        "CARD query msgs/node",
+        "CARD sel+maint msgs/node",
+        "Flood success",
+        "BC success",
+        "CARD success",
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                format!("{:.1}", r.flooding_per_node),
+                format!("{:.1}", r.bordercast_per_node),
+                format!("{:.1}", r.card_query_per_node),
+                format!("{:.1}", r.card_overhead_per_node),
+                format!("{:.0}%", 100.0 * r.flooding_success),
+                format!("{:.0}%", 100.0 * r.bordercast_success),
+                format!("{:.0}%", 100.0 * r.card_success),
+            ]
+        })
+        .collect();
+    format!(
+        "### Fig 15 — querying traffic: CARD vs flooding vs bordercasting ({} queries, D={})\n\n{}",
+        params.queries,
+        params.depth,
+        markdown_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_beats_baselines_on_query_traffic() {
+        let params = Params::quick();
+        let results = run(&params);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(
+            r.flooding_per_node > r.bordercast_per_node,
+            "flooding ({:.1}) must exceed bordercasting ({:.1})",
+            r.flooding_per_node,
+            r.bordercast_per_node
+        );
+        assert!(
+            r.bordercast_per_node > r.card_query_per_node,
+            "bordercasting ({:.1}) must exceed CARD ({:.1})",
+            r.bordercast_per_node,
+            r.card_query_per_node
+        );
+    }
+
+    #[test]
+    fn success_rates_ordered_as_paper() {
+        let params = Params::quick();
+        let r = &run(&params)[0];
+        assert_eq!(r.flooding_success, 1.0, "flooding always succeeds in-component");
+        assert_eq!(r.bordercast_success, 1.0, "bordercasting always succeeds in-component");
+        assert!(
+            r.card_success >= 0.6,
+            "CARD should find most targets at D=3, got {:.0}%",
+            100.0 * r.card_success
+        );
+    }
+
+    #[test]
+    fn largest_component_is_connected_pool() {
+        let params = Params::quick();
+        let net = Network::from_scenario(&params.cases[0].scenario, 2, params.seed);
+        let pool = largest_component(&net);
+        assert!(pool.len() >= 2);
+        let bfs = full_bfs(net.adj(), pool[0]);
+        for &v in &pool {
+            assert!(bfs.reached(v), "pool member {v} not connected to pool head");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # experiments — the paper's full evaluation, regenerated
+//!
+//! One module per table/figure of §IV (see `DESIGN.md` for the index).
+//! Every module exposes:
+//!
+//! * a parameter struct whose `Default` is the paper's configuration (the
+//!   figure captions), with a `quick()` constructor for fast CI/bench runs;
+//! * a `run(...)` function returning structured results;
+//! * a `render(...)` function producing the Markdown table the
+//!   `repro` binary prints (and `EXPERIMENTS.md` records).
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro table1            # Table 1
+//! repro fig3 … fig15      # individual figures
+//! repro smallworld        # extension: contacts as small-world shortcuts
+//! repro resources         # extension: §V resource-distribution study
+//! repro all               # everything, paper-sized
+//! repro all --quick       # everything, small sizes (seconds)
+//! ```
+
+#![warn(missing_docs)]
+pub mod fig03_04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11_12;
+pub mod ext_resources;
+pub mod ext_smallworld;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod mobile;
+pub mod output;
+pub mod runner;
+pub mod table1;
+
+/// Default root seed for all experiments (every run is deterministic).
+pub const DEFAULT_SEED: u64 = 2003;

@@ -1,0 +1,100 @@
+//! Shared driver for the mobile overhead experiments (Figs 10–14).
+//!
+//! Each experiment: build a world, run the initial from-scratch contact
+//! selection at t=0 (the burst that dominates the first reporting bucket),
+//! then run the §III.C.3 maintenance loop under random-waypoint mobility
+//! for the figure's duration, reading back per-2-second-bucket
+//! control-message counts. Re-selection after losses is trickled
+//! (`selection_walks_per_round`), which reproduces Fig 13's shape: a high
+//! initial bucket declining toward the steady validation cost while the
+//! total contact count creeps upward as stable contacts accumulate.
+//!
+//! The paper does not state node speeds or pause times; we use the standard
+//! pedestrian/vehicle RWP range (uniform 0.5–5 m/s, zero pause) — §III.C.3
+//! assumes "reasonable values of node velocities and validation frequency",
+//! i.e. drift per validation period well below a hop length — and document it
+//! in `EXPERIMENTS.md`. Shapes, not absolute counts, are the reproduction
+//! target.
+
+use card_core::{CardConfig, CardWorld};
+use mobility::waypoint::RandomWaypoint;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::stats::MsgKind;
+use sim_core::time::SimDuration;
+
+/// Default RWP speed range (m/s).
+pub const DEFAULT_SPEED: (f64, f64) = (0.5, 5.0);
+
+/// Build a world, select contacts at t=0, run mobile maintenance for
+/// `duration`.
+pub fn run_mobile(scenario: &Scenario, cfg: CardConfig, duration: SimDuration) -> CardWorld {
+    let mut world = CardWorld::build(scenario, cfg);
+    world.select_all_contacts();
+    let mut model = RandomWaypoint::new(
+        scenario.nodes,
+        scenario.field(),
+        DEFAULT_SPEED.0,
+        DEFAULT_SPEED.1,
+        0.0,
+        SeedSplitter::new(cfg.seed).stream("mobility", 0),
+    );
+    world.run_mobile(&mut model, duration);
+    world
+}
+
+/// Per-bucket control messages **per node** for kinds matching `pred`,
+/// padded/truncated to exactly `buckets` entries (bucket width is the
+/// world's 2 s default; bucket k covers `[2k, 2k+2)` seconds).
+pub fn per_node_series(
+    world: &CardWorld,
+    pred: impl Fn(MsgKind) -> bool + Copy,
+    buckets: usize,
+) -> Vec<f64> {
+    let n = world.network().node_count() as f64;
+    let mut series = world.stats().series_where(pred);
+    series.resize(buckets, 0);
+    series.truncate(buckets);
+    series.iter().map(|&c| c as f64 / n).collect()
+}
+
+/// Selection + maintenance overhead (the paper's §IV.B "total overhead").
+pub fn total_overhead_pred(kind: MsgKind) -> bool {
+    kind.is_selection() || kind.is_maintenance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_run_produces_bucketed_overhead() {
+        let scenario = Scenario::new(100, 350.0, 350.0, 50.0);
+        let cfg = CardConfig::default()
+            .with_radius(2)
+            .with_max_contact_distance(8)
+            .with_target_contacts(3)
+            .with_seed(5);
+        let world = run_mobile(&scenario, cfg, SimDuration::from_secs(6));
+        let series = per_node_series(&world, total_overhead_pred, 3);
+        assert_eq!(series.len(), 3);
+        assert!(series[0] > 0.0, "bucket 0 contains the initial selection");
+        assert!(
+            series[1] > 0.0,
+            "later buckets contain maintenance: {series:?}"
+        );
+    }
+
+    #[test]
+    fn series_pads_missing_buckets() {
+        let scenario = Scenario::new(60, 300.0, 300.0, 50.0);
+        let cfg = CardConfig::default()
+            .with_radius(2)
+            .with_max_contact_distance(8)
+            .with_target_contacts(2)
+            .with_seed(6);
+        let world = run_mobile(&scenario, cfg, SimDuration::from_secs(2));
+        let series = per_node_series(&world, total_overhead_pred, 10);
+        assert_eq!(series.len(), 10);
+    }
+}

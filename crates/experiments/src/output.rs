@@ -1,0 +1,101 @@
+//! Markdown rendering helpers shared by all experiment modules.
+
+/// Render a Markdown table: `headers` then one row per entry.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a reachability histogram family as a Markdown table with one
+/// column per series: rows are 5% buckets, cells are node counts.
+pub fn histogram_table(bucket_edges: &[f64], series: &[(String, Vec<u64>)]) -> String {
+    let mut headers: Vec<String> = vec!["Reachability ≤ (%)".to_string()];
+    headers.extend(series.iter().map(|(label, _)| label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let rows: Vec<Vec<String>> = bucket_edges
+        .iter()
+        .enumerate()
+        .map(|(i, edge)| {
+            let mut row = vec![format!("{edge:.0}")];
+            row.extend(series.iter().map(|(_, counts)| counts[i].to_string()));
+            row
+        })
+        .collect();
+    markdown_table(&header_refs, &rows)
+}
+
+/// Compact one-line summary of a numeric series.
+pub fn series_line(label: &str, values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.1}")).collect();
+    format!("{label}: [{}]", cells.join(", "))
+}
+
+/// A crude ASCII bar, handy for eyeballing distributions in the terminal.
+pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+        assert_eq!(lines[3], "| 3 | 4 |");
+    }
+
+    #[test]
+    fn histogram_table_columns() {
+        let t = histogram_table(
+            &[5.0, 10.0],
+            &[("R=1".to_string(), vec![3, 4]), ("R=2".to_string(), vec![1, 2])],
+        );
+        assert!(t.contains("| 5 | 3 | 1 |"));
+        assert!(t.contains("| 10 | 4 | 2 |"));
+        assert!(t.starts_with("| Reachability ≤ (%) | R=1 | R=2 |"));
+    }
+
+    #[test]
+    fn series_line_format() {
+        assert_eq!(series_line("x", &[1.0, 2.25]), "x: [1.0, 2.2]");
+    }
+
+    #[test]
+    fn ascii_bar_bounds() {
+        assert_eq!(ascii_bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(ascii_bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(ascii_bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,127 @@
+//! Table 1 — topology statistics of the eight simulation scenarios.
+//!
+//! Paper columns: number of links, node degree, network diameter, average
+//! hops. Our topologies are fresh random draws, so values match in
+//! magnitude, not digit-for-digit; the paper's numbers are carried along
+//! for side-by-side comparison. Sparse scenarios (3 in particular) are
+//! disconnected — diameter/avg-hops are over connected pairs, and we report
+//! the component structure the paper omits.
+
+use crate::output::markdown_table;
+use crate::runner::parallel_map;
+use net_topology::metrics::TopologyMetrics;
+use net_topology::scenario::{Scenario, TABLE1_SCENARIOS};
+
+/// Paper-reported row values (links, degree, diameter, avg hops).
+pub const PAPER_ROWS: [(f64, f64, u16, f64); 8] = [
+    (837.0, 6.75, 23, 9.378),
+    (632.0, 5.223, 25, 9.614),
+    (284.0, 2.57, 13, 3.76),
+    (702.0, 4.32, 20, 5.8744),
+    (1854.0, 7.416, 29, 11.641),
+    (3564.0, 14.184, 17, 7.06),
+    (8019.0, 16.038, 24, 8.75),
+    (4062.0, 8.156, 37, 14.33),
+];
+
+/// One measured row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// The scenario parameters.
+    pub scenario: Scenario,
+    /// Measured metrics for our random draw.
+    pub metrics: TopologyMetrics,
+}
+
+/// Instantiate every Table 1 scenario with `seed` and measure it.
+pub fn run(seed: u64) -> Vec<Table1Row> {
+    parallel_map(TABLE1_SCENARIOS.to_vec(), |scenario| {
+        let (_, adj) = scenario.instantiate(seed);
+        Table1Row {
+            scenario,
+            metrics: TopologyMetrics::compute(&adj),
+        }
+    })
+}
+
+/// Render measured-vs-paper as a Markdown table.
+pub fn render(rows: &[Table1Row]) -> String {
+    let headers = [
+        "#", "Nodes", "Area", "Tx", "Links (ours/paper)", "Degree (ours/paper)",
+        "Diameter (ours/paper)", "Avg hops (ours/paper)", "Components",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let m = &row.metrics;
+            let s = &row.scenario;
+            let p = PAPER_ROWS[i];
+            vec![
+                (i + 1).to_string(),
+                s.nodes.to_string(),
+                format!("{:.0}x{:.0}", s.width, s.height),
+                format!("{:.0}", s.tx_range),
+                format!("{} / {:.0}", m.links, p.0),
+                format!("{:.2} / {:.2}", m.avg_degree, p.1),
+                format!("{} / {}", m.diameter, p.2),
+                format!("{:.2} / {:.2}", m.avg_hops, p.3),
+                m.components.to_string(),
+            ]
+        })
+        .collect();
+    format!("### Table 1 — scenario topology statistics\n\n{}", markdown_table(&headers, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_eight_rows() {
+        let rows = run(1);
+        assert_eq!(rows.len(), 8);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.metrics.nodes, TABLE1_SCENARIOS[i].nodes);
+        }
+    }
+
+    #[test]
+    fn magnitudes_track_paper() {
+        let rows = run(1);
+        for (i, row) in rows.iter().enumerate() {
+            let (paper_links, paper_degree, ..) = PAPER_ROWS[i];
+            let links_ratio = row.metrics.links as f64 / paper_links;
+            assert!(
+                (0.5..2.0).contains(&links_ratio),
+                "scenario {}: links {} vs paper {paper_links}",
+                i + 1,
+                row.metrics.links
+            );
+            let degree_ratio = row.metrics.avg_degree / paper_degree;
+            assert!(
+                (0.5..2.0).contains(&degree_ratio),
+                "scenario {}: degree {:.2} vs paper {paper_degree}",
+                i + 1,
+                row.metrics.avg_degree
+            );
+        }
+    }
+
+    #[test]
+    fn denser_tx_means_more_links() {
+        // scenarios 4/5/6 share N and area, tx 30/50/70
+        let rows = run(2);
+        assert!(rows[3].metrics.links < rows[4].metrics.links);
+        assert!(rows[4].metrics.links < rows[5].metrics.links);
+    }
+
+    #[test]
+    fn render_contains_every_scenario() {
+        let rows = run(1);
+        let text = render(&rows);
+        assert!(text.contains("710x710"));
+        assert!(text.contains("1000x1000"));
+        assert_eq!(text.matches('\n').count(), 1 + 1 + 2 + 8); // title + blank + header/sep + 8 rows
+    }
+}

@@ -1,0 +1,176 @@
+//! Global flooding search — baseline #1 of Fig 15.
+//!
+//! The classic reactive discovery of AODV/DSR route requests: the source
+//! broadcasts the query; every node hearing it for the first time
+//! rebroadcasts once (duplicate suppression); the target answers along the
+//! reverse path. Every rebroadcast is one control message, so a flood over
+//! a connected component of size C costs C transmissions (the target does
+//! not rebroadcast) regardless of where the target sits — which is exactly
+//! why the paper calls flooding unscalable.
+
+use net_topology::bfs::full_bfs;
+use net_topology::graph::Adjacency;
+use net_topology::node::NodeId;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::SimTime;
+
+/// Result of one flooding search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FloodOutcome {
+    /// Was the target reached?
+    pub found: bool,
+    /// Broadcast transmissions performed (one per flooding node).
+    pub transmissions: u64,
+    /// Reply messages along the reverse path (target→source hops).
+    pub reply_messages: u64,
+    /// Hop distance source→target if found.
+    pub hops_to_target: Option<u16>,
+}
+
+impl FloodOutcome {
+    /// Total control messages: flood + reply.
+    pub fn total_messages(&self) -> u64 {
+        self.transmissions + self.reply_messages
+    }
+}
+
+/// Flood from `source` looking for `target`; records messages into `stats`
+/// at virtual time `at`.
+pub fn flood_search(
+    adj: &Adjacency,
+    source: NodeId,
+    target: NodeId,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> FloodOutcome {
+    if source == target {
+        return FloodOutcome {
+            found: true,
+            transmissions: 0,
+            reply_messages: 0,
+            hops_to_target: Some(0),
+        };
+    }
+    let bfs = full_bfs(adj, source);
+    let found = bfs.reached(target);
+    // Every node in the component rebroadcasts exactly once, except the
+    // target (it answers instead of forwarding).
+    let component = bfs.visited_count() as u64;
+    let transmissions = if found { component - 1 } else { component };
+    let (reply, hops) = if found {
+        let d = bfs.distance(target).expect("reached");
+        (d as u64, Some(d))
+    } else {
+        (0, None)
+    };
+    stats.record_n(at, MsgKind::Flood, transmissions);
+    stats.record_n(at, MsgKind::Flood, reply);
+    FloodOutcome {
+        found,
+        transmissions,
+        reply_messages: reply,
+        hops_to_target: hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sim_core::time::SimDuration;
+
+    fn stats() -> MsgStats {
+        MsgStats::new(SimDuration::from_secs(2))
+    }
+
+    fn path5() -> Adjacency {
+        let mut adj = Adjacency::with_nodes(5);
+        for i in 0..4u32 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        adj
+    }
+
+    #[test]
+    fn finds_target_on_path() {
+        let adj = path5();
+        let mut st = stats();
+        let out = flood_search(&adj, NodeId(0), NodeId(4), &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.hops_to_target, Some(4));
+        // component = 5; all but target broadcast = 4; reply = 4 hops
+        assert_eq!(out.transmissions, 4);
+        assert_eq!(out.reply_messages, 4);
+        assert_eq!(out.total_messages(), 8);
+        assert_eq!(st.total(MsgKind::Flood), 8);
+    }
+
+    #[test]
+    fn miss_in_disconnected_component() {
+        let mut adj = Adjacency::with_nodes(6);
+        adj.add_edge(NodeId(0), NodeId(1));
+        adj.add_edge(NodeId(1), NodeId(2));
+        adj.add_edge(NodeId(4), NodeId(5));
+        let mut st = stats();
+        let out = flood_search(&adj, NodeId(0), NodeId(5), &mut st, SimTime::ZERO);
+        assert!(!out.found);
+        assert_eq!(out.hops_to_target, None);
+        // whole component of the source floods: nodes {0,1,2}
+        assert_eq!(out.transmissions, 3);
+        assert_eq!(out.reply_messages, 0);
+    }
+
+    #[test]
+    fn self_query_is_free() {
+        let adj = path5();
+        let mut st = stats();
+        let out = flood_search(&adj, NodeId(2), NodeId(2), &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.total_messages(), 0);
+        assert_eq!(st.grand_total(), 0);
+    }
+
+    #[test]
+    fn adjacent_target_costs_component_anyway() {
+        // Flooding has no early termination: even a 1-hop target floods the
+        // whole component (minus the target itself).
+        let adj = path5();
+        let mut st = stats();
+        let out = flood_search(&adj, NodeId(0), NodeId(1), &mut st, SimTime::ZERO);
+        assert!(out.found);
+        assert_eq!(out.transmissions, 4);
+        assert_eq!(out.reply_messages, 1);
+    }
+
+    fn random_graph(n: usize, edges: &[(u32, u32)]) -> Adjacency {
+        let mut adj = Adjacency::with_nodes(n);
+        for &(a, b) in edges {
+            let a = a % n as u32;
+            let b = b % n as u32;
+            if a != b {
+                adj.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        adj
+    }
+
+    proptest! {
+        /// Flooding finds the target iff it is in the source's component,
+        /// and costs component-size messages (±1 for the target).
+        #[test]
+        fn prop_flood_semantics(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..50),
+            s in 0u32..20, t in 0u32..20,
+        ) {
+            let adj = random_graph(20, &edges);
+            let bfs = full_bfs(&adj, NodeId(s));
+            let mut st = stats();
+            let out = flood_search(&adj, NodeId(s), NodeId(t), &mut st, SimTime::ZERO);
+            prop_assert_eq!(out.found, bfs.reached(NodeId(t)));
+            if s != t {
+                let c = bfs.visited_count() as u64;
+                prop_assert_eq!(out.transmissions, if out.found { c - 1 } else { c });
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # manet-routing — routing substrates for the CARD reproduction
+//!
+//! CARD sits on top of a *proactive intra-neighborhood* routing layer and is
+//! evaluated against two reactive discovery baselines. This crate implements
+//! all of them:
+//!
+//! * [`neighborhood`] — R-hop neighborhood (zone) tables: membership,
+//!   distances, edge nodes and intra-zone paths. These tables are the
+//!   idealized converged state of a proactive protocol such as DSDV, which
+//!   is exactly what the paper assumes (§III.C: "Each node proactively
+//!   (using a protocol such as DSDV) maintains state for all the nodes in
+//!   its neighborhood");
+//! * [`dsdv`] — a real sequence-numbered distance-vector protocol, run in
+//!   synchronous rounds, demonstrating that the oracle tables are attainable
+//!   and at what message cost;
+//! * [`network`] — [`network::Network`]: positions + connectivity +
+//!   neighborhood tables + mobility stepping, the world object every
+//!   experiment drives;
+//! * [`flooding`] — global flooding search (baseline #1 of Fig 15);
+//! * [`zrp`] — ZRP-style bordercasting with query detection QD1/QD2
+//!   (baseline #2 of Fig 15, after Pearlman & Haas);
+//! * [`expanding_ring`] — TTL-staged expanding ring search (the comparison
+//!   point of §III.C.4, used in ablation benches).
+
+#![warn(missing_docs)]
+pub mod dsdv;
+pub mod expanding_ring;
+pub mod flooding;
+pub mod neighborhood;
+pub mod network;
+pub mod zrp;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::dsdv::DsdvSim;
+    pub use crate::expanding_ring::{expanding_ring_search, ErsOutcome};
+    pub use crate::flooding::{flood_search, FloodOutcome};
+    pub use crate::neighborhood::NeighborhoodTables;
+    pub use crate::network::Network;
+    pub use crate::zrp::{bordercast_search, BordercastConfig, BordercastOutcome, QueryDetection};
+}
+
+pub use dsdv::DsdvSim;
+pub use expanding_ring::{expanding_ring_search, ErsOutcome};
+pub use flooding::{flood_search, FloodOutcome};
+pub use neighborhood::NeighborhoodTables;
+pub use network::Network;
+pub use zrp::{bordercast_search, BordercastConfig, BordercastOutcome, QueryDetection};

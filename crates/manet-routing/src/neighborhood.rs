@@ -1,0 +1,262 @@
+//! R-hop neighborhood (zone) tables.
+//!
+//! A node's *neighborhood* is every node within R hops (§III.B); its *edge
+//! nodes* are those at exactly R hops. `NeighborhoodTables` materializes,
+//! for every node at once:
+//!
+//! * a membership bitset (the O(1) "is the source / a contact / an edge node
+//!   inside my neighborhood?" overlap checks of contact selection),
+//! * hop distances and BFS parents (for intra-zone path extraction — the
+//!   paths returned by queries and spliced in by local recovery).
+//!
+//! The tables represent the *converged* state of the proactive intra-zone
+//! protocol; [`crate::dsdv`] shows a real protocol converging to them.
+
+use net_topology::bfs::{khop_bfs, BfsResult};
+use net_topology::graph::Adjacency;
+use net_topology::node::NodeId;
+use sim_core::util::BitSet;
+
+/// Neighborhood state of one node.
+#[derive(Clone, Debug)]
+pub struct Neighborhood {
+    /// Membership bitset over all node ids (includes the owner itself).
+    members: BitSet,
+    /// Nodes at exactly R hops, sorted by id.
+    edge_nodes: Vec<NodeId>,
+    /// Underlying hop-limited BFS (distances + parents).
+    bfs: BfsResult,
+}
+
+impl Neighborhood {
+    /// Is `node` within R hops of the owner (the owner itself counts)?
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(node.index())
+    }
+
+    /// Membership bitset (self included).
+    pub fn members(&self) -> &BitSet {
+        &self.members
+    }
+
+    /// Number of members including the owner.
+    pub fn size(&self) -> usize {
+        self.bfs.visited_count()
+    }
+
+    /// Nodes at exactly R hops from the owner.
+    pub fn edge_nodes(&self) -> &[NodeId] {
+        &self.edge_nodes
+    }
+
+    /// Hop distance to a member (`None` if outside the neighborhood).
+    pub fn distance(&self, node: NodeId) -> Option<u16> {
+        self.bfs.distance(node)
+    }
+
+    /// Hop-shortest intra-zone path from the owner to `node` (inclusive).
+    pub fn path_to(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.bfs.path_to(node)
+    }
+
+    /// Members in discovery order (owner first).
+    pub fn iter_members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bfs.visited().iter().copied()
+    }
+}
+
+/// Per-node neighborhood tables for a whole network snapshot.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodTables {
+    radius: u16,
+    tables: Vec<Neighborhood>,
+}
+
+impl NeighborhoodTables {
+    /// Compute R-hop tables for every node (one hop-limited BFS per node).
+    pub fn compute(adj: &Adjacency, radius: u16) -> Self {
+        let n = adj.node_count();
+        let tables = NodeId::all(n)
+            .map(|src| {
+                let bfs = khop_bfs(adj, src, radius);
+                let mut members = BitSet::new(n);
+                let mut edge_nodes = Vec::new();
+                for &v in bfs.visited() {
+                    members.insert(v.index());
+                    if bfs.distance(v) == Some(radius) {
+                        edge_nodes.push(v);
+                    }
+                }
+                edge_nodes.sort_unstable();
+                Neighborhood { members, edge_nodes, bfs }
+            })
+            .collect();
+        NeighborhoodTables { radius, tables }
+    }
+
+    /// The zone radius R these tables were built with.
+    pub fn radius(&self) -> u16 {
+        self.radius
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The neighborhood of `owner`.
+    #[inline]
+    pub fn of(&self, owner: NodeId) -> &Neighborhood {
+        &self.tables[owner.index()]
+    }
+
+    /// Convenience: is `node` inside `owner`'s neighborhood?
+    #[inline]
+    pub fn contains(&self, owner: NodeId, node: NodeId) -> bool {
+        self.of(owner).contains(node)
+    }
+
+    /// Mean neighborhood size (owner included) over all nodes.
+    pub fn mean_size(&self) -> f64 {
+        if self.tables.is_empty() {
+            return 0.0;
+        }
+        self.tables.iter().map(|t| t.size()).sum::<usize>() as f64 / self.tables.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_topology::bfs::full_bfs;
+    use proptest::prelude::*;
+
+    /// 0-1-2-3-4 path.
+    fn path5() -> Adjacency {
+        let mut adj = Adjacency::with_nodes(5);
+        for i in 0..4u32 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        adj
+    }
+
+    #[test]
+    fn membership_and_edges_on_path() {
+        let tables = NeighborhoodTables::compute(&path5(), 2);
+        let nb0 = tables.of(NodeId(0));
+        assert!(nb0.contains(NodeId(0)));
+        assert!(nb0.contains(NodeId(1)));
+        assert!(nb0.contains(NodeId(2)));
+        assert!(!nb0.contains(NodeId(3)));
+        assert_eq!(nb0.size(), 3);
+        assert_eq!(nb0.edge_nodes(), &[NodeId(2)]);
+        let nb2 = tables.of(NodeId(2));
+        assert_eq!(nb2.size(), 5);
+        assert_eq!(nb2.edge_nodes(), &[NodeId(0), NodeId(4)]);
+        assert_eq!(tables.radius(), 2);
+        assert_eq!(tables.node_count(), 5);
+    }
+
+    #[test]
+    fn distances_and_paths() {
+        let tables = NeighborhoodTables::compute(&path5(), 3);
+        let nb0 = tables.of(NodeId(0));
+        assert_eq!(nb0.distance(NodeId(3)), Some(3));
+        assert_eq!(nb0.distance(NodeId(4)), None);
+        assert_eq!(
+            nb0.path_to(NodeId(3)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+        );
+        assert_eq!(nb0.path_to(NodeId(4)), None);
+    }
+
+    #[test]
+    fn radius_zero_is_self_only() {
+        let tables = NeighborhoodTables::compute(&path5(), 0);
+        let nb = tables.of(NodeId(2));
+        assert_eq!(nb.size(), 1);
+        assert!(nb.contains(NodeId(2)));
+        assert!(!nb.contains(NodeId(1)));
+        assert_eq!(nb.edge_nodes(), &[NodeId(2)]); // the owner is its own edge at R=0
+    }
+
+    #[test]
+    fn isolated_node() {
+        let mut adj = Adjacency::with_nodes(3);
+        adj.add_edge(NodeId(0), NodeId(1));
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let nb = tables.of(NodeId(2));
+        assert_eq!(nb.size(), 1);
+        assert!(nb.edge_nodes().is_empty()); // nothing at exactly 2 hops
+    }
+
+    #[test]
+    fn mean_size() {
+        let tables = NeighborhoodTables::compute(&path5(), 1);
+        // sizes: 2,3,3,3,2 -> mean 2.6
+        assert!((tables.mean_size() - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_members_matches_bitset() {
+        let tables = NeighborhoodTables::compute(&path5(), 2);
+        let nb = tables.of(NodeId(1));
+        let mut from_iter: Vec<usize> = nb.iter_members().map(|n| n.index()).collect();
+        from_iter.sort_unstable();
+        assert_eq!(from_iter, nb.members().to_vec());
+    }
+
+    fn random_graph(n: usize, edges: &[(u32, u32)]) -> Adjacency {
+        let mut adj = Adjacency::with_nodes(n);
+        for &(a, b) in edges {
+            let a = a % n as u32;
+            let b = b % n as u32;
+            if a != b {
+                adj.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        adj
+    }
+
+    proptest! {
+        /// Membership ⇔ full-BFS distance ≤ R, and edge nodes are exactly
+        /// the distance-R members.
+        #[test]
+        fn prop_tables_match_bfs(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..70),
+            radius in 0u16..5,
+        ) {
+            let adj = random_graph(25, &edges);
+            let tables = NeighborhoodTables::compute(&adj, radius);
+            for owner in NodeId::all(25) {
+                let truth = full_bfs(&adj, owner);
+                let nb = tables.of(owner);
+                for v in NodeId::all(25) {
+                    let expect = matches!(truth.distance(v), Some(d) if d <= radius);
+                    prop_assert_eq!(nb.contains(v), expect);
+                }
+                let mut expect_edges: Vec<NodeId> = NodeId::all(25)
+                    .filter(|&v| truth.distance(v) == Some(radius))
+                    .collect();
+                expect_edges.sort_unstable();
+                prop_assert_eq!(nb.edge_nodes(), &expect_edges[..]);
+            }
+        }
+
+        /// Neighborhood membership is symmetric: b ∈ nbhd(a) ⇔ a ∈ nbhd(b).
+        #[test]
+        fn prop_membership_symmetric(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            radius in 0u16..5,
+        ) {
+            let adj = random_graph(20, &edges);
+            let tables = NeighborhoodTables::compute(&adj, radius);
+            for a in NodeId::all(20) {
+                for b in NodeId::all(20) {
+                    prop_assert_eq!(tables.contains(a, b), tables.contains(b, a));
+                }
+            }
+        }
+    }
+}

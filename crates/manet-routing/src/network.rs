@@ -1,0 +1,237 @@
+//! The network world: positions + connectivity + neighborhood tables.
+//!
+//! [`Network`] is the single mutable world object every experiment drives.
+//! It owns the node positions, the unit-disk adjacency (with its spatial
+//! grid), and the converged R-hop neighborhood tables, and it knows how to
+//! advance mobility: move nodes, rebuild connectivity, recompute tables.
+
+use mobility::model::MobilityModel;
+use net_topology::geometry::{Field, Point2};
+use net_topology::graph::Adjacency;
+use net_topology::grid::SpatialGrid;
+use net_topology::node::NodeId;
+use net_topology::placement::place_uniform;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::time::SimDuration;
+
+use crate::neighborhood::NeighborhoodTables;
+
+/// A MANET snapshot plus the machinery to evolve it under mobility.
+pub struct Network {
+    field: Field,
+    tx_range: f64,
+    radius: u16,
+    positions: Vec<Point2>,
+    adj: Adjacency,
+    grid: SpatialGrid,
+    tables: NeighborhoodTables,
+}
+
+impl Network {
+    /// Instantiate a scenario: uniform random placement from `seed`, R-hop
+    /// tables with zone radius `radius`.
+    pub fn from_scenario(scenario: &Scenario, radius: u16, seed: u64) -> Self {
+        let field = scenario.field();
+        let mut rng = SeedSplitter::new(seed).stream("placement", 0);
+        let positions = place_uniform(scenario.nodes, field, &mut rng);
+        Self::from_positions(field, positions, scenario.tx_range, radius)
+    }
+
+    /// Build from explicit positions.
+    ///
+    /// # Panics
+    /// Panics unless `tx_range` is positive and finite.
+    pub fn from_positions(field: Field, positions: Vec<Point2>, tx_range: f64, radius: u16) -> Self {
+        assert!(tx_range > 0.0 && tx_range.is_finite(), "invalid tx range {tx_range}");
+        let mut grid = SpatialGrid::new(field, tx_range);
+        let adj = Adjacency::build_with_grid(&mut grid, &positions, tx_range);
+        let tables = NeighborhoodTables::compute(&adj, radius);
+        Network { field, tx_range, radius, positions, adj, grid, tables }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The simulation field.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
+    /// The transmission range in meters.
+    pub fn tx_range(&self) -> f64 {
+        self.tx_range
+    }
+
+    /// The neighborhood radius R.
+    pub fn radius(&self) -> u16 {
+        self.radius
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// The current unit-disk adjacency.
+    #[inline]
+    pub fn adj(&self) -> &Adjacency {
+        &self.adj
+    }
+
+    /// The current converged neighborhood tables.
+    #[inline]
+    pub fn tables(&self) -> &NeighborhoodTables {
+        &self.tables
+    }
+
+    /// Change the zone radius and recompute tables (used by R-sweeps).
+    pub fn set_radius(&mut self, radius: u16) {
+        if radius != self.radius {
+            self.radius = radius;
+            self.tables = NeighborhoodTables::compute(&self.adj, radius);
+        }
+    }
+
+    /// Advance mobility by `dt`: move nodes, rebuild connectivity and
+    /// recompute neighborhood tables. No-op for static models.
+    pub fn advance(&mut self, model: &mut dyn MobilityModel, dt: SimDuration) {
+        if model.is_static() {
+            return;
+        }
+        model.advance(&mut self.positions, dt);
+        self.adj
+            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
+    }
+
+    /// Move nodes *without* refreshing connectivity or tables (used to
+    /// model stale state between proactive refreshes; callers must follow
+    /// with [`Network::refresh`]).
+    pub fn advance_positions_only(&mut self, model: &mut dyn MobilityModel, dt: SimDuration) {
+        model.advance(&mut self.positions, dt);
+    }
+
+    /// Rebuild connectivity and tables from current positions.
+    pub fn refresh(&mut self) {
+        self.adj
+            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
+    }
+
+    /// Are `a` and `b` currently within direct radio range?
+    #[inline]
+    pub fn is_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj.is_neighbor(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::statics::StaticModel;
+    use mobility::waypoint::RandomWaypoint;
+    use sim_core::rng::RngStream;
+
+    fn small_scenario() -> Scenario {
+        Scenario::new(60, 300.0, 300.0, 60.0)
+    }
+
+    #[test]
+    fn from_scenario_builds_consistent_state() {
+        let net = Network::from_scenario(&small_scenario(), 2, 42);
+        assert_eq!(net.node_count(), 60);
+        assert_eq!(net.radius(), 2);
+        assert_eq!(net.tx_range(), 60.0);
+        assert_eq!(net.tables().node_count(), 60);
+        assert_eq!(net.positions().len(), 60);
+        // tables must agree with adjacency: 1-hop members are exactly neighbors + self
+        let tables_r1 = NeighborhoodTables::compute(net.adj(), 1);
+        for id in NodeId::all(60) {
+            assert_eq!(
+                tables_r1.of(id).size(),
+                net.adj().degree(id) + 1,
+                "1-hop neighborhood = direct neighbors + self"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_instantiation() {
+        let a = Network::from_scenario(&small_scenario(), 2, 7);
+        let b = Network::from_scenario(&small_scenario(), 2, 7);
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.adj().link_count(), b.adj().link_count());
+    }
+
+    #[test]
+    fn static_advance_is_noop() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 1);
+        let before = net.positions().to_vec();
+        let links = net.adj().link_count();
+        net.advance(&mut StaticModel, SimDuration::from_secs(10));
+        assert_eq!(net.positions(), &before[..]);
+        assert_eq!(net.adj().link_count(), links);
+    }
+
+    #[test]
+    fn mobile_advance_updates_everything() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 1);
+        let before = net.positions().to_vec();
+        let mut rwp = RandomWaypoint::new(
+            60,
+            net.field(),
+            5.0,
+            15.0,
+            0.0,
+            RngStream::seed_from_u64(3),
+        );
+        net.advance(&mut rwp, SimDuration::from_secs(5));
+        assert_ne!(net.positions(), &before[..], "nodes should have moved");
+        // adjacency is consistent with moved positions
+        for a in NodeId::all(net.node_count()) {
+            for &b in net.adj().neighbors(a) {
+                let d = net.positions()[a.index()].dist(net.positions()[b.index()]);
+                assert!(d <= net.tx_range() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_only_then_refresh_matches_full_advance() {
+        let mut a = Network::from_scenario(&small_scenario(), 2, 5);
+        let mut b = Network::from_scenario(&small_scenario(), 2, 5);
+        let mk = || RandomWaypoint::new(60, Field::square(300.0), 5.0, 15.0, 0.0, RngStream::seed_from_u64(9));
+        let (mut ma, mut mb) = (mk(), mk());
+        a.advance(&mut ma, SimDuration::from_secs(3));
+        b.advance_positions_only(&mut mb, SimDuration::from_secs(3));
+        b.refresh();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.adj().link_count(), b.adj().link_count());
+    }
+
+    #[test]
+    fn set_radius_recomputes_tables() {
+        let mut net = Network::from_scenario(&small_scenario(), 1, 11);
+        let small = net.tables().mean_size();
+        net.set_radius(3);
+        assert_eq!(net.radius(), 3);
+        let large = net.tables().mean_size();
+        assert!(large > small, "bigger R must not shrink neighborhoods");
+        net.set_radius(3); // no-op path
+        assert_eq!(net.radius(), 3);
+    }
+
+    #[test]
+    fn is_link_matches_adjacency() {
+        let net = Network::from_scenario(&small_scenario(), 2, 13);
+        for a in NodeId::all(net.node_count()) {
+            for &b in net.adj().neighbors(a) {
+                assert!(net.is_link(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! ZRP-style bordercasting — baseline #2 of Fig 15.
+//!
+//! After Haas & Pearlman [8][9]: every node proactively knows its *zone*
+//! (R-hop neighborhood, the same tables CARD uses). A query for a target
+//! outside the source's zone is *bordercast*: relayed down a tree rooted at
+//! the source to its peripheral nodes (the zone's edge nodes). Each
+//! peripheral node checks its own zone and, failing that, re-bordercasts to
+//! its own periphery.
+//!
+//! Uncontrolled re-bordercasting would re-cover the same regions, so the
+//! paper's comparison uses **query detection**:
+//!
+//! * **QD1** — nodes relaying the query (tree interior nodes) detect it and
+//!   are never targeted again;
+//! * **QD2** — in a single-channel network every node within radio range of
+//!   a transmitting node overhears ("eavesdrops") the query and is likewise
+//!   excluded (§IV.D: "Bordercasting was implemented with query detection
+//!   (QD1 and QD2)").
+//!
+//! Transmission accounting is per tree **edge** (unicast relay along the
+//! bordercast tree, as in the IERP packet-forwarding model): like the
+//! paper's simulation, ours has no MAC layer, so there is no
+//! single-transmission wireless broadcast to exploit. QD2's "overhearing"
+//! is still modeled at the radio level: every neighbor of a relaying node
+//! detects the query.
+
+use net_topology::bfs::{khop_bfs, shortest_path};
+use net_topology::graph::Adjacency;
+use net_topology::node::NodeId;
+use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::time::SimTime;
+use std::collections::VecDeque;
+
+use crate::neighborhood::NeighborhoodTables;
+
+/// Which query-detection optimizations are active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryDetection {
+    /// No detection: only direct query recipients are excluded.
+    None,
+    /// QD1: relaying nodes detect the query.
+    Qd1,
+    /// QD1 + QD2: relaying nodes and everyone overhearing them detect it.
+    Qd1Qd2,
+}
+
+/// Bordercasting configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BordercastConfig {
+    /// Query-detection level (the paper uses QD1+QD2).
+    pub qd: QueryDetection,
+    /// Safety cap on processed bordercasters (the covered-set logic
+    /// guarantees termination; this guards against pathological inputs).
+    pub max_bordercasts: usize,
+}
+
+impl Default for BordercastConfig {
+    fn default() -> Self {
+        BordercastConfig { qd: QueryDetection::Qd1Qd2, max_bordercasts: 100_000 }
+    }
+}
+
+/// Result of one bordercast search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BordercastOutcome {
+    /// Was the target found in some zone?
+    pub found: bool,
+    /// Bordercast-tree transmissions.
+    pub transmissions: u64,
+    /// Reply messages (answering node back to the source).
+    pub reply_messages: u64,
+    /// Number of nodes that acted as bordercasters (source included).
+    pub bordercasters: u64,
+    /// Hop distance source→answering node (0 if the source answered).
+    pub answer_distance: Option<u16>,
+}
+
+impl BordercastOutcome {
+    /// Total control messages: tree + reply.
+    pub fn total_messages(&self) -> u64 {
+        self.transmissions + self.reply_messages
+    }
+}
+
+/// Bordercast from `source` for `target` over the current topology.
+///
+/// `tables` must be the zone tables of the same `adj` snapshot; its radius
+/// is the zone radius ρ.
+///
+/// # Panics
+/// Panics if the zone radius is zero.
+pub fn bordercast_search(
+    adj: &Adjacency,
+    tables: &NeighborhoodTables,
+    source: NodeId,
+    target: NodeId,
+    cfg: &BordercastConfig,
+    stats: &mut MsgStats,
+    at: SimTime,
+) -> BordercastOutcome {
+    assert!(tables.radius() >= 1, "bordercasting needs zone radius >= 1");
+    let n = adj.node_count();
+
+    // Source answers from its own zone for free (proactive knowledge).
+    if tables.contains(source, target) {
+        return BordercastOutcome {
+            found: true,
+            transmissions: 0,
+            reply_messages: 0,
+            bordercasters: 0,
+            answer_distance: Some(0),
+        };
+    }
+
+    // detected[v]: v has seen the query and must not be targeted again.
+    let mut detected = vec![false; n];
+    let mut enqueued = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut transmissions: u64 = 0;
+    let mut bordercasters: u64 = 0;
+
+    detected[source.index()] = true;
+    enqueued[source.index()] = true;
+    queue.push_back(source);
+
+    while let Some(b) = queue.pop_front() {
+        if bordercasters as usize >= cfg.max_bordercasts {
+            break;
+        }
+        bordercasters += 1;
+
+        // A (re-)bordercaster first checks its own zone.
+        if tables.contains(b, target) {
+            let reply = shortest_path(adj, b, source)
+                .map(|p| p.len() as u64 - 1)
+                .unwrap_or(0);
+            stats.record_n(at, MsgKind::Bordercast, transmissions + reply);
+            return BordercastOutcome {
+                found: true,
+                transmissions,
+                reply_messages: reply,
+                bordercasters,
+                answer_distance: shortest_path(adj, source, b).map(|p| p.len() as u16 - 1),
+            };
+        }
+
+        // Build the bordercast tree toward the still-undetected periphery.
+        let zone = khop_bfs(adj, b, tables.radius());
+        let peripherals: Vec<NodeId> = tables
+            .of(b)
+            .edge_nodes()
+            .iter()
+            .copied()
+            .filter(|p| !detected[p.index()])
+            .collect();
+        if peripherals.is_empty() {
+            continue; // early termination: the whole periphery is covered
+        }
+
+        // Union of BFS-tree paths b -> each peripheral: one relay message
+        // per distinct tree edge. A node relays through each of its tree
+        // edges once; `transmitters` collects relaying nodes for QD2.
+        let mut in_tree = vec![false; n];
+        let mut transmitters: Vec<NodeId> = Vec::new();
+        let mut tree_edges: u64 = 0;
+        in_tree[b.index()] = true;
+        for &p in &peripherals {
+            let path = zone.path_to(p).expect("edge node is in the zone by construction");
+            for w in path.windows(2) {
+                let (parent, child) = (w[0], w[1]);
+                if !in_tree[child.index()] {
+                    in_tree[child.index()] = true;
+                    tree_edges += 1; // each node joins the tree via one edge
+                    if !transmitters.contains(&parent) {
+                        transmitters.push(parent);
+                    }
+                }
+            }
+        }
+        transmissions += tree_edges;
+
+        // Query detection.
+        for v in 0..n {
+            if in_tree[v] {
+                match cfg.qd {
+                    QueryDetection::None => {
+                        // only the addressed peripheral nodes learn the query
+                    }
+                    QueryDetection::Qd1 | QueryDetection::Qd1Qd2 => detected[v] = true,
+                }
+            }
+        }
+        if cfg.qd == QueryDetection::Qd1Qd2 {
+            for &tx in &transmitters {
+                for &nb in adj.neighbors(tx) {
+                    detected[nb.index()] = true;
+                }
+            }
+        }
+        // Addressed peripherals always detect the query.
+        for &p in &peripherals {
+            detected[p.index()] = true;
+            if !enqueued[p.index()] {
+                enqueued[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    stats.record_n(at, MsgKind::Bordercast, transmissions);
+    BordercastOutcome {
+        found: false,
+        transmissions,
+        reply_messages: 0,
+        bordercasters,
+        answer_distance: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn stats() -> MsgStats {
+        MsgStats::new(SimDuration::from_secs(2))
+    }
+
+    /// 0-1-2-...-9 path.
+    fn path10() -> Adjacency {
+        let mut adj = Adjacency::with_nodes(10);
+        for i in 0..9u32 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        adj
+    }
+
+    #[test]
+    fn in_zone_target_is_free() {
+        let adj = path10();
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let mut st = stats();
+        let out = bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(2),
+            &BordercastConfig::default(),
+            &mut st,
+            SimTime::ZERO,
+        );
+        assert!(out.found);
+        assert_eq!(out.total_messages(), 0);
+        assert_eq!(out.answer_distance, Some(0));
+        assert_eq!(st.grand_total(), 0);
+    }
+
+    #[test]
+    fn finds_distant_target_on_path() {
+        let adj = path10();
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let mut st = stats();
+        let out = bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(9),
+            &BordercastConfig::default(),
+            &mut st,
+            SimTime::ZERO,
+        );
+        assert!(out.found);
+        assert!(out.transmissions > 0);
+        assert!(out.reply_messages > 0);
+        assert!(out.bordercasters >= 2, "needs re-bordercasting to reach n9");
+        assert_eq!(st.total(MsgKind::Bordercast), out.total_messages());
+    }
+
+    #[test]
+    fn miss_when_disconnected() {
+        let mut adj = Adjacency::with_nodes(8);
+        for i in 0..4u32 {
+            // component {0..4} as a path, node 5..7 isolated/another comp
+            if i < 3 {
+                adj.add_edge(NodeId(i), NodeId(i + 1));
+            }
+        }
+        adj.add_edge(NodeId(5), NodeId(6));
+        let tables = NeighborhoodTables::compute(&adj, 1);
+        let mut st = stats();
+        let out = bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(6),
+            &BordercastConfig::default(),
+            &mut st,
+            SimTime::ZERO,
+        );
+        assert!(!out.found);
+        assert_eq!(out.reply_messages, 0);
+    }
+
+    #[test]
+    fn query_detection_reduces_traffic() {
+        // A denser random-ish graph where re-bordercasts overlap heavily.
+        let mut adj = Adjacency::with_nodes(30);
+        for i in 0..29u32 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        for i in (0..26u32).step_by(3) {
+            adj.add_edge(NodeId(i), NodeId(i + 3));
+        }
+        for i in (0..24u32).step_by(6) {
+            adj.add_edge(NodeId(i), NodeId(i + 5));
+        }
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let run = |qd| {
+            let mut st = stats();
+            bordercast_search(
+                &adj,
+                &tables,
+                NodeId(0),
+                NodeId(29),
+                &BordercastConfig { qd, max_bordercasts: 100_000 },
+                &mut st,
+                SimTime::ZERO,
+            )
+        };
+        let none = run(QueryDetection::None);
+        let qd1 = run(QueryDetection::Qd1);
+        let qd12 = run(QueryDetection::Qd1Qd2);
+        assert!(none.found && qd1.found && qd12.found);
+        assert!(
+            qd1.transmissions <= none.transmissions,
+            "QD1 ({}) should not beat no-detection ({})",
+            qd1.transmissions,
+            none.transmissions
+        );
+        assert!(
+            qd12.transmissions <= qd1.transmissions,
+            "QD2 ({}) should not exceed QD1 ({})",
+            qd12.transmissions,
+            qd1.transmissions
+        );
+    }
+
+    #[test]
+    fn terminates_on_cycle_topology() {
+        // Ring: bordercasts chase each other around; detection must stop them.
+        let mut adj = Adjacency::with_nodes(20);
+        for i in 0..20u32 {
+            adj.add_edge(NodeId(i), NodeId((i + 1) % 20));
+        }
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let mut st = stats();
+        // Target not in the graph's reachable set? Everything is connected in
+        // a ring, so query an unreachable *zone* condition instead: use a
+        // target that exists — it will be found; the point is termination.
+        let out = bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(10),
+            &BordercastConfig::default(),
+            &mut st,
+            SimTime::ZERO,
+        );
+        assert!(out.found);
+        assert!(out.bordercasters < 20, "should terminate well before visiting everyone");
+    }
+
+    #[test]
+    #[should_panic(expected = "zone radius")]
+    fn zero_radius_rejected() {
+        let adj = path10();
+        let tables = NeighborhoodTables::compute(&adj, 0);
+        let mut st = stats();
+        bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(5),
+            &BordercastConfig::default(),
+            &mut st,
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn cheaper_than_flooding_on_line() {
+        use crate::flooding::flood_search;
+        let adj = path10();
+        let tables = NeighborhoodTables::compute(&adj, 2);
+        let mut st1 = stats();
+        let mut st2 = stats();
+        let bc = bordercast_search(
+            &adj,
+            &tables,
+            NodeId(0),
+            NodeId(5),
+            &BordercastConfig::default(),
+            &mut st1,
+            SimTime::ZERO,
+        );
+        let fl = flood_search(&adj, NodeId(0), NodeId(5), &mut st2, SimTime::ZERO);
+        assert!(bc.found && fl.found);
+        assert!(
+            bc.total_messages() <= fl.total_messages(),
+            "bordercast {} should not exceed flooding {} on a line",
+            bc.total_messages(),
+            fl.total_messages()
+        );
+    }
+}

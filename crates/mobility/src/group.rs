@@ -1,0 +1,243 @@
+//! Reference-point group mobility (RPGM).
+//!
+//! Nodes belong to groups; each group has a *reference point* that follows
+//! random waypoint, and members roam smoothly within `member_radius` of it:
+//! every member keeps a current offset from the reference point and glides
+//! toward a randomly re-drawn target offset at a bounded relative speed.
+//! This approximates coordinated movement — e.g. the battlefield units of
+//! the paper's introduction — and is one of the "various mobility patterns"
+//! listed as future work in §V.
+
+use crate::model::MobilityModel;
+use crate::waypoint::RandomWaypoint;
+use net_topology::geometry::{Field, Point2};
+use sim_core::rng::RngStream;
+use sim_core::time::SimDuration;
+
+/// Per-member roaming state relative to its reference point.
+#[derive(Clone, Copy, Debug)]
+struct Member {
+    /// Current offset from the reference point.
+    offset: Point2,
+    /// Offset the member is gliding toward.
+    target: Point2,
+    /// Relative speed in m/s.
+    speed: f64,
+}
+
+/// Group mobility: leaders do RWP, members orbit their leader smoothly.
+pub struct GroupMobility {
+    field: Field,
+    groups: usize,
+    member_radius: f64,
+    /// Bounds for the members' relative speeds.
+    rel_speed: (f64, f64),
+    /// RWP over the group reference points.
+    leader_model: RandomWaypoint,
+    /// Current reference point positions (`groups` entries).
+    ref_points: Vec<Point2>,
+    members: Vec<Member>,
+    rng: RngStream,
+}
+
+impl GroupMobility {
+    /// Create group mobility for `n` nodes split round-robin into `groups`
+    /// groups, reference points moving at speeds `[v_min, v_max]`, members
+    /// within `member_radius` meters of their reference point.
+    ///
+    /// # Panics
+    /// Panics if `groups == 0` or `member_radius < 0`.
+    pub fn new(
+        n: usize,
+        field: Field,
+        groups: usize,
+        v_min: f64,
+        v_max: f64,
+        member_radius: f64,
+        mut rng: RngStream,
+    ) -> Self {
+        assert!(groups > 0, "need at least one group");
+        assert!(member_radius >= 0.0, "negative member radius");
+        let leader_rng = RngStream::seed_from_u64(rng.next_raw());
+        let leader_model = RandomWaypoint::new(groups, field, v_min, v_max, 0.0, leader_rng);
+        let ref_points = (0..groups)
+            .map(|_| {
+                Point2::new(
+                    rng.range_f64(0.0, field.width()),
+                    rng.range_f64(0.0, field.height()),
+                )
+            })
+            .collect();
+        // Members drift relative to the reference point at a fraction of
+        // the group speed, so intra-group links stay comparatively stable.
+        let rel_speed = (0.2 * v_min.max(0.5), 0.5 * v_max);
+        let members = (0..n)
+            .map(|_| {
+                let offset = Self::fresh_offset(member_radius, &mut rng);
+                Member {
+                    offset,
+                    target: Self::fresh_offset(member_radius, &mut rng),
+                    speed: rng.range_f64(rel_speed.0, rel_speed.1),
+                }
+            })
+            .collect();
+        GroupMobility {
+            field,
+            groups,
+            member_radius,
+            rel_speed,
+            leader_model,
+            ref_points,
+            members,
+            rng,
+        }
+    }
+
+    fn fresh_offset(radius: f64, rng: &mut RngStream) -> Point2 {
+        let theta = rng.range_f64(0.0, std::f64::consts::TAU);
+        let r = radius * rng.next_f64().sqrt();
+        Point2::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Group index of node `i`.
+    pub fn group_of(&self, i: usize) -> usize {
+        i % self.groups
+    }
+
+    /// Current reference points (for tests/visualization).
+    pub fn reference_points(&self) -> &[Point2] {
+        &self.ref_points
+    }
+}
+
+impl MobilityModel for GroupMobility {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        assert!(
+            positions.len() == self.members.len(),
+            "GroupMobility built for {} nodes, got {} positions",
+            self.members.len(),
+            positions.len()
+        );
+        let dt_secs = dt.as_secs_f64();
+        let mut refs = std::mem::take(&mut self.ref_points);
+        self.leader_model.advance(&mut refs, dt);
+        self.ref_points = refs;
+
+        for (i, pos) in positions.iter_mut().enumerate() {
+            let m = &mut self.members[i];
+            m.offset = m.offset.step_toward(m.target, m.speed * dt_secs);
+            if m.offset == m.target {
+                m.target = Self::fresh_offset(self.member_radius, &mut self.rng);
+                m.speed = self.rng.range_f64(self.rel_speed.0, self.rel_speed.1);
+            }
+            let rp = self.ref_points[i % self.groups];
+            *pos = self
+                .field
+                .clamp(Point2::new(rp.x + m.offset.x, rp.y + m.offset.y));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "group"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn members_stay_near_reference_points() {
+        let f = Field::square(500.0);
+        let radius = 30.0;
+        let mut m = GroupMobility::new(40, f, 4, 1.0, 10.0, radius, rng(1));
+        let mut pos = vec![Point2::ORIGIN; 40];
+        for _ in 0..50 {
+            m.advance(&mut pos, SimDuration::from_millis(200));
+            for (i, p) in pos.iter().enumerate() {
+                let rp = m.reference_points()[m.group_of(i)];
+                // clamping at the field edge can only pull points *closer*
+                assert!(
+                    p.dist(rp) <= radius + 1e-9,
+                    "node {i} strayed {:.1} m from its reference point",
+                    p.dist(rp)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn member_motion_is_smooth() {
+        // No teleports: per-tick displacement is bounded by leader speed +
+        // relative speed.
+        let f = Field::square(500.0);
+        let mut m = GroupMobility::new(20, f, 2, 1.0, 6.0, 40.0, rng(2));
+        let mut pos = vec![Point2::ORIGIN; 20];
+        m.advance(&mut pos, SimDuration::from_millis(100)); // settle offsets
+        for _ in 0..100 {
+            let before = pos.clone();
+            m.advance(&mut pos, SimDuration::from_millis(100));
+            for (a, b) in before.iter().zip(&pos) {
+                // leader <= 6 m/s, member <= 3 m/s relative -> <= 0.9 m per tick
+                assert!(
+                    a.dist(*b) <= 0.95,
+                    "teleport detected: {:.2} m in one 100 ms tick",
+                    a.dist(*b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stays_in_field() {
+        let f = Field::square(200.0);
+        let mut m = GroupMobility::new(20, f, 2, 5.0, 15.0, 50.0, rng(2));
+        let mut pos = vec![Point2::ORIGIN; 20];
+        for _ in 0..100 {
+            m.advance(&mut pos, SimDuration::from_millis(500));
+            assert!(pos.iter().all(|&p| f.contains(p)));
+        }
+    }
+
+    #[test]
+    fn groups_partition_round_robin() {
+        let m = GroupMobility::new(10, Field::square(100.0), 3, 1.0, 2.0, 10.0, rng(3));
+        assert_eq!(m.group_of(0), 0);
+        assert_eq!(m.group_of(1), 1);
+        assert_eq!(m.group_of(2), 2);
+        assert_eq!(m.group_of(3), 0);
+        assert_eq!(m.reference_points().len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let f = Field::square(300.0);
+            let mut m = GroupMobility::new(12, f, 3, 1.0, 8.0, 25.0, rng(seed));
+            let mut pos = vec![Point2::ORIGIN; 12];
+            for _ in 0..20 {
+                m.advance(&mut pos, SimDuration::from_millis(300));
+            }
+            pos
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        GroupMobility::new(5, Field::square(10.0), 0, 1.0, 2.0, 5.0, rng(0));
+    }
+
+    #[test]
+    fn name() {
+        let m = GroupMobility::new(1, Field::square(10.0), 1, 1.0, 2.0, 1.0, rng(0));
+        assert_eq!(m.name(), "group");
+        assert!(!m.is_static());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mobility — node mobility models
+//!
+//! The paper's evaluation uses the **random waypoint** model (§IV). Its
+//! conclusion lists "various scenarios of mobility patterns" as future work,
+//! so this crate ships a small family behind one trait:
+//!
+//! * [`waypoint::RandomWaypoint`] — pick a uniform destination, travel at a
+//!   uniform speed, pause, repeat (the paper's model);
+//! * [`walk::RandomWalk`] — heading-based motion with periodic direction
+//!   changes and boundary reflection;
+//! * [`group::GroupMobility`] — reference-point group mobility: group
+//!   leaders do random waypoint, members jitter around their leader;
+//! * [`statics::StaticModel`] — no motion (static sensor fields, §I).
+//!
+//! Models mutate a caller-owned position vector via
+//! [`model::MobilityModel::advance`]; the simulation loop calls `advance`
+//! once per mobility tick and then rebuilds connectivity.
+
+#![warn(missing_docs)]
+pub mod group;
+pub mod model;
+pub mod statics;
+pub mod walk;
+pub mod waypoint;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::group::GroupMobility;
+    pub use crate::model::MobilityModel;
+    pub use crate::statics::StaticModel;
+    pub use crate::walk::RandomWalk;
+    pub use crate::waypoint::RandomWaypoint;
+}
+
+pub use group::GroupMobility;
+pub use model::MobilityModel;
+pub use statics::StaticModel;
+pub use walk::RandomWalk;
+pub use waypoint::RandomWaypoint;

@@ -1,0 +1,55 @@
+//! The mobility-model abstraction.
+
+use net_topology::geometry::Point2;
+use sim_core::time::SimDuration;
+
+/// A mobility model advances node positions through virtual time.
+///
+/// Implementations own all per-node kinematic state (headings, waypoints,
+/// pause timers, RNG streams); the *positions themselves* live in a
+/// caller-owned slice so the connectivity layer can read them without
+/// crossing the trait boundary.
+pub trait MobilityModel {
+    /// Advance every node by `dt`, updating `positions` in place.
+    ///
+    /// Implementations must keep every position inside the field they were
+    /// configured with, and must behave identically for the same sequence of
+    /// calls (determinism).
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration);
+
+    /// Short model name for reports (e.g. `"random-waypoint"`).
+    fn name(&self) -> &'static str;
+
+    /// Is this model actually static? Lets simulations skip connectivity
+    /// rebuilds. Defaults to `false`.
+    fn is_static(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl MobilityModel for Nop {
+        fn advance(&mut self, _positions: &mut [Point2], _dt: SimDuration) {}
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+    }
+
+    #[test]
+    fn default_is_not_static() {
+        assert!(!Nop.is_static());
+        assert_eq!(Nop.name(), "nop");
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut m: Box<dyn MobilityModel> = Box::new(Nop);
+        let mut pos = vec![Point2::new(1.0, 2.0)];
+        m.advance(&mut pos, SimDuration::from_secs(1));
+        assert_eq!(pos[0], Point2::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! The static (no-motion) model.
+//!
+//! The paper motivates CARD partly through *static sensor networks* (§I,
+//! §II: the mobility-assisted scheme of [13] "may not be suitable for static
+//! sensor networks"). All reachability figures (Figs 3–9) are topology
+//! snapshots, which this model represents exactly.
+
+use crate::model::MobilityModel;
+use net_topology::geometry::Point2;
+use sim_core::time::SimDuration;
+
+/// A mobility model under which nothing moves.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticModel;
+
+impl MobilityModel for StaticModel {
+    fn advance(&mut self, _positions: &mut [Point2], _dt: SimDuration) {}
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn is_static(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_moves() {
+        let mut m = StaticModel;
+        let mut pos = vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
+        let before = pos.clone();
+        m.advance(&mut pos, SimDuration::from_secs(100));
+        assert_eq!(pos, before);
+        assert!(m.is_static());
+        assert_eq!(m.name(), "static");
+    }
+}

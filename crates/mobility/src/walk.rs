@@ -1,0 +1,221 @@
+//! Random walk (random direction) mobility with boundary reflection.
+//!
+//! Each node keeps a heading and speed for an exponential-ish *epoch*
+//! (fixed-length here, drawn per epoch); on epoch expiry it draws a new
+//! heading and speed. Hitting the field boundary reflects the heading, so —
+//! unlike random waypoint — the stationary node distribution stays uniform
+//! (no center clustering), which is exactly the contrast the paper's
+//! footnote 1 speculates about.
+
+use crate::model::MobilityModel;
+use net_topology::geometry::{Field, Point2};
+use sim_core::rng::RngStream;
+use sim_core::time::SimDuration;
+
+#[derive(Clone, Copy, Debug)]
+struct WalkState {
+    /// Heading in radians.
+    theta: f64,
+    /// Speed in m/s.
+    speed: f64,
+    /// Seconds left in the current epoch.
+    remaining: f64,
+}
+
+/// The random-walk model.
+pub struct RandomWalk {
+    field: Field,
+    v_min: f64,
+    v_max: f64,
+    epoch_secs: f64,
+    states: Vec<WalkState>,
+    rng: RngStream,
+}
+
+impl RandomWalk {
+    /// Create a walk for `n` nodes, speeds uniform in `[v_min, v_max]`,
+    /// drawing a new heading every `epoch_secs` seconds.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= v_min <= v_max`, `v_max > 0`, `epoch_secs > 0`.
+    pub fn new(
+        n: usize,
+        field: Field,
+        v_min: f64,
+        v_max: f64,
+        epoch_secs: f64,
+        mut rng: RngStream,
+    ) -> Self {
+        assert!(
+            (0.0..=v_max).contains(&v_min) && v_max > 0.0,
+            "need 0 <= v_min <= v_max and v_max > 0, got [{v_min}, {v_max}]"
+        );
+        assert!(epoch_secs > 0.0, "epoch must be positive");
+        let states = (0..n)
+            .map(|_| Self::fresh(v_min, v_max, epoch_secs, &mut rng))
+            .collect();
+        RandomWalk { field, v_min, v_max, epoch_secs, states, rng }
+    }
+
+    fn fresh(v_min: f64, v_max: f64, epoch: f64, rng: &mut RngStream) -> WalkState {
+        WalkState {
+            theta: rng.range_f64(0.0, std::f64::consts::TAU),
+            speed: rng.range_f64(v_min, v_max.max(v_min + f64::EPSILON)),
+            remaining: epoch,
+        }
+    }
+
+    /// Move one node by `dt_secs`, reflecting at boundaries.
+    fn advance_node(&mut self, pos: &mut Point2, idx: usize, mut dt_secs: f64) {
+        for _ in 0..64 {
+            if dt_secs <= 0.0 {
+                return;
+            }
+            let st = self.states[idx];
+            let step_secs = st.remaining.min(dt_secs);
+            let mut x = pos.x + st.theta.cos() * st.speed * step_secs;
+            let mut y = pos.y + st.theta.sin() * st.speed * step_secs;
+            let mut theta = st.theta;
+            // Reflect off each wall (repeat to handle corner double-bounce).
+            for _ in 0..4 {
+                let mut bounced = false;
+                if x < 0.0 {
+                    x = -x;
+                    theta = std::f64::consts::PI - theta;
+                    bounced = true;
+                } else if x > self.field.width() {
+                    x = 2.0 * self.field.width() - x;
+                    theta = std::f64::consts::PI - theta;
+                    bounced = true;
+                }
+                if y < 0.0 {
+                    y = -y;
+                    theta = -theta;
+                    bounced = true;
+                } else if y > self.field.height() {
+                    y = 2.0 * self.field.height() - y;
+                    theta = -theta;
+                    bounced = true;
+                }
+                if !bounced {
+                    break;
+                }
+            }
+            *pos = self.field.clamp(Point2::new(x, y));
+            dt_secs -= step_secs;
+            if st.remaining <= dt_secs + step_secs {
+                // epoch expired within this advance
+                self.states[idx] = Self::fresh(self.v_min, self.v_max, self.epoch_secs, &mut self.rng);
+            } else {
+                self.states[idx].theta = theta;
+                self.states[idx].remaining = st.remaining - step_secs;
+            }
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
+impl MobilityModel for RandomWalk {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        assert!(
+            positions.len() == self.states.len(),
+            "RandomWalk built for {} nodes, got {} positions",
+            self.states.len(),
+            positions.len()
+        );
+        let dt_secs = dt.as_secs_f64();
+        for i in 0..positions.len() {
+            let mut p = positions[i];
+            self.advance_node(&mut p, i, dt_secs);
+            positions[i] = p;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stays_in_field() {
+        let f = Field::square(100.0);
+        let mut m = RandomWalk::new(30, f, 1.0, 20.0, 2.0, rng(1));
+        let mut pos = vec![Point2::new(50.0, 50.0); 30];
+        for _ in 0..500 {
+            m.advance(&mut pos, SimDuration::from_millis(100));
+            assert!(pos.iter().all(|&p| f.contains(p)), "escaped the field");
+        }
+    }
+
+    #[test]
+    fn reflection_near_edges() {
+        // Start right next to the wall with big steps: must stay inside.
+        let f = Field::square(50.0);
+        let mut m = RandomWalk::new(10, f, 10.0, 30.0, 5.0, rng(2));
+        let mut pos = vec![Point2::new(0.5, 49.5); 10];
+        for _ in 0..100 {
+            m.advance(&mut pos, SimDuration::from_millis(500));
+            assert!(pos.iter().all(|&p| f.contains(p)));
+        }
+    }
+
+    #[test]
+    fn moves_and_changes_direction() {
+        let f = Field::square(1000.0);
+        let mut m = RandomWalk::new(1, f, 5.0, 5.0, 1.0, rng(3));
+        let mut pos = vec![Point2::new(500.0, 500.0)];
+        let p0 = pos[0];
+        m.advance(&mut pos, SimDuration::from_millis(500));
+        let p1 = pos[0];
+        assert!(p0.dist(p1) > 0.0);
+        // After many epochs the trajectory should turn: displacement over 20s
+        // must be well below speed * time for a straight line.
+        for _ in 0..40 {
+            m.advance(&mut pos, SimDuration::from_millis(500));
+        }
+        let total = p0.dist(pos[0]);
+        assert!(total < 5.0 * 20.5, "should not exceed straight-line bound");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let f = Field::square(200.0);
+            let mut m = RandomWalk::new(5, f, 1.0, 10.0, 1.0, rng(seed));
+            let mut pos = vec![Point2::new(100.0, 100.0); 5];
+            for _ in 0..20 {
+                m.advance(&mut pos, SimDuration::from_millis(250));
+            }
+            pos
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn zero_epoch_panics() {
+        RandomWalk::new(1, Field::square(10.0), 1.0, 2.0, 0.0, rng(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contained(seed in any::<u64>(), dt_ms in 50u64..3000) {
+            let f = Field::new(300.0, 150.0);
+            let mut m = RandomWalk::new(6, f, 0.5, 25.0, 1.5, rng(seed));
+            let mut pos = vec![Point2::new(150.0, 75.0); 6];
+            for _ in 0..20 {
+                m.advance(&mut pos, SimDuration::from_millis(dt_ms));
+                prop_assert!(pos.iter().all(|&p| f.contains(p)));
+            }
+        }
+    }
+}

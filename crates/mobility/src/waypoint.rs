@@ -1,0 +1,256 @@
+//! Random waypoint (RWP) — the paper's mobility model.
+//!
+//! Each node independently repeats: choose a destination uniformly in the
+//! field, travel toward it in a straight line at a speed drawn uniformly
+//! from `[v_min, v_max]`, pause for `pause` seconds on arrival. Footnote 1
+//! of the paper notes RWP's known clustering artifacts; the other models in
+//! this crate exist to study exactly that sensitivity.
+
+use crate::model::MobilityModel;
+use net_topology::geometry::{Field, Point2};
+use sim_core::rng::RngStream;
+use sim_core::time::SimDuration;
+
+/// Per-node kinematic state.
+#[derive(Clone, Copy, Debug)]
+enum Leg {
+    /// Paused at the current position for `remaining` more seconds.
+    Paused { remaining: f64 },
+    /// Moving toward `dest` at `speed` m/s.
+    Moving { dest: Point2, speed: f64 },
+}
+
+/// The random waypoint model.
+pub struct RandomWaypoint {
+    field: Field,
+    v_min: f64,
+    v_max: f64,
+    pause_secs: f64,
+    legs: Vec<Leg>,
+    rng: RngStream,
+}
+
+impl RandomWaypoint {
+    /// Create RWP for `n` nodes over `field`, speeds uniform in
+    /// `[v_min, v_max]` m/s, `pause_secs` pause at each waypoint.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= v_min <= v_max`, `v_max > 0`, `pause_secs >= 0`.
+    pub fn new(
+        n: usize,
+        field: Field,
+        v_min: f64,
+        v_max: f64,
+        pause_secs: f64,
+        mut rng: RngStream,
+    ) -> Self {
+        assert!(
+            (0.0..=v_max).contains(&v_min) && v_max > 0.0,
+            "need 0 <= v_min <= v_max and v_max > 0, got [{v_min}, {v_max}]"
+        );
+        assert!(pause_secs >= 0.0, "negative pause");
+        let legs = (0..n)
+            .map(|_| Self::fresh_leg(field, v_min, v_max, &mut rng))
+            .collect();
+        RandomWaypoint { field, v_min, v_max, pause_secs, legs, rng }
+    }
+
+    fn fresh_leg(field: Field, v_min: f64, v_max: f64, rng: &mut RngStream) -> Leg {
+        Leg::Moving {
+            dest: Point2::new(
+                rng.range_f64(0.0, field.width()),
+                rng.range_f64(0.0, field.height()),
+            ),
+            speed: rng.range_f64(v_min, v_max.max(v_min + f64::EPSILON)),
+        }
+    }
+
+    /// Advance a single node by `dt_secs`, possibly crossing several
+    /// waypoint/pause transitions.
+    fn advance_node(&mut self, pos: &mut Point2, idx: usize, mut dt_secs: f64) {
+        // Bounded iterations: each loop consumes pause or travel time; with
+        // pathological parameters (zero pause + tiny legs) cap the work.
+        for _ in 0..64 {
+            if dt_secs <= 0.0 {
+                return;
+            }
+            match self.legs[idx] {
+                Leg::Paused { remaining } => {
+                    if remaining > dt_secs {
+                        self.legs[idx] = Leg::Paused { remaining: remaining - dt_secs };
+                        return;
+                    }
+                    dt_secs -= remaining;
+                    self.legs[idx] = Self::fresh_leg(self.field, self.v_min, self.v_max, &mut self.rng);
+                }
+                Leg::Moving { dest, speed } => {
+                    let distance = pos.dist(dest);
+                    let travel = speed * dt_secs;
+                    if travel < distance {
+                        *pos = pos.step_toward(dest, travel);
+                        return;
+                    }
+                    // Arrive, consume the corresponding time, then pause.
+                    *pos = dest;
+                    dt_secs -= if speed > 0.0 { distance / speed } else { 0.0 };
+                    self.legs[idx] = if self.pause_secs > 0.0 {
+                        Leg::Paused { remaining: self.pause_secs }
+                    } else {
+                        Self::fresh_leg(self.field, self.v_min, self.v_max, &mut self.rng)
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
+impl MobilityModel for RandomWaypoint {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        let dt_secs = dt.as_secs_f64();
+        assert!(
+            positions.len() == self.legs.len(),
+            "RandomWaypoint built for {} nodes, got {} positions",
+            self.legs.len(),
+            positions.len()
+        );
+        for i in 0..positions.len() {
+            let mut p = positions[i];
+            self.advance_node(&mut p, i, dt_secs);
+            positions[i] = self.field.clamp(p);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-waypoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn field() -> Field {
+        Field::square(710.0)
+    }
+
+    fn rng(seed: u64) -> RngStream {
+        RngStream::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn positions_stay_in_field() {
+        let mut m = RandomWaypoint::new(50, field(), 1.0, 19.0, 0.0, rng(1));
+        let mut pos = vec![Point2::new(355.0, 355.0); 50];
+        for _ in 0..200 {
+            m.advance(&mut pos, SimDuration::from_millis(100));
+            assert!(pos.iter().all(|&p| field().contains(p)));
+        }
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut m = RandomWaypoint::new(10, field(), 5.0, 10.0, 0.0, rng(2));
+        let start = vec![Point2::new(100.0, 100.0); 10];
+        let mut pos = start.clone();
+        m.advance(&mut pos, SimDuration::from_secs(5));
+        let moved = pos.iter().zip(&start).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 10, "every node should move with zero pause");
+    }
+
+    #[test]
+    fn speed_bound_respected() {
+        let v_max = 10.0;
+        let mut m = RandomWaypoint::new(20, field(), 1.0, v_max, 0.0, rng(3));
+        let mut pos = vec![Point2::new(300.0, 300.0); 20];
+        let prev = pos.clone();
+        let dt = 0.5;
+        m.advance(&mut pos, SimDuration::from_secs_f64(dt));
+        for (a, b) in prev.iter().zip(&pos) {
+            // A node may cross a waypoint and change direction within dt, but
+            // total displacement can never exceed v_max * dt.
+            assert!(a.dist(*b) <= v_max * dt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pause_holds_position_after_arrival() {
+        // One node, destination will be reached quickly, then a long pause.
+        let mut m = RandomWaypoint::new(1, Field::square(10.0), 5.0, 5.0, 1000.0, rng(4));
+        let mut pos = vec![Point2::new(5.0, 5.0)];
+        // Long advance: certainly arrives and starts pausing (max travel
+        // within a 10x10 field is ~14.2m -> under 3s at 5 m/s).
+        m.advance(&mut pos, SimDuration::from_secs(10));
+        let arrived = pos[0];
+        m.advance(&mut pos, SimDuration::from_secs(10));
+        assert_eq!(pos[0], arrived, "paused node must not move");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = RandomWaypoint::new(10, field(), 1.0, 19.0, 0.5, rng(seed));
+            let mut pos = vec![Point2::new(100.0, 200.0); 10];
+            for _ in 0..50 {
+                m.advance(&mut pos, SimDuration::from_millis(100));
+            }
+            pos
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min <= v_max")]
+    fn invalid_speed_range_panics() {
+        RandomWaypoint::new(1, field(), 5.0, 1.0, 0.0, rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "built for")]
+    fn wrong_position_count_panics() {
+        let mut m = RandomWaypoint::new(3, field(), 1.0, 2.0, 0.0, rng(0));
+        let mut pos = vec![Point2::ORIGIN; 2];
+        m.advance(&mut pos, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut m = RandomWaypoint::new(5, field(), 1.0, 19.0, 0.0, rng(5));
+        let mut pos = vec![Point2::new(10.0, 10.0); 5];
+        let before = pos.clone();
+        m.advance(&mut pos, SimDuration::ZERO);
+        assert_eq!(pos, before);
+    }
+
+    #[test]
+    fn name_and_static_flag() {
+        let m = RandomWaypoint::new(1, field(), 1.0, 2.0, 0.0, rng(0));
+        assert_eq!(m.name(), "random-waypoint");
+        assert!(!m.is_static());
+    }
+
+    proptest! {
+        /// Containment + speed bound hold for arbitrary seeds and steps.
+        #[test]
+        fn prop_contained_and_speed_bounded(
+            seed in any::<u64>(),
+            steps in 1usize..30,
+            dt_ms in 10u64..2000,
+        ) {
+            let f = Field::square(200.0);
+            let mut m = RandomWaypoint::new(8, f, 1.0, 15.0, 0.2, rng(seed));
+            let mut pos = vec![Point2::new(100.0, 100.0); 8];
+            for _ in 0..steps {
+                let before = pos.clone();
+                m.advance(&mut pos, SimDuration::from_millis(dt_ms));
+                let dt = dt_ms as f64 / 1000.0;
+                for (a, b) in before.iter().zip(&pos) {
+                    prop_assert!(f.contains(*b));
+                    prop_assert!(a.dist(*b) <= 15.0 * dt + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Breadth-first search over the connectivity graph.
+//!
+//! Three operations cover every need of the upper layers:
+//!
+//! * [`khop_bfs`] — hop-limited BFS building a node's *neighborhood* (all
+//!   nodes within R hops, with distances and BFS parents for path
+//!   extraction). This is the idealized converged state of the proactive
+//!   intra-zone protocol (DSDV) the paper assumes;
+//! * [`full_bfs`] — unlimited BFS (connected components, eccentricities);
+//! * [`shortest_path`] — hop-shortest path between two nodes, extracted
+//!   from BFS parents.
+
+use crate::graph::Adjacency;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreached nodes.
+pub const UNREACHED: u16 = u16::MAX;
+
+/// Result of a (possibly hop-limited) BFS from one source.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    source: NodeId,
+    /// Hop distance per node (`UNREACHED` if not visited).
+    dist: Vec<u16>,
+    /// BFS-tree parent per node (self for the source, meaningless when
+    /// unreached).
+    parent: Vec<NodeId>,
+    /// Visited nodes in discovery order (the source is first).
+    order: Vec<NodeId>,
+}
+
+impl BfsResult {
+    /// The BFS source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Hop distance to `node`, or `None` if it was not reached.
+    #[inline]
+    pub fn distance(&self, node: NodeId) -> Option<u16> {
+        match self.dist[node.index()] {
+            UNREACHED => None,
+            d => Some(d),
+        }
+    }
+
+    /// Was `node` reached?
+    #[inline]
+    pub fn reached(&self, node: NodeId) -> bool {
+        self.dist[node.index()] != UNREACHED
+    }
+
+    /// All visited nodes in discovery (hence non-decreasing distance) order,
+    /// including the source itself at distance 0.
+    pub fn visited(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of visited nodes (including the source).
+    pub fn visited_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The maximum distance reached (the source's eccentricity for an
+    /// unlimited BFS over its component). Zero for an isolated node.
+    pub fn max_distance(&self) -> u16 {
+        self.order
+            .iter()
+            .map(|&n| self.dist[n.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Path from the source to `target` (inclusive of both), following BFS
+    /// parents; `None` if `target` was not reached.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(target) {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.dist[target.index()] as usize + 1);
+        let mut cur = target;
+        path.push(cur);
+        while cur != self.source {
+            cur = self.parent[cur.index()];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// BFS from `source` visiting only nodes within `max_hops` hops.
+/// `max_hops = 0` visits just the source.
+pub fn khop_bfs(adj: &Adjacency, source: NodeId, max_hops: u16) -> BfsResult {
+    bfs_impl(adj, source, Some(max_hops))
+}
+
+/// Unlimited BFS from `source` over its whole connected component.
+pub fn full_bfs(adj: &Adjacency, source: NodeId) -> BfsResult {
+    bfs_impl(adj, source, None)
+}
+
+fn bfs_impl(adj: &Adjacency, source: NodeId, max_hops: Option<u16>) -> BfsResult {
+    let n = adj.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent = vec![source; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+
+    dist[source.index()] = 0;
+    order.push(source);
+    queue.push_back(source);
+
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if let Some(limit) = max_hops {
+            if du >= limit {
+                continue;
+            }
+        }
+        for &v in adj.neighbors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                parent[v.index()] = u;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    BfsResult { source, dist, parent, order }
+}
+
+/// Hop-shortest path between `a` and `b` (inclusive), or `None` if they are
+/// disconnected.
+pub fn shortest_path(adj: &Adjacency, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+    full_bfs(adj, a).path_to(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 0-1-2-3 path plus isolated node 4.
+    fn path_graph() -> Adjacency {
+        let mut adj = Adjacency::with_nodes(5);
+        adj.add_edge(NodeId(0), NodeId(1));
+        adj.add_edge(NodeId(1), NodeId(2));
+        adj.add_edge(NodeId(2), NodeId(3));
+        adj
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let adj = path_graph();
+        let bfs = full_bfs(&adj, NodeId(0));
+        assert_eq!(bfs.distance(NodeId(0)), Some(0));
+        assert_eq!(bfs.distance(NodeId(1)), Some(1));
+        assert_eq!(bfs.distance(NodeId(2)), Some(2));
+        assert_eq!(bfs.distance(NodeId(3)), Some(3));
+        assert_eq!(bfs.distance(NodeId(4)), None);
+        assert!(!bfs.reached(NodeId(4)));
+        assert_eq!(bfs.max_distance(), 3);
+        assert_eq!(bfs.visited_count(), 4);
+        assert_eq!(bfs.source(), NodeId(0));
+    }
+
+    #[test]
+    fn khop_limits_radius() {
+        let adj = path_graph();
+        let bfs = khop_bfs(&adj, NodeId(0), 2);
+        assert_eq!(bfs.distance(NodeId(2)), Some(2));
+        assert_eq!(bfs.distance(NodeId(3)), None);
+        assert_eq!(bfs.visited_count(), 3);
+
+        let self_only = khop_bfs(&adj, NodeId(0), 0);
+        assert_eq!(self_only.visited(), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn discovery_order_distances_nondecreasing() {
+        let adj = path_graph();
+        let bfs = full_bfs(&adj, NodeId(1));
+        let dists: Vec<u16> = bfs
+            .visited()
+            .iter()
+            .map(|&v| bfs.distance(v).unwrap())
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn path_extraction() {
+        let adj = path_graph();
+        let bfs = full_bfs(&adj, NodeId(0));
+        assert_eq!(
+            bfs.path_to(NodeId(3)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+        );
+        assert_eq!(bfs.path_to(NodeId(0)), Some(vec![NodeId(0)]));
+        assert_eq!(bfs.path_to(NodeId(4)), None);
+        assert_eq!(
+            shortest_path(&adj, NodeId(3), NodeId(0)),
+            Some(vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)])
+        );
+        assert_eq!(shortest_path(&adj, NodeId(0), NodeId(4)), None);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let adj = path_graph();
+        let bfs = full_bfs(&adj, NodeId(4));
+        assert_eq!(bfs.visited(), &[NodeId(4)]);
+        assert_eq!(bfs.max_distance(), 0);
+    }
+
+    #[test]
+    fn cycle_takes_shorter_arc() {
+        // 6-cycle: distance from 0 to 3 is 3, to 4 is 2, to 5 is 1.
+        let mut adj = Adjacency::with_nodes(6);
+        for i in 0..6u32 {
+            adj.add_edge(NodeId(i), NodeId((i + 1) % 6));
+        }
+        let bfs = full_bfs(&adj, NodeId(0));
+        assert_eq!(bfs.distance(NodeId(3)), Some(3));
+        assert_eq!(bfs.distance(NodeId(4)), Some(2));
+        assert_eq!(bfs.distance(NodeId(5)), Some(1));
+        // the path found must have length == distance
+        assert_eq!(bfs.path_to(NodeId(3)).unwrap().len(), 4);
+    }
+
+    /// Build a random undirected graph from a proptest edge list.
+    fn random_graph(n: usize, edges: &[(u32, u32)]) -> Adjacency {
+        let mut adj = Adjacency::with_nodes(n);
+        for &(a, b) in edges {
+            let a = a % n as u32;
+            let b = b % n as u32;
+            if a != b {
+                adj.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        adj
+    }
+
+    proptest! {
+        /// BFS distance is symmetric on undirected graphs.
+        #[test]
+        fn prop_distance_symmetric(
+            edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80),
+            a in 0u32..30, b in 0u32..30,
+        ) {
+            let adj = random_graph(30, &edges);
+            let dab = full_bfs(&adj, NodeId(a)).distance(NodeId(b));
+            let dba = full_bfs(&adj, NodeId(b)).distance(NodeId(a));
+            prop_assert_eq!(dab, dba);
+        }
+
+        /// Triangle inequality over hops: d(a,c) <= d(a,b) + d(b,c).
+        #[test]
+        fn prop_triangle_inequality(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            a in 0u32..20, b in 0u32..20, c in 0u32..20,
+        ) {
+            let adj = random_graph(20, &edges);
+            let ab = full_bfs(&adj, NodeId(a)).distance(NodeId(b));
+            let bc = full_bfs(&adj, NodeId(b)).distance(NodeId(c));
+            let ac = full_bfs(&adj, NodeId(a)).distance(NodeId(c));
+            if let (Some(ab), Some(bc)) = (ab, bc) {
+                prop_assert!(ac.is_some());
+                prop_assert!(ac.unwrap() <= ab + bc);
+            }
+        }
+
+        /// Extracted paths are valid: consecutive nodes adjacent, length
+        /// equals distance, endpoints correct.
+        #[test]
+        fn prop_paths_valid(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..70),
+            a in 0u32..25, b in 0u32..25,
+        ) {
+            let adj = random_graph(25, &edges);
+            let bfs = full_bfs(&adj, NodeId(a));
+            if let Some(path) = bfs.path_to(NodeId(b)) {
+                prop_assert_eq!(path[0], NodeId(a));
+                prop_assert_eq!(*path.last().unwrap(), NodeId(b));
+                prop_assert_eq!(path.len() as u16 - 1, bfs.distance(NodeId(b)).unwrap());
+                for w in path.windows(2) {
+                    prop_assert!(adj.is_neighbor(w[0], w[1]));
+                }
+            }
+        }
+
+        /// khop BFS visits exactly the nodes whose full-BFS distance ≤ k.
+        #[test]
+        fn prop_khop_is_distance_filter(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..70),
+            src in 0u32..25, k in 0u16..6,
+        ) {
+            let adj = random_graph(25, &edges);
+            let full = full_bfs(&adj, NodeId(src));
+            let limited = khop_bfs(&adj, NodeId(src), k);
+            for v in NodeId::all(25) {
+                let expect = matches!(full.distance(v), Some(d) if d <= k);
+                prop_assert_eq!(limited.reached(v), expect);
+                if expect {
+                    prop_assert_eq!(limited.distance(v), full.distance(v));
+                }
+            }
+        }
+    }
+}

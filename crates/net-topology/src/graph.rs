@@ -1,0 +1,231 @@
+//! The unit-disk connectivity graph.
+//!
+//! [`Adjacency`] stores, for each node, the sorted list of nodes within
+//! transmission range. It is rebuilt from positions (via [`SpatialGrid`])
+//! whenever mobility moves nodes, and queried constantly by every protocol
+//! layer (`is_neighbor` is the "is the next hop still there?" check in
+//! contact maintenance).
+
+use crate::geometry::{Field, Point2};
+use crate::grid::SpatialGrid;
+use crate::node::NodeId;
+
+/// Symmetric adjacency lists for the unit-disk graph.
+#[derive(Clone, Debug, Default)]
+pub struct Adjacency {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Adjacency {
+    /// An empty graph over `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Adjacency { neighbors: vec![Vec::new(); n] }
+    }
+
+    /// Build from positions with the given transmission `range`, using a
+    /// spatial grid (O(N · avg-degree)).
+    pub fn build(field: Field, positions: &[Point2], range: f64) -> Self {
+        let mut grid = SpatialGrid::new(field, range);
+        grid.rebuild(positions);
+        Self::build_with_grid(&mut grid, positions, range)
+    }
+
+    /// Build from positions, reusing a caller-owned grid (the grid is
+    /// rebuilt from `positions` first). Useful on mobility ticks to avoid
+    /// reallocating the grid each time.
+    pub fn build_with_grid(grid: &mut SpatialGrid, positions: &[Point2], range: f64) -> Self {
+        grid.rebuild(positions);
+        let mut adj = Adjacency::with_nodes(positions.len());
+        for (i, &p) in positions.iter().enumerate() {
+            let id = NodeId::from(i);
+            let list = &mut adj.neighbors[i];
+            grid.for_each_within(positions, p, range, Some(id), |nb| list.push(nb));
+            list.sort_unstable();
+        }
+        adj
+    }
+
+    /// Rebuild in place (reusing allocations) from new positions.
+    pub fn rebuild_with_grid(&mut self, grid: &mut SpatialGrid, positions: &[Point2], range: f64) {
+        grid.rebuild(positions);
+        self.neighbors.resize_with(positions.len(), Vec::new);
+        for (i, &p) in positions.iter().enumerate() {
+            let id = NodeId::from(i);
+            let list = &mut self.neighbors[i];
+            list.clear();
+            grid.for_each_within(positions, p, range, Some(id), |nb| list.push(nb));
+            list.sort_unstable();
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Sorted direct (1-hop) neighbors of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors[node.index()].len()
+    }
+
+    /// Are `a` and `b` directly connected? (binary search on the sorted list)
+    #[inline]
+    pub fn is_neighbor(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Average node degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.iter().map(Vec::len).sum::<usize>() as f64 / self.neighbors.len() as f64
+    }
+
+    /// Add an undirected edge (used by tests and synthetic topologies).
+    ///
+    /// # Panics
+    /// Panics on self-loops.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert_ne!(a, b, "self-loop");
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.neighbors[x.index()];
+            if let Err(pos) = list.binary_search(&y) {
+                list.insert(pos, y);
+            }
+        }
+    }
+
+    /// Remove an undirected edge if present.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            let list = &mut self.neighbors[x.index()];
+            if let Ok(pos) = list.binary_search(&y) {
+                list.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Three nodes in a line, 40 m apart, range 50 m: 0-1 and 1-2 connect,
+    /// 0-2 (80 m) does not.
+    fn line3() -> (Field, Vec<Point2>) {
+        (
+            Field::square(200.0),
+            vec![
+                Point2::new(10.0, 10.0),
+                Point2::new(50.0, 10.0),
+                Point2::new(90.0, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_line_topology() {
+        let (field, pos) = line3();
+        let adj = Adjacency::build(field, &pos, 50.0);
+        assert_eq!(adj.node_count(), 3);
+        assert_eq!(adj.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(adj.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(adj.neighbors(NodeId(2)), &[NodeId(1)]);
+        assert!(adj.is_neighbor(NodeId(0), NodeId(1)));
+        assert!(!adj.is_neighbor(NodeId(0), NodeId(2)));
+        assert_eq!(adj.link_count(), 2);
+        assert!((adj.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(adj.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn symmetry_of_links() {
+        let (field, pos) = line3();
+        let adj = Adjacency::build(field, &pos, 50.0);
+        for a in NodeId::all(3) {
+            for &b in adj.neighbors(a) {
+                assert!(adj.is_neighbor(b, a), "{a}-{b} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reflects_movement() {
+        let (field, mut pos) = line3();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        assert!(adj.is_neighbor(NodeId(0), NodeId(1)));
+        // node 1 walks out of everyone's range
+        pos[1] = Point2::new(190.0, 190.0);
+        adj.rebuild_with_grid(&mut grid, &pos, 50.0);
+        assert_eq!(adj.degree(NodeId(1)), 0);
+        assert!(!adj.is_neighbor(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn add_remove_edge() {
+        let mut adj = Adjacency::with_nodes(4);
+        adj.add_edge(NodeId(0), NodeId(2));
+        adj.add_edge(NodeId(0), NodeId(2)); // idempotent
+        assert!(adj.is_neighbor(NodeId(0), NodeId(2)));
+        assert!(adj.is_neighbor(NodeId(2), NodeId(0)));
+        assert_eq!(adj.link_count(), 1);
+        adj.remove_edge(NodeId(0), NodeId(2));
+        assert_eq!(adj.link_count(), 0);
+        adj.remove_edge(NodeId(0), NodeId(2)); // removing absent edge is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Adjacency::with_nodes(2).add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn exact_range_boundary_connects() {
+        let field = Field::square(100.0);
+        let pos = vec![Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)];
+        let adj = Adjacency::build(field, &pos, 50.0);
+        assert!(adj.is_neighbor(NodeId(0), NodeId(1)), "distance == range is connected");
+    }
+
+    proptest! {
+        /// Grid-accelerated construction matches the O(N²) definition.
+        #[test]
+        fn prop_build_matches_naive(
+            pts in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 1..80),
+            range in 10.0..100.0f64,
+        ) {
+            let field = Field::square(710.0);
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let adj = Adjacency::build(field, &positions, range);
+            let r_sq = range * range;
+            for i in 0..positions.len() {
+                for j in 0..positions.len() {
+                    if i == j { continue; }
+                    let expect = positions[i].dist_sq(positions[j]) <= r_sq;
+                    prop_assert_eq!(
+                        adj.is_neighbor(NodeId::from(i), NodeId::from(j)),
+                        expect,
+                        "pair ({}, {})", i, j
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Spatial hash grid for neighbor queries.
+//!
+//! Rebuilding the unit-disk graph naively is O(N²) distance checks per
+//! mobility tick. The grid partitions the field into square cells whose side
+//! equals the transmission range; all neighbors of a point then lie in its
+//! own cell or the 8 surrounding ones, giving O(N · avg-degree) rebuilds.
+
+use crate::geometry::{Field, Point2};
+use crate::node::NodeId;
+
+/// A uniform grid over a [`Field`] with cell side ≥ the query radius.
+pub struct SpatialGrid {
+    cell_side: f64,
+    cols: usize,
+    rows: usize,
+    /// Node ids bucketed per cell, row-major.
+    cells: Vec<Vec<NodeId>>,
+}
+
+impl SpatialGrid {
+    /// Build a grid for `field` sized for range queries of radius `range`.
+    ///
+    /// # Panics
+    /// Panics unless `range` is positive and finite.
+    pub fn new(field: Field, range: f64) -> Self {
+        assert!(range > 0.0 && range.is_finite(), "invalid range {range}");
+        let cols = (field.width() / range).ceil().max(1.0) as usize;
+        let rows = (field.height() / range).ceil().max(1.0) as usize;
+        SpatialGrid {
+            cell_side: range,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point2) -> (usize, usize) {
+        let cx = ((p.x / self.cell_side) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell_side) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+
+    /// Clear and re-bucket every node position. Positions outside the field
+    /// are clamped into the boundary cells.
+    pub fn rebuild(&mut self, positions: &[Point2]) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            let (cx, cy) = self.cell_of(p);
+            self.cells[cy * self.cols + cx].push(NodeId::from(i));
+        }
+    }
+
+    /// Visit every node within `radius` of `center` (excluding `exclude`,
+    /// typically the querying node itself). `radius` must not exceed the
+    /// cell side the grid was built with.
+    pub fn for_each_within(
+        &self,
+        positions: &[Point2],
+        center: Point2,
+        radius: f64,
+        exclude: Option<NodeId>,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        debug_assert!(
+            radius <= self.cell_side + 1e-9,
+            "query radius {radius} exceeds grid cell side {}",
+            self.cell_side
+        );
+        let r_sq = radius * radius;
+        let (cx, cy) = self.cell_of(center);
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                for &id in &self.cells[gy * self.cols + gx] {
+                    if Some(id) == exclude {
+                        continue;
+                    }
+                    if positions[id.index()].dist_sq(center) <= r_sq {
+                        visit(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect every node within `radius` of `center` into a vector.
+    pub fn within(
+        &self,
+        positions: &[Point2],
+        center: Point2,
+        radius: f64,
+        exclude: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_within(positions, center, radius, exclude, |id| out.push(id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force(
+        positions: &[Point2],
+        center: Point2,
+        radius: f64,
+        exclude: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        let r_sq = radius * radius;
+        positions
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| Some(NodeId::from(*i)) != exclude && p.dist_sq(center) <= r_sq)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+
+    #[test]
+    fn finds_neighbors_across_cells() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let positions = vec![
+            Point2::new(9.0, 9.0),   // cell (0,0)
+            Point2::new(11.0, 11.0), // cell (1,1) — within 10m of node 0
+            Point2::new(50.0, 50.0), // far away
+        ];
+        grid.rebuild(&positions);
+        let mut found = grid.within(&positions, positions[0], 10.0, Some(NodeId(0)));
+        found.sort();
+        assert_eq!(found, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn boundary_positions_are_bucketed() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 25.0);
+        let positions = vec![Point2::new(100.0, 100.0), Point2::new(99.0, 99.0)];
+        grid.rebuild(&positions);
+        let found = grid.within(&positions, positions[0], 25.0, Some(NodeId(0)));
+        assert_eq!(found, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn exclude_self() {
+        let field = Field::square(10.0);
+        let mut grid = SpatialGrid::new(field, 5.0);
+        let positions = vec![Point2::new(5.0, 5.0)];
+        grid.rebuild(&positions);
+        assert!(grid.within(&positions, positions[0], 5.0, Some(NodeId(0))).is_empty());
+        assert_eq!(grid.within(&positions, positions[0], 5.0, None), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn cell_count_matches_dimensions() {
+        let grid = SpatialGrid::new(Field::new(100.0, 50.0), 10.0);
+        assert_eq!(grid.cell_count(), 10 * 5);
+        // range larger than the field ⇒ a single cell
+        let grid = SpatialGrid::new(Field::new(100.0, 50.0), 1000.0);
+        assert_eq!(grid.cell_count(), 1);
+    }
+
+    #[test]
+    fn empty_positions() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        grid.rebuild(&[]);
+        assert!(grid.within(&[], Point2::new(5.0, 5.0), 10.0, None).is_empty());
+    }
+
+    proptest! {
+        /// The grid returns exactly the brute-force neighbor set, for any
+        /// point cloud and any query point.
+        #[test]
+        fn prop_grid_equals_brute_force(
+            pts in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 0..120),
+            q in (0.0..710.0f64, 0.0..710.0f64),
+            radius in 1.0..50.0f64,
+        ) {
+            let field = Field::square(710.0);
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut grid = SpatialGrid::new(field, 50.0);
+            grid.rebuild(&positions);
+            let center = Point2::new(q.0, q.1);
+            let mut got = grid.within(&positions, center, radius, None);
+            got.sort();
+            let mut expect = brute_force(&positions, center, radius, None);
+            expect.sort();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

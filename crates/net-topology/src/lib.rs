@@ -1,0 +1,54 @@
+//! # net-topology — geometry and connectivity substrate
+//!
+//! This crate models the physical layer of the CARD evaluation exactly the
+//! way the paper's NS-2 setup did (no MAC, no loss): nodes are points in a
+//! rectangular field and two nodes share a bidirectional link iff their
+//! Euclidean distance is at most the transmission range (*unit-disk graph*).
+//!
+//! Components:
+//!
+//! * [`geometry`] — [`geometry::Point2`], [`geometry::Field`];
+//! * [`node`] — dense [`node::NodeId`] handles;
+//! * [`placement`] — uniform / grid / clustered node placement;
+//! * [`grid`] — a spatial hash grid giving O(1)-neighborhood range queries,
+//!   used to rebuild connectivity in O(N · avg-degree) instead of O(N²);
+//! * [`graph`] — the adjacency structure ([`graph::Adjacency`]);
+//! * [`bfs`] — hop-limited and full breadth-first search (neighborhood
+//!   tables, shortest hop paths);
+//! * [`metrics`] — links, degree, diameter, average hops (Table 1);
+//! * [`smallworld`] — Watts–Strogatz clustering / characteristic path
+//!   length (the paper's §I small-world foundation);
+//! * [`scenario`] — the 8 simulation scenarios of Table 1 plus custom ones.
+
+#![warn(missing_docs)]
+pub mod bfs;
+pub mod geometry;
+pub mod graph;
+pub mod grid;
+pub mod metrics;
+pub mod node;
+pub mod placement;
+pub mod scenario;
+pub mod smallworld;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::bfs::{full_bfs, khop_bfs, shortest_path, BfsResult};
+    pub use crate::geometry::{Field, Point2};
+    pub use crate::graph::Adjacency;
+    pub use crate::grid::SpatialGrid;
+    pub use crate::metrics::TopologyMetrics;
+    pub use crate::node::NodeId;
+    pub use crate::placement::{place_clustered, place_grid, place_uniform};
+    pub use crate::scenario::{Scenario, TABLE1_SCENARIOS};
+    pub use crate::smallworld::SmallWorldMetrics;
+}
+
+pub use bfs::{full_bfs, khop_bfs, shortest_path, BfsResult};
+pub use geometry::{Field, Point2};
+pub use graph::Adjacency;
+pub use grid::SpatialGrid;
+pub use metrics::TopologyMetrics;
+pub use node::NodeId;
+pub use scenario::{Scenario, TABLE1_SCENARIOS};
+pub use smallworld::SmallWorldMetrics;

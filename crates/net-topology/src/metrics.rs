@@ -1,0 +1,171 @@
+//! Whole-topology metrics — the columns of Table 1.
+//!
+//! The paper reports, per scenario: number of links, average node degree,
+//! network diameter and average hop count. Sparse scenarios (e.g. scenario
+//! 3: 250 nodes over 1000×1000 m at 50 m range) are *disconnected*, so
+//! diameter and average hops are computed over connected pairs only, and the
+//! component structure is reported alongside.
+
+use crate::bfs::full_bfs;
+use crate::graph::Adjacency;
+use crate::node::NodeId;
+
+/// Summary statistics of one topology snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected links.
+    pub links: usize,
+    /// Mean node degree.
+    pub avg_degree: f64,
+    /// Maximum hop distance over connected pairs (0 for edgeless graphs).
+    pub diameter: u16,
+    /// Mean hop distance over connected (ordered) pairs, excluding self-pairs.
+    pub avg_hops: f64,
+    /// Number of connected components.
+    pub components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl TopologyMetrics {
+    /// Compute all metrics with one BFS per node (O(N·E)).
+    pub fn compute(adj: &Adjacency) -> Self {
+        let n = adj.node_count();
+        let mut diameter = 0u16;
+        let mut hop_sum: u64 = 0;
+        let mut pair_count: u64 = 0;
+        let mut component_of = vec![usize::MAX; n];
+        let mut components = 0usize;
+        let mut largest = 0usize;
+
+        for src in NodeId::all(n) {
+            let bfs = full_bfs(adj, src);
+            // component labeling from BFS of unvisited sources
+            if component_of[src.index()] == usize::MAX {
+                for &v in bfs.visited() {
+                    component_of[v.index()] = components;
+                }
+                largest = largest.max(bfs.visited_count());
+                components += 1;
+            }
+            diameter = diameter.max(bfs.max_distance());
+            for &v in bfs.visited() {
+                if v != src {
+                    hop_sum += bfs.distance(v).unwrap() as u64;
+                    pair_count += 1;
+                }
+            }
+        }
+
+        TopologyMetrics {
+            nodes: n,
+            links: adj.link_count(),
+            avg_degree: adj.avg_degree(),
+            diameter,
+            avg_hops: if pair_count == 0 {
+                0.0
+            } else {
+                hop_sum as f64 / pair_count as f64
+            },
+            components,
+            largest_component: largest,
+        }
+    }
+
+    /// Fraction of nodes in the largest component (1.0 = connected).
+    pub fn connectivity_ratio(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.largest_component as f64 / self.nodes as f64
+    }
+
+    /// Is the topology a single connected component?
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: u32) -> Adjacency {
+        let mut adj = Adjacency::with_nodes(n as usize);
+        for i in 0..n - 1 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        adj
+    }
+
+    #[test]
+    fn path_graph_metrics() {
+        let m = TopologyMetrics::compute(&path(4));
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.links, 3);
+        assert_eq!(m.diameter, 3);
+        assert_eq!(m.components, 1);
+        assert_eq!(m.largest_component, 4);
+        assert!(m.is_connected());
+        assert_eq!(m.connectivity_ratio(), 1.0);
+        // ordered connected pairs: distances 1,2,3 appear twice each plus 1,1,2 etc.
+        // path 0-1-2-3: sum over ordered pairs = 2*(1+2+3 + 1+2 + 1) = 20, pairs = 12
+        assert!((m.avg_hops - 20.0 / 12.0).abs() < 1e-12);
+        assert!((m.avg_degree - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut adj = Adjacency::with_nodes(5);
+        adj.add_edge(NodeId(0), NodeId(1));
+        adj.add_edge(NodeId(2), NodeId(3));
+        // node 4 isolated
+        let m = TopologyMetrics::compute(&adj);
+        assert_eq!(m.components, 3);
+        assert_eq!(m.largest_component, 2);
+        assert!(!m.is_connected());
+        assert_eq!(m.diameter, 1);
+        assert_eq!(m.avg_hops, 1.0); // all connected pairs are at 1 hop
+        assert!((m.connectivity_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let adj = Adjacency::with_nodes(3);
+        let m = TopologyMetrics::compute(&adj);
+        assert_eq!(m.links, 0);
+        assert_eq!(m.diameter, 0);
+        assert_eq!(m.avg_hops, 0.0);
+        assert_eq!(m.components, 3);
+        assert_eq!(m.largest_component, 1);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let mut adj = Adjacency::with_nodes(4);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                adj.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        let m = TopologyMetrics::compute(&adj);
+        assert_eq!(m.links, 6);
+        assert_eq!(m.diameter, 1);
+        assert_eq!(m.avg_hops, 1.0);
+        assert_eq!(m.avg_degree, 3.0);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn star_graph_diameter_two() {
+        let mut adj = Adjacency::with_nodes(5);
+        for i in 1..5u32 {
+            adj.add_edge(NodeId(0), NodeId(i));
+        }
+        let m = TopologyMetrics::compute(&adj);
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.links, 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Dense node identifiers.
+//!
+//! Nodes are numbered `0..N`, so a `NodeId` doubles as an index into the
+//! per-node arrays (positions, adjacency, tables) that every layer of the
+//! reproduction uses. A `u32` keeps hot structures compact (the paper's
+//! networks top out at thousands of nodes).
+
+use core::fmt;
+
+/// A node handle: a dense index in `0..N`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Construct from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index as `usize` (for array access).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Iterator over all ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u32).map(NodeId)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        NodeId(v as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(NodeId::from(42usize), id);
+    }
+
+    #[test]
+    fn all_enumerates_dense_range() {
+        let ids: Vec<NodeId> = NodeId::all(3).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(NodeId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

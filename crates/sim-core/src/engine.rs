@@ -1,0 +1,230 @@
+//! The pull-based simulation engine.
+//!
+//! [`Engine`] couples the [`EventQueue`] with a virtual clock. The driver
+//! loop looks like:
+//!
+//! ```ignore
+//! while let Some((t, ev)) = engine.next_event() {
+//!     world.handle(t, ev, &mut engine); // may schedule more events
+//! }
+//! ```
+//!
+//! `next_event` advances the clock to the popped event's timestamp, so
+//! `engine.now()` is always the time of the event being handled. A horizon
+//! ([`Engine::set_horizon`]) lets simulations stop at a fixed virtual time
+//! without draining the queue.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Discrete-event engine: event queue + virtual clock + optional horizon.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// New engine at t = 0 with an unbounded horizon.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            processed: 0,
+        }
+    }
+
+    /// New engine that will not deliver events at or after `horizon`.
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        let mut e = Self::new();
+        e.horizon = horizon;
+        e
+    }
+
+    /// Current virtual time (time of the most recently popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Set the stop time. Events scheduled at `t >= horizon` stay queued but
+    /// are never delivered.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// The current stop time.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current virtual time: scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "schedule_at into the past: at={at:?} < now={now:?}",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after a relative delay from `now()`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pop the next event (earliest first, FIFO on ties), advancing the
+    /// clock to its timestamp. Returns `None` when the queue is exhausted or
+    /// the next event lies at/after the horizon.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t < self.horizon => {
+                let (t, ev) = self.queue.pop().expect("peek said non-empty");
+                self.now = t;
+                self.processed += 1;
+                Some((t, ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pending (not yet delivered) events, including any beyond
+    /// the horizon.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no events are pending at all.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drop every pending event (the clock is left unchanged).
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Run the simulation to completion (or horizon) with a handler closure.
+    ///
+    /// This is a convenience wrapper over the pull loop for simulations whose
+    /// whole state fits in one `world` value.
+    pub fn run<W>(&mut self, world: &mut W, mut handler: impl FnMut(&mut Self, &mut W, SimTime, E)) {
+        while let Some((t, ev)) = self.next_event() {
+            handler(self, world, t, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Ev {
+        Tick,
+        Echo(u32),
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(4), Ev::Tick);
+        e.schedule_at(SimTime::from_secs(2), Ev::Tick);
+        assert_eq!(e.now(), SimTime::ZERO);
+        let (t, _) = e.next_event().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(e.now(), t);
+        let (t, _) = e.next_event().unwrap();
+        assert_eq!(t, SimTime::from_secs(4));
+        assert_eq!(e.now(), t);
+        assert!(e.next_event().is_none());
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        e.next_event().unwrap();
+        e.schedule_in(SimDuration::from_millis(500), Ev::Echo(7));
+        let (t, ev) = e.next_event().unwrap();
+        assert_eq!(t, SimTime::from_millis(1500));
+        assert_eq!(ev, Ev::Echo(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), Ev::Tick);
+        e.next_event().unwrap();
+        e.schedule_at(SimTime::from_secs(1), Ev::Tick);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut e = Engine::with_horizon(SimTime::from_secs(5));
+        e.schedule_at(SimTime::from_secs(3), Ev::Tick);
+        e.schedule_at(SimTime::from_secs(5), Ev::Tick); // exactly at horizon: excluded
+        e.schedule_at(SimTime::from_secs(9), Ev::Tick);
+        assert!(e.next_event().is_some());
+        assert!(e.next_event().is_none());
+        assert_eq!(e.pending(), 2);
+    }
+
+    #[test]
+    fn run_loop_processes_chain() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::ZERO, Ev::Echo(3));
+        let mut sum = 0u32;
+        e.run(&mut sum, |eng, acc, _t, ev| {
+            if let Ev::Echo(n) = ev {
+                *acc += n;
+                if n > 1 {
+                    eng.schedule_in(SimDuration::from_millis(1), Ev::Echo(n - 1));
+                }
+            }
+        });
+        assert_eq!(sum, 3 + 2 + 1);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn clear_pending_empties_queue() {
+        let mut e = Engine::<Ev>::new();
+        e.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        e.schedule_at(SimTime::from_secs(2), Ev::Tick);
+        e.clear_pending();
+        assert!(e.is_idle());
+        assert!(e.next_event().is_none());
+    }
+
+    #[test]
+    fn zero_delay_events_fifo() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), Ev::Echo(1));
+        e.next_event().unwrap();
+        e.schedule_in(SimDuration::ZERO, Ev::Echo(2));
+        e.schedule_in(SimDuration::ZERO, Ev::Echo(3));
+        assert_eq!(e.next_event().unwrap().1, Ev::Echo(2));
+        assert_eq!(e.next_event().unwrap().1, Ev::Echo(3));
+    }
+}

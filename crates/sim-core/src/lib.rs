@@ -1,0 +1,75 @@
+//! # sim-core — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate that replaces NS-2 in the CARD reproduction
+//! (see `DESIGN.md` §1, substitution 1). It provides:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — an integer virtual clock
+//!   (microsecond ticks) so event ordering is exact and platform-independent;
+//! * [`event::EventQueue`] — a stable priority queue: events pop in time
+//!   order, FIFO among equal timestamps;
+//! * [`engine::Engine`] — the simulation driver. The engine is *pull-based*:
+//!   the caller pops `(time, event)` pairs and handles them, scheduling new
+//!   events back onto the engine. This avoids callback-borrow gymnastics and
+//!   keeps protocol state fully owned by the caller;
+//! * [`rng`] — deterministic, splittable random-number streams
+//!   (xoshiro256++, seeded via SplitMix64) so every node/purpose pair gets an
+//!   independent reproducible stream;
+//! * [`stats`] — counters, per-kind message accounting and time-bucketed
+//!   series used for every overhead figure in the paper;
+//! * [`trace`] — an optional bounded event trace for protocol debugging;
+//! * [`util`] — a compact fixed-capacity bitset used for reachability sets.
+//!
+//! The engine knows nothing about networks; `net-topology`, `manet-routing`
+//! and `card-core` build the MANET world on top of it.
+//!
+//! ## Example
+//!
+//! ```
+//! use sim_core::prelude::*;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32), Stop }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+//! engine.schedule_at(SimTime::from_secs(2), Ev::Stop);
+//!
+//! let mut pings = 0;
+//! while let Some((t, ev)) = engine.next_event() {
+//!     match ev {
+//!         Ev::Ping(n) => {
+//!             pings += n;
+//!             // reschedule relative to the current virtual time
+//!             if t < SimTime::from_secs(2) {
+//!                 engine.schedule_in(SimDuration::from_millis(500), Ev::Ping(1));
+//!             }
+//!         }
+//!         Ev::Stop => break,
+//!     }
+//! }
+//! assert!(pings >= 2);
+//! ```
+
+#![warn(missing_docs)]
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod util;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::engine::Engine;
+    pub use crate::event::EventQueue;
+    pub use crate::rng::{RngStream, SeedSplitter};
+    pub use crate::stats::{Counter, MsgStats, TimeSeries};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Trace, TraceCategory};
+    pub use crate::util::BitSet;
+}
+
+pub use engine::Engine;
+pub use rng::{RngStream, SeedSplitter};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,198 @@
+//! Bounded simulation tracing.
+//!
+//! A [`Trace`] is a ring buffer of timestamped, categorized records that
+//! protocol code can emit while running under the engine. Traces are for
+//! *debugging and inspection* — they are disabled by default (a disabled
+//! trace is a no-op with no allocation per event), never affect protocol
+//! behavior, and keep only the most recent `capacity` records.
+//!
+//! ```
+//! use sim_core::trace::{Trace, TraceCategory};
+//! use sim_core::time::SimTime;
+//!
+//! let mut trace = Trace::bounded(128);
+//! trace.emit(SimTime::from_secs(1), TraceCategory::Selection, "n3 accepts CSQ from n0");
+//! assert_eq!(trace.len(), 1);
+//! assert!(trace.records().next().unwrap().message.contains("accepts"));
+//! ```
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Coarse category of a trace record, for filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceCategory {
+    /// Contact selection (CSQ walks, accept/refuse decisions).
+    Selection,
+    /// Contact maintenance (validation, recovery, drops).
+    Maintenance,
+    /// Queries (DSQ forwarding, answers).
+    Query,
+    /// Mobility / topology changes.
+    Topology,
+    /// Anything else.
+    Other,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Category for filtering.
+    pub category: TraceCategory,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A bounded (ring-buffer) or disabled trace sink.
+#[derive(Debug)]
+pub struct Trace {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    /// Total records emitted (including evicted ones).
+    emitted: u64,
+}
+
+impl Trace {
+    /// A disabled trace: every emit is a no-op.
+    pub fn disabled() -> Self {
+        Trace { capacity: 0, records: VecDeque::new(), emitted: 0 }
+    }
+
+    /// A trace keeping the most recent `capacity` records.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            emitted: 0,
+        }
+    }
+
+    /// Is this trace recording at all?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Emit a record (no-op when disabled). `message` is only materialized
+    /// through `impl Into<String>`, so pass `&str` for cheap emits.
+    pub fn emit(&mut self, at: SimTime, category: TraceCategory, message: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { at, category, message: message.into() });
+        self.emitted += 1;
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained records matching a category.
+    pub fn by_category(&self, category: TraceCategory) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever emitted (including ones evicted by the ring).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Drop all retained records (the emitted counter survives).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Render retained records as one line each: `t=1.000s [Query] …`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("t={} [{:?}] {}\n", r.at, r.category, r.message));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.emit(SimTime::ZERO, TraceCategory::Other, "ignored");
+        assert!(t.is_empty());
+        assert_eq!(t.emitted(), 0);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn bounded_trace_keeps_latest() {
+        let mut t = Trace::bounded(3);
+        assert!(t.is_enabled());
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), TraceCategory::Selection, format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.emitted(), 5);
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::bounded(10);
+        t.emit(SimTime::ZERO, TraceCategory::Query, "q1");
+        t.emit(SimTime::ZERO, TraceCategory::Maintenance, "m1");
+        t.emit(SimTime::ZERO, TraceCategory::Query, "q2");
+        assert_eq!(t.by_category(TraceCategory::Query).count(), 2);
+        assert_eq!(t.by_category(TraceCategory::Maintenance).count(), 1);
+        assert_eq!(t.by_category(TraceCategory::Topology).count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_emitted_count() {
+        let mut t = Trace::bounded(4);
+        t.emit(SimTime::ZERO, TraceCategory::Other, "x");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.emitted(), 1);
+    }
+
+    #[test]
+    fn render_format() {
+        let mut t = Trace::bounded(4);
+        t.emit(SimTime::from_millis(1500), TraceCategory::Topology, "link broke");
+        let rendered = t.render();
+        assert!(rendered.contains("t=1.500s"));
+        assert!(rendered.contains("[Topology]"));
+        assert!(rendered.contains("link broke"));
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Trace::default().is_enabled());
+    }
+}

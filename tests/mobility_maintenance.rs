@@ -1,0 +1,141 @@
+//! Integration: contact maintenance under every mobility model.
+
+use card_manet::mobility::{GroupMobility, RandomWalk, StaticModel};
+use card_manet::prelude::*;
+use card_manet::sim::stats::MsgKind;
+use card_manet::sim::time::SimDuration;
+
+fn cfg() -> CardConfig {
+    CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(9)
+        .with_target_contacts(4)
+        .with_seed(31)
+}
+
+fn built_world() -> CardWorld {
+    let scenario = Scenario::new(200, 550.0, 550.0, 55.0);
+    let mut w = CardWorld::build(&scenario, cfg());
+    w.select_all_contacts();
+    w
+}
+
+#[test]
+fn static_model_never_loses_contacts() {
+    let mut w = built_world();
+    w.run_mobile(&mut StaticModel, SimDuration::from_secs(6));
+    assert_eq!(w.maintenance_totals().lost, 0);
+    assert_eq!(w.maintenance_totals().dropped_out_of_range, 0);
+    assert_eq!(w.maintenance_totals().recovered, 0, "nothing to recover when static");
+    assert!(w.maintenance_totals().validated > 0);
+}
+
+#[test]
+fn random_waypoint_exercises_recovery_and_reselection() {
+    let mut w = built_world();
+    let mut model = RandomWaypoint::new(
+        200,
+        w.network().field(),
+        2.0,
+        8.0,
+        0.0,
+        SeedSplitter::new(5).stream("rwp", 0),
+    );
+    w.run_mobile(&mut model, SimDuration::from_secs(10));
+    let totals = w.maintenance_totals();
+    assert!(totals.validated > 0);
+    assert!(totals.recovered > 0, "moderate mobility should trigger local recovery");
+    // the table survives churn thanks to rule-5 re-selection
+    assert!(w.total_contacts() > 0);
+    assert!(w.stats().total(MsgKind::Validation) > 0);
+    assert!(w.stats().total(MsgKind::ValidationReply) > 0);
+}
+
+#[test]
+fn random_walk_maintenance_holds_up() {
+    let mut w = built_world();
+    let mut model = RandomWalk::new(
+        200,
+        w.network().field(),
+        1.0,
+        6.0,
+        2.0,
+        SeedSplitter::new(6).stream("walk", 0),
+    );
+    let before = w.total_contacts();
+    w.run_mobile(&mut model, SimDuration::from_secs(8));
+    assert!(before > 0);
+    assert!(
+        w.total_contacts() as f64 >= before as f64 * 0.3,
+        "maintenance should sustain most contacts under random walk \
+         ({before} -> {})",
+        w.total_contacts()
+    );
+}
+
+#[test]
+fn group_mobility_with_coherent_deployment() {
+    let field = Field::square(550.0);
+    let config = cfg();
+    let mut squads = GroupMobility::new(
+        200,
+        field,
+        8,
+        1.0,
+        3.0,
+        130.0,
+        SeedSplitter::new(config.seed).stream("squads", 0),
+    );
+    let mut positions = vec![Point2::ORIGIN; 200];
+    squads.advance(&mut positions, SimDuration::from_millis(1));
+    let net = Network::from_positions(field, positions, 55.0, config.radius);
+    let mut w = CardWorld::from_network(net, config);
+    w.select_all_contacts();
+    let before = w.total_contacts();
+    assert!(before > 0, "overlapping squads must admit contacts");
+
+    w.run_mobile(&mut squads, SimDuration::from_secs(8));
+    assert!(
+        w.total_contacts() as f64 >= before as f64 * 0.3,
+        "squad drift should not wipe the tables ({before} -> {})",
+        w.total_contacts()
+    );
+}
+
+#[test]
+fn validation_series_is_recorded_every_round() {
+    let mut w = built_world();
+    w.run_mobile(&mut StaticModel, SimDuration::from_secs(5));
+    // rounds at ~0,1,2,3,4 s
+    assert_eq!(w.contacts_series().len(), 5);
+    // the series never goes negative and roughly tracks total_contacts
+    let last = w.contacts_series().last_value().unwrap();
+    assert_eq!(last, w.total_contacts() as f64);
+}
+
+#[test]
+fn local_recovery_ablation_loses_more() {
+    let run = |recovery: bool| {
+        let scenario = Scenario::new(200, 550.0, 550.0, 55.0);
+        let mut c = cfg();
+        c.local_recovery = recovery;
+        let mut w = CardWorld::build(&scenario, c);
+        w.select_all_contacts();
+        let mut model = RandomWaypoint::new(
+            200,
+            w.network().field(),
+            2.0,
+            8.0,
+            0.0,
+            SeedSplitter::new(12).stream("rwp", 0),
+        );
+        w.run_mobile(&mut model, SimDuration::from_secs(8));
+        w.maintenance_totals().lost
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        without > with,
+        "disabling local recovery must lose more contacts ({without} vs {with})"
+    );
+}
