@@ -152,13 +152,21 @@ fn bench_card_vs_expanding_ring(c: &mut Criterion) {
         for &(s, t) in &pairs {
             card_msgs += world2.query(s, t).total_messages();
             let mut st = MsgStats::default();
-            ers_msgs +=
-                expanding_ring_search(world2.network().adj(), s, t, &schedule, &mut st, SimTime::ZERO)
-                    .total_messages();
+            ers_msgs += expanding_ring_search(
+                world2.network().adj(),
+                s,
+                t,
+                &schedule,
+                &mut st,
+                SimTime::ZERO,
+            )
+            .total_messages();
         }
         eprintln!(
             "[ablation_expanding_ring] CARD {} msgs vs expanding-ring {} msgs over {} queries",
-            card_msgs, ers_msgs, pairs.len(),
+            card_msgs,
+            ers_msgs,
+            pairs.len(),
         );
     });
 
@@ -212,7 +220,10 @@ fn bench_query_detection(c: &mut Criterion) {
                         net.tables(),
                         s,
                         t,
-                        &BordercastConfig { qd, max_bordercasts: 100_000 },
+                        &BordercastConfig {
+                            qd,
+                            max_bordercasts: 100_000,
+                        },
                         &mut st,
                         SimTime::ZERO,
                     )

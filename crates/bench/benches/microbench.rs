@@ -5,15 +5,16 @@
 //! single CSQ walks. Useful for catching performance regressions that the
 //! end-to-end figure benches would only show indirectly.
 
-use card_core::csq::select_contacts;
+use card_core::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use card_core::{CardConfig, ContactTable};
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_routing::neighborhood::NeighborhoodTables;
 use manet_routing::network::Network;
+use mobility::walk::RandomWalk;
 use mobility::waypoint::RandomWaypoint;
 use net_topology::bfs::khop_bfs;
 use net_topology::node::NodeId;
-use net_topology::scenario::SCENARIO_5;
+use net_topology::scenario::{Scenario, SCENARIO_5};
 use sim_core::engine::Engine;
 use sim_core::rng::{RngStream, SeedSplitter};
 use sim_core::stats::MsgStats;
@@ -84,6 +85,75 @@ fn bench_mobility_tick(c: &mut Criterion) {
     });
 }
 
+/// A scenario with SCENARIO_5's node density (500 nodes / 710 m square,
+/// tx 50 m) scaled to `n` nodes.
+fn scaled_scenario(n: usize) -> Scenario {
+    let side = 710.0 * (n as f64 / 500.0).sqrt();
+    Scenario::new(n, side, side, 50.0)
+}
+
+/// CSR adjacency rebuild from the spatial grid, N ∈ {250, 1000}.
+fn bench_adjacency_rebuild(c: &mut Criterion) {
+    for n in [250usize, 1000] {
+        let scenario = scaled_scenario(n);
+        let (positions, _) = scenario.instantiate(9);
+        let mut grid = net_topology::grid::SpatialGrid::new(scenario.field(), scenario.tx_range);
+        let mut adj = net_topology::graph::Adjacency::build_with_grid(
+            &mut grid,
+            &positions,
+            scenario.tx_range,
+        );
+        c.bench_function(format!("adjacency_rebuild/n{n}"), |b| {
+            b.iter(|| {
+                adj.rebuild_with_grid(&mut grid, black_box(&positions), scenario.tx_range);
+                black_box(adj.link_count())
+            })
+        });
+    }
+}
+
+/// The mobility-tick topology refresh (adjacency rebuild + neighborhood
+/// update) at N ∈ {250, 1000}: the incremental dirty-set path vs the naive
+/// full-rebuild path, driven by identical mobility statistics — pedestrian
+/// speeds (0.5–2 m/s) at the protocol's default 100 ms tick, under the
+/// random-walk model (its stationary node distribution stays uniform, so
+/// per-tick churn is constant over an arbitrarily long measurement). The
+/// incremental path is the guard: it must stay well ahead of full rebuild
+/// (≥ 2× at N = 1000 — see BENCH_topology.json for the recorded baseline;
+/// the margin grows further at finer ticks or lower speeds, and shrinks
+/// toward parity as per-tick churn approaches whole-network scale).
+fn bench_topology_refresh(c: &mut Criterion) {
+    for n in [250usize, 1000] {
+        let scenario = scaled_scenario(n);
+        let mut group = c.benchmark_group(format!("topology_refresh/n{n}"));
+        let mut run = |label: &str, incremental: bool| {
+            group.bench_function(label, |b| {
+                let mut net = Network::from_scenario(&scenario, 2, 7);
+                let mut model = RandomWalk::new(
+                    n,
+                    scenario.field(),
+                    0.5,
+                    2.0,
+                    10.0,
+                    RngStream::seed_from_u64(42),
+                );
+                b.iter(|| {
+                    net.advance_positions_only(&mut model, SimDuration::from_millis(100));
+                    if incremental {
+                        net.refresh();
+                    } else {
+                        net.refresh_full();
+                    }
+                    black_box(net.adj().link_count())
+                })
+            });
+        };
+        run("incremental", true);
+        run("full_rebuild", false);
+        group.finish();
+    }
+}
+
 fn bench_bitset_union(c: &mut Criterion) {
     let mut sets = Vec::new();
     let mut rng = RngStream::seed_from_u64(9);
@@ -114,6 +184,7 @@ fn bench_csq_walk(c: &mut Criterion) {
     let splitter = SeedSplitter::new(11);
     c.bench_function("select_contacts_one_source", |b| {
         let mut i = 0u64;
+        let mut scratch = CsqScratch::new();
         b.iter(|| {
             let mut rng = splitter.stream("bench", i);
             i += 1;
@@ -127,6 +198,8 @@ fn bench_csq_walk(c: &mut Criterion) {
                 &mut rng,
                 &mut stats,
                 SimTime::ZERO,
+                ALL_EDGE_NODES,
+                &mut scratch,
             );
             black_box(table.len())
         })
@@ -145,6 +218,8 @@ criterion_group! {
         bench_neighborhood_tables,
         bench_khop_bfs,
         bench_mobility_tick,
+        bench_adjacency_rebuild,
+        bench_topology_refresh,
         bench_bitset_union,
         bench_csq_walk,
 }

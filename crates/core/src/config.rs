@@ -210,14 +210,18 @@ mod tests {
 
     #[test]
     fn valid_path_hops_interval() {
-        let c = CardConfig::default().with_radius(3).with_max_contact_distance(10);
+        let c = CardConfig::default()
+            .with_radius(3)
+            .with_max_contact_distance(10);
         assert_eq!(c.valid_path_hops(), (6, 10));
     }
 
     #[test]
     fn csq_budget_combines_cap_factor_and_floor() {
         // default: the flat 320-step cap governs (factor 1000 inoperative)
-        let c = CardConfig::default().with_radius(3).with_max_contact_distance(10);
+        let c = CardConfig::default()
+            .with_radius(3)
+            .with_max_contact_distance(10);
         assert_eq!(c.csq_budget(), 320);
         // a small factor makes the budget r-proportional
         let mut scaled = c;

@@ -51,7 +51,9 @@ pub struct ContactTable {
 impl ContactTable {
     /// An empty table.
     pub fn new() -> Self {
-        ContactTable { contacts: Vec::new() }
+        ContactTable {
+            contacts: Vec::new(),
+        }
     }
 
     /// Number of live contacts.

@@ -18,6 +18,12 @@
 //!
 //! The walk keeps a per-query visited set — the protocol equivalent of
 //! "query and source IDs are included to prevent looping" (§III.C.2.b).
+//!
+//! Per-query DFS state (tried lists, on-path and evaluated flags) lives in
+//! a reusable [`CsqScratch`] workspace: walks run every validation round
+//! for every node, so allocating O(N) state per walk would dominate the
+//! steady-state cost. The scratch clears only what the previous walk
+//! touched.
 
 use manet_routing::network::Network;
 use net_topology::node::NodeId;
@@ -28,6 +34,10 @@ use sim_core::time::SimTime;
 use crate::config::CardConfig;
 use crate::contact::{Contact, ContactTable};
 use crate::selection::decides_to_be_contact;
+
+/// Walk budget meaning "CSQ through every edge node" (no cap) — the
+/// paper's from-scratch selection mode (Figs 3–9).
+pub const ALL_EDGE_NODES: usize = usize::MAX;
 
 /// Outcome counters of a single CSQ walk (one edge node launch).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -46,6 +56,68 @@ impl CsqWalkStats {
     /// Total messages of this walk.
     pub fn total(&self) -> u64 {
         self.forward_msgs + self.backtrack_msgs + self.reply_msgs
+    }
+}
+
+/// Reusable per-query DFS state for CSQ walks.
+///
+/// All per-node arrays are cleared lazily: `marked` remembers exactly which
+/// nodes the previous walk dirtied, so starting a new walk is O(touched),
+/// not O(N), and a long-lived scratch (one per [`crate::world::CardWorld`],
+/// or per worker in parallel sweeps) makes walks allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct CsqScratch {
+    /// Neighbors already tried per node, for this query.
+    tried: Vec<Vec<NodeId>>,
+    /// Is the node currently on the query's path?
+    on_path: Vec<bool>,
+    /// Has the node already run (or been exempted from) the PM/EM decision?
+    evaluated: Vec<bool>,
+    /// Has the node been dirtied this walk (dedup for `marked`)?
+    dirty: Vec<bool>,
+    /// Nodes dirtied by the current walk (cleared on the next `begin`).
+    marked: Vec<NodeId>,
+    /// DFS stack of the walk beyond (and including) the edge node.
+    walk: Vec<NodeId>,
+    /// Candidate-neighbor buffer for the random forwarding choice.
+    candidates: Vec<NodeId>,
+    /// Shuffled edge-node list of the current selection pass.
+    edges: Vec<NodeId>,
+    /// Current contact ids of the source (overlap rule input).
+    contact_list: Vec<NodeId>,
+}
+
+impl CsqScratch {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset per-walk state, clearing only what the last walk touched.
+    fn begin(&mut self, n: usize) {
+        for &v in &self.marked {
+            self.tried[v.index()].clear();
+            self.on_path[v.index()] = false;
+            self.evaluated[v.index()] = false;
+            self.dirty[v.index()] = false;
+        }
+        self.marked.clear();
+        self.walk.clear();
+        if self.on_path.len() < n {
+            self.tried.resize_with(n, Vec::new);
+            self.on_path.resize(n, false);
+            self.evaluated.resize(n, false);
+            self.dirty.resize(n, false);
+        }
+    }
+
+    /// Remember that `v`'s per-walk state must be cleared next time.
+    #[inline]
+    fn touch(&mut self, v: NodeId) {
+        if !self.dirty[v.index()] {
+            self.dirty[v.index()] = true;
+            self.marked.push(v);
+        }
     }
 }
 
@@ -75,6 +147,7 @@ pub fn csq_walk(
     rng: &mut RngStream,
     stats: &mut MsgStats,
     at: SimTime,
+    scratch: &mut CsqScratch,
 ) -> (Option<Contact>, CsqWalkStats) {
     let tables = net.tables();
     let mut ws = CsqWalkStats::default();
@@ -85,47 +158,43 @@ pub fn csq_walk(
     };
     ws.forward_msgs += route.len() as u64 - 1;
 
-    let edge_list: Vec<NodeId> = tables.of(source).edge_nodes().to_vec();
+    let edge_list = tables.of(source).edge_nodes();
     let r = cfg.max_contact_distance;
     let n = net.node_count();
 
-    // Per-node DFS state for this query.
-    let mut tried: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut on_path = vec![false; n];
-    let mut evaluated = vec![false; n];
+    // Per-node DFS state for this query, reused across walks.
+    scratch.begin(n);
     for &v in &route {
-        on_path[v.index()] = true;
-        evaluated[v.index()] = true; // intra-zone nodes are never candidates
+        scratch.touch(v);
+        scratch.on_path[v.index()] = true;
+        scratch.evaluated[v.index()] = true; // intra-zone nodes are never candidates
     }
     // The edge node must not bounce the query straight back into the zone.
     if route.len() >= 2 {
-        tried[edge.index()].push(route[route.len() - 2]);
+        scratch.tried[edge.index()].push(route[route.len() - 2]);
     }
 
     // Walk stack beyond (and including) the edge node. Walk depth
     // d = hops from source = (route.len() - 1) + (walk.len() - 1).
-    let mut walk: Vec<NodeId> = vec![edge];
+    scratch.walk.push(edge);
     let mut steps: u32 = 0;
     let budget = cfg.csq_budget();
-    let mut scratch: Vec<NodeId> = Vec::new();
 
-    while let Some(&cur) = walk.last() {
+    while let Some(&cur) = scratch.walk.last() {
         if steps >= budget {
             break;
         }
-        let d = (route.len() - 1 + walk.len() - 1) as u16;
+        let d = (route.len() - 1 + scratch.walk.len() - 1) as u16;
 
         // Untried, off-path neighbors of the current node.
         let next = if d < r {
-            scratch.clear();
-            scratch.extend(
-                net.adj()
-                    .neighbors(cur)
-                    .iter()
-                    .copied()
-                    .filter(|nb| !on_path[nb.index()] && !tried[cur.index()].contains(nb)),
-            );
-            rng.choose(&scratch).copied()
+            scratch.candidates.clear();
+            scratch
+                .candidates
+                .extend(net.adj().neighbors(cur).iter().copied().filter(|nb| {
+                    !scratch.on_path[nb.index()] && !scratch.tried[cur.index()].contains(nb)
+                }));
+            rng.choose(&scratch.candidates).copied()
         } else {
             None
         };
@@ -134,30 +203,22 @@ pub fn csq_walk(
             Some(x) => {
                 steps += 1;
                 ws.forward_msgs += 1;
-                tried[cur.index()].push(x);
-                on_path[x.index()] = true;
-                walk.push(x);
+                scratch.touch(x);
+                scratch.tried[cur.index()].push(x);
+                scratch.on_path[x.index()] = true;
+                scratch.walk.push(x);
                 let d_x = d + 1;
-                let accepts = if evaluated[x.index()] {
+                let accepts = if scratch.evaluated[x.index()] {
                     false // this node already declined this query
                 } else {
-                    evaluated[x.index()] = true;
+                    scratch.evaluated[x.index()] = true;
                     ws.nodes_evaluated += 1;
-                    decides_to_be_contact(
-                        cfg,
-                        tables,
-                        x,
-                        source,
-                        contact_list,
-                        &edge_list,
-                        d_x,
-                        rng,
-                    )
+                    decides_to_be_contact(cfg, tables, x, source, contact_list, edge_list, d_x, rng)
                 };
                 if accepts {
                     // Path = intra-zone route + walk (skip duplicated edge node).
                     let mut path = route.clone();
-                    path.extend_from_slice(&walk[1..]);
+                    path.extend_from_slice(&scratch.walk[1..]);
                     ws.reply_msgs += path.len() as u64 - 1;
                     stats.record_n(at, MsgKind::Csq, ws.forward_msgs);
                     stats.record_n(at, MsgKind::CsqBacktrack, ws.backtrack_msgs);
@@ -167,9 +228,9 @@ pub fn csq_walk(
             }
             None => {
                 // Dead end (or hop limit): backtrack one hop.
-                let popped = walk.pop().expect("walk non-empty");
-                on_path[popped.index()] = false;
-                if !walk.is_empty() {
+                let popped = scratch.walk.pop().expect("walk non-empty");
+                scratch.on_path[popped.index()] = false;
+                if !scratch.walk.is_empty() {
                     steps += 1;
                     ws.backtrack_msgs += 1;
                 }
@@ -185,40 +246,10 @@ pub fn csq_walk(
 /// §III.C.1 step 1: run CSQs through the source's edge nodes (shuffled),
 /// one at a time, until the table holds `cfg.target_contacts` contacts,
 /// `max_walks` CSQs have been launched, or every edge node has been tried.
+/// Pass [`ALL_EDGE_NODES`] for an unrestricted from-scratch pass, or the
+/// per-round walk budget for steady-state re-selection (§III.C.3 rule 5).
 /// Returns per-walk stats.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub fn select_contacts_limited(
-    net: &Network,
-    cfg: &CardConfig,
-    source: NodeId,
-    table: &mut ContactTable,
-    rng: &mut RngStream,
-    stats: &mut MsgStats,
-    at: SimTime,
-    max_walks: usize,
-) -> Vec<CsqWalkStats> {
-    let mut edges: Vec<NodeId> = net.tables().of(source).edge_nodes().to_vec();
-    rng.shuffle(&mut edges);
-    let mut walk_stats = Vec::new();
-
-    for edge in edges.into_iter().take(max_walks) {
-        if table.len() >= cfg.target_contacts {
-            break;
-        }
-        let contact_list: Vec<NodeId> = table.ids().collect();
-        let (found, ws) = csq_walk(net, cfg, source, edge, &contact_list, rng, stats, at);
-        walk_stats.push(ws);
-        if let Some(c) = found {
-            if !table.contains(c.id) {
-                table.add(c);
-            }
-        }
-    }
-    walk_stats
-}
-
-/// Full selection pass: CSQs through *every* edge node (used for the
-/// paper's from-scratch selection analyses, Figs 3–9).
 pub fn select_contacts(
     net: &Network,
     cfg: &CardConfig,
@@ -227,8 +258,44 @@ pub fn select_contacts(
     rng: &mut RngStream,
     stats: &mut MsgStats,
     at: SimTime,
+    max_walks: usize,
+    scratch: &mut CsqScratch,
 ) -> Vec<CsqWalkStats> {
-    select_contacts_limited(net, cfg, source, table, rng, stats, at, usize::MAX)
+    let mut edges = std::mem::take(&mut scratch.edges);
+    edges.clear();
+    edges.extend_from_slice(net.tables().of(source).edge_nodes());
+    rng.shuffle(&mut edges);
+    let mut contact_list = std::mem::take(&mut scratch.contact_list);
+    let mut walk_stats = Vec::new();
+
+    for &edge in edges.iter().take(max_walks) {
+        if table.len() >= cfg.target_contacts {
+            break;
+        }
+        contact_list.clear();
+        contact_list.extend(table.ids());
+        let (found, ws) = csq_walk(
+            net,
+            cfg,
+            source,
+            edge,
+            &contact_list,
+            rng,
+            stats,
+            at,
+            scratch,
+        );
+        walk_stats.push(ws);
+        if let Some(c) = found {
+            if !table.contains(c.id) {
+                table.add(c);
+            }
+        }
+    }
+
+    scratch.edges = edges;
+    scratch.contact_list = contact_list;
+    walk_stats
 }
 
 #[cfg(test)]
@@ -262,9 +329,20 @@ mod tests {
         let cfg = cfg_em();
         let mut rng = RngStream::seed_from_u64(3);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let source = NodeId::new(0);
         let mut table = ContactTable::new();
-        let walks = select_contacts(&net, &cfg, source, &mut table, &mut rng, &mut st, SimTime::ZERO);
+        let walks = select_contacts(
+            &net,
+            &cfg,
+            source,
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         assert!(!walks.is_empty());
         if table.is_empty() {
             // extremely unlucky seed — fail loudly so we pick another seed
@@ -293,8 +371,19 @@ mod tests {
         let cfg = cfg_em();
         let mut rng = RngStream::seed_from_u64(5);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        select_contacts(&net, &cfg, NodeId::new(1), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(1),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         // pairwise: no contact inside another contact's neighborhood
         let ids: Vec<NodeId> = table.ids().collect();
         for (i, &a) in ids.iter().enumerate() {
@@ -313,9 +402,19 @@ mod tests {
         let cfg = cfg_em();
         let mut rng = RngStream::seed_from_u64(7);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        let walks =
-            select_contacts(&net, &cfg, NodeId::new(2), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        let walks = select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(2),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         let fwd: u64 = walks.iter().map(|w| w.forward_msgs).sum();
         let bt: u64 = walks.iter().map(|w| w.backtrack_msgs).sum();
         let rep: u64 = walks.iter().map(|w| w.reply_msgs).sum();
@@ -334,8 +433,19 @@ mod tests {
         let cfg = cfg_em().with_target_contacts(1);
         let mut rng = RngStream::seed_from_u64(9);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        select_contacts(&net, &cfg, NodeId::new(3), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(3),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         assert!(table.len() <= 1);
     }
 
@@ -345,10 +455,25 @@ mod tests {
         let cfg = cfg_em().with_method(SelectionMethod::ProbabilisticEq2);
         let mut rng = RngStream::seed_from_u64(13);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        select_contacts(&net, &cfg, NodeId::new(4), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(4),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         for c in table.contacts() {
-            assert!(c.hops() > 2 * cfg.radius, "eq2 P=0 at d<=2R, got {}", c.hops());
+            assert!(
+                c.hops() > 2 * cfg.radius,
+                "eq2 P=0 at d<=2R, got {}",
+                c.hops()
+            );
             assert!(c.hops() <= cfg.max_contact_distance);
         }
     }
@@ -365,9 +490,19 @@ mod tests {
         let cfg = cfg_em();
         let mut rng = RngStream::seed_from_u64(1);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        let walks =
-            select_contacts(&net, &cfg, NodeId::new(0), &mut table, &mut rng, &mut st, SimTime::ZERO);
+        let walks = select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(0),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            ALL_EDGE_NODES,
+            &mut scratch,
+        );
         assert!(walks.is_empty());
         assert!(table.is_empty());
         assert_eq!(st.grand_total(), 0);
@@ -380,11 +515,55 @@ mod tests {
             let cfg = cfg_em();
             let mut rng = RngStream::seed_from_u64(seed);
             let mut st = stats();
+            let mut scratch = CsqScratch::new();
             let mut table = ContactTable::new();
-            select_contacts(&net, &cfg, NodeId::new(5), &mut table, &mut rng, &mut st, SimTime::ZERO);
+            select_contacts(
+                &net,
+                &cfg,
+                NodeId::new(5),
+                &mut table,
+                &mut rng,
+                &mut st,
+                SimTime::ZERO,
+                ALL_EDGE_NODES,
+                &mut scratch,
+            );
             (table.ids().collect::<Vec<_>>(), st.grand_total())
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One long-lived scratch across many sources must behave exactly
+        // like a fresh scratch per source (lazy clearing leaks nothing).
+        let net = test_net();
+        let cfg = cfg_em();
+        let run = |reuse: bool| {
+            let mut st = stats();
+            let mut shared = CsqScratch::new();
+            let mut all: Vec<Vec<NodeId>> = Vec::new();
+            for i in 0..20u32 {
+                let mut rng = RngStream::seed_from_u64(1000 + i as u64);
+                let mut table = ContactTable::new();
+                let mut fresh = CsqScratch::new();
+                let scratch = if reuse { &mut shared } else { &mut fresh };
+                select_contacts(
+                    &net,
+                    &cfg,
+                    NodeId::new(i),
+                    &mut table,
+                    &mut rng,
+                    &mut st,
+                    SimTime::ZERO,
+                    ALL_EDGE_NODES,
+                    scratch,
+                );
+                all.push(table.ids().collect());
+            }
+            all
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -396,10 +575,25 @@ mod tests {
         assert_eq!(budget, 2 * cfg.max_contact_distance as u64);
         let mut rng = RngStream::seed_from_u64(17);
         let mut st = stats();
-        let edge = net.tables().of(NodeId::new(0)).edge_nodes().first().copied();
+        let mut scratch = CsqScratch::new();
+        let edge = net
+            .tables()
+            .of(NodeId::new(0))
+            .edge_nodes()
+            .first()
+            .copied();
         if let Some(edge) = edge {
-            let (_, ws) =
-                csq_walk(&net, &cfg, NodeId::new(0), edge, &[], &mut rng, &mut st, SimTime::ZERO);
+            let (_, ws) = csq_walk(
+                &net,
+                &cfg,
+                NodeId::new(0),
+                edge,
+                &[],
+                &mut rng,
+                &mut st,
+                SimTime::ZERO,
+                &mut scratch,
+            );
             // intra-zone route hops are charged before the budgeted DFS
             assert!(ws.forward_msgs + ws.backtrack_msgs <= budget + cfg.radius as u64 + 1);
         }
@@ -411,9 +605,18 @@ mod tests {
         let cfg = cfg_em();
         let mut rng = RngStream::seed_from_u64(23);
         let mut st = stats();
+        let mut scratch = CsqScratch::new();
         let mut table = ContactTable::new();
-        let walks = select_contacts_limited(
-            &net, &cfg, NodeId::new(6), &mut table, &mut rng, &mut st, SimTime::ZERO, 2,
+        let walks = select_contacts(
+            &net,
+            &cfg,
+            NodeId::new(6),
+            &mut table,
+            &mut rng,
+            &mut st,
+            SimTime::ZERO,
+            2,
+            &mut scratch,
         );
         assert!(walks.len() <= 2);
         assert!(table.len() <= 2);

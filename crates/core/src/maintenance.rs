@@ -163,7 +163,12 @@ mod tests {
         let positions: Vec<Point2> = (0..k)
             .map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0))
             .collect();
-        Network::from_positions(Field::square(40.0 * k as f64 + 20.0), positions, 50.0, radius)
+        Network::from_positions(
+            Field::square(40.0 * k as f64 + 20.0),
+            positions,
+            50.0,
+            radius,
+        )
     }
 
     fn cfg(radius: u16, r: u16) -> CardConfig {
@@ -209,7 +214,10 @@ mod tests {
         let rep = validate_contacts(&net, &cfg, n(0), &mut table, &mut st, SimTime::ZERO);
         assert_eq!(rep.validated, 1);
         assert_eq!(rep.recovered, 1);
-        assert_eq!(table.contacts()[0].path, vec![n(0), n(1), n(2), n(3), n(4), n(5)]);
+        assert_eq!(
+            table.contacts()[0].path,
+            vec![n(0), n(1), n(2), n(3), n(4), n(5)]
+        );
         assert_eq!(table.contacts()[0].hops(), 5);
     }
 
@@ -318,7 +326,7 @@ mod tests {
             #[test]
             fn prop_survivors_have_valid_paths(seed in 0u64..300) {
                 use crate::contact::ContactTable;
-                use crate::csq::select_contacts;
+                use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
                 use mobility::waypoint::RandomWaypoint;
 
                 let scenario = Scenario::new(120, 420.0, 420.0, 55.0);
@@ -332,12 +340,16 @@ mod tests {
                 let mut stats = mk_stats();
 
                 // tables for a handful of sources
+                let mut scratch = CsqScratch::new();
                 let mut tables: Vec<(NodeId, ContactTable)> = (0..10u32)
                     .map(|i| {
                         let node = NodeId::new(i);
                         let mut t = ContactTable::new();
                         let mut rng = splitter.stream("prop-sel", i as u64);
-                        select_contacts(&net, &config, node, &mut t, &mut rng, &mut stats, SimTime::ZERO);
+                        select_contacts(
+                            &net, &config, node, &mut t, &mut rng, &mut stats, SimTime::ZERO,
+                            ALL_EDGE_NODES, &mut scratch,
+                        );
                         (node, t)
                     })
                     .collect();

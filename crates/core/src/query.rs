@@ -100,7 +100,12 @@ pub fn dsq_query(
 ) -> QueryOutcome {
     // Step 0: the neighborhood table answers locally for free.
     if net.tables().of(source).contains(target) {
-        return QueryOutcome { found: true, depth_used: 0, query_msgs: 0, reply_msgs: 0 };
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
     }
 
     let mut query_msgs = 0u64;
@@ -118,7 +123,12 @@ pub fn dsq_query(
     }
 
     stats.record_n(at, MsgKind::Dsq, query_msgs);
-    QueryOutcome { found: false, depth_used: max_depth, query_msgs, reply_msgs: 0 }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
 }
 
 #[cfg(test)]
@@ -138,15 +148,17 @@ mod tests {
 
     /// A 16-node line, 40 m spacing, range 50 m, R = 2.
     fn line_net() -> Network {
-        let positions: Vec<Point2> =
-            (0..16).map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0)).collect();
+        let positions: Vec<Point2> = (0..16)
+            .map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0))
+            .collect();
         Network::from_positions(Field::square(700.0), positions, 50.0, 2)
     }
 
     /// Hand-built contact structure on the line:
     /// node 0 has contact 6 (6 hops), node 6 has contact 12 (6 hops).
     fn tables_for_line(net: &Network) -> Vec<ContactTable> {
-        let mut tables: Vec<ContactTable> = (0..net.node_count()).map(|_| ContactTable::new()).collect();
+        let mut tables: Vec<ContactTable> =
+            (0..net.node_count()).map(|_| ContactTable::new()).collect();
         tables[0].add(Contact::new(n(6), (0..7).map(n).collect()));
         tables[6].add(Contact::new(n(12), (6..13).map(n).collect()));
         tables
@@ -232,7 +244,10 @@ mod tests {
         // hypothetical: starting directly at D=2 would be cheaper
         let mut direct = 0u64;
         attempt(&net, &tables, n(0), n(13), 2, &mut direct).unwrap();
-        assert!(out.query_msgs > direct, "escalation must cost more than direct D=2");
+        assert!(
+            out.query_msgs > direct,
+            "escalation must cost more than direct D=2"
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl ReachabilitySummary {
         if self.per_node_pct.is_empty() {
             return 0.0;
         }
-        self.per_node_pct.iter().filter(|&&p| p >= threshold_pct).count() as f64
+        self.per_node_pct
+            .iter()
+            .filter(|&&p| p >= threshold_pct)
+            .count() as f64
             / self.per_node_pct.len() as f64
     }
 }
@@ -119,8 +122,9 @@ mod tests {
 
     /// 20-node line, 40 m spacing, range 50, R=2.
     fn line_net() -> Network {
-        let positions: Vec<Point2> =
-            (0..20).map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0)).collect();
+        let positions: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0))
+            .collect();
         Network::from_positions(Field::square(900.0), positions, 50.0, 2)
     }
 

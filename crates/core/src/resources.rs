@@ -156,7 +156,12 @@ pub fn distribute(
                 reg.add_host(resource, seed);
                 // nearest nodes by hop distance, BFS discovery order
                 let bfs = net_topology::bfs::full_bfs(net.adj(), seed);
-                for &v in bfs.visited().iter().skip(1).take(replicas.saturating_sub(1)) {
+                for &v in bfs
+                    .visited()
+                    .iter()
+                    .skip(1)
+                    .take(replicas.saturating_sub(1))
+                {
                     reg.add_host(resource, v);
                 }
             }
@@ -182,7 +187,12 @@ pub fn resource_query(
 ) -> QueryOutcome {
     // Zone-local instance: answered from the proactive tables, free.
     if registry.in_zone(resource, net.tables().of(source).members()) {
-        return QueryOutcome { found: true, depth_used: 0, query_msgs: 0, reply_msgs: 0 };
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
     }
 
     let mut query_msgs = 0u64;
@@ -224,7 +234,12 @@ pub fn resource_query(
         }
     }
     stats.record_n(at, MsgKind::Dsq, query_msgs);
-    QueryOutcome { found: false, depth_used: max_depth, query_msgs, reply_msgs: 0 }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
 }
 
 /// The set of resources discoverable by `source` at contact depth `depth`:
@@ -260,8 +275,9 @@ mod tests {
 
     /// 16-node line, 40 m spacing, range 50 m, R=2.
     fn line_net() -> Network {
-        let positions: Vec<Point2> =
-            (0..16).map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0)).collect();
+        let positions: Vec<Point2> = (0..16)
+            .map(|i| Point2::new(10.0 + 40.0 * i as f64, 10.0))
+            .collect();
         Network::from_positions(Field::square(700.0), positions, 50.0, 2)
     }
 
@@ -309,7 +325,16 @@ mod tests {
         let mut reg = ResourceRegistry::new(16, 1);
         reg.add_host(ResourceId(0), n(2));
         let mut st = mk_stats();
-        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        let out = resource_query(
+            &net,
+            &tables,
+            &reg,
+            n(0),
+            ResourceId(0),
+            3,
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(out.found);
         assert_eq!(out.depth_used, 0);
         assert_eq!(out.total_messages(), 0);
@@ -322,7 +347,16 @@ mod tests {
         let mut reg = ResourceRegistry::new(16, 1);
         reg.add_host(ResourceId(0), n(7)); // inside contact 6's zone
         let mut st = mk_stats();
-        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        let out = resource_query(
+            &net,
+            &tables,
+            &reg,
+            n(0),
+            ResourceId(0),
+            3,
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(out.found);
         assert_eq!(out.depth_used, 1);
         assert_eq!(out.query_msgs, 6);
@@ -338,7 +372,16 @@ mod tests {
         reg.add_host(ResourceId(0), n(13));
         reg.add_host(ResourceId(0), n(5));
         let mut st = mk_stats();
-        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        let out = resource_query(
+            &net,
+            &tables,
+            &reg,
+            n(0),
+            ResourceId(0),
+            3,
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(out.found);
         assert_eq!(out.depth_used, 1, "nearer replica answers first");
     }
@@ -349,7 +392,16 @@ mod tests {
         let tables = tables_for_line(&net);
         let reg = ResourceRegistry::new(16, 1); // no hosts anywhere
         let mut st = mk_stats();
-        let out = resource_query(&net, &tables, &reg, n(0), ResourceId(0), 3, &mut st, SimTime::ZERO);
+        let out = resource_query(
+            &net,
+            &tables,
+            &reg,
+            n(0),
+            ResourceId(0),
+            3,
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(!out.found);
         assert!(out.query_msgs > 0, "escalation paid for nothing");
         assert_eq!(out.reply_msgs, 0);
@@ -374,7 +426,12 @@ mod tests {
     fn clustered_distribution_places_adjacent_replicas() {
         let net = line_net();
         let mut rng = RngStream::seed_from_u64(7);
-        let reg = distribute(&net, 2, ResourceDistribution::Clustered { replicas: 3 }, &mut rng);
+        let reg = distribute(
+            &net,
+            2,
+            ResourceDistribution::Clustered { replicas: 3 },
+            &mut rng,
+        );
         for r in 0..2u32 {
             let hosts: Vec<NodeId> = reg.hosts_of(ResourceId(r)).collect();
             assert_eq!(hosts.len(), 3);
@@ -400,7 +457,16 @@ mod tests {
         for r in 0..6u32 {
             let resource = ResourceId(r);
             let mut st = mk_stats();
-            let out = resource_query(&net, &tables, &reg, n(0), resource, 2, &mut st, SimTime::ZERO);
+            let out = resource_query(
+                &net,
+                &tables,
+                &reg,
+                n(0),
+                resource,
+                2,
+                &mut st,
+                SimTime::ZERO,
+            );
             assert_eq!(
                 out.found,
                 disc.contains(&resource),

@@ -26,11 +26,7 @@ use crate::config::{CardConfig, SelectionMethod};
 ///
 /// `eq2 = false` gives equation (1), `eq2 = true` equation (2).
 pub fn pm_probability(d: u16, radius: u16, r: u16, eq2: bool) -> f64 {
-    let (lo, hi) = if eq2 {
-        (2 * radius, r)
-    } else {
-        (radius, r)
-    };
+    let (lo, hi) = if eq2 { (2 * radius, r) } else { (radius, r) };
     if hi <= lo {
         // degenerate annulus: accept only at the outer rim
         return if d >= hi { 1.0 } else { 0.0 };
@@ -82,12 +78,18 @@ pub fn decides_to_be_contact(
         return false;
     }
     match cfg.method {
-        SelectionMethod::ProbabilisticEq1 => {
-            rng.chance(pm_probability(d, cfg.radius, cfg.max_contact_distance, false))
-        }
-        SelectionMethod::ProbabilisticEq2 => {
-            rng.chance(pm_probability(d, cfg.radius, cfg.max_contact_distance, true))
-        }
+        SelectionMethod::ProbabilisticEq1 => rng.chance(pm_probability(
+            d,
+            cfg.radius,
+            cfg.max_contact_distance,
+            false,
+        )),
+        SelectionMethod::ProbabilisticEq2 => rng.chance(pm_probability(
+            d,
+            cfg.radius,
+            cfg.max_contact_distance,
+            true,
+        )),
         SelectionMethod::Edge => passes_edge_check(tables, candidate, edge_list),
     }
 }
@@ -185,13 +187,27 @@ mod tests {
         // node 8 (8 hops > 2R=6, no overlaps) accepts regardless of rng
         for _ in 0..10 {
             assert!(decides_to_be_contact(
-                &cfg, &tables, n(8), n(0), &[], &edges, 8, &mut rng
+                &cfg,
+                &tables,
+                n(8),
+                n(0),
+                &[],
+                &edges,
+                8,
+                &mut rng
             ));
         }
         // node 5 always refuses
         for _ in 0..10 {
             assert!(!decides_to_be_contact(
-                &cfg, &tables, n(5), n(0), &[], &edges, 5, &mut rng
+                &cfg,
+                &tables,
+                n(5),
+                n(0),
+                &[],
+                &edges,
+                5,
+                &mut rng
             ));
         }
     }
@@ -207,11 +223,25 @@ mod tests {
         let mut rng = RngStream::seed_from_u64(2);
         // d = r → P = 1 → always accepts (node 16 is 16 hops out, no overlap)
         assert!(decides_to_be_contact(
-            &cfg, &tables, n(16), n(0), &[], &[], 16, &mut rng
+            &cfg,
+            &tables,
+            n(16),
+            n(0),
+            &[],
+            &[],
+            16,
+            &mut rng
         ));
         // d = 2R → P = 0 → never accepts, even with no overlap
         assert!(!decides_to_be_contact(
-            &cfg, &tables, n(16), n(0), &[], &[], 6, &mut rng
+            &cfg,
+            &tables,
+            n(16),
+            n(0),
+            &[],
+            &[],
+            6,
+            &mut rng
         ));
     }
 

@@ -17,7 +17,7 @@ use sim_core::time::{SimDuration, SimTime};
 
 use crate::config::CardConfig;
 use crate::contact::ContactTable;
-use crate::csq::{select_contacts, select_contacts_limited};
+use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use crate::maintenance::{validate_contacts, ValidationReport};
 use crate::query::{dsq_query, QueryOutcome};
 use crate::reachability::ReachabilitySummary;
@@ -46,7 +46,8 @@ impl MaintenanceTotals {
 
 /// Simulation events of the mobile run loop.
 enum SimEvent {
-    /// Move nodes and refresh connectivity + neighborhood tables.
+    /// Move nodes, then incrementally refresh connectivity and the dirty
+    /// neighborhood tables (see [`Network::refresh`]).
     MobilityTick,
     /// Validate every node's contacts; re-select up to NoC (§III.C.3.5).
     ValidationRound,
@@ -68,6 +69,9 @@ pub struct CardWorld {
     /// level that produced that skip count.
     backoff_remaining: Vec<u32>,
     backoff_level: Vec<u32>,
+    /// Reusable CSQ walk workspace shared by every selection pass (the
+    /// event loop is serial over nodes, so one scratch serves the world).
+    csq_scratch: CsqScratch,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
@@ -101,7 +105,9 @@ impl CardWorld {
         );
         let n = net.node_count();
         let splitter = SeedSplitter::new(cfg.seed);
-        let node_rngs = (0..n).map(|i| splitter.stream("card-node", i as u64)).collect();
+        let node_rngs = (0..n)
+            .map(|i| splitter.stream("card-node", i as u64))
+            .collect();
         CardWorld {
             net,
             cfg,
@@ -113,6 +119,7 @@ impl CardWorld {
             maintenance: MaintenanceTotals::default(),
             backoff_remaining: vec![0; n],
             backoff_level: vec![0; n],
+            csq_scratch: CsqScratch::new(),
         }
     }
 
@@ -181,6 +188,8 @@ impl CardWorld {
             rng,
             &mut self.stats,
             self.now,
+            ALL_EDGE_NODES,
+            &mut self.csq_scratch,
         );
     }
 
@@ -228,7 +237,7 @@ impl CardWorld {
             }
             let before = self.contacts[i].len();
             let rng = &mut self.node_rngs[i];
-            select_contacts_limited(
+            select_contacts(
                 &self.net,
                 &self.cfg,
                 node,
@@ -237,6 +246,7 @@ impl CardWorld {
                 &mut self.stats,
                 self.now,
                 self.cfg.selection_walks_per_round,
+                &mut self.csq_scratch,
             );
             if self.contacts[i].len() > before {
                 self.backoff_level[i] = 0;
@@ -279,12 +289,18 @@ impl CardWorld {
         let base = self.now;
         let mut engine: Engine<SimEvent> = Engine::with_horizon(SimTime::ZERO + duration);
         if !model.is_static() {
-            engine.schedule_at(SimTime::ZERO + self.cfg.mobility_tick, SimEvent::MobilityTick);
+            engine.schedule_at(
+                SimTime::ZERO + self.cfg.mobility_tick,
+                SimEvent::MobilityTick,
+            );
         }
         // First round effectively at t=0 (selection starts immediately),
         // then every period; the 1 µs offset makes coincident mobility
         // ticks apply before the round.
-        engine.schedule_at(SimTime::ZERO + SimDuration::from_micros(1), SimEvent::ValidationRound);
+        engine.schedule_at(
+            SimTime::ZERO + SimDuration::from_micros(1),
+            SimEvent::ValidationRound,
+        );
 
         while let Some((t, ev)) = engine.next_event() {
             self.now = base + t.since(SimTime::ZERO);
@@ -329,7 +345,10 @@ mod tests {
         assert_eq!(w.network().node_count(), 150);
         assert_eq!(w.total_contacts(), 0);
         w.select_all_contacts();
-        assert!(w.total_contacts() > 0, "a 150-node network must yield contacts");
+        assert!(
+            w.total_contacts() > 0,
+            "a 150-node network must yield contacts"
+        );
         assert!(w.mean_contacts() <= 4.0);
         assert!(w.stats().total(MsgKind::Csq) > 0);
     }
@@ -380,7 +399,10 @@ mod tests {
         assert!(w.total_contacts() >= contacts_before);
         assert_eq!(w.maintenance_totals().lost, 0);
         assert_eq!(w.maintenance_totals().dropped_out_of_range, 0);
-        assert!(w.stats().total(MsgKind::Validation) > 0, "validation still polls");
+        assert!(
+            w.stats().total(MsgKind::Validation) > 0,
+            "validation still polls"
+        );
         // validation rounds happened at ~0,1,2,3 s (round at 4s is at the horizon)
         assert_eq!(w.contacts_series().len(), 4);
         assert_eq!(w.now(), SimTime::from_secs(4));
@@ -439,7 +461,12 @@ mod tests {
         w.run_mobile(&mut StaticModel, SimDuration::from_secs(2));
         assert_eq!(w.now(), SimTime::from_secs(4));
         // series timestamps are strictly increasing across the two runs
-        let times: Vec<_> = w.contacts_series().points().iter().map(|(t, _)| *t).collect();
+        let times: Vec<_> = w
+            .contacts_series()
+            .points()
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
         for pair in times.windows(2) {
             assert!(pair[0] < pair[1]);
         }
@@ -451,12 +478,16 @@ mod tests {
         w.select_all_contacts();
         // find some target beyond the source's neighborhood but reachable
         let source = NodeId::new(0);
-        let reach = crate::reachability::reachability_set(w.network(), w.contact_tables(), source, 3);
+        let reach =
+            crate::reachability::reachability_set(w.network(), w.contact_tables(), source, 3);
         let nb = w.network().tables().of(source).members().clone();
         let beyond: Vec<usize> = reach.iter().filter(|&i| !nb.contains(i)).collect();
         if let Some(&target) = beyond.first() {
             let out = w.query(source, NodeId::from(target));
-            assert!(out.found, "target inside the depth-3 reach set must be found");
+            assert!(
+                out.found,
+                "target inside the depth-3 reach set must be found"
+            );
             assert!(out.depth_used >= 1);
             assert!(out.query_msgs > 0);
         }

@@ -17,7 +17,10 @@ struct Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
-    let mut opts = Options { quick: false, seed: DEFAULT_SEED };
+    let mut opts = Options {
+        quick: false,
+        seed: DEFAULT_SEED,
+    };
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -25,7 +28,9 @@ fn main() {
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
             "-h" | "--help" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -95,7 +100,11 @@ fn table1_cmd(opts: &Options) {
 
 fn fig3_4_cmd(opts: &Options) {
     stamp("fig3/fig4");
-    let mut p = if opts.quick { fig03_04::Params::quick() } else { fig03_04::Params::default() };
+    let mut p = if opts.quick {
+        fig03_04::Params::quick()
+    } else {
+        fig03_04::Params::default()
+    };
     p.seed = opts.seed;
     let curves = fig03_04::run(&p);
     println!("{}", fig03_04::render(&p, &curves));
@@ -103,7 +112,11 @@ fn fig3_4_cmd(opts: &Options) {
 
 fn fig5_cmd(opts: &Options) {
     stamp("fig5");
-    let mut p = if opts.quick { fig05::Params::quick() } else { fig05::Params::default() };
+    let mut p = if opts.quick {
+        fig05::Params::quick()
+    } else {
+        fig05::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig05::run(&p);
     println!("{}", fig05::render(&p, &sweep));
@@ -111,7 +124,11 @@ fn fig5_cmd(opts: &Options) {
 
 fn fig6_cmd(opts: &Options) {
     stamp("fig6");
-    let mut p = if opts.quick { fig06::Params::quick() } else { fig06::Params::default() };
+    let mut p = if opts.quick {
+        fig06::Params::quick()
+    } else {
+        fig06::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig06::run(&p);
     println!("{}", fig06::render(&p, &sweep));
@@ -119,7 +136,11 @@ fn fig6_cmd(opts: &Options) {
 
 fn fig7_cmd(opts: &Options) {
     stamp("fig7");
-    let mut p = if opts.quick { fig07::Params::quick() } else { fig07::Params::default() };
+    let mut p = if opts.quick {
+        fig07::Params::quick()
+    } else {
+        fig07::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig07::run(&p);
     println!("{}", fig07::render(&p, &sweep));
@@ -127,7 +148,11 @@ fn fig7_cmd(opts: &Options) {
 
 fn fig8_cmd(opts: &Options) {
     stamp("fig8");
-    let mut p = if opts.quick { fig08::Params::quick() } else { fig08::Params::default() };
+    let mut p = if opts.quick {
+        fig08::Params::quick()
+    } else {
+        fig08::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig08::run(&p);
     println!("{}", fig08::render(&p, &sweep));
@@ -135,7 +160,11 @@ fn fig8_cmd(opts: &Options) {
 
 fn fig9_cmd(opts: &Options) {
     stamp("fig9");
-    let mut p = if opts.quick { fig09::Params::quick() } else { fig09::Params::default() };
+    let mut p = if opts.quick {
+        fig09::Params::quick()
+    } else {
+        fig09::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig09::run(&p);
     println!("{}", fig09::render(&sweep));
@@ -143,7 +172,11 @@ fn fig9_cmd(opts: &Options) {
 
 fn fig10_cmd(opts: &Options) {
     stamp("fig10");
-    let mut p = if opts.quick { fig10::Params::quick() } else { fig10::Params::default() };
+    let mut p = if opts.quick {
+        fig10::Params::quick()
+    } else {
+        fig10::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig10::run(&p);
     println!("{}", fig10::render(&p, &sweep));
@@ -151,7 +184,11 @@ fn fig10_cmd(opts: &Options) {
 
 fn fig11_12_cmd(opts: &Options) {
     stamp("fig11/fig12");
-    let mut p = if opts.quick { fig11_12::Params::quick() } else { fig11_12::Params::default() };
+    let mut p = if opts.quick {
+        fig11_12::Params::quick()
+    } else {
+        fig11_12::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig11_12::run(&p);
     println!("{}", fig11_12::render(&p, &sweep));
@@ -159,7 +196,11 @@ fn fig11_12_cmd(opts: &Options) {
 
 fn fig13_cmd(opts: &Options) {
     stamp("fig13");
-    let mut p = if opts.quick { fig13::Params::quick() } else { fig13::Params::default() };
+    let mut p = if opts.quick {
+        fig13::Params::quick()
+    } else {
+        fig13::Params::default()
+    };
     p.seed = opts.seed;
     let result = fig13::run(&p);
     println!("{}", fig13::render(&p, &result));
@@ -167,7 +208,11 @@ fn fig13_cmd(opts: &Options) {
 
 fn fig14_cmd(opts: &Options) {
     stamp("fig14");
-    let mut p = if opts.quick { fig14::Params::quick() } else { fig14::Params::default() };
+    let mut p = if opts.quick {
+        fig14::Params::quick()
+    } else {
+        fig14::Params::default()
+    };
     p.seed = opts.seed;
     let sweep = fig14::run(&p);
     println!("{}", fig14::render(&p, &sweep));
@@ -175,7 +220,11 @@ fn fig14_cmd(opts: &Options) {
 
 fn fig15_cmd(opts: &Options) {
     stamp("fig15");
-    let mut p = if opts.quick { fig15::Params::quick() } else { fig15::Params::default() };
+    let mut p = if opts.quick {
+        fig15::Params::quick()
+    } else {
+        fig15::Params::default()
+    };
     p.seed = opts.seed;
     let results = fig15::run(&p);
     println!("{}", fig15::render(&p, &results));

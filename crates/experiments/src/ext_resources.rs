@@ -103,8 +103,16 @@ pub fn run(params: &Params) -> Vec<DistRow> {
 
     let mut cells: Vec<(&'static str, ResourceDistribution, usize)> = Vec::new();
     for &k in &params.replica_counts {
-        cells.push(("uniform", ResourceDistribution::UniformReplicated { replicas: k }, k));
-        cells.push(("clustered", ResourceDistribution::Clustered { replicas: k }, k));
+        cells.push((
+            "uniform",
+            ResourceDistribution::UniformReplicated { replicas: k },
+            k,
+        ));
+        cells.push((
+            "clustered",
+            ResourceDistribution::Clustered { replicas: k },
+            k,
+        ));
     }
 
     parallel_map(cells, move |(label, dist, k)| {
@@ -145,7 +153,13 @@ pub fn run(params: &Params) -> Vec<DistRow> {
 
 /// Render as Markdown.
 pub fn render(params: &Params, rows: &[DistRow]) -> String {
-    let headers = ["Distribution", "Replicas", "Success", "Msgs/query", "Zone hits"];
+    let headers = [
+        "Distribution",
+        "Replicas",
+        "Success",
+        "Msgs/query",
+        "Zone hits",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -178,7 +192,10 @@ mod tests {
         let params = Params::quick();
         let rows = run(&params);
         assert_eq!(rows.len(), 4);
-        let uni: Vec<&DistRow> = rows.iter().filter(|r| r.distribution == "uniform").collect();
+        let uni: Vec<&DistRow> = rows
+            .iter()
+            .filter(|r| r.distribution == "uniform")
+            .collect();
         assert!(
             uni[1].success >= uni[0].success,
             "more replicas must not hurt success ({:.2} -> {:.2})",
@@ -216,8 +233,14 @@ mod tests {
     #[test]
     fn deterministic() {
         let params = Params::quick();
-        let a: Vec<(f64, f64)> = run(&params).iter().map(|r| (r.success, r.msgs_per_query)).collect();
-        let b: Vec<(f64, f64)> = run(&params).iter().map(|r| (r.success, r.msgs_per_query)).collect();
+        let a: Vec<(f64, f64)> = run(&params)
+            .iter()
+            .map(|r| (r.success, r.msgs_per_query))
+            .collect();
+        let b: Vec<(f64, f64)> = run(&params)
+            .iter()
+            .map(|r| (r.success, r.msgs_per_query))
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -12,8 +12,8 @@
 use crate::output::markdown_table;
 use card_core::{CardConfig, CardWorld};
 use net_topology::node::NodeId;
-use net_topology::smallworld::{with_shortcuts, SmallWorldMetrics};
 use net_topology::scenario::{Scenario, SCENARIO_5};
+use net_topology::smallworld::{with_shortcuts, SmallWorldMetrics};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]

@@ -80,10 +80,17 @@ pub fn run(params: &Params) -> OverheadSweep {
             .with_radius(params.radius)
             .with_max_contact_distance(params.max_contact_distance)
             .with_target_contacts(noc);
-        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        let world = run_mobile(
+            &params.scenario,
+            cfg,
+            SimDuration::from_secs(params.duration_secs),
+        );
         per_node_series(&world, total_overhead_pred, buckets)
     });
-    OverheadSweep { noc_values: params.noc_values.clone(), series }
+    OverheadSweep {
+        noc_values: params.noc_values.clone(),
+        series,
+    }
 }
 
 /// Render as Markdown (rows = report times, columns = NoC values).

@@ -84,7 +84,11 @@ pub fn run(params: &Params) -> ROverheadSweep {
             .with_radius(params.radius)
             .with_max_contact_distance(r)
             .with_target_contacts(params.target_contacts);
-        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        let world = run_mobile(
+            &params.scenario,
+            cfg,
+            SimDuration::from_secs(params.duration_secs),
+        );
         (
             per_node_series(&world, total_overhead_pred, buckets),
             per_node_series(&world, |k| k == MsgKind::CsqBacktrack, buckets),
@@ -97,12 +101,7 @@ pub fn run(params: &Params) -> ROverheadSweep {
     }
 }
 
-fn render_one(
-    title: &str,
-    params: &Params,
-    r_values: &[u16],
-    series: &[Vec<f64>],
-) -> String {
+fn render_one(title: &str, params: &Params, r_values: &[u16], series: &[Vec<f64>]) -> String {
     let mut headers = vec!["t (s)".to_string()];
     headers.extend(r_values.iter().map(|r| format!("r={r}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();

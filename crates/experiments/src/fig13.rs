@@ -80,7 +80,11 @@ pub fn run(params: &Params) -> TimeRun {
         .with_radius(params.radius)
         .with_max_contact_distance(params.max_contact_distance)
         .with_target_contacts(params.target_contacts);
-    let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+    let world = run_mobile(
+        &params.scenario,
+        cfg,
+        SimDuration::from_secs(params.duration_secs),
+    );
     let buckets = params.buckets();
     let overhead = per_node_series(&world, total_overhead_pred, buckets);
 

@@ -80,7 +80,11 @@ pub fn run(params: &Params) -> TradeoffSweep {
             .with_radius(params.radius)
             .with_max_contact_distance(params.max_contact_distance)
             .with_target_contacts(noc);
-        let world = run_mobile(&params.scenario, cfg, SimDuration::from_secs(params.duration_secs));
+        let world = run_mobile(
+            &params.scenario,
+            cfg,
+            SimDuration::from_secs(params.duration_secs),
+        );
         let reach = world.reachability_summary(1).mean_pct;
         let overhead = world.stats().total_where(total_overhead_pred) as f64
             / world.network().node_count() as f64;
@@ -88,8 +92,16 @@ pub fn run(params: &Params) -> TradeoffSweep {
     });
     let reachability_pct: Vec<f64> = results.iter().map(|r| r.0).collect();
     let overhead_per_node: Vec<f64> = results.iter().map(|r| r.1).collect();
-    let rmax = reachability_pct.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
-    let omax = overhead_per_node.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let rmax = reachability_pct
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let omax = overhead_per_node
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     TradeoffSweep {
         noc_values: params.noc_values.clone(),
         reachability_norm: reachability_pct.iter().map(|v| v / rmax).collect(),
@@ -143,7 +155,11 @@ mod tests {
         assert!(sweep.reachability_pct[k - 1] > sweep.reachability_pct[0]);
         assert!(sweep.overhead_per_node[k - 1] > sweep.overhead_per_node[0]);
         // normalized curves peak at 1.0
-        let rmax = sweep.reachability_norm.iter().cloned().fold(f64::MIN, f64::max);
+        let rmax = sweep
+            .reachability_norm
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         let omax = sweep.overhead_norm.iter().cloned().fold(f64::MIN, f64::max);
         assert!((rmax - 1.0).abs() < 1e-9);
         assert!((omax - 1.0).abs() < 1e-9);

@@ -232,8 +232,13 @@ fn run_case(case: &SizeCase, params: &Params) -> SizeResult {
         0.0,
         splitter.stream("fig15-mobility", case.scenario.nodes as u64),
     );
-    world.run_mobile(&mut model, SimDuration::from_secs(params.overhead_window_secs));
-    let overhead = world.stats().total_where(crate::mobile::total_overhead_pred) as f64;
+    world.run_mobile(
+        &mut model,
+        SimDuration::from_secs(params.overhead_window_secs),
+    );
+    let overhead = world
+        .stats()
+        .total_where(crate::mobile::total_overhead_pred) as f64;
 
     let q = params.queries as f64;
     SizeResult {
@@ -316,8 +321,14 @@ mod tests {
     fn success_rates_ordered_as_paper() {
         let params = Params::quick();
         let r = &run(&params)[0];
-        assert_eq!(r.flooding_success, 1.0, "flooding always succeeds in-component");
-        assert_eq!(r.bordercast_success, 1.0, "bordercasting always succeeds in-component");
+        assert_eq!(
+            r.flooding_success, 1.0,
+            "flooding always succeeds in-component"
+        );
+        assert_eq!(
+            r.bordercast_success, 1.0,
+            "bordercasting always succeeds in-component"
+        );
         assert!(
             r.card_success >= 0.6,
             "CARD should find most targets at D=3, got {:.0}%",

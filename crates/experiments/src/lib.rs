@@ -21,6 +21,8 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod ext_resources;
+pub mod ext_smallworld;
 pub mod fig03_04;
 pub mod fig05;
 pub mod fig06;
@@ -29,8 +31,6 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11_12;
-pub mod ext_resources;
-pub mod ext_smallworld;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;

@@ -80,7 +80,10 @@ mod tests {
     fn histogram_table_columns() {
         let t = histogram_table(
             &[5.0, 10.0],
-            &[("R=1".to_string(), vec![3, 4]), ("R=2".to_string(), vec![1, 2])],
+            &[
+                ("R=1".to_string(), vec![3, 4]),
+                ("R=2".to_string(), vec![1, 2]),
+            ],
         );
         assert!(t.contains("| 5 | 3 | 1 |"));
         assert!(t.contains("| 10 | 4 | 2 |"));

@@ -2,112 +2,32 @@
 //!
 //! Every figure is a sweep over an independent parameter (NoC, R, r, D,
 //! network size, scheme) where each cell builds and runs its own simulation
-//! world. Cells are embarrassingly parallel, so we fan them out over scoped
-//! threads with crossbeam channels as the work queue and result collector —
-//! results come back in input order, keeping reports and seeds
-//! deterministic regardless of scheduling.
+//! world. Cells are embarrassingly parallel, so we fan them out with
+//! [`sim_core::par::parallel_map`] — results come back in input order,
+//! keeping reports and seeds deterministic regardless of scheduling.
+//!
+//! The implementation lives in `sim_core::par` so the lower layers
+//! (topology refresh, neighborhood tables) can use the same primitive; this
+//! module re-exports it for the figure modules.
 
-use crossbeam::channel;
-use std::num::NonZeroUsize;
-
-/// Map `f` over `items` in parallel (scoped threads, at most
-/// `available_parallelism` workers), preserving input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
-
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
-    for pair in items.into_iter().enumerate() {
-        task_tx.send(pair).expect("queueing work cannot fail");
-    }
-    drop(task_tx); // workers drain until empty
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, item)) = task_rx.recv() {
-                    result_tx.send((i, f(item))).expect("collector alive");
-                }
-            });
-        }
-    });
-    drop(result_tx);
-
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in result_rx {
-        debug_assert!(out[i].is_none(), "duplicate result for cell {i}");
-        out[i] = Some(r);
-    }
-    out.into_iter()
-        .map(|r| r.expect("every cell produced a result"))
-        .collect()
-}
+pub use sim_core::par::{parallel_map, parallel_map_with};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    fn reexport_preserves_order() {
+        let out = parallel_map((0..50).collect(), |x: i32| x * 3);
+        assert_eq!(out, (0..50).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
-    fn empty_and_singleton() {
-        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
-        assert!(empty.is_empty());
-        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn heavy_closure_runs_once_per_item() {
-        let calls = AtomicU32::new(0);
-        let out = parallel_map((0..32).collect(), |x: u32| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x
+    fn reexport_scratch_variant_usable() {
+        let out = parallel_map_with((0..8u32).collect(), Vec::<u32>::new, |buf, x| {
+            buf.push(x);
+            x + 1
         });
-        assert_eq!(out.len(), 32);
-        assert_eq!(calls.load(Ordering::Relaxed), 32);
-    }
-
-    #[test]
-    fn non_copy_items_move_through() {
-        let items: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
-        let out = parallel_map(items, |s| s.len());
-        assert_eq!(out, vec![2; 10]);
-    }
-
-    #[test]
-    fn uneven_work_still_ordered() {
-        // cells with wildly different costs must still land in order
-        let out = parallel_map((0..24u64).collect(), |x| {
-            if x % 3 == 0 {
-                // burn a little CPU
-                let mut acc = 0u64;
-                for i in 0..50_000 {
-                    acc = acc.wrapping_add(i ^ x);
-                }
-                std::hint::black_box(acc);
-            }
-            x * 10
-        });
-        assert_eq!(out, (0..24u64).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(out, (1..9u32).collect::<Vec<_>>());
     }
 }

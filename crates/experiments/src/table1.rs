@@ -47,8 +47,15 @@ pub fn run(seed: u64) -> Vec<Table1Row> {
 /// Render measured-vs-paper as a Markdown table.
 pub fn render(rows: &[Table1Row]) -> String {
     let headers = [
-        "#", "Nodes", "Area", "Tx", "Links (ours/paper)", "Degree (ours/paper)",
-        "Diameter (ours/paper)", "Avg hops (ours/paper)", "Components",
+        "#",
+        "Nodes",
+        "Area",
+        "Tx",
+        "Links (ours/paper)",
+        "Degree (ours/paper)",
+        "Diameter (ours/paper)",
+        "Avg hops (ours/paper)",
+        "Components",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -70,7 +77,10 @@ pub fn render(rows: &[Table1Row]) -> String {
             ]
         })
         .collect();
-    format!("### Table 1 — scenario topology statistics\n\n{}", markdown_table(&headers, &body))
+    format!(
+        "### Table 1 — scenario topology statistics\n\n{}",
+        markdown_table(&headers, &body)
+    )
 }
 
 #[cfg(test)]

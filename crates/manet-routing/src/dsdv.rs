@@ -135,7 +135,11 @@ impl DsdvSim {
                     if dest == uid {
                         continue;
                     }
-                    let cand = RouteEntry { dist: dist + 1, next_hop: v, seq };
+                    let cand = RouteEntry {
+                        dist: dist + 1,
+                        next_hop: v,
+                        seq,
+                    };
                     if cand.dist > self.radius {
                         continue;
                     }
@@ -147,9 +151,7 @@ impl DsdvSim {
                             // Only mark changed when the route materially
                             // differs (seq bumps alone are routine).
                             let materially_new = match self.tables[u].get(&dest) {
-                                Some(cur) => {
-                                    cur.dist != cand.dist || cur.next_hop != cand.next_hop
-                                }
+                                Some(cur) => cur.dist != cand.dist || cur.next_hop != cand.next_hop,
                                 None => true,
                             };
                             if materially_new {
@@ -245,7 +247,10 @@ mod tests {
         for u in NodeId::all(8) {
             for dest in NodeId::all(8) {
                 if let Some(e) = dsdv.route(u, dest) {
-                    assert!(adj.is_neighbor(u, e.next_hop), "{u}->{dest} via non-neighbor");
+                    assert!(
+                        adj.is_neighbor(u, e.next_hop),
+                        "{u}->{dest} via non-neighbor"
+                    );
                     // next hop is strictly closer to dest
                     if let Some(e2) = dsdv.route(e.next_hop, dest) {
                         assert_eq!(e2.dist, e.dist - 1);

@@ -151,7 +151,14 @@ mod tests {
     fn near_target_found_in_first_ring() {
         let adj = path10();
         let mut st = stats();
-        let out = expanding_ring_search(&adj, NodeId(0), NodeId(1), &[1, 2, 4], &mut st, SimTime::ZERO);
+        let out = expanding_ring_search(
+            &adj,
+            NodeId(0),
+            NodeId(1),
+            &[1, 2, 4],
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(out.found);
         assert_eq!(out.stages_used, 1);
         assert_eq!(out.hops_to_target, Some(1));
@@ -164,7 +171,14 @@ mod tests {
     fn far_target_accumulates_stage_cost() {
         let adj = path10();
         let mut st = stats();
-        let out = expanding_ring_search(&adj, NodeId(0), NodeId(8), &[1, 2, 4, 8], &mut st, SimTime::ZERO);
+        let out = expanding_ring_search(
+            &adj,
+            NodeId(0),
+            NodeId(8),
+            &[1, 2, 4, 8],
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(out.found);
         assert_eq!(out.stages_used, 4);
         // stage1: 1 tx; stage2: 2; stage4: 4; stage8: 8 → 15 total
@@ -177,7 +191,8 @@ mod tests {
     fn miss_exhausts_schedule() {
         let adj = path10();
         let mut st = stats();
-        let out = expanding_ring_search(&adj, NodeId(0), NodeId(9), &[1, 2], &mut st, SimTime::ZERO);
+        let out =
+            expanding_ring_search(&adj, NodeId(0), NodeId(9), &[1, 2], &mut st, SimTime::ZERO);
         assert!(!out.found, "n9 is 9 hops away, TTL 2 cannot reach it");
         assert_eq!(out.stages_used, 2);
         assert_eq!(out.reply_messages, 0);
@@ -190,7 +205,14 @@ mod tests {
         // 2,3 disconnected
         adj.add_edge(NodeId(2), NodeId(3));
         let mut st = stats();
-        let out = expanding_ring_search(&adj, NodeId(0), NodeId(3), &[1, 2, 4], &mut st, SimTime::ZERO);
+        let out = expanding_ring_search(
+            &adj,
+            NodeId(0),
+            NodeId(3),
+            &[1, 2, 4],
+            &mut st,
+            SimTime::ZERO,
+        );
         assert!(!out.found);
     }
 
@@ -208,7 +230,14 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_increasing_schedule_rejected() {
         let adj = path10();
-        expanding_ring_search(&adj, NodeId(0), NodeId(1), &[2, 2], &mut stats(), SimTime::ZERO);
+        expanding_ring_search(
+            &adj,
+            NodeId(0),
+            NodeId(1),
+            &[2, 2],
+            &mut stats(),
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -225,8 +254,14 @@ mod tests {
         let adj = path10();
         let mut st1 = stats();
         let mut st2 = stats();
-        let ers =
-            expanding_ring_search(&adj, NodeId(0), NodeId(1), &doubling_schedule(9), &mut st1, SimTime::ZERO);
+        let ers = expanding_ring_search(
+            &adj,
+            NodeId(0),
+            NodeId(1),
+            &doubling_schedule(9),
+            &mut st1,
+            SimTime::ZERO,
+        );
         let fl = flood_search(&adj, NodeId(0), NodeId(1), &mut st2, SimTime::ZERO);
         assert!(ers.total_messages() < fl.total_messages());
     }

@@ -21,6 +21,28 @@
 //!   (baseline #2 of Fig 15, after Pearlman & Haas);
 //! * [`expanding_ring`] — TTL-staged expanding ring search (the comparison
 //!   point of §III.C.4, used in ablation benches).
+//!
+//! ## Incremental neighborhood refresh
+//!
+//! The paper's scalability claim (§III.C) rests on neighborhood state
+//! staying *local* while the network grows; this crate implements that for
+//! the simulation's own cost too. On a mobility tick,
+//! [`network::Network::refresh`] (1) rebuilds the CSR adjacency in place,
+//! (2) diffs it against the previous snapshot to find the nodes whose link
+//! set changed, (3) marks as dirty exactly the union of the (R−1)-hop
+//! balls around those changed nodes in the old and new graphs, and
+//! (4) rebuilds only the dirty tables, fanned out over `sim_core::par`
+//! workers with per-worker BFS scratch.
+//!
+//! **Invariant:** after `refresh`, the tables are identical — membership,
+//! distances, edge-node sets and path lengths — to what
+//! [`network::Network::refresh_full`] (recompute everything) produces.
+//! The (R−1)-ball is sufficient because a node's R-hop BFS only relaxes
+//! edges incident to nodes at depth ≤ R−1; if no changed node is that
+//! close in either snapshot, induction over BFS depth shows every frontier
+//! is unchanged. `refresh_full` stays in the API as the reference path and
+//! bench baseline; randomized equivalence is enforced by unit tests here
+//! and `tests/topology_refresh.rs` at the workspace root.
 
 #![warn(missing_docs)]
 pub mod dsdv;

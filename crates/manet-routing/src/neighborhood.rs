@@ -11,24 +11,76 @@
 //!
 //! The tables represent the *converged* state of the proactive intra-zone
 //! protocol; [`crate::dsdv`] shows a real protocol converging to them.
+//!
+//! ## Storage and refresh
+//!
+//! Each [`Neighborhood`] stores its distance/parent/edge state as sorted
+//! member arrays — O(zone size) per node instead of the former O(network
+//! size) dense vectors. The one remaining whole-network structure is the
+//! membership bitset (N *bits* per node, kept for the O(1) overlap checks
+//! contact selection hammers); replacing it with a zone-local filter is on
+//! the ROADMAP for the 10⁴⁺-node scenarios. Tables are (re)computed with
+//! per-worker [`BfsScratch`] workspaces
+//! fanned out over [`sim_core::par`], and [`NeighborhoodTables::recompute_nodes`]
+//! rebuilds an arbitrary subset — the primitive behind the incremental
+//! mobility refresh in [`crate::network`].
 
-use net_topology::bfs::{khop_bfs, BfsResult};
+use net_topology::bfs::{BfsScratch, BfsView};
 use net_topology::graph::Adjacency;
 use net_topology::node::NodeId;
+use sim_core::par::parallel_map_with;
 use sim_core::util::BitSet;
 
 /// Neighborhood state of one node.
 #[derive(Clone, Debug)]
 pub struct Neighborhood {
+    owner: NodeId,
     /// Membership bitset over all node ids (includes the owner itself).
     members: BitSet,
+    /// Member ids in ascending order (owner included).
+    ids: Vec<NodeId>,
+    /// Hop distance of `ids[k]` from the owner.
+    dist: Vec<u16>,
+    /// BFS-tree parent of `ids[k]` (the owner is its own parent).
+    parent: Vec<NodeId>,
     /// Nodes at exactly R hops, sorted by id.
     edge_nodes: Vec<NodeId>,
-    /// Underlying hop-limited BFS (distances + parents).
-    bfs: BfsResult,
 }
 
 impl Neighborhood {
+    /// Capture one node's neighborhood from a hop-limited BFS view.
+    fn from_view(owner: NodeId, view: BfsView<'_>, radius: u16, node_count: usize) -> Self {
+        let mut ids = view.visited().to_vec();
+        ids.sort_unstable();
+        let mut members = BitSet::new(node_count);
+        let mut dist = Vec::with_capacity(ids.len());
+        let mut parent = Vec::with_capacity(ids.len());
+        let mut edge_nodes = Vec::new();
+        for &v in &ids {
+            members.insert(v.index());
+            let d = view.distance(v).expect("visited node has a distance");
+            dist.push(d);
+            parent.push(view.parent(v).expect("visited node has a parent"));
+            if d == radius {
+                edge_nodes.push(v);
+            }
+        }
+        Neighborhood {
+            owner,
+            members,
+            ids,
+            dist,
+            parent,
+            edge_nodes,
+        }
+    }
+
+    /// Position of `node` in the sorted member arrays.
+    #[inline]
+    fn pos(&self, node: NodeId) -> Option<usize> {
+        self.ids.binary_search(&node).ok()
+    }
+
     /// Is `node` within R hops of the owner (the owner itself counts)?
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
@@ -42,7 +94,7 @@ impl Neighborhood {
 
     /// Number of members including the owner.
     pub fn size(&self) -> usize {
-        self.bfs.visited_count()
+        self.ids.len()
     }
 
     /// Nodes at exactly R hops from the owner.
@@ -52,17 +104,27 @@ impl Neighborhood {
 
     /// Hop distance to a member (`None` if outside the neighborhood).
     pub fn distance(&self, node: NodeId) -> Option<u16> {
-        self.bfs.distance(node)
+        self.pos(node).map(|k| self.dist[k])
     }
 
     /// Hop-shortest intra-zone path from the owner to `node` (inclusive).
     pub fn path_to(&self, node: NodeId) -> Option<Vec<NodeId>> {
-        self.bfs.path_to(node)
+        let mut k = self.pos(node)?;
+        let mut path = Vec::with_capacity(self.dist[k] as usize + 1);
+        let mut cur = node;
+        path.push(cur);
+        while cur != self.owner {
+            cur = self.parent[k];
+            path.push(cur);
+            k = self.pos(cur).expect("parents stay inside the neighborhood");
+        }
+        path.reverse();
+        Some(path)
     }
 
-    /// Members in discovery order (owner first).
+    /// Members in ascending id order (owner included).
     pub fn iter_members(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.bfs.visited().iter().copied()
+        self.ids.iter().copied()
     }
 }
 
@@ -73,26 +135,69 @@ pub struct NeighborhoodTables {
     tables: Vec<Neighborhood>,
 }
 
+/// Chunk length for fanning `len` work items out over the workers:
+/// enough chunks to load every worker several times over (so stragglers
+/// rebalance), but large enough to amortize the queue lock.
+fn chunk_len(len: usize) -> usize {
+    (len / (sim_core::par::max_workers() * 4)).max(32)
+}
+
+/// Split `0..n` into contiguous ranges of [`chunk_len`] size.
+fn node_chunks(n: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = chunk_len(n);
+    (0..n.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(n))
+        .collect()
+}
+
 impl NeighborhoodTables {
-    /// Compute R-hop tables for every node (one hop-limited BFS per node).
+    /// Compute R-hop tables for every node: one hop-limited BFS per node,
+    /// fanned out over worker threads with one [`BfsScratch`] each.
     pub fn compute(adj: &Adjacency, radius: u16) -> Self {
         let n = adj.node_count();
-        let tables = NodeId::all(n)
-            .map(|src| {
-                let bfs = khop_bfs(adj, src, radius);
-                let mut members = BitSet::new(n);
-                let mut edge_nodes = Vec::new();
-                for &v in bfs.visited() {
-                    members.insert(v.index());
-                    if bfs.distance(v) == Some(radius) {
-                        edge_nodes.push(v);
-                    }
-                }
-                edge_nodes.sort_unstable();
-                Neighborhood { members, edge_nodes, bfs }
-            })
-            .collect();
-        NeighborhoodTables { radius, tables }
+        let per_chunk = parallel_map_with(node_chunks(n), BfsScratch::new, |scratch, range| {
+            range
+                .map(|i| {
+                    let src = NodeId::from(i);
+                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n)
+                })
+                .collect::<Vec<_>>()
+        });
+        NeighborhoodTables {
+            radius,
+            tables: per_chunk.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Recompute the neighborhoods of `nodes` only (in parallel, reusing
+    /// per-worker scratch), leaving every other table untouched. The caller
+    /// guarantees `nodes` covers every node whose R-hop view changed —
+    /// see `Network::refresh` for how that set is derived.
+    pub fn recompute_nodes(&mut self, adj: &Adjacency, nodes: &[NodeId]) {
+        let n = adj.node_count();
+        assert_eq!(n, self.tables.len(), "node count changed; use compute()");
+        let radius = self.radius;
+        // Small dirty sets: one scratch on the caller's thread beats the
+        // fork/join spawn cost.
+        if nodes.len() < 96 {
+            let mut scratch = BfsScratch::with_capacity(n);
+            for &src in nodes {
+                self.tables[src.index()] =
+                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n);
+            }
+            return;
+        }
+        let chunks: Vec<&[NodeId]> = nodes.chunks(chunk_len(nodes.len())).collect();
+        let rebuilt = parallel_map_with(chunks, BfsScratch::new, |scratch, chunk| {
+            chunk
+                .iter()
+                .map(|&src| Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n))
+                .collect::<Vec<_>>()
+        });
+        for nb in rebuilt.into_iter().flatten() {
+            let slot = nb.owner.index();
+            self.tables[slot] = nb;
+        }
     }
 
     /// The zone radius R these tables were built with.
@@ -202,9 +307,21 @@ mod tests {
     fn iter_members_matches_bitset() {
         let tables = NeighborhoodTables::compute(&path5(), 2);
         let nb = tables.of(NodeId(1));
-        let mut from_iter: Vec<usize> = nb.iter_members().map(|n| n.index()).collect();
-        from_iter.sort_unstable();
+        let from_iter: Vec<usize> = nb.iter_members().map(|n| n.index()).collect();
         assert_eq!(from_iter, nb.members().to_vec());
+    }
+
+    #[test]
+    fn recompute_nodes_updates_only_listed_tables() {
+        let mut adj = path5();
+        let mut tables = NeighborhoodTables::compute(&adj, 1);
+        // Add edge 0-4, then refresh only nodes 0 and 4.
+        adj.add_edge(NodeId(0), NodeId(4));
+        tables.recompute_nodes(&adj, &[NodeId(0), NodeId(4)]);
+        assert!(tables.of(NodeId(0)).contains(NodeId(4)));
+        assert!(tables.of(NodeId(4)).contains(NodeId(0)));
+        // node 2's table was intentionally left stale (not in the list)
+        assert_eq!(tables.of(NodeId(2)).size(), 3);
     }
 
     fn random_graph(n: usize, edges: &[(u32, u32)]) -> Adjacency {
@@ -255,6 +372,29 @@ mod tests {
             for a in NodeId::all(20) {
                 for b in NodeId::all(20) {
                     prop_assert_eq!(tables.contains(a, b), tables.contains(b, a));
+                }
+            }
+        }
+
+        /// Intra-zone paths from the compact representation are valid
+        /// hop-by-hop routes of length == distance.
+        #[test]
+        fn prop_paths_valid(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            radius in 1u16..4,
+        ) {
+            let adj = random_graph(20, &edges);
+            let tables = NeighborhoodTables::compute(&adj, radius);
+            for owner in NodeId::all(20) {
+                let nb = tables.of(owner);
+                for m in nb.iter_members() {
+                    let path = nb.path_to(m).expect("member has a path");
+                    prop_assert_eq!(path[0], owner);
+                    prop_assert_eq!(*path.last().unwrap(), m);
+                    prop_assert_eq!(path.len() as u16 - 1, nb.distance(m).unwrap());
+                    for w in path.windows(2) {
+                        prop_assert!(adj.is_neighbor(w[0], w[1]));
+                    }
                 }
             }
         }

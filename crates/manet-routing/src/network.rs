@@ -4,8 +4,35 @@
 //! It owns the node positions, the unit-disk adjacency (with its spatial
 //! grid), and the converged R-hop neighborhood tables, and it knows how to
 //! advance mobility: move nodes, rebuild connectivity, recompute tables.
+//!
+//! ## Incremental refresh
+//!
+//! A mobility tick used to recompute *every* node's neighborhood BFS. The
+//! hot path is now incremental ([`Network::refresh`]):
+//!
+//! 1. the adjacency is rebuilt in place from the spatial grid, with the
+//!    previous CSR buffer kept as a double buffer;
+//! 2. the two CSR snapshots are diffed per node, yielding the *changed*
+//!    nodes (endpoints of appeared/disappeared links);
+//! 3. a node `u`'s R-hop BFS relaxes exactly the edges incident to nodes
+//!    at depth ≤ R−1 from `u`, so its table can only have changed if some
+//!    changed node lies within **R−1** hops of `u` — in the old or the new
+//!    graph (if no changed node is that close in either snapshot, an
+//!    induction over BFS depth shows both frontiers stay identical). The
+//!    *dirty* set is therefore the union of two multi-source (R−1)-hop
+//!    balls around the changed nodes, one per snapshot; at R = 0 zones are
+//!    `{self}` and no link change can dirty anything;
+//! 4. only the dirty neighborhoods are rebuilt, in parallel, with
+//!    per-worker [`net_topology::bfs::BfsScratch`] workspaces.
+//!
+//! The equivalence of this path with the naive rebuild is pinned by unit
+//! tests below and by the randomized `tests/topology_refresh.rs` suite.
+//!
+//! [`Network::refresh_full`] keeps the naive rebuild-everything path alive
+//! for equivalence testing and benchmarking.
 
 use mobility::model::MobilityModel;
+use net_topology::bfs::BfsScratch;
 use net_topology::geometry::{Field, Point2};
 use net_topology::graph::Adjacency;
 use net_topology::grid::SpatialGrid;
@@ -24,8 +51,17 @@ pub struct Network {
     radius: u16,
     positions: Vec<Point2>,
     adj: Adjacency,
+    /// Double buffer: the adjacency the current tables were computed from,
+    /// reused as the rebuild target on the next refresh.
+    prev_adj: Adjacency,
     grid: SpatialGrid,
     tables: NeighborhoodTables,
+    /// Scratch for the dirty-ball traversals (reused across ticks).
+    scratch: BfsScratch,
+    /// Reusable buffers for the diff (changed nodes, dirty set).
+    changed: Vec<NodeId>,
+    dirty: Vec<NodeId>,
+    dirty_flags: Vec<bool>,
 }
 
 impl Network {
@@ -42,12 +78,34 @@ impl Network {
     ///
     /// # Panics
     /// Panics unless `tx_range` is positive and finite.
-    pub fn from_positions(field: Field, positions: Vec<Point2>, tx_range: f64, radius: u16) -> Self {
-        assert!(tx_range > 0.0 && tx_range.is_finite(), "invalid tx range {tx_range}");
+    pub fn from_positions(
+        field: Field,
+        positions: Vec<Point2>,
+        tx_range: f64,
+        radius: u16,
+    ) -> Self {
+        assert!(
+            tx_range > 0.0 && tx_range.is_finite(),
+            "invalid tx range {tx_range}"
+        );
+        let n = positions.len();
         let mut grid = SpatialGrid::new(field, tx_range);
         let adj = Adjacency::build_with_grid(&mut grid, &positions, tx_range);
         let tables = NeighborhoodTables::compute(&adj, radius);
-        Network { field, tx_range, radius, positions, adj, grid, tables }
+        Network {
+            field,
+            tx_range,
+            radius,
+            positions,
+            prev_adj: adj.clone(),
+            adj,
+            grid,
+            tables,
+            scratch: BfsScratch::with_capacity(n),
+            changed: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flags: vec![false; n],
+        }
     }
 
     /// Number of nodes.
@@ -76,6 +134,12 @@ impl Network {
         &self.positions
     }
 
+    /// Mutable node positions (custom placements in tests/benches; callers
+    /// must follow with [`Network::refresh`] or [`Network::refresh_full`]).
+    pub fn positions_mut(&mut self) -> &mut [Point2] {
+        &mut self.positions
+    }
+
     /// The current unit-disk adjacency.
     #[inline]
     pub fn adj(&self) -> &Adjacency {
@@ -97,15 +161,13 @@ impl Network {
     }
 
     /// Advance mobility by `dt`: move nodes, rebuild connectivity and
-    /// recompute neighborhood tables. No-op for static models.
+    /// incrementally refresh neighborhood tables. No-op for static models.
     pub fn advance(&mut self, model: &mut dyn MobilityModel, dt: SimDuration) {
         if model.is_static() {
             return;
         }
         model.advance(&mut self.positions, dt);
-        self.adj
-            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
-        self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
+        self.refresh();
     }
 
     /// Move nodes *without* refreshing connectivity or tables (used to
@@ -115,10 +177,57 @@ impl Network {
         model.advance(&mut self.positions, dt);
     }
 
-    /// Rebuild connectivity and tables from current positions.
+    /// Rebuild connectivity from current positions and refresh only the
+    /// neighborhoods whose R-hop view could have changed (see the module
+    /// docs for the dirty-set derivation). Equivalent to — and checked
+    /// against — [`Network::refresh_full`].
     pub fn refresh(&mut self) {
+        // The tables currently reflect `adj`; rebuild into the spare
+        // buffer so old and new snapshots can be diffed.
+        std::mem::swap(&mut self.adj, &mut self.prev_adj);
         self.adj
             .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+
+        let n = self.positions.len();
+        self.changed.clear();
+        for id in NodeId::all(n) {
+            if self.adj.neighbors_changed(&self.prev_adj, id) {
+                self.changed.push(id);
+            }
+        }
+        if self.changed.is_empty() || self.radius == 0 {
+            // R = 0 zones are {self}: no link change can affect a table.
+            return;
+        }
+
+        // Dirty = (R−1)-hop ball around the changed nodes, in both
+        // snapshots: BFS-R only relaxes edges incident to nodes at depth
+        // ≤ R−1, so farther link changes cannot alter the table.
+        self.dirty.clear();
+        for graph in [&self.prev_adj, &self.adj] {
+            let view = self.scratch.ball(graph, &self.changed, self.radius - 1);
+            for &v in view.visited() {
+                if !self.dirty_flags[v.index()] {
+                    self.dirty_flags[v.index()] = true;
+                    self.dirty.push(v);
+                }
+            }
+        }
+        self.tables.recompute_nodes(&self.adj, &self.dirty);
+        for &v in &self.dirty {
+            self.dirty_flags[v.index()] = false;
+        }
+    }
+
+    /// Rebuild connectivity and recompute *every* neighborhood from
+    /// scratch. Semantically identical to [`Network::refresh`]; kept as the
+    /// reference path for equivalence tests and the bench baseline.
+    pub fn refresh_full(&mut self) {
+        self.adj
+            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        // Keep the double buffer coherent: the tables below reflect `adj`,
+        // so the next incremental diff must run against this snapshot.
+        self.prev_adj.clone_from(&self.adj);
         self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
     }
 
@@ -126,6 +235,18 @@ impl Network {
     #[inline]
     pub fn is_link(&self, a: NodeId, b: NodeId) -> bool {
         self.adj.is_neighbor(a, b)
+    }
+
+    /// Number of nodes whose adjacency changed in the last [`Network::refresh`]
+    /// (observability: churn per tick).
+    pub fn last_changed_count(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Number of neighborhoods rebuilt by the last [`Network::refresh`]
+    /// (observability: incremental-refresh effectiveness).
+    pub fn last_dirty_count(&self) -> usize {
+        self.dirty.len()
     }
 }
 
@@ -181,14 +302,8 @@ mod tests {
     fn mobile_advance_updates_everything() {
         let mut net = Network::from_scenario(&small_scenario(), 2, 1);
         let before = net.positions().to_vec();
-        let mut rwp = RandomWaypoint::new(
-            60,
-            net.field(),
-            5.0,
-            15.0,
-            0.0,
-            RngStream::seed_from_u64(3),
-        );
+        let mut rwp =
+            RandomWaypoint::new(60, net.field(), 5.0, 15.0, 0.0, RngStream::seed_from_u64(3));
         net.advance(&mut rwp, SimDuration::from_secs(5));
         assert_ne!(net.positions(), &before[..], "nodes should have moved");
         // adjacency is consistent with moved positions
@@ -204,13 +319,101 @@ mod tests {
     fn positions_only_then_refresh_matches_full_advance() {
         let mut a = Network::from_scenario(&small_scenario(), 2, 5);
         let mut b = Network::from_scenario(&small_scenario(), 2, 5);
-        let mk = || RandomWaypoint::new(60, Field::square(300.0), 5.0, 15.0, 0.0, RngStream::seed_from_u64(9));
+        let mk = || {
+            RandomWaypoint::new(
+                60,
+                Field::square(300.0),
+                5.0,
+                15.0,
+                0.0,
+                RngStream::seed_from_u64(9),
+            )
+        };
         let (mut ma, mut mb) = (mk(), mk());
         a.advance(&mut ma, SimDuration::from_secs(3));
         b.advance_positions_only(&mut mb, SimDuration::from_secs(3));
         b.refresh();
         assert_eq!(a.positions(), b.positions());
         assert_eq!(a.adj().link_count(), b.adj().link_count());
+    }
+
+    /// Compare every observable of two tables (the equivalence oracle for
+    /// the incremental refresh).
+    fn assert_tables_equal(a: &Network, b: &Network) {
+        let n = a.node_count();
+        assert_eq!(a.adj(), b.adj(), "adjacencies differ");
+        for owner in NodeId::all(n) {
+            let (na, nb) = (a.tables().of(owner), b.tables().of(owner));
+            assert_eq!(na.size(), nb.size(), "size of {owner}");
+            assert_eq!(na.edge_nodes(), nb.edge_nodes(), "edges of {owner}");
+            for v in NodeId::all(n) {
+                assert_eq!(na.contains(v), nb.contains(v), "membership {owner}/{v}");
+                assert_eq!(na.distance(v), nb.distance(v), "distance {owner}/{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_over_many_ticks() {
+        for (seed, radius) in [(11u64, 1u16), (12, 2), (13, 3)] {
+            let mut inc = Network::from_scenario(&small_scenario(), radius, seed);
+            let mut full = Network::from_scenario(&small_scenario(), radius, seed);
+            let mk = || {
+                RandomWaypoint::new(
+                    60,
+                    Field::square(300.0),
+                    5.0,
+                    20.0,
+                    0.0,
+                    RngStream::seed_from_u64(seed ^ 0xabcd),
+                )
+            };
+            let (mut mi, mut mf) = (mk(), mk());
+            for _ in 0..8 {
+                inc.advance_positions_only(&mut mi, SimDuration::from_secs(1));
+                inc.refresh();
+                full.advance_positions_only(&mut mf, SimDuration::from_secs(1));
+                full.refresh_full();
+                assert_tables_equal(&inc, &full);
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_with_no_movement_touches_nothing() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 3);
+        let links = net.adj().link_count();
+        net.refresh();
+        assert_eq!(net.adj().link_count(), links);
+        assert!(net.changed.is_empty(), "no node may be flagged as changed");
+    }
+
+    #[test]
+    fn full_then_incremental_interleave_stays_coherent() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 21);
+        let mut reference = Network::from_scenario(&small_scenario(), 2, 21);
+        let mk = || {
+            RandomWaypoint::new(
+                60,
+                Field::square(300.0),
+                5.0,
+                15.0,
+                0.0,
+                RngStream::seed_from_u64(5),
+            )
+        };
+        let (mut ma, mut mb) = (mk(), mk());
+        for step in 0..6 {
+            net.advance_positions_only(&mut ma, SimDuration::from_secs(1));
+            if step % 2 == 0 {
+                net.refresh_full(); // must leave the double buffer coherent
+            } else {
+                net.refresh();
+            }
+            reference.advance_positions_only(&mut mb, SimDuration::from_secs(1));
+            reference.refresh_full();
+            assert_tables_equal(&net, &reference);
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct BordercastConfig {
 
 impl Default for BordercastConfig {
     fn default() -> Self {
-        BordercastConfig { qd: QueryDetection::Qd1Qd2, max_bordercasts: 100_000 }
+        BordercastConfig {
+            qd: QueryDetection::Qd1Qd2,
+            max_bordercasts: 100_000,
+        }
     }
 }
 
@@ -165,7 +168,9 @@ pub fn bordercast_search(
         let mut tree_edges: u64 = 0;
         in_tree[b.index()] = true;
         for &p in &peripherals {
-            let path = zone.path_to(p).expect("edge node is in the zone by construction");
+            let path = zone
+                .path_to(p)
+                .expect("edge node is in the zone by construction");
             for w in path.windows(2) {
                 let (parent, child) = (w[0], w[1]);
                 if !in_tree[child.index()] {
@@ -322,7 +327,10 @@ mod tests {
                 &tables,
                 NodeId(0),
                 NodeId(29),
-                &BordercastConfig { qd, max_bordercasts: 100_000 },
+                &BordercastConfig {
+                    qd,
+                    max_bordercasts: 100_000,
+                },
                 &mut st,
                 SimTime::ZERO,
             )
@@ -367,7 +375,10 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(out.found);
-        assert!(out.bordercasters < 20, "should terminate well before visiting everyone");
+        assert!(
+            out.bordercasters < 20,
+            "should terminate well before visiting everyone"
+        );
     }
 
     #[test]

@@ -27,7 +27,6 @@ pub mod waypoint;
 pub mod prelude {
     pub use crate::group::GroupMobility;
     pub use crate::model::MobilityModel;
-    pub use crate::statics::StaticModel;
     pub use crate::walk::RandomWalk;
     pub use crate::waypoint::RandomWaypoint;
 }

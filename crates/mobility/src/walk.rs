@@ -54,7 +54,14 @@ impl RandomWalk {
         let states = (0..n)
             .map(|_| Self::fresh(v_min, v_max, epoch_secs, &mut rng))
             .collect();
-        RandomWalk { field, v_min, v_max, epoch_secs, states, rng }
+        RandomWalk {
+            field,
+            v_min,
+            v_max,
+            epoch_secs,
+            states,
+            rng,
+        }
     }
 
     fn fresh(v_min: f64, v_max: f64, epoch: f64, rng: &mut RngStream) -> WalkState {
@@ -105,7 +112,8 @@ impl RandomWalk {
             dt_secs -= step_secs;
             if st.remaining <= dt_secs + step_secs {
                 // epoch expired within this advance
-                self.states[idx] = Self::fresh(self.v_min, self.v_max, self.epoch_secs, &mut self.rng);
+                self.states[idx] =
+                    Self::fresh(self.v_min, self.v_max, self.epoch_secs, &mut self.rng);
             } else {
                 self.states[idx].theta = theta;
                 self.states[idx].remaining = st.remaining - step_secs;

@@ -52,7 +52,14 @@ impl RandomWaypoint {
         let legs = (0..n)
             .map(|_| Self::fresh_leg(field, v_min, v_max, &mut rng))
             .collect();
-        RandomWaypoint { field, v_min, v_max, pause_secs, legs, rng }
+        RandomWaypoint {
+            field,
+            v_min,
+            v_max,
+            pause_secs,
+            legs,
+            rng,
+        }
     }
 
     fn fresh_leg(field: Field, v_min: f64, v_max: f64, rng: &mut RngStream) -> Leg {
@@ -77,11 +84,14 @@ impl RandomWaypoint {
             match self.legs[idx] {
                 Leg::Paused { remaining } => {
                     if remaining > dt_secs {
-                        self.legs[idx] = Leg::Paused { remaining: remaining - dt_secs };
+                        self.legs[idx] = Leg::Paused {
+                            remaining: remaining - dt_secs,
+                        };
                         return;
                     }
                     dt_secs -= remaining;
-                    self.legs[idx] = Self::fresh_leg(self.field, self.v_min, self.v_max, &mut self.rng);
+                    self.legs[idx] =
+                        Self::fresh_leg(self.field, self.v_min, self.v_max, &mut self.rng);
                 }
                 Leg::Moving { dest, speed } => {
                     let distance = pos.dist(dest);
@@ -94,7 +104,9 @@ impl RandomWaypoint {
                     *pos = dest;
                     dt_secs -= if speed > 0.0 { distance / speed } else { 0.0 };
                     self.legs[idx] = if self.pause_secs > 0.0 {
-                        Leg::Paused { remaining: self.pause_secs }
+                        Leg::Paused {
+                            remaining: self.pause_secs,
+                        }
                     } else {
                         Self::fresh_leg(self.field, self.v_min, self.v_max, &mut self.rng)
                     };

@@ -178,7 +178,10 @@ mod tests {
     fn clamp_pins_to_boundary() {
         let f = Field::square(100.0);
         assert_eq!(f.clamp(Point2::new(-5.0, 50.0)), Point2::new(0.0, 50.0));
-        assert_eq!(f.clamp(Point2::new(150.0, 150.0)), Point2::new(100.0, 100.0));
+        assert_eq!(
+            f.clamp(Point2::new(150.0, 150.0)),
+            Point2::new(100.0, 100.0)
+        );
         let inside = Point2::new(10.0, 20.0);
         assert_eq!(f.clamp(inside), inside);
     }

@@ -5,28 +5,55 @@
 //! whenever mobility moves nodes, and queried constantly by every protocol
 //! layer (`is_neighbor` is the "is the next hop still there?" check in
 //! contact maintenance).
+//!
+//! ## Layout
+//!
+//! The graph is kept in *compressed sparse row* (CSR) form: one flat
+//! [`Vec<NodeId>`] of neighbor entries plus an `offsets` array with node
+//! `i`'s neighbors at `edges[offsets[i]..offsets[i + 1]]`, each slice
+//! sorted by id. Compared to a `Vec<Vec<NodeId>>`, this is two allocations
+//! instead of `N + 1`, it rebuilds in place with zero per-node allocation
+//! on every mobility tick, and BFS walks touch one contiguous cache-friendly
+//! buffer. `add_edge` / `remove_edge` splice the flat buffer (O(E)); they
+//! exist for tests and synthetic topologies, not for the mobility hot path,
+//! which always rebuilds wholesale from the spatial grid.
 
 use crate::geometry::{Field, Point2};
 use crate::grid::SpatialGrid;
 use crate::node::NodeId;
 
-/// Symmetric adjacency lists for the unit-disk graph.
-#[derive(Clone, Debug, Default)]
+/// Symmetric adjacency for the unit-disk graph, in CSR layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Adjacency {
-    neighbors: Vec<Vec<NodeId>>,
+    /// Node `i`'s neighbors live at `edges[offsets[i] .. offsets[i + 1]]`.
+    /// Always `node_count() + 1` entries; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Flat neighbor entries, sorted by id within each node's slice.
+    edges: Vec<NodeId>,
+}
+
+impl Default for Adjacency {
+    fn default() -> Self {
+        Adjacency {
+            offsets: vec![0],
+            edges: Vec::new(),
+        }
+    }
 }
 
 impl Adjacency {
     /// An empty graph over `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Adjacency { neighbors: vec![Vec::new(); n] }
+        Adjacency {
+            offsets: vec![0; n + 1],
+            edges: Vec::new(),
+        }
     }
 
     /// Build from positions with the given transmission `range`, using a
     /// spatial grid (O(N · avg-degree)).
     pub fn build(field: Field, positions: &[Point2], range: f64) -> Self {
         let mut grid = SpatialGrid::new(field, range);
-        grid.rebuild(positions);
         Self::build_with_grid(&mut grid, positions, range)
     }
 
@@ -34,65 +61,111 @@ impl Adjacency {
     /// rebuilt from `positions` first). Useful on mobility ticks to avoid
     /// reallocating the grid each time.
     pub fn build_with_grid(grid: &mut SpatialGrid, positions: &[Point2], range: f64) -> Self {
-        grid.rebuild(positions);
         let mut adj = Adjacency::with_nodes(positions.len());
-        for (i, &p) in positions.iter().enumerate() {
-            let id = NodeId::from(i);
-            let list = &mut adj.neighbors[i];
-            grid.for_each_within(positions, p, range, Some(id), |nb| list.push(nb));
-            list.sort_unstable();
-        }
+        adj.rebuild_with_grid(grid, positions, range);
         adj
     }
 
-    /// Rebuild in place (reusing allocations) from new positions.
+    /// Rebuild in place (reusing both CSR buffers) from new positions.
     pub fn rebuild_with_grid(&mut self, grid: &mut SpatialGrid, positions: &[Point2], range: f64) {
         grid.rebuild(positions);
-        self.neighbors.resize_with(positions.len(), Vec::new);
+        let n = positions.len();
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.edges.clear();
         for (i, &p) in positions.iter().enumerate() {
             let id = NodeId::from(i);
-            let list = &mut self.neighbors[i];
-            list.clear();
-            grid.for_each_within(positions, p, range, Some(id), |nb| list.push(nb));
-            list.sort_unstable();
+            let start = self.edges.len();
+            self.offsets.push(start as u32);
+            let edges = &mut self.edges;
+            grid.for_each_within(positions, p, range, Some(id), |nb| edges.push(nb));
+            self.edges[start..].sort_unstable();
         }
+        debug_assert!(
+            self.edges.len() <= u32::MAX as usize,
+            "edge count overflows CSR offsets"
+        );
+        self.offsets.push(self.edges.len() as u32);
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.neighbors.len()
+        self.offsets.len() - 1
     }
 
     /// Sorted direct (1-hop) neighbors of `node`.
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.neighbors[node.index()]
+        let i = node.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `node`.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.neighbors[node.index()].len()
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
-    /// Are `a` and `b` directly connected? (binary search on the sorted list)
+    /// Are `a` and `b` directly connected? (binary search on the sorted slice)
     #[inline]
     pub fn is_neighbor(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Total number of undirected links.
     pub fn link_count(&self) -> usize {
-        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+        self.edges.len() / 2
     }
 
     /// Average node degree.
     pub fn avg_degree(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        let n = self.node_count();
+        if n == 0 {
             return 0.0;
         }
-        self.neighbors.iter().map(Vec::len).sum::<usize>() as f64 / self.neighbors.len() as f64
+        self.edges.len() as f64 / n as f64
+    }
+
+    /// The raw CSR buffers `(offsets, edges)` (tests, benches, metrics).
+    pub fn csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.edges)
+    }
+
+    /// Do `a`'s neighbors differ between `self` and `other`? Nodes present
+    /// in only one of the two graphs count as changed. This is the edge
+    /// diff the incremental neighborhood refresh is built on.
+    #[inline]
+    pub fn neighbors_changed(&self, other: &Adjacency, a: NodeId) -> bool {
+        if a.index() >= self.node_count() || a.index() >= other.node_count() {
+            return true;
+        }
+        self.neighbors(a) != other.neighbors(a)
+    }
+
+    /// Insert `y` into `x`'s sorted slice if absent (O(E) splice).
+    fn insert_half_edge(&mut self, x: NodeId, y: NodeId) {
+        let i = x.index();
+        let start = self.offsets[i] as usize;
+        if let Err(pos) = self.neighbors(x).binary_search(&y) {
+            self.edges.insert(start + pos, y);
+            for off in &mut self.offsets[i + 1..] {
+                *off += 1;
+            }
+        }
+    }
+
+    /// Remove `y` from `x`'s sorted slice if present (O(E) splice).
+    fn remove_half_edge(&mut self, x: NodeId, y: NodeId) {
+        let i = x.index();
+        let start = self.offsets[i] as usize;
+        if let Ok(pos) = self.neighbors(x).binary_search(&y) {
+            self.edges.remove(start + pos);
+            for off in &mut self.offsets[i + 1..] {
+                *off -= 1;
+            }
+        }
     }
 
     /// Add an undirected edge (used by tests and synthetic topologies).
@@ -101,22 +174,14 @@ impl Adjacency {
     /// Panics on self-loops.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
         assert_ne!(a, b, "self-loop");
-        for (x, y) in [(a, b), (b, a)] {
-            let list = &mut self.neighbors[x.index()];
-            if let Err(pos) = list.binary_search(&y) {
-                list.insert(pos, y);
-            }
-        }
+        self.insert_half_edge(a, b);
+        self.insert_half_edge(b, a);
     }
 
     /// Remove an undirected edge if present.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) {
-        for (x, y) in [(a, b), (b, a)] {
-            let list = &mut self.neighbors[x.index()];
-            if let Ok(pos) = list.binary_search(&y) {
-                list.remove(pos);
-            }
-        }
+        self.remove_half_edge(a, b);
+        self.remove_half_edge(b, a);
     }
 }
 
@@ -124,6 +189,23 @@ impl Adjacency {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Check the CSR structural invariants.
+    fn assert_csr_invariants(adj: &Adjacency) {
+        let (offsets, edges) = adj.csr();
+        assert_eq!(offsets.len(), adj.node_count() + 1);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap() as usize, edges.len());
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be monotone");
+        }
+        for node in NodeId::all(adj.node_count()) {
+            let nbs = adj.neighbors(node);
+            for w in nbs.windows(2) {
+                assert!(w[0] < w[1], "neighbor slice of {node} not strictly sorted");
+            }
+        }
+    }
 
     /// Three nodes in a line, 40 m apart, range 50 m: 0-1 and 1-2 connect,
     /// 0-2 (80 m) does not.
@@ -151,6 +233,7 @@ mod tests {
         assert_eq!(adj.link_count(), 2);
         assert!((adj.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(adj.degree(NodeId(1)), 2);
+        assert_csr_invariants(&adj);
     }
 
     #[test]
@@ -175,6 +258,7 @@ mod tests {
         adj.rebuild_with_grid(&mut grid, &pos, 50.0);
         assert_eq!(adj.degree(NodeId(1)), 0);
         assert!(!adj.is_neighbor(NodeId(0), NodeId(1)));
+        assert_csr_invariants(&adj);
     }
 
     #[test]
@@ -185,9 +269,11 @@ mod tests {
         assert!(adj.is_neighbor(NodeId(0), NodeId(2)));
         assert!(adj.is_neighbor(NodeId(2), NodeId(0)));
         assert_eq!(adj.link_count(), 1);
+        assert_csr_invariants(&adj);
         adj.remove_edge(NodeId(0), NodeId(2));
         assert_eq!(adj.link_count(), 0);
         adj.remove_edge(NodeId(0), NodeId(2)); // removing absent edge is fine
+        assert_csr_invariants(&adj);
     }
 
     #[test]
@@ -201,11 +287,49 @@ mod tests {
         let field = Field::square(100.0);
         let pos = vec![Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)];
         let adj = Adjacency::build(field, &pos, 50.0);
-        assert!(adj.is_neighbor(NodeId(0), NodeId(1)), "distance == range is connected");
+        assert!(
+            adj.is_neighbor(NodeId(0), NodeId(1)),
+            "distance == range is connected"
+        );
+    }
+
+    #[test]
+    fn rebuild_handles_node_count_changes() {
+        let field = Field::square(200.0);
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(
+            &mut grid,
+            &[Point2::new(10.0, 10.0), Point2::new(40.0, 10.0)],
+            50.0,
+        );
+        assert_eq!(adj.node_count(), 2);
+        let more = vec![
+            Point2::new(10.0, 10.0),
+            Point2::new(40.0, 10.0),
+            Point2::new(70.0, 10.0),
+        ];
+        adj.rebuild_with_grid(&mut grid, &more, 50.0);
+        assert_eq!(adj.node_count(), 3);
+        assert!(adj.is_neighbor(NodeId(1), NodeId(2)));
+        assert_csr_invariants(&adj);
+    }
+
+    /// Reference O(N²) construction straight from the unit-disk definition.
+    fn naive_build(positions: &[Point2], range: f64) -> Vec<Vec<NodeId>> {
+        let r_sq = range * range;
+        (0..positions.len())
+            .map(|i| {
+                (0..positions.len())
+                    .filter(|&j| j != i && positions[i].dist_sq(positions[j]) <= r_sq)
+                    .map(NodeId::from)
+                    .collect()
+            })
+            .collect()
     }
 
     proptest! {
-        /// Grid-accelerated construction matches the O(N²) definition.
+        /// Grid-accelerated CSR construction is edge-for-edge identical to
+        /// the O(N²) definition: same neighbor slice for every node.
         #[test]
         fn prop_build_matches_naive(
             pts in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 1..80),
@@ -214,18 +338,33 @@ mod tests {
             let field = Field::square(710.0);
             let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
             let adj = Adjacency::build(field, &positions, range);
-            let r_sq = range * range;
-            for i in 0..positions.len() {
-                for j in 0..positions.len() {
-                    if i == j { continue; }
-                    let expect = positions[i].dist_sq(positions[j]) <= r_sq;
-                    prop_assert_eq!(
-                        adj.is_neighbor(NodeId::from(i), NodeId::from(j)),
-                        expect,
-                        "pair ({}, {})", i, j
-                    );
-                }
+            let naive = naive_build(&positions, range);
+            for (i, expect) in naive.iter().enumerate() {
+                prop_assert_eq!(
+                    adj.neighbors(NodeId::from(i)),
+                    &expect[..],
+                    "neighbor slice of node {} differs", i
+                );
             }
+        }
+
+        /// In-place rebuild from moved positions equals a fresh build, and
+        /// the CSR invariants hold after every rebuild.
+        #[test]
+        fn prop_rebuild_equals_fresh_build(
+            pts in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 1..60),
+            moved in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 1..60),
+            range in 10.0..100.0f64,
+        ) {
+            let field = Field::square(710.0);
+            let first: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let second: Vec<Point2> = moved.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut grid = SpatialGrid::new(field, range);
+            let mut adj = Adjacency::build_with_grid(&mut grid, &first, range);
+            adj.rebuild_with_grid(&mut grid, &second, range);
+            let fresh = Adjacency::build(field, &second, range);
+            prop_assert_eq!(&adj, &fresh);
+            assert_csr_invariants(&adj);
         }
     }
 }

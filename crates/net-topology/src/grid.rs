@@ -4,6 +4,12 @@
 //! mobility tick. The grid partitions the field into square cells whose side
 //! equals the transmission range; all neighbors of a point then lie in its
 //! own cell or the 8 surrounding ones, giving O(N · avg-degree) rebuilds.
+//!
+//! Like [`crate::graph::Adjacency`], the buckets are stored in CSR form
+//! (one flat entry array plus per-cell offsets) and rebuilt in place with a
+//! counting pass + prefix sum, so a mobility tick re-buckets every node
+//! with zero allocation and the 3×3-cell scans of
+//! [`SpatialGrid::for_each_within`] walk contiguous memory.
 
 use crate::geometry::{Field, Point2};
 use crate::node::NodeId;
@@ -13,8 +19,14 @@ pub struct SpatialGrid {
     cell_side: f64,
     cols: usize,
     rows: usize,
-    /// Node ids bucketed per cell, row-major.
-    cells: Vec<Vec<NodeId>>,
+    /// Cell `c`'s occupants live at `entries[starts[c] .. starts[c + 1]]`.
+    starts: Vec<u32>,
+    /// Node ids, bucketed by cell (row-major cell order).
+    entries: Vec<NodeId>,
+    /// Scratch: cell index per node, reused across rebuilds.
+    cell_of_node: Vec<u32>,
+    /// Scratch: per-cell write cursor for the placement pass.
+    cursor: Vec<u32>,
 }
 
 impl SpatialGrid {
@@ -30,13 +42,16 @@ impl SpatialGrid {
             cell_side: range,
             cols,
             rows,
-            cells: vec![Vec::new(); cols * rows],
+            starts: vec![0; cols * rows + 1],
+            entries: Vec::new(),
+            cell_of_node: Vec::new(),
+            cursor: Vec::new(),
         }
     }
 
     /// Number of grid cells.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.starts.len() - 1
     }
 
     #[inline]
@@ -46,15 +61,35 @@ impl SpatialGrid {
         (cx, cy)
     }
 
-    /// Clear and re-bucket every node position. Positions outside the field
-    /// are clamped into the boundary cells.
+    /// Clear and re-bucket every node position (counting sort into the CSR
+    /// buffers; no allocation once the buffers have grown). Positions
+    /// outside the field are clamped into the boundary cells.
     pub fn rebuild(&mut self, positions: &[Point2]) {
-        for cell in &mut self.cells {
-            cell.clear();
-        }
-        for (i, &p) in positions.iter().enumerate() {
+        let cells = self.cell_count();
+        self.starts.fill(0);
+        self.cell_of_node.clear();
+        // Pass 1: record each node's cell and count occupants per cell
+        // (counts shifted by one so the prefix sum below leaves
+        // `starts[c]` = first entry of cell c).
+        for &p in positions {
             let (cx, cy) = self.cell_of(p);
-            self.cells[cy * self.cols + cx].push(NodeId::from(i));
+            let cell = (cy * self.cols + cx) as u32;
+            self.cell_of_node.push(cell);
+            self.starts[cell as usize + 1] += 1;
+        }
+        for c in 0..cells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        // Pass 2: place nodes, advancing a per-cell write cursor. No
+        // clear first: counting sort writes every index 0..N exactly once,
+        // so resize only ever initializes a grown tail.
+        self.entries.resize(positions.len(), NodeId::new(0));
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..cells]);
+        for (i, &cell) in self.cell_of_node.iter().enumerate() {
+            let slot = &mut self.cursor[cell as usize];
+            self.entries[*slot as usize] = NodeId::from(i);
+            *slot += 1;
         }
     }
 
@@ -81,14 +116,16 @@ impl SpatialGrid {
         let x1 = (cx + 1).min(self.cols - 1);
         let y1 = (cy + 1).min(self.rows - 1);
         for gy in y0..=y1 {
-            for gx in x0..=x1 {
-                for &id in &self.cells[gy * self.cols + gx] {
-                    if Some(id) == exclude {
-                        continue;
-                    }
-                    if positions[id.index()].dist_sq(center) <= r_sq {
-                        visit(id);
-                    }
+            // Cells x0..=x1 of this row are contiguous in the CSR buffers,
+            // so the three cells scan as one slice.
+            let lo = self.starts[gy * self.cols + x0] as usize;
+            let hi = self.starts[gy * self.cols + x1 + 1] as usize;
+            for &id in &self.entries[lo..hi] {
+                if Some(id) == exclude {
+                    continue;
+                }
+                if positions[id.index()].dist_sq(center) <= r_sq {
+                    visit(id);
                 }
             }
         }
@@ -159,8 +196,13 @@ mod tests {
         let mut grid = SpatialGrid::new(field, 5.0);
         let positions = vec![Point2::new(5.0, 5.0)];
         grid.rebuild(&positions);
-        assert!(grid.within(&positions, positions[0], 5.0, Some(NodeId(0))).is_empty());
-        assert_eq!(grid.within(&positions, positions[0], 5.0, None), vec![NodeId(0)]);
+        assert!(grid
+            .within(&positions, positions[0], 5.0, Some(NodeId(0)))
+            .is_empty());
+        assert_eq!(
+            grid.within(&positions, positions[0], 5.0, None),
+            vec![NodeId(0)]
+        );
     }
 
     #[test]
@@ -177,7 +219,9 @@ mod tests {
         let field = Field::square(100.0);
         let mut grid = SpatialGrid::new(field, 10.0);
         grid.rebuild(&[]);
-        assert!(grid.within(&[], Point2::new(5.0, 5.0), 10.0, None).is_empty());
+        assert!(grid
+            .within(&[], Point2::new(5.0, 5.0), 10.0, None)
+            .is_empty());
     }
 
     proptest! {

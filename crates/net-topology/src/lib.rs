@@ -19,6 +19,25 @@
 //! * [`smallworld`] — Watts–Strogatz clustering / characteristic path
 //!   length (the paper's §I small-world foundation);
 //! * [`scenario`] — the 8 simulation scenarios of Table 1 plus custom ones.
+//!
+//! ## Hot-path layout (the mobility tick)
+//!
+//! This crate is the bottom of the 4-layer topology→routing→protocol stack
+//! (`sim-core` → `net-topology` → `manet-routing` → `card-core`), and the
+//! mobility tick is its hot path. Two structural decisions keep that path
+//! allocation-free and cache-friendly at scale:
+//!
+//! * **CSR everywhere** — both the [`grid::SpatialGrid`] buckets and the
+//!   [`graph::Adjacency`] neighbor lists are flat arrays with offset
+//!   tables, rebuilt in place by counting passes. A rebuild touches two
+//!   buffers, not N little vectors;
+//! * **epoch-stamped scratch** — [`bfs::BfsScratch`] keeps distances,
+//!   parents, queue and visited marks in persistent buffers; a new
+//!   traversal costs O(1) setup (bump the epoch) instead of O(N) clearing.
+//!   The convenience wrappers ([`bfs::khop_bfs`], [`bfs::full_bfs`],
+//!   [`bfs::shortest_path`]) run on a thread-local scratch and allocate
+//!   only their output; layers above hold per-worker scratches for bulk
+//!   work (see `manet_routing::neighborhood`).
 
 #![warn(missing_docs)]
 pub mod bfs;
@@ -33,7 +52,7 @@ pub mod smallworld;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::bfs::{full_bfs, khop_bfs, shortest_path, BfsResult};
+    pub use crate::bfs::{full_bfs, khop_bfs, shortest_path, BfsResult, BfsScratch, BfsView};
     pub use crate::geometry::{Field, Point2};
     pub use crate::graph::Adjacency;
     pub use crate::grid::SpatialGrid;
@@ -44,7 +63,7 @@ pub mod prelude {
     pub use crate::smallworld::SmallWorldMetrics;
 }
 
-pub use bfs::{full_bfs, khop_bfs, shortest_path, BfsResult};
+pub use bfs::{full_bfs, khop_bfs, shortest_path, BfsResult, BfsScratch, BfsView};
 pub use geometry::{Field, Point2};
 pub use graph::Adjacency;
 pub use grid::SpatialGrid;

@@ -25,7 +25,12 @@ pub struct Scenario {
 impl Scenario {
     /// Construct a scenario.
     pub const fn new(nodes: usize, width: f64, height: f64, tx_range: f64) -> Self {
-        Scenario { nodes, width, height, tx_range }
+        Scenario {
+            nodes,
+            width,
+            height,
+            tx_range,
+        }
     }
 
     /// The simulation field.
@@ -115,15 +120,29 @@ mod tests {
         let (_, adj) = SCENARIO_5.instantiate(1);
         let m = TopologyMetrics::compute(&adj);
         assert_eq!(m.nodes, 500);
-        assert!(m.avg_degree > 5.0 && m.avg_degree < 10.0, "degree {}", m.avg_degree);
-        assert!(m.diameter >= 15 && m.diameter <= 45, "diameter {}", m.diameter);
-        assert!(m.connectivity_ratio() > 0.9, "scenario 5 should be nearly connected");
+        assert!(
+            m.avg_degree > 5.0 && m.avg_degree < 10.0,
+            "degree {}",
+            m.avg_degree
+        );
+        assert!(
+            m.diameter >= 15 && m.diameter <= 45,
+            "diameter {}",
+            m.diameter
+        );
+        assert!(
+            m.connectivity_ratio() > 0.9,
+            "scenario 5 should be nearly connected"
+        );
     }
 
     #[test]
     fn sparse_scenario3_is_disconnected() {
         let (_, adj) = TABLE1_SCENARIOS[2].instantiate(1);
         let m = TopologyMetrics::compute(&adj);
-        assert!(m.components > 1, "scenario 3 is known-sparse (paper degree 2.57)");
+        assert!(
+            m.components > 1,
+            "scenario 3 is known-sparse (paper degree 2.57)"
+        );
     }
 }

@@ -126,7 +126,11 @@ impl<E> Engine<E> {
     ///
     /// This is a convenience wrapper over the pull loop for simulations whose
     /// whole state fits in one `world` value.
-    pub fn run<W>(&mut self, world: &mut W, mut handler: impl FnMut(&mut Self, &mut W, SimTime, E)) {
+    pub fn run<W>(
+        &mut self,
+        world: &mut W,
+        mut handler: impl FnMut(&mut Self, &mut W, SimTime, E),
+    ) {
         while let Some((t, ev)) = self.next_event() {
             handler(self, world, t, ev);
         }

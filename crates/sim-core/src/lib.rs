@@ -17,7 +17,10 @@
 //! * [`stats`] — counters, per-kind message accounting and time-bucketed
 //!   series used for every overhead figure in the paper;
 //! * [`trace`] — an optional bounded event trace for protocol debugging;
-//! * [`util`] — a compact fixed-capacity bitset used for reachability sets.
+//! * [`util`] — a compact fixed-capacity bitset used for reachability sets;
+//! * [`par`] — order-preserving fork/join parallelism with per-worker
+//!   scratch buffers, used by the experiment sweeps *and* by the topology
+//!   layers below (parallel neighborhood refresh).
 //!
 //! The engine knows nothing about networks; `net-topology`, `manet-routing`
 //! and `card-core` build the MANET world on top of it.
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 pub mod engine;
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -63,6 +67,7 @@ pub mod util;
 pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventQueue;
+    pub use crate::par::{parallel_map, parallel_map_with};
     pub use crate::rng::{RngStream, SeedSplitter};
     pub use crate::stats::{Counter, MsgStats, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};
@@ -71,5 +76,6 @@ pub mod prelude {
 }
 
 pub use engine::Engine;
+pub use par::{parallel_map, parallel_map_with};
 pub use rng::{RngStream, SeedSplitter};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,229 @@
+//! Deterministic fork/join parallelism for the simulation stack.
+//!
+//! Two primitives cover every fan-out in the workspace:
+//!
+//! * [`parallel_map`] — map a closure over owned items on scoped threads,
+//!   preserving input order. Used by the experiment runner (each figure
+//!   cell is an independent simulation world).
+//! * [`parallel_map_with`] — the same, but every worker thread first builds
+//!   a private *scratch* value and threads it through all the items it
+//!   processes. This is the reusable scratch-buffer idiom the topology hot
+//!   path depends on: per-worker `BfsScratch` workspaces let thousands of
+//!   neighborhood rebuilds run without a single per-call allocation.
+//!
+//! Both functions are plain `std` (no thread pool, no external crates):
+//! workers pull `(index, item)` pairs from a mutex-guarded iterator, stash
+//! `(index, result)` pairs locally, and the caller scatters results back
+//! into input order. Scoped threads keep borrows of the closure and scratch
+//! factory alive without `'static` bounds. Results are deterministic
+//! regardless of scheduling because ordering is restored by index.
+//!
+//! Worker count is `available_parallelism`, capped by the item count.
+//! Single-item (or empty) inputs run inline on the caller's thread, and so
+//! do *nested* fan-outs: worker threads are marked, and a `parallel_map*`
+//! call made from inside one runs serially — a parallel sweep whose cells
+//! themselves call into parallel refreshes keeps exactly one level of
+//! parallelism instead of spawning workers² threads.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while this thread is a `parallel_map_with` worker, so nested
+    /// fan-outs run inline instead of spawning workers² threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads available to fan-outs (`available_parallelism`,
+/// floored at 1). Exposed so callers can size work chunks consistently.
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// Number of worker threads for `n` items (at least 1).
+fn worker_count(n: usize) -> usize {
+    max_workers().min(n).max(1)
+}
+
+/// Map `f` over `items` in parallel (scoped threads, at most
+/// `available_parallelism` workers), preserving input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(items, || (), |(), item| f(item))
+}
+
+/// Map `f` over `items` in parallel, giving every worker thread a private
+/// scratch value built by `init`. Results come back in input order.
+///
+/// `init` runs once per worker (not per item); `f` receives the worker's
+/// scratch by mutable reference, so buffers allocated there are reused
+/// across all items the worker processes.
+pub fn parallel_map_with<S, T, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n = items.len();
+    // Run inline for trivial inputs, and for *nested* fan-outs: when the
+    // calling thread is already one of `parallel_map_with`'s workers, the
+    // outer call owns the parallelism — spawning here would oversubscribe
+    // (workers² threads) and pay spawn latency per inner call.
+    if n <= 1 || IN_WORKER.with(Cell::get) {
+        let mut scratch = init();
+        return items
+            .into_iter()
+            .map(|item| f(&mut scratch, item))
+            .collect();
+    }
+    let workers = worker_count(n);
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = Mutex::new(&mut out);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                let mut scratch = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Take the next item while holding the lock only for
+                    // the pull, never during `f`.
+                    let next = queue.lock().expect("queue poisoned").next();
+                    let Some((i, item)) = next else { break };
+                    local.push((i, f(&mut scratch, item)));
+                }
+                let mut slots = slots.lock().expect("results poisoned");
+                for (i, r) in local {
+                    debug_assert!(slots[i].is_none(), "duplicate result for cell {i}");
+                    slots[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("every cell produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_once_per_item() {
+        let calls = AtomicU32::new(0);
+        let out = parallel_map((0..32).collect(), |x: u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(calls.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let items: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
+        let out = parallel_map(items, |s| s.len());
+        assert_eq!(out, vec![2; 10]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // cells with wildly different costs must still land in order
+        let out = parallel_map((0..24u64).collect(), |x| {
+            if x % 3 == 0 {
+                // burn a little CPU
+                let mut acc = 0u64;
+                for i in 0..50_000 {
+                    acc = acc.wrapping_add(i ^ x);
+                }
+                std::hint::black_box(acc);
+            }
+            x * 10
+        });
+        assert_eq!(out, (0..24u64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        // Each worker's scratch counts the items it processed; the counts
+        // must partition the input (every item seen exactly once) and the
+        // number of distinct scratches must not exceed the worker cap.
+        let inits = AtomicU32::new(0);
+        let out = parallel_map_with(
+            (0..64u32).collect(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u32 // per-worker processed counter
+            },
+            |seen, x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        let total: u32 = out.iter().map(|&(_, seen)| u32::from(seen >= 1)).sum();
+        assert_eq!(total, 64);
+        let workers = inits.load(Ordering::Relaxed) as usize;
+        assert!(workers <= worker_count(64));
+        // order preserved
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x as usize, i);
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        // A parallel_map inside a worker must not spawn its own workers:
+        // the inner call sees the worker marker and stays on-thread.
+        let inner_inits = AtomicU32::new(0);
+        let out = parallel_map((0..8u32).collect(), |x| {
+            let inner = parallel_map_with(
+                (0..4u32).collect(),
+                || {
+                    inner_inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), y| y + x,
+            );
+            inner.iter().sum::<u32>()
+        });
+        assert_eq!(out.len(), 8);
+        // one scratch per inner call (inline), never more
+        assert_eq!(inner_inits.load(Ordering::Relaxed), 8);
+        for (x, total) in out.iter().enumerate() {
+            assert_eq!(*total, 6 + 4 * x as u32);
+        }
+    }
+
+    #[test]
+    fn scratch_init_runs_inline_for_tiny_inputs() {
+        let out = parallel_map_with(vec![5u32], || vec![0u8; 16], |buf, x| x + buf.len() as u32);
+        assert_eq!(out, vec![21]);
+    }
+}

@@ -54,10 +54,7 @@ impl RngStream {
     #[inline]
     pub fn next_raw(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -192,9 +189,7 @@ impl SeedSplitter {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        let mut state = self
-            .root
-            .wrapping_mul(0x9E3779B97F4A7C15)
+        let mut state = self.root.wrapping_mul(0x9E3779B97F4A7C15)
             ^ h.rotate_left(17)
             ^ index.wrapping_mul(0xD1B54A32D192ED03);
         let a = splitmix64(&mut state);
@@ -282,7 +277,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not stay in place");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay in place"
+        );
     }
 
     #[test]
@@ -319,7 +318,10 @@ mod tests {
             // disambiguate: proptest's prelude also globs an RngCore
             rand::RngCore::fill_bytes(&mut r, &mut buf);
             if len >= 16 {
-                assert!(buf.iter().any(|&b| b != 0), "16+ random bytes all zero is implausible");
+                assert!(
+                    buf.iter().any(|&b| b != 0),
+                    "16+ random bytes all zero is implausible"
+                );
             }
         }
     }

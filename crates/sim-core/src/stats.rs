@@ -85,7 +85,10 @@ impl MsgKind {
     /// Is this message part of CARD's *contact selection* overhead
     /// (including backtracking), as counted in §IV.B item 1?
     pub fn is_selection(self) -> bool {
-        matches!(self, MsgKind::Csq | MsgKind::CsqBacktrack | MsgKind::CsqReply)
+        matches!(
+            self,
+            MsgKind::Csq | MsgKind::CsqBacktrack | MsgKind::CsqReply
+        )
     }
 
     /// Is this message part of CARD's *contact maintenance* overhead
@@ -288,9 +291,15 @@ impl PercentHistogram {
     /// Panics unless `0 < width <= 100` and divides 100 evenly enough to
     /// give at least one bucket.
     pub fn new(width: f64) -> Self {
-        assert!(width > 0.0 && width <= 100.0, "invalid bucket width {width}");
+        assert!(
+            width > 0.0 && width <= 100.0,
+            "invalid bucket width {width}"
+        );
         let n = (100.0 / width).ceil() as usize;
-        PercentHistogram { width, counts: vec![0; n] }
+        PercentHistogram {
+            width,
+            counts: vec![0; n],
+        }
     }
 
     /// Record one observation of `pct` (clamped to [0, 100]).
@@ -362,8 +371,7 @@ mod tests {
         assert!(!MsgKind::RoutingUpdate.is_query());
         // taxonomy is a partition over the kinds it covers
         for k in MsgKind::ALL {
-            let cats =
-                k.is_selection() as u8 + k.is_maintenance() as u8 + k.is_query() as u8;
+            let cats = k.is_selection() as u8 + k.is_maintenance() as u8 + k.is_query() as u8;
             assert!(cats <= 1, "{k:?} in multiple categories");
         }
     }

@@ -275,9 +275,15 @@ mod tests {
     fn construction_equivalences() {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_ticks(1_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(TICKS_PER_SEC));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(TICKS_PER_SEC)
+        );
         assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
-        assert_eq!(SimDuration::from_secs_f64(1.25), SimDuration::from_millis(1250));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.25),
+            SimDuration::from_millis(1250)
+        );
     }
 
     #[test]
@@ -348,7 +354,9 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_ticks(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_ticks(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

@@ -57,7 +57,11 @@ pub struct Trace {
 impl Trace {
     /// A disabled trace: every emit is a no-op.
     pub fn disabled() -> Self {
-        Trace { capacity: 0, records: VecDeque::new(), emitted: 0 }
+        Trace {
+            capacity: 0,
+            records: VecDeque::new(),
+            emitted: 0,
+        }
     }
 
     /// A trace keeping the most recent `capacity` records.
@@ -84,7 +88,11 @@ impl Trace {
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
-        self.records.push_back(TraceRecord { at, category, message: message.into() });
+        self.records.push_back(TraceRecord {
+            at,
+            category,
+            message: message.into(),
+        });
         self.emitted += 1;
     }
 
@@ -153,7 +161,11 @@ mod tests {
         let mut t = Trace::bounded(3);
         assert!(t.is_enabled());
         for i in 0..5 {
-            t.emit(SimTime::from_secs(i), TraceCategory::Selection, format!("e{i}"));
+            t.emit(
+                SimTime::from_secs(i),
+                TraceCategory::Selection,
+                format!("e{i}"),
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.emitted(), 5);
@@ -184,7 +196,11 @@ mod tests {
     #[test]
     fn render_format() {
         let mut t = Trace::bounded(4);
-        t.emit(SimTime::from_millis(1500), TraceCategory::Topology, "link broke");
+        t.emit(
+            SimTime::from_millis(1500),
+            TraceCategory::Topology,
+            "link broke",
+        );
         let rendered = t.render();
         assert!(rendered.contains("t=1.500s"));
         assert!(rendered.contains("[Topology]"));

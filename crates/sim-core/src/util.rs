@@ -32,14 +32,22 @@ impl BitSet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "BitSet index {i} out of range {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "BitSet index {i} out of range {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Clear bit `i`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "BitSet index {i} out of range {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "BitSet index {i} out of range {}",
+            self.capacity
+        );
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
 

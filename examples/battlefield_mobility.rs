@@ -30,7 +30,7 @@ fn main() {
         300,
         field,
         10,
-        1.0,   // squads advance at 1–3 m/s
+        1.0, // squads advance at 1–3 m/s
         3.0,
         150.0, // units spread up to 150 m around the squad leader
         SeedSplitter::new(cfg.seed).stream("squads", 0),
@@ -73,7 +73,9 @@ fn main() {
     println!("\nover 10 s of maneuvering:");
     println!(
         "  {} validations, {} local recoveries, {} losses ({} of them rule-4 drops)",
-        totals.validated, totals.recovered, totals.lost + totals.dropped_out_of_range,
+        totals.validated,
+        totals.recovered,
+        totals.lost + totals.dropped_out_of_range,
         totals.dropped_out_of_range,
     );
     println!(
@@ -91,7 +93,11 @@ fn main() {
     let source = NodeId::all(world.network().node_count())
         .max_by_key(|&n| world.contact_table(n).len())
         .expect("non-empty network");
-    let target = if source == NodeId::new(299) { NodeId::new(0) } else { NodeId::new(299) };
+    let target = if source == NodeId::new(299) {
+        NodeId::new(0)
+    } else {
+        NodeId::new(299)
+    };
     let out = world.query(source, target);
     println!(
         "  post-march query {source} -> {target}: {} ({} messages)",

@@ -1,0 +1,57 @@
+//! Ad-hoc profiling of the incremental topology refresh (not part of the
+//! test suite; run with `cargo run --release --example profile_refresh`).
+
+use card_manet::prelude::*;
+use card_manet::routing::Network;
+use card_manet::sim::time::SimDuration;
+use std::time::Instant;
+
+fn main() {
+    let n = 1000usize;
+    let side = 710.0 * (n as f64 / 500.0).sqrt();
+    let scenario = Scenario::new(n, side, side, 50.0);
+    for (dt_ms, vmax) in [(100u64, 5.0f64), (100, 2.0), (20, 5.0), (10, 5.0)] {
+        let mut net = Network::from_scenario(&scenario, 2, 7);
+        let mut model = RandomWaypoint::new(
+            n,
+            scenario.field(),
+            1.0,
+            vmax,
+            0.0,
+            SeedSplitter::new(42).stream("m", 0),
+        );
+        let mut full_net = Network::from_scenario(&scenario, 2, 7);
+        let mut full_model = RandomWaypoint::new(
+            n,
+            scenario.field(),
+            1.0,
+            vmax,
+            0.0,
+            SeedSplitter::new(42).stream("m", 0),
+        );
+        // warm up
+        for _ in 0..5 {
+            net.advance_positions_only(&mut model, SimDuration::from_millis(dt_ms));
+            net.refresh();
+            full_net.advance_positions_only(&mut full_model, SimDuration::from_millis(dt_ms));
+            full_net.refresh_full();
+        }
+        let iters = 50;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            net.advance_positions_only(&mut model, SimDuration::from_millis(dt_ms));
+            net.refresh();
+        }
+        let inc = t0.elapsed().as_secs_f64() / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            full_net.advance_positions_only(&mut full_model, SimDuration::from_millis(dt_ms));
+            full_net.refresh_full();
+        }
+        let full = t0.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "dt={dt_ms}ms vmax={vmax}: incremental {:.0}us, full {:.0}us, ratio {:.2}x, changed {} dirty {}",
+            inc * 1e6, full * 1e6, full / inc, net.last_changed_count(), net.last_dirty_count()
+        );
+    }
+}

@@ -10,9 +10,7 @@
 //! discovered by anycast queries that stop at the nearest instance, under
 //! the two §V resource distributions.
 
-use card_manet::card::resources::{
-    distribute, resource_query, ResourceDistribution, ResourceId,
-};
+use card_manet::card::resources::{distribute, resource_query, ResourceDistribution, ResourceId};
 use card_manet::prelude::*;
 use card_manet::sim::rng::SeedSplitter;
 use card_manet::sim::stats::MsgStats;
@@ -39,7 +37,10 @@ fn main() {
     let splitter = SeedSplitter::new(cfg.seed);
 
     for (dist_name, dist) in [
-        ("uniform", ResourceDistribution::UniformReplicated { replicas: 5 }),
+        (
+            "uniform",
+            ResourceDistribution::UniformReplicated { replicas: 5 },
+        ),
         ("clustered", ResourceDistribution::Clustered { replicas: 5 }),
     ] {
         let mut rng = splitter.stream(dist_name, 0);

@@ -98,13 +98,24 @@ fn main() {
         border.found += b.found as usize;
 
         let mut st = MsgStats::default();
-        let e = expanding_ring_search(world.network().adj(), s, t, &schedule, &mut st, SimTime::ZERO);
+        let e = expanding_ring_search(
+            world.network().adj(),
+            s,
+            t,
+            &schedule,
+            &mut st,
+            SimTime::ZERO,
+        );
         ring.msgs += e.total_messages();
         ring.found += e.found as usize;
     }
 
     let q = pairs.len() as u64;
-    println!("== discovery schemes on {} ({} random queries) ==", scenario.label(), q);
+    println!(
+        "== discovery schemes on {} ({} random queries) ==",
+        scenario.label(),
+        q
+    );
     println!("{:<16}{:>14}{:>12}", "scheme", "msgs/query", "success");
     for (name, tally) in [
         ("flooding", &flood),

@@ -44,7 +44,12 @@ fn main() {
     // A few sensors host a scarce resource (e.g. a data sink). Random
     // sensors look for them.
     let sinks = [NodeId::new(17), NodeId::new(444), NodeId::new(901)];
-    let sources = [NodeId::new(3), NodeId::new(250), NodeId::new(620), NodeId::new(987)];
+    let sources = [
+        NodeId::new(3),
+        NodeId::new(250),
+        NodeId::new(620),
+        NodeId::new(987),
+    ];
 
     let mut card_msgs = 0u64;
     let mut card_found = 0usize;
@@ -79,7 +84,12 @@ fn main() {
     }
 
     let queries = (sources.len() * sinks.len()) as u64;
-    println!("\n{} queries for {} sinks from {} sensors:", queries, sinks.len(), sources.len());
+    println!(
+        "\n{} queries for {} sinks from {} sensors:",
+        queries,
+        sinks.len(),
+        sources.len()
+    );
     println!(
         "  CARD        : {:>8} msgs ({} found)",
         card_msgs, card_found

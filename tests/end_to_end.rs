@@ -19,7 +19,10 @@ fn world() -> CardWorld {
 fn lifecycle_select_query_reach() {
     let mut w = world();
     w.select_all_contacts();
-    assert!(w.total_contacts() > 100, "250 nodes should hold plenty of contacts");
+    assert!(
+        w.total_contacts() > 100,
+        "250 nodes should hold plenty of contacts"
+    );
 
     // Reachability strictly grows with depth.
     let r1 = w.reachability_summary(1).mean_pct;
@@ -96,7 +99,11 @@ fn message_taxonomy_consistency() {
     assert_eq!(w.stats().total(MsgKind::Validation), 0);
 
     let _ = w.query(NodeId::new(1), NodeId::new(240));
-    assert_eq!(w.stats().total_where(MsgKind::is_selection), sel, "queries don't select");
+    assert_eq!(
+        w.stats().total_where(MsgKind::is_selection),
+        sel,
+        "queries don't select"
+    );
 }
 
 #[test]
@@ -112,7 +119,11 @@ fn contact_invariants_after_selection() {
             }
             assert_eq!(c.source(), node);
             // EM guarantees the hop interval at selection time
-            assert!(c.hops() > min_hops || c.hops() == min_hops, "hops {}", c.hops());
+            assert!(
+                c.hops() > min_hops || c.hops() == min_hops,
+                "hops {}",
+                c.hops()
+            );
             assert!(c.hops() <= max_hops);
             // no overlap: the contact's neighborhood excludes the source
             assert!(!w.network().tables().of(c.id).contains(node));

@@ -26,7 +26,11 @@ fn static_model_never_loses_contacts() {
     w.run_mobile(&mut StaticModel, SimDuration::from_secs(6));
     assert_eq!(w.maintenance_totals().lost, 0);
     assert_eq!(w.maintenance_totals().dropped_out_of_range, 0);
-    assert_eq!(w.maintenance_totals().recovered, 0, "nothing to recover when static");
+    assert_eq!(
+        w.maintenance_totals().recovered,
+        0,
+        "nothing to recover when static"
+    );
     assert!(w.maintenance_totals().validated > 0);
 }
 
@@ -44,7 +48,10 @@ fn random_waypoint_exercises_recovery_and_reselection() {
     w.run_mobile(&mut model, SimDuration::from_secs(10));
     let totals = w.maintenance_totals();
     assert!(totals.validated > 0);
-    assert!(totals.recovered > 0, "moderate mobility should trigger local recovery");
+    assert!(
+        totals.recovered > 0,
+        "moderate mobility should trigger local recovery"
+    );
     // the table survives churn thanks to rule-5 re-selection
     assert!(w.total_contacts() > 0);
     assert!(w.stats().total(MsgKind::Validation) > 0);

@@ -69,7 +69,10 @@ fn replication_weakly_improves_every_source() {
         let before = discoverable_resources(w.network(), w.contact_tables(), &sparse, source, 2);
         let after = discoverable_resources(w.network(), w.contact_tables(), &dense, source, 2);
         for r in &before {
-            assert!(after.contains(r), "adding replicas must not lose {r} for {source}");
+            assert!(
+                after.contains(r),
+                "adding replicas must not lose {r} for {source}"
+            );
         }
     }
 }

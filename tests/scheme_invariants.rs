@@ -111,7 +111,8 @@ fn card_query_cheaper_than_flooding_for_connected_workload() {
         card_total += out.total_messages();
         found += out.found as usize;
         let mut st = MsgStats::default();
-        flood_total += flood_search(world.network().adj(), s, t, &mut st, SimTime::ZERO).total_messages();
+        flood_total +=
+            flood_search(world.network().adj(), s, t, &mut st, SimTime::ZERO).total_messages();
     }
     assert!(
         found as f64 >= 0.8 * pairs.len() as f64,
@@ -130,7 +131,11 @@ fn query_detection_levels_are_ordered() {
     let net = network();
     let pairs = connected_pairs(&net, 20);
     let mut totals = Vec::new();
-    for qd in [QueryDetection::None, QueryDetection::Qd1, QueryDetection::Qd1Qd2] {
+    for qd in [
+        QueryDetection::None,
+        QueryDetection::Qd1,
+        QueryDetection::Qd1Qd2,
+    ] {
         let mut sum = 0u64;
         for &(s, t) in &pairs {
             let mut st = MsgStats::default();
@@ -139,7 +144,10 @@ fn query_detection_levels_are_ordered() {
                 net.tables(),
                 s,
                 t,
-                &BordercastConfig { qd, max_bordercasts: 100_000 },
+                &BordercastConfig {
+                    qd,
+                    max_bordercasts: 100_000,
+                },
                 &mut st,
                 SimTime::ZERO,
             )
@@ -166,7 +174,14 @@ fn stats_record_for_every_scheme() {
         &mut st,
         SimTime::ZERO,
     );
-    expanding_ring_search(net.adj(), s, t, &doubling_schedule(24), &mut st, SimTime::ZERO);
+    expanding_ring_search(
+        net.adj(),
+        s,
+        t,
+        &doubling_schedule(24),
+        &mut st,
+        SimTime::ZERO,
+    );
     assert!(st.total(MsgKind::Flood) > 0);
     // bordercast may legitimately be zero-message if t is in s's zone;
     // expanding ring likewise needs at least the first ring unless t == s

@@ -2,8 +2,8 @@
 
 use card_manet::prelude::*;
 use card_manet::routing::DsdvSim;
-use card_manet::sim::time::SimTime;
 use card_manet::sim::stats::MsgStats;
+use card_manet::sim::time::SimTime;
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,269 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! small wall-clock benchmark harness with criterion's surface syntax:
+//! [`Criterion`] with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function`, `benchmark_group`, [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Methodology: each benchmark warms up for the configured duration (also
+//! calibrating an iterations-per-sample count that makes one sample last
+//! roughly `measurement_time / sample_size`), then takes `sample_size`
+//! timed samples and reports the minimum / median / mean per-iteration
+//! time. Results are printed to stdout; when the `BENCH_JSON` environment
+//! variable names a file, all results of the process are also appended
+//! there as a JSON array (used for the repo's `BENCH_*.json` baselines).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or bare `name`).
+    pub id: String,
+    /// Minimum per-iteration time over all samples, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time over all samples, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time over all samples, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// The benchmark driver (configuration + result sink).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total target duration of the sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: self.clone(),
+            id: id.into(),
+            ran: false,
+        };
+        f(&mut b);
+        if !b.ran {
+            eprintln!("warning: benchmark {} never called Bencher::iter", b.id);
+        }
+        self
+    }
+
+    /// Open a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (ids are prefixed with the group name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    cfg: Criterion,
+    id: String,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Measure `routine`, warming up first, then sampling.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        self.ran = true;
+
+        // Warm-up: run for the configured duration, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate iterations per sample so one sample lasts about
+        // measurement_time / sample_size.
+        let sample_target = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters_per_sample = ((sample_target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+
+        let mut sample_means_ns: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_means_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_means_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = sample_means_ns[0];
+        let median = sample_means_ns[sample_means_ns.len() / 2];
+        let mean = sample_means_ns.iter().sum::<f64>() / sample_means_ns.len() as f64;
+
+        println!(
+            "{:<48} time: [min {}  median {}  mean {}]  ({} samples x {} iters)",
+            self.id,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sample_means_ns.len(),
+            iters_per_sample,
+        );
+        RESULTS.lock().unwrap().push(BenchResult {
+            id: self.id.clone(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            samples: sample_means_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// All results recorded so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Write every recorded result as a JSON array to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset). Called by
+/// [`criterion_main!`] after all groups run.
+pub fn flush_json() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id.replace('"', "\\\""),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("benchmark results written to {path}");
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!{name = n; config = expr;
+/// targets = f, g}` or the short `criterion_group!(n, f, g)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups, then flush JSON results.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+            $crate::flush_json();
+        }
+    };
+}

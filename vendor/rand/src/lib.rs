@@ -1,0 +1,35 @@
+//! Offline stand-in for the tiny subset of the `rand` crate this workspace
+//! actually uses.
+//!
+//! The build environment has no access to crates.io, and `sim-core`
+//! implements its own generator (xoshiro256++) anyway — all it needs from
+//! `rand` is the [`RngCore`] trait so downstream code can treat
+//! `sim_core::rng::RngStream` as a standard RNG. This crate provides that
+//! trait with the same shape as `rand 0.8`.
+
+/// The core random-number-generator interface (API-compatible with
+/// `rand 0.8`'s `RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`]; infallible generators
+    /// simply delegate.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Error type for fallible RNG operations (never produced by the in-tree
+/// generators; exists for signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
