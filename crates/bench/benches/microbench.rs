@@ -1,27 +1,38 @@
 //! Micro-benchmarks of the hot substrate paths.
 //!
 //! These are the inner loops every experiment leans on: event scheduling,
-//! connectivity rebuilds, hop-limited BFS, bitset unions (reachability) and
-//! single CSQ walks. Useful for catching performance regressions that the
-//! end-to-end figure benches would only show indirectly.
+//! connectivity rebuilds, grid re-bucketing, hop-limited BFS, bitset unions
+//! (reachability) and single CSQ walks. Useful for catching performance
+//! regressions that the end-to-end figure benches would only show
+//! indirectly.
+//!
+//! Recorded baselines live in `BENCH_topology.json`; regenerate with
+//! `BENCH_JSON=BENCH_topology.json cargo bench -p bench --bench microbench`.
+//! Benchmark **ids are stable across PRs** (the CI `bench_diff` step fails
+//! on missing/renamed ids) so the file doubles as a perf trend line. CI
+//! runs this file under `BENCH_QUICK=1` (see [`bench::config`]).
 
 use card_core::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use card_core::{CardConfig, ContactTable};
 use criterion::{criterion_group, criterion_main, Criterion};
+// scenario-5 density scaled to N nodes — shared with the scale experiments
+// so benches and `repro scale` can never drift apart
+use experiments::scale::scaled_scenario;
 use manet_routing::neighborhood::NeighborhoodTables;
 use manet_routing::network::Network;
+use mobility::model::MobilityModel;
 use mobility::walk::RandomWalk;
 use mobility::waypoint::RandomWaypoint;
 use net_topology::bfs::khop_bfs;
+use net_topology::grid::SpatialGrid;
 use net_topology::node::NodeId;
-use net_topology::scenario::{Scenario, SCENARIO_5};
+use net_topology::scenario::SCENARIO_5;
 use sim_core::engine::Engine;
 use sim_core::rng::{RngStream, SeedSplitter};
 use sim_core::stats::MsgStats;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::util::BitSet;
 use std::hint::black_box;
-use std::time::Duration;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("engine_schedule_drain_10k", |b| {
@@ -85,13 +96,6 @@ fn bench_mobility_tick(c: &mut Criterion) {
     });
 }
 
-/// A scenario with SCENARIO_5's node density (500 nodes / 710 m square,
-/// tx 50 m) scaled to `n` nodes.
-fn scaled_scenario(n: usize) -> Scenario {
-    let side = 710.0 * (n as f64 / 500.0).sqrt();
-    Scenario::new(n, side, side, 50.0)
-}
-
 /// CSR adjacency rebuild from the spatial grid, N ∈ {250, 1000}.
 fn bench_adjacency_rebuild(c: &mut Criterion) {
     for n in [250usize, 1000] {
@@ -112,18 +116,82 @@ fn bench_adjacency_rebuild(c: &mut Criterion) {
     }
 }
 
+/// Mover-only grid re-bucketing vs full counting-sort relayout at
+/// N ∈ {1000, 10000}, under the same pedestrian random-walk statistics as
+/// the refresh bench. Position snapshots are precomputed (one per 100 ms
+/// tick) and replayed ping-pong, so the timed region is *grid work only* —
+/// not the mobility model. Per tick only the nodes that crossed a 50 m
+/// cell boundary are re-bucketed (an O(1) swap each), so the mover path
+/// should sit well under the full relayout that used to run every tick.
+fn bench_grid_rebucket(c: &mut Criterion) {
+    for n in [1000usize, 10_000] {
+        let scenario = scaled_scenario(n);
+        // Precompute a tick-by-tick trajectory; ping-pong playback keeps
+        // every measured step a single tick of motion.
+        let snapshots: Vec<Vec<net_topology::geometry::Point2>> = {
+            let (mut positions, _) = scenario.instantiate(11);
+            let mut model = RandomWalk::new(
+                n,
+                scenario.field(),
+                0.5,
+                2.0,
+                10.0,
+                RngStream::seed_from_u64(17),
+            );
+            let mut snaps = vec![positions.clone()];
+            for _ in 0..63 {
+                model.advance(&mut positions, SimDuration::from_millis(100));
+                snaps.push(positions.clone());
+            }
+            snaps
+        };
+        let bounce = |i: usize| {
+            let period = 2 * (snapshots.len() - 1);
+            let k = i % period;
+            if k < snapshots.len() {
+                k
+            } else {
+                period - k
+            }
+        };
+        let mut group = c.benchmark_group(format!("grid_rebucket/n{n}"));
+        let mut run = |label: &str, incremental: bool| {
+            group.bench_function(label, |b| {
+                let mut grid = SpatialGrid::new(scenario.field(), scenario.tx_range);
+                grid.rebuild(&snapshots[0]);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    let positions = &snapshots[bounce(i)];
+                    if incremental {
+                        black_box(grid.update(positions));
+                    } else {
+                        grid.rebuild(positions);
+                    }
+                })
+            });
+        };
+        run("mover_update", true);
+        run("full_rebuild", false);
+        group.finish();
+    }
+}
+
 /// The mobility-tick topology refresh (adjacency rebuild + neighborhood
-/// update) at N ∈ {250, 1000}: the incremental dirty-set path vs the naive
-/// full-rebuild path, driven by identical mobility statistics — pedestrian
-/// speeds (0.5–2 m/s) at the protocol's default 100 ms tick, under the
-/// random-walk model (its stationary node distribution stays uniform, so
-/// per-tick churn is constant over an arbitrarily long measurement). The
-/// incremental path is the guard: it must stay well ahead of full rebuild
-/// (≥ 2× at N = 1000 — see BENCH_topology.json for the recorded baseline;
-/// the margin grows further at finer ticks or lower speeds, and shrinks
-/// toward parity as per-tick churn approaches whole-network scale).
+/// update) at N ∈ {250, 1000, 10000}: the incremental dirty-set path vs
+/// the naive full-rebuild path, driven by identical mobility statistics —
+/// pedestrian speeds (0.5–2 m/s) at the protocol's default 100 ms tick,
+/// under the random-walk model (its stationary node distribution stays
+/// uniform, so per-tick churn is constant over an arbitrarily long
+/// measurement). The incremental path is the guard: it must stay well
+/// ahead of full rebuild (≥ 2× at N = 1000 — see BENCH_topology.json for
+/// the recorded baseline; the margin grows further at finer ticks or lower
+/// speeds, and shrinks toward parity as per-tick churn approaches
+/// whole-network scale). N = 10000 was added with the zone-local
+/// membership refactor; the N ∈ {250, 1000} ids predate it and stay
+/// unchanged for trend comparison.
 fn bench_topology_refresh(c: &mut Criterion) {
-    for n in [250usize, 1000] {
+    for n in [250usize, 1000, 10_000] {
         let scenario = scaled_scenario(n);
         let mut group = c.benchmark_group(format!("topology_refresh/n{n}"));
         let mut run = |label: &str, incremental: bool| {
@@ -208,10 +276,7 @@ fn bench_csq_walk(c: &mut Criterion) {
 
 criterion_group! {
     name = micro;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2));
+    config = bench::config();
     targets =
         bench_event_queue,
         bench_topology_build,
@@ -219,6 +284,7 @@ criterion_group! {
         bench_khop_bfs,
         bench_mobility_tick,
         bench_adjacency_rebuild,
+        bench_grid_rebucket,
         bench_topology_refresh,
         bench_bitset_union,
         bench_csq_walk,

@@ -1,0 +1,52 @@
+//! `bench_diff` — the CI bench-id drift guard.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json>
+//! ```
+//!
+//! Compares a freshly recorded `BENCH_JSON` run against the committed
+//! baseline (`BENCH_topology.json`): prints a perf-trend table for every
+//! matched id, lists newly added ids, and **fails (exit 1) if any baseline
+//! id is missing or renamed** — keeping benchmark ids stable so the
+//! baseline file stays a longitudinal trend line rather than silently
+//! rotating its rows.
+
+use bench::{diff, parse_bench_json, render_trend};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let d = diff(&baseline, &current);
+
+    println!(
+        "perf trend vs {baseline_path} ({} matched, {} new):\n",
+        d.matched.len(),
+        d.added.len()
+    );
+    println!("{}", render_trend(&d));
+
+    if !d.missing.is_empty() {
+        eprintln!("error: benchmark ids in {baseline_path} but absent from {current_path}:");
+        for id in &d.missing {
+            eprintln!("  - {id}");
+        }
+        eprintln!("(renamed or dropped a benchmark? update the baseline file in the same change)");
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> Vec<bench::BenchRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_bench_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}

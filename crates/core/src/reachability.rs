@@ -19,6 +19,10 @@ pub const REACH_BUCKET_PCT: f64 = 5.0;
 
 /// The set of nodes `source` can reach at contact depth `depth`
 /// (its neighborhood ∪ neighborhoods of contacts up to `depth` levels).
+///
+/// The returned [`BitSet`] is a *per-query* accumulator (one O(N)-bit set
+/// alive at a time); the neighborhoods themselves store only O(zone)
+/// sorted member arrays, so unioning a zone in is O(zone size) inserts.
 pub fn reachability_set(
     net: &Network,
     contact_tables: &[ContactTable],
@@ -26,7 +30,10 @@ pub fn reachability_set(
     depth: u16,
 ) -> BitSet {
     let tables = net.tables();
-    let mut set = tables.of(source).members().clone();
+    let mut set = BitSet::new(net.node_count());
+    for m in tables.of(source).iter_members() {
+        set.insert(m.index());
+    }
 
     // Breadth-first walk of the contact graph, level by level.
     let mut seen = vec![false; net.node_count()];
@@ -38,7 +45,9 @@ pub fn reachability_set(
             for c in contact_tables[node.index()].ids() {
                 if !seen[c.index()] {
                     seen[c.index()] = true;
-                    set.union_with(tables.of(c).members());
+                    for m in tables.of(c).iter_members() {
+                        set.insert(m.index());
+                    }
                     next.push(c);
                 }
             }

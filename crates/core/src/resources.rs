@@ -19,6 +19,7 @@
 //! dimension; [`distribute`] provides the standard distributions (uniform
 //! random, replicated, clustered) the experiments sweep.
 
+use manet_routing::neighborhood::Neighborhood;
 use manet_routing::network::Network;
 use net_topology::node::NodeId;
 use sim_core::rng::RngStream;
@@ -49,14 +50,18 @@ impl std::fmt::Display for ResourceId {
 
 /// Which nodes host which resources.
 ///
-/// Backed by per-resource host bitsets so the zone lookup ("any host of ρ
-/// within my neighborhood?") is a single bitset intersection against the
-/// neighborhood membership set.
+/// Backed by per-resource host bitsets (O(resources · N) bits — resources
+/// are few). The zone lookup ("any host of ρ within my neighborhood?")
+/// probes each host against the zone-local membership structure instead
+/// of intersecting whole-network bitsets.
 #[derive(Clone, Debug)]
 pub struct ResourceRegistry {
     nodes: usize,
     /// Per resource: hosts as a bitset over node ids.
     hosts: Vec<BitSet>,
+    /// Per resource: host count, maintained by `add_host` so zone lookups
+    /// can pick their iteration side in O(1).
+    counts: Vec<usize>,
 }
 
 impl ResourceRegistry {
@@ -65,6 +70,7 @@ impl ResourceRegistry {
         ResourceRegistry {
             nodes,
             hosts: (0..resources).map(|_| BitSet::new(nodes)).collect(),
+            counts: vec![0; resources],
         }
     }
 
@@ -78,7 +84,11 @@ impl ResourceRegistry {
     /// # Panics
     /// Panics if the resource or node is out of range.
     pub fn add_host(&mut self, resource: ResourceId, node: NodeId) {
-        self.hosts[resource.index()].insert(node.index());
+        let set = &mut self.hosts[resource.index()];
+        if !set.contains(node.index()) {
+            set.insert(node.index());
+            self.counts[resource.index()] += 1;
+        }
     }
 
     /// Does `node` host `resource`?
@@ -91,16 +101,32 @@ impl ResourceRegistry {
         self.hosts[resource.index()].iter().map(NodeId::from)
     }
 
-    /// Number of hosts of `resource`.
+    /// Number of hosts of `resource` (O(1), maintained by `add_host`).
     pub fn host_count(&self, resource: ResourceId) -> usize {
-        self.hosts[resource.index()].len()
+        self.counts[resource.index()]
     }
 
-    /// Is some host of `resource` inside `zone` (a neighborhood membership
-    /// bitset)? This is the table lookup a contact performs on receiving a
-    /// DSQ for ρ.
+    /// Is some host of `resource` inside `zone` (an arbitrary node set,
+    /// e.g. a reachability set)?
     pub fn in_zone(&self, resource: ResourceId, zone: &BitSet) -> bool {
         self.hosts[resource.index()].intersects(zone)
+    }
+
+    /// Is some host of `resource` inside the neighborhood `nb`? This is
+    /// the table lookup a contact performs on receiving a DSQ for ρ.
+    ///
+    /// Iterates whichever side is smaller: the host set against the
+    /// zone-local membership (O(hosts · log zone), the common few-replica
+    /// case), or the zone members against the host bitset (O(zone), which
+    /// keeps heavily replicated resources from degrading to O(N) probes).
+    /// No O(N) bitset is materialized either way.
+    pub fn hosted_in_neighborhood(&self, resource: ResourceId, nb: &Neighborhood) -> bool {
+        if self.host_count(resource) <= nb.size() {
+            self.hosts_of(resource).any(|h| nb.contains(h))
+        } else {
+            let hosts = &self.hosts[resource.index()];
+            nb.iter_members().any(|m| hosts.contains(m.index()))
+        }
     }
 
     /// The number of nodes this registry covers.
@@ -186,7 +212,7 @@ pub fn resource_query(
     at: SimTime,
 ) -> QueryOutcome {
     // Zone-local instance: answered from the proactive tables, free.
-    if registry.in_zone(resource, net.tables().of(source).members()) {
+    if registry.hosted_in_neighborhood(resource, net.tables().of(source)) {
         return QueryOutcome {
             found: true,
             depth_used: 0,
@@ -212,7 +238,7 @@ pub fn resource_query(
                     let at_contact = dist + contact.hops() as u64;
                     query_msgs += contact.hops() as u64;
                     if level == depth {
-                        if registry.in_zone(resource, net.tables().of(c).members()) {
+                        if registry.hosted_in_neighborhood(resource, net.tables().of(c)) {
                             stats.record_n(at, MsgKind::Dsq, query_msgs);
                             stats.record_n(at, MsgKind::DsqReply, at_contact);
                             return QueryOutcome {
@@ -307,15 +333,15 @@ mod tests {
     }
 
     #[test]
-    fn zone_lookup_uses_bitset_intersection() {
+    fn zone_lookup_uses_neighborhood_membership() {
         let net = line_net();
         let mut reg = ResourceRegistry::new(16, 1);
         let r = ResourceId(0);
         reg.add_host(r, n(8));
         // node 7's zone (R=2) = {5..9} contains host 8
-        assert!(reg.in_zone(r, net.tables().of(n(7)).members()));
+        assert!(reg.hosted_in_neighborhood(r, net.tables().of(n(7))));
         // node 0's zone = {0,1,2} does not
-        assert!(!reg.in_zone(r, net.tables().of(n(0)).members()));
+        assert!(!reg.hosted_in_neighborhood(r, net.tables().of(n(0))));
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub fn pm_probability(d: u16, radius: u16, r: u16, eq2: bool) -> f64 {
 
 /// The overlap checks common to all methods: true when neither the source
 /// nor any already-chosen contact lies in `candidate`'s neighborhood.
+///
+/// Membership is zone-local (sorted member array + Bloom fingerprint):
+/// the fingerprint rejects the common "nowhere near my zone" case in two
+/// word reads, so these checks stay O(1)-ish without any O(N) per-node
+/// bitset behind them.
 pub fn passes_overlap_checks(
     tables: &NeighborhoodTables,
     candidate: NodeId,
@@ -43,10 +48,7 @@ pub fn passes_overlap_checks(
     contact_list: &[NodeId],
 ) -> bool {
     let nb = tables.of(candidate);
-    if nb.contains(source) {
-        return false;
-    }
-    !contact_list.iter().any(|&c| nb.contains(c))
+    !nb.contains(source) && !nb.contains_any(contact_list)
 }
 
 /// The edge method's extra check: no source edge node inside the
@@ -56,8 +58,7 @@ pub fn passes_edge_check(
     candidate: NodeId,
     edge_list: &[NodeId],
 ) -> bool {
-    let nb = tables.of(candidate);
-    !edge_list.iter().any(|&e| nb.contains(e))
+    !tables.of(candidate).contains_any(edge_list)
 }
 
 /// Full §III.C.2 decision at candidate node `candidate`, walk hop count

@@ -480,8 +480,11 @@ mod tests {
         let source = NodeId::new(0);
         let reach =
             crate::reachability::reachability_set(w.network(), w.contact_tables(), source, 3);
-        let nb = w.network().tables().of(source).members().clone();
-        let beyond: Vec<usize> = reach.iter().filter(|&i| !nb.contains(i)).collect();
+        let nb = w.network().tables().of(source);
+        let beyond: Vec<usize> = reach
+            .iter()
+            .filter(|&i| !nb.contains(NodeId::from(i)))
+            .collect();
         if let Some(&target) = beyond.first() {
             let out = w.query(source, NodeId::from(target));
             assert!(

@@ -1,10 +1,14 @@
 //! `repro` — regenerate every table and figure of the CARD paper.
 //!
 //! ```text
-//! repro table1 | fig3 | fig4 | fig5 | … | fig15 | all   [--quick] [--seed N]
+//! repro table1 | fig3 | fig4 | fig5 | … | fig15 | scale | all
+//!       [--quick] [--seed N] [--scale] [--nodes N[,N…]]
 //! ```
 //!
 //! `fig3`/`fig4` and `fig11`/`fig12` share runs and print together.
+//! `scale` (equivalently the `--scale` flag) runs the N = 10⁴–10⁵
+//! substrate scale family; `--nodes` overrides its node counts from the
+//! command line so new sizes need no recompile.
 //! Output is Markdown, suitable for pasting into `EXPERIMENTS.md`.
 
 use experiments::*;
@@ -12,6 +16,8 @@ use experiments::*;
 struct Options {
     quick: bool,
     seed: u64,
+    /// `--nodes` override for the scale family (`None` = module defaults).
+    nodes: Option<Vec<usize>>,
 }
 
 fn main() {
@@ -20,6 +26,7 @@ fn main() {
     let mut opts = Options {
         quick: false,
         seed: DEFAULT_SEED,
+        nodes: None,
     };
 
     let mut it = args.iter().peekable();
@@ -32,10 +39,32 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
+            "--scale" => which.push("scale".to_string()),
+            "--nodes" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--nodes needs a value (e.g. 10000 or 10000,50000)"));
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&n| n > 0) => {
+                        opts.nodes = Some(list);
+                    }
+                    _ => usage("--nodes needs positive integers (comma-separated)"),
+                }
+            }
             "-h" | "--help" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => which.push(other.to_string()),
         }
+    }
+    // `--nodes` without an experiment implies the scale family; with a
+    // non-scale experiment it would be silently ignored, so reject it.
+    if which.is_empty() && opts.nodes.is_some() {
+        which.push("scale".to_string());
+    }
+    if opts.nodes.is_some() && !which.iter().any(|w| w == "scale") {
+        usage("--nodes only applies to the scale experiment");
     }
     if which.is_empty() {
         usage("choose an experiment or `all`");
@@ -57,6 +86,7 @@ fn main() {
             "fig15" => fig15_cmd(&opts),
             "smallworld" => smallworld_cmd(&opts),
             "resources" => resources_cmd(&opts),
+            "scale" => scale_cmd(&opts),
             "all" => {
                 table1_cmd(&opts);
                 fig3_4_cmd(&opts);
@@ -83,7 +113,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|all> [--quick] [--seed N]"
+        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
+         scale runs are excluded from `all` (minutes at N=10^5); invoke them\n\
+         explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -252,4 +284,19 @@ fn resources_cmd(opts: &Options) {
     p.seed = opts.seed;
     let rows = ext_resources::run(&p);
     println!("{}", ext_resources::render(&p, &rows));
+}
+
+fn scale_cmd(opts: &Options) {
+    stamp("scale");
+    let mut p = if opts.quick {
+        scale::Params::quick()
+    } else {
+        scale::Params::default()
+    };
+    p.seed = opts.seed;
+    if let Some(nodes) = &opts.nodes {
+        p.nodes = nodes.clone();
+    }
+    let rows = scale::run(&p);
+    println!("{}", scale::render(&p, &rows));
 }

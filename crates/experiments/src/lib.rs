@@ -16,6 +16,8 @@
 //! repro fig3 … fig15      # individual figures
 //! repro smallworld        # extension: contacts as small-world shortcuts
 //! repro resources         # extension: §V resource-distribution study
+//! repro scale             # extension: N = 10⁴–10⁵ substrate scale runs
+//! repro scale --nodes N   # scale runs at a chosen N (no recompile)
 //! repro all               # everything, paper-sized
 //! repro all --quick       # everything, small sizes (seconds)
 //! ```
@@ -37,6 +39,7 @@ pub mod fig15;
 pub mod mobile;
 pub mod output;
 pub mod runner;
+pub mod scale;
 pub mod table1;
 
 /// Default root seed for all experiments (every run is deterministic).

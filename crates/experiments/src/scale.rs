@@ -1,0 +1,338 @@
+//! Scale scenarios — Table-1 densities pushed to N = 10⁴–10⁵.
+//!
+//! The paper's pitch is resource discovery in *large-scale* MANets, but its
+//! own evaluation stops at N = 1000 (Table 1). This family keeps Table 1's
+//! scenario-5 density (500 nodes in a 710 m square, 50 m radio range) and
+//! scales the field so N grows to 10⁴, 5·10⁴ and 10⁵ nodes, then runs a
+//! 100-tick mobility loop over the incremental topology refresh and reports
+//! what the substrate refactors bought:
+//!
+//! * **memory** — total neighborhood-table bytes, which are O(zone · N)
+//!   after the zone-local membership refactor (a per-node N-bit bitset
+//!   would be ~1.25 GB at N = 10⁵; the actual tables are a few hundred
+//!   bytes per node);
+//! * **time** — wall-clock per mobility tick for the incremental refresh
+//!   (persistent worker pool + mover-only grid re-bucketing + dirty-ball
+//!   neighborhood rebuilds), plus the observability counters behind it
+//!   (adjacency-changed nodes and dirty neighborhoods per tick).
+//!
+//! Two mobility profiles bracket the churn range: *pedestrian* (random
+//! walk, 0.5–2 m/s — the paper's assumed regime) and *vehicular* (random
+//! waypoint, 10–30 m/s — an order of magnitude more link churn per tick).
+//!
+//! Run from the CLI with `repro scale` (or `repro --scale`), overriding the
+//! node counts with `--nodes N` — no recompile needed.
+
+use crate::output::markdown_table;
+use manet_routing::network::Network;
+use mobility::model::MobilityModel;
+use mobility::walk::RandomWalk;
+use mobility::waypoint::RandomWaypoint;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::time::SimDuration;
+use std::time::Instant;
+
+/// Mobility profile of one scale run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MobilityProfile {
+    /// Random walk at pedestrian speeds (0.5–2 m/s, 10 s heading epochs).
+    Pedestrian,
+    /// Random waypoint at vehicular speeds (10–30 m/s, no pauses).
+    Vehicular,
+}
+
+impl MobilityProfile {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MobilityProfile::Pedestrian => "pedestrian",
+            MobilityProfile::Vehicular => "vehicular",
+        }
+    }
+
+    /// Instantiate the model for `n` nodes on `scenario`'s field.
+    fn model(self, scenario: &Scenario, seed: u64) -> Box<dyn MobilityModel> {
+        let rng = SeedSplitter::new(seed).stream("scale-mobility", 0);
+        match self {
+            MobilityProfile::Pedestrian => Box::new(RandomWalk::new(
+                scenario.nodes,
+                scenario.field(),
+                0.5,
+                2.0,
+                10.0,
+                rng,
+            )),
+            MobilityProfile::Vehicular => Box::new(RandomWaypoint::new(
+                scenario.nodes,
+                scenario.field(),
+                10.0,
+                30.0,
+                0.0,
+                rng,
+            )),
+        }
+    }
+}
+
+/// Parameters of the scale family.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Node counts to run (each at scenario-5 density).
+    pub nodes: Vec<usize>,
+    /// Mobility ticks per run.
+    pub ticks: usize,
+    /// Simulated time per tick (the protocol's default refresh period).
+    pub tick: SimDuration,
+    /// Zone radius R.
+    pub radius: u16,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            nodes: vec![10_000, 50_000, 100_000],
+            ticks: 100,
+            tick: SimDuration::from_millis(100),
+            radius: 2,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Small sizes for CI smoke runs.
+    pub fn quick() -> Self {
+        Params {
+            nodes: vec![2_000],
+            ticks: 20,
+            ..Params::default()
+        }
+    }
+}
+
+/// Scenario-5 density (500 nodes / 710 m square, 50 m tx) scaled to `n`.
+pub fn scaled_scenario(n: usize) -> Scenario {
+    let side = 710.0 * (n as f64 / 500.0).sqrt();
+    Scenario::new(n, side, side, 50.0)
+}
+
+/// Measured outcome of one (N, mobility) run.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// The scenario run.
+    pub scenario: Scenario,
+    /// Mobility profile.
+    pub mobility: MobilityProfile,
+    /// Mean zone size (members incl. owner).
+    pub mean_zone: f64,
+    /// Total neighborhood-table heap bytes (O(zone · N)).
+    pub table_bytes: usize,
+    /// What the same membership state would cost as per-node N-bit bitsets.
+    pub bitset_equiv_bytes: usize,
+    /// Wall time to build the initial world (placement + adjacency + tables).
+    pub build_ms: f64,
+    /// Mobility ticks executed.
+    pub ticks: usize,
+    /// Total wall time of all ticks.
+    pub total_tick_ms: f64,
+    /// Mean / max wall time per tick.
+    pub mean_tick_ms: f64,
+    /// Slowest single tick.
+    pub max_tick_ms: f64,
+    /// Mean adjacency-changed nodes per tick (link churn).
+    pub mean_changed: f64,
+    /// Mean dirty neighborhoods rebuilt per tick.
+    pub mean_dirty: f64,
+}
+
+/// Run every (N, mobility-profile) combination of `p`.
+pub fn run(p: &Params) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    for &n in &p.nodes {
+        let scenario = scaled_scenario(n);
+        for profile in [MobilityProfile::Pedestrian, MobilityProfile::Vehicular] {
+            rows.push(run_one(&scenario, profile, p));
+        }
+    }
+    rows
+}
+
+fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRow {
+    let t0 = Instant::now();
+    let mut net = Network::from_scenario(scenario, p.radius, p.seed);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut model = profile.model(scenario, p.seed);
+
+    let mut total_tick_ms = 0.0f64;
+    let mut max_tick_ms = 0.0f64;
+    let mut changed_sum = 0u64;
+    let mut dirty_sum = 0u64;
+    for _ in 0..p.ticks {
+        let t = Instant::now();
+        net.advance(model.as_mut(), p.tick);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total_tick_ms += ms;
+        max_tick_ms = max_tick_ms.max(ms);
+        changed_sum += net.last_changed_count() as u64;
+        dirty_sum += net.last_dirty_count() as u64;
+    }
+
+    let n = scenario.nodes;
+    ScaleRow {
+        scenario: *scenario,
+        mobility: profile,
+        mean_zone: net.tables().mean_size(),
+        table_bytes: net.tables().approx_heap_bytes(),
+        bitset_equiv_bytes: n * n.div_ceil(8),
+        build_ms,
+        ticks: p.ticks,
+        total_tick_ms,
+        mean_tick_ms: total_tick_ms / p.ticks.max(1) as f64,
+        max_tick_ms,
+        mean_changed: changed_sum as f64 / p.ticks.max(1) as f64,
+        mean_dirty: dirty_sum as f64 / p.ticks.max(1) as f64,
+    }
+}
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    }
+}
+
+/// Render the scale runs as a Markdown table.
+pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
+    let headers = [
+        "N",
+        "Mobility",
+        "Mean zone",
+        "Table mem (O(zone·N))",
+        "Bitset equiv (O(N²))",
+        "Build (ms)",
+        "Ticks",
+        "Tick mean/max (ms)",
+        "Changed/tick",
+        "Dirty/tick",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                format!("{:.1}", r.mean_zone),
+                fmt_bytes(r.table_bytes),
+                fmt_bytes(r.bitset_equiv_bytes),
+                format!("{:.0}", r.build_ms),
+                r.ticks.to_string(),
+                format!("{:.2} / {:.2}", r.mean_tick_ms, r.max_tick_ms),
+                format!("{:.1}", r.mean_changed),
+                format!("{:.1}", r.mean_dirty),
+            ]
+        })
+        .collect();
+    format!(
+        "### Scale — {}-tick mobility runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}",
+        p.ticks,
+        p.radius,
+        p.tick.as_secs_f64() * 1e3,
+        markdown_table(&headers, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            nodes: vec![500],
+            ticks: 5,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn scaled_scenarios_keep_density() {
+        let base = scaled_scenario(500);
+        for n in [500usize, 10_000, 100_000] {
+            let s = scaled_scenario(n);
+            assert_eq!(s.nodes, n);
+            assert!(
+                (s.density() - base.density()).abs() < 1e-9,
+                "density drifts at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_both_mobility_profiles_per_n() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mobility, MobilityProfile::Pedestrian);
+        assert_eq!(rows[1].mobility, MobilityProfile::Vehicular);
+        for r in &rows {
+            assert_eq!(r.ticks, 5);
+            assert!(r.mean_zone >= 1.0, "zones include at least the owner");
+            assert!(r.total_tick_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn vehicular_churns_more_than_pedestrian() {
+        let rows = run(&tiny());
+        assert!(
+            rows[1].mean_changed >= rows[0].mean_changed,
+            "30 m/s should flip at least as many links per tick as 2 m/s (ped {}, veh {})",
+            rows[0].mean_changed,
+            rows[1].mean_changed
+        );
+    }
+
+    #[test]
+    fn table_memory_is_zone_local_not_quadratic() {
+        // Large enough that an N-bit-per-node bitset would dominate the
+        // zone tables (the crossover is a few thousand nodes at this
+        // density); 0 ticks — this test is about the build, not mobility.
+        let p = Params {
+            nodes: vec![10_000],
+            ticks: 0,
+            ..Params::default()
+        };
+        let rows = run(&p);
+        for r in &rows {
+            // the zone-local tables must come in far under the dense-bitset
+            // footprint they replaced
+            assert!(
+                r.table_bytes < r.bitset_equiv_bytes / 2,
+                "tables {} B not well below bitset regime {} B",
+                r.table_bytes,
+                r.bitset_equiv_bytes
+            );
+            // and per-node cost must look like O(zone): a generous constant
+            // times zone size, not anything resembling N bits
+            let per_node = r.table_bytes as f64 / r.scenario.nodes as f64;
+            assert!(
+                per_node < 64.0 * r.mean_zone + 256.0,
+                "per-node table memory {per_node:.0} B is not O(zone)"
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_row() {
+        let p = tiny();
+        let rows = run(&p);
+        let text = render(&p, &rows);
+        assert!(text.contains("pedestrian"));
+        assert!(text.contains("vehicular"));
+        assert!(text.contains("500"));
+    }
+}

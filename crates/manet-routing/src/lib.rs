@@ -22,17 +22,30 @@
 //! * [`expanding_ring`] — TTL-staged expanding ring search (the comparison
 //!   point of §III.C.4, used in ablation benches).
 //!
-//! ## Incremental neighborhood refresh
+//! ## Memory model: O(zone) per node
 //!
 //! The paper's scalability claim (§III.C) rests on neighborhood state
-//! staying *local* while the network grows; this crate implements that for
-//! the simulation's own cost too. On a mobility tick,
-//! [`network::Network::refresh`] (1) rebuilds the CSR adjacency in place,
-//! (2) diffs it against the previous snapshot to find the nodes whose link
-//! set changed, (3) marks as dirty exactly the union of the (R−1)-hop
-//! balls around those changed nodes in the old and new graphs, and
-//! (4) rebuilds only the dirty tables, fanned out over `sim_core::par`
-//! workers with per-worker BFS scratch.
+//! staying *local* while the network grows; this crate enforces that for
+//! the simulation's own memory too. Every per-node structure in
+//! [`neighborhood`] is sized by the zone — sorted member ids, distances,
+//! BFS parents, edge nodes, and a small Bloom fingerprint (~1 byte per
+//! member) for fast-negative membership probes. Nothing per-node scales
+//! with N (the former per-node N-bit membership bitset, O(N²/8) bytes in
+//! total and ~1.25 GB at N = 10⁵, is gone), which is what lets
+//! `repro --scale` run 10⁵-node worlds in tens of megabytes. Membership
+//! tests are fingerprint-then-binary-search: no false negatives, and a
+//! false positive only costs the O(log zone) confirm.
+//!
+//! ## Incremental neighborhood refresh
+//!
+//! On a mobility tick, [`network::Network::refresh`] (1) brings the
+//! spatial grid up to date (re-bucketing only nodes that crossed a cell
+//! boundary) and rebuilds the CSR adjacency in place, (2) diffs it against
+//! the previous snapshot to find the nodes whose link set changed,
+//! (3) marks as dirty exactly the union of the (R−1)-hop balls around
+//! those changed nodes in the old and new graphs, and (4) rebuilds only
+//! the dirty tables, fanned out over the persistent `sim_core::par` worker
+//! pool with per-worker BFS scratch.
 //!
 //! **Invariant:** after `refresh`, the tables are identical — membership,
 //! distances, edge-node sets and path lengths — to what

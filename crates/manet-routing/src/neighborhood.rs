@@ -4,41 +4,53 @@
 //! nodes* are those at exactly R hops. `NeighborhoodTables` materializes,
 //! for every node at once:
 //!
-//! * a membership bitset (the O(1) "is the source / a contact / an edge node
-//!   inside my neighborhood?" overlap checks of contact selection),
+//! * zone membership (the "is the source / a contact / an edge node inside
+//!   my neighborhood?" overlap checks of contact selection),
 //! * hop distances and BFS parents (for intra-zone path extraction — the
 //!   paths returned by queries and spliced in by local recovery).
 //!
 //! The tables represent the *converged* state of the proactive intra-zone
 //! protocol; [`crate::dsdv`] shows a real protocol converging to them.
 //!
-//! ## Storage and refresh
+//! ## Memory model: O(zone) per node
 //!
-//! Each [`Neighborhood`] stores its distance/parent/edge state as sorted
-//! member arrays — O(zone size) per node instead of the former O(network
-//! size) dense vectors. The one remaining whole-network structure is the
-//! membership bitset (N *bits* per node, kept for the O(1) overlap checks
-//! contact selection hammers); replacing it with a zone-local filter is on
-//! the ROADMAP for the 10⁴⁺-node scenarios. Tables are (re)computed with
-//! per-worker [`BfsScratch`] workspaces
-//! fanned out over [`sim_core::par`], and [`NeighborhoodTables::recompute_nodes`]
-//! rebuilds an arbitrary subset — the primitive behind the incremental
-//! mobility refresh in [`crate::network`].
+//! Every per-node structure here is sized by the *zone*, never by the
+//! network: sorted member ids, hop distances, BFS parents, edge nodes, and
+//! a small Bloom fingerprint ([`sim_core::util::BloomSet`], ~1 byte per
+//! member) over the member ids. Total memory is O(Σ zone sizes) — at
+//! Table-1 densities roughly a few hundred bytes per node regardless of N,
+//! which is what lets the simulator hold N = 10⁵ worlds in laptop RAM.
+//! (The previous design carried an N-bit membership bitset per node:
+//! O(N²/8) bytes total, ~1.25 GB at N = 10⁵ — the "O(N²) memory wall".)
+//!
+//! Membership tests stay cheap without the bitset: the Bloom fingerprint
+//! answers the common *negative* case ("that node is nowhere near my
+//! zone") in two word reads, and only possible members pay the
+//! O(log zone) binary search that confirms exactly. No false negatives;
+//! a false positive merely costs the binary search.
+//!
+//! ## Refresh
+//!
+//! Tables are (re)computed with per-worker [`BfsScratch`] workspaces fanned
+//! out over the persistent worker pool in [`sim_core::par`], and
+//! [`NeighborhoodTables::recompute_nodes`] rebuilds an arbitrary subset —
+//! the primitive behind the incremental mobility refresh in
+//! [`crate::network`].
 
 use net_topology::bfs::{BfsScratch, BfsView};
 use net_topology::graph::Adjacency;
 use net_topology::node::NodeId;
 use sim_core::par::parallel_map_with;
-use sim_core::util::BitSet;
+use sim_core::util::BloomSet;
 
-/// Neighborhood state of one node.
+/// Neighborhood state of one node — all fields O(zone size).
 #[derive(Clone, Debug)]
 pub struct Neighborhood {
     owner: NodeId,
-    /// Membership bitset over all node ids (includes the owner itself).
-    members: BitSet,
     /// Member ids in ascending order (owner included).
     ids: Vec<NodeId>,
+    /// Bloom fingerprint over `ids` (fast-negative membership probe).
+    filter: BloomSet,
     /// Hop distance of `ids[k]` from the owner.
     dist: Vec<u16>,
     /// BFS-tree parent of `ids[k]` (the owner is its own parent).
@@ -49,15 +61,15 @@ pub struct Neighborhood {
 
 impl Neighborhood {
     /// Capture one node's neighborhood from a hop-limited BFS view.
-    fn from_view(owner: NodeId, view: BfsView<'_>, radius: u16, node_count: usize) -> Self {
+    fn from_view(owner: NodeId, view: BfsView<'_>, radius: u16) -> Self {
         let mut ids = view.visited().to_vec();
         ids.sort_unstable();
-        let mut members = BitSet::new(node_count);
+        let mut filter = BloomSet::with_capacity(ids.len());
         let mut dist = Vec::with_capacity(ids.len());
         let mut parent = Vec::with_capacity(ids.len());
         let mut edge_nodes = Vec::new();
         for &v in &ids {
-            members.insert(v.index());
+            filter.insert(u64::from(v.0));
             let d = view.distance(v).expect("visited node has a distance");
             dist.push(d);
             parent.push(view.parent(v).expect("visited node has a parent"));
@@ -67,8 +79,8 @@ impl Neighborhood {
         }
         Neighborhood {
             owner,
-            members,
             ids,
+            filter,
             dist,
             parent,
             edge_nodes,
@@ -82,14 +94,26 @@ impl Neighborhood {
     }
 
     /// Is `node` within R hops of the owner (the owner itself counts)?
+    ///
+    /// Two-stage test: the Bloom fingerprint rejects most non-members in
+    /// two word reads; survivors are confirmed by binary search on the
+    /// sorted member array.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.members.contains(node.index())
+        self.filter.may_contain(u64::from(node.0)) && self.pos(node).is_some()
     }
 
-    /// Membership bitset (self included).
-    pub fn members(&self) -> &BitSet {
-        &self.members
+    /// Is *any* of `nodes` a member? The batch form of the overlap checks
+    /// in contact selection (`Contact_List` / `Edge_List` against a
+    /// candidate's zone).
+    #[inline]
+    pub fn contains_any(&self, nodes: &[NodeId]) -> bool {
+        nodes.iter().any(|&v| self.contains(v))
+    }
+
+    /// Member ids in ascending order, owner included.
+    pub fn members(&self) -> &[NodeId] {
+        &self.ids
     }
 
     /// Number of members including the owner.
@@ -126,6 +150,16 @@ impl Neighborhood {
     pub fn iter_members(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.ids.iter().copied()
     }
+
+    /// Approximate heap bytes held by this neighborhood (memory
+    /// observability for the scale scenarios).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.dist.capacity() * std::mem::size_of::<u16>()
+            + self.parent.capacity() * std::mem::size_of::<NodeId>()
+            + self.edge_nodes.capacity() * std::mem::size_of::<NodeId>()
+            + self.filter.heap_bytes()
+    }
 }
 
 /// Per-node neighborhood tables for a whole network snapshot.
@@ -152,14 +186,14 @@ fn node_chunks(n: usize) -> Vec<std::ops::Range<usize>> {
 
 impl NeighborhoodTables {
     /// Compute R-hop tables for every node: one hop-limited BFS per node,
-    /// fanned out over worker threads with one [`BfsScratch`] each.
+    /// fanned out over the worker pool with one [`BfsScratch`] each.
     pub fn compute(adj: &Adjacency, radius: u16) -> Self {
         let n = adj.node_count();
         let per_chunk = parallel_map_with(node_chunks(n), BfsScratch::new, |scratch, range| {
             range
                 .map(|i| {
                     let src = NodeId::from(i);
-                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n)
+                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius)
                 })
                 .collect::<Vec<_>>()
         });
@@ -177,13 +211,13 @@ impl NeighborhoodTables {
         let n = adj.node_count();
         assert_eq!(n, self.tables.len(), "node count changed; use compute()");
         let radius = self.radius;
-        // Small dirty sets: one scratch on the caller's thread beats the
-        // fork/join spawn cost.
+        // Small dirty sets: one scratch on the caller's thread beats even
+        // the pool's publish/wake cost.
         if nodes.len() < 96 {
             let mut scratch = BfsScratch::with_capacity(n);
             for &src in nodes {
                 self.tables[src.index()] =
-                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n);
+                    Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius);
             }
             return;
         }
@@ -191,7 +225,7 @@ impl NeighborhoodTables {
         let rebuilt = parallel_map_with(chunks, BfsScratch::new, |scratch, chunk| {
             chunk
                 .iter()
-                .map(|&src| Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius, n))
+                .map(|&src| Neighborhood::from_view(src, scratch.khop(adj, src, radius), radius))
                 .collect::<Vec<_>>()
         });
         for nb in rebuilt.into_iter().flatten() {
@@ -228,6 +262,15 @@ impl NeighborhoodTables {
             return 0.0;
         }
         self.tables.iter().map(|t| t.size()).sum::<usize>() as f64 / self.tables.len() as f64
+    }
+
+    /// Approximate total heap bytes of all neighborhood state — O(Σ zone),
+    /// not O(N²) (memory observability for the scale scenarios).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(Neighborhood::approx_heap_bytes)
+            .sum()
     }
 }
 
@@ -304,11 +347,44 @@ mod tests {
     }
 
     #[test]
-    fn iter_members_matches_bitset() {
+    fn iter_members_matches_members_slice() {
         let tables = NeighborhoodTables::compute(&path5(), 2);
         let nb = tables.of(NodeId(1));
-        let from_iter: Vec<usize> = nb.iter_members().map(|n| n.index()).collect();
-        assert_eq!(from_iter, nb.members().to_vec());
+        let from_iter: Vec<NodeId> = nb.iter_members().collect();
+        assert_eq!(from_iter, nb.members());
+        // sorted ascending, and contains() agrees with the slice
+        for w in from_iter.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for m in nb.members() {
+            assert!(nb.contains(*m));
+        }
+    }
+
+    #[test]
+    fn contains_any_matches_individual_checks() {
+        let tables = NeighborhoodTables::compute(&path5(), 1);
+        let nb = tables.of(NodeId(2));
+        assert!(nb.contains_any(&[NodeId(0), NodeId(3)])); // 3 is a member
+        assert!(!nb.contains_any(&[NodeId(0), NodeId(4)]));
+        assert!(!nb.contains_any(&[]));
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_zone_not_network() {
+        // Same zone structure embedded in a much larger id space must not
+        // grow per-node memory: O(zone), not O(N).
+        let small = NeighborhoodTables::compute(&path5(), 2);
+        let mut big_adj = Adjacency::with_nodes(5000);
+        for i in 0..4u32 {
+            big_adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let big = NeighborhoodTables::compute(&big_adj, 2);
+        assert_eq!(
+            small.of(NodeId(0)).approx_heap_bytes(),
+            big.of(NodeId(0)).approx_heap_bytes(),
+            "per-node memory must not depend on network size"
+        );
     }
 
     #[test]
@@ -397,6 +473,24 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// `contains_any` over arbitrary probe sets equals the any() of
+        /// per-node `contains` — the contract the selection overlap checks
+        /// rely on.
+        #[test]
+        fn prop_contains_any_equals_pointwise(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            probes in proptest::collection::vec(0u32..40, 0..12),
+            owner in 0u32..20,
+            radius in 0u16..4,
+        ) {
+            let adj = random_graph(20, &edges);
+            let tables = NeighborhoodTables::compute(&adj, radius);
+            let nb = tables.of(NodeId(owner));
+            let probe_ids: Vec<NodeId> = probes.iter().map(|&p| NodeId(p)).collect();
+            let pointwise = probe_ids.iter().any(|&v| nb.contains(v));
+            prop_assert_eq!(nb.contains_any(&probe_ids), pointwise);
         }
     }
 }

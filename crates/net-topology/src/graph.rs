@@ -67,8 +67,13 @@ impl Adjacency {
     }
 
     /// Rebuild in place (reusing both CSR buffers) from new positions.
+    ///
+    /// The grid is brought up to date with [`SpatialGrid::update`]: only
+    /// nodes that crossed a cell boundary are re-bucketed (with automatic
+    /// full-relayout fallback on heavy churn), so a low-motion mobility
+    /// tick no longer rewrites every grid entry before the range queries.
     pub fn rebuild_with_grid(&mut self, grid: &mut SpatialGrid, positions: &[Point2], range: f64) {
-        grid.rebuild(positions);
+        grid.update(positions);
         let n = positions.len();
         self.offsets.clear();
         self.offsets.reserve(n + 1);

@@ -6,27 +6,74 @@
 //! own cell or the 8 surrounding ones, giving O(N · avg-degree) rebuilds.
 //!
 //! Like [`crate::graph::Adjacency`], the buckets are stored in CSR form
-//! (one flat entry array plus per-cell offsets) and rebuilt in place with a
-//! counting pass + prefix sum, so a mobility tick re-buckets every node
-//! with zero allocation and the 3×3-cell scans of
-//! [`SpatialGrid::for_each_within`] walk contiguous memory.
+//! (one flat entry array plus per-cell offsets), but with a little *slack*
+//! capacity per cell so occupancy can change without relaying the whole
+//! array.
+//!
+//! ## Mover-only updates
+//!
+//! The grid tracks every node's *cell residency* (`cell_of_node` +
+//! `slot_of_node`). On a mobility tick, [`SpatialGrid::update`] compares
+//! each node's new cell against its recorded one and re-buckets **only the
+//! movers that crossed a cell boundary** — an O(1) swap-remove from the old
+//! cell and an append into the new cell's slack. At the protocol's 100 ms
+//! tick and pedestrian speeds, a node crosses a 50 m cell boundary every
+//! few hundred ticks, so the per-tick bucketing cost collapses from
+//! "rewrite all N entries" to "touch a handful of movers".
+//!
+//! Past a churn threshold (> 1/8 of nodes crossing at once), on any cell
+//! overflowing its slack, or when the node count changes, `update` falls
+//! back to [`SpatialGrid::rebuild`] — a full counting-sort relayout that
+//! re-provisions slack — so heavy churn degrades to exactly the old
+//! full-rebuild cost rather than to splice churn.
 
 use crate::geometry::{Field, Point2};
 use crate::node::NodeId;
 
+/// Outcome of a [`SpatialGrid::update`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridUpdate {
+    /// Only nodes that crossed a cell boundary were re-bucketed.
+    Incremental {
+        /// Number of nodes moved between cells.
+        movers: usize,
+    },
+    /// A full relayout ran (first build, node-count change, cell overflow,
+    /// or churn past the threshold).
+    Full,
+}
+
+/// Churn fallback: if more than `N / CHURN_DIVISOR` nodes cross a cell
+/// boundary in one update, a full relayout is cheaper than mover-by-mover
+/// surgery (and re-provisions slack while at it).
+const CHURN_DIVISOR: usize = 8;
+
+/// Sentinel filling every slack slot, so range scans can fuse a whole
+/// 3-cell row (gaps included) and skip vacancies with one compare.
+const VACANT: NodeId = NodeId(u32::MAX);
+
 /// A uniform grid over a [`Field`] with cell side ≥ the query radius.
 pub struct SpatialGrid {
     cell_side: f64,
+    /// `1 / cell_side`, so bucketing multiplies instead of divides.
+    inv_side: f64,
     cols: usize,
     rows: usize,
-    /// Cell `c`'s occupants live at `entries[starts[c] .. starts[c + 1]]`.
+    /// Cell `c`'s capacity spans `entries[starts[c] .. starts[c + 1]]`; only
+    /// the first `lens[c]` slots are live (the rest is slack).
     starts: Vec<u32>,
-    /// Node ids, bucketed by cell (row-major cell order).
+    /// Live occupant count per cell.
+    lens: Vec<u32>,
+    /// Node ids, bucketed by cell (unordered within a cell).
     entries: Vec<NodeId>,
-    /// Scratch: cell index per node, reused across rebuilds.
+    /// Cell residency per node (the mover-detection state).
     cell_of_node: Vec<u32>,
-    /// Scratch: per-cell write cursor for the placement pass.
+    /// Position of each node inside `entries` (O(1) removal).
+    slot_of_node: Vec<u32>,
+    /// Scratch: per-cell write cursor for the full relayout pass.
     cursor: Vec<u32>,
+    /// Scratch: `(node, new_cell)` movers of the current update.
+    movers: Vec<(u32, u32)>,
 }
 
 impl SpatialGrid {
@@ -40,12 +87,16 @@ impl SpatialGrid {
         let rows = (field.height() / range).ceil().max(1.0) as usize;
         SpatialGrid {
             cell_side: range,
+            inv_side: 1.0 / range,
             cols,
             rows,
             starts: vec![0; cols * rows + 1],
+            lens: vec![0; cols * rows],
             entries: Vec::new(),
             cell_of_node: Vec::new(),
+            slot_of_node: Vec::new(),
             cursor: Vec::new(),
+            movers: Vec::new(),
         }
     }
 
@@ -56,41 +107,119 @@ impl SpatialGrid {
 
     #[inline]
     fn cell_of(&self, p: Point2) -> (usize, usize) {
-        let cx = ((p.x / self.cell_side) as usize).min(self.cols - 1);
-        let cy = ((p.y / self.cell_side) as usize).min(self.rows - 1);
+        let cx = ((p.x * self.inv_side) as usize).min(self.cols - 1);
+        let cy = ((p.y * self.inv_side) as usize).min(self.rows - 1);
         (cx, cy)
     }
 
-    /// Clear and re-bucket every node position (counting sort into the CSR
-    /// buffers; no allocation once the buffers have grown). Positions
-    /// outside the field are clamped into the boundary cells.
+    #[inline]
+    fn cell_index(&self, p: Point2) -> u32 {
+        let (cx, cy) = self.cell_of(p);
+        (cy * self.cols + cx) as u32
+    }
+
+    /// Slack slots provisioned for a cell of `len` occupants during a full
+    /// relayout, absorbing arrivals until the next relayout. Kept tight:
+    /// every slack slot is scanned (as a sentinel) by range queries, which
+    /// dominate the adjacency rebuild — overflowing into an occasional
+    /// O(N) relayout is cheaper than padding every scan.
+    #[inline]
+    fn slack(len: u32) -> u32 {
+        1 + len / 8
+    }
+
+    /// Full relayout: clear and re-bucket every node position (counting
+    /// sort into the CSR buffers with per-cell slack; no allocation once
+    /// the buffers have grown). Positions outside the field are clamped
+    /// into the boundary cells.
     pub fn rebuild(&mut self, positions: &[Point2]) {
         let cells = self.cell_count();
-        self.starts.fill(0);
+        // Pass 1: record each node's cell and count occupants per cell.
+        self.lens.fill(0);
         self.cell_of_node.clear();
-        // Pass 1: record each node's cell and count occupants per cell
-        // (counts shifted by one so the prefix sum below leaves
-        // `starts[c]` = first entry of cell c).
         for &p in positions {
-            let (cx, cy) = self.cell_of(p);
-            let cell = (cy * self.cols + cx) as u32;
+            let cell = self.cell_index(p);
             self.cell_of_node.push(cell);
-            self.starts[cell as usize + 1] += 1;
+            self.lens[cell as usize] += 1;
         }
+        // Capacity boundaries with slack, via prefix sum.
+        let mut acc = 0u32;
         for c in 0..cells {
-            self.starts[c + 1] += self.starts[c];
+            self.starts[c] = acc;
+            acc += self.lens[c] + Self::slack(self.lens[c]);
         }
-        // Pass 2: place nodes, advancing a per-cell write cursor. No
-        // clear first: counting sort writes every index 0..N exactly once,
-        // so resize only ever initializes a grown tail.
-        self.entries.resize(positions.len(), NodeId::new(0));
+        self.starts[cells] = acc;
+        // Pass 2: place nodes, advancing a per-cell write cursor. Every
+        // slack slot is stamped `VACANT` so row scans can run fused.
+        self.entries.clear();
+        self.entries.resize(acc as usize, VACANT);
+        self.slot_of_node.resize(positions.len(), 0);
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.starts[..cells]);
         for (i, &cell) in self.cell_of_node.iter().enumerate() {
             let slot = &mut self.cursor[cell as usize];
             self.entries[*slot as usize] = NodeId::from(i);
+            self.slot_of_node[i] = *slot;
             *slot += 1;
         }
+    }
+
+    /// Bring the grid up to date with `positions`, re-bucketing only the
+    /// nodes that crossed a cell boundary since the last
+    /// `rebuild`/`update`. Falls back to a full relayout when the node
+    /// count changed, churn exceeds the threshold, or a cell's slack
+    /// overflows. Either way the resulting buckets are equivalent to a
+    /// fresh [`SpatialGrid::rebuild`] (cell contents are unordered sets).
+    pub fn update(&mut self, positions: &[Point2]) -> GridUpdate {
+        let n = positions.len();
+        if self.cell_of_node.len() != n {
+            self.rebuild(positions);
+            return GridUpdate::Full;
+        }
+        // Detect boundary crossers (cheap: two divisions per node).
+        let mut movers = std::mem::take(&mut self.movers);
+        movers.clear();
+        for (i, &p) in positions.iter().enumerate() {
+            let new_cell = self.cell_index(p);
+            if new_cell != self.cell_of_node[i] {
+                movers.push((i as u32, new_cell));
+            }
+        }
+        if movers.len() > n / CHURN_DIVISOR {
+            self.movers = movers;
+            self.rebuild(positions);
+            return GridUpdate::Full;
+        }
+        for k in 0..movers.len() {
+            let (node, new_cell) = movers[k];
+            let (node_u, old_cell, new_c) =
+                (node as usize, self.cell_of_node[node as usize], new_cell);
+            if self.lens[new_c as usize]
+                >= self.starts[new_c as usize + 1] - self.starts[new_c as usize]
+            {
+                // Destination cell out of slack: full relayout re-provisions.
+                self.movers = movers;
+                self.rebuild(positions);
+                return GridUpdate::Full;
+            }
+            // Swap-remove from the old cell (re-stamping the vacated slot)…
+            let slot = self.slot_of_node[node_u];
+            let last = self.starts[old_cell as usize] + self.lens[old_cell as usize] - 1;
+            let displaced = self.entries[last as usize];
+            self.entries[slot as usize] = displaced;
+            self.slot_of_node[displaced.index()] = slot;
+            self.entries[last as usize] = VACANT;
+            self.lens[old_cell as usize] -= 1;
+            // …and append into the new cell's slack.
+            let dst = self.starts[new_c as usize] + self.lens[new_c as usize];
+            self.entries[dst as usize] = NodeId::from(node_u);
+            self.slot_of_node[node_u] = dst;
+            self.cell_of_node[node_u] = new_c;
+            self.lens[new_c as usize] += 1;
+        }
+        let count = movers.len();
+        self.movers = movers;
+        GridUpdate::Incremental { movers: count }
     }
 
     /// Visit every node within `radius` of `center` (excluding `exclude`,
@@ -116,12 +245,13 @@ impl SpatialGrid {
         let x1 = (cx + 1).min(self.cols - 1);
         let y1 = (cy + 1).min(self.rows - 1);
         for gy in y0..=y1 {
-            // Cells x0..=x1 of this row are contiguous in the CSR buffers,
-            // so the three cells scan as one slice.
+            // Cells x0..=x1 of this row are contiguous in the CSR buffers;
+            // slack gaps between them hold `VACANT` sentinels, so the three
+            // cells still scan as one fused slice.
             let lo = self.starts[gy * self.cols + x0] as usize;
             let hi = self.starts[gy * self.cols + x1 + 1] as usize;
             for &id in &self.entries[lo..hi] {
-                if Some(id) == exclude {
+                if id == VACANT || Some(id) == exclude {
                     continue;
                 }
                 if positions[id.index()].dist_sq(center) <= r_sq {
@@ -165,6 +295,37 @@ mod tests {
             .collect()
     }
 
+    /// Every node's bucket matches its position, residency bookkeeping is
+    /// self-consistent, and each node appears exactly once.
+    fn assert_grid_invariants(grid: &SpatialGrid, positions: &[Point2]) {
+        assert_eq!(grid.cell_of_node.len(), positions.len());
+        assert_eq!(grid.slot_of_node.len(), positions.len());
+        let mut seen = vec![false; positions.len()];
+        for c in 0..grid.cell_count() {
+            let lo = grid.starts[c] as usize;
+            let hi = lo + grid.lens[c] as usize;
+            assert!(
+                hi <= grid.starts[c + 1] as usize,
+                "cell {c} overflows capacity"
+            );
+            for (slot, &id) in grid.entries[lo..hi].iter().enumerate() {
+                assert_ne!(id, super::VACANT, "live slot holds the sentinel");
+                assert!(!seen[id.index()], "{id} bucketed twice");
+                seen[id.index()] = true;
+                assert_eq!(grid.cell_of_node[id.index()] as usize, c);
+                assert_eq!(grid.slot_of_node[id.index()] as usize, lo + slot);
+                assert_eq!(grid.cell_index(positions[id.index()]) as usize, c);
+            }
+            for &id in &grid.entries[hi..grid.starts[c + 1] as usize] {
+                assert_eq!(id, super::VACANT, "slack slot holds a live id");
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some node is missing from the grid"
+        );
+    }
+
     #[test]
     fn finds_neighbors_across_cells() {
         let field = Field::square(100.0);
@@ -178,6 +339,7 @@ mod tests {
         let mut found = grid.within(&positions, positions[0], 10.0, Some(NodeId(0)));
         found.sort();
         assert_eq!(found, vec![NodeId(1)]);
+        assert_grid_invariants(&grid, &positions);
     }
 
     #[test]
@@ -224,6 +386,83 @@ mod tests {
             .is_empty());
     }
 
+    #[test]
+    fn first_update_is_full_then_movers_only() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let mut positions: Vec<Point2> = (0..40)
+            .map(|i| Point2::new((i % 10) as f64 * 10.0 + 5.0, (i / 10) as f64 * 10.0 + 5.0))
+            .collect();
+        assert_eq!(grid.update(&positions), GridUpdate::Full);
+        assert_grid_invariants(&grid, &positions);
+        // no movement → zero movers
+        assert_eq!(
+            grid.update(&positions),
+            GridUpdate::Incremental { movers: 0 }
+        );
+        // one node crosses a boundary, one jiggles within its cell
+        positions[3] = Point2::new(positions[3].x + 10.0, positions[3].y);
+        positions[7] = Point2::new(positions[7].x + 1.0, positions[7].y);
+        assert_eq!(
+            grid.update(&positions),
+            GridUpdate::Incremental { movers: 1 }
+        );
+        assert_grid_invariants(&grid, &positions);
+    }
+
+    #[test]
+    fn node_count_change_forces_full_relayout() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let positions = vec![Point2::new(5.0, 5.0), Point2::new(55.0, 55.0)];
+        grid.update(&positions);
+        let more = vec![
+            Point2::new(5.0, 5.0),
+            Point2::new(55.0, 55.0),
+            Point2::new(95.0, 95.0),
+        ];
+        assert_eq!(grid.update(&more), GridUpdate::Full);
+        assert_grid_invariants(&grid, &more);
+    }
+
+    #[test]
+    fn heavy_churn_falls_back_to_full_relayout() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let positions: Vec<Point2> = (0..32).map(|i| Point2::new(5.0, i as f64 * 3.0)).collect();
+        grid.update(&positions);
+        // everyone crosses a cell boundary at once
+        let moved: Vec<Point2> = positions
+            .iter()
+            .map(|p| Point2::new(p.x + 50.0, p.y))
+            .collect();
+        assert_eq!(grid.update(&moved), GridUpdate::Full);
+        assert_grid_invariants(&grid, &moved);
+    }
+
+    #[test]
+    fn slack_overflow_falls_back_to_full_relayout() {
+        // 33 nodes spread over many cells, then 3 (≤ N/8 churn) pile into
+        // one previously-single-occupant cell whose slack (2 + 1/4 = 2)
+        // cannot hold them all.
+        let field = Field::square(200.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let mut positions: Vec<Point2> = (0..33)
+            .map(|i| Point2::new((i % 19) as f64 * 10.0 + 5.0, (i / 19) as f64 * 10.0 + 5.0))
+            .collect();
+        grid.update(&positions);
+        for p in positions.iter_mut().take(3) {
+            *p = Point2::new(195.0, 195.0);
+        }
+        let out = grid.update(&positions);
+        assert_eq!(out, GridUpdate::Full, "overflow must re-provision slack");
+        assert_grid_invariants(&grid, &positions);
+        // and the result still answers queries correctly
+        let mut got = grid.within(&positions, Point2::new(195.0, 195.0), 5.0, None);
+        got.sort();
+        assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
     proptest! {
         /// The grid returns exactly the brute-force neighbor set, for any
         /// point cloud and any query point.
@@ -243,6 +482,41 @@ mod tests {
             let mut expect = brute_force(&positions, center, radius, None);
             expect.sort();
             prop_assert_eq!(got, expect);
+        }
+
+        /// Mover-only updates answer queries identically to a fresh full
+        /// rebuild, across arbitrary per-step displacement magnitudes
+        /// (small jiggles stay incremental, big jumps trip the churn or
+        /// slack fallbacks — both must stay exact).
+        #[test]
+        fn prop_update_equals_fresh_rebuild(
+            pts in proptest::collection::vec((0.0..400.0f64, 0.0..400.0f64), 1..80),
+            steps in proptest::collection::vec(
+                proptest::collection::vec((-60.0..60.0f64, -60.0..60.0f64), 1..80), 1..5),
+            q in (0.0..400.0f64, 0.0..400.0f64),
+            radius in 1.0..40.0f64,
+        ) {
+            let field = Field::square(400.0);
+            let mut positions: Vec<Point2> =
+                pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut inc = SpatialGrid::new(field, 40.0);
+            inc.update(&positions);
+            for step in &steps {
+                for (p, &(dx, dy)) in positions.iter_mut().zip(step.iter().cycle()) {
+                    p.x = (p.x + dx).clamp(0.0, 400.0);
+                    p.y = (p.y + dy).clamp(0.0, 400.0);
+                }
+                inc.update(&positions);
+                let mut fresh = SpatialGrid::new(field, 40.0);
+                fresh.rebuild(&positions);
+                let center = Point2::new(q.0, q.1);
+                let mut got = inc.within(&positions, center, radius, None);
+                got.sort();
+                let mut expect = fresh.within(&positions, center, radius, None);
+                expect.sort();
+                prop_assert_eq!(got, expect);
+                assert_grid_invariants(&inc, &positions);
+            }
         }
     }
 }

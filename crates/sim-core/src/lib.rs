@@ -17,10 +17,18 @@
 //! * [`stats`] — counters, per-kind message accounting and time-bucketed
 //!   series used for every overhead figure in the paper;
 //! * [`trace`] — an optional bounded event trace for protocol debugging;
-//! * [`util`] — a compact fixed-capacity bitset used for reachability sets;
+//! * [`util`] — a compact fixed-capacity bitset (per-query reachability
+//!   sets) and a tiny Bloom filter ([`util::BloomSet`], the fast-negative
+//!   half of the O(zone) neighborhood membership tests);
 //! * [`par`] — order-preserving fork/join parallelism with per-worker
 //!   scratch buffers, used by the experiment sweeps *and* by the topology
-//!   layers below (parallel neighborhood refresh).
+//!   layers below (parallel neighborhood refresh). Fan-outs execute on a
+//!   process-wide persistent worker pool: `available_parallelism − 1`
+//!   threads spawned lazily on first use, parked on a condvar between
+//!   fan-outs (publish/retire costs ~1 µs instead of ~100 µs of scoped
+//!   thread spawn), with the calling thread participating in every fan-out
+//!   and nested fan-outs automatically inlined. The pool is never torn
+//!   down; its parked threads die with the process.
 //!
 //! The engine knows nothing about networks; `net-topology`, `manet-routing`
 //! and `card-core` build the MANET world on top of it.
@@ -72,7 +80,7 @@ pub mod prelude {
     pub use crate::stats::{Counter, MsgStats, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceCategory};
-    pub use crate::util::BitSet;
+    pub use crate::util::{BitSet, BloomSet};
 }
 
 pub use engine::Engine;

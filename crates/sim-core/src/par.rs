@@ -2,36 +2,56 @@
 //!
 //! Two primitives cover every fan-out in the workspace:
 //!
-//! * [`parallel_map`] — map a closure over owned items on scoped threads,
-//!   preserving input order. Used by the experiment runner (each figure
-//!   cell is an independent simulation world).
+//! * [`parallel_map`] — map a closure over owned items, preserving input
+//!   order. Used by the experiment runner (each figure cell is an
+//!   independent simulation world).
 //! * [`parallel_map_with`] — the same, but every worker thread first builds
 //!   a private *scratch* value and threads it through all the items it
 //!   processes. This is the reusable scratch-buffer idiom the topology hot
 //!   path depends on: per-worker `BfsScratch` workspaces let thousands of
 //!   neighborhood rebuilds run without a single per-call allocation.
 //!
-//! Both functions are plain `std` (no thread pool, no external crates):
-//! workers pull `(index, item)` pairs from a mutex-guarded iterator, stash
-//! `(index, result)` pairs locally, and the caller scatters results back
-//! into input order. Scoped threads keep borrows of the closure and scratch
-//! factory alive without `'static` bounds. Results are deterministic
-//! regardless of scheduling because ordering is restored by index.
+//! ## The persistent worker pool
 //!
-//! Worker count is `available_parallelism`, capped by the item count.
-//! Single-item (or empty) inputs run inline on the caller's thread, and so
-//! do *nested* fan-outs: worker threads are marked, and a `parallel_map*`
-//! call made from inside one runs serially — a parallel sweep whose cells
-//! themselves call into parallel refreshes keeps exactly one level of
-//! parallelism instead of spawning workers² threads.
+//! Fan-outs execute on one process-wide [`WorkerPool`] of
+//! `available_parallelism − 1` threads, spawned lazily on the first
+//! parallel call and *parked on a condvar between fan-outs*. The caller
+//! thread always participates in the work, so total concurrency is
+//! `available_parallelism`. Compared to the scoped-thread-per-fan-out
+//! design this replaces, a fan-out costs a mutex + condvar broadcast
+//! (~1 µs) instead of ~100 µs of thread spawn/join — which matters because
+//! the incremental topology refresh fans out on *every mobility tick*.
+//!
+//! Scheduling is unchanged: workers pull `(index, item)` pairs from a
+//! mutex-guarded iterator, stash `(index, result)` pairs locally, and the
+//! results are scattered back into input order, so output is deterministic
+//! regardless of which thread ran what. A worker woken into an already
+//! drained queue goes straight back to sleep without building scratch.
+//!
+//! Pool lifecycle and fallbacks:
+//!
+//! * single-item (or empty) inputs run inline on the caller's thread;
+//! * *nested* fan-outs run inline: pool workers are marked (and the caller
+//!   marks itself while it works), so a `parallel_map*` call made from
+//!   inside one keeps exactly one level of parallelism instead of
+//!   oversubscribing workers²;
+//! * *concurrent top-level* fan-outs from different threads do not block
+//!   each other: the pool serves one fan-out at a time (a `try_lock` lease)
+//!   and losers simply run inline;
+//! * a panic inside the mapped closure is caught, the fan-out drains, and
+//!   the panic is propagated on the calling thread — the pool itself
+//!   survives and serves subsequent fan-outs;
+//! * the pool is never torn down; its parked threads die with the process.
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 thread_local! {
-    /// Set while this thread is a `parallel_map_with` worker, so nested
-    /// fan-outs run inline instead of spawning workers² threads.
+    /// Set while this thread is executing fan-out work (pool workers
+    /// permanently, the calling thread while it participates), so nested
+    /// fan-outs run inline instead of re-entering the pool.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -44,13 +64,118 @@ pub fn max_workers() -> usize {
         .max(1)
 }
 
-/// Number of worker threads for `n` items (at least 1).
-fn worker_count(n: usize) -> usize {
-    max_workers().min(n).max(1)
+/// A type-erased fan-out job: each invocation pulls queue items until the
+/// queue drains. Valid only between publish and retire (the publisher waits
+/// for every participating worker before its stack frame unwinds).
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (it is only ever a `&(dyn Fn() + Sync)`),
+// and the publisher keeps it alive while any worker can hold it.
+unsafe impl Send for JobRef {}
+
+/// Pool state guarded by one mutex.
+struct PoolState {
+    /// Generation counter; bumped on every publish so a worker never runs
+    /// the same job twice.
+    epoch: u64,
+    /// The published job, cleared by the publisher at retire time.
+    job: Option<JobRef>,
+    /// Workers currently inside the job closure.
+    active: usize,
+    /// A worker panicked while running the current job.
+    panicked: bool,
 }
 
-/// Map `f` over `items` in parallel (scoped threads, at most
-/// `available_parallelism` workers), preserving input order.
+/// The process-wide persistent worker pool (see module docs).
+struct WorkerPool {
+    state: Mutex<PoolState>,
+    /// Wakes parked workers when a job is published.
+    work_ready: Condvar,
+    /// Wakes the publisher when the last active worker leaves the job.
+    work_done: Condvar,
+    /// Held by the publishing thread for the duration of a fan-out;
+    /// concurrent top-level fan-outs fail the `try_lock` and run inline.
+    lease: Mutex<()>,
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        WorkerPool {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            lease: Mutex::new(()),
+        }
+    }
+}
+
+fn worker_loop(pool: &'static WorkerPool) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen = 0u64;
+    let mut st = pool.state.lock().expect("pool state poisoned");
+    loop {
+        if st.epoch != seen {
+            seen = st.epoch;
+            if let Some(job) = st.job {
+                st.active += 1;
+                drop(st);
+                // SAFETY: the publisher waits for `active == 0` before its
+                // frame (and the closure's borrows) can unwind.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)() }));
+                st = pool.state.lock().expect("pool state poisoned");
+                st.active -= 1;
+                if outcome.is_err() {
+                    st.panicked = true;
+                }
+                if st.active == 0 {
+                    pool.work_done.notify_all();
+                }
+                continue;
+            }
+        }
+        st = pool.work_ready.wait(st).expect("pool state poisoned");
+    }
+}
+
+/// The lazily spawned process-wide pool; `None` on single-core hosts
+/// (everything runs inline there).
+fn pool() -> Option<&'static WorkerPool> {
+    static POOL: OnceLock<Option<&'static WorkerPool>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let threads = max_workers().saturating_sub(1);
+        if threads == 0 {
+            return None;
+        }
+        let pool: &'static WorkerPool = Box::leak(Box::new(WorkerPool::new()));
+        for i in 0..threads {
+            std::thread::Builder::new()
+                .name(format!("simcore-par-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        Some(pool)
+    })
+}
+
+/// Number of persistent pool threads (0 when everything runs inline).
+/// The calling thread always works too, so peak fan-out concurrency is
+/// `pool_size() + 1`.
+pub fn pool_size() -> usize {
+    if max_workers() <= 1 {
+        0
+    } else {
+        max_workers() - 1
+    }
+}
+
+/// Map `f` over `items` in parallel on the persistent pool (at most
+/// `available_parallelism` threads), preserving input order.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -60,12 +185,13 @@ where
     parallel_map_with(items, || (), |(), item| f(item))
 }
 
-/// Map `f` over `items` in parallel, giving every worker thread a private
-/// scratch value built by `init`. Results come back in input order.
+/// Map `f` over `items` in parallel, giving every participating thread a
+/// private scratch value built by `init`. Results come back in input order.
 ///
-/// `init` runs once per worker (not per item); `f` receives the worker's
-/// scratch by mutable reference, so buffers allocated there are reused
-/// across all items the worker processes.
+/// `init` runs once per participating thread (not per item); `f` receives
+/// the thread's scratch by mutable reference, so buffers allocated there
+/// are reused across all items that thread processes. Threads that find the
+/// queue already drained never call `init`.
 pub fn parallel_map_with<S, T, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
 where
     T: Send,
@@ -74,54 +200,115 @@ where
     F: Fn(&mut S, T) -> R + Sync,
 {
     let n = items.len();
-    // Run inline for trivial inputs, and for *nested* fan-outs: when the
-    // calling thread is already one of `parallel_map_with`'s workers, the
-    // outer call owns the parallelism — spawning here would oversubscribe
-    // (workers² threads) and pay spawn latency per inner call.
+    // Run inline for trivial inputs and for *nested* fan-outs: when the
+    // calling thread is already executing fan-out work, the outer call owns
+    // the parallelism — re-entering the pool would deadlock on the lease
+    // and oversubscribe the machine.
     if n <= 1 || IN_WORKER.with(Cell::get) {
-        let mut scratch = init();
-        return items
-            .into_iter()
-            .map(|item| f(&mut scratch, item))
-            .collect();
+        return run_inline(items, init, f);
     }
-    let workers = worker_count(n);
+    let Some(pool) = pool() else {
+        return run_inline(items, init, f);
+    };
+    // One fan-out at a time; a concurrent top-level caller runs inline
+    // rather than blocking (results are index-ordered either way). A
+    // poisoned lease (an earlier fan-out panicked while holding it) is
+    // recovered, not treated as busy — the lease guards no data, so losing
+    // the pool forever would be the only consequence of honoring poison.
+    let _lease = match pool.lease.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            return run_inline(items, init, f);
+        }
+    };
 
     let queue = Mutex::new(items.into_iter().enumerate());
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let slots = Mutex::new(&mut out);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                IN_WORKER.with(|w| w.set(true));
-                let mut scratch = init();
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    // Take the next item while holding the lock only for
-                    // the pull, never during `f`.
-                    let next = queue.lock().expect("queue poisoned").next();
-                    let Some((i, item)) = next else { break };
-                    local.push((i, f(&mut scratch, item)));
-                }
-                let mut slots = slots.lock().expect("results poisoned");
-                for (i, r) in local {
-                    debug_assert!(slots[i].is_none(), "duplicate result for cell {i}");
-                    slots[i] = Some(r);
-                }
-            });
+    let run = || {
+        // Take items while holding the lock only for the pull, never
+        // during `f`; build scratch only after securing a first item.
+        let next = || queue.lock().expect("queue poisoned").next();
+        let Some((first_idx, first_item)) = next() else {
+            return;
+        };
+        let mut scratch = init();
+        let mut local: Vec<(usize, R)> = Vec::new();
+        local.push((first_idx, f(&mut scratch, first_item)));
+        while let Some((i, item)) = next() {
+            local.push((i, f(&mut scratch, item)));
         }
-    });
+        let mut slots = slots.lock().expect("results poisoned");
+        for (i, r) in local {
+            debug_assert!(slots[i].is_none(), "duplicate result for cell {i}");
+            slots[i] = Some(r);
+        }
+    };
+    // Erase the closure's borrow of this stack frame. SAFETY: this frame
+    // does not return (or unwind) until `active == 0` below.
+    let job: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(&run) };
 
+    {
+        let mut st = pool.state.lock().expect("pool state poisoned");
+        st.epoch += 1;
+        st.job = Some(JobRef(job));
+        st.panicked = false;
+    }
+    pool.work_ready.notify_all();
+
+    // The caller works too (marked so nested fan-outs inline). Catch a
+    // local panic: the workers still borrow this frame, so unwinding must
+    // wait for them.
+    IN_WORKER.with(|w| w.set(true));
+    let caller_outcome = std::panic::catch_unwind(AssertUnwindSafe(&run));
+    IN_WORKER.with(|w| w.set(false));
+
+    // Retire the job: stop late wakers, then wait out active workers.
+    let worker_panicked;
+    {
+        let mut st = pool.state.lock().expect("pool state poisoned");
+        st.job = None;
+        while st.active > 0 {
+            st = pool.work_done.wait(st).expect("pool state poisoned");
+        }
+        worker_panicked = st.panicked;
+        st.panicked = false;
+    }
+
+    if let Err(payload) = caller_outcome {
+        std::panic::resume_unwind(payload);
+    }
+    assert!(
+        !worker_panicked,
+        "a pool worker panicked during parallel_map"
+    );
     out.into_iter()
         .map(|r| r.expect("every cell produced a result"))
+        .collect()
+}
+
+/// Serial fallback shared by all inline paths.
+fn run_inline<S, T, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    I: Fn() -> S,
+    F: Fn(&mut S, T) -> R,
+{
+    let mut scratch = init();
+    items
+        .into_iter()
+        .map(|item| f(&mut scratch, item))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicU32, Ordering};
+    use std::thread::ThreadId;
 
     #[test]
     fn preserves_order() {
@@ -173,9 +360,9 @@ mod tests {
 
     #[test]
     fn scratch_is_per_worker_and_reused() {
-        // Each worker's scratch counts the items it processed; the counts
-        // must partition the input (every item seen exactly once) and the
-        // number of distinct scratches must not exceed the worker cap.
+        // Each participating thread builds exactly one scratch; the number
+        // of scratches must not exceed the available concurrency and every
+        // item must be seen exactly once.
         let inits = AtomicU32::new(0);
         let out = parallel_map_with(
             (0..64u32).collect(),
@@ -190,8 +377,8 @@ mod tests {
         );
         let total: u32 = out.iter().map(|&(_, seen)| u32::from(seen >= 1)).sum();
         assert_eq!(total, 64);
-        let workers = inits.load(Ordering::Relaxed) as usize;
-        assert!(workers <= worker_count(64));
+        let scratches = inits.load(Ordering::Relaxed) as usize;
+        assert!(scratches <= pool_size() + 1);
         // order preserved
         for (i, &(x, _)) in out.iter().enumerate() {
             assert_eq!(x as usize, i);
@@ -200,7 +387,7 @@ mod tests {
 
     #[test]
     fn nested_fan_out_runs_inline() {
-        // A parallel_map inside a worker must not spawn its own workers:
+        // A parallel_map inside fan-out work must not re-enter the pool:
         // the inner call sees the worker marker and stays on-thread.
         let inner_inits = AtomicU32::new(0);
         let out = parallel_map((0..8u32).collect(), |x| {
@@ -225,5 +412,92 @@ mod tests {
     fn scratch_init_runs_inline_for_tiny_inputs() {
         let out = parallel_map_with(vec![5u32], || vec![0u8; 16], |buf, x| x + buf.len() as u32);
         assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_fanouts() {
+        // Many successive fan-outs must reuse the same pool threads: the
+        // set of distinct thread ids observed over 20 fan-outs is bounded
+        // by pool size + callers, whereas spawn-per-fan-out designs mint
+        // fresh ids every time (ThreadId is never reused).
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        for round in 0..20u64 {
+            let out = parallel_map((0..64u64).collect(), |x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // enough work that pool threads actually wake and engage
+                let mut acc = 0u64;
+                for i in 0..5_000 {
+                    acc = acc.wrapping_add(i ^ x ^ round);
+                }
+                std::hint::black_box(acc);
+                x
+            });
+            assert_eq!(out.len(), 64);
+        }
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= pool_size() + 1,
+            "saw {distinct} distinct threads over 20 fan-outs (pool size {})",
+            pool_size()
+        );
+    }
+
+    #[test]
+    fn concurrent_top_level_fanouts_all_complete() {
+        // Several threads fan out at once: one wins the pool lease, the
+        // rest run inline — all must produce correct, ordered results.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    scope.spawn(move || parallel_map((0..50u64).collect(), move |x| x * 3 + t))
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                let out = h.join().expect("fan-out thread panicked");
+                assert_eq!(
+                    out,
+                    (0..50u64).map(|x| x * 3 + t as u64).collect::<Vec<_>>()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn panic_in_closure_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..32u32).collect(), |x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "panic in the mapped closure must surface");
+        // The pool must still serve subsequent fan-outs *in parallel*: the
+        // panic above unwound through the publisher while it held the pool
+        // lease, and a poisoned lease must be recovered, not treated as
+        // "busy forever". A single attempt can legitimately run inline
+        // (a concurrently running test may hold the lease at that instant),
+        // so retry: with a poisoned-and-ignored lease every attempt would
+        // stay single-threaded, while a healthy pool engages quickly.
+        if pool_size() == 0 {
+            return;
+        }
+        let items = 2 * (pool_size() + 1);
+        for attempt in 0..50 {
+            let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+            let out = parallel_map((0..items as u32).collect(), |x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x + 1
+            });
+            assert_eq!(out, (1..=items as u32).collect::<Vec<_>>());
+            if seen.lock().unwrap().len() > 1 {
+                return; // pool engaged — lease recovered
+            }
+            // lease presumably held by a sibling test; back off and retry
+            std::thread::sleep(std::time::Duration::from_millis(2 * attempt + 1));
+        }
+        panic!("pool never parallelized again after a panic (lease left poisoned?)");
     }
 }

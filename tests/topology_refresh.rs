@@ -2,19 +2,26 @@
 //!
 //! The mobility tick now runs on a CSR adjacency, reusable BFS scratch
 //! workspaces and an incremental parallel neighborhood refresh. These tests
-//! pin the two contracts that refactor must never break:
+//! pin the contracts that refactor must never break:
 //!
 //! 1. the CSR adjacency built through the spatial grid is edge-for-edge
 //!    identical to the naive O(N²) unit-disk definition, and
 //! 2. after arbitrary randomized mobility, `Network::refresh` (incremental,
 //!    parallel, dirty-set based) produces neighborhood tables identical to
 //!    `Network::refresh_full` (the naive rebuild-everything reference) —
-//!    across seeds, radii and mobility intensities.
+//!    across seeds, radii and mobility intensities;
+//! 3. the zone-local membership structure (sorted member array + Bloom
+//!    fingerprint) answers exactly what the old whole-network membership
+//!    bitset answered, for every (owner, probe) pair on random topologies;
+//! 4. the mover-only spatial-grid re-bucketing answers range queries
+//!    identically to a freshly rebuilt grid across seeds, radii and
+//!    mobility intensities (including the churn/overflow fallbacks).
 
 use card_manet::prelude::*;
 use card_manet::routing::Network;
 use card_manet::sim::time::SimDuration;
 use card_manet::topology::graph::Adjacency;
+use card_manet::topology::grid::SpatialGrid;
 use card_manet::topology::node::NodeId;
 use proptest::prelude::*;
 
@@ -110,6 +117,91 @@ proptest! {
             full.refresh_full();
         }
         assert_equivalent(&inc, &full);
+    }
+
+    /// Zone-local membership (sorted member array + Bloom fingerprint)
+    /// answers exactly what the old per-node whole-network bitset answered:
+    /// for every (owner, probe) pair, `contains` ⇔ BFS distance ≤ R, and
+    /// the sorted member slice is precisely the set bits of that reference
+    /// bitset.
+    #[test]
+    fn zone_membership_matches_old_bitset_semantics(
+        seed in 0u64..500,
+        nodes in 2usize..90,
+        range in 30.0..90.0f64,
+        radius in 0u16..4,
+    ) {
+        let scenario = Scenario::new(nodes, 400.0, 400.0, range);
+        let (_, adj) = scenario.instantiate(seed);
+        let tables = card_manet::routing::NeighborhoodTables::compute(&adj, radius);
+        for owner in NodeId::all(nodes) {
+            // reference: the dense membership bitset the old design stored
+            let truth = card_manet::topology::bfs::full_bfs(&adj, owner);
+            let mut reference = BitSet::new(nodes);
+            for v in NodeId::all(nodes) {
+                if matches!(truth.distance(v), Some(d) if d <= radius) {
+                    reference.insert(v.index());
+                }
+            }
+            let nb = tables.of(owner);
+            for v in NodeId::all(nodes) {
+                prop_assert_eq!(
+                    nb.contains(v),
+                    reference.contains(v.index()),
+                    "membership {}/{} disagrees with the bitset reference", owner, v
+                );
+            }
+            // probes beyond the id space must read as absent (the old
+            // bitset returned false out of range)
+            prop_assert!(!nb.contains(NodeId::new(nodes as u32 + 7)));
+            let member_indices: Vec<usize> =
+                nb.members().iter().map(|m| m.index()).collect();
+            prop_assert_eq!(member_indices, reference.to_vec());
+        }
+    }
+
+    /// Mover-only grid re-bucketing == full rebuild: after randomized
+    /// mobility at any intensity (gentle drifts keep the incremental path,
+    /// violent ones trip the churn/overflow fallbacks), range queries from
+    /// arbitrary centers return exactly the same neighbor sets, and the
+    /// adjacency rebuilt through the updated grid equals a from-scratch
+    /// build.
+    #[test]
+    fn mover_only_grid_equals_full_rebuild(
+        seed in 0u64..500,
+        nodes in 2usize..100,
+        range in 30.0..80.0f64,
+        vmax in 0.5..40.0f64,
+        steps in 1usize..6,
+    ) {
+        let scenario = Scenario::new(nodes, 400.0, 400.0, range);
+        let (mut positions, _) = scenario.instantiate(seed);
+        let mut grid = SpatialGrid::new(scenario.field(), range);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &positions, range);
+        let mut model = RandomWaypoint::new(
+            nodes,
+            scenario.field(),
+            0.5,
+            vmax,
+            0.0,
+            SeedSplitter::new(seed).stream("grid-equiv", 0),
+        );
+        for step in 0..steps {
+            model.advance(&mut positions, SimDuration::from_secs(1));
+            adj.rebuild_with_grid(&mut grid, &positions, range);
+            // grid-level equivalence at a pseudo-random query center
+            let q = positions[(seed as usize + step) % nodes];
+            let mut got = grid.within(&positions, q, range, None);
+            got.sort();
+            let mut fresh = SpatialGrid::new(scenario.field(), range);
+            fresh.rebuild(&positions);
+            let mut expect = fresh.within(&positions, q, range, None);
+            expect.sort();
+            prop_assert_eq!(got, expect, "grid query diverged at step {}", step);
+            // adjacency-level equivalence (what the protocol layers see)
+            let reference = Adjacency::build(scenario.field(), &positions, range);
+            prop_assert_eq!(&adj, &reference, "adjacency diverged at step {}", step);
+        }
     }
 
     /// The dirty-set derivation is *sound*: every node whose table would
