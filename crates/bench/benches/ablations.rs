@@ -1,4 +1,5 @@
-//! Ablation benches for the design choices DESIGN.md calls out.
+//! Ablation benches for the reproduction's own design choices (local
+//! recovery, CSQ step budget, incremental refresh — see `ARCHITECTURE.md`).
 //!
 //! Each ablation measures the *work* (wall time of the full procedure) of a
 //! design variant on identical topologies; the companion message-count and

@@ -274,6 +274,70 @@ fn bench_csq_walk(c: &mut Criterion) {
     });
 }
 
+/// Whole-network protocol sweeps at N = 1000 (scenario-5 density):
+/// the sharded parallel path vs the serial reference, for both
+/// `select_all_contacts` (from-scratch CSQ selection for every node) and
+/// `validation_round` (validate + throttled re-select for every node).
+/// Protocol parameters mirror `experiments::scale::protocol_config` so
+/// these ids track the same workload `repro scale` reports at N = 10⁴–10⁵.
+///
+/// Each iteration rebuilds the world: the sweeps mutate per-node state
+/// (contact tables, RNG streams, backoff), so timing a repeated sweep on a
+/// saturated world would measure the (cheap) "already at NoC" path instead
+/// of real selection. Build cost is identical across the serial/parallel
+/// variants, so the comparison stays honest even though absolute numbers
+/// include it.
+fn bench_protocol_sweeps(c: &mut Criterion) {
+    let n = 1000usize;
+    let scenario = scaled_scenario(n);
+    let cfg = CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_seed(29);
+    let net = Network::from_scenario(&scenario, 2, 29);
+
+    let mut group = c.benchmark_group(format!("select_all_contacts/n{n}"));
+    let mut run_select = |label: &str, parallel: bool| {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut w = card_core::CardWorld::from_network(net.clone(), cfg);
+                if parallel {
+                    w.select_all_contacts();
+                } else {
+                    w.select_all_contacts_serial();
+                }
+                black_box(w.total_contacts())
+            })
+        });
+    };
+    run_select("sharded", true);
+    run_select("serial", false);
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("validation_round/n{n}"));
+    let mut run_validate = |label: &str, parallel: bool| {
+        group.bench_function(label, |b| {
+            // One selected world per variant; each iteration clones it so
+            // every measured round validates the same full tables.
+            let mut seeded = card_core::CardWorld::from_network(net.clone(), cfg);
+            seeded.select_all_contacts();
+            b.iter(|| {
+                let mut w = seeded.clone();
+                if parallel {
+                    w.validation_round();
+                } else {
+                    w.validation_round_serial();
+                }
+                black_box(w.maintenance_totals().validated)
+            })
+        });
+    };
+    run_validate("sharded", true);
+    run_validate("serial", false);
+    group.finish();
+}
+
 criterion_group! {
     name = micro;
     config = bench::config();
@@ -288,5 +352,6 @@ criterion_group! {
         bench_topology_refresh,
         bench_bitset_union,
         bench_csq_walk,
+        bench_protocol_sweeps,
 }
 criterion_main!(micro);

@@ -63,8 +63,11 @@ impl CsqWalkStats {
 ///
 /// All per-node arrays are cleared lazily: `marked` remembers exactly which
 /// nodes the previous walk dirtied, so starting a new walk is O(touched),
-/// not O(N), and a long-lived scratch (one per [`crate::world::CardWorld`],
-/// or per worker in parallel sweeps) makes walks allocation-free.
+/// not O(N), and a long-lived scratch (one per protocol *shard* in
+/// [`crate::world::CardWorld`]'s sharded sweeps) makes walks
+/// allocation-free. Scratch history never leaks into results — a reused
+/// scratch behaves exactly like a fresh one — which is what lets any shard
+/// layout produce identical walks.
 #[derive(Clone, Debug, Default)]
 pub struct CsqScratch {
     /// Neighbors already tried per node, for this query.

@@ -25,6 +25,11 @@
 //!   §V "resource distribution" models, and resource DSQs;
 //! * [`world`] — [`world::CardWorld`]: network + per-node CARD state +
 //!   event-driven simulation loop (mobility ticks, validation rounds).
+//!   Per-node protocol state is *sharded*: the whole-network selection and
+//!   validation sweeps fan out over the persistent `sim_core::par` worker
+//!   pool with shard-owned RNG streams and walk scratches, bit-identical
+//!   to their serial reference paths at any worker or shard count (the
+//!   module docs spell out the determinism contract).
 
 #![warn(missing_docs)]
 pub mod config;

@@ -6,7 +6,7 @@
 //! comes back, the source escalates with D=2 — contacts recognize the query
 //! is not for them, decrement D and forward to *their* contacts — and so on
 //! up to the configured maximum depth: a tree search over contact links,
-//! "similar to the expanding ring search … [but] much more efficient … as
+//! "similar to the expanding ring search … \[but\] much more efficient … as
 //! the queries are not flooded with different TTLs but are directed to
 //! individual nodes".
 

@@ -5,12 +5,36 @@
 //! ticks (topology refresh) interleaved with per-period validation rounds
 //! (§III.C.3) and re-selection (rule 5). All static analyses (reachability,
 //! one-shot selection, queries) are direct method calls.
+//!
+//! ## Sharded protocol state
+//!
+//! Per-node protocol state — contact tables, per-node RNG streams, backoff
+//! counters — lives in flat arrays indexed by node id, and the two
+//! whole-network protocol sweeps ([`CardWorld::select_all_contacts`] and
+//! [`CardWorld::validation_round`]) fan out over *shards* of those arrays
+//! on the persistent [`sim_core::par`] worker pool. A shard is a contiguous
+//! span of node indices (see [`sim_core::par::shard_spans`]) bundled with a
+//! shard-owned [`CsqScratch`] walk workspace; the fan-out gives each shard
+//! to exactly one worker via [`sim_core::par::parallel_shard_map`].
+//!
+//! **Determinism.** Every random protocol decision draws from the RNG
+//! stream of the node making it (derived as `("card-node", node)` from the
+//! config seed), never from a shared stream, and each node's sweep work
+//! reads only the immutable [`Network`] plus its own state. Message
+//! counters are accumulated into per-shard [`MsgStats`] deltas and merged
+//! in shard order afterwards. The result of a sweep is therefore a pure
+//! function of `(network, config, per-node state)` — bit-identical across
+//! worker counts, shard counts, and the serial reference paths
+//! ([`CardWorld::select_all_contacts_serial`],
+//! [`CardWorld::validation_round_serial`]), which exist precisely to pin
+//! that equivalence in tests and benches.
 
 use manet_routing::network::Network;
 use mobility::model::MobilityModel;
 use net_topology::node::NodeId;
 use net_topology::scenario::Scenario;
 use sim_core::engine::Engine;
+use sim_core::par::{max_workers, parallel_shard_map, shard_spans};
 use sim_core::rng::{RngStream, SeedSplitter};
 use sim_core::stats::{MsgStats, TimeSeries};
 use sim_core::time::{SimDuration, SimTime};
@@ -42,6 +66,33 @@ impl MaintenanceTotals {
         self.dropped_out_of_range += r.dropped_out_of_range as u64;
         self.recovered += r.recovered as u64;
     }
+
+    fn merge(&mut self, other: &MaintenanceTotals) {
+        self.validated += other.validated;
+        self.lost += other.lost;
+        self.dropped_out_of_range += other.dropped_out_of_range;
+        self.recovered += other.recovered;
+    }
+}
+
+/// One shard of per-node protocol state: disjoint mutable spans of the
+/// world's flat arrays plus the shard-owned walk workspace. Built fresh for
+/// each sweep (the spans borrow the world), handed to exactly one worker.
+struct ShardView<'a> {
+    /// First node index of the span (`contacts[k]` is node `start + k`).
+    start: usize,
+    contacts: &'a mut [ContactTable],
+    rngs: &'a mut [RngStream],
+    backoff_remaining: &'a mut [u32],
+    backoff_level: &'a mut [u32],
+    scratch: &'a mut CsqScratch,
+}
+
+/// Everything a shard's sweep emits, merged into the world in shard order.
+#[derive(Debug)]
+struct ShardDelta {
+    stats: MsgStats,
+    maintenance: MaintenanceTotals,
 }
 
 /// Simulation events of the mobile run loop.
@@ -54,6 +105,11 @@ enum SimEvent {
 }
 
 /// The CARD world: network + per-node protocol state + measurement.
+///
+/// `Clone` snapshots the entire world — network, contact tables, RNG
+/// streams, statistics — so divergent what-if runs (and the sweep benches)
+/// can branch from a common prepared state.
+#[derive(Clone)]
 pub struct CardWorld {
     net: Network,
     cfg: CardConfig,
@@ -69,13 +125,23 @@ pub struct CardWorld {
     /// level that produced that skip count.
     backoff_remaining: Vec<u32>,
     backoff_level: Vec<u32>,
-    /// Reusable CSQ walk workspace shared by every selection pass (the
-    /// event loop is serial over nodes, so one scratch serves the world).
-    csq_scratch: CsqScratch,
+    /// One persistent CSQ walk workspace per protocol shard; `len()` is the
+    /// shard count. Walks run every validation round for every node, so the
+    /// workspaces must survive across sweeps (a scratch's buffers grow to
+    /// O(N) once and are then reused allocation-free).
+    shard_scratch: Vec<CsqScratch>,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
 const MAX_BACKOFF_LEVEL: u32 = 5;
+
+/// Default protocol shard count: twice the fan-out width, so the pull-queue
+/// scheduling in `sim_core::par` can rebalance when CSQ walk costs differ
+/// across spans, without multiplying the O(N) per-shard scratch memory
+/// further than needed.
+fn default_shard_count() -> usize {
+    (2 * max_workers()).max(1)
+}
 
 impl CardWorld {
     /// Instantiate a scenario (uniform placement from `cfg.seed`) and build
@@ -119,8 +185,69 @@ impl CardWorld {
             maintenance: MaintenanceTotals::default(),
             backoff_remaining: vec![0; n],
             backoff_level: vec![0; n],
-            csq_scratch: CsqScratch::new(),
+            shard_scratch: (0..default_shard_count())
+                .map(|_| CsqScratch::new())
+                .collect(),
         }
+    }
+
+    /// Number of protocol shards the whole-network sweeps fan out over.
+    pub fn shard_count(&self) -> usize {
+        self.shard_scratch.len()
+    }
+
+    /// Override the protocol shard count (tests, tuning). Results are
+    /// shard-count-independent — per-node RNG streams make each node's
+    /// decisions a function of its own state — so this only moves the
+    /// parallelism/memory trade-off (each shard holds an O(N)-growing walk
+    /// scratch).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn set_shard_count(&mut self, shards: usize) {
+        assert!(shards > 0, "need at least one protocol shard");
+        self.shard_scratch.resize_with(shards, CsqScratch::new);
+        self.shard_scratch.shrink_to_fit();
+    }
+
+    /// Split every per-node array into disjoint shard views, one per
+    /// scratch. The split is the canonical [`shard_spans`] partition, so
+    /// shard k always owns the same node span for a given (N, shard count).
+    fn shard_views<'a>(
+        contacts: &'a mut [ContactTable],
+        rngs: &'a mut [RngStream],
+        backoff_remaining: &'a mut [u32],
+        backoff_level: &'a mut [u32],
+        scratches: &'a mut [CsqScratch],
+    ) -> Vec<ShardView<'a>> {
+        let n = contacts.len();
+        let spans = shard_spans(n, scratches.len());
+        let mut views = Vec::with_capacity(spans.len());
+        let (mut contacts, mut rngs) = (contacts, rngs);
+        let (mut backoff_remaining, mut backoff_level) = (backoff_remaining, backoff_level);
+        let mut scratches = scratches;
+        for span in spans {
+            let len = span.end - span.start;
+            let (c, c_rest) = contacts.split_at_mut(len);
+            let (r, r_rest) = rngs.split_at_mut(len);
+            let (br, br_rest) = backoff_remaining.split_at_mut(len);
+            let (bl, bl_rest) = backoff_level.split_at_mut(len);
+            let (s, s_rest) = scratches.split_at_mut(1);
+            contacts = c_rest;
+            rngs = r_rest;
+            backoff_remaining = br_rest;
+            backoff_level = bl_rest;
+            scratches = s_rest;
+            views.push(ShardView {
+                start: span.start,
+                contacts: c,
+                rngs: r,
+                backoff_remaining: br,
+                backoff_level: bl,
+                scratch: &mut s[0],
+            });
+        }
+        views
     }
 
     /// The underlying network.
@@ -179,22 +306,83 @@ impl CardWorld {
     /// Run contact selection (one pass over shuffled edge nodes, §III.C.1)
     /// for a single node, topping its table up toward NoC.
     pub fn select_contacts_for(&mut self, node: NodeId) {
-        let rng = &mut self.node_rngs[node.index()];
+        let i = node.index();
+        // Use the owning shard's scratch: any scratch gives identical
+        // results (walks clear exactly what they touched), this one just
+        // keeps buffer growth where the sweeps already paid for it. The
+        // canonical partition is contiguous with span width
+        // ceil(n / shards), so ownership is a division, not a search.
+        let per = self
+            .contacts
+            .len()
+            .div_ceil(self.shard_scratch.len())
+            .max(1);
+        let shard = i / per;
         select_contacts(
             &self.net,
             &self.cfg,
             node,
-            &mut self.contacts[node.index()],
-            rng,
+            &mut self.contacts[i],
+            &mut self.node_rngs[i],
             &mut self.stats,
             self.now,
             ALL_EDGE_NODES,
-            &mut self.csq_scratch,
+            &mut self.shard_scratch[shard],
         );
     }
 
-    /// Initial contact selection for every node.
+    /// Initial contact selection for every node, fanned out over the
+    /// protocol shards (see the module docs). Bit-identical to
+    /// [`CardWorld::select_all_contacts_serial`].
     pub fn select_all_contacts(&mut self) {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            node_rngs,
+            now,
+            backoff_remaining,
+            backoff_level,
+            shard_scratch,
+            ..
+        } = self;
+        let mut views = Self::shard_views(
+            contacts,
+            node_rngs,
+            backoff_remaining,
+            backoff_level,
+            shard_scratch,
+        );
+        let width = stats.bucket_width();
+        let at = *now;
+        let deltas = parallel_shard_map(&mut views, |_, view| {
+            let mut delta = MsgStats::new(width);
+            for k in 0..view.contacts.len() {
+                select_contacts(
+                    net,
+                    cfg,
+                    NodeId::from(view.start + k),
+                    &mut view.contacts[k],
+                    &mut view.rngs[k],
+                    &mut delta,
+                    at,
+                    ALL_EDGE_NODES,
+                    view.scratch,
+                );
+            }
+            delta
+        });
+        for delta in &deltas {
+            stats.merge(delta);
+        }
+    }
+
+    /// Serial reference for [`CardWorld::select_all_contacts`]: the same
+    /// per-node work on the caller's thread, one node at a time. Kept (like
+    /// `Network::refresh_full`) as the equivalence anchor for tests and the
+    /// `select_all_contacts/*` benches.
+    pub fn select_all_contacts_serial(&mut self) {
         for node in NodeId::all(self.net.node_count()) {
             self.select_contacts_for(node);
         }
@@ -202,7 +390,9 @@ impl CardWorld {
 
     /// One validation round for every node: validate paths (healing with
     /// local recovery), drop rule-4 violators, then — per §III.C.3 rule 5 —
-    /// re-select toward NoC.
+    /// re-select toward NoC. The sweep fans out over the protocol shards;
+    /// [`CardWorld::validation_round_serial`] is the bit-identical serial
+    /// reference.
     ///
     /// Re-selection is throttled twice, which is what keeps steady-state
     /// overhead at the per-node magnitudes of Figs 10–13 (the paper's
@@ -215,49 +405,122 @@ impl CardWorld {
     ///   (NoC above the annulus capacity) therefore go quiet instead of
     ///   re-sweeping the region every period.
     pub fn validation_round(&mut self) {
-        for node in NodeId::all(self.net.node_count()) {
-            let report = validate_contacts(
-                &self.net,
-                &self.cfg,
-                node,
-                &mut self.contacts[node.index()],
-                &mut self.stats,
-                self.now,
-            );
-            self.maintenance.absorb(&report);
-            let i = node.index();
-            if self.contacts[i].len() >= self.cfg.target_contacts {
-                self.backoff_level[i] = 0;
-                self.backoff_remaining[i] = 0;
-                continue;
-            }
-            if self.backoff_remaining[i] > 0 {
-                self.backoff_remaining[i] -= 1;
-                continue;
-            }
-            let before = self.contacts[i].len();
-            let rng = &mut self.node_rngs[i];
-            select_contacts(
-                &self.net,
-                &self.cfg,
-                node,
-                &mut self.contacts[i],
-                rng,
-                &mut self.stats,
-                self.now,
-                self.cfg.selection_walks_per_round,
-                &mut self.csq_scratch,
-            );
-            if self.contacts[i].len() > before {
-                self.backoff_level[i] = 0;
-                self.backoff_remaining[i] = 0;
-            } else {
-                self.backoff_level[i] = (self.backoff_level[i] + 1).min(MAX_BACKOFF_LEVEL);
-                self.backoff_remaining[i] = (1u32 << self.backoff_level[i]) - 1;
-            }
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            node_rngs,
+            now,
+            maintenance,
+            backoff_remaining,
+            backoff_level,
+            shard_scratch,
+            ..
+        } = self;
+        let mut views = Self::shard_views(
+            contacts,
+            node_rngs,
+            backoff_remaining,
+            backoff_level,
+            shard_scratch,
+        );
+        let width = stats.bucket_width();
+        let at = *now;
+        let deltas = parallel_shard_map(&mut views, |_, view| {
+            Self::validate_span(net, cfg, view, at, width)
+        });
+        for delta in &deltas {
+            stats.merge(&delta.stats);
+            maintenance.merge(&delta.maintenance);
         }
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
+    }
+
+    /// Serial reference for [`CardWorld::validation_round`]: the same
+    /// validate-then-reselect pass over all nodes as one span on the
+    /// caller's thread.
+    pub fn validation_round_serial(&mut self) {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            node_rngs,
+            now,
+            maintenance,
+            backoff_remaining,
+            backoff_level,
+            shard_scratch,
+            ..
+        } = self;
+        let mut view = ShardView {
+            start: 0,
+            contacts,
+            rngs: node_rngs,
+            backoff_remaining,
+            backoff_level,
+            scratch: &mut shard_scratch[0],
+        };
+        let width = stats.bucket_width();
+        let delta = Self::validate_span(net, cfg, &mut view, *now, width);
+        stats.merge(&delta.stats);
+        maintenance.merge(&delta.maintenance);
+        self.contacts_series
+            .push(self.now, self.total_contacts() as f64);
+    }
+
+    /// The per-shard body of a validation round: validate every node of the
+    /// span, then (throttled) re-select. Touches only shard-owned state and
+    /// the immutable network; emits its message/maintenance counters as a
+    /// delta for in-order merging.
+    fn validate_span(
+        net: &Network,
+        cfg: &CardConfig,
+        view: &mut ShardView<'_>,
+        at: SimTime,
+        bucket_width: SimDuration,
+    ) -> ShardDelta {
+        let mut delta = ShardDelta {
+            stats: MsgStats::new(bucket_width),
+            maintenance: MaintenanceTotals::default(),
+        };
+        for k in 0..view.contacts.len() {
+            let node = NodeId::from(view.start + k);
+            let report =
+                validate_contacts(net, cfg, node, &mut view.contacts[k], &mut delta.stats, at);
+            delta.maintenance.absorb(&report);
+            if view.contacts[k].len() >= cfg.target_contacts {
+                view.backoff_level[k] = 0;
+                view.backoff_remaining[k] = 0;
+                continue;
+            }
+            if view.backoff_remaining[k] > 0 {
+                view.backoff_remaining[k] -= 1;
+                continue;
+            }
+            let before = view.contacts[k].len();
+            select_contacts(
+                net,
+                cfg,
+                node,
+                &mut view.contacts[k],
+                &mut view.rngs[k],
+                &mut delta.stats,
+                at,
+                cfg.selection_walks_per_round,
+                view.scratch,
+            );
+            if view.contacts[k].len() > before {
+                view.backoff_level[k] = 0;
+                view.backoff_remaining[k] = 0;
+            } else {
+                view.backoff_level[k] = (view.backoff_level[k] + 1).min(MAX_BACKOFF_LEVEL);
+                view.backoff_remaining[k] = (1u32 << view.backoff_level[k]) - 1;
+            }
+        }
+        delta
     }
 
     /// Issue a resource-discovery query (§III.C.4) from `source` for
@@ -536,6 +799,69 @@ mod tests {
         let before = w.maintenance_totals().validated;
         w.run_mobile(&mut StaticModel, SimDuration::from_secs(3));
         assert!(w.maintenance_totals().validated > before);
+    }
+
+    /// Per-node contact (id, path) lists — the full observable table state.
+    type TableSnapshot = Vec<Vec<(NodeId, Vec<NodeId>)>>;
+
+    /// Full comparable state snapshot: contact tables (ids + paths),
+    /// backoff state, stats totals and bucket series, maintenance totals.
+    fn snapshot(w: &CardWorld) -> (TableSnapshot, Vec<u64>, MaintenanceTotals) {
+        let tables: TableSnapshot = w
+            .contact_tables()
+            .iter()
+            .map(|t| {
+                t.contacts()
+                    .iter()
+                    .map(|c| (c.id, c.path.clone()))
+                    .collect()
+            })
+            .collect();
+        let series = w.stats().series_where(|_| true);
+        (tables, series, w.maintenance_totals().clone())
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_reference() {
+        let build = |shards: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg());
+            if let Some(k) = shards {
+                w.set_shard_count(k);
+            }
+            w
+        };
+        let mut serial = build(Some(1));
+        serial.select_all_contacts_serial();
+        serial.validation_round_serial();
+        serial.validation_round_serial();
+        let expected = snapshot(&serial);
+        for shards in [None, Some(1), Some(3), Some(150), Some(1000)] {
+            let mut par = build(shards);
+            par.select_all_contacts();
+            par.validation_round();
+            par.validation_round();
+            assert_eq!(
+                snapshot(&par),
+                expected,
+                "sharded sweep diverged at shard count {shards:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_is_settable_and_bounded() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        assert!(w.shard_count() >= 1);
+        w.set_shard_count(7);
+        assert_eq!(w.shard_count(), 7);
+        w.select_all_contacts();
+        assert!(w.total_contacts() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one protocol shard")]
+    fn zero_shards_rejected() {
+        CardWorld::build(&scenario(), cfg()).set_shard_count(0);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! `scale` (equivalently the `--scale` flag) runs the N = 10⁴–10⁵
 //! substrate scale family; `--nodes` overrides its node counts from the
 //! command line so new sizes need no recompile.
-//! Output is Markdown, suitable for pasting into `EXPERIMENTS.md`.
+//! Output is Markdown (tables matching the paper's figures); see
+//! `docs/REPRO.md` for the experiment catalogue and conventions.
 
 use experiments::*;
 

@@ -2,7 +2,8 @@
 //!
 //! §I: "Contacts act as short cuts that attempt to transform the network
 //! into a small world by reducing the degrees of separation", grounded in
-//! Watts–Strogatz [10][11] and Helmy's small-world wireless study [13].
+//! Watts–Strogatz \[10\]\[11\] and Helmy's small-world wireless study
+//! \[13\].
 //! The paper asserts this qualitatively; this experiment quantifies it:
 //! measure the unit-disk graph's clustering coefficient and characteristic
 //! path length, then overlay each node's contact links as shortcut edges

@@ -4,8 +4,7 @@
 //! D=1. Fig 3 plots reachability (%) for NoC 1–9; Fig 4 plots backtracking
 //! messages per node for NoC 1–5.
 //!
-//! Reproduction status (see `EXPERIMENTS.md` §Fig 4 for the full analysis):
-//! the Fig 3 ordering — EM reaches more of the network than PM at every
+//! Reproduction status: the Fig 3 ordering — EM reaches more of the network than PM at every
 //! NoC, with PM's curve lower and flatter — reproduces robustly. The Fig 4
 //! *backtracking* ordering (PM ≫ EM) does **not** hold under our precisely
 //! specified walk semantics (uniform-random DFS, per-query tried-neighbor

@@ -1,13 +1,14 @@
 //! # experiments — the paper's full evaluation, regenerated
 //!
-//! One module per table/figure of §IV (see `DESIGN.md` for the index).
+//! One module per table/figure of §IV (`docs/REPRO.md` at the repo root
+//! catalogues them, with the CLI flags and output conventions).
 //! Every module exposes:
 //!
 //! * a parameter struct whose `Default` is the paper's configuration (the
 //!   figure captions), with a `quick()` constructor for fast CI/bench runs;
 //! * a `run(...)` function returning structured results;
 //! * a `render(...)` function producing the Markdown table the
-//!   `repro` binary prints (and `EXPERIMENTS.md` records).
+//!   `repro` binary prints.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -16,7 +17,7 @@
 //! repro fig3 … fig15      # individual figures
 //! repro smallworld        # extension: contacts as small-world shortcuts
 //! repro resources         # extension: §V resource-distribution study
-//! repro scale             # extension: N = 10⁴–10⁵ substrate scale runs
+//! repro scale             # extension: N = 10⁴–10⁵ substrate + protocol runs
 //! repro scale --nodes N   # scale runs at a chosen N (no recompile)
 //! repro all               # everything, paper-sized
 //! repro all --quick       # everything, small sizes (seconds)

@@ -12,9 +12,8 @@
 //! The paper does not state node speeds or pause times; we use the standard
 //! pedestrian/vehicle RWP range (uniform 0.5–5 m/s, zero pause) — §III.C.3
 //! assumes "reasonable values of node velocities and validation frequency",
-//! i.e. drift per validation period well below a hop length — and document it
-//! in `EXPERIMENTS.md`. Shapes, not absolute counts, are the reproduction
-//! target.
+//! i.e. drift per validation period well below a hop length. Shapes, not
+//! absolute counts, are the reproduction target.
 
 use card_core::{CardConfig, CardWorld};
 use mobility::waypoint::RandomWaypoint;

@@ -14,7 +14,16 @@
 //! * **time** — wall-clock per mobility tick for the incremental refresh
 //!   (persistent worker pool + mover-only grid re-bucketing + dirty-ball
 //!   neighborhood rebuilds), plus the observability counters behind it
-//!   (adjacency-changed nodes and dirty neighborhoods per tick).
+//!   (adjacency-changed nodes and dirty neighborhoods per tick);
+//! * **full protocol** — after the tick loop, the network is wrapped in a
+//!   [`CardWorld`] and the sharded protocol sweeps run at full N: one
+//!   from-scratch `select_all_contacts` pass plus `PROTOCOL_ROUNDS`
+//!   validation rounds, reporting wall time, per-second node throughput,
+//!   contacts found, and the selection/maintenance message volume. This is
+//!   the end-to-end demonstration that the *protocol* layers — not just
+//!   the topology substrate — operate at N = 10⁵ (the tables produced are
+//!   seed-deterministic regardless of worker or shard count; see
+//!   `card_core::world`).
 //!
 //! Two mobility profiles bracket the churn range: *pedestrian* (random
 //! walk, 0.5–2 m/s — the paper's assumed regime) and *vehicular* (random
@@ -24,14 +33,19 @@
 //! node counts with `--nodes N` — no recompile needed.
 
 use crate::output::markdown_table;
+use card_core::{CardConfig, CardWorld};
 use manet_routing::network::Network;
 use mobility::model::MobilityModel;
 use mobility::walk::RandomWalk;
 use mobility::waypoint::RandomWaypoint;
 use net_topology::scenario::Scenario;
 use sim_core::rng::SeedSplitter;
+use sim_core::stats::MsgKind;
 use sim_core::time::SimDuration;
 use std::time::Instant;
+
+/// Validation rounds run in the full-protocol phase of each scale row.
+pub const PROTOCOL_ROUNDS: usize = 2;
 
 /// Mobility profile of one scale run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +160,20 @@ pub struct ScaleRow {
     pub mean_changed: f64,
     /// Mean dirty neighborhoods rebuilt per tick.
     pub mean_dirty: f64,
+    /// Wall time of the from-scratch sharded `select_all_contacts` pass.
+    pub select_ms: f64,
+    /// Contact-selection throughput: nodes swept per second.
+    pub select_nodes_per_s: f64,
+    /// Total contacts standing after selection + validation rounds.
+    pub total_contacts: usize,
+    /// Selection messages (CSQ + backtrack + reply) over the whole phase.
+    pub selection_msgs: u64,
+    /// Total wall time of the [`PROTOCOL_ROUNDS`] validation rounds.
+    pub validate_ms: f64,
+    /// Validation throughput: nodes swept per second (all rounds pooled).
+    pub validate_nodes_per_s: f64,
+    /// Maintenance messages (validation + ack) over all rounds.
+    pub maintenance_msgs: u64,
 }
 
 /// Run every (N, mobility-profile) combination of `p`.
@@ -158,6 +186,18 @@ pub fn run(p: &Params) -> Vec<ScaleRow> {
         }
     }
     rows
+}
+
+/// The protocol configuration of the full-protocol phase: the scale
+/// family's zone radius with a modest contact annulus and NoC, so the cost
+/// profile stays comparable across N (the paper's own r/NoC sweeps live in
+/// Figs 5–9 at paper sizes).
+pub fn protocol_config(p: &Params) -> CardConfig {
+    CardConfig::default()
+        .with_radius(p.radius)
+        .with_max_contact_distance(4 * p.radius)
+        .with_target_contacts(4)
+        .with_seed(p.seed)
 }
 
 fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRow {
@@ -181,11 +221,26 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
     }
 
     let n = scenario.nodes;
+    let (mean_zone, table_bytes) = (net.tables().mean_size(), net.tables().approx_heap_bytes());
+
+    // Full-protocol phase on the post-mobility topology: sharded contact
+    // selection for every node, then PROTOCOL_ROUNDS validation rounds.
+    let mut world = CardWorld::from_network(net, protocol_config(p));
+    let t_sel = Instant::now();
+    world.select_all_contacts();
+    let select_ms = t_sel.elapsed().as_secs_f64() * 1e3;
+    let t_val = Instant::now();
+    for _ in 0..PROTOCOL_ROUNDS {
+        world.validation_round();
+    }
+    let validate_ms = t_val.elapsed().as_secs_f64() * 1e3;
+    let swept = (PROTOCOL_ROUNDS * n) as f64;
+
     ScaleRow {
         scenario: *scenario,
         mobility: profile,
-        mean_zone: net.tables().mean_size(),
-        table_bytes: net.tables().approx_heap_bytes(),
+        mean_zone,
+        table_bytes,
         bitset_equiv_bytes: n * n.div_ceil(8),
         build_ms,
         ticks: p.ticks,
@@ -194,6 +249,13 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         max_tick_ms,
         mean_changed: changed_sum as f64 / p.ticks.max(1) as f64,
         mean_dirty: dirty_sum as f64 / p.ticks.max(1) as f64,
+        select_ms,
+        select_nodes_per_s: n as f64 / (select_ms / 1e3).max(1e-9),
+        total_contacts: world.total_contacts(),
+        selection_msgs: world.stats().total_where(MsgKind::is_selection),
+        validate_ms,
+        validate_nodes_per_s: swept / (validate_ms / 1e3).max(1e-9),
+        maintenance_msgs: world.stats().total_where(MsgKind::is_maintenance),
     }
 }
 
@@ -207,7 +269,18 @@ fn fmt_bytes(b: usize) -> String {
     }
 }
 
-/// Render the scale runs as a Markdown table.
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Render the scale runs as two Markdown tables: the topology substrate
+/// columns, then the full-protocol throughput columns.
 pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
     let headers = [
         "N",
@@ -238,12 +311,45 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
             ]
         })
         .collect();
+    let cfg = protocol_config(p);
+    let proto_headers = [
+        "N",
+        "Mobility",
+        "Select (ms)",
+        "Select (nodes/s)",
+        "Contacts",
+        "Selection msgs",
+        "Validate (ms)",
+        "Validate (nodes/s)",
+        "Maintenance msgs",
+    ];
+    let proto_body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                format!("{:.0}", r.select_ms),
+                fmt_rate(r.select_nodes_per_s),
+                r.total_contacts.to_string(),
+                r.selection_msgs.to_string(),
+                format!("{:.0}", r.validate_ms),
+                fmt_rate(r.validate_nodes_per_s),
+                r.maintenance_msgs.to_string(),
+            ]
+        })
+        .collect();
     format!(
-        "### Scale — {}-tick mobility runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}",
+        "### Scale — {}-tick mobility runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}\n\n\
+         ### Scale — full-protocol phase (sharded sweeps; EM, r={}, NoC={}, {} validation rounds)\n\n{}",
         p.ticks,
         p.radius,
         p.tick.as_secs_f64() * 1e3,
-        markdown_table(&headers, &body)
+        markdown_table(&headers, &body),
+        cfg.max_contact_distance,
+        cfg.target_contacts,
+        PROTOCOL_ROUNDS,
+        markdown_table(&proto_headers, &proto_body)
     )
 }
 
@@ -334,5 +440,36 @@ mod tests {
         assert!(text.contains("pedestrian"));
         assert!(text.contains("vehicular"));
         assert!(text.contains("500"));
+        assert!(text.contains("full-protocol phase"));
+        assert!(text.contains("Validate (nodes/s)"));
+    }
+
+    #[test]
+    fn protocol_phase_selects_contacts_and_counts_messages() {
+        let rows = run(&tiny());
+        for r in &rows {
+            assert!(
+                r.total_contacts > 0,
+                "a 500-node world must yield contacts ({:?})",
+                r.mobility
+            );
+            assert!(r.selection_msgs > 0);
+            assert!(r.maintenance_msgs > 0, "validation rounds must poll paths");
+            assert!(r.select_nodes_per_s > 0.0);
+            assert!(r.validate_nodes_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn protocol_phase_is_seed_deterministic() {
+        // The sharded sweeps must land identical protocol outcomes on
+        // repeat runs (worker scheduling may differ; results must not).
+        let a = run(&tiny());
+        let b = run(&tiny());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.total_contacts, rb.total_contacts);
+            assert_eq!(ra.selection_msgs, rb.selection_msgs);
+            assert_eq!(ra.maintenance_msgs, rb.maintenance_msgs);
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! A zone-limited DSDV-style distance-vector protocol.
 //!
-//! The paper assumes "a protocol such as DSDV [1]" keeps each node's
+//! The paper assumes "a protocol such as DSDV \[1\]" keeps each node's
 //! neighborhood table current, and *excludes* that protocol's messages from
 //! its overhead accounting (§IV.B counts only contact selection +
 //! maintenance). The experiments therefore use the converged

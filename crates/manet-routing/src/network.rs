@@ -45,6 +45,7 @@ use sim_core::time::SimDuration;
 use crate::neighborhood::NeighborhoodTables;
 
 /// A MANET snapshot plus the machinery to evolve it under mobility.
+#[derive(Clone)]
 pub struct Network {
     field: Field,
     tx_range: f64,

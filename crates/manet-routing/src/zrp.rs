@@ -1,6 +1,6 @@
 //! ZRP-style bordercasting — baseline #2 of Fig 15.
 //!
-//! After Haas & Pearlman [8][9]: every node proactively knows its *zone*
+//! After Haas & Pearlman \[8\]\[9\]: every node proactively knows its *zone*
 //! (R-hop neighborhood, the same tables CARD uses). A query for a target
 //! outside the source's zone is *bordercast*: relayed down a tree rooted at
 //! the source to its peripheral nodes (the zone's edge nodes). Each

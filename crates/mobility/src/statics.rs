@@ -1,7 +1,7 @@
 //! The static (no-motion) model.
 //!
 //! The paper motivates CARD partly through *static sensor networks* (§I,
-//! §II: the mobility-assisted scheme of [13] "may not be suitable for static
+//! §II: the mobility-assisted scheme of \[13\] "may not be suitable for static
 //! sensor networks"). All reachability figures (Figs 3–9) are topology
 //! snapshots, which this model represents exactly.
 

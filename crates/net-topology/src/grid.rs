@@ -53,6 +53,7 @@ const CHURN_DIVISOR: usize = 8;
 const VACANT: NodeId = NodeId(u32::MAX);
 
 /// A uniform grid over a [`Field`] with cell side ≥ the query radius.
+#[derive(Clone)]
 pub struct SpatialGrid {
     cell_side: f64,
     /// `1 / cell_side`, so bucketing multiplies instead of divides.

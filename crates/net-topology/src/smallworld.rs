@@ -1,4 +1,4 @@
-//! Small-world metrics (Watts–Strogatz [10][11]).
+//! Small-world metrics (Watts–Strogatz \[10\]\[11\]).
 //!
 //! CARD's founding idea (§I) is that contacts act as the random shortcuts
 //! of a Watts–Strogatz small world: a network with high local clustering

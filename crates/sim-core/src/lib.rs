@@ -1,7 +1,8 @@
 //! # sim-core — deterministic discrete-event simulation engine
 //!
 //! This crate is the substrate that replaces NS-2 in the CARD reproduction
-//! (see `DESIGN.md` §1, substitution 1). It provides:
+//! (see `ARCHITECTURE.md` at the repo root for where it sits in the
+//! 4-layer stack). It provides:
 //!
 //! * [`time::SimTime`] / [`time::SimDuration`] — an integer virtual clock
 //!   (microsecond ticks) so event ordering is exact and platform-independent;
@@ -20,15 +21,17 @@
 //! * [`util`] — a compact fixed-capacity bitset (per-query reachability
 //!   sets) and a tiny Bloom filter ([`util::BloomSet`], the fast-negative
 //!   half of the O(zone) neighborhood membership tests);
-//! * [`par`] — order-preserving fork/join parallelism with per-worker
-//!   scratch buffers, used by the experiment sweeps *and* by the topology
-//!   layers below (parallel neighborhood refresh). Fan-outs execute on a
-//!   process-wide persistent worker pool: `available_parallelism − 1`
-//!   threads spawned lazily on first use, parked on a condvar between
-//!   fan-outs (publish/retire costs ~1 µs instead of ~100 µs of scoped
-//!   thread spawn), with the calling thread participating in every fan-out
-//!   and nested fan-outs automatically inlined. The pool is never torn
-//!   down; its parked threads die with the process.
+//! * [`par`] — order-preserving fork/join parallelism: owned-item maps
+//!   with per-worker scratch buffers (the topology refresh idiom) and
+//!   mutable-shard fan-outs ([`par::parallel_shard_map`], the sharded
+//!   CARD protocol-state idiom), used by the experiment sweeps *and* by
+//!   the layers below. Fan-outs execute on a process-wide persistent
+//!   worker pool: `available_parallelism − 1` threads spawned lazily on
+//!   first use, parked on a condvar between fan-outs (publish/retire
+//!   costs ~1 µs instead of ~100 µs of scoped thread spawn), with the
+//!   calling thread participating in every fan-out and nested fan-outs
+//!   automatically inlined. The pool is never torn down; its parked
+//!   threads die with the process.
 //!
 //! The engine knows nothing about networks; `net-topology`, `manet-routing`
 //! and `card-core` build the MANET world on top of it.
@@ -61,7 +64,7 @@
 //! assert!(pings >= 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod engine;
 pub mod event;
 pub mod par;
@@ -75,7 +78,7 @@ pub mod util;
 pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventQueue;
-    pub use crate::par::{parallel_map, parallel_map_with};
+    pub use crate::par::{parallel_map, parallel_map_with, parallel_shard_map};
     pub use crate::rng::{RngStream, SeedSplitter};
     pub use crate::stats::{Counter, MsgStats, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};

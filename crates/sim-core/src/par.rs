@@ -1,6 +1,6 @@
 //! Deterministic fork/join parallelism for the simulation stack.
 //!
-//! Two primitives cover every fan-out in the workspace:
+//! Three primitives cover every fan-out in the workspace:
 //!
 //! * [`parallel_map`] — map a closure over owned items, preserving input
 //!   order. Used by the experiment runner (each figure cell is an
@@ -10,10 +10,30 @@
 //!   processes. This is the reusable scratch-buffer idiom the topology hot
 //!   path depends on: per-worker `BfsScratch` workspaces let thousands of
 //!   neighborhood rebuilds run without a single per-call allocation.
+//! * [`parallel_shard_map`] — fan out over *mutable shards* of long-lived
+//!   state. Each shard is visited exactly once, by exactly one thread, and
+//!   outputs come back in shard order. This is the primitive behind the
+//!   sharded CARD protocol state (`card_core::world::CardWorld`): per-node
+//!   RNG streams, contact tables and walk scratches live inside the shards,
+//!   so the result of a fan-out is a pure function of shard contents —
+//!   bit-identical no matter how many workers participate, or whether the
+//!   call runs inline.
+//!
+//! ## Determinism contract
+//!
+//! All primitives preserve input order, and none of them leak scheduling
+//! into results: a closure sees only its item (plus its thread-private or
+//! shard-private scratch), never "which worker am I". Randomized parallel
+//! work stays seed-deterministic by *owning its RNG streams in the items or
+//! shards themselves* (derive them with [`crate::rng::SeedSplitter`], one
+//! stream per node or shard) rather than sharing one stream across the
+//! fan-out — a shared stream would make draw order depend on scheduling.
+//! [`shard_spans`] computes the canonical contiguous partition used to form
+//! shards, so callers can agree on shard boundaries across runs.
 //!
 //! ## The persistent worker pool
 //!
-//! Fan-outs execute on one process-wide [`WorkerPool`] of
+//! Fan-outs execute on one process-wide `WorkerPool` (private) of
 //! `available_parallelism − 1` threads, spawned lazily on the first
 //! parallel call and *parked on a condvar between fan-outs*. The caller
 //! thread always participates in the work, so total concurrency is
@@ -290,6 +310,50 @@ where
         .collect()
 }
 
+/// Fan a closure out over mutable shards of caller-owned state, returning
+/// each shard's output in shard order.
+///
+/// Each shard is processed exactly once by exactly one thread; the closure
+/// receives the shard index and exclusive access to the shard. Because every
+/// mutation lands in state the shard owns, the outcome is a pure function of
+/// `(shard contents, f)` — identical whether the fan-out ran on the whole
+/// pool, inline (nested or contested), or on a single-core host. Callers
+/// that need randomness inside `f` must keep the RNG streams *inside the
+/// shards* (see the module docs); that is what makes parallel protocol
+/// rounds reproduce their serial equivalents bit for bit.
+pub fn parallel_shard_map<S, R, F>(shards: &mut [S], f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let refs: Vec<(usize, &mut S)> = shards.iter_mut().enumerate().collect();
+    parallel_map(refs, |(i, shard)| f(i, shard))
+}
+
+/// The canonical contiguous partition of `n` items into at most `shards`
+/// near-equal spans: `ceil(n / shards)` items per shard (the final span
+/// takes the remainder). Returns the non-empty `start..end` ranges.
+///
+/// Shard boundaries are a pure function of `(n, shards)`, so two runs that
+/// agree on the shard count agree on which shard owns which item — the
+/// anchor for reproducible sharded state. With `shards >= n` every item
+/// gets its own span; `shards = 1` yields the serial layout.
+///
+/// # Panics
+/// Panics if `shards == 0` (an empty partition of non-empty state has no
+/// meaning; pass 1 for serial layout).
+pub fn shard_spans(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards > 0, "shard_spans needs at least one shard");
+    if n == 0 {
+        return Vec::new();
+    }
+    let per = n.div_ceil(shards);
+    (0..n.div_ceil(per))
+        .map(|k| k * per..((k + 1) * per).min(n))
+        .collect()
+}
+
 /// Serial fallback shared by all inline paths.
 fn run_inline<S, T, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
 where
@@ -460,6 +524,80 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn shard_map_mutates_every_shard_once() {
+        let mut shards: Vec<Vec<u64>> = (0..9).map(|i| vec![i; 4]).collect();
+        let sums = parallel_shard_map(&mut shards, |idx, shard| {
+            for v in shard.iter_mut() {
+                *v += 100;
+            }
+            (idx, shard.iter().sum::<u64>())
+        });
+        // outputs in shard order, each shard visited exactly once
+        for (k, &(idx, sum)) in sums.iter().enumerate() {
+            assert_eq!(idx, k);
+            assert_eq!(sum, 4 * (100 + k as u64));
+        }
+        // mutations landed in the caller's state
+        for (k, shard) in shards.iter().enumerate() {
+            assert!(shard.iter().all(|&v| v == 100 + k as u64));
+        }
+    }
+
+    #[test]
+    fn shard_map_with_shard_owned_rng_is_scheduling_independent() {
+        // RNG streams owned by the shards: the draws each shard makes are a
+        // pure function of its stream, so any interleaving of shards across
+        // workers produces identical output. Compare a (potentially)
+        // parallel run against a strictly serial fold.
+        use crate::rng::SeedSplitter;
+        let splitter = SeedSplitter::new(99);
+        let mk = || -> Vec<crate::rng::RngStream> {
+            (0..16).map(|i| splitter.stream("shard", i)).collect()
+        };
+        let mut parallel_shards = mk();
+        let par_out = parallel_shard_map(&mut parallel_shards, |_, rng| {
+            (0..100)
+                .map(|_| rng.next_raw())
+                .fold(0u64, u64::wrapping_add)
+        });
+        let serial_out: Vec<u64> = mk()
+            .iter_mut()
+            .map(|rng| {
+                (0..100)
+                    .map(|_| rng.next_raw())
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .collect();
+        assert_eq!(par_out, serial_out);
+    }
+
+    #[test]
+    fn shard_spans_cover_exactly_once() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 7, 64, 1000] {
+                let spans = shard_spans(n, shards);
+                assert!(spans.len() <= shards);
+                let mut covered = 0usize;
+                for (k, span) in spans.iter().enumerate() {
+                    assert_eq!(
+                        span.start, covered,
+                        "gap before span {k} (n={n}, shards={shards})"
+                    );
+                    assert!(span.end > span.start, "empty span {k}");
+                    covered = span.end;
+                }
+                assert_eq!(covered, n, "spans must cover 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_spans_zero_shards_panics() {
+        shard_spans(10, 0);
     }
 
     #[test]

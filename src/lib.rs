@@ -39,7 +39,11 @@
 //! ```
 //!
 //! See `examples/` for complete scenarios and `crates/experiments` for the
-//! paper's full evaluation (every table and figure).
+//! paper's full evaluation (every table and figure). `ARCHITECTURE.md` at
+//! the repo root documents the crate layering, the mobility-tick /
+//! validation-round data flow, and the scalability invariants (zone-local
+//! membership, mover-only grid updates, sharded protocol state);
+//! `docs/REPRO.md` documents how to run every experiment family.
 
 #![warn(missing_docs)]
 pub use card_core as card;
