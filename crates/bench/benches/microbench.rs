@@ -96,9 +96,11 @@ fn bench_mobility_tick(c: &mut Criterion) {
     });
 }
 
-/// CSR adjacency rebuild from the spatial grid, N ∈ {250, 1000}.
+/// CSR adjacency rebuild from the spatial grid, N ∈ {250, 1000, 10000}
+/// (the n10000 id joined with the mover-driven pipeline as the full-path
+/// baseline the `adjacency_patch` benches are judged against).
 fn bench_adjacency_rebuild(c: &mut Criterion) {
-    for n in [250usize, 1000] {
+    for n in [250usize, 1000, 10_000] {
         let scenario = scaled_scenario(n);
         let (positions, _) = scenario.instantiate(9);
         let mut grid = net_topology::grid::SpatialGrid::new(scenario.field(), scenario.tx_range);
@@ -177,6 +179,158 @@ fn bench_grid_rebucket(c: &mut Criterion) {
     }
 }
 
+/// A precomputed tick-by-tick mobility trace: position snapshots plus the
+/// exact mover report of each transition (`movers[t]` is the diff between
+/// snapshots `t-1` and `t`). Benches replay it ping-pong so the timed
+/// region is pipeline work only, never the mobility model — and because a
+/// reversed transition moves exactly the same node set, the recorded
+/// report stays exact in both directions.
+struct MobilityTrace {
+    snapshots: Vec<Vec<net_topology::geometry::Point2>>,
+    movers: Vec<Vec<NodeId>>,
+}
+
+impl MobilityTrace {
+    fn record(
+        scenario: &net_topology::scenario::Scenario,
+        model: &mut dyn MobilityModel,
+        ticks: usize,
+    ) -> Self {
+        let (mut positions, _) = scenario.instantiate(11);
+        let mut snapshots = vec![positions.clone()];
+        let mut movers = vec![Vec::new()];
+        for _ in 0..ticks {
+            let mut report = Vec::new();
+            model.advance_reporting(&mut positions, SimDuration::from_millis(100), &mut report);
+            snapshots.push(positions.clone());
+            movers.push(report);
+        }
+        MobilityTrace { snapshots, movers }
+    }
+
+    /// Snapshot index for iteration `i` of a ping-pong replay.
+    fn bounce(&self, i: usize) -> usize {
+        let period = 2 * (self.snapshots.len() - 1);
+        let k = i % period;
+        if k < self.snapshots.len() {
+            k
+        } else {
+            period - k
+        }
+    }
+
+    /// Mover report of the transition between adjacent snapshots `a`→`b`.
+    fn transition_movers(&self, a: usize, b: usize) -> &[NodeId] {
+        &self.movers[a.max(b)]
+    }
+}
+
+/// The two mover-report bench workloads at N = 10000, scenario-5 density:
+/// *pedestrian* is the walk-and-dwell mix (~1% of nodes walking at
+/// 0.5–2 m/s per 100 ms tick — the few-movers regime the patch targets),
+/// *vehicular* is full-churn random waypoint at 10–30 m/s (every node
+/// moves every tick — measures the wholesale fallback honestly).
+fn pipeline_traces(n: usize) -> Vec<(&'static str, MobilityTrace)> {
+    let scenario = scaled_scenario(n);
+    let mut pedestrian = RandomWalk::new_with_dwell(
+        n,
+        scenario.field(),
+        0.5,
+        2.0,
+        10.0,
+        experiments::scale::DWELL_PAUSE_PROB,
+        RngStream::seed_from_u64(17),
+    );
+    let mut vehicular = RandomWaypoint::new(
+        n,
+        scenario.field(),
+        10.0,
+        30.0,
+        0.0,
+        RngStream::seed_from_u64(19),
+    );
+    vec![
+        (
+            "pedestrian",
+            MobilityTrace::record(&scenario, &mut pedestrian, 63),
+        ),
+        (
+            "vehicular",
+            MobilityTrace::record(&scenario, &mut vehicular, 63),
+        ),
+    ]
+}
+
+/// Mover-driven CSR adjacency patching per tick at N = 10000. Under the
+/// pedestrian (dwell) report the patch re-queries only the movers' cell
+/// neighborhoods and must sit several times under the
+/// `adjacency_rebuild/n10000` full path; under the vehicular report every
+/// tick trips the churn fallback, pricing the wholesale path through the
+/// patch entry point.
+fn bench_adjacency_patch(c: &mut Criterion) {
+    use net_topology::graph::PatchScratch;
+    let n = 10_000usize;
+    let scenario = scaled_scenario(n);
+    let mut group = c.benchmark_group(format!("adjacency_patch/n{n}"));
+    for (label, trace) in pipeline_traces(n) {
+        group.bench_function(label, |b| {
+            let mut grid = SpatialGrid::new(scenario.field(), scenario.tx_range);
+            let mut adj = net_topology::graph::Adjacency::build_with_grid(
+                &mut grid,
+                &trace.snapshots[0],
+                scenario.tx_range,
+            );
+            let mut scratch = PatchScratch::new();
+            let mut changed = Vec::new();
+            let mut prev = 0usize;
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let cur = trace.bounce(i);
+                let movers = trace.transition_movers(prev, cur);
+                let out = adj.patch_with_grid(
+                    &mut grid,
+                    &trace.snapshots[cur],
+                    scenario.tx_range,
+                    black_box(movers),
+                    &mut changed,
+                    &mut scratch,
+                );
+                prev = cur;
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reported-mover grid updates per tick at N = 10000: the residency check
+/// runs only over the mobility model's report instead of scanning all N
+/// positions (compare `grid_rebucket/n10000/mover_update`, which pays the
+/// full scan every tick).
+fn bench_grid_update_reported(c: &mut Criterion) {
+    let n = 10_000usize;
+    let scenario = scaled_scenario(n);
+    let mut group = c.benchmark_group(format!("grid_update_reported/n{n}"));
+    for (label, trace) in pipeline_traces(n) {
+        group.bench_function(label, |b| {
+            let mut grid = SpatialGrid::new(scenario.field(), scenario.tx_range);
+            grid.rebuild(&trace.snapshots[0]);
+            let mut prev = 0usize;
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let cur = trace.bounce(i);
+                let movers = trace.transition_movers(prev, cur);
+                let out = grid.update_reported(&trace.snapshots[cur], black_box(movers));
+                prev = cur;
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The mobility-tick topology refresh (adjacency rebuild + neighborhood
 /// update) at N ∈ {250, 1000, 10000}: the incremental dirty-set path vs
 /// the naive full-rebuild path, driven by identical mobility statistics —
@@ -220,6 +374,46 @@ fn bench_topology_refresh(c: &mut Criterion) {
         run("full_rebuild", false);
         group.finish();
     }
+}
+
+/// End-to-end `Network` mobility tick under the dwell workload at
+/// N = 10000 (~1% walkers per tick): the mover-driven production path
+/// (`advance` → mover report → CSR patch → dirty balls seeded from
+/// patched rows) against the report-free path (`advance_positions_only` +
+/// `refresh`: wholesale rebuild + O(N) row diff) on identical mobility
+/// statistics. This is the Network-level number behind the `repro scale`
+/// ped-dwell rows — the whole-pipeline win including the double-buffer
+/// snapshot copy and counter bookkeeping the patch path pays.
+fn bench_topology_refresh_dwell(c: &mut Criterion) {
+    let n = 10_000usize;
+    let scenario = scaled_scenario(n);
+    let mut group = c.benchmark_group(format!("topology_refresh_dwell/n{n}"));
+    let mut run = |label: &str, mover_driven: bool| {
+        group.bench_function(label, |b| {
+            let mut net = Network::from_scenario(&scenario, 2, 7);
+            let mut model = RandomWalk::new_with_dwell(
+                n,
+                scenario.field(),
+                0.5,
+                2.0,
+                10.0,
+                experiments::scale::DWELL_PAUSE_PROB,
+                RngStream::seed_from_u64(42),
+            );
+            b.iter(|| {
+                if mover_driven {
+                    net.advance(&mut model, SimDuration::from_millis(100));
+                } else {
+                    net.advance_positions_only(&mut model, SimDuration::from_millis(100));
+                    net.refresh();
+                }
+                black_box(net.last_dirty_count())
+            })
+        });
+    };
+    run("mover_driven", true);
+    run("report_free", false);
+    group.finish();
 }
 
 fn bench_bitset_union(c: &mut Criterion) {
@@ -348,8 +542,11 @@ criterion_group! {
         bench_khop_bfs,
         bench_mobility_tick,
         bench_adjacency_rebuild,
+        bench_adjacency_patch,
+        bench_grid_update_reported,
         bench_grid_rebucket,
         bench_topology_refresh,
+        bench_topology_refresh_dwell,
         bench_bitset_union,
         bench_csq_walk,
         bench_protocol_sweeps,

@@ -255,6 +255,16 @@ impl CardWorld {
         &self.net
     }
 
+    /// Stage-by-stage work counters of the network's last topology
+    /// refresh. Mobility ticks inside [`CardWorld::run_mobile`] run the
+    /// mover-driven pipeline (mobility reports its movers, the grid and
+    /// CSR adjacency are patched around them), and these counters are the
+    /// observability hook: movers reported, grid entries re-bucketed,
+    /// adjacency rows patched, neighborhoods rebuilt.
+    pub fn pipeline_counters(&self) -> manet_routing::network::PipelineCounters {
+        self.net.pipeline_counters()
+    }
+
     /// The protocol configuration.
     pub fn config(&self) -> &CardConfig {
         &self.cfg
@@ -649,6 +659,30 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mobile_run_populates_pipeline_counters() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        let mut model = RandomWaypoint::new(
+            150,
+            w.network().field(),
+            0.5,
+            2.0,
+            0.0,
+            SeedSplitter::new(7).stream("mobility", 0),
+        );
+        w.run_mobile(&mut model, SimDuration::from_secs(2));
+        let c = w.pipeline_counters();
+        assert!(
+            c.movers_reported > 0,
+            "zero-pause RWP ticks must report movers"
+        );
+        // the accessor must surface the network's own counters, not a copy
+        // that can drift
+        assert_eq!(c, w.network().pipeline_counters());
+        assert_eq!(c.changed, w.network().last_changed_count());
+        assert_eq!(c.dirty, w.network().last_dirty_count());
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //!   after the zone-local membership refactor (a per-node N-bit bitset
 //!   would be ~1.25 GB at N = 10⁵; the actual tables are a few hundred
 //!   bytes per node);
-//! * **time** — wall-clock per mobility tick for the incremental refresh
-//!   (persistent worker pool + mover-only grid re-bucketing + dirty-ball
-//!   neighborhood rebuilds), plus the observability counters behind it
-//!   (adjacency-changed nodes and dirty neighborhoods per tick);
+//! * **time** — wall-clock per mobility tick for the mover-driven refresh
+//!   (mobility reports its movers; the grid and the CSR adjacency are
+//!   patched around them; dirty-ball neighborhood rebuilds fan out over
+//!   the persistent worker pool), plus the per-stage pipeline counters
+//!   behind it: movers reported, grid entries re-bucketed, adjacency rows
+//!   patched, changed rows, dirty neighborhoods, and how many ticks fell
+//!   back to a wholesale pass;
 //! * **full protocol** — after the tick loop, the network is wrapped in a
 //!   [`CardWorld`] and the sharded protocol sweeps run at full N: one
 //!   from-scratch `select_all_contacts` pass plus `PROTOCOL_ROUNDS`
@@ -25,9 +28,13 @@
 //!   seed-deterministic regardless of worker or shard count; see
 //!   `card_core::world`).
 //!
-//! Two mobility profiles bracket the churn range: *pedestrian* (random
-//! walk, 0.5–2 m/s — the paper's assumed regime) and *vehicular* (random
-//! waypoint, 10–30 m/s — an order of magnitude more link churn per tick).
+//! Three mobility profiles bracket the churn range: *pedestrian* (random
+//! walk, 0.5–2 m/s — the paper's assumed regime; every node drifts every
+//! tick, so the pipeline's wholesale fallback carries the load),
+//! *ped-dwell* (same speeds, but ~99% of nodes stand exactly still at any
+//! instant — the few-movers regime where the mover-driven patch shines),
+//! and *vehicular* (random waypoint, 10–30 m/s — an order of magnitude
+//! more link churn per tick).
 //!
 //! Run from the CLI with `repro scale` (or `repro --scale`), overriding the
 //! node counts with `--nodes N` — no recompile needed.
@@ -47,11 +54,23 @@ use std::time::Instant;
 /// Validation rounds run in the full-protocol phase of each scale row.
 pub const PROTOCOL_ROUNDS: usize = 2;
 
+/// Dwell probability of the [`MobilityProfile::PedestrianDwell`] profile:
+/// at any instant ~1% of nodes are walking and the rest stand exactly
+/// still — a campus/conference-style pedestrian population, and the
+/// regime where the mover-driven pipeline (reported movers → grid
+/// re-bucket → CSR patch) does per-tick work proportional to the walkers.
+pub const DWELL_PAUSE_PROB: f64 = 0.99;
+
 /// Mobility profile of one scale run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MobilityProfile {
-    /// Random walk at pedestrian speeds (0.5–2 m/s, 10 s heading epochs).
+    /// Random walk at pedestrian speeds (0.5–2 m/s, 10 s heading epochs):
+    /// every node drifts every tick, the full-churn stress case.
     Pedestrian,
+    /// Pedestrian walk-and-dwell: same speeds, but ~99% of nodes stand
+    /// exactly still at any instant ([`DWELL_PAUSE_PROB`]) — the
+    /// few-movers regime the mover-driven pipeline targets.
+    PedestrianDwell,
     /// Random waypoint at vehicular speeds (10–30 m/s, no pauses).
     Vehicular,
 }
@@ -61,6 +80,7 @@ impl MobilityProfile {
     pub fn label(self) -> &'static str {
         match self {
             MobilityProfile::Pedestrian => "pedestrian",
+            MobilityProfile::PedestrianDwell => "ped-dwell",
             MobilityProfile::Vehicular => "vehicular",
         }
     }
@@ -75,6 +95,15 @@ impl MobilityProfile {
                 0.5,
                 2.0,
                 10.0,
+                rng,
+            )),
+            MobilityProfile::PedestrianDwell => Box::new(RandomWalk::new_with_dwell(
+                scenario.nodes,
+                scenario.field(),
+                0.5,
+                2.0,
+                10.0,
+                DWELL_PAUSE_PROB,
                 rng,
             )),
             MobilityProfile::Vehicular => Box::new(RandomWaypoint::new(
@@ -156,6 +185,15 @@ pub struct ScaleRow {
     pub mean_tick_ms: f64,
     /// Slowest single tick.
     pub max_tick_ms: f64,
+    /// Mean movers reported per tick by the mobility model.
+    pub mean_movers: f64,
+    /// Mean grid entries re-bucketed per tick (cell-boundary crossers).
+    pub mean_rebucketed: f64,
+    /// Mean CSR adjacency rows re-queried per tick by the patch.
+    pub mean_patched: f64,
+    /// Ticks on which any wholesale fallback ran (grid relayout or full
+    /// adjacency rebuild).
+    pub full_fallback_ticks: usize,
     /// Mean adjacency-changed nodes per tick (link churn).
     pub mean_changed: f64,
     /// Mean dirty neighborhoods rebuilt per tick.
@@ -181,7 +219,11 @@ pub fn run(p: &Params) -> Vec<ScaleRow> {
     let mut rows = Vec::new();
     for &n in &p.nodes {
         let scenario = scaled_scenario(n);
-        for profile in [MobilityProfile::Pedestrian, MobilityProfile::Vehicular] {
+        for profile in [
+            MobilityProfile::Pedestrian,
+            MobilityProfile::PedestrianDwell,
+            MobilityProfile::Vehicular,
+        ] {
             rows.push(run_one(&scenario, profile, p));
         }
     }
@@ -208,6 +250,10 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
 
     let mut total_tick_ms = 0.0f64;
     let mut max_tick_ms = 0.0f64;
+    let mut movers_sum = 0u64;
+    let mut rebucketed_sum = 0u64;
+    let mut patched_sum = 0u64;
+    let mut full_fallback_ticks = 0usize;
     let mut changed_sum = 0u64;
     let mut dirty_sum = 0u64;
     for _ in 0..p.ticks {
@@ -216,8 +262,13 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         let ms = t.elapsed().as_secs_f64() * 1e3;
         total_tick_ms += ms;
         max_tick_ms = max_tick_ms.max(ms);
-        changed_sum += net.last_changed_count() as u64;
-        dirty_sum += net.last_dirty_count() as u64;
+        let c = net.pipeline_counters();
+        movers_sum += c.movers_reported as u64;
+        rebucketed_sum += c.grid_rebucketed as u64;
+        patched_sum += c.rows_patched as u64;
+        full_fallback_ticks += c.full_fallback as usize;
+        changed_sum += c.changed as u64;
+        dirty_sum += c.dirty as u64;
     }
 
     let n = scenario.nodes;
@@ -247,6 +298,10 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         total_tick_ms,
         mean_tick_ms: total_tick_ms / p.ticks.max(1) as f64,
         max_tick_ms,
+        mean_movers: movers_sum as f64 / p.ticks.max(1) as f64,
+        mean_rebucketed: rebucketed_sum as f64 / p.ticks.max(1) as f64,
+        mean_patched: patched_sum as f64 / p.ticks.max(1) as f64,
+        full_fallback_ticks,
         mean_changed: changed_sum as f64 / p.ticks.max(1) as f64,
         mean_dirty: dirty_sum as f64 / p.ticks.max(1) as f64,
         select_ms,
@@ -291,8 +346,12 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
         "Build (ms)",
         "Ticks",
         "Tick mean/max (ms)",
+        "Movers/tick",
+        "Rebucket/tick",
+        "Patched/tick",
         "Changed/tick",
         "Dirty/tick",
+        "Fallback ticks",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -306,8 +365,12 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
                 format!("{:.0}", r.build_ms),
                 r.ticks.to_string(),
                 format!("{:.2} / {:.2}", r.mean_tick_ms, r.max_tick_ms),
+                format!("{:.1}", r.mean_movers),
+                format!("{:.1}", r.mean_rebucketed),
+                format!("{:.1}", r.mean_patched),
                 format!("{:.1}", r.mean_changed),
                 format!("{:.1}", r.mean_dirty),
+                r.full_fallback_ticks.to_string(),
             ]
         })
         .collect();
@@ -379,11 +442,12 @@ mod tests {
     }
 
     #[test]
-    fn runs_both_mobility_profiles_per_n() {
+    fn runs_every_mobility_profile_per_n() {
         let rows = run(&tiny());
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].mobility, MobilityProfile::Pedestrian);
-        assert_eq!(rows[1].mobility, MobilityProfile::Vehicular);
+        assert_eq!(rows[1].mobility, MobilityProfile::PedestrianDwell);
+        assert_eq!(rows[2].mobility, MobilityProfile::Vehicular);
         for r in &rows {
             assert_eq!(r.ticks, 5);
             assert!(r.mean_zone >= 1.0, "zones include at least the owner");
@@ -395,10 +459,10 @@ mod tests {
     fn vehicular_churns_more_than_pedestrian() {
         let rows = run(&tiny());
         assert!(
-            rows[1].mean_changed >= rows[0].mean_changed,
+            rows[2].mean_changed >= rows[0].mean_changed,
             "30 m/s should flip at least as many links per tick as 2 m/s (ped {}, veh {})",
             rows[0].mean_changed,
-            rows[1].mean_changed
+            rows[2].mean_changed
         );
     }
 
@@ -442,6 +506,51 @@ mod tests {
         assert!(text.contains("500"));
         assert!(text.contains("full-protocol phase"));
         assert!(text.contains("Validate (nodes/s)"));
+        assert!(text.contains("Movers/tick"));
+        assert!(text.contains("Patched/tick"));
+        assert!(text.contains("Fallback ticks"));
+    }
+
+    #[test]
+    fn pipeline_counters_are_collected_per_tick() {
+        let rows = run(&tiny());
+        for r in &rows {
+            assert!(r.mean_movers > 0.0, "{:?} reported no movers", r.mobility);
+            assert!(r.mean_patched > 0.0 || r.full_fallback_ticks == r.ticks);
+            assert!(r.full_fallback_ticks <= r.ticks);
+            assert!(r.mean_rebucketed <= r.scenario.nodes as f64);
+        }
+        let n = rows[0].scenario.nodes as f64;
+        // continuous profiles move everyone: every tick falls back
+        for r in [&rows[0], &rows[2]] {
+            assert_eq!(
+                r.full_fallback_ticks, r.ticks,
+                "{:?} moves all nodes — every tick must take the wholesale path",
+                r.mobility
+            );
+            assert!(r.mean_movers >= n - 0.5);
+        }
+        // the dwell profile is the few-movers regime: the pipeline must
+        // stay on the patch path and touch far fewer rows than N
+        let dwell = &rows[1];
+        assert_eq!(
+            dwell.full_fallback_ticks, 0,
+            "~1% walkers must never trip the churn fallback"
+        );
+        assert!(
+            dwell.mean_movers < n / 8.0,
+            "dwell movers/tick ({:.1}) should be a small fraction of N",
+            dwell.mean_movers
+        );
+        assert!(
+            dwell.mean_patched < 0.6 * n,
+            "dwell patched rows/tick ({:.1}) should sit well under N={n}",
+            dwell.mean_patched
+        );
+        assert!(
+            dwell.mean_rebucketed <= dwell.mean_movers,
+            "only reported movers can be re-bucketed on patch ticks"
+        );
     }
 
     #[test]

@@ -36,19 +36,24 @@
 //! tests are fingerprint-then-binary-search: no false negatives, and a
 //! false positive only costs the O(log zone) confirm.
 //!
-//! ## Incremental neighborhood refresh
+//! ## Mover-driven incremental neighborhood refresh
 //!
-//! On a mobility tick, [`network::Network::refresh`] (1) brings the
-//! spatial grid up to date (re-bucketing only nodes that crossed a cell
-//! boundary) and rebuilds the CSR adjacency in place, (2) diffs it against
-//! the previous snapshot to find the nodes whose link set changed,
-//! (3) marks as dirty exactly the union of the (R−1)-hop balls around
-//! those changed nodes in the old and new graphs, and (4) rebuilds only
-//! the dirty tables, fanned out over the persistent `sim_core::par` worker
-//! pool with per-worker BFS scratch.
+//! On a mobility tick, [`network::Network::advance`] (1) has the mobility
+//! model report exactly which nodes changed position, (2) patches the
+//! spatial grid and the CSR adjacency around those movers
+//! (`Adjacency::patch_with_grid`: residency checks and row re-queries
+//! only for movers and their cell-ball neighbors — the changed-row set
+//! falls out of the patch, no O(N) diff), (3) marks as dirty exactly the
+//! union of the (R−1)-hop balls around the changed nodes in the old and
+//! new graphs, and (4) rebuilds only the dirty tables, fanned out over
+//! the persistent `sim_core::par` worker pool with per-worker BFS
+//! scratch. [`network::Network::refresh`] keeps the report-free variant
+//! (wholesale rebuild + all-rows diff) for callers that mutate positions
+//! directly, and every stage falls back to it on churn past the
+//! thresholds.
 //!
-//! **Invariant:** after `refresh`, the tables are identical — membership,
-//! distances, edge-node sets and path lengths — to what
+//! **Invariant:** after any refresh path, the tables are identical —
+//! membership, distances, edge-node sets and path lengths — to what
 //! [`network::Network::refresh_full`] (recompute everything) produces.
 //! The (R−1)-ball is sufficient because a node's R-hop BFS only relaxes
 //! edges incident to nodes at depth ≤ R−1; if no changed node is that
@@ -71,7 +76,7 @@ pub mod prelude {
     pub use crate::expanding_ring::{expanding_ring_search, ErsOutcome};
     pub use crate::flooding::{flood_search, FloodOutcome};
     pub use crate::neighborhood::NeighborhoodTables;
-    pub use crate::network::Network;
+    pub use crate::network::{Network, PipelineCounters};
     pub use crate::zrp::{bordercast_search, BordercastConfig, BordercastOutcome, QueryDetection};
 }
 
@@ -79,5 +84,5 @@ pub use dsdv::DsdvSim;
 pub use expanding_ring::{expanding_ring_search, ErsOutcome};
 pub use flooding::{flood_search, FloodOutcome};
 pub use neighborhood::NeighborhoodTables;
-pub use network::Network;
+pub use network::{Network, PipelineCounters};
 pub use zrp::{bordercast_search, BordercastConfig, BordercastOutcome, QueryDetection};

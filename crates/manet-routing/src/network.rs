@@ -5,15 +5,22 @@
 //! grid), and the converged R-hop neighborhood tables, and it knows how to
 //! advance mobility: move nodes, rebuild connectivity, recompute tables.
 //!
-//! ## Incremental refresh
+//! ## Mover-driven incremental refresh
 //!
 //! A mobility tick used to recompute *every* node's neighborhood BFS. The
-//! hot path is now incremental ([`Network::refresh`]):
+//! hot path is now mover-driven end-to-end ([`Network::advance`] →
+//! [`Network::refresh_movers`]):
 //!
-//! 1. the adjacency is rebuilt in place from the spatial grid, with the
-//!    previous CSR buffer kept as a double buffer;
-//! 2. the two CSR snapshots are diffed per node, yielding the *changed*
-//!    nodes (endpoints of appeared/disappeared links);
+//! 1. the mobility model reports exactly which nodes changed position
+//!    (`MobilityModel::advance_reporting`);
+//! 2. the adjacency is *patched* in place
+//!    (`Adjacency::patch_with_grid`): the spatial grid re-buckets only
+//!    reported movers that crossed a cell boundary, and only the movers
+//!    plus the occupants of their old/new 3×3 cell balls have their CSR
+//!    rows re-queried — the patch emits the *changed* nodes (endpoints of
+//!    appeared/disappeared links) directly, with no O(N) snapshot diff.
+//!    The previous CSR is kept as a double buffer (one O(E) `clone_from`
+//!    memcpy per tick) because step 4 needs the old graph;
 //! 3. a node `u`'s R-hop BFS relaxes exactly the edges incident to nodes
 //!    at depth ≤ R−1 from `u`, so its table can only have changed if some
 //!    changed node lies within **R−1** hops of `u` — in the old or the new
@@ -25,17 +32,29 @@
 //! 4. only the dirty neighborhoods are rebuilt, in parallel, with
 //!    per-worker [`net_topology::bfs::BfsScratch`] workspaces.
 //!
+//! Between mobility and the neighborhood refresh, no stage runs per-node
+//! detection scans, range queries or diffs on the steady-state path:
+//! that work is proportional to the movers and the neighborhoods they
+//! disturb. The one remaining O(E) term is the double-buffer snapshot
+//! memcpy of step 2 — a sequential copy that is an order of magnitude
+//! cheaper than the per-node range queries it replaces (a per-row undo
+//! log could remove it; see ROADMAP). Every stage keeps its wholesale
+//! fallback (churn, slack overflow, node-count change), and
+//! [`Network::pipeline_counters`] reports what each stage actually did.
+//!
 //! The equivalence of this path with the naive rebuild is pinned by unit
 //! tests below and by the randomized `tests/topology_refresh.rs` suite.
 //!
-//! [`Network::refresh_full`] keeps the naive rebuild-everything path alive
-//! for equivalence testing and benchmarking.
+//! [`Network::refresh`] keeps the report-free path (full adjacency
+//! rebuild plus an all-rows diff) for callers that mutate positions
+//! directly, and [`Network::refresh_full`] the naive rebuild-everything
+//! reference for equivalence testing and benchmarking.
 
 use mobility::model::MobilityModel;
 use net_topology::bfs::BfsScratch;
 use net_topology::geometry::{Field, Point2};
-use net_topology::graph::Adjacency;
-use net_topology::grid::SpatialGrid;
+use net_topology::graph::{Adjacency, AdjacencyUpdate, PatchScratch};
+use net_topology::grid::{GridUpdate, SpatialGrid};
 use net_topology::node::NodeId;
 use net_topology::placement::place_uniform;
 use net_topology::scenario::Scenario;
@@ -43,6 +62,30 @@ use sim_core::rng::SeedSplitter;
 use sim_core::time::SimDuration;
 
 use crate::neighborhood::NeighborhoodTables;
+
+/// Per-tick observability of the mover-driven mobility→topology pipeline:
+/// how much work each stage of the last refresh actually did. On the
+/// steady-state path every figure is O(movers); the O(N) values appear
+/// exactly when a wholesale fallback ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineCounters {
+    /// Nodes the mobility model reported as moved (N when the caller used
+    /// a report-free refresh).
+    pub movers_reported: usize,
+    /// Grid entries re-bucketed: boundary-crossing movers, or N on a full
+    /// relayout.
+    pub grid_rebucketed: usize,
+    /// CSR adjacency rows re-queried: movers + their cell-ball neighbors,
+    /// or N on a full rebuild.
+    pub rows_patched: usize,
+    /// Rows whose link set actually changed (the dirty-ball seeds).
+    pub changed: usize,
+    /// Neighborhood tables rebuilt (the dirty-ball members).
+    pub dirty: usize,
+    /// Did any wholesale fallback run (grid relayout, adjacency rebuild,
+    /// or a report-free refresh)?
+    pub full_fallback: bool,
+}
 
 /// A MANET snapshot plus the machinery to evolve it under mobility.
 #[derive(Clone)]
@@ -63,6 +106,12 @@ pub struct Network {
     changed: Vec<NodeId>,
     dirty: Vec<NodeId>,
     dirty_flags: Vec<bool>,
+    /// Workspace for the CSR adjacency patch (reused across ticks).
+    patch_scratch: PatchScratch,
+    /// Reusable buffer for the mobility model's mover report.
+    movers_buf: Vec<NodeId>,
+    /// What the last refresh actually did, stage by stage.
+    counters: PipelineCounters,
 }
 
 impl Network {
@@ -106,6 +155,9 @@ impl Network {
             changed: Vec::new(),
             dirty: Vec::new(),
             dirty_flags: vec![false; n],
+            patch_scratch: PatchScratch::new(),
+            movers_buf: Vec::new(),
+            counters: PipelineCounters::default(),
         }
     }
 
@@ -161,14 +213,26 @@ impl Network {
         }
     }
 
-    /// Advance mobility by `dt`: move nodes, rebuild connectivity and
-    /// incrementally refresh neighborhood tables. No-op for static models.
+    /// Advance mobility by `dt`: move nodes, patch connectivity and
+    /// incrementally refresh neighborhood tables — all driven by the
+    /// mobility model's mover report, so the steady-state tick does work
+    /// proportional to actual motion. No-op for static models.
+    ///
+    /// The patch trusts the report: adjacency and tables must be in sync
+    /// with the current positions when this is called. Callers that
+    /// mutate positions directly ([`Network::positions_mut`],
+    /// [`Network::advance_positions_only`]) must run
+    /// [`Network::refresh`] first, as those APIs document — `advance` no
+    /// longer rebuilds wholesale, so it cannot heal staleness smuggled in
+    /// outside a mover report.
     pub fn advance(&mut self, model: &mut dyn MobilityModel, dt: SimDuration) {
         if model.is_static() {
             return;
         }
-        model.advance(&mut self.positions, dt);
-        self.refresh();
+        let mut movers = std::mem::take(&mut self.movers_buf);
+        model.advance_reporting(&mut self.positions, dt, &mut movers);
+        self.refresh_movers(&movers);
+        self.movers_buf = movers;
     }
 
     /// Move nodes *without* refreshing connectivity or tables (used to
@@ -178,24 +242,123 @@ impl Network {
         model.advance(&mut self.positions, dt);
     }
 
-    /// Rebuild connectivity from current positions and refresh only the
-    /// neighborhoods whose R-hop view could have changed (see the module
-    /// docs for the dirty-set derivation). Equivalent to — and checked
-    /// against — [`Network::refresh_full`].
-    pub fn refresh(&mut self) {
-        // The tables currently reflect `adj`; rebuild into the spare
-        // buffer so old and new snapshots can be diffed.
-        std::mem::swap(&mut self.adj, &mut self.prev_adj);
-        self.adj
-            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
-
+    /// Refresh connectivity and neighborhood tables given the set of nodes
+    /// whose positions changed since the last refresh (`movers`, typically
+    /// a `MobilityModel::advance_reporting` report — a superset is sound).
+    /// The adjacency is patched in place (rows re-queried only around
+    /// movers) and the patch's changed-row output seeds the dirty
+    /// neighborhood balls directly, so no stage scans all N nodes.
+    /// Equivalent to — and checked against — [`Network::refresh_full`].
+    pub fn refresh_movers(&mut self, movers: &[NodeId]) {
         let n = self.positions.len();
+        if self.adj.node_count() != n || !Adjacency::patch_viable(n, movers.len()) {
+            // The churn fallback would rebuild wholesale anyway — take the
+            // report-free path directly and skip the O(E) snapshot copy
+            // the patch path needs.
+            self.refresh();
+            self.counters.movers_reported = movers.len();
+            return;
+        }
+        self.counters = PipelineCounters {
+            movers_reported: movers.len(),
+            ..PipelineCounters::default()
+        };
+        if movers.is_empty() {
+            // Nothing moved (the report is a superset of position
+            // changes), so grid, adjacency and tables are all already
+            // exact — the tick is O(1).
+            self.changed.clear();
+            self.dirty.clear();
+            return;
+        }
+        // The tables currently reflect `adj`; keep that snapshot as the
+        // old graph (one O(E) memcpy) and patch the new one in place.
+        std::mem::swap(&mut self.adj, &mut self.prev_adj);
+        self.adj.clone_from(&self.prev_adj);
+        let outcome = self.adj.patch_with_grid(
+            &mut self.grid,
+            &self.positions,
+            self.tx_range,
+            movers,
+            &mut self.changed,
+            &mut self.patch_scratch,
+        );
+        match outcome {
+            AdjacencyUpdate::Patched {
+                rows_patched, grid, ..
+            } => {
+                self.counters.rows_patched = rows_patched;
+                self.record_grid_update(grid);
+            }
+            AdjacencyUpdate::Full { grid } => {
+                // Wholesale rebuild ran: no changed-row report, so fall
+                // back to the O(N) snapshot diff.
+                self.counters.full_fallback = true;
+                self.counters.rows_patched = n;
+                self.record_grid_update(grid);
+                self.diff_changed_rows();
+            }
+        }
+        self.recompute_dirty_neighborhoods();
+    }
+
+    /// O(N) snapshot diff: collect into `self.changed` every node whose
+    /// row differs between `prev_adj` and `adj` (the wholesale-path
+    /// replacement for the patch's changed-row report).
+    fn diff_changed_rows(&mut self) {
         self.changed.clear();
-        for id in NodeId::all(n) {
+        for id in NodeId::all(self.positions.len()) {
             if self.adj.neighbors_changed(&self.prev_adj, id) {
                 self.changed.push(id);
             }
         }
+    }
+
+    /// Fold a grid outcome into the tick counters: incremental updates
+    /// report their boundary crossers, a full relayout reports N and
+    /// flags the fallback.
+    fn record_grid_update(&mut self, grid: GridUpdate) {
+        self.counters.grid_rebucketed = match grid {
+            GridUpdate::Incremental { movers } => movers,
+            GridUpdate::Full => {
+                self.counters.full_fallback = true;
+                self.positions.len()
+            }
+        };
+    }
+
+    /// Rebuild connectivity from current positions and refresh only the
+    /// neighborhoods whose R-hop view could have changed (see the module
+    /// docs for the dirty-set derivation). This is the *report-free* path
+    /// — the adjacency is rebuilt wholesale and diffed over all N rows —
+    /// for callers that mutated positions directly
+    /// ([`Network::positions_mut`], [`Network::advance_positions_only`]).
+    /// Equivalent to — and checked against — [`Network::refresh_full`].
+    pub fn refresh(&mut self) {
+        let n = self.positions.len();
+        self.counters = PipelineCounters {
+            movers_reported: n,
+            rows_patched: n,
+            full_fallback: true,
+            ..PipelineCounters::default()
+        };
+        // The tables currently reflect `adj`; rebuild into the spare
+        // buffer so old and new snapshots can be diffed.
+        std::mem::swap(&mut self.adj, &mut self.prev_adj);
+        let grid_update =
+            self.adj
+                .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        self.record_grid_update(grid_update);
+        self.diff_changed_rows();
+        self.recompute_dirty_neighborhoods();
+    }
+
+    /// Shared tail of the refresh paths: seed the (R−1)-hop dirty balls
+    /// from `self.changed` in both snapshots and rebuild exactly those
+    /// neighborhoods in parallel.
+    fn recompute_dirty_neighborhoods(&mut self) {
+        self.counters.changed = self.changed.len();
+        self.dirty.clear();
         if self.changed.is_empty() || self.radius == 0 {
             // R = 0 zones are {self}: no link change can affect a table.
             return;
@@ -204,7 +367,6 @@ impl Network {
         // Dirty = (R−1)-hop ball around the changed nodes, in both
         // snapshots: BFS-R only relaxes edges incident to nodes at depth
         // ≤ R−1, so farther link changes cannot alter the table.
-        self.dirty.clear();
         for graph in [&self.prev_adj, &self.adj] {
             let view = self.scratch.ball(graph, &self.changed, self.radius - 1);
             for &v in view.visited() {
@@ -218,18 +380,32 @@ impl Network {
         for &v in &self.dirty {
             self.dirty_flags[v.index()] = false;
         }
+        self.counters.dirty = self.dirty.len();
     }
 
     /// Rebuild connectivity and recompute *every* neighborhood from
     /// scratch. Semantically identical to [`Network::refresh`]; kept as the
     /// reference path for equivalence tests and the bench baseline.
     pub fn refresh_full(&mut self) {
-        self.adj
-            .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        let n = self.positions.len();
+        let grid_update =
+            self.adj
+                .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
         // Keep the double buffer coherent: the tables below reflect `adj`,
         // so the next incremental diff must run against this snapshot.
         self.prev_adj.clone_from(&self.adj);
         self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
+        self.counters = PipelineCounters {
+            movers_reported: n,
+            rows_patched: n,
+            changed: n,
+            dirty: n,
+            full_fallback: true,
+            ..PipelineCounters::default()
+        };
+        self.record_grid_update(grid_update);
+        self.changed.clear();
+        self.dirty.clear();
     }
 
     /// Are `a` and `b` currently within direct radio range?
@@ -238,16 +414,22 @@ impl Network {
         self.adj.is_neighbor(a, b)
     }
 
-    /// Number of nodes whose adjacency changed in the last [`Network::refresh`]
+    /// Number of nodes whose adjacency changed in the last refresh
     /// (observability: churn per tick).
     pub fn last_changed_count(&self) -> usize {
-        self.changed.len()
+        self.counters.changed
     }
 
-    /// Number of neighborhoods rebuilt by the last [`Network::refresh`]
+    /// Number of neighborhoods rebuilt by the last refresh
     /// (observability: incremental-refresh effectiveness).
     pub fn last_dirty_count(&self) -> usize {
-        self.dirty.len()
+        self.counters.dirty
+    }
+
+    /// Stage-by-stage work counters of the last refresh (mover report,
+    /// grid re-bucketing, CSR patching, dirty neighborhoods).
+    pub fn pipeline_counters(&self) -> PipelineCounters {
+        self.counters
     }
 }
 
@@ -415,6 +597,128 @@ mod tests {
             reference.refresh_full();
             assert_tables_equal(&net, &reference);
         }
+    }
+
+    #[test]
+    fn mover_driven_advance_matches_full_over_many_ticks() {
+        // The production path (advance → advance_reporting →
+        // refresh_movers → patch) against the rebuild-everything
+        // reference, per tick, across the four mobility models.
+        use mobility::group::GroupMobility;
+        use mobility::walk::RandomWalk;
+        let field = Field::square(300.0);
+        let models: Vec<(Box<dyn MobilityModel>, Box<dyn MobilityModel>)> = vec![
+            (
+                Box::new(RandomWalk::new(
+                    60,
+                    field,
+                    0.5,
+                    8.0,
+                    2.0,
+                    RngStream::seed_from_u64(31),
+                )),
+                Box::new(RandomWalk::new(
+                    60,
+                    field,
+                    0.5,
+                    8.0,
+                    2.0,
+                    RngStream::seed_from_u64(31),
+                )),
+            ),
+            (
+                Box::new(RandomWaypoint::new(
+                    60,
+                    field,
+                    1.0,
+                    15.0,
+                    0.5,
+                    RngStream::seed_from_u64(32),
+                )),
+                Box::new(RandomWaypoint::new(
+                    60,
+                    field,
+                    1.0,
+                    15.0,
+                    0.5,
+                    RngStream::seed_from_u64(32),
+                )),
+            ),
+            (
+                Box::new(GroupMobility::new(
+                    60,
+                    field,
+                    4,
+                    1.0,
+                    8.0,
+                    40.0,
+                    RngStream::seed_from_u64(33),
+                )),
+                Box::new(GroupMobility::new(
+                    60,
+                    field,
+                    4,
+                    1.0,
+                    8.0,
+                    40.0,
+                    RngStream::seed_from_u64(33),
+                )),
+            ),
+        ];
+        for (mut mi, mut mf) in models {
+            let mut inc = Network::from_scenario(&small_scenario(), 2, 44);
+            let mut full = Network::from_scenario(&small_scenario(), 2, 44);
+            for _ in 0..8 {
+                inc.advance(mi.as_mut(), SimDuration::from_millis(500));
+                full.advance_positions_only(mf.as_mut(), SimDuration::from_millis(500));
+                full.refresh_full();
+                assert_tables_equal(&inc, &full);
+                assert_eq!(
+                    inc.adj().canonical_csr(),
+                    full.adj().canonical_csr(),
+                    "patched CSR must canonicalize identically to a rebuild"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_counters_reflect_motion() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 17);
+        // A static model never even reaches the refresh.
+        net.advance(&mut StaticModel, SimDuration::from_secs(1));
+        // A gentle tick reports few movers and patches few rows.
+        let mut rwp =
+            RandomWaypoint::new(60, net.field(), 0.5, 1.0, 0.0, RngStream::seed_from_u64(2));
+        net.advance(&mut rwp, SimDuration::from_millis(100));
+        let c = net.pipeline_counters();
+        assert_eq!(c.movers_reported, 60, "zero-pause RWP moves everyone");
+        assert!(
+            c.full_fallback,
+            "60 movers of 60 nodes must trip the churn fallback"
+        );
+        // Move only one node, via the explicit mover-report path.
+        let p = net.positions()[5];
+        net.positions_mut()[5] = Point2::new(p.x + 1.0, p.y);
+        net.refresh_movers(&[NodeId::new(5)]);
+        let c = net.pipeline_counters();
+        assert_eq!(c.movers_reported, 1);
+        assert!(!c.full_fallback, "one mover must stay on the patch path");
+        assert!(
+            c.rows_patched >= 1 && c.rows_patched < 60,
+            "patched rows ({}) must be local, not whole-network",
+            c.rows_patched
+        );
+        assert_eq!(c.changed, net.last_changed_count());
+        assert_eq!(c.dirty, net.last_dirty_count());
+        // No motion at all: nothing to do anywhere.
+        net.refresh_movers(&[]);
+        let c = net.pipeline_counters();
+        assert_eq!(
+            (c.movers_reported, c.rows_patched, c.changed, c.dirty),
+            (0, 0, 0, 0)
+        );
+        assert!(!c.full_fallback);
     }
 
     #[test]

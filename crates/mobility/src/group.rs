@@ -11,6 +11,7 @@
 use crate::model::MobilityModel;
 use crate::waypoint::RandomWaypoint;
 use net_topology::geometry::{Field, Point2};
+use net_topology::node::NodeId;
 use sim_core::rng::RngStream;
 use sim_core::time::SimDuration;
 
@@ -110,8 +111,16 @@ impl GroupMobility {
     }
 }
 
-impl MobilityModel for GroupMobility {
-    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+impl GroupMobility {
+    /// The shared advance loop: move the reference points, glide every
+    /// member, calling `report` with the index of each node whose position
+    /// actually changed.
+    fn advance_inner(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        mut report: impl FnMut(usize),
+    ) {
         assert!(
             positions.len() == self.members.len(),
             "GroupMobility built for {} nodes, got {} positions",
@@ -131,10 +140,30 @@ impl MobilityModel for GroupMobility {
                 m.speed = self.rng.range_f64(self.rel_speed.0, self.rel_speed.1);
             }
             let rp = self.ref_points[i % self.groups];
-            *pos = self
+            let after = self
                 .field
                 .clamp(Point2::new(rp.x + m.offset.x, rp.y + m.offset.y));
+            if after != *pos {
+                report(i);
+            }
+            *pos = after;
         }
+    }
+}
+
+impl MobilityModel for GroupMobility {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        self.advance_inner(positions, dt, |_| {});
+    }
+
+    fn advance_reporting(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        movers: &mut Vec<NodeId>,
+    ) {
+        movers.clear();
+        self.advance_inner(positions, dt, |i| movers.push(NodeId::from(i)));
     }
 
     fn name(&self) -> &'static str {
@@ -239,5 +268,22 @@ mod tests {
         let m = GroupMobility::new(1, Field::square(10.0), 1, 1.0, 2.0, 1.0, rng(0));
         assert_eq!(m.name(), "group");
         assert!(!m.is_static());
+    }
+
+    #[test]
+    fn reporting_matches_position_diff() {
+        let f = Field::square(400.0);
+        let mut m = GroupMobility::new(18, f, 3, 1.0, 8.0, 30.0, rng(7));
+        let mut pos = vec![Point2::ORIGIN; 18];
+        let mut movers = Vec::new();
+        for _ in 0..30 {
+            let before = pos.clone();
+            m.advance_reporting(&mut pos, SimDuration::from_millis(250), &mut movers);
+            let expect: Vec<NodeId> = (0..18)
+                .filter(|&i| pos[i] != before[i])
+                .map(NodeId::from)
+                .collect();
+            assert_eq!(movers, expect);
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The mobility-model abstraction.
 
 use net_topology::geometry::Point2;
+use net_topology::node::NodeId;
 use sim_core::time::SimDuration;
 
 /// A mobility model advances node positions through virtual time.
@@ -16,6 +17,29 @@ pub trait MobilityModel {
     /// configured with, and must behave identically for the same sequence of
     /// calls (determinism).
     fn advance(&mut self, positions: &mut [Point2], dt: SimDuration);
+
+    /// Advance every node by `dt` and report which nodes actually changed
+    /// position. `movers` is cleared first; afterwards it holds, in
+    /// ascending id order, a *superset* of the nodes whose `positions`
+    /// entry differs from before the call (precise implementations report
+    /// exactly those nodes).
+    ///
+    /// The default implementation calls [`MobilityModel::advance`] and
+    /// reports every node — always sound, never precise. The models in
+    /// this crate override it with exact reports, which is what lets the
+    /// downstream topology pipeline (grid re-bucketing, CSR adjacency
+    /// patching) do per-tick work proportional to actual motion instead
+    /// of N.
+    fn advance_reporting(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        movers: &mut Vec<NodeId>,
+    ) {
+        self.advance(positions, dt);
+        movers.clear();
+        movers.extend(NodeId::all(positions.len()));
+    }
 
     /// Short model name for reports (e.g. `"random-waypoint"`).
     fn name(&self) -> &'static str;
@@ -51,5 +75,16 @@ mod tests {
         let mut pos = vec![Point2::new(1.0, 2.0)];
         m.advance(&mut pos, SimDuration::from_secs(1));
         assert_eq!(pos[0], Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn default_reporting_reports_every_node() {
+        // The default is a sound over-approximation: all nodes, sorted.
+        let mut m = Nop;
+        let mut pos = vec![Point2::ORIGIN; 4];
+        let mut movers = vec![NodeId::new(99)]; // stale content must be cleared
+        m.advance_reporting(&mut pos, SimDuration::from_secs(1), &mut movers);
+        let expect: Vec<NodeId> = NodeId::all(4).collect();
+        assert_eq!(movers, expect);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::model::MobilityModel;
 use net_topology::geometry::Point2;
+use net_topology::node::NodeId;
 use sim_core::time::SimDuration;
 
 /// A mobility model under which nothing moves.
@@ -15,6 +16,15 @@ pub struct StaticModel;
 
 impl MobilityModel for StaticModel {
     fn advance(&mut self, _positions: &mut [Point2], _dt: SimDuration) {}
+
+    fn advance_reporting(
+        &mut self,
+        _positions: &mut [Point2],
+        _dt: SimDuration,
+        movers: &mut Vec<NodeId>,
+    ) {
+        movers.clear();
+    }
 
     fn name(&self) -> &'static str {
         "static"
@@ -38,5 +48,16 @@ mod tests {
         assert_eq!(pos, before);
         assert!(m.is_static());
         assert_eq!(m.name(), "static");
+    }
+
+    #[test]
+    fn reports_no_movers() {
+        let mut m = StaticModel;
+        let mut pos = vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
+        let before = pos.clone();
+        let mut movers = vec![NodeId::new(0)]; // stale content must be cleared
+        m.advance_reporting(&mut pos, SimDuration::from_secs(100), &mut movers);
+        assert_eq!(pos, before);
+        assert!(movers.is_empty());
     }
 }

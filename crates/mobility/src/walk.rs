@@ -6,9 +6,22 @@
 //! unlike random waypoint — the stationary node distribution stays uniform
 //! (no center clustering), which is exactly the contrast the paper's
 //! footnote 1 speculates about.
+//!
+//! ## Dwell
+//!
+//! [`RandomWalk::new_with_dwell`] adds a *dwell* mixture: at each epoch
+//! boundary a node pauses (speed exactly zero) with probability
+//! `pause_prob` instead of walking. This models pedestrian populations
+//! where, at any instant, most carriers are standing, sitting, or parked
+//! and only a fraction is actually in motion — the regime where
+//! contact/zone state is stable between events (the locality premise of
+//! CARD) and where the mover-driven topology pipeline does per-tick work
+//! proportional to the walkers, not to N. Exactly-paused nodes are *not*
+//! reported by `advance_reporting`.
 
 use crate::model::MobilityModel;
 use net_topology::geometry::{Field, Point2};
+use net_topology::node::NodeId;
 use sim_core::rng::RngStream;
 use sim_core::time::SimDuration;
 
@@ -28,6 +41,10 @@ pub struct RandomWalk {
     v_min: f64,
     v_max: f64,
     epoch_secs: f64,
+    /// Probability of dwelling (speed exactly zero) for an epoch instead
+    /// of walking it. Zero draws nothing from the RNG, so plain walks are
+    /// stream-compatible with pre-dwell seeds.
+    pause_prob: f64,
     states: Vec<WalkState>,
     rng: RngStream,
 }
@@ -44,6 +61,26 @@ impl RandomWalk {
         v_min: f64,
         v_max: f64,
         epoch_secs: f64,
+        rng: RngStream,
+    ) -> Self {
+        Self::new_with_dwell(n, field, v_min, v_max, epoch_secs, 0.0, rng)
+    }
+
+    /// Create a walk-and-dwell mixture: at each epoch boundary a node
+    /// pauses for the epoch with probability `pause_prob` (exact zero
+    /// velocity — it will not be reported as a mover), otherwise walks it
+    /// as usual. `pause_prob = 0` is exactly [`RandomWalk::new`].
+    ///
+    /// # Panics
+    /// Panics unless `0 <= v_min <= v_max`, `v_max > 0`, `epoch_secs > 0`,
+    /// and `pause_prob ∈ [0, 1]`.
+    pub fn new_with_dwell(
+        n: usize,
+        field: Field,
+        v_min: f64,
+        v_max: f64,
+        epoch_secs: f64,
+        pause_prob: f64,
         mut rng: RngStream,
     ) -> Self {
         assert!(
@@ -51,25 +88,43 @@ impl RandomWalk {
             "need 0 <= v_min <= v_max and v_max > 0, got [{v_min}, {v_max}]"
         );
         assert!(epoch_secs > 0.0, "epoch must be positive");
+        assert!(
+            (0.0..=1.0).contains(&pause_prob),
+            "pause_prob {pause_prob} outside [0, 1]"
+        );
         let states = (0..n)
-            .map(|_| Self::fresh(v_min, v_max, epoch_secs, &mut rng))
+            .map(|_| Self::fresh(v_min, v_max, epoch_secs, pause_prob, &mut rng))
             .collect();
         RandomWalk {
             field,
             v_min,
             v_max,
             epoch_secs,
+            pause_prob,
             states,
             rng,
         }
     }
 
-    fn fresh(v_min: f64, v_max: f64, epoch: f64, rng: &mut RngStream) -> WalkState {
-        WalkState {
+    fn fresh(
+        v_min: f64,
+        v_max: f64,
+        epoch: f64,
+        pause_prob: f64,
+        rng: &mut RngStream,
+    ) -> WalkState {
+        // Guarded draw: plain walks (pause_prob == 0) must consume exactly
+        // the RNG values they always did.
+        let dwell = pause_prob > 0.0 && rng.next_f64() < pause_prob;
+        let mut st = WalkState {
             theta: rng.range_f64(0.0, std::f64::consts::TAU),
             speed: rng.range_f64(v_min, v_max.max(v_min + f64::EPSILON)),
             remaining: epoch,
+        };
+        if dwell {
+            st.speed = 0.0;
         }
+        st
     }
 
     /// Move one node by `dt_secs`, reflecting at boundaries.
@@ -112,8 +167,13 @@ impl RandomWalk {
             dt_secs -= step_secs;
             if st.remaining <= dt_secs + step_secs {
                 // epoch expired within this advance
-                self.states[idx] =
-                    Self::fresh(self.v_min, self.v_max, self.epoch_secs, &mut self.rng);
+                self.states[idx] = Self::fresh(
+                    self.v_min,
+                    self.v_max,
+                    self.epoch_secs,
+                    self.pause_prob,
+                    &mut self.rng,
+                );
             } else {
                 self.states[idx].theta = theta;
                 self.states[idx].remaining = st.remaining - step_secs;
@@ -122,9 +182,16 @@ impl RandomWalk {
     }
 }
 
-#[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
-impl MobilityModel for RandomWalk {
-    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+impl RandomWalk {
+    /// The shared advance loop: move every node, calling `report` with the
+    /// index of each node whose position actually changed.
+    #[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
+    fn advance_inner(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        mut report: impl FnMut(usize),
+    ) {
         assert!(
             positions.len() == self.states.len(),
             "RandomWalk built for {} nodes, got {} positions",
@@ -133,10 +200,30 @@ impl MobilityModel for RandomWalk {
         );
         let dt_secs = dt.as_secs_f64();
         for i in 0..positions.len() {
-            let mut p = positions[i];
+            let before = positions[i];
+            let mut p = before;
             self.advance_node(&mut p, i, dt_secs);
             positions[i] = p;
+            if p != before {
+                report(i);
+            }
         }
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        self.advance_inner(positions, dt, |_| {});
+    }
+
+    fn advance_reporting(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        movers: &mut Vec<NodeId>,
+    ) {
+        movers.clear();
+        self.advance_inner(positions, dt, |i| movers.push(NodeId::from(i)));
     }
 
     fn name(&self) -> &'static str {
@@ -212,6 +299,86 @@ mod tests {
     #[should_panic(expected = "epoch must be positive")]
     fn zero_epoch_panics() {
         RandomWalk::new(1, Field::square(10.0), 1.0, 2.0, 0.0, rng(0));
+    }
+
+    #[test]
+    fn reporting_matches_actual_position_changes() {
+        // A walk with v_min > 0 never pauses: every node moves every tick,
+        // and the report must say exactly that (and agree with a position
+        // diff).
+        let f = Field::square(200.0);
+        let mut m = RandomWalk::new(12, f, 1.0, 10.0, 2.0, rng(6));
+        let mut pos = vec![Point2::new(100.0, 100.0); 12];
+        let mut movers = Vec::new();
+        for _ in 0..20 {
+            let before = pos.clone();
+            m.advance_reporting(&mut pos, SimDuration::from_millis(200), &mut movers);
+            let expect: Vec<NodeId> = (0..12)
+                .filter(|&i| pos[i] != before[i])
+                .map(NodeId::from)
+                .collect();
+            assert_eq!(movers, expect);
+            assert_eq!(movers.len(), 12, "no pauses: everyone moves");
+        }
+    }
+
+    #[test]
+    fn dwell_keeps_most_nodes_exactly_still() {
+        let f = Field::square(500.0);
+        let n = 400;
+        let mut m = RandomWalk::new_with_dwell(n, f, 0.5, 2.0, 10.0, 0.95, rng(21));
+        let mut pos = vec![Point2::new(250.0, 250.0); n];
+        let mut movers = Vec::new();
+        let mut mover_ticks = 0usize;
+        let ticks = 50;
+        for _ in 0..ticks {
+            m.advance_reporting(&mut pos, SimDuration::from_millis(100), &mut movers);
+            mover_ticks += movers.len();
+            assert!(pos.iter().all(|&p| f.contains(p)));
+        }
+        let mean_movers = mover_ticks as f64 / ticks as f64;
+        // ~5% walking in steady state; allow generous slack either way,
+        // but demand that the overwhelming majority dwells
+        assert!(
+            mean_movers < 0.15 * n as f64,
+            "dwell walk reported {mean_movers:.1} movers/tick out of {n}"
+        );
+        assert!(mean_movers > 0.0, "someone must walk");
+    }
+
+    #[test]
+    fn zero_dwell_is_stream_compatible_with_plain_walk() {
+        // pause_prob = 0 must draw exactly the RNG values `new` draws, so
+        // existing seeds reproduce bit-identical trajectories.
+        let f = Field::square(200.0);
+        let run = |dwell: bool| {
+            let mut m = if dwell {
+                RandomWalk::new_with_dwell(6, f, 1.0, 5.0, 2.0, 0.0, rng(13))
+            } else {
+                RandomWalk::new(6, f, 1.0, 5.0, 2.0, rng(13))
+            };
+            let mut pos = vec![Point2::new(100.0, 100.0); 6];
+            for _ in 0..30 {
+                m.advance(&mut pos, SimDuration::from_millis(400));
+            }
+            pos
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reporting_and_plain_advance_trace_identically() {
+        let f = Field::square(150.0);
+        let mut a = RandomWalk::new(8, f, 0.5, 8.0, 1.0, rng(10));
+        let mut b = RandomWalk::new(8, f, 0.5, 8.0, 1.0, rng(10));
+        let mut pa = vec![Point2::new(75.0, 75.0); 8];
+        let mut pb = pa.clone();
+        let mut movers = Vec::new();
+        for _ in 0..25 {
+            a.advance(&mut pa, SimDuration::from_millis(300));
+            b.advance_reporting(&mut pb, SimDuration::from_millis(300), &mut movers);
+            assert_eq!(pa, pb, "reporting variant must not disturb the trace");
+        }
     }
 
     proptest! {

@@ -8,6 +8,7 @@
 
 use crate::model::MobilityModel;
 use net_topology::geometry::{Field, Point2};
+use net_topology::node::NodeId;
 use sim_core::rng::RngStream;
 use sim_core::time::SimDuration;
 
@@ -116,9 +117,17 @@ impl RandomWaypoint {
     }
 }
 
-#[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
-impl MobilityModel for RandomWaypoint {
-    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+impl RandomWaypoint {
+    /// The shared advance loop: move every node, calling `report` with the
+    /// index of each node whose position actually changed (paused nodes do
+    /// not move and are not reported).
+    #[allow(clippy::needless_range_loop)] // index addresses parallel state arrays
+    fn advance_inner(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        mut report: impl FnMut(usize),
+    ) {
         let dt_secs = dt.as_secs_f64();
         assert!(
             positions.len() == self.legs.len(),
@@ -127,10 +136,31 @@ impl MobilityModel for RandomWaypoint {
             positions.len()
         );
         for i in 0..positions.len() {
-            let mut p = positions[i];
+            let before = positions[i];
+            let mut p = before;
             self.advance_node(&mut p, i, dt_secs);
-            positions[i] = self.field.clamp(p);
+            let after = self.field.clamp(p);
+            positions[i] = after;
+            if after != before {
+                report(i);
+            }
         }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn advance(&mut self, positions: &mut [Point2], dt: SimDuration) {
+        self.advance_inner(positions, dt, |_| {});
+    }
+
+    fn advance_reporting(
+        &mut self,
+        positions: &mut [Point2],
+        dt: SimDuration,
+        movers: &mut Vec<NodeId>,
+    ) {
+        movers.clear();
+        self.advance_inner(positions, dt, |i| movers.push(NodeId::from(i)));
     }
 
     fn name(&self) -> &'static str {
@@ -234,6 +264,35 @@ mod tests {
         let before = pos.clone();
         m.advance(&mut pos, SimDuration::ZERO);
         assert_eq!(pos, before);
+    }
+
+    #[test]
+    fn paused_nodes_are_not_reported_as_movers() {
+        // One node arrives quickly, then pauses for a long time: during the
+        // pause the report must be empty.
+        let mut m = RandomWaypoint::new(1, Field::square(10.0), 5.0, 5.0, 1000.0, rng(4));
+        let mut pos = vec![Point2::new(5.0, 5.0)];
+        let mut movers = Vec::new();
+        m.advance_reporting(&mut pos, SimDuration::from_secs(10), &mut movers);
+        assert_eq!(movers, vec![NodeId::new(0)], "travel leg must report");
+        m.advance_reporting(&mut pos, SimDuration::from_secs(10), &mut movers);
+        assert!(movers.is_empty(), "paused node must not be reported");
+    }
+
+    #[test]
+    fn reporting_matches_position_diff() {
+        let mut m = RandomWaypoint::new(15, field(), 1.0, 12.0, 0.3, rng(8));
+        let mut pos = vec![Point2::new(300.0, 300.0); 15];
+        let mut movers = Vec::new();
+        for _ in 0..40 {
+            let before = pos.clone();
+            m.advance_reporting(&mut pos, SimDuration::from_millis(250), &mut movers);
+            let expect: Vec<NodeId> = (0..15)
+                .filter(|&i| pos[i] != before[i])
+                .map(NodeId::from)
+                .collect();
+            assert_eq!(movers, expect);
+        }
     }
 
     #[test]

@@ -1,53 +1,218 @@
 //! The unit-disk connectivity graph.
 //!
 //! [`Adjacency`] stores, for each node, the sorted list of nodes within
-//! transmission range. It is rebuilt from positions (via [`SpatialGrid`])
-//! whenever mobility moves nodes, and queried constantly by every protocol
-//! layer (`is_neighbor` is the "is the next hop still there?" check in
-//! contact maintenance).
+//! transmission range. It is kept up to date from positions (via
+//! [`SpatialGrid`]) whenever mobility moves nodes, and queried constantly
+//! by every protocol layer (`is_neighbor` is the "is the next hop still
+//! there?" check in contact maintenance).
 //!
 //! ## Layout
 //!
-//! The graph is kept in *compressed sparse row* (CSR) form: one flat
-//! [`Vec<NodeId>`] of neighbor entries plus an `offsets` array with node
-//! `i`'s neighbors at `edges[offsets[i]..offsets[i + 1]]`, each slice
-//! sorted by id. Compared to a `Vec<Vec<NodeId>>`, this is two allocations
-//! instead of `N + 1`, it rebuilds in place with zero per-node allocation
-//! on every mobility tick, and BFS walks touch one contiguous cache-friendly
-//! buffer. `add_edge` / `remove_edge` splice the flat buffer (O(E)); they
-//! exist for tests and synthetic topologies, not for the mobility hot path,
-//! which always rebuilds wholesale from the spatial grid.
+//! The graph is kept in *compressed sparse row* (CSR) form with per-row
+//! slack: one flat [`Vec<NodeId>`] of neighbor entries, an `offsets` array
+//! with node `i`'s row *capacity* spanning `edges[offsets[i] ..
+//! offsets[i + 1]]`, and a `lens` array so only the first `lens[i]` slots
+//! are live (sorted by id); the rest of each row is slack. Compared to a
+//! `Vec<Vec<NodeId>>`, this is three allocations instead of `N + 1`,
+//! rebuilds in place with zero per-node allocation, and BFS walks touch
+//! one contiguous cache-friendly buffer.
+//!
+//! ## Mover-driven patching
+//!
+//! [`Adjacency::rebuild_with_grid`] re-queries the 3×3 cell ball of *every*
+//! node — O(N · avg-degree) per call. It stays as the reference path, but
+//! the mobility hot path is [`Adjacency::patch_with_grid`]: given the set
+//! of nodes that actually moved this tick, only the movers and the nodes
+//! whose link set a mover may have touched (found via the movers' old and
+//! new 3×3 cell balls) are re-queried, and their rows are rewritten in
+//! place inside the slack. A row outgrowing its slack triggers a whole-CSR
+//! compaction that re-provisions slack (rare); mover churn past a
+//! threshold falls back to the full rebuild, so heavy motion degrades to
+//! exactly the old cost rather than to patch churn.
+//!
+//! `add_edge` / `remove_edge` splice a single row in place (growing the
+//! CSR only when the row's slack is exhausted); they exist for tests and
+//! synthetic topologies, not for the mobility hot path.
 
 use crate::geometry::{Field, Point2};
-use crate::grid::SpatialGrid;
+use crate::grid::{GridUpdate, SpatialGrid};
 use crate::node::NodeId;
 
-/// Symmetric adjacency for the unit-disk graph, in CSR layout.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Sentinel written into slack slots (never read on any query path; it
+/// exists so stale ids in the gaps can't masquerade as live edges when
+/// eyeballing dumps).
+const FILLER: NodeId = NodeId(u32::MAX);
+
+/// Churn fallback: if more than `max(N / PATCH_CHURN_DIVISOR,
+/// PATCH_CHURN_FLOOR)` nodes moved in one tick, patching (roughly nine
+/// cell scans plus one range query per mover) costs more than one full
+/// rebuild (one range query per node), so
+/// [`Adjacency::patch_with_grid`] falls back to the wholesale path. The
+/// floor keeps tiny graphs — where the ratio test degenerates to "any
+/// mover at all" — on the patch path, since a handful of rows is cheap
+/// either way.
+const PATCH_CHURN_DIVISOR: usize = 8;
+/// See [`PATCH_CHURN_DIVISOR`].
+const PATCH_CHURN_FLOOR: usize = 4;
+
+/// Outcome of an [`Adjacency::patch_with_grid`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjacencyUpdate {
+    /// Only candidate rows (movers plus their cell-ball neighbors) were
+    /// re-queried; the rest of the CSR was not touched.
+    Patched {
+        /// Rows re-queried against the grid this tick.
+        rows_patched: usize,
+        /// Rows whose neighbor set actually changed (⊆ `rows_patched`).
+        rows_changed: usize,
+        /// Whole-CSR re-layouts triggered by row-slack overflow.
+        compactions: usize,
+        /// What the spatial grid did underneath.
+        grid: GridUpdate,
+    },
+    /// Full-rebuild fallback ran (node-count change or mover churn past
+    /// the threshold). The caller must treat every row as potentially
+    /// changed.
+    Full {
+        /// What the spatial grid did underneath (the grid may still have
+        /// re-bucketed incrementally even though every CSR row was
+        /// re-queried).
+        grid: GridUpdate,
+    },
+}
+
+/// Reusable workspace for [`Adjacency::patch_with_grid`] (epoch-stamped
+/// candidate dedup plus row scratch — no allocation in the steady state).
+#[derive(Clone, Debug, Default)]
+pub struct PatchScratch {
+    /// `stamp[i] == epoch` ⇔ node `i` is already a candidate this patch.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Candidate rows of the current patch, in discovery order.
+    candidates: Vec<NodeId>,
+    /// The freshly recomputed row being compared/written.
+    row: Vec<NodeId>,
+}
+
+impl PatchScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new patch over `n` nodes: bump the epoch (recycling the
+    /// stamp array without clearing it) and reset the candidate list.
+    fn begin(&mut self, n: usize) {
+        self.stamp.resize(n, 0);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.candidates.clear();
+    }
+}
+
+/// Symmetric adjacency for the unit-disk graph, in slack-row CSR layout.
+#[derive(Debug)]
 pub struct Adjacency {
-    /// Node `i`'s neighbors live at `edges[offsets[i] .. offsets[i + 1]]`.
+    /// Node `i`'s row capacity spans `edges[offsets[i] .. offsets[i + 1]]`.
     /// Always `node_count() + 1` entries; `offsets[0] == 0`.
     offsets: Vec<u32>,
-    /// Flat neighbor entries, sorted by id within each node's slice.
+    /// Live neighbor count per row (`lens[i] <= offsets[i+1] - offsets[i]`).
+    lens: Vec<u32>,
+    /// Flat neighbor entries, sorted by id within each live row prefix;
+    /// slack tails hold [`FILLER`].
     edges: Vec<NodeId>,
+    /// Running total of live entries (`Σ lens`), so `link_count` /
+    /// `avg_degree` stay O(1) instead of summing N rows. Maintained by
+    /// every mutation; checked against the row sum in test invariants.
+    live: usize,
 }
 
 impl Default for Adjacency {
     fn default() -> Self {
         Adjacency {
             offsets: vec![0],
+            lens: Vec::new(),
             edges: Vec::new(),
+            live: 0,
         }
     }
 }
+
+impl Clone for Adjacency {
+    fn clone(&self) -> Self {
+        Adjacency {
+            offsets: self.offsets.clone(),
+            lens: self.lens.clone(),
+            edges: self.edges.clone(),
+            live: self.live,
+        }
+    }
+
+    /// Buffer-reusing clone: the mobility tick double-buffers snapshots
+    /// with `clone_from` every tick, so this must be memcpy, not realloc.
+    fn clone_from(&mut self, source: &Self) {
+        self.offsets.clone_from(&source.offsets);
+        self.lens.clone_from(&source.lens);
+        self.edges.clone_from(&source.edges);
+        self.live = source.live;
+    }
+}
+
+/// Structural equality is *logical*: same node count and same live
+/// neighbor slice per node. Slack sizing and slack contents are layout,
+/// not graph, and must never affect comparisons.
+impl PartialEq for Adjacency {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count() == other.node_count()
+            && NodeId::all(self.node_count()).all(|v| self.neighbors(v) == other.neighbors(v))
+    }
+}
+impl Eq for Adjacency {}
 
 impl Adjacency {
     /// An empty graph over `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
         Adjacency {
             offsets: vec![0; n + 1],
+            lens: vec![0; n],
             edges: Vec::new(),
+            live: 0,
         }
+    }
+
+    /// Slack slots provisioned for a row of `len` live edges during a full
+    /// rebuild or compaction (same policy as the spatial grid: tight,
+    /// because overflow only costs an occasional compaction).
+    #[inline]
+    fn slack(len: u32) -> u32 {
+        1 + len / 8
+    }
+
+    /// Would [`Adjacency::patch_with_grid`] take the patch path (rather
+    /// than the churn fallback) for `movers` moved nodes out of `n`?
+    /// Callers that must do per-tick work *before* patching (e.g. the
+    /// double-buffer snapshot copy in `Network`) use this to skip that
+    /// work when the fallback would run anyway.
+    #[inline]
+    pub fn patch_viable(n: usize, movers: usize) -> bool {
+        movers <= (n / PATCH_CHURN_DIVISOR).max(PATCH_CHURN_FLOOR)
+    }
+
+    /// The checked edge-capacity guard: CSR offsets are `u32`, so the
+    /// total provisioned entry count must fit. A `debug_assert` here would
+    /// vanish exactly in the release builds where a 4-billion-edge run
+    /// could actually overflow, so this is a hard check on every layout
+    /// pass (its cost is one compare per rebuild, not per edge).
+    #[inline]
+    fn check_edge_capacity(total: usize) {
+        assert!(
+            total <= u32::MAX as usize,
+            "CSR edge capacity {total} overflows u32 offsets \
+             (node count or graph density too large for this layout)"
+        );
     }
 
     /// Build from positions with the given transmission `range`, using a
@@ -66,18 +231,35 @@ impl Adjacency {
         adj
     }
 
-    /// Rebuild in place (reusing both CSR buffers) from new positions.
+    /// Rebuild in place (reusing the CSR buffers) from new positions,
+    /// re-querying the grid for **every** node and re-provisioning row
+    /// slack. This is the wholesale reference path; the mobility hot path
+    /// is [`Adjacency::patch_with_grid`].
     ///
     /// The grid is brought up to date with [`SpatialGrid::update`]: only
     /// nodes that crossed a cell boundary are re-bucketed (with automatic
-    /// full-relayout fallback on heavy churn), so a low-motion mobility
-    /// tick no longer rewrites every grid entry before the range queries.
-    pub fn rebuild_with_grid(&mut self, grid: &mut SpatialGrid, positions: &[Point2], range: f64) {
-        grid.update(positions);
+    /// full-relayout fallback on heavy churn).
+    ///
+    /// Returns what the grid update did (incremental re-bucket vs full
+    /// relayout) so callers can report it.
+    ///
+    /// # Panics
+    /// Panics if the total provisioned edge capacity would overflow the
+    /// `u32` CSR offsets.
+    pub fn rebuild_with_grid(
+        &mut self,
+        grid: &mut SpatialGrid,
+        positions: &[Point2],
+        range: f64,
+    ) -> GridUpdate {
+        let grid_update = grid.update(positions);
         let n = positions.len();
         self.offsets.clear();
         self.offsets.reserve(n + 1);
+        self.lens.clear();
+        self.lens.reserve(n);
         self.edges.clear();
+        self.live = 0;
         for (i, &p) in positions.iter().enumerate() {
             let id = NodeId::from(i);
             let start = self.edges.len();
@@ -85,12 +267,169 @@ impl Adjacency {
             let edges = &mut self.edges;
             grid.for_each_within(positions, p, range, Some(id), |nb| edges.push(nb));
             self.edges[start..].sort_unstable();
+            let len = (self.edges.len() - start) as u32;
+            self.lens.push(len);
+            self.live += len as usize;
+            self.edges
+                .resize(self.edges.len() + Self::slack(len) as usize, FILLER);
         }
-        debug_assert!(
-            self.edges.len() <= u32::MAX as usize,
-            "edge count overflows CSR offsets"
-        );
+        // One check for the whole layout: per-node `start` casts above are
+        // only trusted once the final total fits (a panic here discards
+        // the half-built state before anyone reads it).
+        Self::check_edge_capacity(self.edges.len());
         self.offsets.push(self.edges.len() as u32);
+        grid_update
+    }
+
+    /// Patch the CSR in place after a mobility tick, given the nodes whose
+    /// positions changed (`moved`, from
+    /// `MobilityModel::advance_reporting`). Only the movers and the nodes
+    /// whose link set a mover may have touched — the occupants of each
+    /// mover's old and new 3×3 cell balls — are re-queried; everyone
+    /// else's row is provably unchanged (an edge can only appear or
+    /// disappear if at least one endpoint moved, and the untouched
+    /// endpoint then sits in one of those balls).
+    ///
+    /// `changed` receives the rows whose neighbor set actually changed (in
+    /// candidate-discovery order) — exactly the seed set an incremental
+    /// neighborhood refresh needs, with no O(N) snapshot diff.
+    ///
+    /// Falls back to [`Adjacency::rebuild_with_grid`] (returning
+    /// [`AdjacencyUpdate::Full`] with the grid outcome, `changed` left
+    /// empty) when the node count changed or the mover count exceeds
+    /// `max(N / 8, 4)`.
+    ///
+    /// # Contract
+    /// `self` must currently equal `build(field, previous_positions,
+    /// range)`, the grid must be up to date with those previous positions,
+    /// and `moved` must contain every node whose position differs between
+    /// `previous_positions` and `positions` (supersets and duplicates are
+    /// tolerated). The equivalence of this path with a fresh build is
+    /// pinned by proptests here and in `tests/topology_refresh.rs`.
+    ///
+    /// # Panics
+    /// Panics if a compaction would overflow the `u32` CSR offsets, or if
+    /// `moved` names a node outside `0..positions.len()`.
+    pub fn patch_with_grid(
+        &mut self,
+        grid: &mut SpatialGrid,
+        positions: &[Point2],
+        range: f64,
+        moved: &[NodeId],
+        changed: &mut Vec<NodeId>,
+        scratch: &mut PatchScratch,
+    ) -> AdjacencyUpdate {
+        changed.clear();
+        let n = positions.len();
+        if self.node_count() != n
+            || grid.tracked_nodes() != n
+            || !Self::patch_viable(n, moved.len())
+        {
+            let grid_update = self.rebuild_with_grid(grid, positions, range);
+            return AdjacencyUpdate::Full { grid: grid_update };
+        }
+
+        // 1. Candidate rows, deduped with epoch stamps: every mover, plus
+        //    every occupant of the 3×3 cell balls around each mover's old
+        //    and new cell — read from the *pre-update* grid, which is
+        //    exact because non-movers keep their residency across the
+        //    update and movers are included explicitly.
+        scratch.begin(n);
+        {
+            let PatchScratch {
+                stamp,
+                epoch,
+                candidates,
+                ..
+            } = scratch;
+            let ep = *epoch;
+            let mut add = |id: NodeId| {
+                let s = &mut stamp[id.index()];
+                if *s != ep {
+                    *s = ep;
+                    candidates.push(id);
+                }
+            };
+            for &m in moved {
+                add(m);
+            }
+            for &m in moved {
+                let old_cell = grid.node_cell(m);
+                let new_cell = grid.cell_at(positions[m.index()]);
+                grid.for_each_in_cell_ball(old_cell, &mut add);
+                if new_cell != old_cell {
+                    grid.for_each_in_cell_ball(new_cell, &mut add);
+                }
+            }
+        }
+
+        // 2. Bring the grid up to date — O(movers), not O(N).
+        let grid_update = grid.update_reported(positions, moved);
+
+        // 3. Re-query each candidate against the new grid; rewrite rows
+        //    that differ inside their slack, compacting on overflow.
+        let mut compactions = 0usize;
+        let PatchScratch {
+            candidates, row, ..
+        } = scratch;
+        for &c in candidates.iter() {
+            let i = c.index();
+            row.clear();
+            grid.for_each_within(positions, positions[i], range, Some(c), |nb| row.push(nb));
+            row.sort_unstable();
+            let start = self.offsets[i] as usize;
+            let len = self.lens[i] as usize;
+            if self.edges[start..start + len] == row[..] {
+                continue;
+            }
+            changed.push(c);
+            let cap = (self.offsets[i + 1] - self.offsets[i]) as usize;
+            if row.len() > cap {
+                compactions += 1;
+                self.reprovision(i, row.len() as u32);
+            }
+            let start = self.offsets[i] as usize;
+            self.edges[start..start + row.len()].copy_from_slice(row);
+            if row.len() < len {
+                // Shrunk row: re-stamp the vacated tail so stale ids can't
+                // masquerade as live edges in raw dumps.
+                self.edges[start + row.len()..start + len].fill(FILLER);
+            }
+            self.live = self.live - len + row.len();
+            self.lens[i] = row.len() as u32;
+        }
+        AdjacencyUpdate::Patched {
+            rows_patched: candidates.len(),
+            rows_changed: changed.len(),
+            compactions,
+            grid: grid_update,
+        }
+    }
+
+    /// Whole-CSR compaction: re-layout every row with fresh slack, sizing
+    /// row `grow_row` for `need` live edges. Row contents are copied, not
+    /// re-queried — O(E) memcpy, no grid work.
+    fn reprovision(&mut self, grow_row: usize, need: u32) {
+        let n = self.node_count();
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        for i in 0..n {
+            new_offsets.push(total as u32);
+            let planned = if i == grow_row { need } else { self.lens[i] };
+            total += (planned + Self::slack(planned)) as usize;
+        }
+        Self::check_edge_capacity(total);
+        new_offsets.push(total as u32);
+        let mut new_edges = vec![FILLER; total];
+        #[allow(clippy::needless_range_loop)] // index addresses parallel row arrays
+        for i in 0..n {
+            let src = self.offsets[i] as usize;
+            let dst = new_offsets[i] as usize;
+            let len = self.lens[i] as usize;
+            new_edges[dst..dst + len].copy_from_slice(&self.edges[src..src + len]);
+        }
+        self.offsets = new_offsets;
+        self.edges = new_edges;
     }
 
     /// Number of nodes.
@@ -103,14 +442,14 @@ impl Adjacency {
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
         let i = node.index();
-        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let start = self.offsets[i] as usize;
+        &self.edges[start..start + self.lens[i] as usize]
     }
 
     /// Degree of `node`.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        let i = node.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        self.lens[node.index()] as usize
     }
 
     /// Are `a` and `b` directly connected? (binary search on the sorted slice)
@@ -119,9 +458,15 @@ impl Adjacency {
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
+    /// Total number of live directed half-edges (`2 × link_count`).
+    #[inline]
+    fn half_edge_count(&self) -> usize {
+        self.live
+    }
+
     /// Total number of undirected links.
     pub fn link_count(&self) -> usize {
-        self.edges.len() / 2
+        self.half_edge_count() / 2
     }
 
     /// Average node degree.
@@ -130,17 +475,37 @@ impl Adjacency {
         if n == 0 {
             return 0.0;
         }
-        self.edges.len() as f64 / n as f64
+        self.half_edge_count() as f64 / n as f64
     }
 
-    /// The raw CSR buffers `(offsets, edges)` (tests, benches, metrics).
-    pub fn csr(&self) -> (&[u32], &[NodeId]) {
-        (&self.offsets, &self.edges)
+    /// The raw slack-CSR buffers `(offsets, lens, edges)`: row `i`'s
+    /// capacity is `edges[offsets[i] .. offsets[i + 1]]`, its live prefix
+    /// `lens[i]` entries (tests, benches, metrics).
+    pub fn raw_csr(&self) -> (&[u32], &[u32], &[NodeId]) {
+        (&self.offsets, &self.lens, &self.edges)
+    }
+
+    /// The *canonical* dense CSR `(offsets, edges)` — all slack squeezed
+    /// out, so two logically equal graphs yield bit-identical buffers
+    /// regardless of how they were built (fresh build, in-place rebuild,
+    /// or any sequence of patches). The equivalence proptests compare
+    /// these.
+    pub fn canonical_csr(&self) -> (Vec<u32>, Vec<NodeId>) {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.half_edge_count());
+        for v in NodeId::all(n) {
+            offsets.push(edges.len() as u32);
+            edges.extend_from_slice(self.neighbors(v));
+        }
+        offsets.push(edges.len() as u32);
+        (offsets, edges)
     }
 
     /// Do `a`'s neighbors differ between `self` and `other`? Nodes present
     /// in only one of the two graphs count as changed. This is the edge
-    /// diff the incremental neighborhood refresh is built on.
+    /// diff the incremental neighborhood refresh falls back on when no
+    /// mover report is available.
     #[inline]
     pub fn neighbors_changed(&self, other: &Adjacency, a: NodeId) -> bool {
         if a.index() >= self.node_count() || a.index() >= other.node_count() {
@@ -149,28 +514,40 @@ impl Adjacency {
         self.neighbors(a) != other.neighbors(a)
     }
 
-    /// Insert `y` into `x`'s sorted slice if absent (O(E) splice).
+    /// Insert `y` into `x`'s sorted row if absent (O(row) shift; grows the
+    /// CSR only when the row's slack is exhausted).
     fn insert_half_edge(&mut self, x: NodeId, y: NodeId) {
         let i = x.index();
-        let start = self.offsets[i] as usize;
-        if let Err(pos) = self.neighbors(x).binary_search(&y) {
-            self.edges.insert(start + pos, y);
-            for off in &mut self.offsets[i + 1..] {
-                *off += 1;
-            }
+        let Err(pos) = self.neighbors(x).binary_search(&y) else {
+            return;
+        };
+        let len = self.lens[i] as usize;
+        let cap = (self.offsets[i + 1] - self.offsets[i]) as usize;
+        if len == cap {
+            self.reprovision(i, len as u32 + 1);
         }
+        let start = self.offsets[i] as usize;
+        self.edges
+            .copy_within(start + pos..start + len, start + pos + 1);
+        self.edges[start + pos] = y;
+        self.lens[i] += 1;
+        self.live += 1;
     }
 
-    /// Remove `y` from `x`'s sorted slice if present (O(E) splice).
+    /// Remove `y` from `x`'s sorted row if present (O(row) shift; the
+    /// vacated slot becomes slack).
     fn remove_half_edge(&mut self, x: NodeId, y: NodeId) {
         let i = x.index();
+        let Ok(pos) = self.neighbors(x).binary_search(&y) else {
+            return;
+        };
         let start = self.offsets[i] as usize;
-        if let Ok(pos) = self.neighbors(x).binary_search(&y) {
-            self.edges.remove(start + pos);
-            for off in &mut self.offsets[i + 1..] {
-                *off -= 1;
-            }
-        }
+        let len = self.lens[i] as usize;
+        self.edges
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.edges[start + len - 1] = FILLER;
+        self.lens[i] -= 1;
+        self.live -= 1;
     }
 
     /// Add an undirected edge (used by tests and synthetic topologies).
@@ -195,19 +572,37 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    /// Check the CSR structural invariants.
+    /// Check the slack-CSR structural invariants.
     fn assert_csr_invariants(adj: &Adjacency) {
-        let (offsets, edges) = adj.csr();
+        let (offsets, lens, edges) = adj.raw_csr();
         assert_eq!(offsets.len(), adj.node_count() + 1);
+        assert_eq!(lens.len(), adj.node_count());
+        assert_eq!(
+            adj.live,
+            lens.iter().map(|&l| l as usize).sum::<usize>(),
+            "live counter out of sync with row lengths"
+        );
         assert_eq!(offsets[0], 0);
         assert_eq!(*offsets.last().unwrap() as usize, edges.len());
         for w in offsets.windows(2) {
             assert!(w[0] <= w[1], "offsets must be monotone");
         }
         for node in NodeId::all(adj.node_count()) {
+            let i = node.index();
+            assert!(
+                lens[i] <= offsets[i + 1] - offsets[i],
+                "row {node} live length exceeds capacity"
+            );
             let nbs = adj.neighbors(node);
             for w in nbs.windows(2) {
                 assert!(w[0] < w[1], "neighbor slice of {node} not strictly sorted");
+            }
+            for &nb in nbs {
+                assert_ne!(nb, super::FILLER, "live slot holds the filler sentinel");
+            }
+            let tail = offsets[i] as usize + lens[i] as usize..offsets[i + 1] as usize;
+            for &slot in &edges[tail] {
+                assert_eq!(slot, super::FILLER, "slack slot holds a live-looking id");
             }
         }
     }
@@ -267,6 +662,116 @@ mod tests {
     }
 
     #[test]
+    fn patch_reflects_movement() {
+        let (field, mut pos) = line3();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        let mut scratch = PatchScratch::new();
+        let mut changed = Vec::new();
+        // node 1 steps just out of node 0's range but stays near node 2
+        pos[1] = Point2::new(95.0, 10.0);
+        let out = adj.patch_with_grid(
+            &mut grid,
+            &pos,
+            50.0,
+            &[NodeId(1)],
+            &mut changed,
+            &mut scratch,
+        );
+        assert!(
+            matches!(
+                out,
+                AdjacencyUpdate::Patched {
+                    rows_changed: 2,
+                    ..
+                }
+            ),
+            "exactly nodes 0 and 1 change ({out:?})"
+        );
+        let mut sorted = changed.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(adj, Adjacency::build(field, &pos, 50.0));
+        assert_csr_invariants(&adj);
+        // no movement → nothing patched rows change
+        let out = adj.patch_with_grid(&mut grid, &pos, 50.0, &[], &mut changed, &mut scratch);
+        assert!(
+            matches!(
+                out,
+                AdjacencyUpdate::Patched {
+                    rows_patched: 0,
+                    rows_changed: 0,
+                    ..
+                }
+            ),
+            "{out:?}"
+        );
+        assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn patch_falls_back_on_churn_and_node_count_change() {
+        let field = Field::square(300.0);
+        let pos: Vec<Point2> = (0..10)
+            .map(|i| Point2::new(i as f64 * 30.0 + 5.0, 150.0))
+            .collect();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        let mut scratch = PatchScratch::new();
+        let mut changed = Vec::new();
+        // churn: more than N/8 movers
+        let all: Vec<NodeId> = NodeId::all(10).collect();
+        let out = adj.patch_with_grid(&mut grid, &pos, 50.0, &all, &mut changed, &mut scratch);
+        assert!(matches!(out, AdjacencyUpdate::Full { .. }), "{out:?}");
+        // node count change
+        let fewer = &pos[..7];
+        let out = adj.patch_with_grid(&mut grid, fewer, 50.0, &[], &mut changed, &mut scratch);
+        assert!(matches!(out, AdjacencyUpdate::Full { .. }), "{out:?}");
+        assert_eq!(adj.node_count(), 7);
+        assert_eq!(adj, Adjacency::build(field, fewer, 50.0));
+    }
+
+    #[test]
+    fn patch_compacts_on_row_overflow() {
+        // A lone node gains many neighbors at once: its row outgrows any
+        // slack a fresh build provisioned, forcing a compaction.
+        let field = Field::square(400.0);
+        let mut pos = vec![Point2::new(10.0, 10.0); 9];
+        for (i, p) in pos.iter_mut().enumerate().skip(1) {
+            *p = Point2::new(300.0 + (i as f64), 300.0);
+        }
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        assert_eq!(adj.degree(NodeId(0)), 0);
+        let mut scratch = PatchScratch::new();
+        let mut changed = Vec::new();
+        // node 0 teleports into the middle of the cluster
+        pos[0] = Point2::new(304.0, 300.0);
+        let out = adj.patch_with_grid(
+            &mut grid,
+            &pos,
+            50.0,
+            &[NodeId(0)],
+            &mut changed,
+            &mut scratch,
+        );
+        match out {
+            AdjacencyUpdate::Patched {
+                rows_changed,
+                compactions,
+                ..
+            } => {
+                assert_eq!(rows_changed, 9, "cluster + mover all gain an edge");
+                assert!(compactions >= 1, "row 0 must overflow its empty-row slack");
+            }
+            AdjacencyUpdate::Full { .. } => panic!("one mover of nine must patch, not rebuild"),
+        }
+        assert_eq!(adj.degree(NodeId(0)), 8);
+        assert_eq!(adj, Adjacency::build(field, &pos, 50.0));
+        assert_csr_invariants(&adj);
+    }
+
+    #[test]
     fn add_remove_edge() {
         let mut adj = Adjacency::with_nodes(4);
         adj.add_edge(NodeId(0), NodeId(2));
@@ -317,6 +822,24 @@ mod tests {
         assert_eq!(adj.node_count(), 3);
         assert!(adj.is_neighbor(NodeId(1), NodeId(2)));
         assert_csr_invariants(&adj);
+    }
+
+    #[test]
+    fn canonical_csr_is_layout_independent() {
+        let (field, pos) = line3();
+        // same logical graph, three different slack layouts
+        let fresh = Adjacency::build(field, &pos, 50.0);
+        let mut rebuilt = fresh.clone();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        rebuilt.rebuild_with_grid(&mut grid, &pos, 50.0);
+        let mut synthetic = Adjacency::with_nodes(3);
+        synthetic.add_edge(NodeId(0), NodeId(1));
+        synthetic.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(fresh.canonical_csr(), rebuilt.canonical_csr());
+        assert_eq!(fresh.canonical_csr(), synthetic.canonical_csr());
+        let (offsets, edges) = fresh.canonical_csr();
+        assert_eq!(offsets, vec![0, 1, 3, 4]);
+        assert_eq!(edges.len(), 4);
     }
 
     /// Reference O(N²) construction straight from the unit-disk definition.
@@ -370,6 +893,60 @@ mod tests {
             let fresh = Adjacency::build(field, &second, range);
             prop_assert_eq!(&adj, &fresh);
             assert_csr_invariants(&adj);
+        }
+
+        /// Multi-step mover-driven patching stays bit-identical (canonical
+        /// CSR) to a fresh build, across per-step displacement magnitudes
+        /// that keep some nodes still (exact mover reports), exercise the
+        /// slack/compaction path, and trip the churn fallback.
+        #[test]
+        fn prop_patch_equals_fresh_build(
+            pts in proptest::collection::vec((0.0..400.0f64, 0.0..400.0f64), 1..60),
+            steps in proptest::collection::vec(
+                proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64), 1..60),
+                1..5),
+            range in 30.0..60.0f64,
+        ) {
+            let field = Field::square(400.0);
+            let mut positions: Vec<Point2> =
+                pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut grid = SpatialGrid::new(field, range);
+            let mut adj = Adjacency::build_with_grid(&mut grid, &positions, range);
+            let mut scratch = PatchScratch::new();
+            let mut changed = Vec::new();
+            for step in &steps {
+                // move an arbitrary subset (small draws mean "stay put",
+                // so some nodes never move); report exactly who moved
+                let mut movers = Vec::new();
+                for (i, &(dx, dy)) in step.iter().cycle().take(positions.len()).enumerate() {
+                    if dx.abs() + dy.abs() < 40.0 {
+                        continue;
+                    }
+                    let p = &mut positions[i];
+                    let before = *p;
+                    p.x = (p.x + dx).clamp(0.0, 400.0);
+                    p.y = (p.y + dy).clamp(0.0, 400.0);
+                    if *p != before {
+                        movers.push(NodeId::from(i));
+                    }
+                }
+                let before = adj.clone();
+                let out = adj.patch_with_grid(
+                    &mut grid, &positions, range, &movers, &mut changed, &mut scratch);
+                let fresh = Adjacency::build(field, &positions, range);
+                prop_assert_eq!(adj.canonical_csr(), fresh.canonical_csr());
+                assert_csr_invariants(&adj);
+                if let AdjacencyUpdate::Patched { .. } = out {
+                    // `changed` must be exactly the rows that differ from
+                    // the pre-patch snapshot
+                    let mut got = changed.clone();
+                    got.sort();
+                    let expect: Vec<NodeId> = NodeId::all(positions.len())
+                        .filter(|&v| adj.neighbors_changed(&before, v))
+                        .collect();
+                    prop_assert_eq!(got, expect, "changed-row report is wrong");
+                }
+            }
         }
     }
 }

@@ -21,6 +21,12 @@
 //! few hundred ticks, so the per-tick bucketing cost collapses from
 //! "rewrite all N entries" to "touch a handful of movers".
 //!
+//! [`SpatialGrid::update_reported`] goes one step further: when the
+//! mobility model reports which nodes actually moved
+//! (`MobilityModel::advance_reporting`), even the *detection* scan is
+//! skipped — the residency check runs only over the reported movers, so a
+//! tick where k nodes move costs O(k) grid work total.
+//!
 //! Past a churn threshold (> 1/8 of nodes crossing at once), on any cell
 //! overflowing its slack, or when the node count changes, `update` falls
 //! back to [`SpatialGrid::rebuild`] — a full counting-sort relayout that
@@ -171,6 +177,11 @@ impl SpatialGrid {
     /// count changed, churn exceeds the threshold, or a cell's slack
     /// overflows. Either way the resulting buckets are equivalent to a
     /// fresh [`SpatialGrid::rebuild`] (cell contents are unordered sets).
+    ///
+    /// This variant *scans all N residencies* to find the boundary
+    /// crossers. When the caller already knows which nodes moved (a
+    /// mobility model reporting its movers), prefer
+    /// [`SpatialGrid::update_reported`], which skips the scan entirely.
     pub fn update(&mut self, positions: &[Point2]) -> GridUpdate {
         let n = positions.len();
         if self.cell_of_node.len() != n {
@@ -186,6 +197,52 @@ impl SpatialGrid {
                 movers.push((i as u32, new_cell));
             }
         }
+        self.apply_movers(positions, movers)
+    }
+
+    /// Like [`SpatialGrid::update`], but the caller supplies the set of
+    /// nodes whose positions may have changed (`reported`), so boundary
+    /// crossing is checked only for those — O(movers), not O(N).
+    ///
+    /// # Contract
+    /// `reported` must contain **every** node whose position changed since
+    /// the grid last matched `positions` (a superset is fine — extra ids
+    /// just cost one residency check each). Mobility models produce exact
+    /// reports via `MobilityModel::advance_reporting`. An under-report
+    /// leaves stale buckets; debug builds catch that with an O(N) sweep.
+    pub fn update_reported(&mut self, positions: &[Point2], reported: &[NodeId]) -> GridUpdate {
+        let n = positions.len();
+        if self.cell_of_node.len() != n {
+            self.rebuild(positions);
+            return GridUpdate::Full;
+        }
+        let mut movers = std::mem::take(&mut self.movers);
+        movers.clear();
+        for &id in reported {
+            let i = id.index();
+            let new_cell = self.cell_index(positions[i]);
+            if new_cell != self.cell_of_node[i] {
+                movers.push((i as u32, new_cell));
+            }
+        }
+        let out = self.apply_movers(positions, movers);
+        #[cfg(debug_assertions)]
+        for (i, &p) in positions.iter().enumerate() {
+            debug_assert_eq!(
+                self.cell_of_node[i],
+                self.cell_index(p),
+                "node {i} moved cells but was not in the reported mover set"
+            );
+        }
+        out
+    }
+
+    /// Shared tail of `update`/`update_reported`: re-bucket the detected
+    /// boundary crossers, falling back to a full relayout on churn or
+    /// slack overflow. Takes ownership of the scratch mover list and
+    /// stores it back for reuse.
+    fn apply_movers(&mut self, positions: &[Point2], movers: Vec<(u32, u32)>) -> GridUpdate {
+        let n = positions.len();
         if movers.len() > n / CHURN_DIVISOR {
             self.movers = movers;
             self.rebuild(positions);
@@ -223,9 +280,59 @@ impl SpatialGrid {
         GridUpdate::Incremental { movers: count }
     }
 
+    /// Number of nodes the grid currently tracks residency for (the length
+    /// of the position slice it was last rebuilt/updated with).
+    #[inline]
+    pub fn tracked_nodes(&self) -> usize {
+        self.cell_of_node.len()
+    }
+
+    /// The cell `node` is currently bucketed in (its recorded residency as
+    /// of the last `rebuild`/`update`).
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the tracked range.
+    #[inline]
+    pub fn node_cell(&self, node: NodeId) -> u32 {
+        self.cell_of_node[node.index()]
+    }
+
+    /// The cell index position `p` buckets into (out-of-field positions
+    /// clamp to the boundary cells, mirroring `rebuild`).
+    #[inline]
+    pub fn cell_at(&self, p: Point2) -> u32 {
+        self.cell_index(p)
+    }
+
+    /// Visit every live occupant of the 3×3 cell ball centered on `cell` —
+    /// the cells a range-≤`cell_side` query launched from anywhere inside
+    /// `cell` can reach. No distance filtering: this is the *candidate*
+    /// superset the CSR adjacency patcher uses to find nodes whose link
+    /// set a mover may have touched.
+    pub fn for_each_in_cell_ball(&self, cell: u32, mut visit: impl FnMut(NodeId)) {
+        let cx = cell as usize % self.cols;
+        let cy = cell as usize / self.cols;
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for gy in y0..=y1 {
+            // Same fused-row trick as `for_each_within`: slack gaps hold
+            // `VACANT` sentinels, so three cells scan as one slice.
+            let lo = self.starts[gy * self.cols + x0] as usize;
+            let hi = self.starts[gy * self.cols + x1 + 1] as usize;
+            for &id in &self.entries[lo..hi] {
+                if id != VACANT {
+                    visit(id);
+                }
+            }
+        }
+    }
+
     /// Visit every node within `radius` of `center` (excluding `exclude`,
     /// typically the querying node itself). `radius` must not exceed the
     /// cell side the grid was built with.
+    #[inline]
     pub fn for_each_within(
         &self,
         positions: &[Point2],
@@ -464,6 +571,54 @@ mod tests {
         assert_eq!(got, vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
+    #[test]
+    fn reported_update_rebuckets_only_reported_movers() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let mut positions: Vec<Point2> = (0..40)
+            .map(|i| Point2::new((i % 10) as f64 * 10.0 + 5.0, (i / 10) as f64 * 10.0 + 5.0))
+            .collect();
+        assert_eq!(grid.update_reported(&positions, &[]), GridUpdate::Full);
+        // one node crosses a boundary, one jiggles within its cell; the
+        // report names both, only the crosser is re-bucketed
+        positions[3] = Point2::new(positions[3].x + 10.0, positions[3].y);
+        positions[7] = Point2::new(positions[7].x + 1.0, positions[7].y);
+        assert_eq!(
+            grid.update_reported(&positions, &[NodeId(3), NodeId(7)]),
+            GridUpdate::Incremental { movers: 1 }
+        );
+        assert_grid_invariants(&grid, &positions);
+        // an empty report with no movement is a no-op
+        assert_eq!(
+            grid.update_reported(&positions, &[]),
+            GridUpdate::Incremental { movers: 0 }
+        );
+    }
+
+    #[test]
+    fn cell_ball_covers_range_neighbors() {
+        // Every node within `range` of a point must appear in the 3×3 cell
+        // ball around that point's cell (the candidate superset contract).
+        let field = Field::square(200.0);
+        let mut grid = SpatialGrid::new(field, 25.0);
+        let positions: Vec<Point2> = (0..50)
+            .map(|i| Point2::new((i as f64 * 37.0) % 200.0, (i as f64 * 61.0) % 200.0))
+            .collect();
+        grid.rebuild(&positions);
+        for (i, &p) in positions.iter().enumerate() {
+            let mut ball = Vec::new();
+            grid.for_each_in_cell_ball(grid.cell_at(p), |id| ball.push(id));
+            assert_eq!(grid.node_cell(NodeId::from(i)), grid.cell_at(p));
+            for id in grid.within(&positions, p, 25.0, None) {
+                assert!(
+                    ball.contains(&id),
+                    "{id} within range of node {i} but missing from its cell ball"
+                );
+            }
+        }
+        assert_eq!(grid.tracked_nodes(), positions.len());
+    }
+
     proptest! {
         /// The grid returns exactly the brute-force neighbor set, for any
         /// point cloud and any query point.
@@ -508,6 +663,47 @@ mod tests {
                     p.y = (p.y + dy).clamp(0.0, 400.0);
                 }
                 inc.update(&positions);
+                let mut fresh = SpatialGrid::new(field, 40.0);
+                fresh.rebuild(&positions);
+                let center = Point2::new(q.0, q.1);
+                let mut got = inc.within(&positions, center, radius, None);
+                got.sort();
+                let mut expect = fresh.within(&positions, center, radius, None);
+                expect.sort();
+                prop_assert_eq!(got, expect);
+                assert_grid_invariants(&inc, &positions);
+            }
+        }
+
+        /// `update_reported` with an exact mover report is equivalent to a
+        /// fresh full rebuild, across displacement magnitudes that exercise
+        /// the incremental path and the churn/overflow fallbacks alike.
+        #[test]
+        fn prop_reported_update_equals_fresh_rebuild(
+            pts in proptest::collection::vec((0.0..400.0f64, 0.0..400.0f64), 1..80),
+            steps in proptest::collection::vec(
+                proptest::collection::vec((-60.0..60.0f64, -60.0..60.0f64), 1..80), 1..5),
+            q in (0.0..400.0f64, 0.0..400.0f64),
+            radius in 1.0..40.0f64,
+        ) {
+            let field = Field::square(400.0);
+            let mut positions: Vec<Point2> =
+                pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut inc = SpatialGrid::new(field, 40.0);
+            inc.update_reported(&positions, &[]);
+            for step in &steps {
+                let mut movers = Vec::new();
+                for (i, (p, &(dx, dy))) in
+                    positions.iter_mut().zip(step.iter().cycle()).enumerate()
+                {
+                    let before = *p;
+                    p.x = (p.x + dx).clamp(0.0, 400.0);
+                    p.y = (p.y + dy).clamp(0.0, 400.0);
+                    if *p != before {
+                        movers.push(NodeId::from(i));
+                    }
+                }
+                inc.update_reported(&positions, &movers);
                 let mut fresh = SpatialGrid::new(field, 40.0);
                 fresh.rebuild(&positions);
                 let center = Point2::new(q.0, q.1);

@@ -42,7 +42,8 @@
 //! paper's full evaluation (every table and figure). `ARCHITECTURE.md` at
 //! the repo root documents the crate layering, the mobility-tick /
 //! validation-round data flow, and the scalability invariants (zone-local
-//! membership, mover-only grid updates, sharded protocol state);
+//! membership, mover-only grid updates, sharded protocol state, and the
+//! mover-driven mobility→topology pipeline);
 //! `docs/REPRO.md` documents how to run every experiment family.
 
 #![warn(missing_docs)]

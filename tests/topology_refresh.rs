@@ -15,12 +15,19 @@
 //!    bitset answered, for every (owner, probe) pair on random topologies;
 //! 4. the mover-only spatial-grid re-bucketing answers range queries
 //!    identically to a freshly rebuilt grid across seeds, radii and
-//!    mobility intensities (including the churn/overflow fallbacks).
+//!    mobility intensities (including the churn/overflow fallbacks);
+//! 5. the mover-driven pipeline — mobility mover reports feeding
+//!    `Adjacency::patch_with_grid` and `Network::refresh_movers` — is
+//!    bit-identical (canonical CSR) to the wholesale rebuild across all
+//!    four mobility models, seeds, multi-tick sequences, churn-fallback
+//!    transitions, and node-count changes.
 
+use card_manet::mobility::model::MobilityModel;
+use card_manet::mobility::statics::StaticModel;
 use card_manet::prelude::*;
 use card_manet::routing::Network;
 use card_manet::sim::time::SimDuration;
-use card_manet::topology::graph::Adjacency;
+use card_manet::topology::graph::{Adjacency, PatchScratch};
 use card_manet::topology::grid::SpatialGrid;
 use card_manet::topology::node::NodeId;
 use proptest::prelude::*;
@@ -235,6 +242,175 @@ proptest! {
                 prop_assert_eq!(tables.of(owner).distance(v), truth.distance(v));
             }
         }
+    }
+}
+
+/// Build one of the four mobility models for the pipeline-equivalence
+/// suites. Kind 0 is the walk-and-dwell mix (few movers — the regime that
+/// stays on the patch path); 1 is random waypoint with pauses; 2 is group
+/// mobility (every member drifts — trips the churn fallback every tick);
+/// 3 is the static model (no movers at all).
+fn mobility_model(kind: u64, n: usize, field: Field, seed: u64) -> Box<dyn MobilityModel> {
+    let rng = SeedSplitter::new(seed).stream("pipeline-equiv", kind);
+    match kind % 4 {
+        0 => Box::new(RandomWalk::new_with_dwell(
+            n, field, 0.5, 2.0, 1.0, 0.9, rng,
+        )),
+        1 => Box::new(RandomWaypoint::new(n, field, 1.0, 12.0, 0.5, rng)),
+        2 => Box::new(GroupMobility::new(n, field, 3, 1.0, 8.0, 30.0, rng)),
+        _ => Box::new(StaticModel),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The mover-driven adjacency patch is bit-identical (canonical CSR:
+    /// offsets + edges after slack removal) to both the in-place wholesale
+    /// rebuild and a from-scratch build, across all four mobility models,
+    /// seeds and multi-tick sequences — covering the patch path, the
+    /// churn fallback, and no-motion ticks.
+    #[test]
+    fn patch_pipeline_equals_rebuild_and_fresh_build(
+        seed in 0u64..500,
+        kind in 0u64..4,
+        nodes in 2usize..90,
+        steps in 1usize..6,
+    ) {
+        let scenario = Scenario::new(nodes, 400.0, 400.0, 50.0);
+        let (mut positions, _) = scenario.instantiate(seed);
+        let field = scenario.field();
+        let mut model = mobility_model(kind, nodes, field, seed);
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut patched = Adjacency::build_with_grid(&mut grid, &positions, 50.0);
+        let mut grid_ref = SpatialGrid::new(field, 50.0);
+        let mut rebuilt = Adjacency::build_with_grid(&mut grid_ref, &positions, 50.0);
+        let mut scratch = PatchScratch::new();
+        let mut changed = Vec::new();
+        let mut movers = Vec::new();
+        for step in 0..steps {
+            model.advance_reporting(&mut positions, SimDuration::from_millis(600), &mut movers);
+            patched.patch_with_grid(&mut grid, &positions, 50.0, &movers, &mut changed, &mut scratch);
+            rebuilt.rebuild_with_grid(&mut grid_ref, &positions, 50.0);
+            let fresh = Adjacency::build(field, &positions, 50.0);
+            prop_assert_eq!(
+                patched.canonical_csr(),
+                fresh.canonical_csr(),
+                "patched != fresh at step {} (model kind {})", step, kind
+            );
+            prop_assert_eq!(
+                rebuilt.canonical_csr(),
+                fresh.canonical_csr(),
+                "rebuilt != fresh at step {} (model kind {})", step, kind
+            );
+        }
+    }
+
+    /// `Network::advance` — the mover-reported production path
+    /// (`advance_reporting` → `refresh_movers` → `patch_with_grid`) —
+    /// produces neighborhood tables identical to the rebuild-everything
+    /// reference, across mobility models, radii and seeds.
+    #[test]
+    fn network_mover_path_equals_full(
+        seed in 0u64..500,
+        kind in 0u64..4,
+        radius in 1u16..4,
+        steps in 1usize..5,
+    ) {
+        let scenario = Scenario::new(70, 350.0, 350.0, 60.0);
+        let mut inc = Network::from_scenario(&scenario, radius, seed);
+        let mut full = Network::from_scenario(&scenario, radius, seed);
+        let mut mi = mobility_model(kind, 70, scenario.field(), seed);
+        let mut mf = mobility_model(kind, 70, scenario.field(), seed);
+        for _ in 0..steps {
+            inc.advance(mi.as_mut(), SimDuration::from_millis(800));
+            if mf.is_static() {
+                // `advance` skips static models entirely; keep the
+                // reference in lockstep.
+                continue;
+            }
+            full.advance_positions_only(mf.as_mut(), SimDuration::from_millis(800));
+            full.refresh_full();
+            assert_equivalent(&inc, &full);
+            prop_assert_eq!(
+                inc.adj().canonical_csr(),
+                full.adj().canonical_csr(),
+                "mover-path CSR diverged from reference (model kind {})", kind
+            );
+        }
+    }
+}
+
+#[test]
+fn patch_survives_node_count_transitions() {
+    // Tick a dwell walk (patch path), shrink the node set (Full fallback),
+    // then keep ticking on the new count — equivalence must hold through
+    // every transition.
+    let scenario = Scenario::new(60, 400.0, 400.0, 50.0);
+    let field = scenario.field();
+    let (mut positions, _) = scenario.instantiate(11);
+    let mut grid = SpatialGrid::new(field, 50.0);
+    let mut adj = Adjacency::build_with_grid(&mut grid, &positions, 50.0);
+    let mut scratch = PatchScratch::new();
+    let mut changed = Vec::new();
+    let mut movers = Vec::new();
+
+    let mut model = RandomWalk::new_with_dwell(
+        60,
+        field,
+        0.5,
+        2.0,
+        1.0,
+        0.9,
+        SeedSplitter::new(3).stream("count-change", 0),
+    );
+    for _ in 0..3 {
+        model.advance_reporting(&mut positions, SimDuration::from_millis(500), &mut movers);
+        adj.patch_with_grid(
+            &mut grid,
+            &positions,
+            50.0,
+            &movers,
+            &mut changed,
+            &mut scratch,
+        );
+        assert_eq!(
+            adj.canonical_csr(),
+            Adjacency::build(field, &positions, 50.0).canonical_csr()
+        );
+    }
+    // shrink: the patch must detect the count change and rebuild wholesale
+    positions.truncate(40);
+    adj.patch_with_grid(&mut grid, &positions, 50.0, &[], &mut changed, &mut scratch);
+    assert_eq!(adj.node_count(), 40);
+    assert_eq!(
+        adj.canonical_csr(),
+        Adjacency::build(field, &positions, 50.0).canonical_csr()
+    );
+    // and patching keeps working on the new population
+    let mut model = RandomWalk::new_with_dwell(
+        40,
+        field,
+        0.5,
+        2.0,
+        1.0,
+        0.9,
+        SeedSplitter::new(3).stream("count-change", 1),
+    );
+    for _ in 0..3 {
+        model.advance_reporting(&mut positions, SimDuration::from_millis(500), &mut movers);
+        adj.patch_with_grid(
+            &mut grid,
+            &positions,
+            50.0,
+            &movers,
+            &mut changed,
+            &mut scratch,
+        );
+        assert_eq!(
+            adj.canonical_csr(),
+            Adjacency::build(field, &positions, 50.0).canonical_csr()
+        );
     }
 }
 
