@@ -13,6 +13,7 @@
 //! runs this file under `BENCH_QUICK=1` (see [`bench::config`]).
 
 use card_core::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
+use card_core::query::{dsq_query, dsq_query_rewalk, QueryScratch};
 use card_core::{CardConfig, ContactTable};
 use criterion::{criterion_group, criterion_main, Criterion};
 // scenario-5 density scaled to N nodes — shared with the scale experiments
@@ -532,6 +533,108 @@ fn bench_protocol_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
+/// The re-platformed query engine at N = 1000 (scenario-5 density, D = 3,
+/// protocol parameters of `experiments::scale::protocol_config`), on a
+/// world with selected contact tables and a fixed random pair list.
+///
+/// * `dsq_query/n1000/{incremental,rewalk}` — a 256-query batch through
+///   the incremental escalation engine (one reused `QueryScratch`; depth d
+///   only walks its final level) vs the from-scratch per-depth re-walk
+///   reference, which also re-allocates its visited/frontier buffers per
+///   attempt. Outcomes and message totals are bit-identical
+///   (`tests/query_engine.rs`); only the cost may differ.
+/// * `query_sweep/n1000/{sharded,serial}` — the whole pair list through
+///   the batched `CardWorld::query_all` fan-out (shard-owned scratches,
+///   per-shard `MsgStats` deltas) vs the serial reference
+///   (`query_all_serial`: one query at a time into the world's stats).
+fn bench_query_engine(c: &mut Criterion) {
+    let n = 1000usize;
+    let scenario = scaled_scenario(n);
+    let cfg = CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_seed(29);
+    let net = Network::from_scenario(&scenario, 2, 29);
+    let mut world = card_core::CardWorld::from_network(net, cfg);
+    world.select_all_contacts();
+    let splitter = SeedSplitter::new(31);
+    let mut pair_rng = splitter.stream("bench-query-pairs", 0);
+    let pairs: Vec<(NodeId, NodeId)> = (0..2000)
+        .map(|_| {
+            (
+                NodeId::from(pair_rng.index(n)),
+                NodeId::from(pair_rng.index(n)),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("dsq_query/n1000");
+    group.bench_function("incremental", |b| {
+        let mut scratch = QueryScratch::new();
+        b.iter(|| {
+            let mut stats = MsgStats::default();
+            let mut total = 0u64;
+            for &(s, t) in &pairs[..256] {
+                total += dsq_query(
+                    world.network(),
+                    world.contact_tables(),
+                    black_box(s),
+                    t,
+                    3,
+                    &mut stats,
+                    SimTime::ZERO,
+                    &mut scratch,
+                )
+                .total_messages();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("rewalk", |b| {
+        b.iter(|| {
+            let mut stats = MsgStats::default();
+            let mut total = 0u64;
+            for &(s, t) in &pairs[..256] {
+                total += dsq_query_rewalk(
+                    world.network(),
+                    world.contact_tables(),
+                    black_box(s),
+                    t,
+                    3,
+                    &mut stats,
+                    SimTime::ZERO,
+                )
+                .total_messages();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("query_sweep/n1000");
+    let mut run_sweep = |label: &str, parallel: bool| {
+        group.bench_function(label, |b| {
+            // Queries leave the protocol state untouched; only stats
+            // accumulate (into already-grown buckets), so the same world
+            // serves every iteration allocation-free.
+            let mut w = world.clone();
+            b.iter(|| {
+                let outcomes = if parallel {
+                    w.query_all(black_box(&pairs))
+                } else {
+                    w.query_all_serial(black_box(&pairs))
+                };
+                black_box(outcomes.iter().filter(|o| o.found).count())
+            })
+        });
+    };
+    run_sweep("sharded", true);
+    run_sweep("serial", false);
+    group.finish();
+}
+
 criterion_group! {
     name = micro;
     config = bench::config();
@@ -550,5 +653,6 @@ criterion_group! {
         bench_bitset_union,
         bench_csq_walk,
         bench_protocol_sweeps,
+        bench_query_engine,
 }
 criterion_main!(micro);

@@ -18,7 +18,13 @@
 //! * [`maintenance`] — periodic contact validation with local recovery
 //!   (§III.C.3);
 //! * [`query`] — the Destination Search Query with depth-of-search
-//!   escalation (§III.C.4);
+//!   escalation (§III.C.4), re-platformed as a zero-allocation engine: an
+//!   epoch-stamped [`query::QueryScratch`] walk workspace shared by node
+//!   queries, resource queries and reachability, with *incremental*
+//!   escalation (depth d only walks its final level; accounting stays
+//!   bit-identical to the per-depth re-walk reference
+//!   [`query::dsq_query_rewalk`]) and a batched
+//!   [`world::CardWorld::query_all`] sweep sharded over the worker pool;
 //! * [`reachability`] — the paper's reachability metric (§III.B) and its
 //!   distribution histograms;
 //! * [`resources`] — resource-level (anycast) discovery: registries, the
@@ -46,7 +52,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::config::{CardConfig, SelectionMethod};
     pub use crate::contact::{Contact, ContactTable};
-    pub use crate::query::QueryOutcome;
+    pub use crate::query::{QueryOutcome, QueryScratch};
     pub use crate::reachability::{ReachabilitySummary, REACH_BUCKET_PCT};
     pub use crate::resources::{ResourceDistribution, ResourceId, ResourceRegistry};
     pub use crate::world::CardWorld;
@@ -54,6 +60,6 @@ pub mod prelude {
 
 pub use config::{CardConfig, SelectionMethod};
 pub use contact::{Contact, ContactTable};
-pub use query::QueryOutcome;
+pub use query::{QueryOutcome, QueryScratch};
 pub use reachability::ReachabilitySummary;
 pub use world::CardWorld;

@@ -9,6 +9,34 @@
 //! "similar to the expanding ring search … \[but\] much more efficient … as
 //! the queries are not flooded with different TTLs but are directed to
 //! individual nodes".
+//!
+//! ## The query engine
+//!
+//! Queries are CARD's steady-state workload, so the walk machinery is built
+//! for zero per-query allocation and shared by every consumer:
+//!
+//! * [`QueryScratch`] is an epoch-stamped workspace (mirroring
+//!   `net_topology::bfs::BfsScratch`): the *seen* marks and both frontier
+//!   buffers persist across queries, so starting a new walk is O(1) — no
+//!   clearing, no zeroing, no allocation once the buffers have grown to
+//!   the network size. [`dsq_query`], [`crate::resources::resource_query`]
+//!   and [`crate::reachability::reachability_set`] all run on the same
+//!   generic level-synchronous contact walker
+//!   ([`QueryScratch::advance_level`]), differing only in their per-contact
+//!   visit closure.
+//! * Escalation is **incremental**: on the wire, a depth-d attempt re-sends
+//!   DSQs along levels 1‥d−1 before probing level d, but the simulator need
+//!   not re-traverse them — the scratch caches the deepest frontier and the
+//!   cumulative per-level message cost ([`QueryScratch::walked_msgs`]), so
+//!   depth d only walks its final level while the *accounting* stays
+//!   bit-identical to the from-scratch re-walk. [`dsq_query_rewalk`] keeps
+//!   the literal per-depth re-walk as the equivalence reference (pinned by
+//!   `tests/query_engine.rs` and the `dsq_query/*` benches).
+//! * Batched sweeps (`CardWorld::query_all`) fan pair lists out over
+//!   protocol shards with shard-owned scratches; queries draw no
+//!   randomness, so outcomes are a pure function of `(network, tables,
+//!   pair)` and the sweep is bit-identical to its serial reference at any
+//!   worker or shard count.
 
 use manet_routing::network::Network;
 use net_topology::node::NodeId;
@@ -37,14 +65,244 @@ impl QueryOutcome {
     }
 }
 
-/// One escalation attempt at exactly `depth` levels: a level-synchronous
-/// walk of the contact graph. Every contact is consumed at its *minimal*
-/// level (loop prevention via query IDs), so the set of neighborhoods
-/// consulted matches [`crate::reachability::reachability_set`] exactly —
-/// level-k contacts relay when k < depth and answer from their
+/// Reusable query-walk workspace: persistent *seen* marks (epoch-stamped)
+/// and frontier buffers, plus the incremental-escalation cache (deepest
+/// frontier, cumulative walk cost). One scratch serves any number of
+/// sequential queries over graphs of any size; buffers grow to the largest
+/// network seen and are then reused allocation-free (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    /// Epoch stamp per node; `mark[v] == epoch` means seen this query.
+    mark: Vec<u32>,
+    /// Current epoch (bumped per query; marks are only valid against it).
+    epoch: u32,
+    /// Contacts of the deepest completed level, with accumulated hop
+    /// distance from the source along contact paths. (Level 0 holds the
+    /// source itself at distance 0.)
+    frontier: Vec<(NodeId, u64)>,
+    /// Next-level staging buffer (swapped with `frontier` per level).
+    next: Vec<(NodeId, u64)>,
+    /// Cumulative DSQ messages of all *completed* levels — what a
+    /// from-scratch re-walk of those levels would charge (see
+    /// [`QueryScratch::walked_msgs`]).
+    walked: u64,
+}
+
+impl QueryScratch {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for networks of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        if s.mark.len() < n {
+            s.mark.resize(n, 0);
+        }
+        s
+    }
+
+    /// Open a new walk from `source` over a network of `n` nodes: bump the
+    /// epoch (recycling the mark array without clearing it) and reset the
+    /// frontier to the source. O(1) amortized.
+    pub(crate) fn begin(&mut self, n: usize, source: NodeId) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: invalidate every stale mark once.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.frontier.clear();
+        self.next.clear();
+        self.mark[source.index()] = self.epoch;
+        self.frontier.push((source, 0));
+        self.walked = 0;
+    }
+
+    /// DSQ messages a from-scratch walk of every completed level would
+    /// cost — the incremental escalation charges this instead of
+    /// re-traversing (escalation re-sends queries on the wire; the message
+    /// count is real even though the simulator walks each level once).
+    pub(crate) fn walked_msgs(&self) -> u64 {
+        self.walked
+    }
+
+    /// Advance the walk by one level: consume every not-yet-seen contact of
+    /// the current frontier (each contact at its *minimal* level — loop
+    /// prevention via the epoch marks, matching §III.C.4's query IDs),
+    /// charging its path hops to `msgs` and calling
+    /// `visit(contact, hops from source)`. A `Some` from `visit` aborts
+    /// the walk immediately (the query was answered; the scratch is left
+    /// mid-level and must be re-`begin`ed). Otherwise the discovered
+    /// contacts become the new frontier and the level's cost is added to
+    /// [`QueryScratch::walked_msgs`].
+    pub(crate) fn advance_level<R>(
+        &mut self,
+        contact_tables: &[ContactTable],
+        msgs: &mut u64,
+        mut visit: impl FnMut(NodeId, u64) -> Option<R>,
+    ) -> Option<R> {
+        self.next.clear();
+        let epoch = self.epoch;
+        let mut level_msgs = 0u64;
+        for fi in 0..self.frontier.len() {
+            let (node, dist) = self.frontier[fi];
+            for contact in contact_tables[node.index()].contacts() {
+                let c = contact.id;
+                if self.mark[c.index()] == epoch {
+                    continue;
+                }
+                self.mark[c.index()] = epoch;
+                let hops = contact.hops() as u64;
+                let at_contact = dist + hops;
+                *msgs += hops;
+                level_msgs += hops;
+                if let Some(r) = visit(c, at_contact) {
+                    return Some(r);
+                }
+                self.next.push((c, at_contact));
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.walked += level_msgs;
+        None
+    }
+
+    /// No contact remains to expand (deeper levels cannot discover — or
+    /// charge — anything).
+    pub(crate) fn exhausted(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+/// The shared escalation driver behind [`dsq_query`] and
+/// [`crate::resources::resource_query`], *without* statistics recording:
+/// walk depths 1‥`max_depth`, each depth charging the full re-walk cost of
+/// the levels below it ([`QueryScratch::walked_msgs`]) and then traversing
+/// only its final level, where `answers(contact)` is the
+/// neighborhood-table lookup. Message totals and outcomes are bit-identical
+/// to the per-depth re-walk ([`dsq_query_rewalk`]). Batched sweeps use
+/// this directly and record per-shard message *totals* once — identical
+/// buckets, since every query of a sweep lands at the same instant and
+/// zero counts never record.
+pub(crate) fn escalate_unrecorded(
+    n: usize,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    mut answers: impl FnMut(NodeId) -> bool,
+) -> QueryOutcome {
+    scratch.begin(n, source);
+    let mut query_msgs = 0u64;
+    for depth in 1..=max_depth {
+        // The wire cost of re-sending the query along levels 1..depth-1.
+        query_msgs += scratch.walked_msgs();
+        let reply = scratch.advance_level(contact_tables, &mut query_msgs, |c, at_contact| {
+            answers(c).then_some(at_contact)
+        });
+        if let Some(reply) = reply {
+            return QueryOutcome {
+                found: true,
+                depth_used: depth,
+                query_msgs,
+                reply_msgs: reply,
+            };
+        }
+    }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
+}
+
+/// [`escalate_unrecorded`] plus the per-query statistics recording of the
+/// single-query entry points: DSQ forwards always, the reply chain when a
+/// depth ≥ 1 level answered (a zero count never records, so the no-contact
+/// miss stays invisible in the buckets, as it always was).
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub(crate) fn escalate(
+    n: usize,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+    scratch: &mut QueryScratch,
+    answers: impl FnMut(NodeId) -> bool,
+) -> QueryOutcome {
+    let out = escalate_unrecorded(n, contact_tables, source, max_depth, scratch, answers);
+    stats.record_n(at, MsgKind::Dsq, out.query_msgs);
+    stats.record_n(at, MsgKind::DsqReply, out.reply_msgs);
+    out
+}
+
+/// [`dsq_query`] without statistics recording — the per-pair body of the
+/// batched `CardWorld::query_all` sweep, which accounts its shard's
+/// message totals in bulk (bit-identical bucket sums; see
+/// [`escalate_unrecorded`]).
+pub(crate) fn dsq_query_unrecorded(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let tables = net.tables();
+    if tables.of(source).contains(target) {
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
+    }
+    escalate_unrecorded(
+        net.node_count(),
+        contact_tables,
+        source,
+        max_depth,
+        scratch,
+        |c| tables.of(c).contains(target),
+    )
+}
+
+/// Run a full CARD query from `source` for `target`, escalating the depth
+/// of search from 1 to `max_depth` (§III.C.4). Messages are recorded into
+/// `stats` at time `at`; the walk runs allocation-free on `scratch`
+/// (escalation is incremental — see the module docs).
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn dsq_query(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let out = dsq_query_unrecorded(net, contact_tables, source, target, max_depth, scratch);
+    stats.record_n(at, MsgKind::Dsq, out.query_msgs);
+    stats.record_n(at, MsgKind::DsqReply, out.reply_msgs);
+    out
+}
+
+/// One from-scratch escalation attempt at exactly `depth` levels: a
+/// level-synchronous walk of the contact graph. Every contact is consumed
+/// at its *minimal* level (loop prevention via query IDs), so the set of
+/// neighborhoods consulted matches [`crate::reachability::reachability_set`]
+/// exactly — level-k contacts relay when k < depth and answer from their
 /// neighborhood tables when k = depth (§III.C.4). Returns the reply hop
 /// count when found.
-fn attempt(
+fn attempt_rewalk(
     net: &Network,
     contact_tables: &[ContactTable],
     source: NodeId,
@@ -86,10 +344,14 @@ fn attempt(
     None
 }
 
-/// Run a full CARD query from `source` for `target`, escalating the depth
-/// of search from 1 to `max_depth` (§III.C.4). Messages are recorded into
-/// `stats` at time `at`.
-pub fn dsq_query(
+/// The from-scratch re-walk reference for [`dsq_query`]: every escalation
+/// depth restarts its level-synchronous walk from the source, allocating
+/// fresh visited/frontier buffers per attempt — the literal §III.C.4
+/// semantics the incremental engine must reproduce bit for bit (outcome
+/// *and* message accounting). Kept, like `Network::refresh_full` and the
+/// `CardWorld::*_serial` sweeps, as the equivalence anchor for tests
+/// (`tests/query_engine.rs`) and the `dsq_query/*` benches.
+pub fn dsq_query_rewalk(
     net: &Network,
     contact_tables: &[ContactTable],
     source: NodeId,
@@ -98,7 +360,6 @@ pub fn dsq_query(
     stats: &mut MsgStats,
     at: SimTime,
 ) -> QueryOutcome {
-    // Step 0: the neighborhood table answers locally for free.
     if net.tables().of(source).contains(target) {
         return QueryOutcome {
             found: true,
@@ -110,7 +371,9 @@ pub fn dsq_query(
 
     let mut query_msgs = 0u64;
     for depth in 1..=max_depth {
-        if let Some(reply) = attempt(net, contact_tables, source, target, depth, &mut query_msgs) {
+        if let Some(reply) =
+            attempt_rewalk(net, contact_tables, source, target, depth, &mut query_msgs)
+        {
             stats.record_n(at, MsgKind::Dsq, query_msgs);
             stats.record_n(at, MsgKind::DsqReply, reply);
             return QueryOutcome {
@@ -146,6 +409,42 @@ mod tests {
         MsgStats::new(SimDuration::from_secs(2))
     }
 
+    /// `dsq_query` on a throwaway scratch, checked on the spot against the
+    /// re-walk reference (every unit scenario doubles as an equivalence
+    /// case; the broad pin lives in `tests/query_engine.rs`).
+    fn query(
+        net: &Network,
+        tables: &[ContactTable],
+        source: NodeId,
+        target: NodeId,
+        max_depth: u16,
+        st: &mut MsgStats,
+    ) -> QueryOutcome {
+        let mut scratch = QueryScratch::new();
+        let out = dsq_query(
+            net,
+            tables,
+            source,
+            target,
+            max_depth,
+            st,
+            SimTime::ZERO,
+            &mut scratch,
+        );
+        let mut ref_stats = mk_stats();
+        let reference = dsq_query_rewalk(
+            net,
+            tables,
+            source,
+            target,
+            max_depth,
+            &mut ref_stats,
+            SimTime::ZERO,
+        );
+        assert_eq!(out, reference, "incremental escalation diverged");
+        out
+    }
+
     /// A 16-node line, 40 m spacing, range 50 m, R = 2.
     fn line_net() -> Network {
         let positions: Vec<Point2> = (0..16)
@@ -169,7 +468,7 @@ mod tests {
         let net = line_net();
         let tables = tables_for_line(&net);
         let mut st = mk_stats();
-        let out = dsq_query(&net, &tables, n(0), n(2), 3, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(2), 3, &mut st);
         assert!(out.found);
         assert_eq!(out.depth_used, 0);
         assert_eq!(out.total_messages(), 0);
@@ -182,7 +481,7 @@ mod tests {
         let tables = tables_for_line(&net);
         let mut st = mk_stats();
         // node 7 is 1 hop from contact 6 → in its R=2 neighborhood
-        let out = dsq_query(&net, &tables, n(0), n(7), 3, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(7), 3, &mut st);
         assert!(out.found);
         assert_eq!(out.depth_used, 1);
         assert_eq!(out.query_msgs, 6, "one DSQ along the 6-hop contact path");
@@ -197,7 +496,7 @@ mod tests {
         let tables = tables_for_line(&net);
         let mut st = mk_stats();
         // node 13 is within R=2 of second-level contact 12, but NOT of 6.
-        let out = dsq_query(&net, &tables, n(0), n(13), 3, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(13), 3, &mut st);
         assert!(out.found);
         assert_eq!(out.depth_used, 2);
         // D=1 attempt: 6 msgs (failed). D=2 attempt: 6 (to c1) + 6 (to c2).
@@ -212,7 +511,7 @@ mod tests {
         let tables = tables_for_line(&net);
         let mut st = mk_stats();
         // node 15 is 3 hops past contact 12: outside every queried zone
-        let out = dsq_query(&net, &tables, n(0), n(15), 2, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(15), 2, &mut st);
         assert!(!out.found);
         assert_eq!(out.depth_used, 2);
         assert!(out.query_msgs > 0);
@@ -225,11 +524,11 @@ mod tests {
         let mut tables = tables_for_line(&net);
         tables[12].add(Contact::new(n(15), vec![n(12), n(13), n(14), n(15)]));
         let mut st = mk_stats();
-        let shallow = dsq_query(&net, &tables, n(0), n(15), 2, &mut st, SimTime::ZERO);
+        let shallow = query(&net, &tables, n(0), n(15), 2, &mut st);
         // n15 IS within R=2 of contact n12's... dist(12,15)=3 > 2, so D=2 misses;
         // at D=3 the level-3 contact n15 sees itself in its own neighborhood.
         assert!(!shallow.found);
-        let deep = dsq_query(&net, &tables, n(0), n(15), 3, &mut st, SimTime::ZERO);
+        let deep = query(&net, &tables, n(0), n(15), 3, &mut st);
         assert!(deep.found);
         assert_eq!(deep.depth_used, 3);
     }
@@ -240,10 +539,10 @@ mod tests {
         let tables = tables_for_line(&net);
         let mut st = mk_stats();
         // found at depth 2 → cost includes the failed depth-1 attempt
-        let out = dsq_query(&net, &tables, n(0), n(13), 2, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(13), 2, &mut st);
         // hypothetical: starting directly at D=2 would be cheaper
         let mut direct = 0u64;
-        attempt(&net, &tables, n(0), n(13), 2, &mut direct).unwrap();
+        attempt_rewalk(&net, &tables, n(0), n(13), 2, &mut direct).unwrap();
         assert!(
             out.query_msgs > direct,
             "escalation must cost more than direct D=2"
@@ -256,7 +555,7 @@ mod tests {
         let tables: Vec<ContactTable> =
             (0..net.node_count()).map(|_| ContactTable::new()).collect();
         let mut st = mk_stats();
-        let out = dsq_query(&net, &tables, n(0), n(9), 3, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(9), 3, &mut st);
         assert!(!out.found);
         assert_eq!(out.total_messages(), 0);
     }
@@ -270,7 +569,117 @@ mod tests {
         tables[0].add(Contact::new(n(6), (0..7).map(n).collect()));
         tables[6].add(Contact::new(n(0), (0..7).rev().map(n).collect()));
         let mut st = mk_stats();
-        let out = dsq_query(&net, &tables, n(0), n(15), 3, &mut st, SimTime::ZERO);
+        let out = query(&net, &tables, n(0), n(15), 3, &mut st);
         assert!(!out.found, "must terminate despite the contact cycle");
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_leaks_nothing() {
+        // One scratch, many queries in arbitrary order: every outcome must
+        // match a fresh-scratch run (epoch stamping isolates queries).
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut shared = QueryScratch::new();
+        for target in [7u32, 13, 15, 2, 13, 7, 15] {
+            for depth in [1u16, 2, 3] {
+                let mut st_a = mk_stats();
+                let out = dsq_query(
+                    &net,
+                    &tables,
+                    n(0),
+                    n(target),
+                    depth,
+                    &mut st_a,
+                    SimTime::ZERO,
+                    &mut shared,
+                );
+                let mut st_b = mk_stats();
+                let fresh = dsq_query(
+                    &net,
+                    &tables,
+                    n(0),
+                    n(target),
+                    depth,
+                    &mut st_b,
+                    SimTime::ZERO,
+                    &mut QueryScratch::new(),
+                );
+                assert_eq!(out, fresh, "target {target} depth {depth}");
+                assert_eq!(st_a.grand_total(), st_b.grand_total());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_marks() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let mut scratch = QueryScratch::new();
+        let mut st = mk_stats();
+        let first = dsq_query(
+            &net,
+            &tables,
+            n(0),
+            n(13),
+            3,
+            &mut st,
+            SimTime::ZERO,
+            &mut scratch,
+        );
+        // Force the epoch to the wrap point: stale marks must not leak.
+        scratch.epoch = u32::MAX;
+        let again = dsq_query(
+            &net,
+            &tables,
+            n(0),
+            n(13),
+            3,
+            &mut st,
+            SimTime::ZERO,
+            &mut scratch,
+        );
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn incremental_matches_rewalk_per_depth_on_deep_chains() {
+        // A longer contact chain with branching: per-depth outcomes and
+        // message totals must agree with the re-walk at every max_depth.
+        let net = line_net();
+        let mut tables = tables_for_line(&net);
+        tables[12].add(Contact::new(n(15), (12..16).map(n).collect()));
+        tables[0].add(Contact::new(n(9), (0..10).map(n).collect()));
+        let mut scratch = QueryScratch::new();
+        for target in 0..16u32 {
+            for max_depth in 1..=4u16 {
+                let mut st_inc = mk_stats();
+                let inc = dsq_query(
+                    &net,
+                    &tables,
+                    n(0),
+                    n(target),
+                    max_depth,
+                    &mut st_inc,
+                    SimTime::ZERO,
+                    &mut scratch,
+                );
+                let mut st_ref = mk_stats();
+                let reference = dsq_query_rewalk(
+                    &net,
+                    &tables,
+                    n(0),
+                    n(target),
+                    max_depth,
+                    &mut st_ref,
+                    SimTime::ZERO,
+                );
+                assert_eq!(inc, reference, "target {target} depth {max_depth}");
+                assert_eq!(
+                    st_inc.series_where(|_| true),
+                    st_ref.series_where(|_| true),
+                    "stats series diverged for target {target} depth {max_depth}"
+                );
+            }
+        }
     }
 }

@@ -11,11 +11,63 @@ use manet_routing::network::Network;
 use net_topology::node::NodeId;
 use sim_core::stats::PercentHistogram;
 use sim_core::util::BitSet;
+use std::cell::RefCell;
 
 use crate::contact::ContactTable;
+use crate::query::QueryScratch;
 
 /// Histogram bucket width used by every reachability figure (percent).
 pub const REACH_BUCKET_PCT: f64 = 5.0;
+
+/// The set of nodes `source` can reach at contact depth `depth`, written
+/// into `out` (cleared first): its neighborhood ∪ neighborhoods of
+/// contacts up to `depth` levels.
+///
+/// This is the allocation-free core: the contact walk runs on the shared
+/// level-synchronous engine of [`QueryScratch`] (the same traversal a DSQ
+/// performs — the set it accumulates is exactly the region a depth-`depth`
+/// query consults), and `out` is reused by callers that sweep many
+/// sources ([`ReachabilitySummary::compute`] runs all N sources on one
+/// scratch and one bitset).
+///
+/// # Panics
+/// Panics if `out` was built for fewer than `net.node_count()` nodes.
+pub fn reachability_set_into(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    source: NodeId,
+    depth: u16,
+    scratch: &mut QueryScratch,
+    out: &mut BitSet,
+) {
+    let tables = net.tables();
+    out.clear();
+    for m in tables.of(source).iter_members() {
+        out.insert(m.index());
+    }
+
+    // Level-synchronous walk of the contact graph on the query engine;
+    // every newly consumed contact unions its neighborhood in. Messages
+    // are not charged (this is the paper's §III.B *metric*, not a query).
+    scratch.begin(net.node_count(), source);
+    let mut no_msgs = 0u64;
+    for _ in 0..depth {
+        if scratch.exhausted() {
+            break;
+        }
+        scratch.advance_level::<()>(contact_tables, &mut no_msgs, |c, _| {
+            for m in tables.of(c).iter_members() {
+                out.insert(m.index());
+            }
+            None
+        });
+    }
+}
+
+thread_local! {
+    /// Shared walk scratch for the owned-result convenience wrapper below.
+    static LOCAL_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
 
 /// The set of nodes `source` can reach at contact depth `depth`
 /// (its neighborhood ∪ neighborhoods of contacts up to `depth` levels).
@@ -23,40 +75,26 @@ pub const REACH_BUCKET_PCT: f64 = 5.0;
 /// The returned [`BitSet`] is a *per-query* accumulator (one O(N)-bit set
 /// alive at a time); the neighborhoods themselves store only O(zone)
 /// sorted member arrays, so unioning a zone in is O(zone size) inserts.
+/// The walk itself runs allocation-free on a thread-local
+/// [`QueryScratch`]; sweeps that cannot afford the output allocation
+/// either should hold their own scratch and use [`reachability_set_into`].
 pub fn reachability_set(
     net: &Network,
     contact_tables: &[ContactTable],
     source: NodeId,
     depth: u16,
 ) -> BitSet {
-    let tables = net.tables();
     let mut set = BitSet::new(net.node_count());
-    for m in tables.of(source).iter_members() {
-        set.insert(m.index());
-    }
-
-    // Breadth-first walk of the contact graph, level by level.
-    let mut seen = vec![false; net.node_count()];
-    seen[source.index()] = true;
-    let mut frontier = vec![source];
-    for _ in 0..depth {
-        let mut next = Vec::new();
-        for &node in &frontier {
-            for c in contact_tables[node.index()].ids() {
-                if !seen[c.index()] {
-                    seen[c.index()] = true;
-                    for m in tables.of(c).iter_members() {
-                        set.insert(m.index());
-                    }
-                    next.push(c);
-                }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        frontier = next;
-    }
+    LOCAL_SCRATCH.with(|s| {
+        reachability_set_into(
+            net,
+            contact_tables,
+            source,
+            depth,
+            &mut s.borrow_mut(),
+            &mut set,
+        );
+    });
     set
 }
 
@@ -87,13 +125,22 @@ pub struct ReachabilitySummary {
 
 impl ReachabilitySummary {
     /// Compute the distribution for every node at contact depth `depth`.
+    ///
+    /// One walk scratch and one accumulator bitset serve all N sources —
+    /// the per-source work is the contact walk and the zone unions, with
+    /// no per-source allocation (the old implementation allocated two
+    /// O(N) vectors and a bitset per source: 2·N throwaway vectors per
+    /// summary).
     pub fn compute(net: &Network, contact_tables: &[ContactTable], depth: u16) -> Self {
         let n = net.node_count();
         let mut histogram = PercentHistogram::new(REACH_BUCKET_PCT);
         let mut per_node_pct = Vec::with_capacity(n);
         let mut sum = 0.0;
+        let mut scratch = QueryScratch::with_capacity(n);
+        let mut set = BitSet::new(n);
         for source in NodeId::all(n) {
-            let pct = reachability_pct(net, contact_tables, source, depth);
+            reachability_set_into(net, contact_tables, source, depth, &mut scratch, &mut set);
+            let pct = 100.0 * set.len() as f64 / n as f64;
             histogram.record(pct);
             sum += pct;
             per_node_pct.push(pct);
@@ -216,6 +263,27 @@ mod tests {
         assert_eq!(summary.fraction_at_least(101.0), 0.0);
         let f40 = summary.fraction_at_least(40.0);
         assert!((f40 - 1.0 / 20.0).abs() < 1e-9, "only node 0 reaches 40%");
+    }
+
+    #[test]
+    fn reused_scratch_and_bitset_match_fresh_runs() {
+        let net = line_net();
+        let mut tables = empty_tables(20);
+        tables[0].add(Contact::new(n(8), (0..9).map(n).collect()));
+        tables[8].add(Contact::new(n(16), (8..17).map(n).collect()));
+        let mut scratch = crate::query::QueryScratch::new();
+        let mut set = BitSet::new(20);
+        for depth in [0u16, 1, 2, 3] {
+            for src in [0u32, 5, 8, 19] {
+                reachability_set_into(&net, &tables, n(src), depth, &mut scratch, &mut set);
+                let fresh = reachability_set(&net, &tables, n(src), depth);
+                assert_eq!(
+                    set.to_vec(),
+                    fresh.to_vec(),
+                    "source {src} depth {depth} diverged on reuse"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,12 +23,12 @@ use manet_routing::neighborhood::Neighborhood;
 use manet_routing::network::Network;
 use net_topology::node::NodeId;
 use sim_core::rng::RngStream;
-use sim_core::stats::{MsgKind, MsgStats};
+use sim_core::stats::MsgStats;
 use sim_core::time::SimTime;
 use sim_core::util::BitSet;
 
 use crate::contact::ContactTable;
-use crate::query::QueryOutcome;
+use crate::query::{QueryOutcome, QueryScratch};
 
 /// An application-level resource identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -200,6 +200,12 @@ pub fn distribute(
 /// zone, then escalate D = 1, 2, … `max_depth`, forwarding to contacts
 /// level-synchronously; a final-level contact answers iff some host of the
 /// resource lies in its neighborhood table.
+///
+/// Runs on the same incremental escalation engine as
+/// [`crate::query::dsq_query`] — the walk is allocation-free on `scratch`
+/// and only the answer predicate differs (a resource is its hosts: for a
+/// single-host resource this is *exactly* the node-lookup DSQ, message for
+/// message — pinned by `tests/query_engine.rs`).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
 pub fn resource_query(
     net: &Network,
@@ -210,9 +216,11 @@ pub fn resource_query(
     max_depth: u16,
     stats: &mut MsgStats,
     at: SimTime,
+    scratch: &mut QueryScratch,
 ) -> QueryOutcome {
+    let tables = net.tables();
     // Zone-local instance: answered from the proactive tables, free.
-    if registry.hosted_in_neighborhood(resource, net.tables().of(source)) {
+    if registry.hosted_in_neighborhood(resource, tables.of(source)) {
         return QueryOutcome {
             found: true,
             depth_used: 0,
@@ -220,52 +228,16 @@ pub fn resource_query(
             reply_msgs: 0,
         };
     }
-
-    let mut query_msgs = 0u64;
-    for depth in 1..=max_depth {
-        let mut seen = vec![false; net.node_count()];
-        seen[source.index()] = true;
-        let mut frontier: Vec<(NodeId, u64)> = vec![(source, 0)];
-        for level in 1..=depth {
-            let mut next = Vec::new();
-            for &(node, dist) in &frontier {
-                for contact in contact_tables[node.index()].contacts() {
-                    let c = contact.id;
-                    if seen[c.index()] {
-                        continue;
-                    }
-                    seen[c.index()] = true;
-                    let at_contact = dist + contact.hops() as u64;
-                    query_msgs += contact.hops() as u64;
-                    if level == depth {
-                        if registry.hosted_in_neighborhood(resource, net.tables().of(c)) {
-                            stats.record_n(at, MsgKind::Dsq, query_msgs);
-                            stats.record_n(at, MsgKind::DsqReply, at_contact);
-                            return QueryOutcome {
-                                found: true,
-                                depth_used: depth,
-                                query_msgs,
-                                reply_msgs: at_contact,
-                            };
-                        }
-                    } else {
-                        next.push((c, at_contact));
-                    }
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() && level < depth {
-                break;
-            }
-        }
-    }
-    stats.record_n(at, MsgKind::Dsq, query_msgs);
-    QueryOutcome {
-        found: false,
-        depth_used: max_depth,
-        query_msgs,
-        reply_msgs: 0,
-    }
+    crate::query::escalate(
+        net.node_count(),
+        contact_tables,
+        source,
+        max_depth,
+        stats,
+        at,
+        scratch,
+        |c| registry.hosted_in_neighborhood(resource, tables.of(c)),
+    )
 }
 
 /// The set of resources discoverable by `source` at contact depth `depth`:
@@ -289,6 +261,7 @@ mod tests {
     use super::*;
     use crate::contact::Contact;
     use net_topology::geometry::{Field, Point2};
+    use sim_core::stats::MsgKind;
     use sim_core::time::SimDuration;
 
     fn n(i: u32) -> NodeId {
@@ -360,6 +333,7 @@ mod tests {
             3,
             &mut st,
             SimTime::ZERO,
+            &mut QueryScratch::new(),
         );
         assert!(out.found);
         assert_eq!(out.depth_used, 0);
@@ -382,6 +356,7 @@ mod tests {
             3,
             &mut st,
             SimTime::ZERO,
+            &mut QueryScratch::new(),
         );
         assert!(out.found);
         assert_eq!(out.depth_used, 1);
@@ -407,6 +382,7 @@ mod tests {
             3,
             &mut st,
             SimTime::ZERO,
+            &mut QueryScratch::new(),
         );
         assert!(out.found);
         assert_eq!(out.depth_used, 1, "nearer replica answers first");
@@ -427,6 +403,7 @@ mod tests {
             3,
             &mut st,
             SimTime::ZERO,
+            &mut QueryScratch::new(),
         );
         assert!(!out.found);
         assert!(out.query_msgs > 0, "escalation paid for nothing");
@@ -492,6 +469,7 @@ mod tests {
                 2,
                 &mut st,
                 SimTime::ZERO,
+                &mut QueryScratch::new(),
             );
             assert_eq!(
                 out.found,

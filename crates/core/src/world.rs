@@ -28,6 +28,22 @@
 //! ([`CardWorld::select_all_contacts_serial`],
 //! [`CardWorld::validation_round_serial`]), which exist precisely to pin
 //! that equivalence in tests and benches.
+//!
+//! ## Batched query sweeps
+//!
+//! Queries are read-only over the protocol state (contact tables and
+//! neighborhood tables; no RNG draws), so [`CardWorld::query_all`] shards
+//! the *pair list* rather than the node arrays: each shard of pairs runs
+//! on a shard-owned [`QueryScratch`] (the incremental-escalation walk
+//! workspace — see [`crate::query`]) and accumulates its DSQ/reply
+//! counters into a per-shard delta, merged into the world statistics in
+//! shard order. Every query of a sweep lands at the same virtual instant
+//! and zero counts never record, so the shard deltas are plain counter
+//! pairs recorded in bulk — the resulting buckets are bit-identical to
+//! per-query recording, minus thousands of map probes per sweep. Outcomes
+//! are a pure function of `(network, tables, pair)`, so the sweep equals
+//! [`CardWorld::query_all_serial`] — and a loop of [`CardWorld::query`]
+//! calls — bit for bit at any worker or shard count.
 
 use manet_routing::network::Network;
 use mobility::model::MobilityModel;
@@ -36,14 +52,14 @@ use net_topology::scenario::Scenario;
 use sim_core::engine::Engine;
 use sim_core::par::{max_workers, parallel_shard_map, shard_spans};
 use sim_core::rng::{RngStream, SeedSplitter};
-use sim_core::stats::{MsgStats, TimeSeries};
+use sim_core::stats::{MsgKind, MsgStats, TimeSeries};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::config::CardConfig;
 use crate::contact::ContactTable;
 use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use crate::maintenance::{validate_contacts, ValidationReport};
-use crate::query::{dsq_query, QueryOutcome};
+use crate::query::{dsq_query, dsq_query_unrecorded, QueryOutcome, QueryScratch};
 use crate::reachability::ReachabilitySummary;
 
 /// Aggregated maintenance counters over a whole run.
@@ -130,6 +146,10 @@ pub struct CardWorld {
     /// workspaces must survive across sweeps (a scratch's buffers grow to
     /// O(N) once and are then reused allocation-free).
     shard_scratch: Vec<CsqScratch>,
+    /// One persistent query walk workspace per protocol shard (kept in
+    /// lockstep with `shard_scratch`). Scratch 0 also serves the one-off
+    /// [`CardWorld::query`] path, so steady-state querying never allocates.
+    query_scratch: Vec<QueryScratch>,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
@@ -188,6 +208,9 @@ impl CardWorld {
             shard_scratch: (0..default_shard_count())
                 .map(|_| CsqScratch::new())
                 .collect(),
+            query_scratch: (0..default_shard_count())
+                .map(|_| QueryScratch::new())
+                .collect(),
         }
     }
 
@@ -208,6 +231,8 @@ impl CardWorld {
         assert!(shards > 0, "need at least one protocol shard");
         self.shard_scratch.resize_with(shards, CsqScratch::new);
         self.shard_scratch.shrink_to_fit();
+        self.query_scratch.resize_with(shards, QueryScratch::new);
+        self.query_scratch.shrink_to_fit();
     }
 
     /// Split every per-node array into disjoint shard views, one per
@@ -534,7 +559,9 @@ impl CardWorld {
     }
 
     /// Issue a resource-discovery query (§III.C.4) from `source` for
-    /// `target`, escalating depth up to `cfg.depth`.
+    /// `target`, escalating depth up to `cfg.depth`. Runs allocation-free
+    /// on the world's first query scratch; batches should prefer
+    /// [`CardWorld::query_all`].
     pub fn query(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
         dsq_query(
             &self.net,
@@ -544,7 +571,82 @@ impl CardWorld {
             self.cfg.depth,
             &mut self.stats,
             self.now,
+            &mut self.query_scratch[0],
         )
+    }
+
+    /// Run a batch of queries — one DSQ per `(source, target)` pair,
+    /// escalating up to `cfg.depth` — fanned out over the protocol shards
+    /// (the *pair list* is sharded; see the module docs), returning the
+    /// outcomes in pair order. Message counters land in per-shard
+    /// [`MsgStats`] deltas merged in shard order, so results and
+    /// statistics are bit-identical to [`CardWorld::query_all_serial`] at
+    /// any worker or shard count.
+    pub fn query_all(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            now,
+            query_scratch,
+            ..
+        } = self;
+        let at = *now;
+        let depth = cfg.depth;
+        let spans = shard_spans(pairs.len(), query_scratch.len());
+        // Each shard owns its span of the pair list, the matching span of
+        // the output buffer (written in place — no per-shard collection),
+        // and one walk scratch.
+        let mut out: Vec<QueryOutcome> = vec![
+            QueryOutcome {
+                found: false,
+                depth_used: 0,
+                query_msgs: 0,
+                reply_msgs: 0,
+            };
+            pairs.len()
+        ];
+        let mut shards = Vec::with_capacity(spans.len());
+        let mut out_rest: &mut [QueryOutcome] = &mut out;
+        let mut scratches = query_scratch.iter_mut();
+        for span in spans {
+            let (slots, rest) = out_rest.split_at_mut(span.end - span.start);
+            out_rest = rest;
+            shards.push((
+                &pairs[span],
+                slots,
+                scratches.next().expect("span count exceeds scratch count"),
+            ));
+        }
+        let deltas = parallel_shard_map(&mut shards, |_, (pairs, slots, scratch)| {
+            // The shard's message delta: every query lands at the same
+            // instant, so two counters recorded in bulk afterwards produce
+            // buckets bit-identical to per-query recording.
+            let mut dsq = 0u64;
+            let mut reply = 0u64;
+            for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
+                let o = dsq_query_unrecorded(net, contacts, s, t, depth, scratch);
+                dsq += o.query_msgs;
+                reply += o.reply_msgs;
+                *slot = o;
+            }
+            (dsq, reply)
+        });
+        for (dsq, reply) in deltas {
+            stats.record_n(at, MsgKind::Dsq, dsq);
+            stats.record_n(at, MsgKind::DsqReply, reply);
+        }
+        out
+    }
+
+    /// Serial reference for [`CardWorld::query_all`]: the same queries one
+    /// at a time on the caller's thread, recording straight into the
+    /// world's statistics. Kept (like the `*_serial` protocol sweeps) as
+    /// the equivalence anchor for `tests/query_engine.rs` and the
+    /// `query_sweep/*` benches.
+    pub fn query_all_serial(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
     }
 
     /// Reachability distribution at contact depth `depth` (Figs 5–9).
@@ -598,7 +700,6 @@ mod tests {
     use crate::config::SelectionMethod;
     use mobility::statics::StaticModel;
     use mobility::waypoint::RandomWaypoint;
-    use sim_core::stats::MsgKind;
 
     fn scenario() -> Scenario {
         Scenario::new(150, 500.0, 500.0, 60.0)
@@ -791,6 +892,49 @@ mod tests {
             assert!(out.depth_used >= 1);
             assert!(out.query_msgs > 0);
         }
+    }
+
+    #[test]
+    fn query_all_matches_serial_and_per_query_paths() {
+        let pairs: Vec<(NodeId, NodeId)> = (0..60u32)
+            .map(|i| (NodeId::new(i % 150), NodeId::new((i * 37 + 5) % 150)))
+            .collect();
+        let build = |shards: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg().with_depth(3));
+            if let Some(k) = shards {
+                w.set_shard_count(k);
+            }
+            w.select_all_contacts();
+            w
+        };
+        let mut serial = build(Some(1));
+        let expected_outcomes = serial.query_all_serial(&pairs);
+        let expected_series = serial.stats().series_where(|_| true);
+        for shards in [None, Some(1), Some(3), Some(60), Some(500)] {
+            let mut par = build(shards);
+            let outcomes = par.query_all(&pairs);
+            assert_eq!(outcomes, expected_outcomes, "shards {shards:?}");
+            assert_eq!(
+                par.stats().series_where(|_| true),
+                expected_series,
+                "stats diverged at shard count {shards:?}"
+            );
+        }
+        // and the one-at-a-time path agrees too
+        let mut loose = build(None);
+        let one_by_one: Vec<QueryOutcome> = pairs.iter().map(|&(s, t)| loose.query(s, t)).collect();
+        assert_eq!(one_by_one, expected_outcomes);
+    }
+
+    #[test]
+    fn query_all_handles_empty_and_repeated_sweeps() {
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(2));
+        w.select_all_contacts();
+        assert!(w.query_all(&[]).is_empty());
+        let pairs = vec![(NodeId::new(0), NodeId::new(100)); 8];
+        let first = w.query_all(&pairs);
+        let second = w.query_all(&pairs); // scratch reuse across sweeps
+        assert_eq!(first, second);
     }
 
     #[test]

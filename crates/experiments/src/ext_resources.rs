@@ -12,7 +12,7 @@
 use crate::output::markdown_table;
 use crate::runner::parallel_map;
 use card_core::resources::{distribute, resource_query, ResourceDistribution, ResourceId};
-use card_core::{CardConfig, CardWorld};
+use card_core::{CardConfig, CardWorld, QueryScratch};
 use net_topology::node::NodeId;
 use net_topology::scenario::{Scenario, SCENARIO_5};
 use sim_core::rng::SeedSplitter;
@@ -121,6 +121,7 @@ pub fn run(params: &Params) -> Vec<DistRow> {
         let registry = distribute(world.network(), params.resources, dist, &mut place_rng);
         let mut query_rng = splitter.stream("res-query", k as u64);
         let mut stats = MsgStats::default();
+        let mut scratch = QueryScratch::new(); // reused across the cell's queries
         let mut found = 0usize;
         let mut zone_hits = 0usize;
         let mut msgs = 0u64;
@@ -136,6 +137,7 @@ pub fn run(params: &Params) -> Vec<DistRow> {
                 params.depth,
                 &mut stats,
                 world.now(),
+                &mut scratch,
             );
             found += out.found as usize;
             zone_hits += (out.found && out.depth_used == 0) as usize;

@@ -26,7 +26,17 @@
 //!   the end-to-end demonstration that the *protocol* layers — not just
 //!   the topology substrate — operate at N = 10⁵ (the tables produced are
 //!   seed-deterministic regardless of worker or shard count; see
-//!   `card_core::world`).
+//!   `card_core::world`);
+//! * **query workload** — queries are CARD's actual steady-state traffic
+//!   (§III.C.4, Figs 13–15), so each row then drives the re-platformed
+//!   query engine on the selected tables: a batch of random node-lookup
+//!   DSQs swept through the sharded `CardWorld::query_all` (hit rate,
+//!   mean escalation depth of the hits, messages per query, wall time and
+//!   queries-per-second throughput), followed by anycast *resource*
+//!   queries over a uniform and a clustered replica mix
+//!   ([`QUERY_RESOURCES`] resources × [`QUERY_REPLICAS`] replicas,
+//!   `card_core::resources::resource_query` on one reused scratch) whose
+//!   hit rates land in the last two columns.
 //!
 //! Three mobility profiles bracket the churn range: *pedestrian* (random
 //! walk, 0.5–2 m/s — the paper's assumed regime; every node drifts every
@@ -40,11 +50,13 @@
 //! node counts with `--nodes N` — no recompile needed.
 
 use crate::output::markdown_table;
-use card_core::{CardConfig, CardWorld};
+use card_core::resources::{distribute, resource_query, ResourceDistribution, ResourceId};
+use card_core::{CardConfig, CardWorld, QueryScratch};
 use manet_routing::network::Network;
 use mobility::model::MobilityModel;
 use mobility::walk::RandomWalk;
 use mobility::waypoint::RandomWaypoint;
+use net_topology::node::NodeId;
 use net_topology::scenario::Scenario;
 use sim_core::rng::SeedSplitter;
 use sim_core::stats::MsgKind;
@@ -53,6 +65,17 @@ use std::time::Instant;
 
 /// Validation rounds run in the full-protocol phase of each scale row.
 pub const PROTOCOL_ROUNDS: usize = 2;
+
+/// Distinct resources of each query-phase resource mix.
+pub const QUERY_RESOURCES: usize = 64;
+
+/// Replicas per resource in each query-phase resource mix.
+pub const QUERY_REPLICAS: usize = 8;
+
+/// Escalation depth of the query phase (D of §III.C.4). The selection
+/// phase's contact annulus is shallow (r = 4R), so D = 3 exercises real
+/// multi-level escalation without flooding the contact graph.
+pub const QUERY_DEPTH: u16 = 3;
 
 /// Dwell probability of the [`MobilityProfile::PedestrianDwell`] profile:
 /// at any instant ~1% of nodes are walking and the rest stand exactly
@@ -129,6 +152,9 @@ pub struct Params {
     pub tick: SimDuration,
     /// Zone radius R.
     pub radius: u16,
+    /// Node-lookup DSQs issued per row in the query phase (random
+    /// source/target pairs, swept through `CardWorld::query_all`).
+    pub queries: usize,
     /// Root seed.
     pub seed: u64,
 }
@@ -140,6 +166,7 @@ impl Default for Params {
             ticks: 100,
             tick: SimDuration::from_millis(100),
             radius: 2,
+            queries: 10_000,
             seed: crate::DEFAULT_SEED,
         }
     }
@@ -151,6 +178,7 @@ impl Params {
         Params {
             nodes: vec![2_000],
             ticks: 20,
+            queries: 2_000,
             ..Params::default()
         }
     }
@@ -212,6 +240,23 @@ pub struct ScaleRow {
     pub validate_nodes_per_s: f64,
     /// Maintenance messages (validation + ack) over all rounds.
     pub maintenance_msgs: u64,
+    /// Node-lookup DSQs issued in the query phase.
+    pub query_count: usize,
+    /// Fraction of those DSQs that found their target.
+    pub query_hit_rate: f64,
+    /// Mean escalation depth over the *hits* (0 = answered from the
+    /// source's own zone).
+    pub query_mean_depth: f64,
+    /// Mean control messages (query + reply) per DSQ, hits and misses.
+    pub query_msgs_per: f64,
+    /// Wall time of the sharded `query_all` sweep.
+    pub query_ms: f64,
+    /// Query throughput: DSQs per second through the batched sweep.
+    pub queries_per_s: f64,
+    /// Anycast hit rate over the uniform resource mix.
+    pub res_uniform_hit_rate: f64,
+    /// Anycast hit rate over the clustered resource mix.
+    pub res_clustered_hit_rate: f64,
 }
 
 /// Run every (N, mobility-profile) combination of `p`.
@@ -239,6 +284,7 @@ pub fn protocol_config(p: &Params) -> CardConfig {
         .with_radius(p.radius)
         .with_max_contact_distance(4 * p.radius)
         .with_target_contacts(4)
+        .with_depth(QUERY_DEPTH)
         .with_seed(p.seed)
 }
 
@@ -287,6 +333,68 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
     let validate_ms = t_val.elapsed().as_secs_f64() * 1e3;
     let swept = (PROTOCOL_ROUNDS * n) as f64;
 
+    // Query workload phase: a batch of random node-lookup DSQs through the
+    // sharded sweep, then anycast resource queries over the two §V mixes.
+    let splitter = SeedSplitter::new(p.seed);
+    let mut pair_rng = splitter.stream("scale-query-pairs", 0);
+    let pairs: Vec<(NodeId, NodeId)> = (0..p.queries)
+        .map(|_| {
+            (
+                NodeId::from(pair_rng.index(n)),
+                NodeId::from(pair_rng.index(n)),
+            )
+        })
+        .collect();
+    let t_query = Instant::now();
+    let outcomes = world.query_all(&pairs);
+    let query_ms = t_query.elapsed().as_secs_f64() * 1e3;
+    let hits = outcomes.iter().filter(|o| o.found).count();
+    let depth_sum: u64 = outcomes
+        .iter()
+        .filter(|o| o.found)
+        .map(|o| o.depth_used as u64)
+        .sum();
+    let query_msg_sum: u64 = outcomes.iter().map(|o| o.total_messages()).sum();
+
+    let res_hit_rate = |label: &'static str, dist: ResourceDistribution| -> f64 {
+        let mut place_rng = splitter.stream(label, 0);
+        let registry = distribute(world.network(), QUERY_RESOURCES, dist, &mut place_rng);
+        let mut rng = splitter.stream(label, 1);
+        let mut scratch = QueryScratch::with_capacity(n);
+        let queries = (p.queries / 4).max(1);
+        let mut found = 0usize;
+        let mut stats = sim_core::stats::MsgStats::default();
+        for _ in 0..queries {
+            let source = NodeId::from(rng.index(n));
+            let resource = ResourceId(rng.index(QUERY_RESOURCES) as u32);
+            let out = resource_query(
+                world.network(),
+                world.contact_tables(),
+                &registry,
+                source,
+                resource,
+                QUERY_DEPTH,
+                &mut stats,
+                world.now(),
+                &mut scratch,
+            );
+            found += out.found as usize;
+        }
+        found as f64 / queries as f64
+    };
+    let res_uniform_hit_rate = res_hit_rate(
+        "scale-res-uniform",
+        ResourceDistribution::UniformReplicated {
+            replicas: QUERY_REPLICAS,
+        },
+    );
+    let res_clustered_hit_rate = res_hit_rate(
+        "scale-res-clustered",
+        ResourceDistribution::Clustered {
+            replicas: QUERY_REPLICAS,
+        },
+    );
+
     ScaleRow {
         scenario: *scenario,
         mobility: profile,
@@ -311,6 +419,14 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         validate_ms,
         validate_nodes_per_s: swept / (validate_ms / 1e3).max(1e-9),
         maintenance_msgs: world.stats().total_where(MsgKind::is_maintenance),
+        query_count: p.queries,
+        query_hit_rate: hits as f64 / p.queries.max(1) as f64,
+        query_mean_depth: depth_sum as f64 / hits.max(1) as f64,
+        query_msgs_per: query_msg_sum as f64 / p.queries.max(1) as f64,
+        query_ms,
+        queries_per_s: p.queries as f64 / (query_ms / 1e3).max(1e-9),
+        res_uniform_hit_rate,
+        res_clustered_hit_rate,
     }
 }
 
@@ -402,9 +518,39 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
             ]
         })
         .collect();
+    let query_headers = [
+        "N",
+        "Mobility",
+        "Queries",
+        "Hit %",
+        "Mean depth",
+        "Msgs/query",
+        "Query (ms)",
+        "Queries/s",
+        "Res uni hit %",
+        "Res clu hit %",
+    ];
+    let query_body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                r.query_count.to_string(),
+                format!("{:.1}%", 100.0 * r.query_hit_rate),
+                format!("{:.2}", r.query_mean_depth),
+                format!("{:.1}", r.query_msgs_per),
+                format!("{:.0}", r.query_ms),
+                fmt_rate(r.queries_per_s),
+                format!("{:.1}%", 100.0 * r.res_uniform_hit_rate),
+                format!("{:.1}%", 100.0 * r.res_clustered_hit_rate),
+            ]
+        })
+        .collect();
     format!(
         "### Scale — {}-tick mobility runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}\n\n\
-         ### Scale — full-protocol phase (sharded sweeps; EM, r={}, NoC={}, {} validation rounds)\n\n{}",
+         ### Scale — full-protocol phase (sharded sweeps; EM, r={}, NoC={}, {} validation rounds)\n\n{}\n\n\
+         ### Scale — query workload phase (sharded `query_all` DSQs at D={}; resource mixes {}×{} replicas)\n\n{}",
         p.ticks,
         p.radius,
         p.tick.as_secs_f64() * 1e3,
@@ -412,7 +558,11 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
         cfg.max_contact_distance,
         cfg.target_contacts,
         PROTOCOL_ROUNDS,
-        markdown_table(&proto_headers, &proto_body)
+        markdown_table(&proto_headers, &proto_body),
+        QUERY_DEPTH,
+        QUERY_RESOURCES,
+        QUERY_REPLICAS,
+        markdown_table(&query_headers, &query_body)
     )
 }
 
@@ -424,6 +574,7 @@ mod tests {
         Params {
             nodes: vec![500],
             ticks: 5,
+            queries: 300,
             ..Params::default()
         }
     }
@@ -509,6 +660,35 @@ mod tests {
         assert!(text.contains("Movers/tick"));
         assert!(text.contains("Patched/tick"));
         assert!(text.contains("Fallback ticks"));
+        assert!(text.contains("query workload phase"));
+        assert!(text.contains("Queries/s"));
+        assert!(text.contains("Res uni hit %"));
+    }
+
+    #[test]
+    fn query_phase_produces_sane_throughput_columns() {
+        let rows = run(&tiny());
+        for r in &rows {
+            assert_eq!(r.query_count, 300);
+            assert!(r.queries_per_s > 0.0, "{:?} query throughput", r.mobility);
+            assert!((0.0..=1.0).contains(&r.query_hit_rate));
+            assert!((0.0..=1.0).contains(&r.res_uniform_hit_rate));
+            assert!((0.0..=1.0).contains(&r.res_clustered_hit_rate));
+            assert!(
+                r.query_hit_rate > 0.0,
+                "some of 300 random DSQs on a 500-node world must hit ({:?})",
+                r.mobility
+            );
+            assert!(r.query_mean_depth <= QUERY_DEPTH as f64);
+            // 64 resources × 8 replicas over 500 nodes: anycast should do
+            // at least as well as same-depth unicast on average
+            assert!(
+                r.res_uniform_hit_rate >= r.query_hit_rate * 0.8,
+                "uniform {} vs unicast {}",
+                r.res_uniform_hit_rate,
+                r.query_hit_rate
+            );
+        }
     }
 
     #[test]

@@ -18,29 +18,34 @@
 //!    reported movers that crossed a cell boundary, and only the movers
 //!    plus the occupants of their old/new 3×3 cell balls have their CSR
 //!    rows re-queried — the patch emits the *changed* nodes (endpoints of
-//!    appeared/disappeared links) directly, with no O(N) snapshot diff.
-//!    The previous CSR is kept as a double buffer (one O(E) `clone_from`
-//!    memcpy per tick) because step 4 needs the old graph;
+//!    appeared/disappeared links) directly, with no O(N) snapshot diff,
+//!    and saves each rewritten row's pre-patch content to a per-row
+//!    **undo log** in the patch scratch (O(changed · degree) copies)
+//!    because step 4 needs the old graph;
 //! 3. a node `u`'s R-hop BFS relaxes exactly the edges incident to nodes
 //!    at depth ≤ R−1 from `u`, so its table can only have changed if some
 //!    changed node lies within **R−1** hops of `u` — in the old or the new
 //!    graph (if no changed node is that close in either snapshot, an
 //!    induction over BFS depth shows both frontiers stay identical). The
 //!    *dirty* set is therefore the union of two multi-source (R−1)-hop
-//!    balls around the changed nodes, one per snapshot; at R = 0 zones are
-//!    `{self}` and no link change can dirty anything;
+//!    balls around the changed nodes, one per snapshot — the old-snapshot
+//!    ball runs over a *virtual* old graph ([`BfsScratch::ball_with`])
+//!    that serves patched rows from the undo log and every other row from
+//!    the live CSR; at R = 0 zones are `{self}` and no link change can
+//!    dirty anything;
 //! 4. only the dirty neighborhoods are rebuilt, in parallel, with
 //!    per-worker [`net_topology::bfs::BfsScratch`] workspaces.
 //!
 //! Between mobility and the neighborhood refresh, no stage runs per-node
-//! detection scans, range queries or diffs on the steady-state path:
-//! that work is proportional to the movers and the neighborhoods they
-//! disturb. The one remaining O(E) term is the double-buffer snapshot
-//! memcpy of step 2 — a sequential copy that is an order of magnitude
-//! cheaper than the per-node range queries it replaces (a per-row undo
-//! log could remove it; see ROADMAP). Every stage keeps its wholesale
-//! fallback (churn, slack overflow, node-count change), and
-//! [`Network::pipeline_counters`] reports what each stage actually did.
+//! detection scans, range queries, diffs, or whole-CSR copies on the
+//! steady-state path: every term is proportional to the movers and the
+//! neighborhoods they disturb. (Earlier revisions paid one O(E)
+//! double-buffer `clone_from` memcpy per tick to keep the old graph; the
+//! undo log replaced it — the spare CSR buffer survives only as the
+//! rebuild target of the report-free [`Network::refresh`] path.) Every
+//! stage keeps its wholesale fallback (churn, slack overflow, node-count
+//! change), and [`Network::pipeline_counters`] reports what each stage
+//! actually did.
 //!
 //! The equivalence of this path with the naive rebuild is pinned by unit
 //! tests below and by the randomized `tests/topology_refresh.rs` suite.
@@ -95,8 +100,12 @@ pub struct Network {
     radius: u16,
     positions: Vec<Point2>,
     adj: Adjacency,
-    /// Double buffer: the adjacency the current tables were computed from,
-    /// reused as the rebuild target on the next refresh.
+    /// Spare CSR buffer for the report-free [`Network::refresh`] path: at
+    /// entry it is swapped in as the rebuild target while the pre-refresh
+    /// graph (which the tables reflect) becomes the diff baseline. The
+    /// mover-driven path never copies into it — the old graph is
+    /// reconstructed from the patch's per-row undo log instead — so its
+    /// content between calls is unspecified.
     prev_adj: Adjacency,
     grid: SpatialGrid,
     tables: NeighborhoodTables,
@@ -106,8 +115,12 @@ pub struct Network {
     changed: Vec<NodeId>,
     dirty: Vec<NodeId>,
     dirty_flags: Vec<bool>,
-    /// Workspace for the CSR adjacency patch (reused across ticks).
+    /// Workspace for the CSR adjacency patch (reused across ticks); also
+    /// holds the per-row undo log the old-graph dirty ball reads.
     patch_scratch: PatchScratch,
+    /// Sorted `(row, undo index)` lookup for the old-graph neighbor view
+    /// (rebuilt per tick from the patch's undo log; reused buffer).
+    undo_index: Vec<(NodeId, u32)>,
     /// Reusable buffer for the mobility model's mover report.
     movers_buf: Vec<NodeId>,
     /// What the last refresh actually did, stage by stage.
@@ -156,6 +169,7 @@ impl Network {
             dirty: Vec::new(),
             dirty_flags: vec![false; n],
             patch_scratch: PatchScratch::new(),
+            undo_index: Vec::new(),
             movers_buf: Vec::new(),
             counters: PipelineCounters::default(),
         }
@@ -246,15 +260,17 @@ impl Network {
     /// whose positions changed since the last refresh (`movers`, typically
     /// a `MobilityModel::advance_reporting` report — a superset is sound).
     /// The adjacency is patched in place (rows re-queried only around
-    /// movers) and the patch's changed-row output seeds the dirty
-    /// neighborhood balls directly, so no stage scans all N nodes.
-    /// Equivalent to — and checked against — [`Network::refresh_full`].
+    /// movers), the patch's changed-row output seeds the dirty
+    /// neighborhood balls directly, and the old-graph ball reads the
+    /// patch's per-row undo log — so no stage scans all N nodes or copies
+    /// the CSR. Equivalent to — and checked against —
+    /// [`Network::refresh_full`].
     pub fn refresh_movers(&mut self, movers: &[NodeId]) {
         let n = self.positions.len();
         if self.adj.node_count() != n || !Adjacency::patch_viable(n, movers.len()) {
             // The churn fallback would rebuild wholesale anyway — take the
-            // report-free path directly and skip the O(E) snapshot copy
-            // the patch path needs.
+            // report-free path directly: its all-rows diff recovers the
+            // changed set the patch can no longer report.
             self.refresh();
             self.counters.movers_reported = movers.len();
             return;
@@ -271,10 +287,8 @@ impl Network {
             self.dirty.clear();
             return;
         }
-        // The tables currently reflect `adj`; keep that snapshot as the
-        // old graph (one O(E) memcpy) and patch the new one in place.
-        std::mem::swap(&mut self.adj, &mut self.prev_adj);
-        self.adj.clone_from(&self.prev_adj);
+        // The tables currently reflect `adj`; patch it in place. Old rows
+        // live on in the patch scratch's undo log — no snapshot copy.
         let outcome = self.adj.patch_with_grid(
             &mut self.grid,
             &self.positions,
@@ -289,17 +303,22 @@ impl Network {
             } => {
                 self.counters.rows_patched = rows_patched;
                 self.record_grid_update(grid);
+                self.recompute_dirty_neighborhoods_from_undo();
             }
             AdjacencyUpdate::Full { grid } => {
-                // Wholesale rebuild ran: no changed-row report, so fall
-                // back to the O(N) snapshot diff.
+                // Wholesale rebuild ran inside the patch (grid out of
+                // sync): the pre-patch graph is gone and nothing was
+                // logged, so rebuild every table.
                 self.counters.full_fallback = true;
                 self.counters.rows_patched = n;
                 self.record_grid_update(grid);
-                self.diff_changed_rows();
+                self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
+                self.changed.clear();
+                self.dirty.clear();
+                self.counters.changed = n;
+                self.counters.dirty = n;
             }
         }
-        self.recompute_dirty_neighborhoods();
     }
 
     /// O(N) snapshot diff: collect into `self.changed` every node whose
@@ -353,34 +372,122 @@ impl Network {
         self.recompute_dirty_neighborhoods();
     }
 
-    /// Shared tail of the refresh paths: seed the (R−1)-hop dirty balls
-    /// from `self.changed` in both snapshots and rebuild exactly those
-    /// neighborhoods in parallel.
+    /// Dirty-ball tail of the mover-driven patch path: same derivation as
+    /// [`Network::recompute_dirty_neighborhoods`], but the old-graph ball
+    /// walks a *virtual* snapshot — patched rows served from the undo log
+    /// recorded by [`Adjacency::patch_with_grid`], every other row from
+    /// the live CSR — so no O(E) double-buffer copy is ever made.
+    fn recompute_dirty_neighborhoods_from_undo(&mut self) {
+        let Network {
+            adj,
+            tables,
+            scratch,
+            changed,
+            dirty,
+            dirty_flags,
+            patch_scratch,
+            undo_index,
+            radius,
+            counters,
+            ..
+        } = self;
+        // Sorted (row → undo entry) lookup; the log holds exactly the
+        // changed rows, so this is O(changed · log changed) to build and
+        // O(log changed) per neighbor-slice fetch during the ball walk.
+        undo_index.clear();
+        undo_index.extend((0..patch_scratch.undo_count()).map(|k| {
+            let (node, _) = patch_scratch.undo_entry(k);
+            (node, k as u32)
+        }));
+        undo_index.sort_unstable_by_key(|&(v, _)| v);
+        Self::dirty_ball_tail(
+            adj,
+            tables,
+            scratch,
+            changed,
+            dirty,
+            dirty_flags,
+            counters,
+            *radius,
+            |v| match undo_index.binary_search_by_key(&v, |&(u, _)| u) {
+                Ok(k) => patch_scratch.undo_entry(undo_index[k].1 as usize).1,
+                Err(_) => adj.neighbors(v),
+            },
+        );
+    }
+
+    /// Shared tail of the report-free refresh paths: seed the (R−1)-hop
+    /// dirty balls from `self.changed` in both snapshots and rebuild
+    /// exactly those neighborhoods in parallel. The old snapshot here is
+    /// `prev_adj` (the pre-swap graph the tables reflect).
     fn recompute_dirty_neighborhoods(&mut self) {
-        self.counters.changed = self.changed.len();
-        self.dirty.clear();
-        if self.changed.is_empty() || self.radius == 0 {
-            // R = 0 zones are {self}: no link change can affect a table.
+        let Network {
+            adj,
+            prev_adj,
+            tables,
+            scratch,
+            changed,
+            dirty,
+            dirty_flags,
+            radius,
+            counters,
+            ..
+        } = self;
+        Self::dirty_ball_tail(
+            adj,
+            tables,
+            scratch,
+            changed,
+            dirty,
+            dirty_flags,
+            counters,
+            *radius,
+            |v| prev_adj.neighbors(v),
+        );
+    }
+
+    /// The dirty-set derivation and rebuild shared by both refresh tails.
+    ///
+    /// Dirty = union of the (R−1)-hop balls around the changed nodes in
+    /// the old and the new graph: a node's BFS-R relaxes only edges
+    /// incident to depth ≤ R−1, so farther link changes cannot alter its
+    /// table. The old graph is abstract — `old_neighbors(v)` must return
+    /// `v`'s pre-refresh neighbor slice, however the caller keeps it
+    /// (undo-log overlay or the `prev_adj` snapshot). At R = 0 zones are
+    /// `{self}` and no link change can dirty anything.
+    #[allow(clippy::too_many_arguments)] // exclusively-borrowed field set
+    fn dirty_ball_tail<'g>(
+        adj: &Adjacency,
+        tables: &mut NeighborhoodTables,
+        scratch: &mut BfsScratch,
+        changed: &[NodeId],
+        dirty: &mut Vec<NodeId>,
+        dirty_flags: &mut [bool],
+        counters: &mut PipelineCounters,
+        radius: u16,
+        old_neighbors: impl Fn(NodeId) -> &'g [NodeId],
+    ) {
+        counters.changed = changed.len();
+        dirty.clear();
+        counters.dirty = 0;
+        if changed.is_empty() || radius == 0 {
             return;
         }
-
-        // Dirty = (R−1)-hop ball around the changed nodes, in both
-        // snapshots: BFS-R only relaxes edges incident to nodes at depth
-        // ≤ R−1, so farther link changes cannot alter the table.
-        for graph in [&self.prev_adj, &self.adj] {
-            let view = self.scratch.ball(graph, &self.changed, self.radius - 1);
+        let mut collect = |view: net_topology::bfs::BfsView<'_>| {
             for &v in view.visited() {
-                if !self.dirty_flags[v.index()] {
-                    self.dirty_flags[v.index()] = true;
-                    self.dirty.push(v);
+                if !dirty_flags[v.index()] {
+                    dirty_flags[v.index()] = true;
+                    dirty.push(v);
                 }
             }
+        };
+        collect(scratch.ball_with(adj.node_count(), old_neighbors, changed, radius - 1));
+        collect(scratch.ball(adj, changed, radius - 1));
+        tables.recompute_nodes(adj, dirty);
+        for &v in dirty.iter() {
+            dirty_flags[v.index()] = false;
         }
-        self.tables.recompute_nodes(&self.adj, &self.dirty);
-        for &v in &self.dirty {
-            self.dirty_flags[v.index()] = false;
-        }
-        self.counters.dirty = self.dirty.len();
+        counters.dirty = dirty.len();
     }
 
     /// Rebuild connectivity and recompute *every* neighborhood from
@@ -391,9 +498,9 @@ impl Network {
         let grid_update =
             self.adj
                 .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
-        // Keep the double buffer coherent: the tables below reflect `adj`,
-        // so the next incremental diff must run against this snapshot.
-        self.prev_adj.clone_from(&self.adj);
+        // No double-buffer upkeep needed: `refresh` swaps the current
+        // graph in as its own diff baseline before rebuilding, so the
+        // spare buffer's content between calls is free to be stale.
         self.tables = NeighborhoodTables::compute(&self.adj, self.radius);
         self.counters = PipelineCounters {
             movers_reported: n,
@@ -589,7 +696,7 @@ mod tests {
         for step in 0..6 {
             net.advance_positions_only(&mut ma, SimDuration::from_secs(1));
             if step % 2 == 0 {
-                net.refresh_full(); // must leave the double buffer coherent
+                net.refresh_full(); // interleaving must not confuse refresh()
             } else {
                 net.refresh();
             }

@@ -193,13 +193,40 @@ impl BfsScratch {
         self.view()
     }
 
+    /// [`BfsScratch::ball`] over a *virtual* graph given by a neighbor
+    /// closure instead of a materialized [`Adjacency`]: `neighbors(v)` must
+    /// return `v`'s sorted neighbor slice for every `v` in `0..n`. This is
+    /// how the mover-driven refresh walks the **old** graph without keeping
+    /// an O(E) snapshot — the closure serves patched rows from a per-row
+    /// undo log and everything else from the live CSR.
+    pub fn ball_with<'a, 'g>(
+        &'a mut self,
+        n: usize,
+        neighbors: impl Fn(NodeId) -> &'g [NodeId],
+        sources: &[NodeId],
+        max_hops: u16,
+    ) -> BfsView<'a> {
+        self.run_with(n, neighbors, sources, Some(max_hops));
+        self.view()
+    }
+
     /// The view of the most recent traversal.
     pub fn view(&self) -> BfsView<'_> {
         BfsView { s: self }
     }
 
     fn run(&mut self, adj: &Adjacency, sources: &[NodeId], limit: Option<u16>) {
-        self.begin(adj.node_count());
+        self.run_with(adj.node_count(), |u| adj.neighbors(u), sources, limit);
+    }
+
+    fn run_with<'g>(
+        &mut self,
+        n: usize,
+        neighbors: impl Fn(NodeId) -> &'g [NodeId],
+        sources: &[NodeId],
+        limit: Option<u16>,
+    ) {
+        self.begin(n);
         let epoch = self.epoch;
         for &src in sources {
             if self.mark[src.index()] == epoch {
@@ -219,7 +246,7 @@ impl BfsScratch {
                     continue;
                 }
             }
-            for &v in adj.neighbors(u) {
+            for &v in neighbors(u) {
                 if self.mark[v.index()] != epoch {
                     self.mark[v.index()] = epoch;
                     self.dist[v.index()] = du + 1;
@@ -501,6 +528,37 @@ mod tests {
         // duplicate sources are tolerated
         let view = scratch.ball(&adj, &[NodeId(2), NodeId(2)], 0);
         assert_eq!(view.visited(), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn ball_with_closure_matches_ball_on_adjacency() {
+        let mut adj = Adjacency::with_nodes(6);
+        for i in 0..5u32 {
+            adj.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let mut scratch = BfsScratch::new();
+        let direct: Vec<NodeId> = scratch.ball(&adj, &[NodeId(2)], 2).visited().to_vec();
+        let via_closure: Vec<NodeId> = scratch
+            .ball_with(6, |u| adj.neighbors(u), &[NodeId(2)], 2)
+            .visited()
+            .to_vec();
+        assert_eq!(direct, via_closure);
+        // An override that severs 2-3 must confine the ball to the left arc.
+        let empty: &[NodeId] = &[];
+        let left: &[NodeId] = &[NodeId(1)];
+        let view = scratch.ball_with(
+            6,
+            |u| match u.raw() {
+                2 => left,
+                3 => empty,
+                _ => adj.neighbors(u),
+            },
+            &[NodeId(2)],
+            3,
+        );
+        let mut got: Vec<u32> = view.visited().iter().map(|n| n.raw()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
     }
 
     #[test]

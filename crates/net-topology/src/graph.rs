@@ -83,6 +83,14 @@ pub enum AdjacencyUpdate {
 
 /// Reusable workspace for [`Adjacency::patch_with_grid`] (epoch-stamped
 /// candidate dedup plus row scratch — no allocation in the steady state).
+///
+/// The scratch doubles as the patch's **per-row undo log**: for every row
+/// the patch actually rewrote, the pre-patch live neighbor slice is saved
+/// (O(changed · degree) copies — exactly the data that changed, never the
+/// whole CSR). Callers that need the *old* graph after a patch — the
+/// mover-driven refresh walks it for the old-snapshot dirty ball — read it
+/// back through [`PatchScratch::undo_count`] / [`PatchScratch::undo_entry`]
+/// instead of keeping an O(E) snapshot copy.
 #[derive(Clone, Debug, Default)]
 pub struct PatchScratch {
     /// `stamp[i] == epoch` ⇔ node `i` is already a candidate this patch.
@@ -92,6 +100,12 @@ pub struct PatchScratch {
     candidates: Vec<NodeId>,
     /// The freshly recomputed row being compared/written.
     row: Vec<NodeId>,
+    /// Undo log: `(rewritten row, offset into undo_edges)` per changed row
+    /// of the last patch, in the same order as the `changed` output.
+    undo_rows: Vec<(NodeId, u32)>,
+    /// Flat pre-patch row contents; row `k` of the log spans
+    /// `undo_rows[k].1 .. undo_rows[k + 1].1` (or the buffer end).
+    undo_edges: Vec<NodeId>,
 }
 
 impl PatchScratch {
@@ -101,7 +115,8 @@ impl PatchScratch {
     }
 
     /// Start a new patch over `n` nodes: bump the epoch (recycling the
-    /// stamp array without clearing it) and reset the candidate list.
+    /// stamp array without clearing it) and reset the candidate list and
+    /// undo log.
     fn begin(&mut self, n: usize) {
         self.stamp.resize(n, 0);
         self.epoch = self.epoch.wrapping_add(1);
@@ -110,6 +125,29 @@ impl PatchScratch {
             self.epoch = 1;
         }
         self.candidates.clear();
+        self.undo_rows.clear();
+        self.undo_edges.clear();
+    }
+
+    /// Number of rows in the undo log of the last patch (equals the
+    /// changed-row count of a [`AdjacencyUpdate::Patched`] outcome; stale
+    /// after a [`AdjacencyUpdate::Full`] fallback, which logs nothing).
+    pub fn undo_count(&self) -> usize {
+        self.undo_rows.len()
+    }
+
+    /// The `k`-th undo entry: the rewritten row and its *pre-patch* live
+    /// neighbor slice.
+    ///
+    /// # Panics
+    /// Panics if `k >= undo_count()`.
+    pub fn undo_entry(&self, k: usize) -> (NodeId, &[NodeId]) {
+        let (node, start) = self.undo_rows[k];
+        let end = self
+            .undo_rows
+            .get(k + 1)
+            .map_or(self.undo_edges.len(), |&(_, s)| s as usize);
+        (node, &self.undo_edges[start as usize..end])
     }
 }
 
@@ -292,7 +330,10 @@ impl Adjacency {
     ///
     /// `changed` receives the rows whose neighbor set actually changed (in
     /// candidate-discovery order) — exactly the seed set an incremental
-    /// neighborhood refresh needs, with no O(N) snapshot diff.
+    /// neighborhood refresh needs, with no O(N) snapshot diff. Each changed
+    /// row's *pre-patch* content is saved to `scratch`'s undo log
+    /// ([`PatchScratch::undo_entry`]), so callers can reconstruct any old
+    /// row without double-buffering the whole CSR.
     ///
     /// Falls back to [`Adjacency::rebuild_with_grid`] (returning
     /// [`AdjacencyUpdate::Full`] with the grid outcome, `changed` left
@@ -367,10 +408,15 @@ impl Adjacency {
         let grid_update = grid.update_reported(positions, moved);
 
         // 3. Re-query each candidate against the new grid; rewrite rows
-        //    that differ inside their slack, compacting on overflow.
+        //    that differ inside their slack (saving the old content to the
+        //    undo log first), compacting on overflow.
         let mut compactions = 0usize;
         let PatchScratch {
-            candidates, row, ..
+            candidates,
+            row,
+            undo_rows,
+            undo_edges,
+            ..
         } = scratch;
         for &c in candidates.iter() {
             let i = c.index();
@@ -383,6 +429,8 @@ impl Adjacency {
                 continue;
             }
             changed.push(c);
+            undo_rows.push((c, undo_edges.len() as u32));
+            undo_edges.extend_from_slice(&self.edges[start..start + len]);
             let cap = (self.offsets[i + 1] - self.offsets[i]) as usize;
             if row.len() > cap {
                 compactions += 1;
@@ -693,6 +741,19 @@ mod tests {
         assert_eq!(sorted, vec![NodeId(0), NodeId(1)]);
         assert_eq!(adj, Adjacency::build(field, &pos, 50.0));
         assert_csr_invariants(&adj);
+        // the undo log holds exactly the changed rows' pre-patch content
+        assert_eq!(scratch.undo_count(), 2);
+        for (k, &row) in changed.iter().enumerate() {
+            let (node, old) = scratch.undo_entry(k);
+            assert_eq!(node, row);
+            // before the move, 0-1 and 1-2 were the links
+            let expect: &[NodeId] = match node.raw() {
+                0 => &[NodeId(1)],
+                1 => &[NodeId(0), NodeId(2)],
+                _ => unreachable!(),
+            };
+            assert_eq!(old, expect);
+        }
         // no movement → nothing patched rows change
         let out = adj.patch_with_grid(&mut grid, &pos, 50.0, &[], &mut changed, &mut scratch);
         assert!(
@@ -945,6 +1006,15 @@ mod tests {
                         .filter(|&v| adj.neighbors_changed(&before, v))
                         .collect();
                     prop_assert_eq!(got, expect, "changed-row report is wrong");
+                    // the undo log must reconstruct every changed row's
+                    // pre-patch content, in the changed-row order
+                    prop_assert_eq!(scratch.undo_count(), changed.len());
+                    for (k, &row) in changed.iter().enumerate() {
+                        let (node, old) = scratch.undo_entry(k);
+                        prop_assert_eq!(node, row);
+                        prop_assert_eq!(old, before.neighbors(node),
+                            "undo row {} does not match the snapshot", node);
+                    }
                 }
             }
         }

@@ -17,7 +17,10 @@
 //!   RNG streams, contact tables and walk scratches live inside the shards,
 //!   so the result of a fan-out is a pure function of shard contents —
 //!   bit-identical no matter how many workers participate, or whether the
-//!   call runs inline.
+//!   call runs inline. The batched query sweeps (`CardWorld::query_all`)
+//!   use the same primitive with the *work list* sharded instead of the
+//!   state: read-only queries carry only a shard-owned walk scratch, and
+//!   their message deltas merge in shard order.
 //!
 //! ## Determinism contract
 //!

@@ -51,6 +51,7 @@ fn main() {
             let hosts: Vec<NodeId> = registry.hosts_of(resource).collect();
             let mut stats = MsgStats::default();
             let mut query_rng = splitter.stream("clients", i as u64);
+            let mut scratch = QueryScratch::new();
             let mut found = 0;
             let mut msgs = 0u64;
             let clients = 50;
@@ -65,6 +66,7 @@ fn main() {
                     cfg.depth,
                     &mut stats,
                     world.now(),
+                    &mut scratch,
                 );
                 found += out.found as usize;
                 msgs += out.total_messages();

@@ -38,6 +38,7 @@ fn node_lookup_is_a_special_case_of_resource_lookup() {
         2,
         &mut st,
         w.now(),
+        &mut QueryScratch::new(),
     );
     let via_node = w.query(source, host);
     assert_eq!(via_resource.found, via_node.found);
@@ -98,6 +99,7 @@ fn anycast_cost_bounded_by_unicast_cost() {
             2,
             &mut st,
             w.now(),
+            &mut QueryScratch::new(),
         );
         let mut st = MsgStats::default();
         let miss = resource_query(
@@ -109,6 +111,7 @@ fn anycast_cost_bounded_by_unicast_cost() {
             2,
             &mut st,
             w.now(),
+            &mut QueryScratch::new(),
         );
         assert!(
             hit.query_msgs <= miss.query_msgs,
