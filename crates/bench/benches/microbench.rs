@@ -13,7 +13,8 @@
 //! runs this file under `BENCH_QUICK=1` (see [`bench::config`]).
 
 use card_core::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
-use card_core::query::{dsq_query, dsq_query_rewalk, QueryScratch};
+use card_core::hints::{HintStats, HintStore};
+use card_core::query::{dsq_query, dsq_query_hinted, dsq_query_rewalk, HintContext, QueryScratch};
 use card_core::{CardConfig, ContactTable};
 use criterion::{criterion_group, criterion_main, Criterion};
 // scenario-5 density scaled to N nodes — shared with the scale experiments
@@ -543,10 +544,23 @@ fn bench_protocol_sweeps(c: &mut Criterion) {
 ///   reference, which also re-allocates its visited/frontier buffers per
 ///   attempt. Outcomes and message totals are bit-identical
 ///   (`tests/query_engine.rs`); only the cost may differ.
+/// * `dsq_query/n1000/{hinted_cold,hinted_warm}` — the same 256-query
+///   batch through the route-hint path (`card_core::hints`). *cold* starts
+///   every iteration from an empty store and applies deposits after each
+///   query (the live `CardWorld::query` semantics): it prices the overhead
+///   hints add when nothing is cached. *warm* replays the batch against a
+///   pre-warmed frozen store (the sharded-sweep read phase): it prices the
+///   directed-probe path. Note what these guard: hints cut protocol
+///   *messages* (the `repro scale` hint table), not simulator CPU —
+///   lookup + probe-chase bookkeeping keeps warm wall time near the plain
+///   walk at this N, and these ids exist to keep that overhead bounded.
 /// * `query_sweep/n1000/{sharded,serial}` — the whole pair list through
 ///   the batched `CardWorld::query_all` fan-out (shard-owned scratches,
 ///   per-shard `MsgStats` deltas) vs the serial reference
 ///   (`query_all_serial`: one query at a time into the world's stats).
+/// * `query_sweep/n1000/hinted` — the same pair list through `query_all`
+///   on a hints-enabled, pre-warmed world (frozen-store parallel phase +
+///   shard-order deposit application each sweep).
 fn bench_query_engine(c: &mut Criterion) {
     let n = 1000usize;
     let scenario = scaled_scenario(n);
@@ -611,6 +625,56 @@ fn bench_query_engine(c: &mut Criterion) {
             black_box(total)
         })
     });
+    // One hinted batch: 256 queries against `store`, deposits applied
+    // after each query when `live` (the `CardWorld::query` semantics) or
+    // discarded when frozen (the sharded-sweep read phase).
+    let hinted_batch = |store: &mut HintStore, live: bool, scratch: &mut QueryScratch| {
+        let mut hstats = HintStats::default();
+        let mut deposits = Vec::new();
+        let mut stats = MsgStats::default();
+        let mut total = 0u64;
+        for &(s, t) in &pairs[..256] {
+            deposits.clear();
+            let out = {
+                let mut ctx = HintContext {
+                    store,
+                    stats: &mut hstats,
+                    deposits: &mut deposits,
+                };
+                dsq_query_hinted(
+                    world.network(),
+                    world.contact_tables(),
+                    &mut ctx,
+                    black_box(s),
+                    t,
+                    3,
+                    &mut stats,
+                    SimTime::ZERO,
+                    scratch,
+                )
+            };
+            if live {
+                for d in &deposits {
+                    store.deposit(d.holder, d.key, d.next_hop, d.depth);
+                }
+            }
+            total += out.total_messages();
+        }
+        total
+    };
+    group.bench_function("hinted_cold", |b| {
+        let mut scratch = QueryScratch::new();
+        b.iter(|| {
+            let mut store = HintStore::new(n, 4, 32);
+            black_box(hinted_batch(&mut store, true, &mut scratch))
+        })
+    });
+    group.bench_function("hinted_warm", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut store = HintStore::new(n, 4, 32);
+        hinted_batch(&mut store, true, &mut scratch); // warm pass
+        b.iter(|| black_box(hinted_batch(&mut store, false, &mut scratch)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("query_sweep/n1000");
@@ -632,6 +696,15 @@ fn bench_query_engine(c: &mut Criterion) {
     };
     run_sweep("sharded", true);
     run_sweep("serial", false);
+    group.bench_function("hinted", |b| {
+        let mut w = world.clone();
+        w.set_hints_enabled(true);
+        w.query_all(&pairs); // warm pass: the steady state sweeps ride on
+        b.iter(|| {
+            let outcomes = w.query_all(black_box(&pairs));
+            black_box(outcomes.iter().filter(|o| o.found).count())
+        })
+    });
     group.finish();
 }
 

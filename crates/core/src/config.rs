@@ -73,6 +73,16 @@ pub struct CardConfig {
     /// Root seed for every random decision (placement, walk choices, PM
     /// probability draws).
     pub seed: u64,
+    /// Whether the §V route-hint cache is enabled (see `crate::hints`).
+    /// Off by default: the cache-off query path is the bit-identical
+    /// reference the hinted sweeps are measured against.
+    pub hints_enabled: bool,
+    /// LRU slots per distance bucket of each node's hint table
+    /// (`hints::HINT_BUCKETS` buckets per node).
+    pub hint_slots_per_bucket: usize,
+    /// Hint TTL in validation rounds: a hint older than this is reported
+    /// stale and recycled instead of probed.
+    pub hint_ttl: u32,
 }
 
 impl Default for CardConfig {
@@ -91,6 +101,9 @@ impl Default for CardConfig {
             csq_step_factor: 1_000,
             selection_walks_per_round: 3,
             seed: 1,
+            hints_enabled: false,
+            hint_slots_per_bucket: 4,
+            hint_ttl: 32,
         }
     }
 }
@@ -132,6 +145,24 @@ impl CardConfig {
         self
     }
 
+    /// Builder-style route-hint cache toggle (§V; see `crate::hints`).
+    pub fn with_hints(mut self, enabled: bool) -> Self {
+        self.hints_enabled = enabled;
+        self
+    }
+
+    /// Builder-style hint-table size override (LRU slots per bucket).
+    pub fn with_hint_slots_per_bucket(mut self, slots: usize) -> Self {
+        self.hint_slots_per_bucket = slots;
+        self
+    }
+
+    /// Builder-style hint TTL override (validation rounds).
+    pub fn with_hint_ttl(mut self, ttl: u32) -> Self {
+        self.hint_ttl = ttl;
+        self
+    }
+
     /// Validate the parameter combination.
     ///
     /// # Panics
@@ -143,6 +174,13 @@ impl CardConfig {
     pub fn validate(&self) {
         assert!(self.radius >= 1, "R must be >= 1");
         assert!(self.depth >= 1, "D must be >= 1");
+        if self.hints_enabled {
+            assert!(
+                self.hint_slots_per_bucket >= 1,
+                "hint buckets need at least one slot"
+            );
+            assert!(self.hint_ttl >= 1, "hint TTL must be >= 1 round");
+        }
         match self.method {
             SelectionMethod::ProbabilisticEq1 => assert!(
                 self.max_contact_distance >= self.radius,
@@ -187,7 +225,31 @@ mod tests {
         assert_eq!(c.depth, 1);
         assert_eq!(c.method, SelectionMethod::Edge);
         assert!(c.local_recovery);
+        assert!(!c.hints_enabled, "the cache-off reference is the default");
+        assert_eq!(c.hint_slots_per_bucket, 4);
+        assert_eq!(c.hint_ttl, 32);
         c.validate();
+    }
+
+    #[test]
+    fn hint_builders_chain_and_validate() {
+        let c = CardConfig::default()
+            .with_hints(true)
+            .with_hint_slots_per_bucket(2)
+            .with_hint_ttl(8);
+        assert!(c.hints_enabled);
+        assert_eq!(c.hint_slots_per_bucket, 2);
+        assert_eq!(c.hint_ttl, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn hints_reject_zero_slots() {
+        CardConfig::default()
+            .with_hints(true)
+            .with_hint_slots_per_bucket(0)
+            .validate();
     }
 
     #[test]

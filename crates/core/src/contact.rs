@@ -81,6 +81,13 @@ impl ContactTable {
         self.contacts.iter().any(|c| c.id == node)
     }
 
+    /// The live contact entry for `node`, if it is (still) a contact —
+    /// how hint probes resolve a cached next hop against current state
+    /// (a departed contact makes the hint a `stale_contact` miss).
+    pub fn get(&self, node: NodeId) -> Option<&Contact> {
+        self.contacts.iter().find(|c| c.id == node)
+    }
+
     /// Add a newly selected contact.
     ///
     /// # Panics

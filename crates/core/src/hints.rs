@@ -1,0 +1,542 @@
+//! Route-hint cache — the §V optimization the query engine plugs into.
+//!
+//! §V: "the contacts keep *route hints* for recently answered queries …
+//! a later query for the same destination is forwarded directly instead
+//! of searching level by level." When a DSQ or resource query resolves,
+//! every node on the answer chain (the source and the relay contacts the
+//! reply traversed) deposits a hint `(key → next-hop contact, remaining
+//! depth)`. A later query consults the cache first: a fresh hint turns
+//! the level-synchronous escalation into a *directed probe* down the hint
+//! chain, charging only the probe's contact-path hops.
+//!
+//! ## Storage layout
+//!
+//! One [`HintStore`] holds every node's hint table in a single flat slot
+//! array (the sharded-`CardWorld` state model: no per-node boxes, node
+//! `i`'s slots at `i·per_node‥(i+1)·per_node`). Each node's table is
+//! split into [`HINT_BUCKETS`] *distance buckets* keyed by the hint's
+//! remaining depth — the Kademlia idiom: near answers (depth 1) never
+//! fight far answers (depth ≥ 4) for slots — with LRU replacement inside
+//! a bucket (a monotone deposit clock stamps every touch; the coldest
+//! slot is evicted).
+//!
+//! ## Staleness
+//!
+//! Hints go stale two ways, and the cache is *never* trusted for
+//! correctness — a probe still verifies the answer against live
+//! neighborhood tables, and a dead hint only costs its probe messages:
+//!
+//! * **TTL** — slots are stamped with the store epoch (advanced once per
+//!   validation round); a slot older than the configured TTL is reported
+//!   [`Lookup::Expired`] and recycled by later deposits.
+//! * **Mobility invalidation** — `Network::refresh_movers` reports the
+//!   dirty ball of every topology change; `CardWorld` evicts all hints
+//!   *held at* dirty nodes (their neighborhood view changed, so their
+//!   hints are the ones mobility may have broken). Hints *through* a
+//!   departed contact are caught at use: the probe resolves its next hop
+//!   against the holder's live [`ContactTable`](crate::contact::ContactTable)
+//!   and a missing contact is a `stale_contact` miss, not a forward.
+//!
+//! ## Determinism
+//!
+//! The store is plain state — lookups and deposits draw no randomness —
+//! and the sharded sweep (`CardWorld::query_all`) runs its parallel phase
+//! against a *frozen* store, logging deposits per shard and applying them
+//! in shard order (= pair order) afterwards. Outcomes and hint statistics
+//! are therefore a pure function of `(network, tables, store, pairs)` at
+//! any worker or shard count; with the cache disabled the sweep is
+//! bit-identical to `query_all_serial` (pinned by `tests/hint_cache.rs`).
+
+use net_topology::node::NodeId;
+
+use crate::resources::ResourceId;
+
+/// Distance buckets per node: hints with remaining depth `d` land in
+/// bucket `min(d − 1, HINT_BUCKETS − 1)`.
+pub const HINT_BUCKETS: usize = 4;
+
+/// What a hint points at: a node lookup target or an anycast resource.
+/// Packed into one word so slot matching is a single compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HintKey(u64);
+
+const RESOURCE_BIT: u64 = 1 << 32;
+
+impl HintKey {
+    /// Key for a node-lookup (DSQ) target.
+    #[inline]
+    pub fn node(target: NodeId) -> Self {
+        HintKey(target.index() as u64)
+    }
+
+    /// Key for an anycast resource.
+    #[inline]
+    pub fn resource(resource: ResourceId) -> Self {
+        HintKey(RESOURCE_BIT | resource.0 as u64)
+    }
+}
+
+/// Slot sentinel: no hint stored.
+const EMPTY: u64 = u64::MAX;
+
+/// One stored hint (flat-array slot).
+#[derive(Clone, Copy, Debug)]
+struct HintSlot {
+    /// Packed [`HintKey`], or [`EMPTY`].
+    key: u64,
+    /// The contact to forward to (must be resolved against the holder's
+    /// live contact table at use).
+    next_hop: NodeId,
+    /// Remaining contact-graph steps to the answer when deposited.
+    depth: u16,
+    /// Store epoch at deposit (TTL stamp).
+    stamp: u32,
+    /// Deposit-clock value of the last touch (LRU ordering).
+    used: u32,
+}
+
+const VACANT: HintSlot = HintSlot {
+    key: EMPTY,
+    next_hop: NodeId::new(u32::MAX),
+    depth: 0,
+    stamp: 0,
+    used: 0,
+};
+
+/// A fresh hint returned by [`HintStore::lookup`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hint {
+    /// The contact to probe next.
+    pub next_hop: NodeId,
+    /// Remaining steps the depositor took from here to the answer.
+    pub depth: u16,
+}
+
+/// Outcome of a cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// A fresh hint (the best one: minimal remaining depth).
+    Hit(Hint),
+    /// Only TTL-expired hints matched.
+    Expired,
+    /// No slot matches the key.
+    Absent,
+}
+
+/// What a deposit displaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepositOutcome {
+    /// A *fresh* (non-expired) hint for a different key was evicted.
+    pub evicted_live: bool,
+}
+
+/// A hint queued for deposit — the unit the sharded sweep logs during its
+/// frozen parallel phase and applies in shard order afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HintDeposit {
+    /// Node the hint is stored at.
+    pub holder: NodeId,
+    /// What the hint resolves.
+    pub key: HintKey,
+    /// Contact of `holder` to forward to.
+    pub next_hop: NodeId,
+    /// Contact-graph steps from `holder` to the answer.
+    pub depth: u16,
+}
+
+/// Counters of the hint subsystem, merged across shards in shard order
+/// (all fields are sums, so the merge is order-insensitive).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HintStats {
+    /// Cache consultations (source + every relay peek + chase steps).
+    pub lookups: u64,
+    /// Lookups that returned a fresh hint whose contact is still live.
+    pub hits: u64,
+    /// Lookups with no matching slot.
+    pub miss_absent: u64,
+    /// Lookups where every matching slot had outlived its TTL.
+    pub stale_ttl: u64,
+    /// Fresh hints whose next hop is no longer a contact of the holder.
+    pub stale_contact: u64,
+    /// Queries that launched at least one directed probe.
+    pub chases: u64,
+    /// Queries answered by a probe (no escalation needed past it).
+    pub chase_hits: u64,
+    /// Messages spent on directed probes, successful or not.
+    pub probe_msgs: u64,
+    /// Hints written to the store.
+    pub deposits: u64,
+    /// Fresh hints displaced by LRU replacement.
+    pub evicted_lru: u64,
+    /// Hints evicted by mobility invalidation (dirty-ball reports).
+    pub evicted_mobility: u64,
+}
+
+impl HintStats {
+    /// Fold another shard's counters in.
+    pub fn merge(&mut self, other: &HintStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.miss_absent += other.miss_absent;
+        self.stale_ttl += other.stale_ttl;
+        self.stale_contact += other.stale_contact;
+        self.chases += other.chases;
+        self.chase_hits += other.chase_hits;
+        self.probe_msgs += other.probe_msgs;
+        self.deposits += other.deposits;
+        self.evicted_lru += other.evicted_lru;
+        self.evicted_mobility += other.evicted_mobility;
+    }
+
+    /// Fraction of lookups that produced a usable hint.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.lookups.max(1)) as f64
+    }
+
+    /// Stale encounters of every kind (TTL, dead contact, mobility).
+    pub fn stale_total(&self) -> u64 {
+        self.stale_ttl + self.stale_contact + self.evicted_mobility
+    }
+}
+
+/// Bounded per-node hint tables over one flat slot array (see the module
+/// docs for layout, staleness, and determinism).
+#[derive(Clone, Debug)]
+pub struct HintStore {
+    slots: Vec<HintSlot>,
+    /// Slots per node (`HINT_BUCKETS · slots_per_bucket`).
+    per_node: usize,
+    slots_per_bucket: usize,
+    /// TTL in epochs: a slot with `epoch − stamp > ttl` is expired.
+    ttl: u32,
+    /// Current epoch (advanced once per validation round).
+    epoch: u32,
+    /// Monotone deposit clock for LRU ordering.
+    clock: u32,
+}
+
+impl HintStore {
+    /// A store for `n` nodes with `slots_per_bucket` LRU slots in each of
+    /// the [`HINT_BUCKETS`] distance buckets, and the given TTL (epochs).
+    pub fn new(n: usize, slots_per_bucket: usize, ttl: u32) -> Self {
+        assert!(slots_per_bucket >= 1, "hint buckets need at least one slot");
+        let per_node = HINT_BUCKETS * slots_per_bucket;
+        HintStore {
+            slots: vec![VACANT; n * per_node],
+            per_node,
+            slots_per_bucket,
+            ttl,
+            epoch: 0,
+            clock: 0,
+        }
+    }
+
+    /// Nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.slots.len() / self.per_node.max(1)
+    }
+
+    /// Total slots per node.
+    pub fn capacity_per_node(&self) -> usize {
+        self.per_node
+    }
+
+    /// Current TTL epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Advance the TTL epoch (one validation round elapsed).
+    pub fn advance_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Live (non-vacant) hints across all nodes — observability only.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.key != EMPTY).count()
+    }
+
+    /// No hints stored anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, depth: u16) -> usize {
+        (depth.saturating_sub(1) as usize).min(HINT_BUCKETS - 1)
+    }
+
+    #[inline]
+    fn region(&self, node: NodeId) -> std::ops::Range<usize> {
+        let start = node.index() * self.per_node;
+        start..start + self.per_node
+    }
+
+    #[inline]
+    fn fresh(&self, slot: &HintSlot) -> bool {
+        self.epoch.wrapping_sub(slot.stamp) <= self.ttl
+    }
+
+    /// Consult `holder`'s table for `key`: the best (minimal remaining
+    /// depth) fresh hint, or whether only expired ones / none matched.
+    pub fn lookup(&self, holder: NodeId, key: HintKey) -> Lookup {
+        let mut best: Option<Hint> = None;
+        let mut expired = false;
+        for slot in &self.slots[self.region(holder)] {
+            if slot.key != key.0 {
+                continue;
+            }
+            if !self.fresh(slot) {
+                expired = true;
+                continue;
+            }
+            if best.is_none_or(|b| slot.depth < b.depth) {
+                best = Some(Hint {
+                    next_hop: slot.next_hop,
+                    depth: slot.depth,
+                });
+            }
+        }
+        match best {
+            Some(h) => Lookup::Hit(h),
+            None if expired => Lookup::Expired,
+            None => Lookup::Absent,
+        }
+    }
+
+    /// Store (or refresh) a hint at `holder`. An existing slot for the
+    /// same key is updated in place (migrating buckets when the depth
+    /// moved); otherwise the bucket's first vacant slot is used, then the
+    /// coldest expired slot, then the coldest live slot (LRU eviction).
+    pub fn deposit(
+        &mut self,
+        holder: NodeId,
+        key: HintKey,
+        next_hop: NodeId,
+        depth: u16,
+    ) -> DepositOutcome {
+        self.clock = self.clock.wrapping_add(1);
+        let clock = self.clock;
+        let epoch = self.epoch;
+        let bucket = self.bucket_of(depth);
+        let region = self.region(holder);
+
+        // Refresh in place when the key is already hinted somewhere in the
+        // holder's table (clearing the old slot on a bucket migration).
+        let existing = self.slots[region.clone()]
+            .iter()
+            .position(|s| s.key == key.0);
+        if let Some(off) = existing {
+            let old_bucket = off / self.slots_per_bucket;
+            if old_bucket == bucket {
+                let slot = &mut self.slots[region.start + off];
+                *slot = HintSlot {
+                    key: key.0,
+                    next_hop,
+                    depth,
+                    stamp: epoch,
+                    used: clock,
+                };
+                return DepositOutcome {
+                    evicted_live: false,
+                };
+            }
+            self.slots[region.start + off] = VACANT;
+        }
+
+        // Victim selection inside the target bucket.
+        let bucket_start = region.start + bucket * self.slots_per_bucket;
+        let bucket_slots = &self.slots[bucket_start..bucket_start + self.slots_per_bucket];
+        let mut victim = 0usize;
+        let mut victim_rank = (u8::MAX, u32::MAX); // (class, used): lower wins
+        for (i, slot) in bucket_slots.iter().enumerate() {
+            let class = if slot.key == EMPTY {
+                0
+            } else if !self.fresh(slot) {
+                1
+            } else {
+                2
+            };
+            let rank = (class, slot.used);
+            if rank < victim_rank {
+                victim_rank = rank;
+                victim = i;
+            }
+        }
+        let evicted_live = victim_rank.0 == 2;
+        self.slots[bucket_start + victim] = HintSlot {
+            key: key.0,
+            next_hop,
+            depth,
+            stamp: epoch,
+            used: clock,
+        };
+        DepositOutcome { evicted_live }
+    }
+
+    /// Drop every hint held at `node` (mobility invalidation: its
+    /// neighborhood view changed). Returns how many hints were evicted.
+    pub fn invalidate_node(&mut self, node: NodeId) -> usize {
+        let mut evicted = 0usize;
+        let region = self.region(node);
+        for slot in &mut self.slots[region] {
+            if slot.key != EMPTY {
+                *slot = VACANT;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Drop every hint in the store (wholesale topology refresh). Returns
+    /// how many hints were evicted.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut evicted = 0usize;
+        for slot in &mut self.slots {
+            if slot.key != EMPTY {
+                *slot = VACANT;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Empty the store without counting (cold-start resets in experiments).
+    pub fn clear(&mut self) {
+        self.slots.fill(VACANT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn keys_never_collide_across_kinds() {
+        assert_ne!(HintKey::node(n(7)), HintKey::resource(ResourceId(7)));
+        assert_eq!(HintKey::node(n(7)), HintKey::node(n(7)));
+    }
+
+    #[test]
+    fn lookup_misses_on_empty_store() {
+        let store = HintStore::new(4, 2, 8);
+        assert_eq!(store.lookup(n(0), HintKey::node(n(3))), Lookup::Absent);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn deposit_then_lookup_round_trips() {
+        let mut store = HintStore::new(4, 2, 8);
+        store.deposit(n(0), HintKey::node(n(3)), n(1), 2);
+        assert_eq!(
+            store.lookup(n(0), HintKey::node(n(3))),
+            Lookup::Hit(Hint {
+                next_hop: n(1),
+                depth: 2
+            })
+        );
+        // Held at node 0 only: other nodes stay absent.
+        assert_eq!(store.lookup(n(1), HintKey::node(n(3))), Lookup::Absent);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn depths_land_in_distance_buckets() {
+        let mut store = HintStore::new(1, 1, 8);
+        // One slot per bucket: four different-depth keys must coexist.
+        for (i, depth) in [1u16, 2, 3, 9].iter().enumerate() {
+            store.deposit(n(0), HintKey::node(n(10 + i as u32)), n(1), *depth);
+        }
+        assert_eq!(store.len(), 4, "distinct buckets must not evict each other");
+        // Depth ≥ HINT_BUCKETS shares the last bucket with depth 4.
+        store.deposit(n(0), HintKey::node(n(99)), n(1), 4);
+        assert_eq!(store.len(), 4, "depth 4 and 9 share the far bucket");
+        assert_eq!(store.lookup(n(0), HintKey::node(n(13))), Lookup::Absent);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_slot() {
+        let mut store = HintStore::new(1, 2, 8);
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 1);
+        store.deposit(n(0), HintKey::node(n(11)), n(2), 1);
+        // Touch 10 (refresh): 11 becomes the coldest.
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 1);
+        let out = store.deposit(n(0), HintKey::node(n(12)), n(3), 1);
+        assert!(out.evicted_live);
+        assert_eq!(store.lookup(n(0), HintKey::node(n(11))), Lookup::Absent);
+        assert!(matches!(
+            store.lookup(n(0), HintKey::node(n(10))),
+            Lookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn refresh_updates_in_place_and_migrates_buckets() {
+        let mut store = HintStore::new(1, 2, 8);
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 3);
+        // Same key re-deposited at a nearer depth: moves bucket, one copy.
+        store.deposit(n(0), HintKey::node(n(10)), n(2), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.lookup(n(0), HintKey::node(n(10))),
+            Lookup::Hit(Hint {
+                next_hop: n(2),
+                depth: 1
+            })
+        );
+    }
+
+    #[test]
+    fn ttl_expires_hints_and_deposits_recycle_them() {
+        let mut store = HintStore::new(1, 1, 2);
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 1);
+        for _ in 0..2 {
+            store.advance_epoch();
+        }
+        assert!(matches!(
+            store.lookup(n(0), HintKey::node(n(10))),
+            Lookup::Hit(_)
+        ));
+        store.advance_epoch(); // now 3 epochs old > ttl 2
+        assert_eq!(store.lookup(n(0), HintKey::node(n(10))), Lookup::Expired);
+        // An expired slot is preferred over evicting live hints.
+        let out = store.deposit(n(0), HintKey::node(n(11)), n(2), 1);
+        assert!(!out.evicted_live);
+        assert_eq!(store.lookup(n(0), HintKey::node(n(10))), Lookup::Absent);
+    }
+
+    #[test]
+    fn lookup_prefers_the_shallowest_fresh_hint() {
+        let mut store = HintStore::new(1, 1, 8);
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 3);
+        store.deposit(n(0), HintKey::node(n(10)), n(2), 1);
+        // The bucket migration kept one copy; a *different* key at depth 3
+        // then a fresh same-key deposit at depth 3 exercises min-depth
+        // selection across buckets.
+        store.deposit(n(0), HintKey::node(n(11)), n(3), 3);
+        match store.lookup(n(0), HintKey::node(n(10))) {
+            Lookup::Hit(h) => assert_eq!(h.depth, 1),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidation_evicts_per_node_and_wholesale() {
+        let mut store = HintStore::new(3, 2, 8);
+        store.deposit(n(0), HintKey::node(n(10)), n(1), 1);
+        store.deposit(n(1), HintKey::node(n(10)), n(2), 2);
+        store.deposit(n(2), HintKey::resource(ResourceId(0)), n(1), 1);
+        assert_eq!(store.invalidate_node(n(1)), 1);
+        assert_eq!(store.lookup(n(1), HintKey::node(n(10))), Lookup::Absent);
+        assert!(matches!(
+            store.lookup(n(0), HintKey::node(n(10))),
+            Lookup::Hit(_)
+        ));
+        assert_eq!(store.invalidate_all(), 2);
+        assert!(store.is_empty());
+    }
+}

@@ -25,6 +25,11 @@
 //!   bit-identical to the per-depth re-walk reference
 //!   [`query::dsq_query_rewalk`]) and a batched
 //!   [`world::CardWorld::query_all`] sweep sharded over the worker pool;
+//! * [`hints`] — the §V route-hint cache: bounded per-node hint tables
+//!   (distance-bucketed, LRU within a bucket, one flat slot array) that
+//!   turn repeat queries into directed probes, with TTL epochs and
+//!   mobility-driven invalidation (see [`world::CardWorld::query_all`]
+//!   for how the sharded sweep keeps determinism with the cache on);
 //! * [`reachability`] — the paper's reachability metric (§III.B) and its
 //!   distribution histograms;
 //! * [`resources`] — resource-level (anycast) discovery: registries, the
@@ -41,6 +46,7 @@
 pub mod config;
 pub mod contact;
 pub mod csq;
+pub mod hints;
 pub mod maintenance;
 pub mod query;
 pub mod reachability;
@@ -52,6 +58,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::config::{CardConfig, SelectionMethod};
     pub use crate::contact::{Contact, ContactTable};
+    pub use crate::hints::{HintStats, HintStore};
     pub use crate::query::{QueryOutcome, QueryScratch};
     pub use crate::reachability::{ReachabilitySummary, REACH_BUCKET_PCT};
     pub use crate::resources::{ResourceDistribution, ResourceId, ResourceRegistry};

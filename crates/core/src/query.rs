@@ -22,12 +22,12 @@
 //!   the network size. [`dsq_query`], [`crate::resources::resource_query`]
 //!   and [`crate::reachability::reachability_set`] all run on the same
 //!   generic level-synchronous contact walker
-//!   ([`QueryScratch::advance_level`]), differing only in their per-contact
+//!   (`QueryScratch::advance_level`), differing only in their per-contact
 //!   visit closure.
 //! * Escalation is **incremental**: on the wire, a depth-d attempt re-sends
 //!   DSQs along levels 1‥d−1 before probing level d, but the simulator need
 //!   not re-traverse them — the scratch caches the deepest frontier and the
-//!   cumulative per-level message cost ([`QueryScratch::walked_msgs`]), so
+//!   cumulative per-level message cost (`QueryScratch::walked_msgs`), so
 //!   depth d only walks its final level while the *accounting* stays
 //!   bit-identical to the from-scratch re-walk. [`dsq_query_rewalk`] keeps
 //!   the literal per-depth re-walk as the equivalence reference (pinned by
@@ -44,6 +44,7 @@ use sim_core::stats::{MsgKind, MsgStats};
 use sim_core::time::SimTime;
 
 use crate::contact::ContactTable;
+use crate::hints::{HintDeposit, HintKey, HintStats, HintStore, Lookup};
 
 /// Result of one resource-discovery query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +87,11 @@ pub struct QueryScratch {
     /// from-scratch re-walk of those levels would charge (see
     /// [`QueryScratch::walked_msgs`]).
     walked: u64,
+    /// BFS parent per node (valid only where `mark[v] == epoch`): the
+    /// frontier node whose contact link discovered `v`. Lets a resolved
+    /// query reconstruct the source → answer contact chain so route hints
+    /// can be deposited along it (§V; see [`crate::hints`]).
+    parent: Vec<NodeId>,
 }
 
 impl QueryScratch {
@@ -110,6 +116,9 @@ impl QueryScratch {
         if self.mark.len() < n {
             self.mark.resize(n, 0);
         }
+        if self.parent.len() < n {
+            self.parent.resize(n, NodeId::new(u32::MAX));
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Epoch counter wrapped: invalidate every stale mark once.
@@ -119,6 +128,7 @@ impl QueryScratch {
         self.frontier.clear();
         self.next.clear();
         self.mark[source.index()] = self.epoch;
+        self.parent[source.index()] = source; // chain terminator
         self.frontier.push((source, 0));
         self.walked = 0;
     }
@@ -157,6 +167,7 @@ impl QueryScratch {
                     continue;
                 }
                 self.mark[c.index()] = epoch;
+                self.parent[c.index()] = node;
                 let hops = contact.hops() as u64;
                 let at_contact = dist + hops;
                 *msgs += hops;
@@ -176,6 +187,24 @@ impl QueryScratch {
     /// charge — anything).
     pub(crate) fn exhausted(&self) -> bool {
         self.frontier.is_empty()
+    }
+
+    /// The contact chain source → `node` recorded by the current walk's
+    /// parent pointers, written into `buf` source-first. `node` must have
+    /// been visited in the current epoch (parents of unvisited nodes are
+    /// stale).
+    pub(crate) fn walk_path(&self, node: NodeId, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        let mut cur = node;
+        loop {
+            buf.push(cur);
+            let p = self.parent[cur.index()];
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        buf.reverse();
     }
 }
 
@@ -290,6 +319,339 @@ pub fn dsq_query(
     scratch: &mut QueryScratch,
 ) -> QueryOutcome {
     let out = dsq_query_unrecorded(net, contact_tables, source, target, max_depth, scratch);
+    stats.record_n(at, MsgKind::Dsq, out.query_msgs);
+    stats.record_n(at, MsgKind::DsqReply, out.reply_msgs);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hinted queries — the §V route-hint short-cut (see `crate::hints`).
+// ---------------------------------------------------------------------------
+
+/// Hard cap on a directed probe's chain length. Chain buffers live on the
+/// stack; configured escalation depths sit far below this.
+pub(crate) const MAX_CHAIN: usize = 16;
+
+/// Failed directed probes tolerated per query before the walk stops
+/// consulting relay hints — bounds the messages a trail of stale chains
+/// can waste on one query.
+const MAX_FAILED_CHASES: u32 = 4;
+
+/// Borrowed view of the hint subsystem threaded through one hinted query:
+/// a *read-only* store (frozen for the whole parallel phase of a sharded
+/// sweep), the caller's counters, and a deposit log. Deposits are queued,
+/// not applied — `CardWorld` applies them in shard order after the sweep
+/// (or immediately after a single live query), which keeps hinted sweeps
+/// bit-identical at any worker or shard count.
+pub struct HintContext<'a> {
+    /// The hint tables consulted (never written during the query).
+    pub store: &'a HintStore,
+    /// Hit/miss/staleness counters (summed, so shard merges commute).
+    pub stats: &'a mut HintStats,
+    /// Hints the resolved query wants deposited along its answer chain.
+    pub deposits: &'a mut Vec<HintDeposit>,
+}
+
+/// Outcome of one directed probe down a hint chain.
+struct Chase {
+    /// Reply hop count when the probe reached an answering node.
+    reply: Option<u64>,
+    /// Contact-graph steps taken (chain nodes touched past the start).
+    steps: usize,
+    /// Probe messages spent (contact-path hops of every step).
+    probe_msgs: u64,
+}
+
+/// Follow hints for `key` from `start` (at `start_dist` reply hops from
+/// the source) for at most `budget` contact-graph steps, verifying each
+/// reached node against `answers`. Every hop resolves the hint's next
+/// contact against the holder's *live* contact table — a departed contact
+/// is a `stale_contact` miss, never a forward — so a probe can only reach
+/// nodes the plain escalation could also reach, only cheaper. The chain
+/// walked is left in `chain[..=steps]`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+fn chase(
+    contact_tables: &[ContactTable],
+    store: &HintStore,
+    stats: &mut HintStats,
+    key: HintKey,
+    start: NodeId,
+    start_dist: u64,
+    budget: usize,
+    chain: &mut [NodeId; MAX_CHAIN],
+    answers: &mut impl FnMut(NodeId) -> bool,
+) -> Chase {
+    let budget = budget.min(MAX_CHAIN - 1);
+    chain[0] = start;
+    let mut node = start;
+    let mut dist = start_dist;
+    let mut probe_msgs = 0u64;
+    let mut steps = 0usize;
+    while steps < budget {
+        stats.lookups += 1;
+        let hint = match store.lookup(node, key) {
+            Lookup::Hit(h) => h,
+            Lookup::Expired => {
+                stats.stale_ttl += 1;
+                break;
+            }
+            Lookup::Absent => {
+                stats.miss_absent += 1;
+                break;
+            }
+        };
+        let Some(contact) = contact_tables[node.index()].get(hint.next_hop) else {
+            stats.stale_contact += 1;
+            break;
+        };
+        stats.hits += 1;
+        let hops = contact.hops() as u64;
+        probe_msgs += hops;
+        dist += hops;
+        node = hint.next_hop;
+        steps += 1;
+        chain[steps] = node;
+        if answers(node) {
+            return Chase {
+                reply: Some(dist),
+                steps,
+                probe_msgs,
+            };
+        }
+    }
+    Chase {
+        reply: None,
+        steps,
+        probe_msgs,
+    }
+}
+
+/// Queue one hint per chain node (except the answer itself): at chain
+/// node `i`, forward to `chain[i+1]`, with the remaining steps as the
+/// distance-bucket depth.
+fn push_chain_deposits(deposits: &mut Vec<HintDeposit>, key: HintKey, chain: &[NodeId]) {
+    let last = chain.len() - 1;
+    for (i, pair) in chain.windows(2).enumerate() {
+        deposits.push(HintDeposit {
+            holder: pair[0],
+            key,
+            next_hop: pair[1],
+            depth: (last - i) as u16,
+        });
+    }
+}
+
+/// A walk-level hit of the hinted escalation.
+enum HintedHit {
+    /// The plain level walk answered at `answer`.
+    Walk { answer: NodeId, reply: u64 },
+    /// A relay's hint chain answered: `steps` probe hops past `relay`.
+    Chase {
+        relay: NodeId,
+        steps: usize,
+        reply: u64,
+    },
+}
+
+/// The hinted escalation driver: try a directed probe from the source's
+/// own hints first; on miss, fall back to the standard incremental
+/// escalation ([`escalate_unrecorded`]), peeking at each visited relay's
+/// hints along the way (a fresh relay hint forks a bounded probe for the
+/// remaining depth). Either way the answer predicate is always verified
+/// against live state, so *outcomes* match the plain escalation exactly —
+/// hints change message cost, never answers: any node a probe can reach
+/// lies ≤ `max_depth` contact-edges from the source (probes follow
+/// contact-table edges, the same relation the walk expands, and the walk
+/// visits every such node at its minimal level), and a probe miss falls
+/// back to the full walk. Resolved queries queue §V hint deposits along
+/// the entire source → answer chain.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub(crate) fn escalate_hinted_unrecorded(
+    n: usize,
+    contact_tables: &[ContactTable],
+    ctx: &mut HintContext<'_>,
+    key: HintKey,
+    source: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    mut answers: impl FnMut(NodeId) -> bool,
+) -> QueryOutcome {
+    // Source-side probe: a fresh chain answers for probe messages alone.
+    let mut src_chain = [source; MAX_CHAIN];
+    let src = chase(
+        contact_tables,
+        ctx.store,
+        ctx.stats,
+        key,
+        source,
+        0,
+        max_depth as usize,
+        &mut src_chain,
+        &mut answers,
+    );
+    if src.steps > 0 {
+        ctx.stats.chases += 1;
+    }
+    ctx.stats.probe_msgs += src.probe_msgs;
+    if let Some(reply) = src.reply {
+        ctx.stats.chase_hits += 1;
+        push_chain_deposits(ctx.deposits, key, &src_chain[..=src.steps]);
+        return QueryOutcome {
+            found: true,
+            depth_used: src.steps as u16,
+            query_msgs: src.probe_msgs,
+            reply_msgs: reply,
+        };
+    }
+    let mut failed_chases: u32 = (src.steps > 0) as u32;
+
+    // Fallback: the incremental escalation, consulting relay hints on the
+    // way. Failed probes cost their messages and the walk continues
+    // unchanged; the escalation itself is the one `escalate_unrecorded`
+    // runs (same order, same marks), so discovery is identical.
+    scratch.begin(n, source);
+    let mut query_msgs = src.probe_msgs;
+    let mut chase_chain = [source; MAX_CHAIN];
+    for depth in 1..=max_depth {
+        query_msgs += scratch.walked_msgs();
+        let mut probe_spent = 0u64;
+        let hit = {
+            let stats = &mut *ctx.stats;
+            let store = ctx.store;
+            let failed = &mut failed_chases;
+            let probe = &mut probe_spent;
+            let chain = &mut chase_chain;
+            let ans = &mut answers;
+            scratch.advance_level(contact_tables, &mut query_msgs, |c, at_contact| {
+                if ans(c) {
+                    return Some(HintedHit::Walk {
+                        answer: c,
+                        reply: at_contact,
+                    });
+                }
+                if depth < max_depth && *failed < MAX_FAILED_CHASES {
+                    let budget = (max_depth - depth) as usize;
+                    let res = chase(
+                        contact_tables,
+                        store,
+                        stats,
+                        key,
+                        c,
+                        at_contact,
+                        budget,
+                        chain,
+                        ans,
+                    );
+                    if res.steps > 0 {
+                        stats.chases += 1;
+                    }
+                    stats.probe_msgs += res.probe_msgs;
+                    *probe += res.probe_msgs;
+                    if let Some(reply) = res.reply {
+                        stats.chase_hits += 1;
+                        return Some(HintedHit::Chase {
+                            relay: c,
+                            steps: res.steps,
+                            reply,
+                        });
+                    }
+                    if res.steps > 0 {
+                        *failed += 1;
+                    }
+                }
+                None
+            })
+        };
+        query_msgs += probe_spent;
+        if let Some(hit) = hit {
+            let mut path: Vec<NodeId> = Vec::new();
+            return match hit {
+                HintedHit::Walk { answer, reply } => {
+                    scratch.walk_path(answer, &mut path);
+                    push_chain_deposits(ctx.deposits, key, &path);
+                    QueryOutcome {
+                        found: true,
+                        depth_used: depth,
+                        query_msgs,
+                        reply_msgs: reply,
+                    }
+                }
+                HintedHit::Chase {
+                    relay,
+                    steps,
+                    reply,
+                } => {
+                    scratch.walk_path(relay, &mut path);
+                    path.extend_from_slice(&chase_chain[1..=steps]);
+                    push_chain_deposits(ctx.deposits, key, &path);
+                    QueryOutcome {
+                        found: true,
+                        depth_used: depth + steps as u16,
+                        query_msgs,
+                        reply_msgs: reply,
+                    }
+                }
+            };
+        }
+    }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
+}
+
+/// [`dsq_query_hinted`] without statistics recording — the per-pair body
+/// of the hinted `CardWorld::query_all` sweep.
+pub(crate) fn dsq_query_hinted_unrecorded(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    ctx: &mut HintContext<'_>,
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let tables = net.tables();
+    if tables.of(source).contains(target) {
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
+    }
+    escalate_hinted_unrecorded(
+        net.node_count(),
+        contact_tables,
+        ctx,
+        HintKey::node(target),
+        source,
+        max_depth,
+        scratch,
+        |c| tables.of(c).contains(target),
+    )
+}
+
+/// [`dsq_query`] with the §V route-hint cache consulted first and hint
+/// deposits queued on resolution (see [`HintContext`] and
+/// [`crate::hints`]). Outcome `found`/`depth` semantics match
+/// [`dsq_query`]; only the message cost differs.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn dsq_query_hinted(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    ctx: &mut HintContext<'_>,
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let out =
+        dsq_query_hinted_unrecorded(net, contact_tables, ctx, source, target, max_depth, scratch);
     stats.record_n(at, MsgKind::Dsq, out.query_msgs);
     stats.record_n(at, MsgKind::DsqReply, out.reply_msgs);
     out

@@ -240,6 +240,48 @@ pub fn resource_query(
     )
 }
 
+/// [`resource_query`] with the §V route-hint cache consulted first and
+/// hint deposits queued on resolution (keyed by the *resource*, so any
+/// replica's answer warms later queries for the same resource; see
+/// [`crate::hints`] and [`crate::query::HintContext`]). Outcomes match
+/// [`resource_query`] exactly — hints change cost, never answers.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub fn resource_query_hinted(
+    net: &Network,
+    contact_tables: &[ContactTable],
+    registry: &ResourceRegistry,
+    ctx: &mut crate::query::HintContext<'_>,
+    source: NodeId,
+    resource: ResourceId,
+    max_depth: u16,
+    stats: &mut MsgStats,
+    at: SimTime,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let tables = net.tables();
+    if registry.hosted_in_neighborhood(resource, tables.of(source)) {
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
+    }
+    let out = crate::query::escalate_hinted_unrecorded(
+        net.node_count(),
+        contact_tables,
+        ctx,
+        crate::hints::HintKey::resource(resource),
+        source,
+        max_depth,
+        scratch,
+        |c| registry.hosted_in_neighborhood(resource, tables.of(c)),
+    );
+    stats.record_n(at, sim_core::stats::MsgKind::Dsq, out.query_msgs);
+    stats.record_n(at, sim_core::stats::MsgKind::DsqReply, out.reply_msgs);
+    out
+}
+
 /// The set of resources discoverable by `source` at contact depth `depth`:
 /// resources with a host inside the source's reachability set.
 pub fn discoverable_resources(

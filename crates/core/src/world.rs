@@ -58,9 +58,15 @@ use sim_core::time::{SimDuration, SimTime};
 use crate::config::CardConfig;
 use crate::contact::ContactTable;
 use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
+use crate::hints::{HintDeposit, HintStats, HintStore};
 use crate::maintenance::{validate_contacts, ValidationReport};
-use crate::query::{dsq_query, dsq_query_unrecorded, QueryOutcome, QueryScratch};
+use crate::query::{
+    dsq_query, dsq_query_hinted, dsq_query_hinted_unrecorded, dsq_query_unrecorded, HintContext,
+    QueryOutcome, QueryScratch,
+};
 use crate::reachability::ReachabilitySummary;
+use crate::resources::{resource_query, resource_query_hinted, ResourceId, ResourceRegistry};
+use manet_routing::network::DirtyReport;
 
 /// Aggregated maintenance counters over a whole run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -150,6 +156,13 @@ pub struct CardWorld {
     /// lockstep with `shard_scratch`). Scratch 0 also serves the one-off
     /// [`CardWorld::query`] path, so steady-state querying never allocates.
     query_scratch: Vec<QueryScratch>,
+    /// The §V route-hint cache (`Some` iff `cfg.hints_enabled` or enabled
+    /// at runtime via [`CardWorld::set_hints_enabled`]; see `crate::hints`).
+    hints: Option<HintStore>,
+    /// Hit/miss/staleness counters of the hint subsystem.
+    hint_stats: HintStats,
+    /// Reusable deposit log for the live single-query path.
+    hint_deposits: Vec<HintDeposit>,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
@@ -211,6 +224,11 @@ impl CardWorld {
             query_scratch: (0..default_shard_count())
                 .map(|_| QueryScratch::new())
                 .collect(),
+            hints: cfg
+                .hints_enabled
+                .then(|| HintStore::new(n, cfg.hint_slots_per_bucket, cfg.hint_ttl)),
+            hint_stats: HintStats::default(),
+            hint_deposits: Vec::new(),
         }
     }
 
@@ -336,6 +354,62 @@ impl CardWorld {
     /// Aggregated maintenance outcomes.
     pub fn maintenance_totals(&self) -> &MaintenanceTotals {
         &self.maintenance
+    }
+
+    /// Is the §V route-hint cache active?
+    pub fn hints_enabled(&self) -> bool {
+        self.hints.is_some()
+    }
+
+    /// Enable or disable the route-hint cache at runtime. Enabling builds
+    /// an empty store from the config's sizing knobs; disabling drops the
+    /// store entirely (the cache-off query paths never touch the
+    /// subsystem, so a disabled world is bit-identical to one that never
+    /// had hints).
+    pub fn set_hints_enabled(&mut self, enabled: bool) {
+        if enabled && self.hints.is_none() {
+            self.hints = Some(HintStore::new(
+                self.net.node_count(),
+                self.cfg.hint_slots_per_bucket,
+                self.cfg.hint_ttl,
+            ));
+        } else if !enabled {
+            self.hints = None;
+        }
+    }
+
+    /// Hint-subsystem counters accumulated so far (see [`HintStats`]).
+    pub fn hint_stats(&self) -> &HintStats {
+        &self.hint_stats
+    }
+
+    /// Reset the hint counters (phase-by-phase measurement).
+    pub fn reset_hint_stats(&mut self) {
+        self.hint_stats = HintStats::default();
+    }
+
+    /// The hint store, when enabled (observability, tests).
+    pub fn hint_store(&self) -> Option<&HintStore> {
+        self.hints.as_ref()
+    }
+
+    /// Empty the hint store (cold-cache resets) without touching counters.
+    pub fn clear_hints(&mut self) {
+        if let Some(store) = &mut self.hints {
+            store.clear();
+        }
+    }
+
+    /// Apply a query's (or shard's) queued hint deposits in order,
+    /// counting writes and LRU evictions.
+    fn apply_deposits(store: &mut HintStore, stats: &mut HintStats, deposits: &[HintDeposit]) {
+        for d in deposits {
+            let out = store.deposit(d.holder, d.key, d.next_hop, d.depth);
+            stats.deposits += 1;
+            if out.evicted_live {
+                stats.evicted_lru += 1;
+            }
+        }
     }
 
     /// Run contact selection (one pass over shuffled edge nodes, §III.C.1)
@@ -469,6 +543,9 @@ impl CardWorld {
             stats.merge(&delta.stats);
             maintenance.merge(&delta.maintenance);
         }
+        if let Some(store) = &mut self.hints {
+            store.advance_epoch();
+        }
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
     }
@@ -502,6 +579,9 @@ impl CardWorld {
         let delta = Self::validate_span(net, cfg, &mut view, *now, width);
         stats.merge(&delta.stats);
         maintenance.merge(&delta.maintenance);
+        if let Some(store) = &mut self.hints {
+            store.advance_epoch();
+        }
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
     }
@@ -561,28 +641,146 @@ impl CardWorld {
     /// Issue a resource-discovery query (§III.C.4) from `source` for
     /// `target`, escalating depth up to `cfg.depth`. Runs allocation-free
     /// on the world's first query scratch; batches should prefer
-    /// [`CardWorld::query_all`].
+    /// [`CardWorld::query_all`]. With the route-hint cache enabled, the
+    /// cache is consulted first and deposits from a resolved query are
+    /// applied immediately (live queries warm the very next call).
     pub fn query(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
-        dsq_query(
-            &self.net,
-            &self.contacts,
-            source,
-            target,
-            self.cfg.depth,
-            &mut self.stats,
-            self.now,
-            &mut self.query_scratch[0],
-        )
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            now,
+            query_scratch,
+            hints,
+            hint_stats,
+            hint_deposits,
+            ..
+        } = self;
+        match hints {
+            Some(store) => {
+                hint_deposits.clear();
+                let out = {
+                    let mut ctx = HintContext {
+                        store,
+                        stats: hint_stats,
+                        deposits: hint_deposits,
+                    };
+                    dsq_query_hinted(
+                        net,
+                        contacts,
+                        &mut ctx,
+                        source,
+                        target,
+                        cfg.depth,
+                        stats,
+                        *now,
+                        &mut query_scratch[0],
+                    )
+                };
+                Self::apply_deposits(store, hint_stats, hint_deposits);
+                out
+            }
+            None => dsq_query(
+                net,
+                contacts,
+                source,
+                target,
+                cfg.depth,
+                stats,
+                *now,
+                &mut query_scratch[0],
+            ),
+        }
+    }
+
+    /// Issue an anycast resource query (§III.C.4 with a resource target)
+    /// from `source`, escalating up to `cfg.depth` and consulting the
+    /// route-hint cache when enabled (hints are keyed by the resource, so
+    /// any replica's answer warms later queries for it).
+    pub fn query_resource(
+        &mut self,
+        registry: &ResourceRegistry,
+        source: NodeId,
+        resource: ResourceId,
+    ) -> QueryOutcome {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            now,
+            query_scratch,
+            hints,
+            hint_stats,
+            hint_deposits,
+            ..
+        } = self;
+        match hints {
+            Some(store) => {
+                hint_deposits.clear();
+                let out = {
+                    let mut ctx = HintContext {
+                        store,
+                        stats: hint_stats,
+                        deposits: hint_deposits,
+                    };
+                    resource_query_hinted(
+                        net,
+                        contacts,
+                        registry,
+                        &mut ctx,
+                        source,
+                        resource,
+                        cfg.depth,
+                        stats,
+                        *now,
+                        &mut query_scratch[0],
+                    )
+                };
+                Self::apply_deposits(store, hint_stats, hint_deposits);
+                out
+            }
+            None => resource_query(
+                net,
+                contacts,
+                registry,
+                source,
+                resource,
+                cfg.depth,
+                stats,
+                *now,
+                &mut query_scratch[0],
+            ),
+        }
     }
 
     /// Run a batch of queries — one DSQ per `(source, target)` pair,
     /// escalating up to `cfg.depth` — fanned out over the protocol shards
     /// (the *pair list* is sharded; see the module docs), returning the
-    /// outcomes in pair order. Message counters land in per-shard
-    /// [`MsgStats`] deltas merged in shard order, so results and
-    /// statistics are bit-identical to [`CardWorld::query_all_serial`] at
-    /// any worker or shard count.
+    /// outcomes in pair order. With the route-hint cache disabled this is
+    /// exactly [`CardWorld::query_all_cache_off`]; with it enabled the
+    /// sweep consults a store *frozen* for the whole parallel phase and
+    /// applies the shards' deposit logs in shard order afterwards, so
+    /// either way results and statistics are bit-identical at any worker
+    /// or shard count (the cache-off path additionally equals
+    /// [`CardWorld::query_all_serial`]).
     pub fn query_all(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        if self.hints.is_some() {
+            self.query_all_hinted(pairs)
+        } else {
+            self.query_all_cache_off(pairs)
+        }
+    }
+
+    /// The retained cache-off sweep — the §V baseline the hinted sweep is
+    /// measured against, and the path [`CardWorld::query_all`] takes when
+    /// hints are disabled. Message counters land in per-shard [`MsgStats`]
+    /// deltas merged in shard order, so results and statistics are
+    /// bit-identical to [`CardWorld::query_all_serial`] at any worker or
+    /// shard count. Never touches the hint store, even when one is
+    /// enabled.
+    pub fn query_all_cache_off(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
         let CardWorld {
             net,
             cfg,
@@ -640,6 +838,80 @@ impl CardWorld {
         out
     }
 
+    /// The hinted sharded sweep behind [`CardWorld::query_all`]. Shards
+    /// read a store frozen for the whole parallel phase (every query of
+    /// the sweep sees the same cache — deposits become visible to the
+    /// *next* sweep, exactly as in a batch of concurrently in-flight
+    /// queries) and log their deposits plus [`HintStats`] deltas, which
+    /// are applied and merged in shard order (= pair order) afterwards.
+    /// Outcomes, statistics, and the resulting store are therefore a pure
+    /// function of `(network, tables, store, pairs)` — bit-identical at
+    /// any worker or shard count (pinned by `tests/hint_cache.rs`).
+    fn query_all_hinted(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            now,
+            query_scratch,
+            hints,
+            hint_stats,
+            ..
+        } = self;
+        let store = hints.as_mut().expect("hinted sweep without a store");
+        let at = *now;
+        let depth = cfg.depth;
+        let spans = shard_spans(pairs.len(), query_scratch.len());
+        let mut out: Vec<QueryOutcome> = vec![
+            QueryOutcome {
+                found: false,
+                depth_used: 0,
+                query_msgs: 0,
+                reply_msgs: 0,
+            };
+            pairs.len()
+        ];
+        let mut shards = Vec::with_capacity(spans.len());
+        let mut out_rest: &mut [QueryOutcome] = &mut out;
+        let mut scratches = query_scratch.iter_mut();
+        for span in spans {
+            let (slots, rest) = out_rest.split_at_mut(span.end - span.start);
+            out_rest = rest;
+            shards.push((
+                &pairs[span],
+                slots,
+                scratches.next().expect("span count exceeds scratch count"),
+            ));
+        }
+        let frozen: &HintStore = store;
+        let deltas = parallel_shard_map(&mut shards, |_, (pairs, slots, scratch)| {
+            let mut dsq = 0u64;
+            let mut reply = 0u64;
+            let mut shard_stats = HintStats::default();
+            let mut deposits: Vec<HintDeposit> = Vec::new();
+            for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
+                let mut ctx = HintContext {
+                    store: frozen,
+                    stats: &mut shard_stats,
+                    deposits: &mut deposits,
+                };
+                let o = dsq_query_hinted_unrecorded(net, contacts, &mut ctx, s, t, depth, scratch);
+                dsq += o.query_msgs;
+                reply += o.reply_msgs;
+                *slot = o;
+            }
+            (dsq, reply, shard_stats, deposits)
+        });
+        for (dsq, reply, shard_stats, deposits) in &deltas {
+            stats.record_n(at, MsgKind::Dsq, *dsq);
+            stats.record_n(at, MsgKind::DsqReply, *reply);
+            hint_stats.merge(shard_stats);
+            Self::apply_deposits(store, hint_stats, deposits);
+        }
+        out
+    }
+
     /// Serial reference for [`CardWorld::query_all`]: the same queries one
     /// at a time on the caller's thread, recording straight into the
     /// world's statistics. Kept (like the `*_serial` protocol sweeps) as
@@ -682,6 +954,25 @@ impl CardWorld {
             match ev {
                 SimEvent::MobilityTick => {
                     self.net.advance(model, self.cfg.mobility_tick);
+                    // Mobility invalidation: hints *held at* nodes whose
+                    // neighborhood changed point along links that may be
+                    // gone, so evict them eagerly. Correctness never
+                    // depends on this — a surviving stale hint is caught by
+                    // the probe's live contact-table check — it just keeps
+                    // the stale_contact miss rate down under churn.
+                    if let Some(store) = &mut self.hints {
+                        match self.net.dirty_report() {
+                            DirtyReport::All => {
+                                self.hint_stats.evicted_mobility += store.invalidate_all() as u64;
+                            }
+                            DirtyReport::Exact(dirty) => {
+                                for &node in dirty {
+                                    self.hint_stats.evicted_mobility +=
+                                        store.invalidate_node(node) as u64;
+                                }
+                            }
+                        }
+                    }
                     engine.schedule_in(self.cfg.mobility_tick, SimEvent::MobilityTick);
                 }
                 SimEvent::ValidationRound => {
@@ -1040,6 +1331,127 @@ mod tests {
     #[should_panic(expected = "at least one protocol shard")]
     fn zero_shards_rejected() {
         CardWorld::build(&scenario(), cfg()).set_shard_count(0);
+    }
+
+    #[test]
+    fn hints_toggle_round_trip() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        assert!(!w.hints_enabled());
+        assert!(w.hint_store().is_none());
+        w.set_hints_enabled(true);
+        assert!(w.hints_enabled());
+        let store = w.hint_store().expect("enabled world has a store");
+        assert_eq!(store.node_count(), 150);
+        assert!(store.is_empty());
+        w.set_hints_enabled(true); // idempotent: must not rebuild/clear
+        w.set_hints_enabled(false);
+        assert!(!w.hints_enabled());
+        // a world built with hints in the config starts enabled
+        let w2 = CardWorld::build(&scenario(), cfg().with_hints(true));
+        assert!(w2.hints_enabled());
+    }
+
+    #[test]
+    fn hinted_queries_agree_with_cache_off_on_found() {
+        // Hints may only change the *cost* of a query, never its answer:
+        // across repeated (warming) sweeps, every outcome's `found` and
+        // `depth_used`-reachability verdict must match the cache-off path.
+        let pairs: Vec<(NodeId, NodeId)> = (0..80u32)
+            .map(|i| (NodeId::new(i % 150), NodeId::new((i * 13 + 31) % 150)))
+            .collect();
+        let mut base = CardWorld::build(&scenario(), cfg().with_depth(3));
+        base.select_all_contacts();
+        let mut hinted = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+        hinted.select_all_contacts();
+        let expected = base.query_all_cache_off(&pairs);
+        for sweep in 0..3 {
+            let got = hinted.query_all(&pairs);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.found, e.found, "answer flipped on sweep {sweep}");
+            }
+        }
+        let stats = hinted.hint_stats();
+        assert!(stats.lookups > 0, "hinted sweeps must consult the cache");
+        assert!(stats.deposits > 0, "resolved queries must deposit hints");
+        assert!(
+            stats.hits > 0,
+            "the repeat sweeps must hit deposited hints: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn hinted_sweep_is_shard_count_invariant() {
+        let pairs: Vec<(NodeId, NodeId)> = (0..60u32)
+            .map(|i| (NodeId::new((i * 7) % 150), NodeId::new((i * 53 + 2) % 150)))
+            .collect();
+        let build = |shards: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+            if let Some(k) = shards {
+                w.set_shard_count(k);
+            }
+            w.select_all_contacts();
+            w
+        };
+        let mut reference = build(Some(1));
+        let warm = reference.query_all(&pairs);
+        let warm2 = reference.query_all(&pairs);
+        let expected_stats = reference.hint_stats().clone();
+        let expected_series = reference.stats().series_where(|_| true);
+        for shards in [None, Some(3), Some(60), Some(500)] {
+            let mut par = build(shards);
+            assert_eq!(par.query_all(&pairs), warm, "cold sweep at {shards:?}");
+            assert_eq!(par.query_all(&pairs), warm2, "warm sweep at {shards:?}");
+            assert_eq!(
+                par.hint_stats(),
+                &expected_stats,
+                "hint counters diverged at shard count {shards:?}"
+            );
+            assert_eq!(
+                par.stats().series_where(|_| true),
+                expected_series,
+                "message series diverged at shard count {shards:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_queries_warm_the_very_next_call() {
+        // The one-at-a-time path applies deposits immediately: repeating
+        // the same resolved query must hit the cache on the second call
+        // and spend no more messages than the first.
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+        w.select_all_contacts();
+        let reach = crate::reachability::reachability_set(
+            w.network(),
+            w.contact_tables(),
+            NodeId::new(0),
+            3,
+        );
+        let nb = w.network().tables().of(NodeId::new(0));
+        let Some(target) = reach
+            .iter()
+            .map(NodeId::from)
+            .find(|&t| !nb.contains(t) && t != NodeId::new(0))
+        else {
+            return; // topology left nothing beyond the zone — vacuous
+        };
+        let first = w.query(NodeId::new(0), target);
+        assert!(first.found);
+        let hits_before = w.hint_stats().hits;
+        let second = w.query(NodeId::new(0), target);
+        assert!(second.found);
+        assert!(
+            w.hint_stats().hits > hits_before,
+            "second identical query must hit the cache: {:?}",
+            w.hint_stats()
+        );
+        assert!(
+            second.query_msgs <= first.query_msgs,
+            "a cache hit may not cost more ({} > {})",
+            second.query_msgs,
+            first.query_msgs
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@
 //!   queries over a uniform and a clustered replica mix
 //!   ([`QUERY_RESOURCES`] resources × [`QUERY_REPLICAS`] replicas,
 //!   `card_core::resources::resource_query` on one reused scratch) whose
-//!   hit rates land in the last two columns.
+//!   hit rates land in the last two columns;
+//! * **route-hint cache** — the §V hint phase drives repeat-heavy and
+//!   Zipf-skewed query mixes over a pool of resolvable targets with the
+//!   `card_core::hints` cache off (baseline), cold and warm, reporting
+//!   messages per query for each, the warm hit rate, and the staleness
+//!   counters after a burst of mobility churn — the headline
+//!   messages-per-query cut the cache buys at N = 10⁵.
 //!
 //! Three mobility profiles bracket the churn range: *pedestrian* (random
 //! walk, 0.5–2 m/s — the paper's assumed regime; every node drifts every
@@ -76,6 +82,14 @@ pub const QUERY_REPLICAS: usize = 8;
 /// phase's contact annulus is shallow (r = 4R), so D = 3 exercises real
 /// multi-level escalation without flooding the contact graph.
 pub const QUERY_DEPTH: u16 = 3;
+
+/// Zipf exponent of the hint phase's skewed target mix (mild skew: the
+/// hot targets dominate without drowning the tail entirely).
+pub const HINT_ZIPF_EXPONENT: f64 = 1.1;
+
+/// Mobility ticks of the hint phase's churn burst (long enough to cross
+/// one validation period, so TTL epochs advance too).
+pub const HINT_CHURN_TICKS: u64 = 10;
 
 /// Dwell probability of the [`MobilityProfile::PedestrianDwell`] profile:
 /// at any instant ~1% of nodes are walking and the rest stand exactly
@@ -257,6 +271,25 @@ pub struct ScaleRow {
     pub res_uniform_hit_rate: f64,
     /// Anycast hit rate over the clustered resource mix.
     pub res_clustered_hit_rate: f64,
+    /// Resolvable (source, target) pairs in the hint phase's repeat pool.
+    pub hint_pool: usize,
+    /// Cache-off messages per query over the repeat-heavy mix.
+    pub hint_base_msgs_per: f64,
+    /// First hinted sweep (cold cache) messages per query.
+    pub hint_cold_msgs_per: f64,
+    /// Warm-cache messages per query over the repeat-heavy mix.
+    pub hint_warm_msgs_per: f64,
+    /// Warm-sweep hint hit rate (hits / lookups).
+    pub hint_hit_rate: f64,
+    /// Messages per query on the sweep following the churn burst.
+    pub hint_churn_msgs_per: f64,
+    /// Stale encounters + mobility evictions across the churn burst and
+    /// the post-churn sweep.
+    pub hint_stale_total: u64,
+    /// Warm-cache messages per query over the Zipf-skewed mix.
+    pub zipf_warm_msgs_per: f64,
+    /// Warm-sweep hit rate over the Zipf-skewed mix.
+    pub zipf_hit_rate: f64,
 }
 
 /// Run every (N, mobility-profile) combination of `p`.
@@ -395,6 +428,103 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         },
     );
 
+    // Route-hint phase (§V): repeat-heavy and Zipf-skewed mixes over a
+    // pool of *resolvable* targets — the regime where a query cache can
+    // matter at all — measured cache-off, cold and warm, then through a
+    // churn burst that exercises TTL epochs and mobility invalidation.
+    let msgs_per = |outs: &[card_core::QueryOutcome]| -> f64 {
+        let sum: u64 = outs.iter().map(|o| o.total_messages()).sum();
+        sum as f64 / outs.len().max(1) as f64
+    };
+    let pool_target = (p.queries / 16).clamp(8, 512);
+    let mut pool_rng = splitter.stream("scale-hint-pool", 0);
+    let mut pool: Vec<(NodeId, NodeId)> = Vec::with_capacity(pool_target);
+    for _ in 0..4 {
+        if pool.len() >= pool_target {
+            break;
+        }
+        let candidates: Vec<(NodeId, NodeId)> = (0..pool_target * 2)
+            .map(|_| {
+                (
+                    NodeId::from(pool_rng.index(n)),
+                    NodeId::from(pool_rng.index(n)),
+                )
+            })
+            .collect();
+        let outs = world.query_all_cache_off(&candidates);
+        pool.extend(
+            candidates
+                .iter()
+                .zip(&outs)
+                .filter(|(_, o)| o.found)
+                .map(|(&pair, _)| pair),
+        );
+    }
+    pool.truncate(pool_target);
+    if pool.is_empty() {
+        // Pathological topology: fall back to trivially-resolvable self
+        // lookups so the phase still measures the cache machinery.
+        pool.push((NodeId::from(0usize), NodeId::from(0usize)));
+    }
+    let mut mix_rng = splitter.stream("scale-hint-mix", 0);
+    let workload: Vec<(NodeId, NodeId)> = (0..p.queries)
+        .map(|_| pool[mix_rng.index(pool.len())])
+        .collect();
+
+    let baseline = world.query_all_cache_off(&workload);
+    let hint_base_msgs_per = msgs_per(&baseline);
+    world.set_hints_enabled(true);
+    world.clear_hints();
+    world.reset_hint_stats();
+    let cold = world.query_all(&workload);
+    let hint_cold_msgs_per = msgs_per(&cold);
+    world.reset_hint_stats();
+    let warm = world.query_all(&workload);
+    let hint_warm_msgs_per = msgs_per(&warm);
+    let hint_hit_rate = world.hint_stats().hit_rate();
+    for ((b, c), w) in baseline.iter().zip(&cold).zip(&warm) {
+        assert!(
+            b.found == c.found && b.found == w.found,
+            "hints changed an answer — cost-only contract broken"
+        );
+    }
+
+    // Churn burst: mobility + one validation round age and invalidate
+    // hints; the following sweep pays the staleness and re-warms.
+    world.reset_hint_stats();
+    world.run_mobile(
+        model.as_mut(),
+        world.config().mobility_tick * HINT_CHURN_TICKS,
+    );
+    let churned = world.query_all(&workload);
+    let hint_churn_msgs_per = msgs_per(&churned);
+    let hint_stale_total = world.hint_stats().stale_total();
+
+    // Zipf-skewed mix: rank i of the pool drawn ∝ 1/(i+1)^s.
+    let zipf_cum: Vec<f64> = pool
+        .iter()
+        .enumerate()
+        .scan(0.0f64, |acc, (i, _)| {
+            *acc += 1.0 / ((i + 1) as f64).powf(HINT_ZIPF_EXPONENT);
+            Some(*acc)
+        })
+        .collect();
+    let zipf_total = *zipf_cum.last().expect("pool is non-empty");
+    let mut zipf_rng = splitter.stream("scale-hint-zipf", 0);
+    let zipf_workload: Vec<(NodeId, NodeId)> = (0..p.queries)
+        .map(|_| {
+            let u = zipf_rng.next_f64() * zipf_total;
+            let rank = zipf_cum.partition_point(|&c| c < u).min(pool.len() - 1);
+            pool[rank]
+        })
+        .collect();
+    world.clear_hints();
+    world.query_all(&zipf_workload); // cold pass warms the skewed heads
+    world.reset_hint_stats();
+    let zipf_warm = world.query_all(&zipf_workload);
+    let zipf_warm_msgs_per = msgs_per(&zipf_warm);
+    let zipf_hit_rate = world.hint_stats().hit_rate();
+
     ScaleRow {
         scenario: *scenario,
         mobility: profile,
@@ -427,6 +557,15 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         queries_per_s: p.queries as f64 / (query_ms / 1e3).max(1e-9),
         res_uniform_hit_rate,
         res_clustered_hit_rate,
+        hint_pool: pool.len(),
+        hint_base_msgs_per,
+        hint_cold_msgs_per,
+        hint_warm_msgs_per,
+        hint_hit_rate,
+        hint_churn_msgs_per,
+        hint_stale_total,
+        zipf_warm_msgs_per,
+        zipf_hit_rate,
     }
 }
 
@@ -547,10 +686,49 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
             ]
         })
         .collect();
+    let hint_headers = [
+        "N",
+        "Mobility",
+        "Pool",
+        "Base msgs/q",
+        "Cold msgs/q",
+        "Warm msgs/q",
+        "Warm Δ%",
+        "Hit %",
+        "Churn msgs/q",
+        "Stale",
+        "Zipf msgs/q",
+        "Zipf hit %",
+    ];
+    let hint_body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let cut = if r.hint_base_msgs_per > 0.0 {
+                100.0 * (r.hint_base_msgs_per - r.hint_warm_msgs_per) / r.hint_base_msgs_per
+            } else {
+                0.0
+            };
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                r.hint_pool.to_string(),
+                format!("{:.1}", r.hint_base_msgs_per),
+                format!("{:.1}", r.hint_cold_msgs_per),
+                format!("{:.1}", r.hint_warm_msgs_per),
+                format!("{cut:.1}%"),
+                format!("{:.1}%", 100.0 * r.hint_hit_rate),
+                format!("{:.1}", r.hint_churn_msgs_per),
+                r.hint_stale_total.to_string(),
+                format!("{:.1}", r.zipf_warm_msgs_per),
+                format!("{:.1}%", 100.0 * r.zipf_hit_rate),
+            ]
+        })
+        .collect();
     format!(
         "### Scale — {}-tick mobility runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}\n\n\
          ### Scale — full-protocol phase (sharded sweeps; EM, r={}, NoC={}, {} validation rounds)\n\n{}\n\n\
-         ### Scale — query workload phase (sharded `query_all` DSQs at D={}; resource mixes {}×{} replicas)\n\n{}",
+         ### Scale — query workload phase (sharded `query_all` DSQs at D={}; resource mixes {}×{} replicas)\n\n{}\n\n\
+         ### Scale — route-hint cache phase (repeat-heavy + Zipf s={} mixes over the resolvable pool; churn burst of {} ticks)\n\n{}",
         p.ticks,
         p.radius,
         p.tick.as_secs_f64() * 1e3,
@@ -562,7 +740,10 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
         QUERY_DEPTH,
         QUERY_RESOURCES,
         QUERY_REPLICAS,
-        markdown_table(&query_headers, &query_body)
+        markdown_table(&query_headers, &query_body),
+        HINT_ZIPF_EXPONENT,
+        HINT_CHURN_TICKS,
+        markdown_table(&hint_headers, &hint_body)
     )
 }
 
@@ -663,6 +844,38 @@ mod tests {
         assert!(text.contains("query workload phase"));
         assert!(text.contains("Queries/s"));
         assert!(text.contains("Res uni hit %"));
+        assert!(text.contains("route-hint cache phase"));
+        assert!(text.contains("Warm Δ%"));
+        assert!(text.contains("Zipf msgs/q"));
+    }
+
+    #[test]
+    fn hint_phase_cuts_warm_traffic_on_repeat_mixes() {
+        let rows = run(&tiny());
+        for r in &rows {
+            assert!(r.hint_pool > 0, "{:?} built no pool", r.mobility);
+            assert!(
+                (0.0..=1.0).contains(&r.hint_hit_rate) && (0.0..=1.0).contains(&r.zipf_hit_rate)
+            );
+            assert!(
+                r.hint_hit_rate > 0.0,
+                "{:?}: a warm repeat sweep must hit the cache",
+                r.mobility
+            );
+            assert!(
+                r.zipf_hit_rate > 0.0,
+                "{:?}: the Zipf heads must hit the cache",
+                r.mobility
+            );
+            assert!(
+                r.hint_warm_msgs_per <= r.hint_base_msgs_per,
+                "{:?}: warm sweep ({:.1} msgs/q) may not exceed cache-off ({:.1})",
+                r.mobility,
+                r.hint_warm_msgs_per,
+                r.hint_base_msgs_per
+            );
+            assert!(r.hint_churn_msgs_per >= 0.0);
+        }
     }
 
     #[test]

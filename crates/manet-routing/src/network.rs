@@ -77,6 +77,10 @@ pub struct PipelineCounters {
     /// Nodes the mobility model reported as moved (N when the caller used
     /// a report-free refresh).
     pub movers_reported: usize,
+    /// Reported movers the range-annulus pre-filter proved link-inert and
+    /// dropped from the patch's candidate seed (0 when the filter's profit
+    /// gate stayed off or a wholesale fallback ran).
+    pub movers_skipped: usize,
     /// Grid entries re-bucketed: boundary-crossing movers, or N on a full
     /// relayout.
     pub grid_rebucketed: usize,
@@ -90,6 +94,19 @@ pub struct PipelineCounters {
     /// Did any wholesale fallback run (grid relayout, adjacency rebuild,
     /// or a report-free refresh)?
     pub full_fallback: bool,
+}
+
+/// Which neighborhood tables the last refresh rebuilt — the invalidation
+/// feed for state layered over the tables (card-core's route-hint cache
+/// evicts the hints held at dirty nodes). The incremental paths retain the
+/// exact dirty node list; wholesale fallbacks rebuilt everything without
+/// keeping a list and report [`DirtyReport::All`].
+#[derive(Clone, Copy, Debug)]
+pub enum DirtyReport<'a> {
+    /// Exactly these nodes' tables were rebuilt (possibly none).
+    Exact(&'a [NodeId]),
+    /// Every table was rebuilt (wholesale fallback).
+    All,
 }
 
 /// A MANET snapshot plus the machinery to evolve it under mobility.
@@ -123,6 +140,14 @@ pub struct Network {
     undo_index: Vec<(NodeId, u32)>,
     /// Reusable buffer for the mobility model's mover report.
     movers_buf: Vec<NodeId>,
+    /// Each node's position as of the last refresh that proved (or
+    /// rebuilt) its link state — the displacement baseline for the
+    /// range-annulus pre-filter in [`Network::refresh_movers`].
+    prev_positions: Vec<Point2>,
+    /// Per-mover displacement since `prev_positions` (reused buffer).
+    mover_delta: Vec<f64>,
+    /// Movers surviving the annulus pre-filter (reused buffer).
+    active_buf: Vec<NodeId>,
     /// What the last refresh actually did, stage by stage.
     counters: PipelineCounters,
 }
@@ -159,6 +184,7 @@ impl Network {
             field,
             tx_range,
             radius,
+            prev_positions: positions.clone(),
             positions,
             prev_adj: adj.clone(),
             adj,
@@ -171,6 +197,8 @@ impl Network {
             patch_scratch: PatchScratch::new(),
             undo_index: Vec::new(),
             movers_buf: Vec::new(),
+            mover_delta: Vec::new(),
+            active_buf: Vec::new(),
             counters: PipelineCounters::default(),
         }
     }
@@ -267,36 +295,61 @@ impl Network {
     /// [`Network::refresh_full`].
     pub fn refresh_movers(&mut self, movers: &[NodeId]) {
         let n = self.positions.len();
-        if self.adj.node_count() != n || !Adjacency::patch_viable(n, movers.len()) {
+        if self.adj.node_count() != n {
+            self.refresh();
+            self.counters.movers_reported = movers.len();
+            return;
+        }
+        if movers.is_empty() {
+            // Nothing moved (the report is a superset of position
+            // changes), so grid, adjacency and tables are all already
+            // exact — the tick is O(1).
+            self.counters = PipelineCounters {
+                movers_reported: 0,
+                ..PipelineCounters::default()
+            };
+            self.changed.clear();
+            self.dirty.clear();
+            return;
+        }
+        // Range-annulus pre-filter: drop reported movers whose
+        // displacement provably left every incident link's state alone,
+        // so the patch only re-queries rows around movers that could
+        // matter. Off (active = movers verbatim) unless its profit gate
+        // expects the skips to pay for the filtering scan.
+        let mut active_buf = std::mem::take(&mut self.active_buf);
+        let engaged = self.annulus_prefilter(movers, &mut active_buf);
+        let active: &[NodeId] = if engaged { &active_buf } else { movers };
+        let skipped = movers.len() - active.len();
+        if !Adjacency::patch_viable(n, active.len()) {
             // The churn fallback would rebuild wholesale anyway — take the
             // report-free path directly: its all-rows diff recovers the
             // changed set the patch can no longer report.
+            self.active_buf = active_buf;
             self.refresh();
             self.counters.movers_reported = movers.len();
             return;
         }
         self.counters = PipelineCounters {
             movers_reported: movers.len(),
+            movers_skipped: skipped,
             ..PipelineCounters::default()
         };
-        if movers.is_empty() {
-            // Nothing moved (the report is a superset of position
-            // changes), so grid, adjacency and tables are all already
-            // exact — the tick is O(1).
-            self.changed.clear();
-            self.dirty.clear();
-            return;
-        }
         // The tables currently reflect `adj`; patch it in place. Old rows
         // live on in the patch scratch's undo log — no snapshot copy.
-        let outcome = self.adj.patch_with_grid(
+        // The grid still re-buckets the *full* report (residency must
+        // track every position change), only the candidate seeding is
+        // restricted to the active movers.
+        let outcome = self.adj.patch_with_grid_active(
             &mut self.grid,
             &self.positions,
             self.tx_range,
             movers,
+            active,
             &mut self.changed,
             &mut self.patch_scratch,
         );
+        self.active_buf = active_buf;
         match outcome {
             AdjacencyUpdate::Patched {
                 rows_patched, grid, ..
@@ -319,6 +372,97 @@ impl Network {
                 self.counters.dirty = n;
             }
         }
+        // Every reported mover now has a refreshed (or skip-proven) link
+        // state at its current position — re-baseline its displacement.
+        for &m in movers {
+            self.prev_positions[m.index()] = self.positions[m.index()];
+        }
+    }
+
+    /// The range-annulus pre-filter: copy into `out` the subset of
+    /// `movers` that must stay in the patch's candidate seed, returning
+    /// whether the filter engaged at all (`false` leaves `out` untouched
+    /// and the caller uses the full report).
+    ///
+    /// A mover `j` may be dropped only with a *proof* that none of its
+    /// incident links changed state since `prev_positions`. Let δ_j be
+    /// `j`'s displacement since its baseline and Δ the maximum
+    /// displacement in this report (non-reported nodes have δ = 0). A
+    /// link `(j, m)` changes state only if `tx_range` lies between its
+    /// old and new length, which forces the *new* length within
+    /// `δ_j + δ_m ≤ δ_j + Δ` of `tx_range` — so it suffices to check the
+    /// annulus `|dist − tx_range| ≤ δ_j + Δ` around `j`'s new position
+    /// for occupants. Candidates are enumerated from the 3×3 cell ball at
+    /// `j`'s new position *before* the grid re-buckets this tick, so an
+    /// occupant's bucketed position lags its current one by at most Δ;
+    /// the enumeration is complete when
+    /// `tx_range + (δ_j + Δ) + Δ ≤ ball_coverage(pos_j)` (clamped border
+    /// positions report a small or negative coverage and simply stay
+    /// active). An empty annulus means no link ends near the range
+    /// boundary: `j` is inert. δ_j = 0 movers are always inert.
+    ///
+    /// The profit gate estimates the skip fraction from the annulus-hit
+    /// Poisson rate λ = density · 8π · tx_range · Δ (area of the width-4Δ
+    /// annulus at radius `tx_range`, halved odds twice for the two-sided
+    /// |·| test — an engineering estimate, not part of the soundness
+    /// argument): when the report is already patch-viable the filter must
+    /// expect to skip ≥ 25 % to bother; when it is *not* viable the
+    /// filter engages only if the expected survivors fit well inside the
+    /// patch budget, since turning a wholesale tick into a patch tick is
+    /// worth the scan. Wrong guesses only cost time: survivors above
+    /// budget still take the wholesale fallback.
+    fn annulus_prefilter(&mut self, movers: &[NodeId], out: &mut Vec<NodeId>) -> bool {
+        const EPS: f64 = 1e-6;
+        let n = self.positions.len();
+        self.mover_delta.clear();
+        let mut max_delta = 0.0f64;
+        for &m in movers {
+            let d = self.prev_positions[m.index()].dist(self.positions[m.index()]);
+            self.mover_delta.push(d);
+            max_delta = max_delta.max(d);
+        }
+        if max_delta == 0.0 {
+            // A pure-jiggle report: every baseline already matches the
+            // current position, so no link can have changed.
+            out.clear();
+            return true;
+        }
+        let density = n as f64 / self.field.area();
+        let lambda = density * 8.0 * std::f64::consts::PI * self.tx_range * max_delta;
+        let p_skip = (-lambda).exp();
+        let engage = if Adjacency::patch_viable(n, movers.len()) {
+            p_skip >= 0.25
+        } else {
+            movers.len() as f64 * (1.0 - p_skip) <= 0.75 * Adjacency::patch_budget(n) as f64
+        };
+        if !engage {
+            return false;
+        }
+        out.clear();
+        let range = self.tx_range;
+        let (grid, positions) = (&self.grid, &self.positions);
+        for (k, &m) in movers.iter().enumerate() {
+            let delta = self.mover_delta[k];
+            if delta == 0.0 {
+                continue;
+            }
+            let p = positions[m.index()];
+            let slack = delta + max_delta;
+            if range + slack + max_delta + EPS > grid.ball_coverage(p) {
+                out.push(m);
+                continue;
+            }
+            let mut pinned = false;
+            grid.for_each_in_cell_ball(grid.cell_at(p), |nb| {
+                if nb != m && !pinned {
+                    pinned = (positions[nb.index()].dist(p) - range).abs() <= slack + EPS;
+                }
+            });
+            if pinned {
+                out.push(m);
+            }
+        }
+        true
     }
 
     /// O(N) snapshot diff: collect into `self.changed` every node whose
@@ -370,6 +514,7 @@ impl Network {
         self.record_grid_update(grid_update);
         self.diff_changed_rows();
         self.recompute_dirty_neighborhoods();
+        self.prev_positions.clone_from(&self.positions);
     }
 
     /// Dirty-ball tail of the mover-driven patch path: same derivation as
@@ -513,6 +658,7 @@ impl Network {
         self.record_grid_update(grid_update);
         self.changed.clear();
         self.dirty.clear();
+        self.prev_positions.clone_from(&self.positions);
     }
 
     /// Are `a` and `b` currently within direct radio range?
@@ -537,6 +683,18 @@ impl Network {
     /// grid re-bucketing, CSR patching, dirty neighborhoods).
     pub fn pipeline_counters(&self) -> PipelineCounters {
         self.counters
+    }
+
+    /// The last refresh's dirty set, for invalidating caches derived from
+    /// the neighborhood tables. `Exact` whenever the refresh retained the
+    /// per-node list (all incremental paths, including the no-motion
+    /// tick); a wholesale rebuild that cleared the list reports `All`.
+    pub fn dirty_report(&self) -> DirtyReport<'_> {
+        if self.counters.dirty == self.dirty.len() {
+            DirtyReport::Exact(&self.dirty)
+        } else {
+            DirtyReport::All
+        }
     }
 }
 
@@ -794,17 +952,22 @@ mod tests {
         let mut net = Network::from_scenario(&small_scenario(), 2, 17);
         // A static model never even reaches the refresh.
         net.advance(&mut StaticModel, SimDuration::from_secs(1));
-        // A gentle tick reports few movers and patches few rows.
+        // A full-motion tick: everyone moves far enough that the annulus
+        // gate predicts too few skips to rescue the tick from churn.
         let mut rwp =
             RandomWaypoint::new(60, net.field(), 0.5, 1.0, 0.0, RngStream::seed_from_u64(2));
-        net.advance(&mut rwp, SimDuration::from_millis(100));
+        net.advance(&mut rwp, SimDuration::from_secs(1));
         let c = net.pipeline_counters();
         assert_eq!(c.movers_reported, 60, "zero-pause RWP moves everyone");
         assert!(
             c.full_fallback,
-            "60 movers of 60 nodes must trip the churn fallback"
+            "60 far-moving movers of 60 nodes must trip the churn fallback"
         );
-        // Move only one node, via the explicit mover-report path.
+        assert_eq!(c.movers_skipped, 0, "fallback ticks skip nothing");
+        // Move only one node, via the explicit mover-report path. The
+        // annulus pre-filter may prove the 1 m hop link-inert (then it is
+        // counted skipped and no row is touched) or keep it — either way
+        // the tick stays local.
         let p = net.positions()[5];
         net.positions_mut()[5] = Point2::new(p.x + 1.0, p.y);
         net.refresh_movers(&[NodeId::new(5)]);
@@ -812,7 +975,7 @@ mod tests {
         assert_eq!(c.movers_reported, 1);
         assert!(!c.full_fallback, "one mover must stay on the patch path");
         assert!(
-            c.rows_patched >= 1 && c.rows_patched < 60,
+            c.rows_patched + c.movers_skipped >= 1 && c.rows_patched < 60,
             "patched rows ({}) must be local, not whole-network",
             c.rows_patched
         );
@@ -826,6 +989,79 @@ mod tests {
             (0, 0, 0, 0)
         );
         assert!(!c.full_fallback);
+    }
+
+    #[test]
+    fn annulus_filter_skips_isolated_jiggle_exactly() {
+        // A at a cell center with one deep-inside-range neighbor, nothing
+        // anywhere near the range annulus: a half-meter hop is provably
+        // link-inert and the tick must touch zero rows.
+        let field = Field::square(300.0);
+        let pos = vec![
+            Point2::new(75.0, 75.0),
+            Point2::new(100.0, 75.0),
+            Point2::new(200.0, 200.0),
+        ];
+        let mut net = Network::from_positions(field, pos, 50.0, 2);
+        net.positions_mut()[0] = Point2::new(75.5, 75.0);
+        net.refresh_movers(&[NodeId::new(0)]);
+        let c = net.pipeline_counters();
+        assert_eq!(c.movers_skipped, 1, "{c:?}");
+        assert_eq!(c.rows_patched, 0, "{c:?}");
+        assert_eq!((c.changed, c.dirty), (0, 0));
+        assert!(!c.full_fallback);
+        let reference = Network::from_positions(field, net.positions().to_vec(), 50.0, 2);
+        assert_tables_equal(&net, &reference);
+        // The skip re-baselined node 0: a second hop that breaks the
+        // link to node 1 must be kept and patched.
+        net.positions_mut()[0] = Point2::new(45.0, 75.0);
+        net.refresh_movers(&[NodeId::new(0)]);
+        let reference = Network::from_positions(field, net.positions().to_vec(), 50.0, 2);
+        assert_tables_equal(&net, &reference);
+    }
+
+    #[test]
+    fn annulus_filter_equivalence_under_creep_motion() {
+        // Sub-decimeter ticks engage the profit gate even with everyone
+        // reported moving; the filtered patch must stay bit-identical to
+        // the rebuild-everything reference, and the filter must actually
+        // be doing something (skips observed).
+        use mobility::walk::RandomWalk;
+        let mk = || {
+            RandomWalk::new(
+                60,
+                Field::square(300.0),
+                0.02,
+                0.05,
+                5.0,
+                RngStream::seed_from_u64(77),
+            )
+        };
+        let (mut mi, mut mf) = (mk(), mk());
+        let mut inc = Network::from_scenario(&small_scenario(), 2, 91);
+        let mut full = Network::from_scenario(&small_scenario(), 2, 91);
+        let (mut skipped, mut patch_ticks) = (0usize, 0usize);
+        for _ in 0..12 {
+            inc.advance(&mut mi, SimDuration::from_secs(1));
+            full.advance_positions_only(&mut mf, SimDuration::from_secs(1));
+            full.refresh_full();
+            let c = inc.pipeline_counters();
+            // A tick whose survivors still exceed the patch budget may
+            // legitimately fall back — wrong gate guesses cost time, not
+            // correctness — but creep motion must mostly stay patched.
+            skipped += c.movers_skipped;
+            patch_ticks += usize::from(!c.full_fallback);
+            assert_tables_equal(&inc, &full);
+            assert_eq!(inc.adj().canonical_csr(), full.adj().canonical_csr());
+        }
+        assert!(
+            patch_ticks >= 6,
+            "creep ticks should mostly stay incremental ({patch_ticks}/12 did)"
+        );
+        assert!(
+            skipped > 0,
+            "creep motion should let the annulus filter skip movers"
+        );
     }
 
     #[test]

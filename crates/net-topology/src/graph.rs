@@ -229,6 +229,15 @@ impl Adjacency {
         1 + len / 8
     }
 
+    /// Most movers a patch will take before the churn fallback becomes
+    /// the cheaper path (see `PATCH_CHURN_DIVISOR`). Exposed so callers
+    /// running pre-filters can predict whether a reduced mover set would
+    /// keep the patch path viable.
+    #[inline]
+    pub fn patch_budget(n: usize) -> usize {
+        (n / PATCH_CHURN_DIVISOR).max(PATCH_CHURN_FLOOR)
+    }
+
     /// Would [`Adjacency::patch_with_grid`] take the patch path (rather
     /// than the churn fallback) for `movers` moved nodes out of `n`?
     /// Callers that must do per-tick work *before* patching (e.g. the
@@ -236,7 +245,7 @@ impl Adjacency {
     /// work when the fallback would run anyway.
     #[inline]
     pub fn patch_viable(n: usize, movers: usize) -> bool {
-        movers <= (n / PATCH_CHURN_DIVISOR).max(PATCH_CHURN_FLOOR)
+        movers <= Self::patch_budget(n)
     }
 
     /// The checked edge-capacity guard: CSR offsets are `u32`, so the
@@ -360,11 +369,39 @@ impl Adjacency {
         changed: &mut Vec<NodeId>,
         scratch: &mut PatchScratch,
     ) -> AdjacencyUpdate {
+        self.patch_with_grid_active(grid, positions, range, moved, moved, changed, scratch)
+    }
+
+    /// [`Adjacency::patch_with_grid`] with a pre-filtered candidate seed:
+    /// rows are re-queried only around the `active` movers, while the
+    /// grid's cell residency is still brought up to date from the full
+    /// `moved` report. Churn viability is judged on `active` — this is
+    /// how a sound pre-filter (e.g. the annulus filter in
+    /// `manet-routing`) keeps small-displacement ticks on the patch path.
+    ///
+    /// # Contract
+    /// In addition to the [`Adjacency::patch_with_grid`] contract on
+    /// `moved`, every node whose link set changed must be an `active`
+    /// mover or an occupant of an active mover's old/new 3×3 cell ball —
+    /// i.e. the caller must *prove* each dropped mover has no changed
+    /// incident link (no node near its range annulus). Passing
+    /// `active = moved` recovers the unfiltered behavior.
+    #[allow(clippy::too_many_arguments)] // thin pre-filter seam over patch_with_grid
+    pub fn patch_with_grid_active(
+        &mut self,
+        grid: &mut SpatialGrid,
+        positions: &[Point2],
+        range: f64,
+        moved: &[NodeId],
+        active: &[NodeId],
+        changed: &mut Vec<NodeId>,
+        scratch: &mut PatchScratch,
+    ) -> AdjacencyUpdate {
         changed.clear();
         let n = positions.len();
         if self.node_count() != n
             || grid.tracked_nodes() != n
-            || !Self::patch_viable(n, moved.len())
+            || !Self::patch_viable(n, active.len())
         {
             let grid_update = self.rebuild_with_grid(grid, positions, range);
             return AdjacencyUpdate::Full { grid: grid_update };
@@ -391,10 +428,10 @@ impl Adjacency {
                     candidates.push(id);
                 }
             };
-            for &m in moved {
+            for &m in active {
                 add(m);
             }
-            for &m in moved {
+            for &m in active {
                 let old_cell = grid.node_cell(m);
                 let new_cell = grid.cell_at(positions[m.index()]);
                 grid.for_each_in_cell_ball(old_cell, &mut add);
@@ -768,6 +805,53 @@ mod tests {
             "{out:?}"
         );
         assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn patch_with_active_subset_skips_provably_inert_movers() {
+        let (field, mut pos) = line3();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let mut adj = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        let mut scratch = PatchScratch::new();
+        let mut changed = Vec::new();
+        // node 2 jiggles one meter: both its links keep their state, so a
+        // caller that proved that may drop it from the candidate seed
+        pos[2] = Point2::new(91.0, 10.0);
+        let out = adj.patch_with_grid_active(
+            &mut grid,
+            &pos,
+            50.0,
+            &[NodeId(2)],
+            &[],
+            &mut changed,
+            &mut scratch,
+        );
+        assert!(
+            matches!(
+                out,
+                AdjacencyUpdate::Patched {
+                    rows_patched: 0,
+                    rows_changed: 0,
+                    ..
+                }
+            ),
+            "{out:?}"
+        );
+        assert!(changed.is_empty());
+        assert_eq!(adj, Adjacency::build(field, &pos, 50.0));
+        // the grid's residency still tracked the full mover report: a
+        // follow-up patch around node 2's new position stays exact
+        pos[2] = Point2::new(95.0, 10.0);
+        adj.patch_with_grid(
+            &mut grid,
+            &pos,
+            50.0,
+            &[NodeId(2)],
+            &mut changed,
+            &mut scratch,
+        );
+        assert_eq!(adj, Adjacency::build(field, &pos, 50.0));
+        assert_csr_invariants(&adj);
     }
 
     #[test]

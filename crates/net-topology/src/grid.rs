@@ -304,6 +304,24 @@ impl SpatialGrid {
         self.cell_index(p)
     }
 
+    /// Conservative guarantee radius of the 3×3 cell ball around `p`'s
+    /// cell: every node whose *bucketed position* lies within this
+    /// distance of `p` is visited by
+    /// [`SpatialGrid::for_each_in_cell_ball`]`(cell_at(p))`. The ball
+    /// extends one full cell side beyond `p`'s cell, so the guarantee is
+    /// the cell side plus `p`'s distance to its cell's nearest edge — and
+    /// can drop below the cell side (even negative) for positions clamped
+    /// into boundary cells from outside the field, where no guarantee
+    /// holds. Callers gate range-annulus shortcuts on this value.
+    #[inline]
+    pub fn ball_coverage(&self, p: Point2) -> f64 {
+        let (cx, cy) = self.cell_of(p);
+        let fx = p.x - cx as f64 * self.cell_side;
+        let fy = p.y - cy as f64 * self.cell_side;
+        let margin = fx.min(self.cell_side - fx).min(fy).min(self.cell_side - fy);
+        self.cell_side + margin
+    }
+
     /// Visit every live occupant of the 3×3 cell ball centered on `cell` —
     /// the cells a range-≤`cell_side` query launched from anywhere inside
     /// `cell` can reach. No distance filtering: this is the *candidate*
@@ -593,6 +611,36 @@ mod tests {
             grid.update_reported(&positions, &[]),
             GridUpdate::Incremental { movers: 0 }
         );
+    }
+
+    #[test]
+    fn ball_coverage_bounds_the_cell_ball_guarantee() {
+        let field = Field::square(200.0);
+        let mut grid = SpatialGrid::new(field, 25.0);
+        let positions: Vec<Point2> = (0..60)
+            .map(|i| Point2::new((i as f64 * 53.0) % 200.0, (i as f64 * 29.0) % 200.0))
+            .collect();
+        grid.rebuild(&positions);
+        // In-field positions are guaranteed at least one cell side, at
+        // most one and a half.
+        for &p in &positions {
+            let cov = grid.ball_coverage(p);
+            assert!((25.0..=37.5 + 1e-9).contains(&cov), "coverage {cov}");
+            // The guarantee itself: everything within `cov` of `p` shows
+            // up in the ball.
+            let mut ball = Vec::new();
+            grid.for_each_in_cell_ball(grid.cell_at(p), |id| ball.push(id));
+            for (i, &q) in positions.iter().enumerate() {
+                if q.dist(p) <= cov {
+                    assert!(
+                        ball.contains(&NodeId::from(i)),
+                        "node {i} within coverage of {p:?} missing from ball"
+                    );
+                }
+            }
+        }
+        // Clamped positions forfeit the guarantee instead of lying.
+        assert!(grid.ball_coverage(Point2::new(260.0, 100.0)) < 0.0);
     }
 
     #[test]

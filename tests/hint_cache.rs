@@ -1,0 +1,279 @@
+//! Correctness guarantees for the §V route-hint cache.
+//!
+//! The contracts pinned here (see `card_core::hints` and the hinted-sweep
+//! section of `card_core::world`):
+//!
+//! 1. **cache-off bit-identity** — with hints disabled, `query_all` (and
+//!    the retained `query_all_cache_off` path of a hints-*enabled* world)
+//!    is bit-identical to `query_all_serial`: same outcomes, same
+//!    `MsgStats` bucket series, at any shard count — and the cache-off
+//!    path never touches the store;
+//! 2. **hints change cost, never answers** — across arbitrarily warmed
+//!    repeat-heavy sweeps, every hinted outcome's `found` flag equals the
+//!    cache-off verdict, and the whole hinted sweep (outcomes, message
+//!    series, hint counters) is shard-count-invariant;
+//! 3. **staleness is safe** — hints invalidated by TTL epochs or by
+//!    mobility dirty-ball reports are misses, never forwards: a hint
+//!    whose next hop is no longer a live contact of its holder falls back
+//!    to the plain escalation with the identical outcome and cost, and
+//!    churned worlds keep answer parity with an identically-evolved
+//!    cache-off world.
+
+use card_manet::card::hints::{HintKey, HintStore};
+use card_manet::card::query::{dsq_query, dsq_query_hinted, HintContext, QueryScratch};
+use card_manet::card::world::CardWorld;
+use card_manet::card::CardConfig;
+use card_manet::mobility::waypoint::RandomWaypoint;
+use card_manet::sim::rng::SeedSplitter;
+use card_manet::sim::stats::MsgStats;
+use card_manet::sim::time::SimDuration;
+use card_manet::topology::node::NodeId;
+use card_manet::topology::scenario::Scenario;
+use proptest::prelude::*;
+
+const NODES: usize = 140;
+
+fn config(seed: u64, hints: bool) -> CardConfig {
+    CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_hints(hints)
+        .with_seed(seed)
+}
+
+fn world(seed: u64, hints: bool) -> CardWorld {
+    let scenario = Scenario::new(NODES, 460.0, 460.0, 55.0);
+    let mut w = CardWorld::build(&scenario, config(seed, hints));
+    w.select_all_contacts();
+    w
+}
+
+/// Map raw index pairs into node pairs, repeating the list `reps` times —
+/// the repeat-heavy mix that makes caches matter.
+fn repeat_pairs(raw: &[(usize, usize)], reps: usize) -> Vec<(NodeId, NodeId)> {
+    let one: Vec<(NodeId, NodeId)> = raw
+        .iter()
+        .map(|&(s, t)| (NodeId::from(s % NODES), NodeId::from(t % NODES)))
+        .collect();
+    let mut all = Vec::with_capacity(one.len() * reps);
+    for _ in 0..reps {
+        all.extend_from_slice(&one);
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1: the cache-off sweep is bit-identical to the serial
+    /// reference at any shard count, whether hints are disabled or merely
+    /// bypassed — and bypassing leaves the store untouched.
+    #[test]
+    fn prop_cache_off_sweep_is_bit_identical(
+        seed in 0u64..200,
+        shards in 1usize..40,
+        raw in proptest::collection::vec((0usize..NODES, 0usize..NODES), 1..40),
+    ) {
+        let pairs = repeat_pairs(&raw, 1);
+        let mut reference = world(seed, false);
+        reference.set_shard_count(1);
+        let expected = reference.query_all_serial(&pairs);
+        let expected_series = reference.stats().series_where(|_| true);
+
+        let mut off = world(seed, false);
+        off.set_shard_count(shards);
+        prop_assert_eq!(&off.query_all(&pairs), &expected);
+        prop_assert_eq!(off.stats().series_where(|_| true), expected_series.clone());
+
+        let mut hinted = world(seed, true);
+        hinted.set_shard_count(shards);
+        prop_assert_eq!(&hinted.query_all_cache_off(&pairs), &expected);
+        prop_assert_eq!(hinted.stats().series_where(|_| true), expected_series);
+        prop_assert!(
+            hinted.hint_store().expect("hints stay enabled").is_empty(),
+            "the cache-off path must never write hints"
+        );
+        prop_assert_eq!(hinted.hint_stats().lookups, 0);
+    }
+
+    /// Contract 2: warmed hinted sweeps keep exact answer parity with the
+    /// cache-off baseline, and the full hinted observable state (outcomes
+    /// with costs, message series, hint counters) is shard-invariant.
+    #[test]
+    fn prop_hints_change_cost_never_answers(
+        seed in 0u64..200,
+        shards in 2usize..40,
+        raw in proptest::collection::vec((0usize..NODES, 0usize..NODES), 1..20),
+    ) {
+        let pairs = repeat_pairs(&raw, 3);
+        let mut base = world(seed, false);
+        let verdicts: Vec<bool> = base
+            .query_all(&pairs)
+            .iter()
+            .map(|o| o.found)
+            .collect();
+
+        let mut reference = world(seed, true);
+        reference.set_shard_count(1);
+        let mut sharded = world(seed, true);
+        sharded.set_shard_count(shards);
+        for sweep in 0..3 {
+            let expected = reference.query_all(&pairs);
+            for (o, &found) in expected.iter().zip(&verdicts) {
+                prop_assert_eq!(
+                    o.found, found,
+                    "hint changed an answer on sweep {}", sweep
+                );
+            }
+            let got = sharded.query_all(&pairs);
+            prop_assert_eq!(&got, &expected, "outcomes diverged on sweep {}", sweep);
+        }
+        prop_assert_eq!(reference.hint_stats(), sharded.hint_stats());
+        prop_assert_eq!(
+            reference.stats().series_where(|_| true),
+            sharded.stats().series_where(|_| true)
+        );
+    }
+
+    /// Contract 3 (mobility): warm the cache, churn the topology, query
+    /// again — the hinted world must agree on every answer with a
+    /// cache-off world that evolved through the identical mobility,
+    /// whatever mix of TTL expiry, dirty-ball eviction and stale-contact
+    /// misses the churn produced.
+    #[test]
+    fn prop_churned_hints_keep_answer_parity(
+        seed in 0u64..150,
+        vmax in 2.0..18.0f64,
+        raw in proptest::collection::vec((0usize..NODES, 0usize..NODES), 1..16),
+    ) {
+        let pairs = repeat_pairs(&raw, 2);
+        let mut hinted = world(seed, true);
+        let mut base = world(seed, false);
+        // identical mobility on both worlds (queries draw no randomness,
+        // so the warming sweep cannot desynchronize the evolutions)
+        let mk = || RandomWaypoint::new(
+            NODES,
+            Scenario::new(NODES, 460.0, 460.0, 55.0).field(),
+            1.0,
+            vmax,
+            0.0,
+            SeedSplitter::new(seed).stream("hint-churn", 0),
+        );
+        let (mut mh, mut mb) = (mk(), mk());
+        hinted.query_all(&pairs); // warm pre-churn
+        hinted.run_mobile(&mut mh, SimDuration::from_secs(3));
+        base.run_mobile(&mut mb, SimDuration::from_secs(3));
+        let expected = base.query_all_cache_off(&pairs);
+        let got = hinted.query_all(&pairs);
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(
+                g.found, e.found,
+                "post-churn answer diverged (vmax {})", vmax
+            );
+        }
+        prop_assert!(hinted.hint_stats().lookups > 0);
+    }
+}
+
+/// A fresh hint whose next hop has left the holder's contact table is a
+/// `stale_contact` miss: no probe is launched down the dead edge and the
+/// fallback walk reproduces the plain query bit for bit.
+#[test]
+fn stale_contact_hint_falls_back_to_the_plain_walk() {
+    let w = world(11, false);
+    let source = NodeId::all(NODES)
+        .find(|&s| !w.contact_tables()[s.index()].contacts().is_empty())
+        .expect("some node has contacts");
+    // a target the plain escalation resolves beyond the zone
+    let nb = w.network().tables().of(source);
+    let mut scratch = QueryScratch::new();
+    let mut plain_stats = MsgStats::new(SimDuration::from_secs(2));
+    let Some((target, plain)) = NodeId::all(NODES)
+        .filter(|&t| !nb.contains(t))
+        .find_map(|t| {
+            let out = dsq_query(
+                w.network(),
+                w.contact_tables(),
+                source,
+                t,
+                3,
+                &mut plain_stats,
+                w.now(),
+                &mut scratch,
+            );
+            out.found.then_some((t, out))
+        })
+    else {
+        panic!("no beyond-zone target resolvable from {source}");
+    };
+    // a next hop that is NOT a contact of the source
+    let bogus = NodeId::all(NODES)
+        .find(|&v| v != source && w.contact_tables()[source.index()].get(v).is_none())
+        .expect("source cannot have contacted everyone");
+    let mut store = HintStore::new(NODES, 4, 32);
+    store.deposit(source, HintKey::node(target), bogus, 1);
+
+    let mut stats = card_manet::card::hints::HintStats::default();
+    let mut deposits = Vec::new();
+    let mut ctx = HintContext {
+        store: &store,
+        stats: &mut stats,
+        deposits: &mut deposits,
+    };
+    let mut hinted_stats = MsgStats::new(SimDuration::from_secs(2));
+    let hinted = dsq_query_hinted(
+        w.network(),
+        w.contact_tables(),
+        &mut ctx,
+        source,
+        target,
+        3,
+        &mut hinted_stats,
+        w.now(),
+        &mut scratch,
+    );
+    assert_eq!(hinted, plain, "stale-contact fallback must cost the same");
+    assert!(
+        stats.stale_contact >= 1,
+        "the dead edge must be counted: {stats:?}"
+    );
+    assert_eq!(stats.probe_msgs, 0, "no probe may cross a dead edge");
+    assert_eq!(
+        hinted_stats.series_where(|_| true),
+        plain_stats.series_where(|_| true),
+        "message series must match the plain walk"
+    );
+}
+
+/// TTL epochs expire hints: after enough validation rounds a once-hot
+/// hint reads as `stale_ttl`, and the re-queried answer is still correct.
+#[test]
+fn ttl_expiry_is_counted_and_harmless() {
+    use card_manet::mobility::statics::StaticModel;
+    let scenario = Scenario::new(NODES, 460.0, 460.0, 55.0);
+    let mut w = CardWorld::build(&scenario, config(5, true).with_hint_ttl(1));
+    w.select_all_contacts();
+    let nb = w.network().tables().of(NodeId::new(0));
+    let Some(target) = NodeId::all(NODES).filter(|&t| !nb.contains(t)).find(|&t| {
+        // probe with a throwaway clone so the real world stays cold
+        let mut probe = CardWorld::build(&scenario, config(5, false));
+        probe.select_all_contacts();
+        probe.query(NodeId::new(0), t).found
+    }) else {
+        return; // vacuous topology
+    };
+    let first = w.query(NodeId::new(0), target);
+    assert!(first.found);
+    // static run: validation rounds advance the TTL epoch past ttl=1
+    w.run_mobile(&mut StaticModel, SimDuration::from_secs(4));
+    let stale_before = w.hint_stats().stale_ttl;
+    let again = w.query(NodeId::new(0), target);
+    assert!(again.found, "expiry must never lose the answer");
+    assert!(
+        w.hint_stats().stale_ttl > stale_before,
+        "the expired hint must be counted: {:?}",
+        w.hint_stats()
+    );
+}

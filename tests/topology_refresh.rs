@@ -339,6 +339,44 @@ proptest! {
             );
         }
     }
+
+    /// Creep motion — everyone reported moving, but by so little that the
+    /// range-annulus pre-filter's profit gate engages and drops most
+    /// movers from the patch seed — stays bit-identical to the
+    /// rebuild-everything reference across seeds, radii and speeds
+    /// (larger `vmax` values land on the gate's engage/decline boundary,
+    /// covering both sides of it).
+    #[test]
+    fn network_creep_motion_equals_full(
+        seed in 0u64..500,
+        radius in 1u16..4,
+        vmax in 0.02..0.4f64,
+        steps in 1usize..5,
+    ) {
+        let scenario = Scenario::new(70, 350.0, 350.0, 60.0);
+        let mut inc = Network::from_scenario(&scenario, radius, seed);
+        let mut full = Network::from_scenario(&scenario, radius, seed);
+        let mk = || RandomWalk::new(
+            70,
+            scenario.field(),
+            vmax / 4.0,
+            vmax,
+            3.0,
+            SeedSplitter::new(seed).stream("creep-equiv", 0),
+        );
+        let (mut mi, mut mf) = (mk(), mk());
+        for step in 0..steps {
+            inc.advance(&mut mi, SimDuration::from_secs(1));
+            full.advance_positions_only(&mut mf, SimDuration::from_secs(1));
+            full.refresh_full();
+            assert_equivalent(&inc, &full);
+            prop_assert_eq!(
+                inc.adj().canonical_csr(),
+                full.adj().canonical_csr(),
+                "creep-path CSR diverged from reference at step {}", step
+            );
+        }
+    }
 }
 
 #[test]
