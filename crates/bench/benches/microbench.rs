@@ -100,7 +100,10 @@ fn bench_mobility_tick(c: &mut Criterion) {
 
 /// CSR adjacency rebuild from the spatial grid, N ∈ {250, 1000, 10000}
 /// (the n10000 id joined with the mover-driven pipeline as the full-path
-/// baseline the `adjacency_patch` benches are judged against).
+/// baseline the `adjacency_patch` benches are judged against). The
+/// `/parallel` id is the SoA-kernel + row-span rebuild
+/// (`rebuild_with_grid_parallel`) at n10000 — canonical-CSR-identical to
+/// the scalar id, measured against it.
 fn bench_adjacency_rebuild(c: &mut Criterion) {
     for n in [250usize, 1000, 10_000] {
         let scenario = scaled_scenario(n);
@@ -117,7 +120,94 @@ fn bench_adjacency_rebuild(c: &mut Criterion) {
                 black_box(adj.link_count())
             })
         });
+        if n == 10_000 {
+            let mut plane = net_topology::plane::PositionPlane::new();
+            let mut scratch = net_topology::plane::KernelScratch::new();
+            c.bench_function(format!("adjacency_rebuild/n{n}/parallel"), |b| {
+                b.iter(|| {
+                    adj.rebuild_with_grid_parallel(
+                        &mut grid,
+                        &mut plane,
+                        black_box(&positions),
+                        scenario.tx_range,
+                        &mut scratch,
+                    );
+                    black_box(adj.link_count())
+                })
+            });
+        }
     }
+}
+
+/// The cell-ball range scan head-to-head at n10000: the scalar f64 walk
+/// (`for_each_within`), the per-row gather kernel the patch path uses
+/// (`for_each_within_kernel`), and the entry-aligned mirror kernel the
+/// parallel rebuild streams (`for_each_within_mirror`, mirror fill
+/// amortized outside the timed region as in a real rebuild). Each id
+/// sweeps the same 512 query centers.
+fn bench_grid_kernel_scan(c: &mut Criterion) {
+    use net_topology::plane::{KernelScratch, PositionPlane};
+    let n = 10_000usize;
+    let scenario = scaled_scenario(n);
+    let (positions, _) = scenario.instantiate(9);
+    let mut grid = SpatialGrid::new(scenario.field(), scenario.tx_range);
+    grid.rebuild(&positions);
+    let plane = PositionPlane::with_positions(&positions);
+    let centers: Vec<NodeId> = (0..512).map(|k| NodeId::from(k * 19 % n)).collect();
+    let mut group = c.benchmark_group(format!("grid_kernel_scan/n{n}"));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut visited = 0usize;
+            for &q in &centers {
+                grid.for_each_within(
+                    &positions,
+                    positions[q.index()],
+                    scenario.tx_range,
+                    Some(q),
+                    |_| visited += 1,
+                );
+            }
+            black_box(visited)
+        })
+    });
+    group.bench_function("gather", |b| {
+        let mut scratch = KernelScratch::new();
+        b.iter(|| {
+            let mut visited = 0usize;
+            for &q in &centers {
+                grid.for_each_within_kernel(
+                    &plane,
+                    &positions,
+                    positions[q.index()],
+                    scenario.tx_range,
+                    Some(q),
+                    &mut scratch,
+                    |_| visited += 1,
+                );
+            }
+            black_box(visited)
+        })
+    });
+    group.bench_function("mirror", |b| {
+        let mut scratch = KernelScratch::new();
+        grid.fill_lane_mirror(&plane, &mut scratch);
+        let band = plane.band(scenario.tx_range, grid.cell_side());
+        b.iter(|| {
+            let mut visited = 0usize;
+            for &q in &centers {
+                grid.for_each_within_mirror(
+                    band,
+                    &positions,
+                    positions[q.index()],
+                    Some(q),
+                    &mut scratch,
+                    |_| visited += 1,
+                );
+            }
+            black_box(visited)
+        })
+    });
+    group.finish();
 }
 
 /// Mover-only grid re-bucketing vs full counting-sort relayout at
@@ -718,6 +808,7 @@ criterion_group! {
         bench_khop_bfs,
         bench_mobility_tick,
         bench_adjacency_rebuild,
+        bench_grid_kernel_scan,
         bench_adjacency_patch,
         bench_grid_update_reported,
         bench_grid_rebucket,

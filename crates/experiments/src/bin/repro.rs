@@ -7,8 +7,11 @@
 //!
 //! `fig3`/`fig4` and `fig11`/`fig12` share runs and print together.
 //! `scale` (equivalently the `--scale` flag) runs the N = 10⁴–10⁵
-//! substrate scale family; `--nodes` overrides its node counts from the
-//! command line so new sizes need no recompile.
+//! substrate scale family; `scale-raw` the N = 10⁶ topology-only
+//! raw-speed tier (kernel build + mobility/refresh loop, memory and
+//! throughput columns, no protocol phases). `--nodes` overrides either
+//! family's node counts from the command line so new sizes need no
+//! recompile.
 //! Output is Markdown (tables matching the paper's figures); see
 //! `docs/REPRO.md` for the experiment catalogue and conventions.
 
@@ -64,8 +67,8 @@ fn main() {
     if which.is_empty() && opts.nodes.is_some() {
         which.push("scale".to_string());
     }
-    if opts.nodes.is_some() && !which.iter().any(|w| w == "scale") {
-        usage("--nodes only applies to the scale experiment");
+    if opts.nodes.is_some() && !which.iter().any(|w| w == "scale" || w == "scale-raw") {
+        usage("--nodes only applies to the scale / scale-raw experiments");
     }
     if which.is_empty() {
         usage("choose an experiment or `all`");
@@ -88,6 +91,7 @@ fn main() {
             "smallworld" => smallworld_cmd(&opts),
             "resources" => resources_cmd(&opts),
             "scale" => scale_cmd(&opts),
+            "scale-raw" => scale_raw_cmd(&opts),
             "all" => {
                 table1_cmd(&opts);
                 fig3_4_cmd(&opts);
@@ -114,9 +118,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
+        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
          scale runs are excluded from `all` (minutes at N=10^5); invoke them\n\
-         explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`."
+         explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`.\n\
+         `repro scale-raw` runs the N=10^6 topology-only raw-speed tier."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -300,4 +305,19 @@ fn scale_cmd(opts: &Options) {
     }
     let rows = scale::run(&p);
     println!("{}", scale::render(&p, &rows));
+}
+
+fn scale_raw_cmd(opts: &Options) {
+    stamp("scale-raw");
+    let mut p = if opts.quick {
+        scale::RawParams::quick()
+    } else {
+        scale::RawParams::default()
+    };
+    p.seed = opts.seed;
+    if let Some(nodes) = &opts.nodes {
+        p.nodes = nodes.clone();
+    }
+    let rows = scale::run_raw(&p);
+    println!("{}", scale::render_raw(&p, &rows));
 }

@@ -240,6 +240,11 @@ pub struct ScaleRow {
     pub mean_changed: f64,
     /// Mean dirty neighborhoods rebuilt per tick.
     pub mean_dirty: f64,
+    /// Total candidate lanes classified by the two-phase f32 distance
+    /// kernel across all ticks (0 when every tick ran a scalar path).
+    pub kernel_lanes: u64,
+    /// Kernel lanes that needed the exact f64 borderline resolution.
+    pub kernel_exact: u64,
     /// Wall time of the from-scratch sharded `select_all_contacts` pass.
     pub select_ms: f64,
     /// Contact-selection throughput: nodes swept per second.
@@ -335,6 +340,8 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
     let mut full_fallback_ticks = 0usize;
     let mut changed_sum = 0u64;
     let mut dirty_sum = 0u64;
+    let mut kernel_lanes = 0u64;
+    let mut kernel_exact = 0u64;
     for _ in 0..p.ticks {
         let t = Instant::now();
         net.advance(model.as_mut(), p.tick);
@@ -348,6 +355,8 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         full_fallback_ticks += c.full_fallback as usize;
         changed_sum += c.changed as u64;
         dirty_sum += c.dirty as u64;
+        kernel_lanes += c.kernel_lanes;
+        kernel_exact += c.kernel_exact;
     }
 
     let n = scenario.nodes;
@@ -542,6 +551,8 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         full_fallback_ticks,
         mean_changed: changed_sum as f64 / p.ticks.max(1) as f64,
         mean_dirty: dirty_sum as f64 / p.ticks.max(1) as f64,
+        kernel_lanes,
+        kernel_exact,
         select_ms,
         select_nodes_per_s: n as f64 / (select_ms / 1e3).max(1e-9),
         total_contacts: world.total_contacts(),
@@ -567,6 +578,218 @@ fn run_one(scenario: &Scenario, profile: MobilityProfile, p: &Params) -> ScaleRo
         zipf_warm_msgs_per,
         zipf_hit_rate,
     }
+}
+
+/// Fraction of kernel lanes decided purely in f32 (no exact f64
+/// resolution needed); 1.0 when no lanes ran (vacuously all-fast).
+fn kernel_fast_rate(lanes: u64, exact: u64) -> f64 {
+    if lanes == 0 {
+        1.0
+    } else {
+        1.0 - exact as f64 / lanes as f64
+    }
+}
+
+/// Current resident-set size in bytes, read from `/proc/self/statm`
+/// (second field × page size). Returns 0 where procfs is unavailable
+/// (non-Linux), so callers render "0 B" rather than failing.
+fn rss_bytes() -> usize {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|f| f.parse::<usize>().ok())
+        })
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// Parameters of the raw-speed tier (`repro scale-raw`): the N=10⁶
+/// topology-substrate-only run — placement, kernel build, mobility +
+/// incremental refresh loop. No protocol, query, or hint phases: this
+/// tier measures exactly what the SoA plane and the batched distance
+/// kernels bought, with per-phase memory and throughput columns.
+#[derive(Clone, Debug)]
+pub struct RawParams {
+    /// Node counts to run (each at scenario-5 density).
+    pub nodes: Vec<usize>,
+    /// Mobility ticks per run.
+    pub ticks: usize,
+    /// Simulated time per tick.
+    pub tick: SimDuration,
+    /// Zone radius R (kept at 1: the tier measures the topology
+    /// substrate, not table depth).
+    pub radius: u16,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for RawParams {
+    fn default() -> Self {
+        RawParams {
+            nodes: vec![1_000_000],
+            ticks: 20,
+            tick: SimDuration::from_millis(100),
+            radius: 1,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl RawParams {
+    /// Small sizes for CI smoke runs.
+    pub fn quick() -> Self {
+        RawParams {
+            nodes: vec![20_000],
+            ticks: 5,
+            ..RawParams::default()
+        }
+    }
+}
+
+/// Measured outcome of one raw-tier (N, mobility) run.
+#[derive(Clone, Debug)]
+pub struct RawRow {
+    /// The scenario run.
+    pub scenario: Scenario,
+    /// Mobility profile.
+    pub mobility: MobilityProfile,
+    /// Wall time of the initial world build (placement + parallel kernel
+    /// adjacency + tables).
+    pub build_ms: f64,
+    /// Resident-set size right after the build (bytes; 0 off-Linux).
+    pub build_rss_bytes: usize,
+    /// Resident-set size after the tick loop (bytes; 0 off-Linux).
+    pub end_rss_bytes: usize,
+    /// Mobility ticks executed.
+    pub ticks: usize,
+    /// Mean / max wall time per tick (ms).
+    pub mean_tick_ms: f64,
+    /// Slowest single tick (ms).
+    pub max_tick_ms: f64,
+    /// Mobility+refresh throughput: node-ticks per second over the loop.
+    pub node_ticks_per_s: f64,
+    /// Mean movers reported per tick.
+    pub mean_movers: f64,
+    /// Ticks on which any wholesale fallback ran.
+    pub full_fallback_ticks: usize,
+    /// Total candidate lanes classified by the f32 kernel.
+    pub kernel_lanes: u64,
+    /// Kernel lanes resolved by the exact f64 borderline test.
+    pub kernel_exact: u64,
+    /// Total neighborhood-table heap bytes.
+    pub table_bytes: usize,
+}
+
+/// Run the raw tier: pedestrian (full-churn kernel rebuild every tick)
+/// and ped-dwell (mover-driven kernel patch) at each N.
+pub fn run_raw(p: &RawParams) -> Vec<RawRow> {
+    let mut rows = Vec::new();
+    for &n in &p.nodes {
+        let scenario = scaled_scenario(n);
+        for profile in [
+            MobilityProfile::Pedestrian,
+            MobilityProfile::PedestrianDwell,
+        ] {
+            rows.push(run_one_raw(&scenario, profile, p));
+        }
+    }
+    rows
+}
+
+fn run_one_raw(scenario: &Scenario, profile: MobilityProfile, p: &RawParams) -> RawRow {
+    let t0 = Instant::now();
+    let mut net = Network::from_scenario(scenario, p.radius, p.seed);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let build_rss_bytes = rss_bytes();
+    let mut model = profile.model(scenario, p.seed);
+
+    let mut total_tick_ms = 0.0f64;
+    let mut max_tick_ms = 0.0f64;
+    let mut movers_sum = 0u64;
+    let mut full_fallback_ticks = 0usize;
+    let mut kernel_lanes = 0u64;
+    let mut kernel_exact = 0u64;
+    for _ in 0..p.ticks {
+        let t = Instant::now();
+        net.advance(model.as_mut(), p.tick);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total_tick_ms += ms;
+        max_tick_ms = max_tick_ms.max(ms);
+        let c = net.pipeline_counters();
+        movers_sum += c.movers_reported as u64;
+        full_fallback_ticks += c.full_fallback as usize;
+        kernel_lanes += c.kernel_lanes;
+        kernel_exact += c.kernel_exact;
+    }
+    let n = scenario.nodes;
+    RawRow {
+        scenario: *scenario,
+        mobility: profile,
+        build_ms,
+        build_rss_bytes,
+        end_rss_bytes: rss_bytes(),
+        ticks: p.ticks,
+        mean_tick_ms: total_tick_ms / p.ticks.max(1) as f64,
+        max_tick_ms,
+        node_ticks_per_s: (n * p.ticks) as f64 / (total_tick_ms / 1e3).max(1e-9),
+        mean_movers: movers_sum as f64 / p.ticks.max(1) as f64,
+        full_fallback_ticks,
+        kernel_lanes,
+        kernel_exact,
+        table_bytes: net.tables().approx_heap_bytes(),
+    }
+}
+
+/// Render the raw tier as one Markdown table with per-phase memory and
+/// throughput columns plus the kernel hit rates.
+pub fn render_raw(p: &RawParams, rows: &[RawRow]) -> String {
+    let headers = [
+        "N",
+        "Mobility",
+        "Build (ms)",
+        "RSS build",
+        "RSS end",
+        "Table mem",
+        "Ticks",
+        "Tick mean/max (ms)",
+        "Node-ticks/s",
+        "Movers/tick",
+        "Fallback ticks",
+        "Kernel lanes",
+        "Exact checks",
+        "f32-only %",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                format!("{:.0}", r.build_ms),
+                fmt_bytes(r.build_rss_bytes),
+                fmt_bytes(r.end_rss_bytes),
+                fmt_bytes(r.table_bytes),
+                r.ticks.to_string(),
+                format!("{:.2} / {:.2}", r.mean_tick_ms, r.max_tick_ms),
+                fmt_rate(r.node_ticks_per_s),
+                format!("{:.1}", r.mean_movers),
+                r.full_fallback_ticks.to_string(),
+                fmt_rate(r.kernel_lanes as f64),
+                fmt_rate(r.kernel_exact as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * kernel_fast_rate(r.kernel_lanes, r.kernel_exact)
+                ),
+            ]
+        })
+        .collect();
+    format!(
+        "### Scale raw — topology-substrate speed runs at scenario-5 density (R={}, tick={:.0} ms, no protocol phases)\n\n{}",
+        p.radius,
+        p.tick.as_secs_f64() * 1e3,
+        markdown_table(&headers, &body)
+    )
 }
 
 fn fmt_bytes(b: usize) -> String {
@@ -607,6 +830,8 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
         "Changed/tick",
         "Dirty/tick",
         "Fallback ticks",
+        "Kernel lanes/tick",
+        "f32-only %",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -626,6 +851,11 @@ pub fn render(p: &Params, rows: &[ScaleRow]) -> String {
                 format!("{:.1}", r.mean_changed),
                 format!("{:.1}", r.mean_dirty),
                 r.full_fallback_ticks.to_string(),
+                fmt_rate(r.kernel_lanes as f64 / r.ticks.max(1) as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * kernel_fast_rate(r.kernel_lanes, r.kernel_exact)
+                ),
             ]
         })
         .collect();
@@ -841,6 +1071,8 @@ mod tests {
         assert!(text.contains("Movers/tick"));
         assert!(text.contains("Patched/tick"));
         assert!(text.contains("Fallback ticks"));
+        assert!(text.contains("Kernel lanes/tick"));
+        assert!(text.contains("f32-only %"));
         assert!(text.contains("query workload phase"));
         assert!(text.contains("Queries/s"));
         assert!(text.contains("Res uni hit %"));
@@ -944,6 +1176,58 @@ mod tests {
             dwell.mean_rebucketed <= dwell.mean_movers,
             "only reported movers can be re-bucketed on patch ticks"
         );
+    }
+
+    #[test]
+    fn kernel_counters_reflect_refresh_paths() {
+        let rows = run(&tiny());
+        // pedestrian/vehicular ticks fall back to the report-free kernel
+        // rebuild; the dwell profile patches through the kernel — either
+        // way lanes must flow, and exact checks can never exceed them
+        for r in &rows {
+            assert!(
+                r.kernel_lanes > 0,
+                "{:?}: kernel lanes must be counted",
+                r.mobility
+            );
+            assert!(r.kernel_exact <= r.kernel_lanes);
+        }
+    }
+
+    #[test]
+    fn raw_tier_runs_and_reports_throughput() {
+        let p = RawParams {
+            nodes: vec![500],
+            ticks: 3,
+            ..RawParams::default()
+        };
+        let rows = run_raw(&p);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mobility, MobilityProfile::Pedestrian);
+        assert_eq!(rows[1].mobility, MobilityProfile::PedestrianDwell);
+        for r in &rows {
+            assert_eq!(r.ticks, 3);
+            assert!(r.node_ticks_per_s > 0.0);
+            assert!(r.kernel_lanes > 0, "{:?} classified no lanes", r.mobility);
+            assert!(r.kernel_exact <= r.kernel_lanes);
+            assert!(r.mean_movers > 0.0);
+            // Linux (the only supported bench platform) must report RSS
+            #[cfg(target_os = "linux")]
+            assert!(r.build_rss_bytes > 0 && r.end_rss_bytes > 0);
+        }
+        let text = render_raw(&p, &rows);
+        assert!(text.contains("Node-ticks/s"));
+        assert!(text.contains("RSS build"));
+        assert!(text.contains("f32-only %"));
+        assert!(text.contains("ped-dwell"));
+    }
+
+    #[test]
+    fn kernel_fast_rate_handles_edge_cases() {
+        assert_eq!(kernel_fast_rate(0, 0), 1.0);
+        assert_eq!(kernel_fast_rate(100, 0), 1.0);
+        assert_eq!(kernel_fast_rate(100, 100), 0.0);
+        assert!((kernel_fast_rate(200, 50) - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -62,6 +62,7 @@ use net_topology::graph::{Adjacency, AdjacencyUpdate, PatchScratch};
 use net_topology::grid::{GridUpdate, SpatialGrid};
 use net_topology::node::NodeId;
 use net_topology::placement::place_uniform;
+use net_topology::plane::{KernelScratch, KernelStats, PositionPlane};
 use net_topology::scenario::Scenario;
 use sim_core::rng::SeedSplitter;
 use sim_core::time::SimDuration;
@@ -94,6 +95,13 @@ pub struct PipelineCounters {
     /// Did any wholesale fallback run (grid relayout, adjacency rebuild,
     /// or a report-free refresh)?
     pub full_fallback: bool,
+    /// Candidate lanes classified by the two-phase f32 distance kernel
+    /// (0 when the refresh ran a scalar path).
+    pub kernel_lanes: u64,
+    /// Kernel lanes that fell in the conservative error band and were
+    /// resolved by the exact f64 test; `kernel_lanes - kernel_exact`
+    /// lanes were decided purely in f32.
+    pub kernel_exact: u64,
 }
 
 /// Which neighborhood tables the last refresh rebuilt — the invalidation
@@ -125,6 +133,12 @@ pub struct Network {
     /// content between calls is unspecified.
     prev_adj: Adjacency,
     grid: SpatialGrid,
+    /// SoA f32 mirror of `positions` feeding the two-phase distance
+    /// kernels; kept coherent by the kernel refresh paths (mover lanes on
+    /// patches, wholesale on rebuilds).
+    plane: PositionPlane,
+    /// Per-network kernel workspace (lane mirror, d² lanes, stats).
+    kernel_scratch: KernelScratch,
     tables: NeighborhoodTables,
     /// Scratch for the dirty-ball traversals (reused across ticks).
     scratch: BfsScratch,
@@ -178,7 +192,16 @@ impl Network {
         );
         let n = positions.len();
         let mut grid = SpatialGrid::new(field, tx_range);
-        let adj = Adjacency::build_with_grid(&mut grid, &positions, tx_range);
+        let mut plane = PositionPlane::new();
+        let mut kernel_scratch = KernelScratch::new();
+        let mut adj = Adjacency::with_nodes(n);
+        adj.rebuild_with_grid_parallel(
+            &mut grid,
+            &mut plane,
+            &positions,
+            tx_range,
+            &mut kernel_scratch,
+        );
         let tables = NeighborhoodTables::compute(&adj, radius);
         Network {
             field,
@@ -189,6 +212,8 @@ impl Network {
             prev_adj: adj.clone(),
             adj,
             grid,
+            plane,
+            kernel_scratch,
             tables,
             scratch: BfsScratch::with_capacity(n),
             changed: Vec::new(),
@@ -339,17 +364,25 @@ impl Network {
         // live on in the patch scratch's undo log — no snapshot copy.
         // The grid still re-buckets the *full* report (residency must
         // track every position change), only the candidate seeding is
-        // restricted to the active movers.
-        let outcome = self.adj.patch_with_grid_active(
+        // restricted to the active movers. Row re-queries run through the
+        // two-phase f32 kernel against the SoA plane (mover lanes are
+        // refreshed first); link decisions are bit-identical to the
+        // scalar f64 scan.
+        self.kernel_scratch.stats = KernelStats::default();
+        let outcome = self.adj.patch_with_grid_kernel(
             &mut self.grid,
+            &mut self.plane,
             &self.positions,
             self.tx_range,
             movers,
             active,
             &mut self.changed,
             &mut self.patch_scratch,
+            &mut self.kernel_scratch,
         );
         self.active_buf = active_buf;
+        self.counters.kernel_lanes = self.kernel_scratch.stats.lanes;
+        self.counters.kernel_exact = self.kernel_scratch.stats.exact_checks;
         match outcome {
             AdjacencyUpdate::Patched {
                 rows_patched, grid, ..
@@ -506,11 +539,20 @@ impl Network {
             ..PipelineCounters::default()
         };
         // The tables currently reflect `adj`; rebuild into the spare
-        // buffer so old and new snapshots can be diffed.
+        // buffer so old and new snapshots can be diffed. The rebuild is
+        // the kernel/parallel path (canonical-CSR-identical to the serial
+        // scalar rebuild).
         std::mem::swap(&mut self.adj, &mut self.prev_adj);
-        let grid_update =
-            self.adj
-                .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        self.kernel_scratch.stats = KernelStats::default();
+        let grid_update = self.adj.rebuild_with_grid_parallel(
+            &mut self.grid,
+            &mut self.plane,
+            &self.positions,
+            self.tx_range,
+            &mut self.kernel_scratch,
+        );
+        self.counters.kernel_lanes = self.kernel_scratch.stats.lanes;
+        self.counters.kernel_exact = self.kernel_scratch.stats.exact_checks;
         self.record_grid_update(grid_update);
         self.diff_changed_rows();
         self.recompute_dirty_neighborhoods();
@@ -643,6 +685,11 @@ impl Network {
         let grid_update =
             self.adj
                 .rebuild_with_grid(&mut self.grid, &self.positions, self.tx_range);
+        // This is the scalar reference path (no kernel), but the SoA
+        // plane must still track the positions so a later kernel patch
+        // finds coherent lanes.
+        self.plane.rebuild(&self.positions);
+        self.kernel_scratch.stats = KernelStats::default();
         // No double-buffer upkeep needed: `refresh` swaps the current
         // graph in as its own diff baseline before rebuilding, so the
         // spare buffer's content between calls is free to be stale.
@@ -680,9 +727,17 @@ impl Network {
     }
 
     /// Stage-by-stage work counters of the last refresh (mover report,
-    /// grid re-bucketing, CSR patching, dirty neighborhoods).
+    /// grid re-bucketing, CSR patching, dirty neighborhoods, kernel
+    /// lane/exact-check volumes).
     pub fn pipeline_counters(&self) -> PipelineCounters {
         self.counters
+    }
+
+    /// The SoA f32 position mirror the distance kernels read (coherence
+    /// with [`Network::positions`] is pinned by the refresh paths; exposed
+    /// for the equivalence test suite).
+    pub fn position_plane(&self) -> &PositionPlane {
+        &self.plane
     }
 
     /// The last refresh's dirty set, for invalidating caches derived from
@@ -1062,6 +1117,49 @@ mod tests {
             skipped > 0,
             "creep motion should let the annulus filter skip movers"
         );
+    }
+
+    #[test]
+    fn kernel_counters_and_plane_track_refresh_paths() {
+        let mut net = Network::from_scenario(&small_scenario(), 2, 19);
+        assert!(
+            net.position_plane().is_coherent(net.positions()),
+            "construction must leave the plane coherent"
+        );
+        // The report-free refresh runs the kernel rebuild: every CSR
+        // candidate lane goes through the f32 classifier.
+        let mut rwp = RandomWaypoint::new(
+            60,
+            net.field(),
+            5.0,
+            15.0,
+            0.0,
+            RngStream::seed_from_u64(23),
+        );
+        net.advance_positions_only(&mut rwp, SimDuration::from_secs(2));
+        net.refresh();
+        let c = net.pipeline_counters();
+        assert!(c.kernel_lanes > 0, "kernel rebuild must classify lanes");
+        assert!(c.kernel_lanes >= c.kernel_exact);
+        assert!(net.position_plane().is_coherent(net.positions()));
+        // The scalar reference path reports no kernel work but still
+        // re-mirrors the plane.
+        net.advance_positions_only(&mut rwp, SimDuration::from_secs(2));
+        net.refresh_full();
+        let c = net.pipeline_counters();
+        assert_eq!((c.kernel_lanes, c.kernel_exact), (0, 0));
+        assert!(net.position_plane().is_coherent(net.positions()));
+        // A mover patch classifies only the re-queried rows' lanes.
+        let p = net.positions()[7];
+        net.positions_mut()[7] = Point2::new((p.x + 40.0).min(299.0), p.y);
+        net.refresh_movers(&[NodeId::new(7)]);
+        let c = net.pipeline_counters();
+        assert!(!c.full_fallback);
+        assert!(
+            c.movers_skipped == 1 || c.kernel_lanes > 0,
+            "a kept mover must route its re-queries through the kernel: {c:?}"
+        );
+        assert!(net.position_plane().is_coherent(net.positions()));
     }
 
     #[test]

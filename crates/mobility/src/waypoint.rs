@@ -98,7 +98,12 @@ impl RandomWaypoint {
                     let distance = pos.dist(dest);
                     let travel = speed * dt_secs;
                     if travel < distance {
-                        *pos = pos.step_toward(dest, travel);
+                        // `distance` is already in hand, so interpolate
+                        // directly instead of `step_toward` (which would
+                        // redo the sqrt); `travel < distance` guarantees
+                        // step_toward would take the same lerp branch with
+                        // the same ratio, so the motion is bit-identical.
+                        *pos = pos.lerp(dest, travel / distance);
                         return;
                     }
                     // Arrive, consume the corresponding time, then pause.

@@ -46,6 +46,12 @@ impl Point2 {
 
     /// Move from `self` toward `target` by exactly `step` meters, stopping
     /// at the target if it is closer than `step`.
+    ///
+    /// Costs one `sqrt` for the distance. Callers on a hot advance path
+    /// that *already* computed `d = self.dist(target)` (mobility models
+    /// typically need it for arrival/time accounting) should not pay that
+    /// sqrt twice: when `step < d`, `self.lerp(target, step / d)` is
+    /// bit-identical to this method.
     pub fn step_toward(self, target: Point2, step: f64) -> Point2 {
         let d = self.dist(target);
         if d <= step || d == 0.0 {
@@ -216,6 +222,23 @@ mod tests {
             // distance traveled is at most `step` (+ eps) and we never move past the target
             prop_assert!(a.dist(moved) <= step + 1e-9 || moved == t);
             prop_assert!(moved.dist(t) <= a.dist(t) + 1e-9);
+        }
+
+        /// The sqrt-free substitution the mobility hot paths use (see the
+        /// `step_toward` docs): with the distance already in hand and
+        /// `step < d`, `lerp(target, step / d)` is bit-identical.
+        #[test]
+        fn prop_lerp_substitution_is_bit_identical(
+            ax in -500.0..500.0f64, ay in -500.0..500.0f64,
+            tx in -500.0..500.0f64, ty in -500.0..500.0f64,
+            frac in 0.0..1.0f64,
+        ) {
+            let a = Point2::new(ax, ay);
+            let t = Point2::new(tx, ty);
+            let d = a.dist(t);
+            let step = d * frac;
+            prop_assume!(step < d);
+            prop_assert_eq!(a.step_toward(t, step), a.lerp(t, step / d));
         }
     }
 }

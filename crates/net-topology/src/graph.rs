@@ -35,8 +35,10 @@
 //! synthetic topologies, not for the mobility hot path.
 
 use crate::geometry::{Field, Point2};
-use crate::grid::{GridUpdate, SpatialGrid};
+use crate::grid::{self, GridUpdate, SpatialGrid};
 use crate::node::NodeId;
+use crate::plane::{KernelScratch, KernelStats, PositionPlane};
+use sim_core::par;
 
 /// Sentinel written into slack slots (never read on any query path; it
 /// exists so stale ids in the gaps can't masquerade as live edges when
@@ -166,6 +168,13 @@ pub struct Adjacency {
     /// `avg_degree` stay O(1) instead of summing N rows. Maintained by
     /// every mutation; checked against the row sum in test invariants.
     live: usize,
+    /// Per-row base slack applied by every layout pass (`row_slack`).
+    /// The serial reference rebuild pins it at 1 (the historical policy);
+    /// the parallel rebuild derives it from the degree histogram so big
+    /// graphs provision enough headroom that patch-time row growth stops
+    /// triggering whole-CSR `reprovision` storms. Pure layout — never
+    /// affects logical equality or the canonical CSR.
+    slack_base: u32,
 }
 
 impl Default for Adjacency {
@@ -175,6 +184,7 @@ impl Default for Adjacency {
             lens: Vec::new(),
             edges: Vec::new(),
             live: 0,
+            slack_base: 1,
         }
     }
 }
@@ -186,6 +196,7 @@ impl Clone for Adjacency {
             lens: self.lens.clone(),
             edges: self.edges.clone(),
             live: self.live,
+            slack_base: self.slack_base,
         }
     }
 
@@ -196,6 +207,7 @@ impl Clone for Adjacency {
         self.lens.clone_from(&source.lens);
         self.edges.clone_from(&source.edges);
         self.live = source.live;
+        self.slack_base = source.slack_base;
     }
 }
 
@@ -218,15 +230,72 @@ impl Adjacency {
             lens: vec![0; n],
             edges: Vec::new(),
             live: 0,
+            slack_base: 1,
         }
     }
 
-    /// Slack slots provisioned for a row of `len` live edges during a full
-    /// rebuild or compaction (same policy as the spatial grid: tight,
-    /// because overflow only costs an occasional compaction).
+    /// Slack slots provisioned for a row of `len` live edges during a
+    /// layout pass (rebuild or compaction). The historical policy is
+    /// `1 + len / 8` — tight, because every slack slot is a sentinel some
+    /// scan skips; `slack_base` lifts the constant term when the degree
+    /// histogram says patch-time growth would otherwise overflow rows
+    /// routinely (see [`Adjacency::rebuild_with_grid_parallel`]).
     #[inline]
-    fn slack(len: u32) -> u32 {
-        1 + len / 8
+    fn row_slack(&self, len: u32) -> u32 {
+        self.slack_base + len / 8
+    }
+
+    /// Degree-histogram-driven base slack: provision every row with
+    /// headroom matching the *spread* of the degree distribution (p95 −
+    /// median, quartered), so typical mover-induced row growth lands in
+    /// slack instead of triggering a whole-CSR `reprovision`. Clamped so
+    /// sparse graphs keep the historical tight layout and dense ones
+    /// don't balloon memory.
+    fn histogram_slack_base(lens: &[u32]) -> u32 {
+        let n = lens.len();
+        if n == 0 {
+            return 1;
+        }
+        let max_deg = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max_deg + 1];
+        for &len in lens {
+            hist[len as usize] += 1;
+        }
+        let quantile = |q_num: usize, q_den: usize| -> u32 {
+            let target = (n * q_num).div_ceil(q_den);
+            let mut seen = 0usize;
+            for (deg, &count) in hist.iter().enumerate() {
+                seen += count;
+                if seen >= target {
+                    return deg as u32;
+                }
+            }
+            max_deg as u32
+        };
+        let spread = quantile(95, 100).saturating_sub(quantile(50, 100));
+        (1 + spread / 4).clamp(1, 8)
+    }
+
+    /// Sort one freshly queried neighbor row into canonical (ascending
+    /// id) order. Typical rows are a handful of entries, where a plain
+    /// insertion sort beats `sort_unstable`'s dispatch overhead — across
+    /// the N=10⁴ rebuild the difference is a measurable fraction of the
+    /// whole pass. Long rows fall back to `sort_unstable`.
+    #[inline]
+    fn sort_row(row: &mut [NodeId]) {
+        if row.len() > 24 {
+            row.sort_unstable();
+            return;
+        }
+        for i in 1..row.len() {
+            let v = row[i];
+            let mut j = i;
+            while j > 0 && row[j - 1] > v {
+                row[j] = row[j - 1];
+                j -= 1;
+            }
+            row[j] = v;
+        }
     }
 
     /// Most movers a patch will take before the churn fallback becomes
@@ -301,6 +370,8 @@ impl Adjacency {
     ) -> GridUpdate {
         let grid_update = grid.update(positions);
         let n = positions.len();
+        // The serial reference pins the historical tight slack policy.
+        self.slack_base = 1;
         self.offsets.clear();
         self.offsets.reserve(n + 1);
         self.lens.clear();
@@ -318,13 +389,185 @@ impl Adjacency {
             self.lens.push(len);
             self.live += len as usize;
             self.edges
-                .resize(self.edges.len() + Self::slack(len) as usize, FILLER);
+                .resize(self.edges.len() + self.row_slack(len) as usize, FILLER);
         }
         // One check for the whole layout: per-node `start` casts above are
         // only trusted once the final total fits (a panic here discards
         // the half-built state before anyone reads it).
         Self::check_edge_capacity(self.edges.len());
         self.offsets.push(self.edges.len() as u32);
+        grid_update
+    }
+
+    /// The kernel + parallel counterpart of
+    /// [`Adjacency::rebuild_with_grid`]: canonical-CSR-identical output
+    /// (pinned by proptests here and in `tests/topology_refresh.rs`),
+    /// built as
+    ///
+    /// 1. grid update, [`PositionPlane::rebuild`], and one entry-aligned
+    ///    lane-mirror gather ([`SpatialGrid::fill_lane_mirror`]);
+    /// 2. a *pair-emission* pass parallelized over row spans via
+    ///    `sim_core::par` — each span streams its nodes' forward
+    ///    half-balls ([`SpatialGrid::half_ball_rows`]) through the
+    ///    batched two-phase f32 kernel (fast accept / fast reject / exact
+    ///    f64 borderline resolution), emitting each in-range unordered
+    ///    pair exactly once into a span-local list. Scanning half the
+    ///    ball is sound because the kernel's verdict is exactly
+    ///    symmetric: IEEE subtraction gives `a - b == -(b - a)`, so both
+    ///    the f32 `d2` and the f64 borderline check see bit-identical
+    ///    values from either endpoint;
+    /// 3. a serial layout pass: both endpoints' degrees accumulated from
+    ///    the pair lists, degree histogram → `slack_base` provisioning,
+    ///    prefix-sum offsets, one `FILLER` memset, and a scatter that
+    ///    lands every pair at both endpoints' write cursors;
+    /// 4. a disjoint parallel sort: the edge buffer is split at span
+    ///    boundaries and every row is sorted in place.
+    ///
+    /// Span results are consumed in span order and rows are sorted, so
+    /// the output is deterministic and identical whether the fan-outs run
+    /// on the whole pool or inline on a single core. Kernel lane/exact
+    /// counters accumulate into `scratch.stats`.
+    ///
+    /// # Panics
+    /// Panics if the total provisioned edge capacity would overflow the
+    /// `u32` CSR offsets.
+    pub fn rebuild_with_grid_parallel(
+        &mut self,
+        grid: &mut SpatialGrid,
+        plane: &mut PositionPlane,
+        positions: &[Point2],
+        range: f64,
+        scratch: &mut KernelScratch,
+    ) -> GridUpdate {
+        let grid_update = grid.update(positions);
+        plane.rebuild(positions);
+        grid.fill_lane_mirror(plane, scratch);
+        let n = positions.len();
+        let band = plane.band(range, grid.cell_side());
+        let spans = par::shard_spans(n, par::max_workers());
+
+        /// One span's worth of half-ball link pairs.
+        struct SpanPairs {
+            /// Every in-range unordered pair whose *first* endpoint sits
+            /// in the span, each exactly once.
+            pairs: Vec<(NodeId, NodeId)>,
+            stats: KernelStats,
+        }
+        let entries = grid.entries_raw();
+        let (mirror_x, mirror_y) = (&scratch.mirror_x[..], &scratch.mirror_y[..]);
+        let grid_ref = &*grid;
+        let results: Vec<SpanPairs> =
+            par::parallel_map_with(spans.clone(), Vec::<(f32, NodeId)>::new, |cand, span| {
+                let mut out = SpanPairs {
+                    // ~6 pairs/node up front; the paper's densest
+                    // scenarios average ~4 (half the ~8 degree), so one
+                    // allocation usually survives the whole span.
+                    pairs: Vec::with_capacity(span.len() * 6),
+                    stats: KernelStats::default(),
+                };
+                for i in span {
+                    let id = NodeId::from(i);
+                    let center = positions[i];
+                    let rows = grid_ref.half_ball_rows(center);
+                    // Same-cell pairs deduplicate through the `id > i`
+                    // filter; the east/south spans cannot contain `id`.
+                    let min_ids = [i as u32 + 1, 0, 0];
+                    for (&(lo, hi), &min_id) in rows.iter().zip(&min_ids) {
+                        let (lo, hi) = (lo as usize, hi as usize);
+                        grid::kernel_scan_row(
+                            &entries[lo..hi],
+                            &mirror_x[lo..hi],
+                            &mirror_y[lo..hi],
+                            band,
+                            positions,
+                            center,
+                            min_id,
+                            None,
+                            cand,
+                            &mut out.stats,
+                            &mut |nb| out.pairs.push((id, nb)),
+                        );
+                    }
+                }
+                out
+            });
+
+        // Serial layout: accumulate both endpoints' degrees from the pair
+        // lists, derive the slack base from the histogram, prefix-sum the
+        // offsets, and memset the slack CSR.
+        self.lens.clear();
+        self.lens.resize(n, 0);
+        for r in &results {
+            scratch.stats.merge(r.stats);
+            for &(a, b) in &r.pairs {
+                self.lens[a.index()] += 1;
+                self.lens[b.index()] += 1;
+            }
+        }
+        self.slack_base = Self::histogram_slack_base(&self.lens);
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        let mut total = 0usize;
+        let mut live = 0usize;
+        for i in 0..n {
+            self.offsets.push(total as u32);
+            let len = self.lens[i];
+            live += len as usize;
+            total += (len + self.row_slack(len)) as usize;
+        }
+        Self::check_edge_capacity(total);
+        self.offsets.push(total as u32);
+        self.live = live;
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        edges.resize(total, FILLER);
+
+        // Serial scatter: every pair lands at both endpoints' write
+        // cursors. Rows fill from their offsets, so slack stays FILLER
+        // at each row's tail. Span order is deterministic and every row
+        // gets sorted below, so the output cannot depend on how the
+        // fan-out interleaved.
+        let mut cursor: Vec<u32> = self.offsets[..n].to_vec();
+        for r in &results {
+            for &(a, b) in &r.pairs {
+                let (ai, bi) = (a.index(), b.index());
+                edges[cursor[ai] as usize] = b;
+                cursor[ai] += 1;
+                edges[cursor[bi] as usize] = a;
+                cursor[bi] += 1;
+            }
+        }
+
+        // Disjoint parallel sort: split the edge buffer at span
+        // boundaries, then sort every row in place -> canonical CSR.
+        struct SortShard<'a> {
+            region: &'a mut [NodeId],
+            lens: &'a [u32],
+            /// `offsets[span.start .. span.end]`, for per-row placement.
+            offsets: &'a [u32],
+        }
+        let mut shards: Vec<SortShard> = Vec::with_capacity(spans.len());
+        let mut remaining: &mut [NodeId] = &mut edges;
+        let mut consumed = 0usize;
+        for span in &spans {
+            let end = self.offsets[span.end] as usize;
+            let (region, rest) = remaining.split_at_mut(end - consumed);
+            remaining = rest;
+            consumed = end;
+            shards.push(SortShard {
+                region,
+                lens: &self.lens[span.clone()],
+                offsets: &self.offsets[span.clone()],
+            });
+        }
+        par::parallel_shard_map(&mut shards, |_, shard| {
+            let base = shard.offsets.first().map_or(0, |&o| o as usize);
+            for (k, &len) in shard.lens.iter().enumerate() {
+                let dst = shard.offsets[k] as usize - base;
+                Self::sort_row(&mut shard.region[dst..dst + len as usize]);
+            }
+        });
+        self.edges = edges;
         grid_update
     }
 
@@ -406,7 +649,77 @@ impl Adjacency {
             let grid_update = self.rebuild_with_grid(grid, positions, range);
             return AdjacencyUpdate::Full { grid: grid_update };
         }
+        self.patch_core(
+            grid, positions, range, moved, active, changed, scratch, None,
+        )
+    }
 
+    /// [`Adjacency::patch_with_grid_active`] with the row re-queries run
+    /// through the batched two-phase f32 kernel
+    /// ([`SpatialGrid::for_each_within_kernel`]) instead of the scalar
+    /// f64 scan, and the churn/count fallback routed to
+    /// [`Adjacency::rebuild_with_grid_parallel`]. The plane is kept
+    /// coherent from the same mover report that updates the grid, and
+    /// kernel lane/exact counters accumulate into `kscratch.stats`.
+    /// Same contract, same canonical CSR — pinned by the equivalence
+    /// proptests against the scalar patch and the fresh build.
+    #[allow(clippy::too_many_arguments)] // mirrors patch_with_grid_active + kernel state
+    pub fn patch_with_grid_kernel(
+        &mut self,
+        grid: &mut SpatialGrid,
+        plane: &mut PositionPlane,
+        positions: &[Point2],
+        range: f64,
+        moved: &[NodeId],
+        active: &[NodeId],
+        changed: &mut Vec<NodeId>,
+        scratch: &mut PatchScratch,
+        kscratch: &mut KernelScratch,
+    ) -> AdjacencyUpdate {
+        changed.clear();
+        let n = positions.len();
+        if self.node_count() != n
+            || grid.tracked_nodes() != n
+            || !Self::patch_viable(n, active.len())
+        {
+            let grid_update =
+                self.rebuild_with_grid_parallel(grid, plane, positions, range, kscratch);
+            return AdjacencyUpdate::Full { grid: grid_update };
+        }
+        // Lane refresh is independent of the grid state, so it can run
+        // before candidate seeding; the seeding below must still read the
+        // *pre-update* grid residency.
+        plane.update_reported(positions, moved);
+        self.patch_core(
+            grid,
+            positions,
+            range,
+            moved,
+            active,
+            changed,
+            scratch,
+            Some((plane, kscratch)),
+        )
+    }
+
+    /// Shared body of the scalar and kernel patch paths (fallbacks
+    /// already handled by the wrappers). With `kernel` present, candidate
+    /// rows are re-queried through the gather kernel; the rest —
+    /// candidate seeding, grid update, slack rewrite, undo log — is
+    /// byte-for-byte the same machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_core(
+        &mut self,
+        grid: &mut SpatialGrid,
+        positions: &[Point2],
+        range: f64,
+        moved: &[NodeId],
+        active: &[NodeId],
+        changed: &mut Vec<NodeId>,
+        scratch: &mut PatchScratch,
+        mut kernel: Option<(&PositionPlane, &mut KernelScratch)>,
+    ) -> AdjacencyUpdate {
+        let n = positions.len();
         // 1. Candidate rows, deduped with epoch stamps: every mover, plus
         //    every occupant of the 3×3 cell balls around each mover's old
         //    and new cell — read from the *pre-update* grid, which is
@@ -458,8 +771,23 @@ impl Adjacency {
         for &c in candidates.iter() {
             let i = c.index();
             row.clear();
-            grid.for_each_within(positions, positions[i], range, Some(c), |nb| row.push(nb));
-            row.sort_unstable();
+            match kernel.as_mut() {
+                Some((plane, ks)) => grid.for_each_within_kernel(
+                    plane,
+                    positions,
+                    positions[i],
+                    range,
+                    Some(c),
+                    ks,
+                    |nb| row.push(nb),
+                ),
+                None => {
+                    grid.for_each_within(positions, positions[i], range, Some(c), |nb| {
+                        row.push(nb)
+                    });
+                }
+            }
+            Self::sort_row(row);
             let start = self.offsets[i] as usize;
             let len = self.lens[i] as usize;
             if self.edges[start..start + len] == row[..] {
@@ -501,7 +829,7 @@ impl Adjacency {
         for i in 0..n {
             new_offsets.push(total as u32);
             let planned = if i == grow_row { need } else { self.lens[i] };
-            total += (planned + Self::slack(planned)) as usize;
+            total += (planned + self.row_slack(planned)) as usize;
         }
         Self::check_edge_capacity(total);
         new_offsets.push(total as u32);
@@ -970,6 +1298,42 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rebuild_matches_serial_reference() {
+        let (field, pos) = line3();
+        let mut grid = SpatialGrid::new(field, 50.0);
+        let serial = Adjacency::build_with_grid(&mut grid, &pos, 50.0);
+        let mut grid2 = SpatialGrid::new(field, 50.0);
+        let mut plane = PositionPlane::new();
+        let mut scratch = KernelScratch::new();
+        let mut parallel = Adjacency::with_nodes(pos.len());
+        parallel.rebuild_with_grid_parallel(&mut grid2, &mut plane, &pos, 50.0, &mut scratch);
+        assert_eq!(serial.canonical_csr(), parallel.canonical_csr());
+        assert!(plane.is_coherent(&pos));
+        assert!(scratch.stats.lanes > 0, "the kernel must classify lanes");
+        assert_csr_invariants(&parallel);
+        // empty graphs round-trip too
+        let mut empty = Adjacency::default();
+        empty.rebuild_with_grid_parallel(&mut grid2, &mut plane, &[], 50.0, &mut scratch);
+        assert_eq!(empty.node_count(), 0);
+        assert_csr_invariants(&empty);
+    }
+
+    #[test]
+    fn histogram_slack_base_tracks_degree_spread() {
+        // uniform degrees → no spread → historical tight base
+        assert_eq!(Adjacency::histogram_slack_base(&[]), 1);
+        assert_eq!(Adjacency::histogram_slack_base(&[5; 100]), 1);
+        // wide spread (median 0, p95 at 40) → lifted but clamped base
+        let mut lens = vec![0u32; 94];
+        lens.extend_from_slice(&[40; 6]);
+        assert_eq!(Adjacency::histogram_slack_base(&lens), 8);
+        // moderate spread → proportional headroom
+        let mut lens = vec![8u32; 90];
+        lens.extend_from_slice(&[16; 10]);
+        assert_eq!(Adjacency::histogram_slack_base(&lens), 3);
+    }
+
+    #[test]
     fn canonical_csr_is_layout_independent() {
         let (field, pos) = line3();
         // same logical graph, three different slack layouts
@@ -1100,6 +1464,103 @@ mod tests {
                             "undo row {} does not match the snapshot", node);
                     }
                 }
+            }
+        }
+
+        /// The parallel kernel rebuild and the kernel patch are
+        /// bit-identical (canonical CSR) to the serial scalar reference
+        /// across multi-step movement sequences that exercise the patch
+        /// path, the churn fallback and node jumps — and the position
+        /// plane stays coherent throughout.
+        #[test]
+        fn prop_kernel_paths_equal_scalar_reference(
+            pts in proptest::collection::vec((0.0..400.0f64, 0.0..400.0f64), 1..60),
+            steps in proptest::collection::vec(
+                proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64), 1..60),
+                1..5),
+            range in 30.0..60.0f64,
+        ) {
+            let field = Field::square(400.0);
+            let mut positions: Vec<Point2> =
+                pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut grid_k = SpatialGrid::new(field, range);
+            let mut plane = PositionPlane::new();
+            let mut kscratch = KernelScratch::new();
+            let mut kernel = Adjacency::with_nodes(positions.len());
+            kernel.rebuild_with_grid_parallel(
+                &mut grid_k, &mut plane, &positions, range, &mut kscratch);
+            let mut grid_s = SpatialGrid::new(field, range);
+            let mut scalar = Adjacency::build_with_grid(&mut grid_s, &positions, range);
+            prop_assert_eq!(kernel.canonical_csr(), scalar.canonical_csr());
+            let mut kpatch = PatchScratch::new();
+            let mut spatch = PatchScratch::new();
+            let (mut kchanged, mut schanged) = (Vec::new(), Vec::new());
+            for step in &steps {
+                let mut movers = Vec::new();
+                for (i, &(dx, dy)) in step.iter().cycle().take(positions.len()).enumerate() {
+                    if dx.abs() + dy.abs() < 40.0 {
+                        continue;
+                    }
+                    let p = &mut positions[i];
+                    let before = *p;
+                    p.x = (p.x + dx).clamp(0.0, 400.0);
+                    p.y = (p.y + dy).clamp(0.0, 400.0);
+                    if *p != before {
+                        movers.push(NodeId::from(i));
+                    }
+                }
+                kernel.patch_with_grid_kernel(
+                    &mut grid_k, &mut plane, &positions, range,
+                    &movers, &movers, &mut kchanged, &mut kpatch, &mut kscratch);
+                scalar.patch_with_grid_active(
+                    &mut grid_s, &positions, range,
+                    &movers, &movers, &mut schanged, &mut spatch);
+                prop_assert_eq!(kernel.canonical_csr(), scalar.canonical_csr());
+                prop_assert!(plane.is_coherent(&positions), "plane lost coherence");
+                assert_csr_invariants(&kernel);
+                // both paths agree on the changed-row report
+                let mut kc = kchanged.clone();
+                let mut sc = schanged.clone();
+                kc.sort();
+                sc.sort();
+                prop_assert_eq!(kc, sc);
+            }
+        }
+
+        /// Borderline-pair stress: positions dithered within (multiples
+        /// of) the f32 error band around `range`, so many pair distances
+        /// land where f32 cannot decide. Kernel link decisions must equal
+        /// the exact f64 decisions bit for bit, and the borderline lanes
+        /// must actually hit the exact-check path.
+        #[test]
+        fn prop_borderline_pairs_match_exact_decisions(
+            seeds in proptest::collection::vec((0usize..40, -400i64..400), 8..40),
+            base in 0.0..300.0f64,
+        ) {
+            let field = Field::square(710.0);
+            let range = 50.0;
+            // cluster the nodes along a line at spacings dithered within
+            // ±4e-6 of the range (≈ the f32 band at these coordinates)
+            let positions: Vec<Point2> = seeds.iter().map(|&(k, d)| {
+                let dither = d as f64 * 1e-8;
+                Point2::new(base + k as f64 * (range / 8.0) + dither, base + range + dither)
+            }).collect();
+            let mut grid_k = SpatialGrid::new(field, range);
+            let mut plane = PositionPlane::new();
+            let mut kscratch = KernelScratch::new();
+            let mut kernel = Adjacency::with_nodes(positions.len());
+            kernel.rebuild_with_grid_parallel(
+                &mut grid_k, &mut plane, &positions, range, &mut kscratch);
+            let exact = Adjacency::build(field, &positions, range);
+            prop_assert_eq!(kernel.canonical_csr(), exact.canonical_csr());
+            // the naive O(N²) definition agrees too (belt and braces)
+            let r_sq = range * range;
+            for (i, &p) in positions.iter().enumerate() {
+                let expect: Vec<NodeId> = positions.iter().enumerate()
+                    .filter(|&(j, q)| j != i && q.dist_sq(p) <= r_sq)
+                    .map(|(j, _)| NodeId::from(j))
+                    .collect();
+                prop_assert_eq!(kernel.neighbors(NodeId::from(i)), &expect[..]);
             }
         }
     }

@@ -35,6 +35,7 @@
 
 use crate::geometry::{Field, Point2};
 use crate::node::NodeId;
+use crate::plane::{KernelBand, KernelScratch, KernelStats, PositionPlane};
 
 /// Outcome of a [`SpatialGrid::update`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -387,6 +388,211 @@ impl SpatialGrid {
         }
     }
 
+    /// The cell side the grid was built with (the maximum query radius).
+    #[inline]
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// The raw CSR entry array (kernel and bench plumbing): live node ids
+    /// bucketed by cell, with every slack slot holding the vacant
+    /// sentinel. Index it through [`SpatialGrid::ball_rows`].
+    #[inline]
+    pub fn entries_raw(&self) -> &[NodeId] {
+        &self.entries
+    }
+
+    /// The fused entry-row spans of the 3×3 cell ball around `center`: up
+    /// to three `(lo, hi)` ranges into [`SpatialGrid::entries_raw`], one
+    /// per grid row, each covering three adjacent cells *including the
+    /// interior slack gaps* (the gaps hold vacant sentinels, so a scan
+    /// can stream the whole span). The trailing cell's slack is trimmed
+    /// off the end — at typical occupancies that's a measurable fraction
+    /// of the lanes a kernel would otherwise classify just to reject.
+    /// Returns the spans and how many are valid.
+    #[inline]
+    pub fn ball_rows(&self, center: Point2) -> ([(u32, u32); 3], usize) {
+        let (cx, cy) = self.cell_of(center);
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        let mut spans = [(0u32, 0u32); 3];
+        let mut count = 0;
+        for gy in y0..=y1 {
+            let last = gy * self.cols + x1;
+            spans[count] = (
+                self.starts[gy * self.cols + x0],
+                self.starts[last] + self.lens[last],
+            );
+            count += 1;
+        }
+        (spans, count)
+    }
+
+    /// The *forward half* of the cell ball around `center`, for kernels
+    /// that visit every unordered pair exactly once (the whole-CSR
+    /// rebuild): the center's own cell, its east neighbor, and the fused
+    /// south row (SW, S, SE). For nodes i ≠ j in range, exactly one of
+    /// the two scans (from i or from j) covers the pair — east/south
+    /// asymmetry resolves cross-cell pairs, and same-cell pairs are
+    /// deduplicated by an `id > i` filter the caller applies to the own-
+    /// cell span only. Own and east spans cover *live* entries exactly
+    /// (no slack lanes); the south span is a fused row with interior
+    /// slack and its tail trimmed. Absent neighbors (field edge) come
+    /// back as empty spans.
+    #[inline]
+    pub fn half_ball_rows(&self, center: Point2) -> [(u32, u32); 3] {
+        let (cx, cy) = self.cell_of(center);
+        let own = cy * self.cols + cx;
+        let own_span = (self.starts[own], self.starts[own] + self.lens[own]);
+        let east_span = if cx + 1 < self.cols {
+            let e = own + 1;
+            (self.starts[e], self.starts[e] + self.lens[e])
+        } else {
+            (0, 0)
+        };
+        let south_span = if cy + 1 < self.rows {
+            let x0 = cx.saturating_sub(1);
+            let x1 = (cx + 1).min(self.cols - 1);
+            let last = (cy + 1) * self.cols + x1;
+            (
+                self.starts[(cy + 1) * self.cols + x0],
+                self.starts[last] + self.lens[last],
+            )
+        } else {
+            (0, 0)
+        };
+        [own_span, east_span, south_span]
+    }
+
+    /// Fill `scratch`'s entry-aligned lane mirror from `plane`: one
+    /// `(x, y)` f32 lane per CSR entry slot, with vacant slots mapped onto
+    /// the plane's infinite sentinel lane (branch-free, and infinity
+    /// classifies as "out of range" in every kernel pass for free). The
+    /// mirror is valid until the grid or the plane next changes; the
+    /// whole-CSR rebuild kernels fill it once and then stream contiguous
+    /// slices instead of gathering per row.
+    pub fn fill_lane_mirror(&self, plane: &PositionPlane, scratch: &mut KernelScratch) {
+        let (xs, ys) = plane.lanes();
+        let n = plane.len();
+        scratch.mirror_x.clear();
+        scratch.mirror_y.clear();
+        scratch
+            .mirror_x
+            .extend(self.entries.iter().map(|&id| xs[id.index().min(n)]));
+        scratch
+            .mirror_y
+            .extend(self.entries.iter().map(|&id| ys[id.index().min(n)]));
+    }
+
+    /// Kernel variant of [`SpatialGrid::for_each_within`] reading the
+    /// prefilled lane mirror (see [`SpatialGrid::fill_lane_mirror`]):
+    /// per fused row, squared f32 distances over contiguous mirror lanes
+    /// are classified through `band` in one streaming pass — fast accept,
+    /// fast reject, or exact f64 resolution for borderline lanes. Visits
+    /// exactly the nodes the scalar path visits, in the same order.
+    pub fn for_each_within_mirror(
+        &self,
+        band: KernelBand,
+        positions: &[Point2],
+        center: Point2,
+        exclude: Option<NodeId>,
+        scratch: &mut KernelScratch,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        let (spans, count) = self.ball_rows(center);
+        let KernelScratch {
+            mirror_x,
+            mirror_y,
+            cand,
+            stats,
+            ..
+        } = scratch;
+        for &(lo, hi) in &spans[..count] {
+            let (lo, hi) = (lo as usize, hi as usize);
+            kernel_scan_row(
+                &self.entries[lo..hi],
+                &mirror_x[lo..hi],
+                &mirror_y[lo..hi],
+                band,
+                positions,
+                center,
+                0,
+                exclude,
+                cand,
+                stats,
+                &mut visit,
+            );
+        }
+    }
+
+    /// Kernel variant of [`SpatialGrid::for_each_within`] that gathers
+    /// candidate lanes per row straight from the plane (no mirror
+    /// required — the patch path uses this for its handful of row
+    /// re-queries, where filling a whole-CSR mirror would cost O(N)).
+    /// Computes its own band from the plane; visits exactly the nodes the
+    /// scalar path visits, in the same order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_within_kernel(
+        &self,
+        plane: &PositionPlane,
+        positions: &[Point2],
+        center: Point2,
+        radius: f64,
+        exclude: Option<NodeId>,
+        scratch: &mut KernelScratch,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        debug_assert!(
+            radius <= self.cell_side + 1e-9,
+            "query radius {radius} exceeds grid cell side {}",
+            self.cell_side
+        );
+        let band = plane.band(radius, self.cell_side);
+        let (spans, count) = self.ball_rows(center);
+        let (xs, ys) = plane.lanes();
+        let sentinel = plane.len();
+        let (cx, cy) = (center.x as f32, center.y as f32);
+        let KernelScratch { cand, stats, .. } = scratch;
+        for &(lo, hi) in &spans[..count] {
+            let (lo, hi) = (lo as usize, hi as usize);
+            let row = &self.entries[lo..hi];
+            // Fused gather + branch-free compaction (see
+            // `kernel_scan_row`): lanes pulled straight from the plane by
+            // id, vacant ids hit the infinite sentinel lane and compact
+            // themselves away.
+            let n = row.len();
+            stats.lanes += n as u64;
+            if cand.len() < n {
+                cand.resize(n, (0.0, NodeId::from(0usize)));
+            }
+            let buf = &mut cand[..n];
+            let mut m = 0usize;
+            for &id in row {
+                let lane = id.index().min(sentinel);
+                let dx = xs[lane] - cx;
+                let dy = ys[lane] - cy;
+                let d2 = dx * dx + dy * dy;
+                // `m` advances at most once per lane, so it stays in bounds.
+                buf[m] = (d2, id);
+                m += (d2 <= band.hi) as usize;
+            }
+            for &(d2, id) in &buf[..m] {
+                if Some(id) == exclude {
+                    continue;
+                }
+                if d2 > band.lo {
+                    stats.exact_checks += 1;
+                    if positions[id.index()].dist_sq(center) > band.r_sq {
+                        continue;
+                    }
+                }
+                visit(id);
+            }
+        }
+    }
+
     /// Collect every node within `radius` of `center` into a vector.
     pub fn within(
         &self,
@@ -398,6 +604,68 @@ impl SpatialGrid {
         let mut out = Vec::new();
         self.for_each_within(positions, center, radius, exclude, |id| out.push(id));
         out
+    }
+}
+
+/// Fused distance-and-compact pass of the two-phase kernel over one
+/// fused entry row. Pass 1 streams every lane branch-free: compute the
+/// squared f32 distance from the mirrored lane coordinates, uncondition-
+/// ally store `(d2, id)` into the candidate buffer, and advance the
+/// write cursor only when `d2 <= band.hi` (most lanes reject, and a
+/// conditional *increment* never mispredicts the way a conditional
+/// *branch* over a ~20% accept rate does; a chunked mask variant was
+/// measured slower at the ~12-lane rows the grid actually produces).
+/// Vacant entries carry infinite lanes and compact themselves away for
+/// free. Pass 2 resolves the handful of survivors in lane order
+/// (matching the scalar visit order): skip ids below `min_id` (the
+/// half-ball rebuild's same-cell deduplication — pass 0 to keep every
+/// id) and the excluded id, fast-accept at `<= lo`, exact f64 `dist_sq`
+/// for borderline lanes.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kernel_scan_row(
+    entries: &[NodeId],
+    xs: &[f32],
+    ys: &[f32],
+    band: KernelBand,
+    positions: &[Point2],
+    center: Point2,
+    min_id: u32,
+    exclude: Option<NodeId>,
+    cand: &mut Vec<(f32, NodeId)>,
+    stats: &mut KernelStats,
+    visit: &mut impl FnMut(NodeId),
+) {
+    let n = entries.len();
+    // Equal-length reslice up front so the per-lane indexing below is
+    // provably in bounds (one check here instead of three per lane).
+    let (xs, ys) = (&xs[..n], &ys[..n]);
+    stats.lanes += n as u64;
+    let (cx, cy) = (center.x as f32, center.y as f32);
+    if cand.len() < n {
+        cand.resize(n, (0.0, NodeId::from(0usize)));
+    }
+    let buf = &mut cand[..n];
+    let mut m = 0usize;
+    for k in 0..n {
+        let dx = xs[k] - cx;
+        let dy = ys[k] - cy;
+        let d2 = dx * dx + dy * dy;
+        // `m <= k` always, so this store stays in bounds.
+        buf[m] = (d2, entries[k]);
+        m += (d2 <= band.hi) as usize;
+    }
+    for &(d2, id) in &buf[..m] {
+        if (id.index() as u32) < min_id || Some(id) == exclude {
+            continue;
+        }
+        if d2 > band.lo {
+            stats.exact_checks += 1;
+            if positions[id.index()].dist_sq(center) > band.r_sq {
+                continue;
+            }
+        }
+        visit(id);
     }
 }
 
@@ -763,5 +1031,118 @@ mod tests {
                 assert_grid_invariants(&inc, &positions);
             }
         }
+
+        /// The two-phase f32 kernels (gather and mirror variants) visit
+        /// exactly the nodes the scalar f64 scan visits, in the same
+        /// order, for arbitrary point clouds, query centers and radii.
+        #[test]
+        fn prop_kernel_scans_equal_scalar_scan(
+            pts in proptest::collection::vec((0.0..710.0f64, 0.0..710.0f64), 0..120),
+            q in (0.0..710.0f64, 0.0..710.0f64),
+            radius in 1.0..50.0f64,
+            exclude_raw in 0u32..260,
+        ) {
+            let field = Field::square(710.0);
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let mut grid = SpatialGrid::new(field, 50.0);
+            grid.rebuild(&positions);
+            let center = Point2::new(q.0, q.1);
+            // the vendored proptest has no `option::of`; fold the upper
+            // half of the range onto `None`
+            let exclude = (exclude_raw < 130).then(|| NodeId::new(exclude_raw));
+            let scalar = grid.within(&positions, center, radius, exclude);
+            let plane = PositionPlane::with_positions(&positions);
+            let mut scratch = KernelScratch::new();
+            let mut gathered = Vec::new();
+            grid.for_each_within_kernel(
+                &plane, &positions, center, radius, exclude, &mut scratch,
+                |id| gathered.push(id),
+            );
+            prop_assert_eq!(&scalar, &gathered, "gather kernel diverged");
+            grid.fill_lane_mirror(&plane, &mut scratch);
+            let band = plane.band(radius, grid.cell_side());
+            let mut mirrored = Vec::new();
+            grid.for_each_within_mirror(
+                band, &positions, center, exclude, &mut scratch,
+                |id| mirrored.push(id),
+            );
+            prop_assert_eq!(&scalar, &mirrored, "mirror kernel diverged");
+            prop_assert!(scratch.stats.lanes >= scratch.stats.exact_checks);
+        }
+    }
+
+    /// Satellite audit: far-field-edge bucketing through the `inv_side`
+    /// multiply. `cell_of` buckets in f64 with an explicit `.min(cols-1)`
+    /// clamp, and that clamp is load-bearing: for many (width, range)
+    /// pairs the rounded product `width * (1/range)` lands exactly on
+    /// `cols` (e.g. 100 × fl(1/10) = 10.000000000000002), so an unclamped
+    /// floor would index out of bounds for points on the far edge.
+    #[test]
+    fn far_edge_points_bucket_into_boundary_cells() {
+        for &(w, range) in &[
+            (100.0, 10.0),    // w * fl(1/range) > cols in f64
+            (710.0, 50.0),    // the Table-1 scenario geometry
+            (31_750.0, 50.0), // the N=10⁶ tier geometry
+            (99.9, 3.33),     // non-divisible pair
+            (1.0, 0.1),       // tiny field, product 10.000000000000002
+        ] {
+            let field = Field::new(w, w);
+            let mut grid = SpatialGrid::new(field, range);
+            let cols = (w / range).ceil().max(1.0) as usize;
+            // the far corner and a neighbor just inside it
+            let corner = Point2::new(w, w);
+            let near = Point2::new(w - range * 0.5, w);
+            let positions = vec![corner, near];
+            grid.rebuild(&positions);
+            assert_grid_invariants(&grid, &positions);
+            assert!(
+                (grid.cell_at(corner) as usize) < grid.cell_count(),
+                "corner cell out of bounds for w={w} range={range}"
+            );
+            // the exact-edge product actually overshoots cols for these
+            // pairs, proving the clamp is exercised, not decorative
+            if (w * (1.0 / range)) as usize >= cols {
+                assert_eq!(
+                    grid.cell_at(corner) as usize % cols,
+                    cols - 1,
+                    "far edge must clamp into the last column"
+                );
+            }
+            let found = grid.within(&positions, corner, range, Some(NodeId(0)));
+            assert_eq!(found, vec![NodeId(1)], "w={w} range={range}");
+        }
+    }
+
+    /// The f64 bucketing path is authoritative even where f32 rounding
+    /// would overshoot the field edge: a point just inside the far edge
+    /// whose f32 image rounds *past* it still buckets by its f64 value,
+    /// and the kernels (whose lanes are that overshooting f32 image)
+    /// still classify its links exactly like the scalar path.
+    #[test]
+    fn f32_overshooting_edge_points_stay_exact() {
+        let w = 710.0;
+        // x < w but (x as f32) > w
+        let x = f64::from(710.0f32) - 1e-5;
+        assert!((x as f32) as f64 > x, "pick a value f32 rounds upward");
+        let positions = vec![Point2::new(x, w), Point2::new(w - 49.0, w)];
+        let field = Field::square(w);
+        let mut grid = SpatialGrid::new(field, 50.0);
+        grid.rebuild(&positions);
+        assert_grid_invariants(&grid, &positions);
+        let scalar = grid.within(&positions, positions[0], 50.0, Some(NodeId(0)));
+        let plane = PositionPlane::with_positions(&positions);
+        let mut scratch = KernelScratch::new();
+        let mut kernel = Vec::new();
+        grid.for_each_within_kernel(
+            &plane,
+            &positions,
+            positions[0],
+            50.0,
+            Some(NodeId(0)),
+            &mut scratch,
+            |id| kernel.push(id),
+        );
+        assert_eq!(scalar, kernel);
+        assert_eq!(scalar, vec![NodeId(1)]);
     }
 }

@@ -12,6 +12,9 @@
 //! * [`placement`] — uniform / grid / clustered node placement;
 //! * [`grid`] — a spatial hash grid giving O(1)-neighborhood range queries,
 //!   used to rebuild connectivity in O(N · avg-degree) instead of O(N²);
+//! * [`plane`] — the SoA f32 position mirror ([`plane::PositionPlane`])
+//!   and the two-phase (approximate filter → exact confirm) distance
+//!   kernel machinery behind the batched grid scans;
 //! * [`graph`] — the adjacency structure ([`graph::Adjacency`]);
 //! * [`bfs`] — hop-limited and full breadth-first search (neighborhood
 //!   tables, shortest hop paths);
@@ -47,6 +50,7 @@ pub mod grid;
 pub mod metrics;
 pub mod node;
 pub mod placement;
+pub mod plane;
 pub mod scenario;
 pub mod smallworld;
 
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use crate::metrics::TopologyMetrics;
     pub use crate::node::NodeId;
     pub use crate::placement::{place_clustered, place_grid, place_uniform};
+    pub use crate::plane::{KernelBand, KernelScratch, KernelStats, PositionPlane};
     pub use crate::scenario::{Scenario, TABLE1_SCENARIOS};
     pub use crate::smallworld::SmallWorldMetrics;
 }
@@ -69,5 +74,6 @@ pub use graph::Adjacency;
 pub use grid::SpatialGrid;
 pub use metrics::TopologyMetrics;
 pub use node::NodeId;
+pub use plane::{KernelBand, KernelScratch, KernelStats, PositionPlane};
 pub use scenario::{Scenario, TABLE1_SCENARIOS};
 pub use smallworld::SmallWorldMetrics;

@@ -1,0 +1,398 @@
+//! SoA position plane and the two-phase f32 distance-kernel machinery.
+//!
+//! The authoritative node positions are f64 [`Point2`]s in an AoS array —
+//! every exact geometric decision is made there. But the hot link-decision
+//! loops (grid cell-ball scans, adjacency row re-queries) only need a
+//! *classification* of each candidate: definitely within range, definitely
+//! out of range, or too close to the boundary to tell in reduced
+//! precision. [`PositionPlane`] mirrors the positions into
+//! structure-of-arrays `xs`/`ys` lanes in f32 — half the memory traffic of
+//! the `Point2` loads and a layout the compiler can batch — and
+//! [`KernelBand`] carries a *conservative* error band around `range²` so
+//! the classification is sound:
+//!
+//! * `d2_f32 <= lo` ⇒ the exact f64 `dist_sq` is provably `<= range²`
+//!   (accept without touching the f64 array);
+//! * `d2_f32 > hi` ⇒ the exact `dist_sq` is provably `> range²` (reject);
+//! * otherwise the pair is *borderline*: resolve it with the exact f64
+//!   test (counted in [`KernelStats::exact_checks`]).
+//!
+//! Every link decision is therefore **bit-identical** to the scalar f64
+//! path — the kernels change the cost of the decision, never its outcome.
+//! The equivalence is pinned by proptests in `graph.rs`, `grid.rs` and
+//! `tests/topology_refresh.rs` (including positions dithered within the
+//! f32 error band around `range`).
+//!
+//! ## Error-band derivation
+//!
+//! Let `u = f32::EPSILON`, `C` the largest absolute coordinate the plane
+//! has seen (tracked in [`PositionPlane::max_abs_coord`]), and `D` the
+//! largest per-axis separation the band must cover. Lanes are rounded
+//! coordinates (`|x̂ - x| ≤ uC`), so a lane difference carries error
+//! `e_dx ≤ u(2C + D)` after the subtraction rounding; squaring and summing
+//! in f32 adds `e_dx(2D + e_dx)` per axis plus rounding of the squares and
+//! the final add. The total is doubled once more for safety margin — the
+//! band costs only a few extra exact checks per million lanes, so
+//! generosity is free. Pairs separated by more than `D` per axis are
+//! outside the band's analysis, but their relative f32 error is tiny and
+//! the kernels only ever classify candidates from a 3×3 cell ball, where
+//! `D = 2 × cell_side` covers every pair that could possibly be within
+//! `range ≤ cell_side` (clamped out-of-field stragglers included: an
+//! accept at `d2 ≤ lo` certifies `|dx| ≤ range + e_dx < D`, so the band
+//! applies to every accepted pair, and truly-far pairs sit far above
+//! `hi`). If the band ever swallows `range²` entirely (`lo` clamps to 0),
+//! every candidate goes through the exact test — precision collapse
+//! degrades performance, never correctness.
+
+use crate::geometry::Point2;
+use crate::node::NodeId;
+
+/// Conservative f32 classification thresholds around `range²` for one
+/// kernel pass (see the module docs for the derivation and soundness
+/// argument). Build via [`PositionPlane::band`].
+#[derive(Clone, Copy, Debug)]
+pub struct KernelBand {
+    /// `d2_f32 <= lo` certifies the exact `dist_sq <= range²`.
+    pub lo: f32,
+    /// `d2_f32 > hi` certifies the exact `dist_sq > range²`.
+    pub hi: f32,
+    /// The exact f64 threshold for borderline resolution.
+    pub r_sq: f64,
+}
+
+/// Counters from kernel classification passes: how many candidate lanes
+/// were classified and how many fell in the borderline band and needed
+/// the exact f64 test. Their ratio is the kernel fast-path hit rate
+/// reported by `repro scale`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Candidate lanes classified by the f32 band test.
+    pub lanes: u64,
+    /// Lanes that fell inside the error band and were resolved with the
+    /// exact f64 `dist_sq` test.
+    pub exact_checks: u64,
+}
+
+impl KernelStats {
+    /// Merge another pass's counters into this one.
+    #[inline]
+    pub fn merge(&mut self, other: KernelStats) {
+        self.lanes += other.lanes;
+        self.exact_checks += other.exact_checks;
+    }
+}
+
+/// Reusable buffers for the batched distance kernels (an entry-aligned
+/// lane mirror for whole-CSR rebuilds) plus the pass counters. No
+/// allocation in the steady state.
+#[derive(Clone, Debug, Default)]
+pub struct KernelScratch {
+    /// Entry-aligned lane mirror (one slot per grid CSR entry slot;
+    /// vacant slots hold `f32::INFINITY`). Filled by
+    /// `SpatialGrid::fill_lane_mirror`, valid until the grid or the
+    /// positions next change.
+    pub(crate) mirror_x: Vec<f32>,
+    /// See `mirror_x`.
+    pub(crate) mirror_y: Vec<f32>,
+    /// Per-row candidate buffer for the compaction pass: `(d2, id)`
+    /// survivors of the fast f32 reject, sized to the longest fused row
+    /// seen so far.
+    pub(crate) cand: Vec<(f32, NodeId)>,
+    /// Classification counters since the caller last reset them.
+    pub stats: KernelStats,
+}
+
+impl KernelScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Structure-of-arrays f32 mirror of the authoritative `&[Point2]` array.
+///
+/// The plane stores one lane per node plus a trailing *sentinel* lane
+/// holding `f32::INFINITY`, so kernels can translate any grid entry —
+/// including the `VACANT` sentinel id — into a lane index branch-free:
+/// `min(id, n)` maps vacancies onto the sentinel, whose infinite
+/// coordinates classify as "definitely out of range" for free.
+///
+/// Coherence contract: after [`PositionPlane::rebuild`] (or
+/// [`PositionPlane::update_reported`] with an exact mover report) the
+/// plane satisfies `xs[i] == positions[i].x as f32` for every node. The
+/// tracked max-abs coordinate only ratchets up between full rebuilds, so
+/// a band computed from it stays conservative across incremental updates.
+#[derive(Clone, Debug, Default)]
+pub struct PositionPlane {
+    /// `n + 1` lanes; `xs[n]` is the `INFINITY` sentinel.
+    xs: Vec<f32>,
+    /// See `xs`.
+    ys: Vec<f32>,
+    /// Largest `|coordinate|` over every position the plane has mirrored
+    /// since the last full rebuild (monotone between rebuilds).
+    max_abs: f64,
+}
+
+impl PositionPlane {
+    /// An empty plane (populate with [`PositionPlane::rebuild`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a plane mirroring `positions`.
+    pub fn with_positions(positions: &[Point2]) -> Self {
+        let mut plane = Self::default();
+        plane.rebuild(positions);
+        plane
+    }
+
+    /// Re-mirror every position (and re-tighten the max-abs tracking).
+    pub fn rebuild(&mut self, positions: &[Point2]) {
+        let n = positions.len();
+        self.xs.clear();
+        self.ys.clear();
+        self.xs.reserve(n + 1);
+        self.ys.reserve(n + 1);
+        let mut max_abs = 0.0f64;
+        for p in positions {
+            self.xs.push(p.x as f32);
+            self.ys.push(p.y as f32);
+            max_abs = max_abs.max(p.x.abs()).max(p.y.abs());
+        }
+        self.xs.push(f32::INFINITY);
+        self.ys.push(f32::INFINITY);
+        self.max_abs = max_abs;
+    }
+
+    /// Refresh only the lanes of the `reported` movers — O(movers), the
+    /// plane-side analogue of `SpatialGrid::update_reported`. Falls back
+    /// to a full [`PositionPlane::rebuild`] when the node count changed.
+    ///
+    /// # Contract
+    /// `reported` must contain every node whose position changed since
+    /// the plane last matched `positions` (supersets are fine). Debug
+    /// builds verify full coherence afterwards with an O(N) sweep.
+    pub fn update_reported(&mut self, positions: &[Point2], reported: &[NodeId]) {
+        if self.len() != positions.len() {
+            self.rebuild(positions);
+            return;
+        }
+        for &id in reported {
+            let i = id.index();
+            let p = positions[i];
+            self.xs[i] = p.x as f32;
+            self.ys[i] = p.y as f32;
+            self.max_abs = self.max_abs.max(p.x.abs()).max(p.y.abs());
+        }
+        debug_assert!(
+            self.is_coherent(positions),
+            "position plane out of sync: a mover was not in the reported set"
+        );
+    }
+
+    /// Number of node lanes (excluding the sentinel).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len().saturating_sub(1)
+    }
+
+    /// Is the plane empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The x/y lane arrays, `len() + 1` entries each (the last is the
+    /// `INFINITY` sentinel lane).
+    #[inline]
+    pub fn lanes(&self) -> (&[f32], &[f32]) {
+        (&self.xs, &self.ys)
+    }
+
+    /// The lane of `id`, mapping any out-of-range id (e.g. the grid's
+    /// `VACANT` sentinel) onto the infinite sentinel lane.
+    #[inline]
+    pub fn lane(&self, id: NodeId) -> (f32, f32) {
+        let i = (id.index()).min(self.len());
+        (self.xs[i], self.ys[i])
+    }
+
+    /// Largest absolute coordinate mirrored since the last full rebuild.
+    #[inline]
+    pub fn max_abs_coord(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Does every lane mirror its `Point2` exactly (`x as f32`)? Test and
+    /// debug-assert oracle for the coherence contract.
+    pub fn is_coherent(&self, positions: &[Point2]) -> bool {
+        self.len() == positions.len()
+            && positions.iter().enumerate().all(|(i, p)| {
+                self.xs[i].to_bits() == (p.x as f32).to_bits()
+                    && self.ys[i].to_bits() == (p.y as f32).to_bits()
+            })
+            && self.xs[self.len()] == f32::INFINITY
+            && self.ys[self.len()] == f32::INFINITY
+    }
+
+    /// The conservative classification band around `range²` for kernels
+    /// scanning 3×3 cell balls of a grid with the given `cell_side`
+    /// (see the module docs for the derivation).
+    pub fn band(&self, range: f64, cell_side: f64) -> KernelBand {
+        let u = f32::EPSILON as f64;
+        let c = self.max_abs;
+        // Largest per-axis separation the band must certify: anything a
+        // 3×3 ball can pair up, one cell side each way around the center
+        // cell (accepts self-certify |dx| ≤ range + e_dx < d, see docs).
+        let d = 2.0 * cell_side.max(range);
+        let e_dx = u * (2.0 * c + d);
+        let de = d + e_dx;
+        // Per-axis: |fl(dx̂²) − dx²| ≤ e_dx(2d + e_dx) + u·de²; two axes
+        // plus the final f32 add contribute one more u·de² each.
+        let e = 2.0 * (e_dx * (2.0 * d + e_dx) + u * de * de) + 2.0 * u * de * de;
+        let e = 2.0 * e; // safety doubling — borderline checks are cheap
+        let r_sq = range * range;
+        // Absorb the f64→f32 rounding of the thresholds themselves.
+        let pad = 4.0 * u * r_sq.max(1.0);
+        KernelBand {
+            lo: (r_sq - e - pad).max(0.0) as f32,
+            hi: (r_sq + e + pad) as f32,
+            r_sq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_mirrors_positions_exactly() {
+        let positions = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(123.456789, 987.654321),
+            Point2::new(31749.99, 0.125),
+        ];
+        let plane = PositionPlane::with_positions(&positions);
+        assert_eq!(plane.len(), 3);
+        assert!(plane.is_coherent(&positions));
+        assert_eq!(plane.lane(NodeId::new(1)).0, 123.456789f64 as f32);
+        // out-of-range ids (the grid VACANT sentinel) hit the sentinel lane
+        assert_eq!(plane.lane(NodeId::new(u32::MAX)).0, f32::INFINITY);
+        assert!((plane.max_abs_coord() - 31749.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_reported_refreshes_only_movers_and_stays_coherent() {
+        let mut positions = vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
+        let mut plane = PositionPlane::with_positions(&positions);
+        positions[1] = Point2::new(5.5, 6.5);
+        plane.update_reported(&positions, &[NodeId::new(1)]);
+        assert!(plane.is_coherent(&positions));
+        // node-count change falls back to a full rebuild
+        positions.push(Point2::new(7.0, 8.0));
+        plane.update_reported(&positions, &[]);
+        assert!(plane.is_coherent(&positions));
+    }
+
+    #[test]
+    fn max_abs_ratchets_up_across_reported_updates() {
+        let mut positions = vec![Point2::new(10.0, 10.0)];
+        let mut plane = PositionPlane::with_positions(&positions);
+        positions[0] = Point2::new(500.0, 10.0);
+        plane.update_reported(&positions, &[NodeId::new(0)]);
+        assert!(plane.max_abs_coord() >= 500.0);
+        // moving back down does not lower the bound until a rebuild
+        positions[0] = Point2::new(10.0, 10.0);
+        plane.update_reported(&positions, &[NodeId::new(0)]);
+        assert!(plane.max_abs_coord() >= 500.0);
+        plane.rebuild(&positions);
+        assert!(plane.max_abs_coord() < 11.0);
+    }
+
+    /// The band is sound on a dense sweep of near-boundary pairs: f32
+    /// classification through the band never disagrees with the exact
+    /// f64 decision.
+    #[test]
+    fn band_classification_matches_exact_decisions() {
+        let range = 50.0;
+        let mut disagreements = 0u32;
+        let mut borderline = 0u32;
+        for k in 0..4000 {
+            // pair distances swept densely through [range - δ, range + δ]
+            let delta = (k as f64 - 2000.0) * 1e-5;
+            let a = Point2::new(700.0, 700.0);
+            let b = Point2::new(
+                700.0 + (range + delta) / f64::sqrt(2.0),
+                700.0 + (range + delta) / f64::sqrt(2.0),
+            );
+            let positions = [a, b];
+            let plane = PositionPlane::with_positions(&positions);
+            let band = plane.band(range, range);
+            let (ax, ay) = plane.lane(NodeId::new(0));
+            let (bx, by) = plane.lane(NodeId::new(1));
+            let (dx, dy) = (bx - ax, by - ay);
+            let d2 = dx * dx + dy * dy;
+            let exact = a.dist_sq(b) <= band.r_sq;
+            let kernel = if d2 <= band.lo {
+                true
+            } else if d2 > band.hi {
+                false
+            } else {
+                borderline += 1;
+                a.dist_sq(b) <= band.r_sq
+            };
+            if kernel != exact {
+                disagreements += 1;
+            }
+        }
+        assert_eq!(disagreements, 0, "kernel band produced a wrong decision");
+        assert!(borderline > 0, "the sweep must actually cross the band");
+    }
+
+    /// Fast accepts and rejects are each individually sound: a `<= lo`
+    /// classification implies the exact test passes, a `> hi` one implies
+    /// it fails — checked over coordinates large enough that f32 lanes
+    /// lose real precision (the N=10⁶ field regime).
+    #[test]
+    fn band_fast_paths_are_sound_at_large_coordinates() {
+        let range = 50.0;
+        let (mut accepts, mut rejects) = (0u32, 0u32);
+        for k in 0..2000 {
+            let base = 31_000.0 + (k as f64) * 0.37;
+            let d = range - 2.0 + (k as f64) * 0.002; // sweep 48..52 m
+            let a = Point2::new(base, base * 0.5);
+            let b = Point2::new(base + d * 0.6, base * 0.5 + d * 0.8);
+            let positions = [a, b];
+            let plane = PositionPlane::with_positions(&positions);
+            let band = plane.band(range, range);
+            let (ax, ay) = plane.lane(NodeId::new(0));
+            let (bx, by) = plane.lane(NodeId::new(1));
+            let (dx, dy) = (bx - ax, by - ay);
+            let d2 = dx * dx + dy * dy;
+            if d2 <= band.lo {
+                accepts += 1;
+                assert!(a.dist_sq(b) <= band.r_sq, "unsound fast accept");
+            } else if d2 > band.hi {
+                rejects += 1;
+                assert!(a.dist_sq(b) > band.r_sq, "unsound fast reject");
+            }
+        }
+        assert!(
+            accepts > 0 && rejects > 0,
+            "sweep must exercise both fast paths"
+        );
+    }
+
+    #[test]
+    fn precision_collapse_degrades_to_exact_checks_only() {
+        // Coordinates so large that the error band swallows range²: lo
+        // clamps to zero (no fast accepts), hi stays above every in-range
+        // pair (no false rejects) — performance degrades, decisions don't.
+        let positions = vec![Point2::new(4.0e9, 4.0e9)];
+        let plane = PositionPlane::with_positions(&positions);
+        let band = plane.band(50.0, 50.0);
+        assert_eq!(band.lo, 0.0);
+        assert!(band.hi as f64 > 2500.0);
+    }
+}

@@ -30,6 +30,7 @@ use card_manet::sim::time::SimDuration;
 use card_manet::topology::graph::{Adjacency, PatchScratch};
 use card_manet::topology::grid::SpatialGrid;
 use card_manet::topology::node::NodeId;
+use card_manet::topology::plane::{KernelScratch, PositionPlane};
 use proptest::prelude::*;
 
 /// Compare every observable of the two table sets.
@@ -377,6 +378,90 @@ proptest! {
             );
         }
     }
+
+    /// The SoA `PositionPlane` stays lane-for-lane coherent with the f64
+    /// `Point2` array across mobility ticks of every model — through patch
+    /// ticks, churn fallbacks and interleaved report-free/scalar refreshes.
+    #[test]
+    fn network_plane_stays_coherent(
+        seed in 0u64..500,
+        kind in 0u64..4,
+        steps in 2usize..7,
+    ) {
+        let scenario = Scenario::new(70, 350.0, 350.0, 60.0);
+        let mut net = Network::from_scenario(&scenario, 2, seed);
+        prop_assert!(net.position_plane().is_coherent(net.positions()));
+        let mut model = mobility_model(kind, 70, scenario.field(), seed);
+        for step in 0..steps {
+            match step % 3 {
+                // the mover-driven kernel patch (or its churn fallback)
+                0 => net.advance(model.as_mut(), SimDuration::from_millis(800)),
+                // the report-free kernel rebuild
+                1 => {
+                    net.advance_positions_only(model.as_mut(), SimDuration::from_millis(800));
+                    net.refresh();
+                }
+                // the scalar reference rebuild must re-mirror the plane too
+                _ => {
+                    net.advance_positions_only(model.as_mut(), SimDuration::from_millis(800));
+                    net.refresh_full();
+                }
+            }
+            prop_assert!(
+                net.position_plane().is_coherent(net.positions()),
+                "plane incoherent after step {} (model kind {})", step, kind
+            );
+        }
+    }
+
+    /// Borderline-pair stress at the network level: node clusters whose
+    /// pair distances are dithered within (a few ulps of) the f32 error
+    /// band around the transmission range, then creep motion keeping them
+    /// there. The kernel-driven network must stay bit-identical to the
+    /// scalar rebuild-everything reference — every near-range link
+    /// decision resolved exactly.
+    #[test]
+    fn network_borderline_dither_equals_full(
+        seed in 0u64..500,
+        dithers in proptest::collection::vec(-300i64..300, 20..60),
+        steps in 1usize..4,
+    ) {
+        let range = 60.0;
+        let field = Field::square(350.0);
+        // chain the nodes at near-range spacings with sub-f32-ulp dither
+        let positions: Vec<Point2> = dithers.iter().enumerate().map(|(k, &d)| {
+            let dither = d as f64 * 1e-8;
+            let step = range * 0.5 + dither;
+            Point2::new(
+                (20.0 + (k as f64 * step) % 310.0).clamp(0.0, 350.0),
+                (20.0 + ((k / 5) as f64) * (range + dither)).clamp(0.0, 350.0),
+            )
+        }).collect();
+        let mut inc = Network::from_positions(field, positions.clone(), range, 2);
+        let mut full = Network::from_positions(field, positions, range, 2);
+        assert_equivalent(&inc, &full);
+        let mk = || RandomWalk::new(
+            dithers.len(),
+            field,
+            1e-7,
+            3e-6,
+            2.0,
+            SeedSplitter::new(seed).stream("borderline-equiv", 0),
+        );
+        let (mut mi, mut mf) = (mk(), mk());
+        for step in 0..steps {
+            inc.advance(&mut mi, SimDuration::from_secs(1));
+            full.advance_positions_only(&mut mf, SimDuration::from_secs(1));
+            full.refresh_full();
+            assert_equivalent(&inc, &full);
+            prop_assert_eq!(
+                inc.adj().canonical_csr(),
+                full.adj().canonical_csr(),
+                "borderline CSR diverged at step {}", step
+            );
+            prop_assert!(inc.position_plane().is_coherent(inc.positions()));
+        }
+    }
 }
 
 #[test]
@@ -448,6 +533,104 @@ fn patch_survives_node_count_transitions() {
         assert_eq!(
             adj.canonical_csr(),
             Adjacency::build(field, &positions, 50.0).canonical_csr()
+        );
+    }
+}
+
+#[test]
+fn kernel_patch_survives_node_count_transitions() {
+    // The kernel twin of `patch_survives_node_count_transitions`: the
+    // plane-backed patch path through a shrink of the node set. The plane
+    // must re-mirror itself on the count change and every CSR stay equal
+    // to the from-scratch build.
+    let scenario = Scenario::new(60, 400.0, 400.0, 50.0);
+    let field = scenario.field();
+    let (mut positions, _) = scenario.instantiate(11);
+    let mut grid = SpatialGrid::new(field, 50.0);
+    let mut plane = PositionPlane::new();
+    let mut kscratch = KernelScratch::new();
+    let mut adj = Adjacency::with_nodes(positions.len());
+    adj.rebuild_with_grid_parallel(&mut grid, &mut plane, &positions, 50.0, &mut kscratch);
+    let mut scratch = PatchScratch::new();
+    let mut changed = Vec::new();
+    let mut movers = Vec::new();
+
+    let mut tick = |adj: &mut Adjacency,
+                    grid: &mut SpatialGrid,
+                    plane: &mut PositionPlane,
+                    kscratch: &mut KernelScratch,
+                    positions: &[Point2],
+                    movers: &[NodeId]| {
+        adj.patch_with_grid_kernel(
+            grid,
+            plane,
+            positions,
+            50.0,
+            movers,
+            movers,
+            &mut changed,
+            &mut scratch,
+            kscratch,
+        );
+        assert!(plane.is_coherent(positions), "plane incoherent");
+        assert_eq!(
+            adj.canonical_csr(),
+            Adjacency::build(field, positions, 50.0).canonical_csr()
+        );
+    };
+
+    let mut model = RandomWalk::new_with_dwell(
+        60,
+        field,
+        0.5,
+        2.0,
+        1.0,
+        0.9,
+        SeedSplitter::new(3).stream("kernel-count-change", 0),
+    );
+    for _ in 0..3 {
+        model.advance_reporting(&mut positions, SimDuration::from_millis(500), &mut movers);
+        tick(
+            &mut adj,
+            &mut grid,
+            &mut plane,
+            &mut kscratch,
+            &positions,
+            &movers,
+        );
+    }
+    // shrink: patch detects the count change, falls back to the parallel
+    // kernel rebuild, and the plane re-mirrors the shorter array
+    positions.truncate(40);
+    tick(
+        &mut adj,
+        &mut grid,
+        &mut plane,
+        &mut kscratch,
+        &positions,
+        &[],
+    );
+    assert_eq!(adj.node_count(), 40);
+    assert_eq!(plane.len(), 40);
+    // and kernel patching keeps working on the new population
+    let mut model = RandomWalk::new_with_dwell(
+        40,
+        field,
+        0.5,
+        2.0,
+        1.0,
+        0.9,
+        SeedSplitter::new(3).stream("kernel-count-change", 1),
+    );
+    for _ in 0..3 {
+        model.advance_reporting(&mut positions, SimDuration::from_millis(500), &mut movers);
+        tick(
+            &mut adj,
+            &mut grid,
+            &mut plane,
+            &mut kscratch,
+            &positions,
+            &movers,
         );
     }
 }
