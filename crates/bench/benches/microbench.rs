@@ -798,6 +798,50 @@ fn bench_query_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven drive loop vs the tick-synchronous reference at
+/// N = 10000 (scenario-5 density, the populations of `repro scale-events`):
+/// each iteration advances the same live world by one virtual second
+/// through `card_core::EventDriver`. *dense* walks every node every tick
+/// (the event loop degenerates to the tick loop — parity is the guard);
+/// *sparse* is the 99.99%-dwell small-region population where the event
+/// loop sleeps through quiescent windows and must sit several times under
+/// its tick twin. Validation is pushed out past the measured horizon so
+/// the ids price the mobility/event machinery, not the validation sweep.
+fn bench_drive_loops(c: &mut Criterion) {
+    use card_core::DriveMode;
+    use experiments::scale_events::{partition, MotionProfile, REGION_NODES};
+    let n = 10_000usize;
+    let scenario = scaled_scenario(n);
+    let cfg = CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_seed(29);
+    for (loop_name, mode) in [
+        ("tick_loop", DriveMode::Tick),
+        ("event_loop", DriveMode::Event),
+    ] {
+        for (label, motion) in [
+            ("dense", MotionProfile::Dense),
+            ("sparse", MotionProfile::Sparse),
+        ] {
+            c.bench_function(format!("{loop_name}/n{n}/{label}"), |b| {
+                let mut config = cfg;
+                config.validation_period = SimDuration::from_secs(1_000_000);
+                let mut world = card_core::CardWorld::build(&scaled_scenario(n), config);
+                world.select_all_contacts();
+                let mut model = partition(&scenario, motion, REGION_NODES, 29);
+                let mut driver = card_core::EventDriver::new(&world, &model, mode, Vec::new());
+                b.iter(|| {
+                    driver.drive(&mut world, &mut model, SimDuration::from_secs(1));
+                    black_box(driver.report().events_processed)
+                })
+            });
+        }
+    }
+}
+
 criterion_group! {
     name = micro;
     config = bench::config();
@@ -818,5 +862,6 @@ criterion_group! {
         bench_csq_walk,
         bench_protocol_sweeps,
         bench_query_engine,
+        bench_drive_loops,
 }
 criterion_main!(micro);

@@ -46,27 +46,33 @@
 pub mod config;
 pub mod contact;
 pub mod csq;
+pub mod events;
 pub mod hints;
 pub mod maintenance;
 pub mod query;
 pub mod reachability;
 pub mod resources;
 pub mod selection;
+pub mod standing;
 pub mod world;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::config::{CardConfig, SelectionMethod};
     pub use crate::contact::{Contact, ContactTable};
+    pub use crate::events::{Arrival, ArrivalKind, DriveMode, DriveReport, EventDriver};
     pub use crate::hints::{HintStats, HintStore};
     pub use crate::query::{QueryOutcome, QueryScratch};
     pub use crate::reachability::{ReachabilitySummary, REACH_BUCKET_PCT};
     pub use crate::resources::{ResourceDistribution, ResourceId, ResourceRegistry};
+    pub use crate::standing::{StandingQueries, StandingQuery, StandingState, StandingStats};
     pub use crate::world::CardWorld;
 }
 
 pub use config::{CardConfig, SelectionMethod};
 pub use contact::{Contact, ContactTable};
+pub use events::{Arrival, ArrivalKind, DriveMode, DriveReport, EventDriver};
 pub use query::{QueryOutcome, QueryScratch};
 pub use reachability::ReachabilitySummary;
+pub use standing::{StandingQueries, StandingQuery, StandingState, StandingStats};
 pub use world::CardWorld;

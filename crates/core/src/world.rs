@@ -61,11 +61,12 @@ use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use crate::hints::{HintDeposit, HintStats, HintStore};
 use crate::maintenance::{validate_contacts, ValidationReport};
 use crate::query::{
-    dsq_query, dsq_query_hinted, dsq_query_hinted_unrecorded, dsq_query_unrecorded, HintContext,
-    QueryOutcome, QueryScratch,
+    dsq_query, dsq_query_hinted, dsq_query_hinted_unrecorded, dsq_query_unrecorded,
+    escalate_unrecorded, HintContext, QueryOutcome, QueryScratch,
 };
 use crate::reachability::ReachabilitySummary;
 use crate::resources::{resource_query, resource_query_hinted, ResourceId, ResourceRegistry};
+use crate::standing::StandingQueries;
 use manet_routing::network::DirtyReport;
 
 /// Aggregated maintenance counters over a whole run.
@@ -163,6 +164,10 @@ pub struct CardWorld {
     hint_stats: HintStats,
     /// Reusable deposit log for the live single-query path.
     hint_deposits: Vec<HintDeposit>,
+    /// Long-lived standing subscriptions (see [`crate::standing`]).
+    standing: StandingQueries,
+    /// Reusable drain buffer for pending standing-query revalidations.
+    standing_ids: Vec<u32>,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
@@ -229,6 +234,8 @@ impl CardWorld {
                 .then(|| HintStore::new(n, cfg.hint_slots_per_bucket, cfg.hint_ttl)),
             hint_stats: HintStats::default(),
             hint_deposits: Vec::new(),
+            standing: StandingQueries::new(n),
+            standing_ids: Vec::new(),
         }
     }
 
@@ -982,6 +989,190 @@ impl CardWorld {
             }
         }
         self.now = base + duration;
+    }
+
+    // -----------------------------------------------------------------
+    // Event-driven pipeline hooks (see `crate::events::EventDriver`).
+    //
+    // `run_mobile` above is the retained tick-synchronous reference; the
+    // methods below expose its per-event bodies so the driver can invoke
+    // them from an externally-owned schedule. Each one must stay
+    // bit-identical to the corresponding arm of `run_mobile` (plus the
+    // standing-query and audit extensions, which both drive modes share),
+    // which `tests/event_equivalence.rs` pins.
+    // -----------------------------------------------------------------
+
+    /// Advance the virtual clock to `t` (event delivery). Never rewinds.
+    pub(crate) fn set_now(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "virtual time must not rewind");
+        self.now = t;
+    }
+
+    /// Mutable node positions for the driver's per-region mobility
+    /// advances; every mutation must be followed by
+    /// [`CardWorld::event_mobility_refresh`] with the mover report.
+    pub(crate) fn positions_mut(&mut self) -> &mut [net_topology::geometry::Point2] {
+        self.net.positions_mut()
+    }
+
+    /// The post-motion half of a mobility tick, factored out of
+    /// [`CardWorld::run_mobile`]'s `MobilityTick` arm: refresh connectivity
+    /// around `movers`, evict route hints held at dirty nodes, revalidate
+    /// the standing queries whose chains the dirty set touches, and (only
+    /// when something moved — so both drive modes advance the sampling
+    /// cursor identically) run the sampled grid-residency audit. Returns
+    /// the number of audit violations (0 in a healthy pipeline).
+    pub fn event_mobility_refresh(&mut self, movers: &[NodeId], audit_samples: usize) -> usize {
+        self.net.refresh_movers(movers);
+        if let Some(store) = &mut self.hints {
+            match self.net.dirty_report() {
+                DirtyReport::All => {
+                    self.hint_stats.evicted_mobility += store.invalidate_all() as u64;
+                }
+                DirtyReport::Exact(dirty) => {
+                    for &node in dirty {
+                        self.hint_stats.evicted_mobility += store.invalidate_node(node) as u64;
+                    }
+                }
+            }
+        }
+        if !self.standing.is_empty() {
+            match self.net.dirty_report() {
+                DirtyReport::All => self.standing.mark_all(),
+                DirtyReport::Exact(dirty) => {
+                    for &node in dirty {
+                        self.standing.mark_node_dirty(node);
+                    }
+                }
+            }
+            self.standing_revalidate_marked();
+        }
+        if movers.is_empty() || audit_samples == 0 {
+            0
+        } else {
+            self.net.audit_grid_residency(audit_samples)
+        }
+    }
+
+    /// A validation round plus the standing-query recheck: maintenance may
+    /// rewrite contact tables wholesale, so every standing chain is marked
+    /// and revalidated (broken queries use the round as their retry
+    /// heartbeat).
+    pub fn event_validation_round(&mut self) {
+        self.validation_round();
+        if !self.standing.is_empty() {
+            self.standing.mark_all();
+            self.standing_revalidate_marked();
+        }
+    }
+
+    /// Register a standing subscription from `source` for `target` and
+    /// resolve it immediately (a fresh escalation, recorded as
+    /// `StandingDsq`/`StandingReply` messages). Returns the query id; the
+    /// subscription is kept resolved by the event pipeline from here on.
+    pub fn standing_register(&mut self, source: NodeId, target: NodeId) -> u32 {
+        let id = self.standing.register(source, target, self.now);
+        self.standing_resolve(id, true);
+        id
+    }
+
+    /// The standing-query table (chains, states, lifecycle counters).
+    pub fn standing_queries(&self) -> &StandingQueries {
+        &self.standing
+    }
+
+    /// Resolve (or re-resolve) standing query `id`: depth-0 if the target
+    /// sits in the source's own neighborhood, otherwise a full escalation
+    /// whose answer chain is captured from the walk's parent pointers.
+    fn standing_resolve(&mut self, id: u32, initial: bool) {
+        let CardWorld {
+            net,
+            cfg,
+            contacts,
+            stats,
+            now,
+            query_scratch,
+            standing,
+            ..
+        } = self;
+        let (source, target) = {
+            let q = standing.get(id);
+            (q.source, q.target)
+        };
+        let tables = net.tables();
+        if tables.of(source).contains(target) {
+            standing.set_resolved(id, vec![source], *now, initial);
+            return;
+        }
+        let scratch = &mut query_scratch[0];
+        let mut answer = None;
+        let out = escalate_unrecorded(
+            net.node_count(),
+            contacts,
+            source,
+            cfg.depth,
+            scratch,
+            |c| {
+                let hit = tables.of(c).contains(target);
+                if hit {
+                    answer = Some(c);
+                }
+                hit
+            },
+        );
+        stats.record_n(*now, MsgKind::StandingDsq, out.query_msgs);
+        stats.record_n(*now, MsgKind::StandingReply, out.reply_msgs);
+        match answer {
+            Some(c) => {
+                let mut path = Vec::new();
+                scratch.walk_path(c, &mut path);
+                standing.set_resolved(id, path, *now, initial);
+            }
+            None => standing.set_failed(id),
+        }
+    }
+
+    /// Probe standing query `id`'s cached chain against the live contact
+    /// and neighborhood tables: each consecutive pair must still be a live
+    /// contact (charging its path hops as probe messages), and the target
+    /// must still sit in the tail's neighborhood (a free local check).
+    fn standing_probe(&self, id: u32) -> (bool, u64) {
+        let q = self.standing.get(id);
+        let mut msgs = 0u64;
+        for w in q.path.windows(2) {
+            match self.contacts[w[0].index()].get(w[1]) {
+                Some(c) => msgs += c.hops() as u64,
+                None => return (false, msgs),
+            }
+        }
+        let last = *q.path.last().expect("resolved chain is non-empty");
+        (self.net.tables().of(last).contains(q.target), msgs)
+    }
+
+    /// Drain the pending revalidation marks in id order: probe resolved
+    /// chains (breaking failures), then immediately re-resolve everything
+    /// broken. A failed re-resolve stays broken until the next mark.
+    fn standing_revalidate_marked(&mut self) {
+        if !self.standing.has_marks() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.standing_ids);
+        self.standing.take_marked(&mut ids);
+        for &id in &ids {
+            self.standing.note_revalidation();
+            if self.standing.get(id).is_resolved() {
+                let (valid, probe_msgs) = self.standing_probe(id);
+                self.stats
+                    .record_n(self.now, MsgKind::StandingProbe, probe_msgs);
+                if valid {
+                    continue;
+                }
+                self.standing.record_break(id, self.now);
+            }
+            self.standing_resolve(id, false);
+        }
+        ids.clear();
+        self.standing_ids = ids;
     }
 }
 

@@ -67,8 +67,12 @@ fn main() {
     if which.is_empty() && opts.nodes.is_some() {
         which.push("scale".to_string());
     }
-    if opts.nodes.is_some() && !which.iter().any(|w| w == "scale" || w == "scale-raw") {
-        usage("--nodes only applies to the scale / scale-raw experiments");
+    if opts.nodes.is_some()
+        && !which
+            .iter()
+            .any(|w| w == "scale" || w == "scale-raw" || w == "scale-events")
+    {
+        usage("--nodes only applies to the scale / scale-raw / scale-events experiments");
     }
     if which.is_empty() {
         usage("choose an experiment or `all`");
@@ -92,6 +96,7 @@ fn main() {
             "resources" => resources_cmd(&opts),
             "scale" => scale_cmd(&opts),
             "scale-raw" => scale_raw_cmd(&opts),
+            "scale-events" => scale_events_cmd(&opts),
             "all" => {
                 table1_cmd(&opts);
                 fig3_4_cmd(&opts);
@@ -118,10 +123,12 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
+        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|scale-events|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
          scale runs are excluded from `all` (minutes at N=10^5); invoke them\n\
          explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`.\n\
-         `repro scale-raw` runs the N=10^6 topology-only raw-speed tier."
+         `repro scale-raw` runs the N=10^6 topology-only raw-speed tier.\n\
+         `repro scale-events` races the event-driven drive against the tick\n\
+         reference at N=10^5 (fidelity asserted in-run)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -320,4 +327,19 @@ fn scale_raw_cmd(opts: &Options) {
     }
     let rows = scale::run_raw(&p);
     println!("{}", scale::render_raw(&p, &rows));
+}
+
+fn scale_events_cmd(opts: &Options) {
+    stamp("scale-events");
+    let mut p = if opts.quick {
+        scale_events::Params::quick()
+    } else {
+        scale_events::Params::default()
+    };
+    p.seed = opts.seed;
+    if let Some(nodes) = &opts.nodes {
+        p.nodes = nodes.clone();
+    }
+    let rows = scale_events::run(&p);
+    println!("{}", scale_events::render(&p, &rows));
 }

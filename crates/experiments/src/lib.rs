@@ -19,6 +19,7 @@
 //! repro resources         # extension: §V resource-distribution study
 //! repro scale             # extension: N = 10⁴–10⁵ substrate + protocol runs
 //! repro scale --nodes N   # scale runs at a chosen N (no recompile)
+//! repro scale-events      # extension: event-driven vs tick-driven drive at N = 10⁵
 //! repro all               # everything, paper-sized
 //! repro all --quick       # everything, small sizes (seconds)
 //! ```
@@ -41,6 +42,7 @@ pub mod mobile;
 pub mod output;
 pub mod runner;
 pub mod scale;
+pub mod scale_events;
 pub mod table1;
 
 /// Default root seed for all experiments (every run is deterministic).

@@ -1,0 +1,534 @@
+//! Event-driven vs tick-driven pipeline at scale (`repro scale-events`).
+//!
+//! The event core ([`card_core::events::EventDriver`]) promises two things:
+//! *fidelity* — at matching virtual instants the event-driven world is
+//! bit-identical to the tick-synchronous reference — and *speed* — in
+//! sparse-motion regimes, where whole regions dwell through long still
+//! windows, virtual time advances much faster per wall second because
+//! quiescent regions sleep instead of ticking. This tier measures both at
+//! N = 10⁵ (scenario-5 density, like the other scale tiers):
+//!
+//! * **dense motion** — every node walks every tick (no quiescent
+//!   windows), so the event loop degenerates to the tick loop and the
+//!   columns demonstrate parity: same refresh count, zero skipped ticks,
+//!   wall time within noise of the tick driver;
+//! * **sparse motion** — a heavy-dwell population (pause probability
+//!   0.9999, long dwell epochs) partitioned into
+//!   small mobility regions, so most regions are fully paused at any
+//!   instant and the event loop skips their wake-ups wholesale. The
+//!   regime models a quiescent service-style deployment, so it runs a
+//!   service-style maintenance cadence too: a 3× longer horizon with the
+//!   contact-validation period stretched to match (one round per
+//!   horizon) — periodic validation is identical protocol work in both
+//!   columns, so a tick-rate cadence would only flatten the comparison
+//!   the tier exists to make. The headline column is the virtual-time
+//!   advance rate (virtual seconds per wall second) against the tick
+//!   driver's — the sparse regime targets a ≥ 5× speed-up at equal
+//!   fidelity.
+//!
+//! Every run carries a live workload — query arrivals plus
+//! [`STANDING_SUBSCRIPTIONS`] standing subscriptions that resolve, break
+//! under churn and re-resolve — and both drivers execute it at identical
+//! virtual instants. Fidelity is *asserted in-run*: after both drives the
+//! canonical CSR adjacency, the bucketed message series, the maintenance
+//! totals and the full standing-query state must be equal, or the tier
+//! panics. The table's `events/s` column is delivered events per wall
+//! second; `virt×` is virtual seconds advanced per wall second.
+//!
+//! Run from the CLI with `repro scale-events`, overriding node counts
+//! with `--nodes N` — no recompile needed.
+
+use crate::output::markdown_table;
+use crate::scale::scaled_scenario;
+use card_core::{Arrival, ArrivalKind, CardConfig, CardWorld, DriveMode, EventDriver};
+use mobility::walk::RandomWalk;
+use mobility::RegionalMobility;
+use net_topology::node::NodeId;
+use net_topology::scenario::Scenario;
+use sim_core::rng::SeedSplitter;
+use sim_core::time::SimDuration;
+use std::time::Instant;
+
+/// Nodes per mobility region. Small regions make quiescent windows long:
+/// a region sleeps until its *earliest* dwell expiry, so the fewer nodes
+/// share a region, the further that minimum sits from now.
+pub const REGION_NODES: usize = 32;
+
+/// Standing subscriptions registered by each run's workload.
+pub const STANDING_SUBSCRIPTIONS: usize = 32;
+
+/// One-shot query arrivals in each run's workload.
+pub const QUERY_ARRIVALS: usize = 96;
+
+/// Motion regime of one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MotionProfile {
+    /// Every node walks every tick: zero quiescent windows, the parity
+    /// case for the event loop.
+    Dense,
+    /// Heavy dwell: at any instant almost every region is fully paused
+    /// and the event loop sleeps through its still window.
+    Sparse,
+}
+
+impl MotionProfile {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MotionProfile::Dense => "dense",
+            MotionProfile::Sparse => "sparse",
+        }
+    }
+
+    /// Per-epoch pause probability of the dwell walk.
+    fn pause_prob(self) -> f64 {
+        match self {
+            MotionProfile::Dense => 0.0,
+            MotionProfile::Sparse => 0.9999,
+        }
+    }
+
+    /// Heading/dwell epoch length (seconds). Sparse dwells are long, so
+    /// fully-paused regions yield multi-second quiescent windows.
+    fn epoch_secs(self) -> f64 {
+        match self {
+            MotionProfile::Dense => 10.0,
+            MotionProfile::Sparse => 60.0,
+        }
+    }
+
+    /// Virtual horizon of this regime. The sparse run is 3× longer: its
+    /// point is the steady-state drive cost, so the horizon must dwarf
+    /// the fixed start-up work (world build, the warm-up validation
+    /// round) that both modes pay equally.
+    pub fn virtual_secs(self, p: &Params) -> u64 {
+        match self {
+            MotionProfile::Dense => p.virtual_secs,
+            MotionProfile::Sparse => 3 * p.virtual_secs,
+        }
+    }
+
+    /// Contact-validation period of this regime. Dense uses the tier
+    /// default; sparse stretches the period to its whole horizon — one
+    /// round per run — matching the deployment it models: a mostly-still
+    /// service network maintains contacts on a long cadence. Validation
+    /// is identical protocol work in both drive modes, so a short period
+    /// would only dilute the mobility-drive comparison with a shared
+    /// constant.
+    pub fn validation_period(self, p: &Params) -> SimDuration {
+        match self {
+            MotionProfile::Dense => p.validation_period,
+            MotionProfile::Sparse => SimDuration::from_secs(self.virtual_secs(p)),
+        }
+    }
+}
+
+/// Parameters of the scale-events tier.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Node counts to run (each at scenario-5 density).
+    pub nodes: Vec<usize>,
+    /// Virtual seconds each mode advances in the dense regime; the
+    /// sparse regime runs 3× this (see
+    /// [`MotionProfile::virtual_secs`]).
+    pub virtual_secs: u64,
+    /// Contact-validation period of the dense regime; the sparse regime
+    /// stretches it to its whole horizon (see
+    /// [`MotionProfile::validation_period`]).
+    pub validation_period: SimDuration,
+    /// Zone radius R.
+    pub radius: u16,
+    /// Nodes per mobility region.
+    pub region_nodes: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            nodes: vec![100_000],
+            virtual_secs: 30,
+            validation_period: SimDuration::from_secs(10),
+            radius: 2,
+            region_nodes: REGION_NODES,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Small sizes for CI smoke runs.
+    pub fn quick() -> Self {
+        Params {
+            nodes: vec![2_000],
+            virtual_secs: 8,
+            ..Params::default()
+        }
+    }
+}
+
+/// The protocol configuration of a scale-events run in `motion`'s regime.
+pub fn protocol_config(p: &Params, motion: MotionProfile) -> CardConfig {
+    let mut cfg = CardConfig::default()
+        .with_radius(p.radius)
+        .with_max_contact_distance(4 * p.radius)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_seed(p.seed);
+    cfg.validation_period = motion.validation_period(p);
+    cfg
+}
+
+/// Wall-clock measurements of one drive mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeStats {
+    /// Wall seconds for the whole drive.
+    pub wall_s: f64,
+    /// Events delivered by the engine.
+    pub events: u64,
+    /// Delivered events per wall second.
+    pub events_per_s: f64,
+    /// Virtual seconds advanced per wall second.
+    pub virt_per_wall: f64,
+    /// Region-ticks covered without a wake (0 in tick mode).
+    pub ticks_skipped: u64,
+    /// Topology refreshes performed.
+    pub refreshes: u64,
+}
+
+/// Measured outcome of one (N, motion) run, both modes side by side.
+#[derive(Clone, Debug)]
+pub struct EventsRow {
+    /// The scenario run.
+    pub scenario: Scenario,
+    /// Motion regime.
+    pub motion: MotionProfile,
+    /// Virtual seconds advanced by each mode.
+    pub virtual_secs: u64,
+    /// The tick-synchronous reference drive.
+    pub tick: ModeStats,
+    /// The event-driven drive.
+    pub event: ModeStats,
+    /// Virtual-time speed-up of the event drive over the tick drive
+    /// (`tick.wall_s / event.wall_s`).
+    pub speedup: f64,
+    /// Query arrivals executed (identical in both modes).
+    pub queries: usize,
+    /// How many of them found their target.
+    pub query_hits: usize,
+    /// Standing subscriptions registered.
+    pub standing: usize,
+    /// Standing chains broken by churn over the run.
+    pub standing_breaks: u64,
+    /// Successful re-resolutions after breaks.
+    pub standing_reresolved: u64,
+    /// Total virtual milliseconds subscriptions spent broken.
+    pub standing_broken_ms: f64,
+    /// The in-run bit-identity assertion passed (always true when the
+    /// tier returns at all; the column documents that it was checked).
+    pub fidelity_checked: bool,
+}
+
+/// Build the per-region dwell-walk partition of one run. Called once per
+/// mode with identical arguments, so both drivers own bit-identical
+/// models. Public so the `tick_loop`/`event_loop` micro-benches drive the
+/// exact same populations this tier reports.
+pub fn partition(
+    scenario: &Scenario,
+    motion: MotionProfile,
+    region_nodes: usize,
+    seed: u64,
+) -> RegionalMobility {
+    let splitter = SeedSplitter::new(seed);
+    let mut m = RegionalMobility::new();
+    let mut placed = 0usize;
+    let mut r = 0u64;
+    while placed < scenario.nodes {
+        let len = region_nodes.min(scenario.nodes - placed);
+        m.push_region(
+            len,
+            Box::new(RandomWalk::new_with_dwell(
+                len,
+                scenario.field(),
+                0.5,
+                2.0,
+                motion.epoch_secs(),
+                motion.pause_prob(),
+                splitter.stream("scale-events-mobility", r),
+            )),
+        );
+        placed += len;
+        r += 1;
+    }
+    m
+}
+
+/// The run's workload: standing subscriptions early (so churn has the
+/// whole run to break them), one-shot queries spread across the run.
+fn workload(scenario: &Scenario, virtual_secs: u64, seed: u64) -> Vec<Arrival> {
+    let mut rng = SeedSplitter::new(seed).stream("scale-events-workload", 0);
+    let horizon_ms = virtual_secs * 1000;
+    let mut arrivals = Vec::with_capacity(STANDING_SUBSCRIPTIONS + QUERY_ARRIVALS);
+    for _ in 0..STANDING_SUBSCRIPTIONS {
+        arrivals.push(Arrival {
+            at: SimDuration::from_millis(rng.index((horizon_ms / 4).max(1) as usize) as u64),
+            kind: ArrivalKind::Standing {
+                source: NodeId::from(rng.index(scenario.nodes)),
+                target: NodeId::from(rng.index(scenario.nodes)),
+            },
+        });
+    }
+    for _ in 0..QUERY_ARRIVALS {
+        arrivals.push(Arrival {
+            at: SimDuration::from_millis(rng.index(horizon_ms.max(1) as usize) as u64),
+            kind: ArrivalKind::Query {
+                source: NodeId::from(rng.index(scenario.nodes)),
+                target: NodeId::from(rng.index(scenario.nodes)),
+            },
+        });
+    }
+    arrivals
+}
+
+/// Run every (N, motion) combination of `p`.
+pub fn run(p: &Params) -> Vec<EventsRow> {
+    let mut rows = Vec::new();
+    for &n in &p.nodes {
+        let scenario = scaled_scenario(n);
+        for motion in [MotionProfile::Dense, MotionProfile::Sparse] {
+            rows.push(run_one(&scenario, motion, p));
+        }
+    }
+    rows
+}
+
+fn run_one(scenario: &Scenario, motion: MotionProfile, p: &Params) -> EventsRow {
+    let virtual_secs = motion.virtual_secs(p);
+    let duration = SimDuration::from_secs(virtual_secs);
+    let drive = |mode: DriveMode| {
+        let mut world = CardWorld::build(scenario, protocol_config(p, motion));
+        world.select_all_contacts();
+        let mut model = partition(scenario, motion, p.region_nodes, p.seed);
+        let mut driver = EventDriver::new(
+            &world,
+            &model,
+            mode,
+            workload(scenario, virtual_secs, p.seed),
+        );
+        let t0 = Instant::now();
+        driver.drive(&mut world, &mut model, duration);
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        let report = driver.report().clone();
+        assert_eq!(report.audit_violations, 0, "grid audit failed in {mode:?}");
+        let stats = ModeStats {
+            wall_s,
+            events: report.events_processed,
+            events_per_s: report.events_processed as f64 / wall_s,
+            virt_per_wall: virtual_secs as f64 / wall_s,
+            ticks_skipped: report.region_ticks_skipped,
+            refreshes: report.refreshes,
+        };
+        (world, report, stats)
+    };
+
+    let (tick_world, tick_report, tick_stats) = drive(DriveMode::Tick);
+    let (ev_world, ev_report, ev_stats) = drive(DriveMode::Event);
+
+    // The fidelity contract, asserted at full N: both modes land the same
+    // world, message history and workload answers, bit for bit.
+    assert_eq!(
+        ev_world.network().adj().canonical_csr(),
+        tick_world.network().adj().canonical_csr(),
+        "{motion:?}: adjacency diverged between drive modes"
+    );
+    assert_eq!(
+        ev_world.stats().series_where(|_| true),
+        tick_world.stats().series_where(|_| true),
+        "{motion:?}: message series diverged between drive modes"
+    );
+    assert_eq!(
+        ev_world.maintenance_totals(),
+        tick_world.maintenance_totals(),
+        "{motion:?}: maintenance totals diverged between drive modes"
+    );
+    assert_eq!(
+        ev_world.standing_queries(),
+        tick_world.standing_queries(),
+        "{motion:?}: standing-query state diverged between drive modes"
+    );
+    assert_eq!(
+        ev_report.outcomes, tick_report.outcomes,
+        "{motion:?}: query outcomes diverged between drive modes"
+    );
+
+    let standing_stats = ev_world.standing_queries().stats().clone();
+    EventsRow {
+        scenario: *scenario,
+        motion,
+        virtual_secs,
+        tick: tick_stats,
+        event: ev_stats,
+        speedup: tick_stats.wall_s / ev_stats.wall_s.max(1e-9),
+        queries: ev_report.outcomes.len(),
+        query_hits: ev_report.outcomes.iter().filter(|o| o.found).count(),
+        standing: ev_world.standing_queries().len(),
+        standing_breaks: standing_stats.breaks,
+        standing_reresolved: standing_stats.reresolved,
+        standing_broken_ms: standing_stats.broken_ticks as f64 / 1e3,
+        fidelity_checked: true,
+    }
+}
+
+/// Render the tier as two Markdown tables: drive-mode wall-clock columns,
+/// then the workload (queries + standing subscriptions) columns.
+pub fn render(p: &Params, rows: &[EventsRow]) -> String {
+    let headers = [
+        "N",
+        "Motion",
+        "Virt (s)",
+        "Tick wall (s)",
+        "Event wall (s)",
+        "Tick events/s",
+        "Event events/s",
+        "Tick virt×",
+        "Event virt×",
+        "Ticks skipped",
+        "Refreshes t/e",
+        "Speedup",
+        "Fidelity",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.motion.label().to_string(),
+                r.virtual_secs.to_string(),
+                format!("{:.2}", r.tick.wall_s),
+                format!("{:.2}", r.event.wall_s),
+                format!("{:.0}", r.tick.events_per_s),
+                format!("{:.0}", r.event.events_per_s),
+                format!("{:.2}", r.tick.virt_per_wall),
+                format!("{:.2}", r.event.virt_per_wall),
+                r.event.ticks_skipped.to_string(),
+                format!("{}/{}", r.tick.refreshes, r.event.refreshes),
+                format!("{:.2}x", r.speedup),
+                if r.fidelity_checked {
+                    "bit-identical"
+                } else {
+                    "-"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    let work_headers = [
+        "N",
+        "Motion",
+        "Queries",
+        "Hit %",
+        "Standing",
+        "Breaks",
+        "Re-resolved",
+        "Broken (virt ms)",
+    ];
+    let work_body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.motion.label().to_string(),
+                r.queries.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * r.query_hits as f64 / r.queries.max(1) as f64
+                ),
+                r.standing.to_string(),
+                r.standing_breaks.to_string(),
+                r.standing_reresolved.to_string(),
+                format!("{:.0}", r.standing_broken_ms),
+            ]
+        })
+        .collect();
+    format!(
+        "### Scale events — event-driven vs tick-driven drive at scenario-5 density (tick {:.0} ms, {}-node regions; dense: {} virt s at validation {:.0} s, sparse: {} virt s at a horizon-length maintenance cadence; fidelity asserted in-run)\n\n{}\n\n\
+         ### Scale events — workload executed identically by both modes ({} standing + {} query arrivals)\n\n{}",
+        CardConfig::default().mobility_tick.as_secs_f64() * 1e3,
+        p.region_nodes,
+        MotionProfile::Dense.virtual_secs(p),
+        MotionProfile::Dense.validation_period(p).as_secs_f64(),
+        MotionProfile::Sparse.virtual_secs(p),
+        markdown_table(&headers, &body),
+        STANDING_SUBSCRIPTIONS,
+        QUERY_ARRIVALS,
+        markdown_table(&work_headers, &work_body),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            nodes: vec![400],
+            virtual_secs: 4,
+            validation_period: SimDuration::from_secs(2),
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn both_motions_run_and_fidelity_holds() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].motion, MotionProfile::Dense);
+        assert_eq!(rows[1].motion, MotionProfile::Sparse);
+        for r in &rows {
+            assert!(r.fidelity_checked);
+            assert_eq!(r.queries, QUERY_ARRIVALS);
+            assert_eq!(r.standing, STANDING_SUBSCRIPTIONS);
+            assert!(r.tick.events > 0 && r.event.events > 0);
+            assert!(
+                r.event.events <= r.tick.events,
+                "event mode only elides work"
+            );
+            // tick mode never skips a wake
+            assert_eq!(r.tick.ticks_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn sparse_motion_skips_ticks_dense_does_not() {
+        let rows = run(&tiny());
+        let (dense, sparse) = (&rows[0], &rows[1]);
+        assert_eq!(
+            dense.event.ticks_skipped, 0,
+            "an always-walking population leaves no quiescent window"
+        );
+        assert!(
+            sparse.event.ticks_skipped > 0,
+            "a 99.99%-dwell population must let the event loop sleep"
+        );
+        assert!(
+            sparse.event.events < sparse.tick.events,
+            "skipped wakes must show up as fewer delivered events"
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_column() {
+        let p = tiny();
+        let rows = run(&p);
+        let text = render(&p, &rows);
+        assert!(text.contains("dense"));
+        assert!(text.contains("sparse"));
+        assert!(text.contains("Event events/s"));
+        assert!(text.contains("Event virt×"));
+        assert!(text.contains("Ticks skipped"));
+        assert!(text.contains("Speedup"));
+        assert!(text.contains("bit-identical"));
+        assert!(text.contains("Broken (virt ms)"));
+    }
+}

@@ -740,6 +740,17 @@ impl Network {
         &self.plane
     }
 
+    /// Sampled audit of the spatial grid's residency contract (see
+    /// [`SpatialGrid::audit_residency`]): checks `samples` nodes — a
+    /// rotating window across calls — against their current positions and
+    /// returns the number of stale buckets found. A non-zero count means a
+    /// mobility model under-reported its movers to
+    /// [`Network::refresh_movers`]; this is the cheap release-build
+    /// counterpart of the debug-only sweep inside `update_reported`.
+    pub fn audit_grid_residency(&mut self, samples: usize) -> usize {
+        self.grid.audit_residency(&self.positions, samples)
+    }
+
     /// The last refresh's dirty set, for invalidating caches derived from
     /// the neighborhood tables. `Exact` whenever the refresh retained the
     /// per-node list (all incremental paths, including the no-motion

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 pub mod group;
 pub mod model;
+pub mod regional;
 pub mod statics;
 pub mod walk;
 pub mod waypoint;
@@ -27,12 +28,14 @@ pub mod waypoint;
 pub mod prelude {
     pub use crate::group::GroupMobility;
     pub use crate::model::MobilityModel;
+    pub use crate::regional::RegionalMobility;
     pub use crate::walk::RandomWalk;
     pub use crate::waypoint::RandomWaypoint;
 }
 
 pub use group::GroupMobility;
 pub use model::MobilityModel;
+pub use regional::RegionalMobility;
 pub use statics::StaticModel;
 pub use walk::RandomWalk;
 pub use waypoint::RandomWaypoint;

@@ -49,6 +49,25 @@ pub trait MobilityModel {
     fn is_static(&self) -> bool {
         false
     }
+
+    /// How long the model is *exactly still* from now, if it is.
+    ///
+    /// `Some(d)` is a hard determinism contract the event-driven driver
+    /// relies on to skip wake-ups:
+    ///
+    /// * no position changes and no internal randomness is consumed until
+    ///   at least `d` of virtual time has elapsed, and
+    /// * advancing by steps `s₁…sₖ` (sum `S`) produces bit-identical
+    ///   positions, internal state, and mover reports as one `advance(S)`
+    ///   whenever every intermediate boundary `s₁+…+sᵢ` (`i < k`) lies
+    ///   strictly before `d` — i.e. any subdivision whose interior stays
+    ///   inside the still window is equivalent to the single big step.
+    ///
+    /// `None` means "assume motion is possible immediately" and is always
+    /// sound; it is the default.
+    fn quiescent_for(&self) -> Option<SimDuration> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -31,8 +31,16 @@ struct WalkState {
     theta: f64,
     /// Speed in m/s.
     speed: f64,
-    /// Seconds left in the current epoch.
-    remaining: f64,
+    /// Microseconds left in the current epoch.
+    ///
+    /// Integer ticks, not f64 seconds, on purpose: the event-driven driver
+    /// skips over fully-paused spans in one big `advance`, and the tick
+    /// reference covers the same span with many small ones. Integer
+    /// decrements make those two schedules land every epoch expiry at the
+    /// exact same instant with the exact same residual (`(r - a) - b ==
+    /// r - (a + b)` holds for integers but not for floats), which is what
+    /// keeps the two modes bit-identical.
+    remaining_us: u64,
 }
 
 /// The random-walk model.
@@ -40,7 +48,7 @@ pub struct RandomWalk {
     field: Field,
     v_min: f64,
     v_max: f64,
-    epoch_secs: f64,
+    epoch_us: u64,
     /// Probability of dwelling (speed exactly zero) for an epoch instead
     /// of walking it. Zero draws nothing from the RNG, so plain walks are
     /// stream-compatible with pre-dwell seeds.
@@ -92,14 +100,16 @@ impl RandomWalk {
             (0.0..=1.0).contains(&pause_prob),
             "pause_prob {pause_prob} outside [0, 1]"
         );
+        let epoch_us = (epoch_secs * 1e6).round() as u64;
+        assert!(epoch_us > 0, "epoch must be at least one microsecond");
         let states = (0..n)
-            .map(|_| Self::fresh(v_min, v_max, epoch_secs, pause_prob, &mut rng))
+            .map(|_| Self::fresh(v_min, v_max, epoch_us, pause_prob, &mut rng))
             .collect();
         RandomWalk {
             field,
             v_min,
             v_max,
-            epoch_secs,
+            epoch_us,
             pause_prob,
             states,
             rng,
@@ -109,7 +119,7 @@ impl RandomWalk {
     fn fresh(
         v_min: f64,
         v_max: f64,
-        epoch: f64,
+        epoch_us: u64,
         pause_prob: f64,
         rng: &mut RngStream,
     ) -> WalkState {
@@ -119,7 +129,7 @@ impl RandomWalk {
         let mut st = WalkState {
             theta: rng.range_f64(0.0, std::f64::consts::TAU),
             speed: rng.range_f64(v_min, v_max.max(v_min + f64::EPSILON)),
-            remaining: epoch,
+            remaining_us: epoch_us,
         };
         if dwell {
             st.speed = 0.0;
@@ -127,14 +137,15 @@ impl RandomWalk {
         st
     }
 
-    /// Move one node by `dt_secs`, reflecting at boundaries.
-    fn advance_node(&mut self, pos: &mut Point2, idx: usize, mut dt_secs: f64) {
-        for _ in 0..64 {
-            if dt_secs <= 0.0 {
+    /// Move one node by `dt_us` microseconds, reflecting at boundaries.
+    fn advance_node(&mut self, pos: &mut Point2, idx: usize, mut dt_us: u64) {
+        loop {
+            if dt_us == 0 {
                 return;
             }
             let st = self.states[idx];
-            let step_secs = st.remaining.min(dt_secs);
+            let step_us = st.remaining_us.min(dt_us);
+            let step_secs = step_us as f64 / 1_000_000.0;
             let mut x = pos.x + st.theta.cos() * st.speed * step_secs;
             let mut y = pos.y + st.theta.sin() * st.speed * step_secs;
             let mut theta = st.theta;
@@ -164,19 +175,19 @@ impl RandomWalk {
                 }
             }
             *pos = self.field.clamp(Point2::new(x, y));
-            dt_secs -= step_secs;
-            if st.remaining <= dt_secs + step_secs {
+            dt_us -= step_us;
+            if st.remaining_us == step_us {
                 // epoch expired within this advance
                 self.states[idx] = Self::fresh(
                     self.v_min,
                     self.v_max,
-                    self.epoch_secs,
+                    self.epoch_us,
                     self.pause_prob,
                     &mut self.rng,
                 );
             } else {
                 self.states[idx].theta = theta;
-                self.states[idx].remaining = st.remaining - step_secs;
+                self.states[idx].remaining_us = st.remaining_us - step_us;
             }
         }
     }
@@ -198,11 +209,11 @@ impl RandomWalk {
             self.states.len(),
             positions.len()
         );
-        let dt_secs = dt.as_secs_f64();
+        let dt_us = dt.ticks();
         for i in 0..positions.len() {
             let before = positions[i];
             let mut p = before;
-            self.advance_node(&mut p, i, dt_secs);
+            self.advance_node(&mut p, i, dt_us);
             positions[i] = p;
             if p != before {
                 report(i);
@@ -228,6 +239,22 @@ impl MobilityModel for RandomWalk {
 
     fn name(&self) -> &'static str {
         "random-walk"
+    }
+
+    fn quiescent_for(&self) -> Option<SimDuration> {
+        // Quiescent iff every node dwells: the earliest anything can move
+        // (or draw randomness) is the earliest epoch expiry.
+        let mut min_us = u64::MAX;
+        for st in &self.states {
+            if st.speed != 0.0 {
+                return None;
+            }
+            min_us = min_us.min(st.remaining_us);
+        }
+        if min_us == u64::MAX {
+            return None; // no nodes: nothing to skip over
+        }
+        Some(SimDuration::from_ticks(min_us))
     }
 }
 

@@ -82,6 +82,9 @@ pub struct SpatialGrid {
     cursor: Vec<u32>,
     /// Scratch: `(node, new_cell)` movers of the current update.
     movers: Vec<(u32, u32)>,
+    /// Rotating start index for [`SpatialGrid::audit_residency`], so
+    /// repeated sampled audits sweep the whole population.
+    audit_cursor: u32,
 }
 
 impl SpatialGrid {
@@ -105,6 +108,7 @@ impl SpatialGrid {
             slot_of_node: Vec::new(),
             cursor: Vec::new(),
             movers: Vec::new(),
+            audit_cursor: 0,
         }
     }
 
@@ -279,6 +283,41 @@ impl SpatialGrid {
         let count = movers.len();
         self.movers = movers;
         GridUpdate::Incremental { movers: count }
+    }
+
+    /// Sampled residency audit — the release-build counterpart of the
+    /// debug-only O(N) sweep in [`SpatialGrid::update_reported`].
+    ///
+    /// Checks up to `samples` nodes (a rotating window starting where the
+    /// previous audit stopped, so repeated calls sweep the whole
+    /// population) against the contract that every node is bucketed in the
+    /// cell its current position maps to. Returns the number of violations
+    /// found; any non-zero count means a mobility model under-reported its
+    /// movers and the grid is serving stale buckets. With `samples = N`
+    /// this is exactly the debug sweep, as a count instead of an assert.
+    pub fn audit_residency(&mut self, positions: &[Point2], samples: usize) -> usize {
+        let n = self.cell_of_node.len().min(positions.len());
+        debug_assert_eq!(
+            self.cell_of_node.len(),
+            positions.len(),
+            "auditing against a position slice the grid does not track"
+        );
+        if n == 0 || samples == 0 {
+            return 0;
+        }
+        let mut violations = 0;
+        let mut i = self.audit_cursor as usize % n;
+        for _ in 0..samples.min(n) {
+            if self.cell_of_node[i] != self.cell_index(positions[i]) {
+                violations += 1;
+            }
+            i += 1;
+            if i == n {
+                i = 0;
+            }
+        }
+        self.audit_cursor = i as u32;
+        violations
     }
 
     /// Number of nodes the grid currently tracks residency for (the length
@@ -1069,6 +1108,47 @@ mod tests {
             prop_assert_eq!(&scalar, &mirrored, "mirror kernel diverged");
             prop_assert!(scratch.stats.lanes >= scratch.stats.exact_checks);
         }
+    }
+
+    /// Regression for the release-build gap: `update_reported`'s
+    /// under-report detection used to exist only as a `debug_assert` sweep,
+    /// so release builds silently served stale buckets. The sampled
+    /// `audit_residency` must (a) stay silent on an honest grid, (b) flag a
+    /// stale bucket once its rotating window reaches it, and (c) with a
+    /// full-population sample behave exactly like the debug sweep.
+    #[test]
+    fn sampled_audit_catches_under_reported_movers() {
+        let field = Field::square(100.0);
+        let mut grid = SpatialGrid::new(field, 10.0);
+        let mut positions: Vec<Point2> = (0..16)
+            .map(|i| Point2::new((i % 4) as f64 * 25.0 + 5.0, (i / 4) as f64 * 25.0 + 5.0))
+            .collect();
+        grid.rebuild(&positions);
+        // An honest grid audits clean, whatever the sample size.
+        assert_eq!(grid.audit_residency(&positions, 16), 0);
+        assert_eq!(grid.audit_residency(&positions, 3), 0);
+        // Under-report: node 9 crosses a cell boundary but is never passed
+        // to `update_reported` (mutating `positions` directly models the
+        // mobility bug the audit exists to catch — we cannot route this
+        // through `update_reported` in debug builds, where the sweep
+        // would assert first).
+        positions[9] = Point2::new(95.0, 95.0);
+        assert_eq!(
+            grid.audit_residency(&positions, positions.len()),
+            1,
+            "full-sample audit must find exactly the one stale bucket"
+        );
+        // A small rotating window finds it within ceil(16/4) = 4 calls.
+        let mut found = 0;
+        for _ in 0..4 {
+            found += grid.audit_residency(&positions, 4);
+        }
+        assert_eq!(found, 1, "rotating window must sweep the population");
+        // Zero samples (audit disabled) and empty grids are no-ops.
+        assert_eq!(grid.audit_residency(&positions, 0), 0);
+        let mut empty = SpatialGrid::new(field, 10.0);
+        empty.rebuild(&[]);
+        assert_eq!(empty.audit_residency(&[], 8), 0);
     }
 
     /// Satellite audit: far-field-edge bucketing through the `inv_side`

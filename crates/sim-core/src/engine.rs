@@ -106,6 +106,18 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Timestamp and payload of the event `next_event` would deliver next,
+    /// without delivering it. Returns `None` in exactly the cases
+    /// `next_event` would: an empty queue, or an earliest entry at/after
+    /// the horizon. Event drivers use this to drain every event scheduled
+    /// for one instant before acting on the batch.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        match self.queue.peek() {
+            Some((t, ev)) if t < self.horizon => Some((t, ev)),
+            _ => None,
+        }
+    }
+
     /// Number of pending (not yet delivered) events, including any beyond
     /// the horizon.
     pub fn pending(&self) -> usize {
@@ -230,5 +242,182 @@ mod tests {
         e.schedule_in(SimDuration::ZERO, Ev::Echo(3));
         assert_eq!(e.next_event().unwrap().1, Ev::Echo(2));
         assert_eq!(e.next_event().unwrap().1, Ev::Echo(3));
+    }
+
+    #[test]
+    fn peek_respects_the_horizon() {
+        let mut e = Engine::with_horizon(SimTime::from_secs(5));
+        assert_eq!(e.peek(), None);
+        e.schedule_at(SimTime::from_secs(5), Ev::Tick); // at horizon: hidden
+        assert_eq!(e.peek(), None);
+        e.schedule_at(SimTime::from_secs(2), Ev::Echo(1));
+        assert_eq!(e.peek(), Some((SimTime::from_secs(2), &Ev::Echo(1))));
+        // peeking does not advance the clock or the processed count
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.events_processed(), 0);
+        e.next_event().unwrap();
+        assert_eq!(e.peek(), None);
+        // raising the horizon reveals the retained event
+        e.set_horizon(SimTime::MAX);
+        assert_eq!(e.peek(), Some((SimTime::from_secs(5), &Ev::Tick)));
+    }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// FIFO stability under interleaved scheduling: events pushed at
+            /// already-reached instants (zero delay) and future instants pop
+            /// in (time, insertion) order even when pops interleave pushes.
+            #[test]
+            fn prop_fifo_survives_interleaved_scheduling(
+                ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..200),
+            ) {
+                let mut e = Engine::new();
+                let mut pushed = 0u32;
+                let mut delivered: Vec<(SimTime, u32)> = Vec::new();
+                for &(delay, pop) in &ops {
+                    e.schedule_in(SimDuration::from_ticks(delay), pushed);
+                    pushed += 1;
+                    if pop {
+                        if let Some((t, id)) = e.next_event() {
+                            delivered.push((t, id));
+                        }
+                    }
+                }
+                while let Some((t, id)) = e.next_event() {
+                    delivered.push((t, id));
+                }
+                prop_assert_eq!(delivered.len(), pushed as usize);
+                for w in delivered.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+                    if w[0].0 == w[1].0 {
+                        prop_assert!(
+                            w[0].1 < w[1].1,
+                            "FIFO violated at {:?}: {} before {}",
+                            w[0].0, w[0].1, w[1].1
+                        );
+                    }
+                }
+            }
+
+            /// Horizon semantics: exactly the events strictly before the
+            /// horizon are delivered (in order); the rest stay queued and
+            /// are released, still ordered, when the horizon is raised.
+            #[test]
+            fn prop_horizon_splits_delivery_exactly(
+                times in proptest::collection::vec(0u64..100, 0..100),
+                horizon in 0u64..100,
+            ) {
+                let mut e = Engine::with_horizon(SimTime::from_ticks(horizon));
+                for &t in &times {
+                    e.schedule_at(SimTime::from_ticks(t), t);
+                }
+                let mut early = Vec::new();
+                while let Some((_, v)) = e.next_event() {
+                    early.push(v);
+                }
+                let expect_early = times.iter().filter(|&&t| t < horizon).count();
+                prop_assert_eq!(early.len(), expect_early);
+                prop_assert!(early.iter().all(|&t| t < horizon));
+                prop_assert_eq!(e.pending(), times.len() - expect_early);
+                e.set_horizon(SimTime::MAX);
+                let mut late = Vec::new();
+                while let Some((_, v)) = e.next_event() {
+                    late.push(v);
+                }
+                prop_assert!(late.iter().all(|&t| t >= horizon));
+                let mut all: Vec<u64> = early.into_iter().chain(late).collect();
+                let mut expect = times.clone();
+                all.sort_unstable();
+                expect.sort_unstable();
+                prop_assert_eq!(all, expect);
+            }
+
+            /// Epoch wrap: instants within the last few ticks of the `u64`
+            /// tick space still order, tie-break, and respect the horizon
+            /// correctly, and `checked_add` refuses to wrap past `MAX`.
+            #[test]
+            fn prop_ordering_survives_near_epoch_end(
+                offsets in proptest::collection::vec(0u64..16, 1..50),
+                horizon_back in 0u64..16,
+            ) {
+                let base = u64::MAX - 16;
+                let mut e = Engine::with_horizon(SimTime::from_ticks(u64::MAX - horizon_back));
+                for (i, &off) in offsets.iter().enumerate() {
+                    e.schedule_at(SimTime::from_ticks(base + off), i);
+                }
+                let mut last: Option<(SimTime, usize)> = None;
+                let mut delivered = 0usize;
+                while let Some((t, idx)) = e.next_event() {
+                    prop_assert!(t < e.horizon());
+                    if let Some((lt, lidx)) = last {
+                        prop_assert!(t >= lt);
+                        if t == lt {
+                            prop_assert!(idx > lidx, "FIFO violated near u64::MAX");
+                        }
+                    }
+                    last = Some((t, idx));
+                    delivered += 1;
+                }
+                let expect = offsets
+                    .iter()
+                    .filter(|&&off| base + off < u64::MAX - horizon_back)
+                    .count();
+                prop_assert_eq!(delivered, expect);
+                // the tick space does not wrap: arithmetic past MAX refuses
+                prop_assert_eq!(
+                    SimTime::from_ticks(base).checked_add(SimDuration::from_ticks(17)),
+                    None
+                );
+                prop_assert!(SimTime::from_ticks(base)
+                    .checked_add(SimDuration::from_ticks(16))
+                    .is_some());
+            }
+
+            /// Schedule-during-handle reentrancy: handlers that schedule
+            /// both zero-delay (same-instant) and future events from inside
+            /// `run` see every event delivered exactly once, in (time,
+            /// schedule-order), with the same-instant children delivered
+            /// after their parent but before any later instant.
+            #[test]
+            fn prop_reentrant_scheduling_preserves_order(
+                seedlings in proptest::collection::vec((0u64..6, 0u8..3), 1..30),
+            ) {
+                #[derive(Clone, Copy)]
+                struct Node {
+                    children: u8,
+                }
+                let mut e = Engine::new();
+                for &(t, children) in &seedlings {
+                    e.schedule_at(SimTime::from_ticks(t), Node { children });
+                }
+                let mut trace: Vec<SimTime> = Vec::new();
+                let mut total = seedlings.len();
+                let mut guard = 0usize;
+                while let Some((t, node)) = e.next_event() {
+                    prop_assert_eq!(t, e.now());
+                    trace.push(t);
+                    // children split between "same instant" and "later"
+                    for c in 0..node.children {
+                        let delay = if c % 2 == 0 { 0 } else { 1 + c as u64 };
+                        e.schedule_in(
+                            SimDuration::from_ticks(delay),
+                            Node { children: 0 },
+                        );
+                        total += 1;
+                    }
+                    guard += 1;
+                    prop_assert!(guard < 10_000, "runaway reentrant loop");
+                }
+                prop_assert_eq!(trace.len(), total);
+                for w in trace.windows(2) {
+                    prop_assert!(w[0] <= w[1], "reentrant child delivered early");
+                }
+                prop_assert_eq!(e.events_processed(), total as u64);
+                prop_assert!(e.is_idle());
+            }
+        }
     }
 }

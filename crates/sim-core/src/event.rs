@@ -86,6 +86,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Timestamp and payload of the earliest pending event without removing
+    /// it. The FIFO tie-break applies: among equal timestamps this is the
+    /// entry `pop` would return next.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -154,6 +161,17 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_returns_the_next_pop_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, "first");
+        q.push(t, "second");
+        assert_eq!(q.peek(), Some((t, &"first")));
+        assert_eq!(q.pop(), Some((t, "first")));
+        assert_eq!(q.peek(), Some((t, &"second")));
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub enum MsgKind {
     Dsq,
     /// DSQ answer hop carrying the path to the target.
     DsqReply,
+    /// Standing-query resolution hop: the DSQ-style search a long-lived
+    /// subscription runs when first registered or re-resolved after a break.
+    StandingDsq,
+    /// Standing-query resolution answer hop back to the subscriber.
+    StandingReply,
+    /// Standing-query revalidation hop: probing the cached contact chain
+    /// after mobility or a validation round touched it.
+    StandingProbe,
     /// Flooding baseline transmission.
     Flood,
     /// Bordercast (ZRP IERP) transmission.
@@ -67,8 +75,10 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
-    /// All variants, for iteration in reports.
-    pub const ALL: [MsgKind; 11] = [
+    /// All variants, for iteration in reports (declaration order, which is
+    /// also `Ord` order — `in_bucket_where` relies on the first and last
+    /// entries being the `Ord` extremes).
+    pub const ALL: [MsgKind; 14] = [
         MsgKind::Csq,
         MsgKind::CsqBacktrack,
         MsgKind::CsqReply,
@@ -76,6 +86,9 @@ impl MsgKind {
         MsgKind::ValidationReply,
         MsgKind::Dsq,
         MsgKind::DsqReply,
+        MsgKind::StandingDsq,
+        MsgKind::StandingReply,
+        MsgKind::StandingProbe,
         MsgKind::Flood,
         MsgKind::Bordercast,
         MsgKind::ExpandingRing,
@@ -106,6 +119,16 @@ impl MsgKind {
                 | MsgKind::Flood
                 | MsgKind::Bordercast
                 | MsgKind::ExpandingRing
+        )
+    }
+
+    /// Is this message part of standing-query upkeep (resolution,
+    /// re-resolution or cached-path revalidation of long-lived
+    /// subscriptions)?
+    pub fn is_standing(self) -> bool {
+        matches!(
+            self,
+            MsgKind::StandingDsq | MsgKind::StandingReply | MsgKind::StandingProbe
         )
     }
 }
@@ -366,13 +389,26 @@ mod tests {
         assert!(MsgKind::ValidationReply.is_maintenance());
         assert!(MsgKind::Dsq.is_query());
         assert!(MsgKind::Flood.is_query());
+        assert!(MsgKind::StandingDsq.is_standing());
+        assert!(MsgKind::StandingReply.is_standing());
+        assert!(MsgKind::StandingProbe.is_standing());
+        assert!(!MsgKind::StandingDsq.is_query());
         assert!(!MsgKind::RoutingUpdate.is_selection());
         assert!(!MsgKind::RoutingUpdate.is_maintenance());
         assert!(!MsgKind::RoutingUpdate.is_query());
+        assert!(!MsgKind::RoutingUpdate.is_standing());
         // taxonomy is a partition over the kinds it covers
         for k in MsgKind::ALL {
-            let cats = k.is_selection() as u8 + k.is_maintenance() as u8 + k.is_query() as u8;
+            let cats = k.is_selection() as u8
+                + k.is_maintenance() as u8
+                + k.is_query() as u8
+                + k.is_standing() as u8;
             assert!(cats <= 1, "{k:?} in multiple categories");
+        }
+        // `in_bucket_where` ranges over `(idx, ALL[0])..=(idx, ALL[last])`,
+        // so the array must stay in declaration (= `Ord`) order.
+        for w in MsgKind::ALL.windows(2) {
+            assert!(w[0] < w[1], "MsgKind::ALL out of Ord order at {w:?}");
         }
     }
 
