@@ -727,7 +727,7 @@ fn bench_query_engine(c: &mut Criterion) {
             deposits.clear();
             let out = {
                 let mut ctx = HintContext {
-                    store,
+                    store: &*store,
                     stats: &mut hstats,
                     deposits: &mut deposits,
                 };
@@ -798,6 +798,86 @@ fn bench_query_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cross-shard message plane in isolation: the `exchange` lane drain
+/// (src-outer/dst-inner merge into `(dst, src, seq)` delivery order) and
+/// the full route → exchange → drain round trip, at the shard/message
+/// shape the sharded hint sweeps produce (16 shards, 8192 messages of a
+/// deposit-sized payload, scatter-routed), plus the one-shard degenerate
+/// case where every message stays local. Buffers are plane-owned and
+/// reused, so steady-state iterations are allocation-free — these ids
+/// guard exactly the per-sweep overhead `CardWorld` pays to make
+/// cross-shard writes explicit.
+fn bench_message_plane(c: &mut Criterion) {
+    use sim_core::plane::MessagePlane;
+    type Payload = (u32, u32, u16); // holder, next-hop, depth — deposit-shaped
+    let msgs = 8192usize;
+    let splitter = SeedSplitter::new(41);
+    let mut group = c.benchmark_group("message_plane");
+    for shards in [1usize, 16] {
+        let mut route_rng = splitter.stream("plane-routes", shards as u64);
+        let routes: Vec<(usize, usize)> = (0..msgs)
+            .map(|_| (route_rng.index(shards), route_rng.index(shards)))
+            .collect();
+        group.bench_function(format!("exchange/s{shards}_m{msgs}"), |b| {
+            let mut plane: MessagePlane<Payload> = MessagePlane::new(shards);
+            b.iter(|| {
+                let (outboxes, _) = plane.split_mut();
+                for (i, &(src, dst)) in routes.iter().enumerate() {
+                    outboxes[src].send(dst, (i as u32, i as u32 ^ 7, 2));
+                }
+                black_box(plane.exchange())
+            })
+        });
+        group.bench_function(format!("round_trip/s{shards}_m{msgs}"), |b| {
+            let mut plane: MessagePlane<Payload> = MessagePlane::new(shards);
+            b.iter(|| {
+                let (outboxes, _) = plane.split_mut();
+                for (i, &(src, dst)) in routes.iter().enumerate() {
+                    outboxes[src].send(dst, (i as u32, i as u32 ^ 7, 2));
+                }
+                plane.exchange();
+                let mut sum = 0u64;
+                for mb in plane.mailboxes_mut() {
+                    for (src, (a, _, _)) in mb.drain() {
+                        sum += src as u64 + a as u64;
+                    }
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+
+    // The sharded validation round at N = 10000: path polling + absorb +
+    // throttled re-select over shard-resident state, with validation
+    // traffic metered against shard spans into the plane's stats. Each
+    // iteration clones a selected world (mutating sweep — same pattern as
+    // `validation_round/n1000`), so the absolute number includes the
+    // clone; the id exists to track the full-protocol 10⁴ round the
+    // `repro scale-raw` tier scales up from.
+    let n = 10_000usize;
+    let cfg = CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_seed(29);
+    let net = Network::from_scenario(&scaled_scenario(n), 2, 29);
+    let mut group = c.benchmark_group(format!("validation_round/n{n}"));
+    group.bench_function("plane", |b| {
+        let mut seeded = card_core::CardWorld::from_network(net.clone(), cfg);
+        seeded.select_all_contacts();
+        b.iter(|| {
+            let mut w = seeded.clone();
+            w.validation_round();
+            black_box((
+                w.maintenance_totals().validated,
+                w.plane_stats().metered_crossings,
+            ))
+        })
+    });
+    group.finish();
+}
+
 /// The event-driven drive loop vs the tick-synchronous reference at
 /// N = 10000 (scenario-5 density, the populations of `repro scale-events`):
 /// each iteration advances the same live world by one virtual second
@@ -862,6 +942,7 @@ criterion_group! {
         bench_csq_walk,
         bench_protocol_sweeps,
         bench_query_engine,
+        bench_message_plane,
         bench_drive_loops,
 }
 criterion_main!(micro);

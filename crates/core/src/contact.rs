@@ -42,6 +42,49 @@ impl Contact {
     }
 }
 
+/// Read access to every node's [`ContactTable`], however the tables are
+/// laid out in memory.
+///
+/// The query engine, reachability and resource layers are generic over
+/// this trait so they can walk contact graphs stored either as one flat
+/// slice/`Vec` (tests, benches, hand-built topologies) or as
+/// shard-*owned* spans behind `CardWorld`'s sharded state model (where no
+/// contiguous slice of all tables exists). Implementations must be pure
+/// reads: a walk consults tables for many different nodes and the
+/// sharded sweeps run those reads concurrently against frozen state.
+pub trait TableSource {
+    /// The contact table of node index `i`.
+    fn table(&self, i: usize) -> &ContactTable;
+}
+
+impl TableSource for [ContactTable] {
+    #[inline]
+    fn table(&self, i: usize) -> &ContactTable {
+        &self[i]
+    }
+}
+
+impl TableSource for Vec<ContactTable> {
+    #[inline]
+    fn table(&self, i: usize) -> &ContactTable {
+        &self[i]
+    }
+}
+
+impl<T: TableSource + ?Sized> TableSource for &T {
+    #[inline]
+    fn table(&self, i: usize) -> &ContactTable {
+        (**self).table(i)
+    }
+}
+
+impl<T: TableSource + ?Sized> TableSource for &mut T {
+    #[inline]
+    fn table(&self, i: usize) -> &ContactTable {
+        (**self).table(i)
+    }
+}
+
 /// The contact table of one source node.
 #[derive(Clone, Debug, Default)]
 pub struct ContactTable {

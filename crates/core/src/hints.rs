@@ -11,14 +11,19 @@
 //!
 //! ## Storage layout
 //!
-//! One [`HintStore`] holds every node's hint table in a single flat slot
-//! array (the sharded-`CardWorld` state model: no per-node boxes, node
-//! `i`'s slots at `i·per_node‥(i+1)·per_node`). Each node's table is
+//! One [`HintStore`] holds a contiguous *span* of nodes' hint tables in a
+//! single flat slot array (the sharded-`CardWorld` state model: no
+//! per-node boxes, node `start + k`'s slots at
+//! `k·per_node‥(k+1)·per_node`). A store covering every node is just the
+//! span `start = 0`; under the shard-owned state model each protocol
+//! shard owns the span store for its node range. Each node's table is
 //! split into [`HINT_BUCKETS`] *distance buckets* keyed by the hint's
 //! remaining depth — the Kademlia idiom: near answers (depth 1) never
 //! fight far answers (depth ≥ 4) for slots — with LRU replacement inside
-//! a bucket (a monotone deposit clock stamps every touch; the coldest
-//! slot is evicted).
+//! a bucket. The LRU clock is **per node** (each node counts its own
+//! deposits), so slot stamps are a pure function of that node's deposit
+//! history — independent of how nodes are grouped into stores, which is
+//! what keeps hint state bit-identical across shard counts.
 //!
 //! ## Staleness
 //!
@@ -41,10 +46,14 @@
 //!
 //! The store is plain state — lookups and deposits draw no randomness —
 //! and the sharded sweep (`CardWorld::query_all`) runs its parallel phase
-//! against a *frozen* store, logging deposits per shard and applying them
-//! in shard order (= pair order) afterwards. Outcomes and hint statistics
-//! are therefore a pure function of `(network, tables, store, pairs)` at
-//! any worker or shard count; with the cache disabled the sweep is
+//! against *frozen* stores, routing each deposit through the cross-shard
+//! message plane to the shard that owns its holder, where it is applied
+//! in the plane's deterministic `(dst, src, seq)` drain order. Restricted
+//! to any one holder that order equals global pair order, and holders in
+//! different stores touch disjoint slots, so — together with the
+//! per-node LRU clocks — outcomes, hint statistics *and the stores
+//! themselves* are a pure function of `(network, tables, store, pairs)`
+//! at any worker or shard count; with the cache disabled the sweep is
 //! bit-identical to `query_all_serial` (pinned by `tests/hint_cache.rs`).
 
 use net_topology::node::NodeId;
@@ -199,41 +208,92 @@ impl HintStats {
     }
 }
 
-/// Bounded per-node hint tables over one flat slot array (see the module
-/// docs for layout, staleness, and determinism).
+/// Read access to hint tables, however the stores are laid out: one
+/// whole-network [`HintStore`] or the shard-owned span stores behind
+/// `CardWorld`. Implementations must be pure reads (sharded sweeps
+/// consult frozen stores concurrently).
+pub trait HintLookup {
+    /// Consult `holder`'s hint table for `key`.
+    fn lookup(&self, holder: NodeId, key: HintKey) -> Lookup;
+}
+
+impl HintLookup for HintStore {
+    #[inline]
+    fn lookup(&self, holder: NodeId, key: HintKey) -> Lookup {
+        HintStore::lookup(self, holder, key)
+    }
+}
+
+impl<T: HintLookup + ?Sized> HintLookup for &T {
+    #[inline]
+    fn lookup(&self, holder: NodeId, key: HintKey) -> Lookup {
+        (**self).lookup(holder, key)
+    }
+}
+
+impl<T: HintLookup + ?Sized> HintLookup for &mut T {
+    #[inline]
+    fn lookup(&self, holder: NodeId, key: HintKey) -> Lookup {
+        (**self).lookup(holder, key)
+    }
+}
+
+/// Bounded per-node hint tables over one flat slot array, covering a
+/// contiguous node span (see the module docs for layout, staleness, and
+/// determinism).
 #[derive(Clone, Debug)]
 pub struct HintStore {
     slots: Vec<HintSlot>,
+    /// First node index covered by this store (0 for a whole-network
+    /// store; the shard's span start under shard-owned state).
+    start: usize,
     /// Slots per node (`HINT_BUCKETS · slots_per_bucket`).
     per_node: usize,
     slots_per_bucket: usize,
     /// TTL in epochs: a slot with `epoch − stamp > ttl` is expired.
     ttl: u32,
-    /// Current epoch (advanced once per validation round).
+    /// Current epoch (advanced once per validation round; span stores of
+    /// one world advance in lockstep).
     epoch: u32,
-    /// Monotone deposit clock for LRU ordering.
-    clock: u32,
+    /// Per-node monotone deposit clocks for LRU ordering (`clocks[k]`
+    /// counts node `start + k`'s deposits). LRU comparisons only ever
+    /// rank slots of one node, so per-node clocks order them exactly as
+    /// a global clock would — while staying a pure function of the
+    /// node's own history, independent of store layout.
+    clocks: Vec<u32>,
 }
 
 impl HintStore {
-    /// A store for `n` nodes with `slots_per_bucket` LRU slots in each of
-    /// the [`HINT_BUCKETS`] distance buckets, and the given TTL (epochs).
+    /// A store for nodes `0..n` with `slots_per_bucket` LRU slots in each
+    /// of the [`HINT_BUCKETS`] distance buckets, and the given TTL
+    /// (epochs).
     pub fn new(n: usize, slots_per_bucket: usize, ttl: u32) -> Self {
+        Self::new_span(0, n, slots_per_bucket, ttl)
+    }
+
+    /// A store covering the node span `start..start + len`.
+    pub fn new_span(start: usize, len: usize, slots_per_bucket: usize, ttl: u32) -> Self {
         assert!(slots_per_bucket >= 1, "hint buckets need at least one slot");
         let per_node = HINT_BUCKETS * slots_per_bucket;
         HintStore {
-            slots: vec![VACANT; n * per_node],
+            slots: vec![VACANT; len * per_node],
+            start,
             per_node,
             slots_per_bucket,
             ttl,
             epoch: 0,
-            clock: 0,
+            clocks: vec![0; len],
         }
     }
 
     /// Nodes covered.
     pub fn node_count(&self) -> usize {
         self.slots.len() / self.per_node.max(1)
+    }
+
+    /// First node index covered.
+    pub fn span_start(&self) -> usize {
+        self.start
     }
 
     /// Total slots per node.
@@ -249,6 +309,31 @@ impl HintStore {
     /// Advance the TTL epoch (one validation round elapsed).
     pub fn advance_epoch(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Heap bytes held by the slot array and clocks (per-shard memory
+    /// accounting in the scale experiments).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<HintSlot>()
+            + self.clocks.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Copy node `node`'s slots and LRU clock out of `other` (which must
+    /// cover it, with identical bucket geometry). Used to migrate hint
+    /// state when the world is re-sharded.
+    pub(crate) fn copy_node_from(&mut self, other: &HintStore, node: NodeId) {
+        debug_assert_eq!(self.per_node, other.per_node);
+        debug_assert_eq!(self.slots_per_bucket, other.slots_per_bucket);
+        let dst = self.region(node);
+        let src = other.region(node);
+        self.slots[dst].copy_from_slice(&other.slots[src]);
+        self.clocks[node.index() - self.start] = other.clocks[node.index() - other.start];
+    }
+
+    /// Force the TTL epoch (re-shard migration: span stores must inherit
+    /// the old store's epoch so TTL stamps keep their age).
+    pub(crate) fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 
     /// Live (non-vacant) hints across all nodes — observability only.
@@ -268,7 +353,13 @@ impl HintStore {
 
     #[inline]
     fn region(&self, node: NodeId) -> std::ops::Range<usize> {
-        let start = node.index() * self.per_node;
+        debug_assert!(
+            node.index() >= self.start,
+            "node {} below span start {}",
+            node.index(),
+            self.start
+        );
+        let start = (node.index() - self.start) * self.per_node;
         start..start + self.per_node
     }
 
@@ -315,8 +406,9 @@ impl HintStore {
         next_hop: NodeId,
         depth: u16,
     ) -> DepositOutcome {
-        self.clock = self.clock.wrapping_add(1);
-        let clock = self.clock;
+        let node_clock = &mut self.clocks[holder.index() - self.start];
+        *node_clock = node_clock.wrapping_add(1);
+        let clock = *node_clock;
         let epoch = self.epoch;
         let bucket = self.bucket_of(depth);
         let region = self.region(holder);
@@ -522,6 +614,52 @@ mod tests {
             Lookup::Hit(h) => assert_eq!(h.depth, 1),
             other => panic!("expected hit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn span_store_offsets_regions() {
+        let mut store = HintStore::new_span(100, 4, 2, 8);
+        assert_eq!(store.span_start(), 100);
+        assert_eq!(store.node_count(), 4);
+        store.deposit(n(100), HintKey::node(n(3)), n(101), 1);
+        store.deposit(n(103), HintKey::node(n(3)), n(102), 2);
+        assert!(matches!(
+            store.lookup(n(100), HintKey::node(n(3))),
+            Lookup::Hit(_)
+        ));
+        assert_eq!(store.lookup(n(101), HintKey::node(n(3))), Lookup::Absent);
+        assert_eq!(store.invalidate_node(n(103)), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn copy_node_from_migrates_slots_and_clock() {
+        let mut whole = HintStore::new(6, 2, 8);
+        whole.deposit(n(4), HintKey::node(n(1)), n(5), 1);
+        whole.deposit(n(4), HintKey::node(n(2)), n(5), 1);
+        whole.advance_epoch();
+        let mut span = HintStore::new_span(3, 3, 2, 8);
+        span.set_epoch(whole.epoch());
+        for k in 3..6 {
+            span.copy_node_from(&whole, n(k));
+        }
+        assert_eq!(
+            span.lookup(n(4), HintKey::node(n(1))),
+            whole.lookup(n(4), HintKey::node(n(1)))
+        );
+        // LRU state migrated too: the next deposit must evict the same
+        // victim in both stores.
+        let a = span.deposit(n(4), HintKey::node(n(9)), n(5), 1);
+        let b = whole.deposit(n(4), HintKey::node(n(9)), n(5), 1);
+        assert_eq!(a, b);
+        assert_eq!(
+            span.lookup(n(4), HintKey::node(n(1))),
+            whole.lookup(n(4), HintKey::node(n(1)))
+        );
+        assert_eq!(
+            span.lookup(n(4), HintKey::node(n(2))),
+            whole.lookup(n(4), HintKey::node(n(2)))
+        );
     }
 
     #[test]

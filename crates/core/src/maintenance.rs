@@ -101,6 +101,18 @@ fn validate_path(
     (Some(healed), used_recovery)
 }
 
+/// Number of shard-boundary crossings along `path` when nodes are
+/// partitioned into contiguous spans of `span_width` indices — how the
+/// message plane meters validation traffic that the retained direct-read
+/// implementation performs without materializing per-hop messages (see
+/// `CardWorld::validation_round` and `PlaneStats::metered_crossings`).
+pub fn path_shard_crossings(path: &[NodeId], span_width: usize) -> u64 {
+    let w = span_width.max(1);
+    path.windows(2)
+        .filter(|p| p[0].index() / w != p[1].index() / w)
+        .count() as u64
+}
+
 /// Run one §III.C.3 validation round for `source`: walk every contact
 /// path, heal or drop, enforce the hop-range rule, count messages.
 pub fn validate_contacts(

@@ -43,8 +43,8 @@ use net_topology::node::NodeId;
 use sim_core::stats::{MsgKind, MsgStats};
 use sim_core::time::SimTime;
 
-use crate::contact::ContactTable;
-use crate::hints::{HintDeposit, HintKey, HintStats, HintStore, Lookup};
+use crate::contact::TableSource;
+use crate::hints::{HintDeposit, HintKey, HintLookup, HintStats, HintStore, Lookup};
 
 /// Result of one resource-discovery query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,9 +150,9 @@ impl QueryScratch {
     /// mid-level and must be re-`begin`ed). Otherwise the discovered
     /// contacts become the new frontier and the level's cost is added to
     /// [`QueryScratch::walked_msgs`].
-    pub(crate) fn advance_level<R>(
+    pub(crate) fn advance_level<R, T: TableSource + ?Sized>(
         &mut self,
-        contact_tables: &[ContactTable],
+        contact_tables: &T,
         msgs: &mut u64,
         mut visit: impl FnMut(NodeId, u64) -> Option<R>,
     ) -> Option<R> {
@@ -161,7 +161,7 @@ impl QueryScratch {
         let mut level_msgs = 0u64;
         for fi in 0..self.frontier.len() {
             let (node, dist) = self.frontier[fi];
-            for contact in contact_tables[node.index()].contacts() {
+            for contact in contact_tables.table(node.index()).contacts() {
                 let c = contact.id;
                 if self.mark[c.index()] == epoch {
                     continue;
@@ -218,9 +218,9 @@ impl QueryScratch {
 /// this directly and record per-shard message *totals* once — identical
 /// buckets, since every query of a sweep lands at the same instant and
 /// zero counts never record.
-pub(crate) fn escalate_unrecorded(
+pub(crate) fn escalate_unrecorded<T: TableSource>(
     n: usize,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     max_depth: u16,
     scratch: &mut QueryScratch,
@@ -231,7 +231,7 @@ pub(crate) fn escalate_unrecorded(
     for depth in 1..=max_depth {
         // The wire cost of re-sending the query along levels 1..depth-1.
         query_msgs += scratch.walked_msgs();
-        let reply = scratch.advance_level(contact_tables, &mut query_msgs, |c, at_contact| {
+        let reply = scratch.advance_level(&contact_tables, &mut query_msgs, |c, at_contact| {
             answers(c).then_some(at_contact)
         });
         if let Some(reply) = reply {
@@ -256,9 +256,9 @@ pub(crate) fn escalate_unrecorded(
 /// depth ≥ 1 level answered (a zero count never records, so the no-contact
 /// miss stays invisible in the buckets, as it always was).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub(crate) fn escalate(
+pub(crate) fn escalate<T: TableSource>(
     n: usize,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     max_depth: u16,
     stats: &mut MsgStats,
@@ -276,9 +276,9 @@ pub(crate) fn escalate(
 /// batched `CardWorld::query_all` sweep, which accounts its shard's
 /// message totals in bulk (bit-identical bucket sums; see
 /// [`escalate_unrecorded`]).
-pub(crate) fn dsq_query_unrecorded(
+pub(crate) fn dsq_query_unrecorded<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     target: NodeId,
     max_depth: u16,
@@ -308,9 +308,9 @@ pub(crate) fn dsq_query_unrecorded(
 /// `stats` at time `at`; the walk runs allocation-free on `scratch`
 /// (escalation is incremental — see the module docs).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub fn dsq_query(
+pub fn dsq_query<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     target: NodeId,
     max_depth: u16,
@@ -343,9 +343,9 @@ const MAX_FAILED_CHASES: u32 = 4;
 /// not applied — `CardWorld` applies them in shard order after the sweep
 /// (or immediately after a single live query), which keeps hinted sweeps
 /// bit-identical at any worker or shard count.
-pub struct HintContext<'a> {
+pub struct HintContext<'a, S: HintLookup = &'a HintStore> {
     /// The hint tables consulted (never written during the query).
-    pub store: &'a HintStore,
+    pub store: S,
     /// Hit/miss/staleness counters (summed, so shard merges commute).
     pub stats: &'a mut HintStats,
     /// Hints the resolved query wants deposited along its answer chain.
@@ -370,9 +370,9 @@ struct Chase {
 /// nodes the plain escalation could also reach, only cheaper. The chain
 /// walked is left in `chain[..=steps]`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-fn chase(
-    contact_tables: &[ContactTable],
-    store: &HintStore,
+fn chase<T: TableSource + ?Sized, S: HintLookup + ?Sized>(
+    contact_tables: &T,
+    store: &S,
     stats: &mut HintStats,
     key: HintKey,
     start: NodeId,
@@ -400,7 +400,7 @@ fn chase(
                 break;
             }
         };
-        let Some(contact) = contact_tables[node.index()].get(hint.next_hop) else {
+        let Some(contact) = contact_tables.table(node.index()).get(hint.next_hop) else {
             stats.stale_contact += 1;
             break;
         };
@@ -466,10 +466,10 @@ enum HintedHit {
 /// back to the full walk. Resolved queries queue §V hint deposits along
 /// the entire source → answer chain.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub(crate) fn escalate_hinted_unrecorded(
+pub(crate) fn escalate_hinted_unrecorded<T: TableSource, S: HintLookup>(
     n: usize,
-    contact_tables: &[ContactTable],
-    ctx: &mut HintContext<'_>,
+    contact_tables: T,
+    ctx: &mut HintContext<'_, S>,
     key: HintKey,
     source: NodeId,
     max_depth: u16,
@@ -479,8 +479,8 @@ pub(crate) fn escalate_hinted_unrecorded(
     // Source-side probe: a fresh chain answers for probe messages alone.
     let mut src_chain = [source; MAX_CHAIN];
     let src = chase(
-        contact_tables,
-        ctx.store,
+        &contact_tables,
+        &ctx.store,
         ctx.stats,
         key,
         source,
@@ -516,13 +516,14 @@ pub(crate) fn escalate_hinted_unrecorded(
         query_msgs += scratch.walked_msgs();
         let mut probe_spent = 0u64;
         let hit = {
+            let tables = &contact_tables;
             let stats = &mut *ctx.stats;
-            let store = ctx.store;
+            let store = &ctx.store;
             let failed = &mut failed_chases;
             let probe = &mut probe_spent;
             let chain = &mut chase_chain;
             let ans = &mut answers;
-            scratch.advance_level(contact_tables, &mut query_msgs, |c, at_contact| {
+            scratch.advance_level(tables, &mut query_msgs, |c, at_contact| {
                 if ans(c) {
                     return Some(HintedHit::Walk {
                         answer: c,
@@ -531,17 +532,7 @@ pub(crate) fn escalate_hinted_unrecorded(
                 }
                 if depth < max_depth && *failed < MAX_FAILED_CHASES {
                     let budget = (max_depth - depth) as usize;
-                    let res = chase(
-                        contact_tables,
-                        store,
-                        stats,
-                        key,
-                        c,
-                        at_contact,
-                        budget,
-                        chain,
-                        ans,
-                    );
+                    let res = chase(tables, store, stats, key, c, at_contact, budget, chain, ans);
                     if res.steps > 0 {
                         stats.chases += 1;
                     }
@@ -604,10 +595,10 @@ pub(crate) fn escalate_hinted_unrecorded(
 
 /// [`dsq_query_hinted`] without statistics recording — the per-pair body
 /// of the hinted `CardWorld::query_all` sweep.
-pub(crate) fn dsq_query_hinted_unrecorded(
+pub(crate) fn dsq_query_hinted_unrecorded<T: TableSource, S: HintLookup>(
     net: &Network,
-    contact_tables: &[ContactTable],
-    ctx: &mut HintContext<'_>,
+    contact_tables: T,
+    ctx: &mut HintContext<'_, S>,
     source: NodeId,
     target: NodeId,
     max_depth: u16,
@@ -639,10 +630,10 @@ pub(crate) fn dsq_query_hinted_unrecorded(
 /// [`crate::hints`]). Outcome `found`/`depth` semantics match
 /// [`dsq_query`]; only the message cost differs.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub fn dsq_query_hinted(
+pub fn dsq_query_hinted<T: TableSource, S: HintLookup>(
     net: &Network,
-    contact_tables: &[ContactTable],
-    ctx: &mut HintContext<'_>,
+    contact_tables: T,
+    ctx: &mut HintContext<'_, S>,
     source: NodeId,
     target: NodeId,
     max_depth: u16,
@@ -664,9 +655,9 @@ pub fn dsq_query_hinted(
 /// exactly — level-k contacts relay when k < depth and answer from their
 /// neighborhood tables when k = depth (§III.C.4). Returns the reply hop
 /// count when found.
-fn attempt_rewalk(
+fn attempt_rewalk<T: TableSource + ?Sized>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: &T,
     source: NodeId,
     target: NodeId,
     depth: u16,
@@ -680,7 +671,7 @@ fn attempt_rewalk(
     for level in 1..=depth {
         let mut next = Vec::new();
         for &(node, dist) in &frontier {
-            for contact in contact_tables[node.index()].contacts() {
+            for contact in contact_tables.table(node.index()).contacts() {
                 let c = contact.id;
                 if seen[c.index()] {
                     continue;
@@ -713,9 +704,9 @@ fn attempt_rewalk(
 /// *and* message accounting). Kept, like `Network::refresh_full` and the
 /// `CardWorld::*_serial` sweeps, as the equivalence anchor for tests
 /// (`tests/query_engine.rs`) and the `dsq_query/*` benches.
-pub fn dsq_query_rewalk(
+pub fn dsq_query_rewalk<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     target: NodeId,
     max_depth: u16,
@@ -734,7 +725,7 @@ pub fn dsq_query_rewalk(
     let mut query_msgs = 0u64;
     for depth in 1..=max_depth {
         if let Some(reply) =
-            attempt_rewalk(net, contact_tables, source, target, depth, &mut query_msgs)
+            attempt_rewalk(net, &contact_tables, source, target, depth, &mut query_msgs)
         {
             stats.record_n(at, MsgKind::Dsq, query_msgs);
             stats.record_n(at, MsgKind::DsqReply, reply);
@@ -759,7 +750,7 @@ pub fn dsq_query_rewalk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contact::Contact;
+    use crate::contact::{Contact, ContactTable};
     use net_topology::geometry::{Field, Point2};
     use sim_core::time::SimDuration;
 

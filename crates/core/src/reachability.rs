@@ -13,7 +13,7 @@ use sim_core::stats::PercentHistogram;
 use sim_core::util::BitSet;
 use std::cell::RefCell;
 
-use crate::contact::ContactTable;
+use crate::contact::TableSource;
 use crate::query::QueryScratch;
 
 /// Histogram bucket width used by every reachability figure (percent).
@@ -32,9 +32,9 @@ pub const REACH_BUCKET_PCT: f64 = 5.0;
 ///
 /// # Panics
 /// Panics if `out` was built for fewer than `net.node_count()` nodes.
-pub fn reachability_set_into(
+pub fn reachability_set_into<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     depth: u16,
     scratch: &mut QueryScratch,
@@ -55,7 +55,7 @@ pub fn reachability_set_into(
         if scratch.exhausted() {
             break;
         }
-        scratch.advance_level::<()>(contact_tables, &mut no_msgs, |c, _| {
+        scratch.advance_level::<(), _>(&contact_tables, &mut no_msgs, |c, _| {
             for m in tables.of(c).iter_members() {
                 out.insert(m.index());
             }
@@ -78,9 +78,9 @@ thread_local! {
 /// The walk itself runs allocation-free on a thread-local
 /// [`QueryScratch`]; sweeps that cannot afford the output allocation
 /// either should hold their own scratch and use [`reachability_set_into`].
-pub fn reachability_set(
+pub fn reachability_set<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     depth: u16,
 ) -> BitSet {
@@ -99,9 +99,9 @@ pub fn reachability_set(
 }
 
 /// Reachability of `source` as a percentage of the network size.
-pub fn reachability_pct(
+pub fn reachability_pct<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     source: NodeId,
     depth: u16,
 ) -> f64 {
@@ -131,7 +131,7 @@ impl ReachabilitySummary {
     /// no per-source allocation (the old implementation allocated two
     /// O(N) vectors and a bitset per source: 2·N throwaway vectors per
     /// summary).
-    pub fn compute(net: &Network, contact_tables: &[ContactTable], depth: u16) -> Self {
+    pub fn compute<T: TableSource>(net: &Network, contact_tables: T, depth: u16) -> Self {
         let n = net.node_count();
         let mut histogram = PercentHistogram::new(REACH_BUCKET_PCT);
         let mut per_node_pct = Vec::with_capacity(n);
@@ -139,7 +139,7 @@ impl ReachabilitySummary {
         let mut scratch = QueryScratch::with_capacity(n);
         let mut set = BitSet::new(n);
         for source in NodeId::all(n) {
-            reachability_set_into(net, contact_tables, source, depth, &mut scratch, &mut set);
+            reachability_set_into(net, &contact_tables, source, depth, &mut scratch, &mut set);
             let pct = 100.0 * set.len() as f64 / n as f64;
             histogram.record(pct);
             sum += pct;
@@ -169,7 +169,7 @@ impl ReachabilitySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contact::Contact;
+    use crate::contact::{Contact, ContactTable};
     use net_topology::geometry::{Field, Point2};
 
     fn n(i: u32) -> NodeId {

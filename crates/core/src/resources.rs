@@ -27,7 +27,8 @@ use sim_core::stats::MsgStats;
 use sim_core::time::SimTime;
 use sim_core::util::BitSet;
 
-use crate::contact::ContactTable;
+use crate::contact::TableSource;
+use crate::hints::HintLookup;
 use crate::query::{QueryOutcome, QueryScratch};
 
 /// An application-level resource identifier.
@@ -207,9 +208,9 @@ pub fn distribute(
 /// single-host resource this is *exactly* the node-lookup DSQ, message for
 /// message — pinned by `tests/query_engine.rs`).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub fn resource_query(
+pub fn resource_query<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     registry: &ResourceRegistry,
     source: NodeId,
     resource: ResourceId,
@@ -246,11 +247,11 @@ pub fn resource_query(
 /// [`crate::hints`] and [`crate::query::HintContext`]). Outcomes match
 /// [`resource_query`] exactly — hints change cost, never answers.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
-pub fn resource_query_hinted(
+pub fn resource_query_hinted<T: TableSource, S: HintLookup>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     registry: &ResourceRegistry,
-    ctx: &mut crate::query::HintContext<'_>,
+    ctx: &mut crate::query::HintContext<'_, S>,
     source: NodeId,
     resource: ResourceId,
     max_depth: u16,
@@ -284,9 +285,9 @@ pub fn resource_query_hinted(
 
 /// The set of resources discoverable by `source` at contact depth `depth`:
 /// resources with a host inside the source's reachability set.
-pub fn discoverable_resources(
+pub fn discoverable_resources<T: TableSource>(
     net: &Network,
-    contact_tables: &[ContactTable],
+    contact_tables: T,
     registry: &ResourceRegistry,
     source: NodeId,
     depth: u16,
@@ -301,7 +302,7 @@ pub fn discoverable_resources(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contact::Contact;
+    use crate::contact::{Contact, ContactTable};
     use net_topology::geometry::{Field, Point2};
     use sim_core::stats::MsgKind;
     use sim_core::time::SimDuration;

@@ -6,34 +6,76 @@
 //! (§III.C.3) and re-selection (rule 5). All static analyses (reachability,
 //! one-shot selection, queries) are direct method calls.
 //!
-//! ## Sharded protocol state
+//! ## Shard-owned protocol state
 //!
 //! Per-node protocol state — contact tables, per-node RNG streams, backoff
-//! counters — lives in flat arrays indexed by node id, and the two
-//! whole-network protocol sweeps ([`CardWorld::select_all_contacts`] and
-//! [`CardWorld::validation_round`]) fan out over *shards* of those arrays
-//! on the persistent [`sim_core::par`] worker pool. A shard is a contiguous
-//! span of node indices (see [`sim_core::par::shard_spans`]) bundled with a
-//! shard-owned [`CsqScratch`] walk workspace; the fan-out gives each shard
-//! to exactly one worker via [`sim_core::par::parallel_shard_map`].
+//! counters, the §V hint-store span, and the CSQ walk workspace — is *owned*
+//! by its [`ProtocolShard`]: shard `k` holds the state of the contiguous
+//! node span `[k·per, (k+1)·per)` (the canonical
+//! [`sim_core::par::shard_spans`] partition; `per = ceil(N / shards)`).
+//! There is no flat whole-network array behind the shards; cross-shard
+//! reads go through read-only views ([`TablesView`], [`HintsView`]) and
+//! cross-shard *writes* become typed [`ProtocolMsg`] messages routed
+//! through a [`MessagePlane`] and applied by the owning shard in a
+//! deterministic drain phase.
+//!
+//! The whole-network protocol sweeps ([`CardWorld::select_all_contacts`]
+//! and [`CardWorld::validation_round`]) fan each shard out to exactly one
+//! worker via [`sim_core::par::parallel_shard_map`]; a shard's sweep
+//! touches only its own state plus the immutable [`Network`].
 //!
 //! **Determinism.** Every random protocol decision draws from the RNG
 //! stream of the node making it (derived as `("card-node", node)` from the
-//! config seed), never from a shared stream, and each node's sweep work
-//! reads only the immutable [`Network`] plus its own state. Message
-//! counters are accumulated into per-shard [`MsgStats`] deltas and merged
-//! in shard order afterwards. The result of a sweep is therefore a pure
-//! function of `(network, config, per-node state)` — bit-identical across
-//! worker counts, shard counts, and the serial reference paths
-//! ([`CardWorld::select_all_contacts_serial`],
+//! config seed), never from a shared stream. Message counters accumulate
+//! into per-shard [`MsgStats`] deltas merged in shard order afterwards, and
+//! plane messages are delivered in `(destination shard, source shard,
+//! send sequence)` order — a pure function of the protocol's own send
+//! order, independent of worker scheduling. The result of a sweep is
+//! therefore a pure function of `(network, config, per-node state)` —
+//! bit-identical across worker counts, shard counts, and the serial
+//! reference paths ([`CardWorld::select_all_contacts_serial`],
 //! [`CardWorld::validation_round_serial`]), which exist precisely to pin
 //! that equivalence in tests and benches.
+//!
+//! ## The message plane
+//!
+//! Three protocol interactions cross shard-ownership boundaries and are
+//! expressed as messages:
+//!
+//! * **Hint deposits** ([`ProtocolMsg::Deposit`]): a resolved query of a
+//!   batched sweep deposits hints at relay nodes that usually live on
+//!   other shards. The sweep logs deposits per source shard, routes them
+//!   to the holder's owner shard through one exchange round, and each
+//!   shard applies its own mailbox — see [`CardWorld::query_all`].
+//! * **Query expansion** ([`ProtocolMsg::Expand`] /
+//!   [`ProtocolMsg::Contacts`]): the plane-routed sweep
+//!   [`CardWorld::query_all_plane`] expands query frontiers by asking the
+//!   owner shard of each frontier node for its contact list instead of
+//!   reading the table directly (two exchange rounds per escalation
+//!   depth).
+//! * **Validation traffic metering**: contact-path validation walks paths
+//!   that cross span boundaries; the retained direct-read implementation
+//!   meters those crossings per round into
+//!   [`PlaneStats::metered_crossings`] (via
+//!   [`crate::maintenance::path_shard_crossings`]) without materializing
+//!   per-hop messages, so the plane's traffic columns stay honest at
+//!   N=10⁶.
+//!
+//! **Drain ordering contract.** A mailbox delivers `(src, msg)` pairs
+//! sorted by source shard, then send order within the source — the order
+//! [`MessagePlane::exchange`] constructs by draining outbox lanes
+//! src-major. Because batched sweeps send in pair order within each source
+//! shard, the per-holder deposit sequence any store observes equals the
+//! global pair order restricted to that holder, which is what makes
+//! plane-routed sweeps bit-identical to the serial reference at *any*
+//! shard count (the one-shard plane degenerates to a single local lane
+//! with the same ordering).
 //!
 //! ## Batched query sweeps
 //!
 //! Queries are read-only over the protocol state (contact tables and
 //! neighborhood tables; no RNG draws), so [`CardWorld::query_all`] shards
-//! the *pair list* rather than the node arrays: each shard of pairs runs
+//! the *pair list* rather than the node spans: each shard of pairs runs
 //! on a shard-owned [`QueryScratch`] (the incremental-escalation walk
 //! workspace — see [`crate::query`]) and accumulates its DSQ/reply
 //! counters into a per-shard delta, merged into the world statistics in
@@ -51,15 +93,16 @@ use net_topology::node::NodeId;
 use net_topology::scenario::Scenario;
 use sim_core::engine::Engine;
 use sim_core::par::{max_workers, parallel_shard_map, shard_spans};
+use sim_core::plane::{MessagePlane, PlaneStats};
 use sim_core::rng::{RngStream, SeedSplitter};
 use sim_core::stats::{MsgKind, MsgStats, TimeSeries};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::config::CardConfig;
-use crate::contact::ContactTable;
+use crate::contact::{ContactTable, TableSource};
 use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
-use crate::hints::{HintDeposit, HintStats, HintStore};
-use crate::maintenance::{validate_contacts, ValidationReport};
+use crate::hints::{HintDeposit, HintLookup, HintStats, HintStore, Lookup};
+use crate::maintenance::{path_shard_crossings, validate_contacts, ValidationReport};
 use crate::query::{
     dsq_query, dsq_query_hinted, dsq_query_hinted_unrecorded, dsq_query_unrecorded,
     escalate_unrecorded, HintContext, QueryOutcome, QueryScratch,
@@ -98,17 +141,166 @@ impl MaintenanceTotals {
     }
 }
 
-/// One shard of per-node protocol state: disjoint mutable spans of the
-/// world's flat arrays plus the shard-owned walk workspace. Built fresh for
-/// each sweep (the spans borrow the world), handed to exactly one worker.
-struct ShardView<'a> {
-    /// First node index of the span (`contacts[k]` is node `start + k`).
+/// One shard of the world's protocol state: the *owner* of a contiguous
+/// node span's contact tables, RNG streams, backoff counters, hint-store
+/// span, and walk workspace. Sweeps hand each shard to exactly one worker;
+/// nothing outside the shard writes this state except through the message
+/// plane's drain phase.
+#[derive(Clone)]
+struct ProtocolShard {
+    /// First node index of the owned span (`contacts[k]` is node
+    /// `start + k`).
     start: usize,
-    contacts: &'a mut [ContactTable],
-    rngs: &'a mut [RngStream],
-    backoff_remaining: &'a mut [u32],
-    backoff_level: &'a mut [u32],
-    scratch: &'a mut CsqScratch,
+    contacts: Vec<ContactTable>,
+    rngs: Vec<RngStream>,
+    backoff_remaining: Vec<u32>,
+    backoff_level: Vec<u32>,
+    /// Persistent CSQ walk workspace (grows to O(N) once, then reused
+    /// allocation-free across every sweep).
+    scratch: CsqScratch,
+    /// This span's slice of the §V route-hint cache (`Some` iff hints are
+    /// enabled on the world).
+    hints: Option<HintStore>,
+}
+
+impl ProtocolShard {
+    fn len(&self) -> usize {
+        self.contacts.len()
+    }
+}
+
+/// Typed cross-shard protocol messages routed through the world's
+/// [`MessagePlane`].
+#[derive(Clone, Debug)]
+enum ProtocolMsg {
+    /// Deposit a route hint at `HintDeposit::holder` (owner shard applies).
+    Deposit(HintDeposit),
+    /// Plane-routed sweep: query `q` asks the owner of `node` for its
+    /// contact list.
+    Expand {
+        /// Index of the asking query in the sweep's pair list.
+        q: u32,
+        /// The frontier node whose table is requested.
+        node: NodeId,
+    },
+    /// Reply to an [`ProtocolMsg::Expand`]: `node`'s contact list as
+    /// `(contact, path hops)` pairs, in table order.
+    Contacts {
+        /// Index of the asking query.
+        q: u32,
+        /// The node whose table this is.
+        node: NodeId,
+        /// `(contact id, stored path hops)` per live contact.
+        list: Vec<(NodeId, u16)>,
+    },
+}
+
+/// Read-only view over every node's contact table across the shard-owned
+/// spans — the [`TableSource`] the query/reachability/resource layers use
+/// now that no flat whole-network table array exists.
+#[derive(Clone, Copy)]
+pub struct TablesView<'a> {
+    shards: &'a [ProtocolShard],
+    per: usize,
+    n: usize,
+}
+
+impl<'a> TablesView<'a> {
+    /// Number of nodes covered (= network size).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty network.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterate every node's table in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a ContactTable> + 'a {
+        self.shards.iter().flat_map(|s| s.contacts.iter())
+    }
+}
+
+impl TableSource for TablesView<'_> {
+    #[inline]
+    fn table(&self, i: usize) -> &ContactTable {
+        let s = &self.shards[i / self.per];
+        &s.contacts[i - s.start]
+    }
+}
+
+impl std::ops::Index<usize> for TablesView<'_> {
+    type Output = ContactTable;
+
+    #[inline]
+    fn index(&self, i: usize) -> &ContactTable {
+        let s = &self.shards[i / self.per];
+        &s.contacts[i - s.start]
+    }
+}
+
+/// Read-only view over the shard-owned hint-store spans — the
+/// [`HintLookup`] consulted by queries (lookups never mutate a store, so
+/// the view is safe to share across a frozen parallel phase).
+#[derive(Clone, Copy)]
+pub struct HintsView<'a> {
+    shards: &'a [ProtocolShard],
+    per: usize,
+}
+
+impl HintsView<'_> {
+    fn store_of(&self, holder: NodeId) -> &HintStore {
+        self.shards[holder.index() / self.per]
+            .hints
+            .as_ref()
+            .expect("hint view over a world without stores")
+    }
+
+    /// Total nodes covered by the spans.
+    pub fn node_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.hints.as_ref().map_or(0, HintStore::node_count))
+            .sum()
+    }
+
+    /// Live (non-empty) hint slots across all spans.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.hints.as_ref().map_or(0, HintStore::len))
+            .sum()
+    }
+
+    /// True when no span holds any hint.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The freshness epoch (all spans advance together each validation
+    /// round, so any span's epoch is *the* epoch).
+    pub fn epoch(&self) -> u32 {
+        self.shards
+            .first()
+            .and_then(|s| s.hints.as_ref())
+            .map_or(0, HintStore::epoch)
+    }
+
+    /// Estimated heap bytes across all spans.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.hints.as_ref().map_or(0, HintStore::memory_bytes))
+            .sum()
+    }
+}
+
+impl HintLookup for HintsView<'_> {
+    #[inline]
+    fn lookup(&self, holder: NodeId, key: crate::hints::HintKey) -> Lookup {
+        self.store_of(holder).lookup(holder, key)
+    }
 }
 
 /// Everything a shard's sweep emits, merged into the world in shard order.
@@ -116,6 +308,9 @@ struct ShardView<'a> {
 struct ShardDelta {
     stats: MsgStats,
     maintenance: MaintenanceTotals,
+    /// Span-boundary crossings of the round's validation traffic (metered,
+    /// not materialized — see the module docs).
+    crossings: u64,
 }
 
 /// Simulation events of the mobile run loop.
@@ -127,43 +322,58 @@ enum SimEvent {
     ValidationRound,
 }
 
-/// The CARD world: network + per-node protocol state + measurement.
+/// In-flight state of one query in the plane-routed sweep
+/// ([`CardWorld::query_all_plane`]).
+struct PlaneQuery {
+    target: NodeId,
+    frontier: Vec<(NodeId, u64)>,
+    next: Vec<(NodeId, u64)>,
+    /// Nodes already consumed by this query's walk (frontiers are small —
+    /// bounded by NoC^depth — so a linear scan beats a hash set here).
+    seen: Vec<NodeId>,
+    /// Cumulative hop cost of completed levels (the re-send charge base).
+    walked: u64,
+    query_msgs: u64,
+    done: Option<QueryOutcome>,
+}
+
+/// The CARD world: network + shard-owned protocol state + measurement.
 ///
-/// `Clone` snapshots the entire world — network, contact tables, RNG
-/// streams, statistics — so divergent what-if runs (and the sweep benches)
-/// can branch from a common prepared state.
+/// `Clone` snapshots the entire world — network, shards, RNG streams,
+/// statistics — so divergent what-if runs (and the sweep benches) can
+/// branch from a common prepared state.
 #[derive(Clone)]
 pub struct CardWorld {
     net: Network,
     cfg: CardConfig,
-    contacts: Vec<ContactTable>,
     stats: MsgStats,
-    node_rngs: Vec<RngStream>,
     /// Absolute virtual time reached so far (advanced by `run_mobile`).
     now: SimTime,
     /// (time, total live contacts) after each validation round (Fig 13).
     contacts_series: TimeSeries,
     maintenance: MaintenanceTotals,
-    /// Per-node selection backoff: rounds left to skip, and the backoff
-    /// level that produced that skip count.
-    backoff_remaining: Vec<u32>,
-    backoff_level: Vec<u32>,
-    /// One persistent CSQ walk workspace per protocol shard; `len()` is the
-    /// shard count. Walks run every validation round for every node, so the
-    /// workspaces must survive across sweeps (a scratch's buffers grow to
-    /// O(N) once and are then reused allocation-free).
-    shard_scratch: Vec<CsqScratch>,
-    /// One persistent query walk workspace per protocol shard (kept in
-    /// lockstep with `shard_scratch`). Scratch 0 also serves the one-off
-    /// [`CardWorld::query`] path, so steady-state querying never allocates.
+    /// The shard-owned protocol state; `shards.len()` is the shard count.
+    shards: Vec<ProtocolShard>,
+    /// Span width of the canonical partition (`ceil(N / shards)`, min 1);
+    /// node `i` is owned by shard `i / per`.
+    per: usize,
+    /// One persistent query walk workspace per shard (pair sweeps need a
+    /// mutable scratch while reading *all* shards' tables immutably, so
+    /// these live outside the shards, in lockstep with them). Scratch 0
+    /// also serves the one-off [`CardWorld::query`] path.
     query_scratch: Vec<QueryScratch>,
-    /// The §V route-hint cache (`Some` iff `cfg.hints_enabled` or enabled
-    /// at runtime via [`CardWorld::set_hints_enabled`]; see `crate::hints`).
-    hints: Option<HintStore>,
+    /// The cross-shard message plane (hint deposits, plane-routed query
+    /// expansion, metered validation crossings).
+    plane: MessagePlane<ProtocolMsg>,
+    /// Is the §V route-hint cache active (spans allocated in the shards)?
+    hints_on: bool,
     /// Hit/miss/staleness counters of the hint subsystem.
     hint_stats: HintStats,
     /// Reusable deposit log for the live single-query path.
     hint_deposits: Vec<HintDeposit>,
+    /// Per-source-shard deposit logs reused across batched sweeps
+    /// (allocated once, cleared per sweep).
+    sweep_deposits: Vec<Vec<HintDeposit>>,
     /// Long-lived standing subscriptions (see [`crate::standing`]).
     standing: StandingQueries,
     /// Reusable drain buffer for pending standing-query revalidations.
@@ -179,6 +389,49 @@ const MAX_BACKOFF_LEVEL: u32 = 5;
 /// further than needed.
 fn default_shard_count() -> usize {
     (2 * max_workers()).max(1)
+}
+
+/// Partition flat per-node state into owned shards along the canonical
+/// [`shard_spans`] partition. `hints` carries `(slots_per_bucket, ttl,
+/// epoch)` when the route-hint cache is enabled; the created span stores
+/// are empty (callers migrating an existing cache copy slots afterwards).
+fn partition_state(
+    n: usize,
+    shards: usize,
+    mut contacts: Vec<ContactTable>,
+    mut rngs: Vec<RngStream>,
+    mut backoff_remaining: Vec<u32>,
+    mut backoff_level: Vec<u32>,
+    hints: Option<(usize, u32, u32)>,
+) -> Vec<ProtocolShard> {
+    let spans = shard_spans(n, shards);
+    let mut out = Vec::with_capacity(spans.len());
+    for span in spans {
+        let len = span.end - span.start;
+        let rest = contacts.split_off(len);
+        let my_contacts = std::mem::replace(&mut contacts, rest);
+        let rest = rngs.split_off(len);
+        let my_rngs = std::mem::replace(&mut rngs, rest);
+        let rest = backoff_remaining.split_off(len);
+        let my_br = std::mem::replace(&mut backoff_remaining, rest);
+        let rest = backoff_level.split_off(len);
+        let my_bl = std::mem::replace(&mut backoff_level, rest);
+        let store = hints.map(|(spb, ttl, epoch)| {
+            let mut s = HintStore::new_span(span.start, len, spb, ttl);
+            s.set_epoch(epoch);
+            s
+        });
+        out.push(ProtocolShard {
+            start: span.start,
+            contacts: my_contacts,
+            rngs: my_rngs,
+            backoff_remaining: my_br,
+            backoff_level: my_bl,
+            scratch: CsqScratch::new(),
+            hints: store,
+        });
+    }
+    out
 }
 
 impl CardWorld {
@@ -209,31 +462,31 @@ impl CardWorld {
         );
         let n = net.node_count();
         let splitter = SeedSplitter::new(cfg.seed);
-        let node_rngs = (0..n)
+        let contacts = (0..n).map(|_| ContactTable::new()).collect();
+        let rngs = (0..n)
             .map(|i| splitter.stream("card-node", i as u64))
             .collect();
+        let k = default_shard_count();
+        let hcfg = cfg
+            .hints_enabled
+            .then_some((cfg.hint_slots_per_bucket, cfg.hint_ttl, 0u32));
+        let shards = partition_state(n, k, contacts, rngs, vec![0; n], vec![0; n], hcfg);
+        let hints_on = cfg.hints_enabled;
         CardWorld {
             net,
             cfg,
-            contacts: (0..n).map(|_| ContactTable::new()).collect(),
             stats: MsgStats::new(SimDuration::from_secs(2)),
-            node_rngs,
             now: SimTime::ZERO,
             contacts_series: TimeSeries::new(),
             maintenance: MaintenanceTotals::default(),
-            backoff_remaining: vec![0; n],
-            backoff_level: vec![0; n],
-            shard_scratch: (0..default_shard_count())
-                .map(|_| CsqScratch::new())
-                .collect(),
-            query_scratch: (0..default_shard_count())
-                .map(|_| QueryScratch::new())
-                .collect(),
-            hints: cfg
-                .hints_enabled
-                .then(|| HintStore::new(n, cfg.hint_slots_per_bucket, cfg.hint_ttl)),
+            shards,
+            per: n.div_ceil(k).max(1),
+            query_scratch: (0..k).map(|_| QueryScratch::new()).collect(),
+            plane: MessagePlane::new(k),
+            hints_on,
             hint_stats: HintStats::default(),
             hint_deposits: Vec::new(),
+            sweep_deposits: (0..k).map(|_| Vec::new()).collect(),
             standing: StandingQueries::new(n),
             standing_ids: Vec::new(),
         }
@@ -241,63 +494,68 @@ impl CardWorld {
 
     /// Number of protocol shards the whole-network sweeps fan out over.
     pub fn shard_count(&self) -> usize {
-        self.shard_scratch.len()
+        self.shards.len()
     }
 
-    /// Override the protocol shard count (tests, tuning). Results are
-    /// shard-count-independent — per-node RNG streams make each node's
-    /// decisions a function of its own state — so this only moves the
-    /// parallelism/memory trade-off (each shard holds an O(N)-growing walk
-    /// scratch).
+    /// Re-partition the shard-owned protocol state over `shards` shards,
+    /// migrating contact tables, RNG streams, backoff counters, and hint
+    /// spans (slot contents and freshness epoch survive the move). Results
+    /// are shard-count-independent — per-node RNG streams make each node's
+    /// decisions a function of its own state, and plane delivery order is
+    /// pinned to the protocol's send order — so this only moves the
+    /// parallelism/memory trade-off.
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn set_shard_count(&mut self, shards: usize) {
         assert!(shards > 0, "need at least one protocol shard");
-        self.shard_scratch.resize_with(shards, CsqScratch::new);
-        self.shard_scratch.shrink_to_fit();
+        if shards == self.shards.len() {
+            return;
+        }
+        let n = self.net.node_count();
+        let old_per = self.per;
+        let mut old = std::mem::take(&mut self.shards);
+        let epoch = old
+            .iter()
+            .find_map(|s| s.hints.as_ref().map(HintStore::epoch))
+            .unwrap_or(0);
+        let mut contacts = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        let mut br = Vec::with_capacity(n);
+        let mut bl = Vec::with_capacity(n);
+        for s in &mut old {
+            contacts.append(&mut s.contacts);
+            rngs.append(&mut s.rngs);
+            br.append(&mut s.backoff_remaining);
+            bl.append(&mut s.backoff_level);
+        }
+        let hcfg =
+            self.hints_on
+                .then_some((self.cfg.hint_slots_per_bucket, self.cfg.hint_ttl, epoch));
+        let mut new_shards = partition_state(n, shards, contacts, rngs, br, bl, hcfg);
+        if self.hints_on {
+            // Migrate the cached hints: each node's slot region and LRU
+            // clock move verbatim from its old span store to its new one.
+            for s in &mut new_shards {
+                let store = s.hints.as_mut().expect("hinted world rebuilt hintless");
+                for i in s.start..s.start + s.contacts.len() {
+                    let old_store = old[i / old_per]
+                        .hints
+                        .as_ref()
+                        .expect("hinted world missing an old span store");
+                    store.copy_node_from(old_store, NodeId::from(i));
+                }
+            }
+        }
+        self.shards = new_shards;
+        self.per = n.div_ceil(shards).max(1);
         self.query_scratch.resize_with(shards, QueryScratch::new);
         self.query_scratch.shrink_to_fit();
-    }
-
-    /// Split every per-node array into disjoint shard views, one per
-    /// scratch. The split is the canonical [`shard_spans`] partition, so
-    /// shard k always owns the same node span for a given (N, shard count).
-    fn shard_views<'a>(
-        contacts: &'a mut [ContactTable],
-        rngs: &'a mut [RngStream],
-        backoff_remaining: &'a mut [u32],
-        backoff_level: &'a mut [u32],
-        scratches: &'a mut [CsqScratch],
-    ) -> Vec<ShardView<'a>> {
-        let n = contacts.len();
-        let spans = shard_spans(n, scratches.len());
-        let mut views = Vec::with_capacity(spans.len());
-        let (mut contacts, mut rngs) = (contacts, rngs);
-        let (mut backoff_remaining, mut backoff_level) = (backoff_remaining, backoff_level);
-        let mut scratches = scratches;
-        for span in spans {
-            let len = span.end - span.start;
-            let (c, c_rest) = contacts.split_at_mut(len);
-            let (r, r_rest) = rngs.split_at_mut(len);
-            let (br, br_rest) = backoff_remaining.split_at_mut(len);
-            let (bl, bl_rest) = backoff_level.split_at_mut(len);
-            let (s, s_rest) = scratches.split_at_mut(1);
-            contacts = c_rest;
-            rngs = r_rest;
-            backoff_remaining = br_rest;
-            backoff_level = bl_rest;
-            scratches = s_rest;
-            views.push(ShardView {
-                start: span.start,
-                contacts: c,
-                rngs: r,
-                backoff_remaining: br,
-                backoff_level: bl,
-                scratch: &mut s[0],
-            });
-        }
-        views
+        self.sweep_deposits.resize_with(shards, Vec::new);
+        self.sweep_deposits.shrink_to_fit();
+        let plane_stats = self.plane.stats().clone();
+        self.plane = MessagePlane::new(shards);
+        *self.plane.stats_mut() = plane_stats;
     }
 
     /// The underlying network.
@@ -325,6 +583,43 @@ impl CardWorld {
         &self.stats
     }
 
+    /// Cumulative message-plane statistics (exchange rounds, sent, local
+    /// vs cross-shard deliveries, metered validation crossings).
+    pub fn plane_stats(&self) -> &PlaneStats {
+        self.plane.stats()
+    }
+
+    /// Zero the plane statistics (phase-by-phase measurement).
+    pub fn reset_plane_stats(&mut self) {
+        self.plane.reset_stats();
+    }
+
+    /// Estimated live heap bytes of each shard's owned protocol state
+    /// (contact tables with their stored paths, RNG streams, backoff
+    /// counters, hint span) — the per-shard memory columns of the
+    /// full-protocol scale tier.
+    pub fn shard_memory_bytes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut b = s.contacts.len() * std::mem::size_of::<ContactTable>()
+                    + s.rngs.len() * std::mem::size_of::<RngStream>()
+                    + s.backoff_remaining.len() * std::mem::size_of::<u32>()
+                    + s.backoff_level.len() * std::mem::size_of::<u32>();
+                for t in &s.contacts {
+                    b += std::mem::size_of_val(t.contacts());
+                    for c in t.contacts() {
+                        b += c.path.len() * std::mem::size_of::<NodeId>();
+                    }
+                }
+                if let Some(h) = &s.hints {
+                    b += h.memory_bytes();
+                }
+                b
+            })
+            .collect()
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -332,25 +627,34 @@ impl CardWorld {
 
     /// The contact table of one node.
     pub fn contact_table(&self, node: NodeId) -> &ContactTable {
-        &self.contacts[node.index()]
+        let s = &self.shards[node.index() / self.per];
+        &s.contacts[node.index() - s.start]
     }
 
-    /// All contact tables, indexed by node id.
-    pub fn contact_tables(&self) -> &[ContactTable] {
-        &self.contacts
+    /// Read view over all contact tables, indexed by node id.
+    pub fn contact_tables(&self) -> TablesView<'_> {
+        TablesView {
+            shards: &self.shards,
+            per: self.per,
+            n: self.net.node_count(),
+        }
     }
 
     /// Total live contacts across all nodes.
     pub fn total_contacts(&self) -> usize {
-        self.contacts.iter().map(ContactTable::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.contacts.iter().map(ContactTable::len).sum::<usize>())
+            .sum()
     }
 
     /// Mean live contacts per node.
     pub fn mean_contacts(&self) -> f64 {
-        if self.contacts.is_empty() {
+        let n = self.net.node_count();
+        if n == 0 {
             return 0.0;
         }
-        self.total_contacts() as f64 / self.contacts.len() as f64
+        self.total_contacts() as f64 / n as f64
     }
 
     /// `(time, total contacts)` after each validation round.
@@ -365,23 +669,26 @@ impl CardWorld {
 
     /// Is the §V route-hint cache active?
     pub fn hints_enabled(&self) -> bool {
-        self.hints.is_some()
+        self.hints_on
     }
 
     /// Enable or disable the route-hint cache at runtime. Enabling builds
-    /// an empty store from the config's sizing knobs; disabling drops the
-    /// store entirely (the cache-off query paths never touch the
-    /// subsystem, so a disabled world is bit-identical to one that never
-    /// had hints).
+    /// an empty span store in every shard from the config's sizing knobs;
+    /// disabling drops the stores entirely (the cache-off query paths
+    /// never touch the subsystem, so a disabled world is bit-identical to
+    /// one that never had hints).
     pub fn set_hints_enabled(&mut self, enabled: bool) {
-        if enabled && self.hints.is_none() {
-            self.hints = Some(HintStore::new(
-                self.net.node_count(),
-                self.cfg.hint_slots_per_bucket,
-                self.cfg.hint_ttl,
-            ));
+        if enabled && !self.hints_on {
+            let (spb, ttl) = (self.cfg.hint_slots_per_bucket, self.cfg.hint_ttl);
+            for shard in &mut self.shards {
+                shard.hints = Some(HintStore::new_span(shard.start, shard.len(), spb, ttl));
+            }
+            self.hints_on = true;
         } else if !enabled {
-            self.hints = None;
+            for shard in &mut self.shards {
+                shard.hints = None;
+            }
+            self.hints_on = false;
         }
     }
 
@@ -395,26 +702,54 @@ impl CardWorld {
         self.hint_stats = HintStats::default();
     }
 
-    /// The hint store, when enabled (observability, tests).
-    pub fn hint_store(&self) -> Option<&HintStore> {
-        self.hints.as_ref()
+    /// Read view over the shard-owned hint spans, when enabled
+    /// (observability, tests).
+    pub fn hint_store(&self) -> Option<HintsView<'_>> {
+        self.hints_on.then(|| HintsView {
+            shards: &self.shards,
+            per: self.per,
+        })
     }
 
-    /// Empty the hint store (cold-cache resets) without touching counters.
+    /// Empty every hint span (cold-cache resets) without touching counters.
     pub fn clear_hints(&mut self) {
-        if let Some(store) = &mut self.hints {
-            store.clear();
+        for shard in &mut self.shards {
+            if let Some(store) = &mut shard.hints {
+                store.clear();
+            }
         }
     }
 
-    /// Apply a query's (or shard's) queued hint deposits in order,
-    /// counting writes and LRU evictions.
-    fn apply_deposits(store: &mut HintStore, stats: &mut HintStats, deposits: &[HintDeposit]) {
-        for d in deposits {
-            let out = store.deposit(d.holder, d.key, d.next_hop, d.depth);
-            stats.deposits += 1;
-            if out.evicted_live {
-                stats.evicted_lru += 1;
+    /// Evict hints held at nodes the last topology refresh dirtied.
+    /// Correctness never depends on this — a surviving stale hint is
+    /// caught by the probe's live contact-table check — it just keeps the
+    /// `stale_contact` miss rate down under churn.
+    fn evict_dirty_hints(&mut self) {
+        if !self.hints_on {
+            return;
+        }
+        let per = self.per;
+        let CardWorld {
+            net,
+            shards,
+            hint_stats,
+            ..
+        } = self;
+        match net.dirty_report() {
+            DirtyReport::All => {
+                for shard in shards.iter_mut() {
+                    if let Some(store) = &mut shard.hints {
+                        hint_stats.evicted_mobility += store.invalidate_all() as u64;
+                    }
+                }
+            }
+            DirtyReport::Exact(dirty) => {
+                for &node in dirty {
+                    let shard = &mut shards[node.index() / per];
+                    if let Some(store) = &mut shard.hints {
+                        hint_stats.evicted_mobility += store.invalidate_node(node) as u64;
+                    }
+                }
             }
         }
     }
@@ -423,27 +758,27 @@ impl CardWorld {
     /// for a single node, topping its table up toward NoC.
     pub fn select_contacts_for(&mut self, node: NodeId) {
         let i = node.index();
-        // Use the owning shard's scratch: any scratch gives identical
-        // results (walks clear exactly what they touched), this one just
-        // keeps buffer growth where the sweeps already paid for it. The
-        // canonical partition is contiguous with span width
-        // ceil(n / shards), so ownership is a division, not a search.
-        let per = self
-            .contacts
-            .len()
-            .div_ceil(self.shard_scratch.len())
-            .max(1);
-        let shard = i / per;
+        let per = self.per;
+        let CardWorld {
+            net,
+            cfg,
+            stats,
+            now,
+            shards,
+            ..
+        } = self;
+        let shard = &mut shards[i / per];
+        let k = i - shard.start;
         select_contacts(
-            &self.net,
-            &self.cfg,
+            net,
+            cfg,
             node,
-            &mut self.contacts[i],
-            &mut self.node_rngs[i],
-            &mut self.stats,
-            self.now,
+            &mut shard.contacts[k],
+            &mut shard.rngs[k],
+            stats,
+            *now,
             ALL_EDGE_NODES,
-            &mut self.shard_scratch[shard],
+            &mut shard.scratch,
         );
     }
 
@@ -454,37 +789,26 @@ impl CardWorld {
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
-            node_rngs,
             now,
-            backoff_remaining,
-            backoff_level,
-            shard_scratch,
+            shards,
             ..
         } = self;
-        let mut views = Self::shard_views(
-            contacts,
-            node_rngs,
-            backoff_remaining,
-            backoff_level,
-            shard_scratch,
-        );
         let width = stats.bucket_width();
         let at = *now;
-        let deltas = parallel_shard_map(&mut views, |_, view| {
+        let deltas = parallel_shard_map(shards, |_, shard| {
             let mut delta = MsgStats::new(width);
-            for k in 0..view.contacts.len() {
+            for k in 0..shard.contacts.len() {
                 select_contacts(
                     net,
                     cfg,
-                    NodeId::from(view.start + k),
-                    &mut view.contacts[k],
-                    &mut view.rngs[k],
+                    NodeId::from(shard.start + k),
+                    &mut shard.contacts[k],
+                    &mut shard.rngs[k],
                     &mut delta,
                     at,
                     ALL_EDGE_NODES,
-                    view.scratch,
+                    &mut shard.scratch,
                 );
             }
             delta
@@ -508,7 +832,8 @@ impl CardWorld {
     /// local recovery), drop rule-4 violators, then — per §III.C.3 rule 5 —
     /// re-select toward NoC. The sweep fans out over the protocol shards;
     /// [`CardWorld::validation_round_serial`] is the bit-identical serial
-    /// reference.
+    /// reference. Span-boundary crossings of the validated paths are
+    /// metered into [`PlaneStats::metered_crossings`].
     ///
     /// Re-selection is throttled twice, which is what keeps steady-state
     /// overhead at the per-node magnitudes of Figs 10–13 (the paper's
@@ -521,125 +846,130 @@ impl CardWorld {
     ///   (NoC above the annulus capacity) therefore go quiet instead of
     ///   re-sweeping the region every period.
     pub fn validation_round(&mut self) {
+        let per = self.per;
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
-            node_rngs,
             now,
             maintenance,
-            backoff_remaining,
-            backoff_level,
-            shard_scratch,
+            shards,
+            plane,
             ..
         } = self;
-        let mut views = Self::shard_views(
-            contacts,
-            node_rngs,
-            backoff_remaining,
-            backoff_level,
-            shard_scratch,
-        );
         let width = stats.bucket_width();
         let at = *now;
-        let deltas = parallel_shard_map(&mut views, |_, view| {
-            Self::validate_span(net, cfg, view, at, width)
+        let deltas = parallel_shard_map(shards, |_, shard| {
+            Self::validate_span(net, cfg, shard, at, width, per)
         });
+        let mut crossings = 0u64;
         for delta in &deltas {
             stats.merge(&delta.stats);
             maintenance.merge(&delta.maintenance);
+            crossings += delta.crossings;
         }
-        if let Some(store) = &mut self.hints {
-            store.advance_epoch();
-        }
+        plane.stats_mut().metered_crossings += crossings;
+        self.advance_hint_epochs();
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
     }
 
     /// Serial reference for [`CardWorld::validation_round`]: the same
-    /// validate-then-reselect pass over all nodes as one span on the
+    /// validate-then-reselect pass over the shards in order on the
     /// caller's thread.
     pub fn validation_round_serial(&mut self) {
+        let per = self.per;
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
-            node_rngs,
             now,
             maintenance,
-            backoff_remaining,
-            backoff_level,
-            shard_scratch,
+            shards,
+            plane,
             ..
         } = self;
-        let mut view = ShardView {
-            start: 0,
-            contacts,
-            rngs: node_rngs,
-            backoff_remaining,
-            backoff_level,
-            scratch: &mut shard_scratch[0],
-        };
         let width = stats.bucket_width();
-        let delta = Self::validate_span(net, cfg, &mut view, *now, width);
-        stats.merge(&delta.stats);
-        maintenance.merge(&delta.maintenance);
-        if let Some(store) = &mut self.hints {
-            store.advance_epoch();
+        let at = *now;
+        for shard in shards.iter_mut() {
+            let delta = Self::validate_span(net, cfg, shard, at, width, per);
+            stats.merge(&delta.stats);
+            maintenance.merge(&delta.maintenance);
+            plane.stats_mut().metered_crossings += delta.crossings;
         }
+        self.advance_hint_epochs();
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
     }
 
+    /// Advance the freshness epoch of every hint span (all spans move
+    /// together; the epoch is global).
+    fn advance_hint_epochs(&mut self) {
+        if !self.hints_on {
+            return;
+        }
+        for shard in &mut self.shards {
+            if let Some(store) = &mut shard.hints {
+                store.advance_epoch();
+            }
+        }
+    }
+
     /// The per-shard body of a validation round: validate every node of the
     /// span, then (throttled) re-select. Touches only shard-owned state and
-    /// the immutable network; emits its message/maintenance counters as a
-    /// delta for in-order merging.
+    /// the immutable network; emits its message/maintenance counters and
+    /// metered path crossings as a delta for in-order merging.
     fn validate_span(
         net: &Network,
         cfg: &CardConfig,
-        view: &mut ShardView<'_>,
+        shard: &mut ProtocolShard,
         at: SimTime,
         bucket_width: SimDuration,
+        per: usize,
     ) -> ShardDelta {
         let mut delta = ShardDelta {
             stats: MsgStats::new(bucket_width),
             maintenance: MaintenanceTotals::default(),
+            crossings: 0,
         };
-        for k in 0..view.contacts.len() {
-            let node = NodeId::from(view.start + k);
+        for k in 0..shard.contacts.len() {
+            let node = NodeId::from(shard.start + k);
+            // Meter the validation traffic this node is about to send down
+            // its stored paths: every span-boundary crossing is a message
+            // the plane would carry if validation were materialized.
+            for c in shard.contacts[k].contacts() {
+                delta.crossings += path_shard_crossings(&c.path, per);
+            }
             let report =
-                validate_contacts(net, cfg, node, &mut view.contacts[k], &mut delta.stats, at);
+                validate_contacts(net, cfg, node, &mut shard.contacts[k], &mut delta.stats, at);
             delta.maintenance.absorb(&report);
-            if view.contacts[k].len() >= cfg.target_contacts {
-                view.backoff_level[k] = 0;
-                view.backoff_remaining[k] = 0;
+            if shard.contacts[k].len() >= cfg.target_contacts {
+                shard.backoff_level[k] = 0;
+                shard.backoff_remaining[k] = 0;
                 continue;
             }
-            if view.backoff_remaining[k] > 0 {
-                view.backoff_remaining[k] -= 1;
+            if shard.backoff_remaining[k] > 0 {
+                shard.backoff_remaining[k] -= 1;
                 continue;
             }
-            let before = view.contacts[k].len();
+            let before = shard.contacts[k].len();
             select_contacts(
                 net,
                 cfg,
                 node,
-                &mut view.contacts[k],
-                &mut view.rngs[k],
+                &mut shard.contacts[k],
+                &mut shard.rngs[k],
                 &mut delta.stats,
                 at,
                 cfg.selection_walks_per_round,
-                view.scratch,
+                &mut shard.scratch,
             );
-            if view.contacts[k].len() > before {
-                view.backoff_level[k] = 0;
-                view.backoff_remaining[k] = 0;
+            if shard.contacts[k].len() > before {
+                shard.backoff_level[k] = 0;
+                shard.backoff_remaining[k] = 0;
             } else {
-                view.backoff_level[k] = (view.backoff_level[k] + 1).min(MAX_BACKOFF_LEVEL);
-                view.backoff_remaining[k] = (1u32 << view.backoff_level[k]) - 1;
+                shard.backoff_level[k] = (shard.backoff_level[k] + 1).min(MAX_BACKOFF_LEVEL);
+                shard.backoff_remaining[k] = (1u32 << shard.backoff_level[k]) - 1;
             }
         }
         delta
@@ -650,54 +980,71 @@ impl CardWorld {
     /// on the world's first query scratch; batches should prefer
     /// [`CardWorld::query_all`]. With the route-hint cache enabled, the
     /// cache is consulted first and deposits from a resolved query are
-    /// applied immediately (live queries warm the very next call).
+    /// applied to their owner shards immediately (live queries warm the
+    /// very next call; this host-local apply is the plane's one-round
+    /// degenerate case — a single query's deposits drain in log order).
     pub fn query(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
+        let per = self.per;
+        let n = self.net.node_count();
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
             now,
+            shards,
             query_scratch,
-            hints,
+            hints_on,
             hint_stats,
             hint_deposits,
             ..
         } = self;
-        match hints {
-            Some(store) => {
-                hint_deposits.clear();
-                let out = {
-                    let mut ctx = HintContext {
-                        store,
-                        stats: hint_stats,
-                        deposits: hint_deposits,
-                    };
-                    dsq_query_hinted(
-                        net,
-                        contacts,
-                        &mut ctx,
-                        source,
-                        target,
-                        cfg.depth,
-                        stats,
-                        *now,
-                        &mut query_scratch[0],
-                    )
+        if *hints_on {
+            hint_deposits.clear();
+            let out = {
+                let tables = TablesView {
+                    shards: &*shards,
+                    per,
+                    n,
                 };
-                Self::apply_deposits(store, hint_stats, hint_deposits);
-                out
-            }
-            None => dsq_query(
+                let hview = HintsView {
+                    shards: &*shards,
+                    per,
+                };
+                let mut ctx = HintContext {
+                    store: hview,
+                    stats: hint_stats,
+                    deposits: hint_deposits,
+                };
+                dsq_query_hinted(
+                    net,
+                    tables,
+                    &mut ctx,
+                    source,
+                    target,
+                    cfg.depth,
+                    stats,
+                    *now,
+                    &mut query_scratch[0],
+                )
+            };
+            Self::apply_deposits_to_shards(shards, per, hint_stats, hint_deposits);
+            out
+        } else {
+            let tables = TablesView {
+                shards: &*shards,
+                per,
+                n,
+            };
+            dsq_query(
                 net,
-                contacts,
+                tables,
                 source,
                 target,
                 cfg.depth,
                 stats,
                 *now,
                 &mut query_scratch[0],
-            ),
+            )
         }
     }
 
@@ -711,46 +1058,61 @@ impl CardWorld {
         source: NodeId,
         resource: ResourceId,
     ) -> QueryOutcome {
+        let per = self.per;
+        let n = self.net.node_count();
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
             now,
+            shards,
             query_scratch,
-            hints,
+            hints_on,
             hint_stats,
             hint_deposits,
             ..
         } = self;
-        match hints {
-            Some(store) => {
-                hint_deposits.clear();
-                let out = {
-                    let mut ctx = HintContext {
-                        store,
-                        stats: hint_stats,
-                        deposits: hint_deposits,
-                    };
-                    resource_query_hinted(
-                        net,
-                        contacts,
-                        registry,
-                        &mut ctx,
-                        source,
-                        resource,
-                        cfg.depth,
-                        stats,
-                        *now,
-                        &mut query_scratch[0],
-                    )
+        if *hints_on {
+            hint_deposits.clear();
+            let out = {
+                let tables = TablesView {
+                    shards: &*shards,
+                    per,
+                    n,
                 };
-                Self::apply_deposits(store, hint_stats, hint_deposits);
-                out
-            }
-            None => resource_query(
+                let hview = HintsView {
+                    shards: &*shards,
+                    per,
+                };
+                let mut ctx = HintContext {
+                    store: hview,
+                    stats: hint_stats,
+                    deposits: hint_deposits,
+                };
+                resource_query_hinted(
+                    net,
+                    tables,
+                    registry,
+                    &mut ctx,
+                    source,
+                    resource,
+                    cfg.depth,
+                    stats,
+                    *now,
+                    &mut query_scratch[0],
+                )
+            };
+            Self::apply_deposits_to_shards(shards, per, hint_stats, hint_deposits);
+            out
+        } else {
+            let tables = TablesView {
+                shards: &*shards,
+                per,
+                n,
+            };
+            resource_query(
                 net,
-                contacts,
+                tables,
                 registry,
                 source,
                 resource,
@@ -758,7 +1120,28 @@ impl CardWorld {
                 stats,
                 *now,
                 &mut query_scratch[0],
-            ),
+            )
+        }
+    }
+
+    /// Apply a deposit log to the holders' owner shards in log order,
+    /// counting writes and LRU evictions.
+    fn apply_deposits_to_shards(
+        shards: &mut [ProtocolShard],
+        per: usize,
+        stats: &mut HintStats,
+        deposits: &[HintDeposit],
+    ) {
+        for d in deposits {
+            let store = shards[d.holder.index() / per]
+                .hints
+                .as_mut()
+                .expect("deposit into a world without hint stores");
+            let out = store.deposit(d.holder, d.key, d.next_hop, d.depth);
+            stats.deposits += 1;
+            if out.evicted_live {
+                stats.evicted_lru += 1;
+            }
         }
     }
 
@@ -767,16 +1150,35 @@ impl CardWorld {
     /// (the *pair list* is sharded; see the module docs), returning the
     /// outcomes in pair order. With the route-hint cache disabled this is
     /// exactly [`CardWorld::query_all_cache_off`]; with it enabled the
-    /// sweep consults a store *frozen* for the whole parallel phase and
-    /// applies the shards' deposit logs in shard order afterwards, so
-    /// either way results and statistics are bit-identical at any worker
-    /// or shard count (the cache-off path additionally equals
-    /// [`CardWorld::query_all_serial`]).
+    /// sweep consults views *frozen* for the whole parallel phase and
+    /// routes the shards' deposit logs through the message plane to their
+    /// owner shards afterwards, so either way results and statistics are
+    /// bit-identical at any worker or shard count (the cache-off path
+    /// additionally equals [`CardWorld::query_all_serial`]).
     pub fn query_all(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
-        if self.hints.is_some() {
-            self.query_all_hinted(pairs)
+        let mut out = Vec::new();
+        self.query_all_into(pairs, &mut out);
+        out
+    }
+
+    /// [`CardWorld::query_all`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so repeated sweeps (scale tiers, benches)
+    /// reuse one allocation instead of building a fresh `Vec` per sweep.
+    pub fn query_all_into(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<QueryOutcome>) {
+        out.clear();
+        out.resize(
+            pairs.len(),
+            QueryOutcome {
+                found: false,
+                depth_used: 0,
+                query_msgs: 0,
+                reply_msgs: 0,
+            },
+        );
+        if self.hints_on {
+            self.sweep_hinted(pairs, out);
         } else {
-            self.query_all_cache_off(pairs)
+            self.sweep_cache_off(pairs, out);
         }
     }
 
@@ -788,22 +1190,7 @@ impl CardWorld {
     /// shard count. Never touches the hint store, even when one is
     /// enabled.
     pub fn query_all_cache_off(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
-        let CardWorld {
-            net,
-            cfg,
-            contacts,
-            stats,
-            now,
-            query_scratch,
-            ..
-        } = self;
-        let at = *now;
-        let depth = cfg.depth;
-        let spans = shard_spans(pairs.len(), query_scratch.len());
-        // Each shard owns its span of the pair list, the matching span of
-        // the output buffer (written in place — no per-shard collection),
-        // and one walk scratch.
-        let mut out: Vec<QueryOutcome> = vec![
+        let mut out = vec![
             QueryOutcome {
                 found: false,
                 depth_used: 0,
@@ -812,26 +1199,55 @@ impl CardWorld {
             };
             pairs.len()
         ];
-        let mut shards = Vec::with_capacity(spans.len());
-        let mut out_rest: &mut [QueryOutcome] = &mut out;
+        self.sweep_cache_off(pairs, &mut out);
+        out
+    }
+
+    /// Shared body of the cache-off pair sweep: outcomes into `out`
+    /// (already sized), counters merged in shard order.
+    fn sweep_cache_off(&mut self, pairs: &[(NodeId, NodeId)], out: &mut [QueryOutcome]) {
+        let per = self.per;
+        let n = self.net.node_count();
+        let CardWorld {
+            net,
+            cfg,
+            stats,
+            now,
+            shards,
+            query_scratch,
+            ..
+        } = self;
+        let tables = TablesView {
+            shards: &*shards,
+            per,
+            n,
+        };
+        let at = *now;
+        let depth = cfg.depth;
+        let spans = shard_spans(pairs.len(), query_scratch.len());
+        // Each shard owns its span of the pair list, the matching span of
+        // the output buffer (written in place — no per-shard collection),
+        // and one walk scratch.
+        let mut work = Vec::with_capacity(spans.len());
+        let mut out_rest: &mut [QueryOutcome] = out;
         let mut scratches = query_scratch.iter_mut();
         for span in spans {
             let (slots, rest) = out_rest.split_at_mut(span.end - span.start);
             out_rest = rest;
-            shards.push((
+            work.push((
                 &pairs[span],
                 slots,
                 scratches.next().expect("span count exceeds scratch count"),
             ));
         }
-        let deltas = parallel_shard_map(&mut shards, |_, (pairs, slots, scratch)| {
+        let deltas = parallel_shard_map(&mut work, |_, (pairs, slots, scratch)| {
             // The shard's message delta: every query lands at the same
             // instant, so two counters recorded in bulk afterwards produce
             // buckets bit-identical to per-query recording.
             let mut dsq = 0u64;
             let mut reply = 0u64;
             for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
-                let o = dsq_query_unrecorded(net, contacts, s, t, depth, scratch);
+                let o = dsq_query_unrecorded(net, tables, s, t, depth, scratch);
                 dsq += o.query_msgs;
                 reply += o.reply_msgs;
                 *slot = o;
@@ -842,79 +1258,322 @@ impl CardWorld {
             stats.record_n(at, MsgKind::Dsq, dsq);
             stats.record_n(at, MsgKind::DsqReply, reply);
         }
-        out
     }
 
-    /// The hinted sharded sweep behind [`CardWorld::query_all`]. Shards
-    /// read a store frozen for the whole parallel phase (every query of
-    /// the sweep sees the same cache — deposits become visible to the
-    /// *next* sweep, exactly as in a batch of concurrently in-flight
-    /// queries) and log their deposits plus [`HintStats`] deltas, which
-    /// are applied and merged in shard order (= pair order) afterwards.
-    /// Outcomes, statistics, and the resulting store are therefore a pure
-    /// function of `(network, tables, store, pairs)` — bit-identical at
-    /// any worker or shard count (pinned by `tests/hint_cache.rs`).
-    fn query_all_hinted(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+    /// The hinted sharded sweep behind [`CardWorld::query_all`]. The
+    /// parallel phase reads table and hint views *frozen* for the whole
+    /// sweep (every query sees the same cache — deposits become visible
+    /// to the *next* sweep, exactly as in a batch of concurrently
+    /// in-flight queries) while logging deposits into per-source-shard
+    /// buffers (reused across sweeps). Counter deltas merge in shard
+    /// order; deposits are then routed through the message plane to each
+    /// holder's owner shard and applied in a parallel drain phase.
+    ///
+    /// Delivery order makes the drain deterministic: a mailbox is sorted
+    /// by `(source shard, send sequence)` and sends happen in pair order
+    /// within each source shard, so the deposit sequence each holder
+    /// observes is the global pair order restricted to that holder —
+    /// bit-identical to the serial one-query-at-a-time reference at any
+    /// worker or shard count (pinned by `tests/hint_cache.rs` and
+    /// `tests/message_plane.rs`).
+    fn sweep_hinted(&mut self, pairs: &[(NodeId, NodeId)], out: &mut [QueryOutcome]) {
+        let per = self.per;
+        let n = self.net.node_count();
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
             now,
+            shards,
             query_scratch,
-            hints,
             hint_stats,
+            sweep_deposits,
+            plane,
             ..
         } = self;
-        let store = hints.as_mut().expect("hinted sweep without a store");
         let at = *now;
         let depth = cfg.depth;
         let spans = shard_spans(pairs.len(), query_scratch.len());
-        let mut out: Vec<QueryOutcome> = vec![
-            QueryOutcome {
-                found: false,
-                depth_used: 0,
-                query_msgs: 0,
-                reply_msgs: 0,
+        let deltas = {
+            let tables = TablesView {
+                shards: &*shards,
+                per,
+                n,
             };
-            pairs.len()
-        ];
-        let mut shards = Vec::with_capacity(spans.len());
-        let mut out_rest: &mut [QueryOutcome] = &mut out;
-        let mut scratches = query_scratch.iter_mut();
-        for span in spans {
-            let (slots, rest) = out_rest.split_at_mut(span.end - span.start);
-            out_rest = rest;
-            shards.push((
-                &pairs[span],
-                slots,
-                scratches.next().expect("span count exceeds scratch count"),
-            ));
-        }
-        let frozen: &HintStore = store;
-        let deltas = parallel_shard_map(&mut shards, |_, (pairs, slots, scratch)| {
-            let mut dsq = 0u64;
-            let mut reply = 0u64;
-            let mut shard_stats = HintStats::default();
-            let mut deposits: Vec<HintDeposit> = Vec::new();
-            for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
-                let mut ctx = HintContext {
-                    store: frozen,
-                    stats: &mut shard_stats,
-                    deposits: &mut deposits,
-                };
-                let o = dsq_query_hinted_unrecorded(net, contacts, &mut ctx, s, t, depth, scratch);
-                dsq += o.query_msgs;
-                reply += o.reply_msgs;
-                *slot = o;
+            let hview = HintsView {
+                shards: &*shards,
+                per,
+            };
+            let mut work = Vec::with_capacity(spans.len());
+            let mut out_rest: &mut [QueryOutcome] = out;
+            let mut scratches = query_scratch.iter_mut();
+            let mut dep_bufs = sweep_deposits.iter_mut();
+            for span in spans {
+                let (slots, rest) = out_rest.split_at_mut(span.end - span.start);
+                out_rest = rest;
+                work.push((
+                    &pairs[span],
+                    slots,
+                    scratches.next().expect("span count exceeds scratch count"),
+                    dep_bufs.next().expect("span count exceeds deposit buffers"),
+                ));
             }
-            (dsq, reply, shard_stats, deposits)
-        });
-        for (dsq, reply, shard_stats, deposits) in &deltas {
+            parallel_shard_map(&mut work, |_, (pairs, slots, scratch, deposits)| {
+                deposits.clear();
+                let mut dsq = 0u64;
+                let mut reply = 0u64;
+                let mut shard_stats = HintStats::default();
+                for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
+                    let mut ctx = HintContext {
+                        store: hview,
+                        stats: &mut shard_stats,
+                        deposits,
+                    };
+                    let o =
+                        dsq_query_hinted_unrecorded(net, tables, &mut ctx, s, t, depth, scratch);
+                    dsq += o.query_msgs;
+                    reply += o.reply_msgs;
+                    *slot = o;
+                }
+                (dsq, reply, shard_stats)
+            })
+        };
+        for (dsq, reply, shard_stats) in &deltas {
             stats.record_n(at, MsgKind::Dsq, *dsq);
             stats.record_n(at, MsgKind::DsqReply, *reply);
             hint_stats.merge(shard_stats);
-            Self::apply_deposits(store, hint_stats, deposits);
+        }
+        // Route every logged deposit to its holder's owner shard. Sends
+        // happen in pair order within each source shard, which (with the
+        // plane's (dst, src, seq) delivery order) fixes the per-holder
+        // apply sequence to the global pair order restricted to the holder.
+        {
+            let (outboxes, _) = plane.split_mut();
+            for (src, deposits) in sweep_deposits.iter_mut().enumerate() {
+                for d in deposits.drain(..) {
+                    outboxes[src].send(d.holder.index() / per, ProtocolMsg::Deposit(d));
+                }
+            }
+        }
+        plane.exchange();
+        // Deterministic drain: each shard applies its own mailbox to its
+        // own span store (no cross-shard writes), counters merged in
+        // shard order.
+        let (_, mailboxes) = plane.split_mut();
+        let mut drains: Vec<_> = shards.iter_mut().zip(mailboxes.iter_mut()).collect();
+        let applied = parallel_shard_map(&mut drains, |_, (shard, mailbox)| {
+            let mut deposits = 0u64;
+            let mut evicted = 0u64;
+            let store = shard
+                .hints
+                .as_mut()
+                .expect("hinted sweep without span stores");
+            for (_src, msg) in mailbox.drain() {
+                let ProtocolMsg::Deposit(d) = msg else {
+                    unreachable!("hinted sweep routes only deposits");
+                };
+                let out = store.deposit(d.holder, d.key, d.next_hop, d.depth);
+                deposits += 1;
+                if out.evicted_live {
+                    evicted += 1;
+                }
+            }
+            (deposits, evicted)
+        });
+        for (deposits, evicted) in applied {
+            hint_stats.deposits += deposits;
+            hint_stats.evicted_lru += evicted;
+        }
+    }
+
+    /// Cache-off sweep with *plane-routed* frontier expansion: instead of
+    /// reading remote contact tables directly, each escalation depth asks
+    /// the owner shard of every frontier node for its contact list
+    /// ([`ProtocolMsg::Expand`]) and integrates the replies
+    /// ([`ProtocolMsg::Contacts`]) — two exchange rounds per depth. This
+    /// is the fully message-mediated form of the protocol walk; outcomes
+    /// and statistics are bit-identical to [`CardWorld::query_all_cache_off`]
+    /// (and hence [`CardWorld::query_all_serial`]) at any shard count,
+    /// pinned by `tests/message_plane.rs`. The direct-read sweep stays the
+    /// fast path; this one exists to validate the plane's ordering
+    /// contract and to measure true cross-shard query traffic.
+    pub fn query_all_plane(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        let per = self.per;
+        let k = self.shards.len();
+        let CardWorld {
+            net,
+            cfg,
+            stats,
+            now,
+            shards,
+            plane,
+            ..
+        } = self;
+        let at = *now;
+        let depth_max = cfg.depth;
+        let tables = net.tables();
+        let mut queries: Vec<PlaneQuery> = pairs
+            .iter()
+            .map(|&(s, t)| {
+                let mut q = PlaneQuery {
+                    target: t,
+                    frontier: vec![(s, 0)],
+                    next: Vec::new(),
+                    seen: vec![s],
+                    walked: 0,
+                    query_msgs: 0,
+                    done: None,
+                };
+                if tables.of(s).contains(t) {
+                    q.done = Some(QueryOutcome {
+                        found: true,
+                        depth_used: 0,
+                        query_msgs: 0,
+                        reply_msgs: 0,
+                    });
+                }
+                q
+            })
+            .collect();
+        let spans = shard_spans(pairs.len(), k);
+        for depth in 1..=depth_max {
+            if queries.iter().all(|q| q.done.is_some()) {
+                break;
+            }
+            // Request phase: every live query re-sends down its walked
+            // levels (the serial escalation's re-send charge, applied even
+            // when the frontier is empty) and asks the owner shard of each
+            // frontier node for its table.
+            {
+                let (outboxes, _) = plane.split_mut();
+                for (p, span) in spans.iter().enumerate() {
+                    for qi in span.clone() {
+                        let q = &mut queries[qi];
+                        if q.done.is_some() {
+                            continue;
+                        }
+                        q.query_msgs += q.walked;
+                        for &(node, _) in &q.frontier {
+                            outboxes[p].send(
+                                node.index() / per,
+                                ProtocolMsg::Expand { q: qi as u32, node },
+                            );
+                        }
+                    }
+                }
+            }
+            plane.exchange();
+            // Serve phase: each shard answers the expansion requests in
+            // its mailbox from its own tables, in delivery order.
+            {
+                let (outboxes, mailboxes) = plane.split_mut();
+                for (s, (shard, mailbox)) in shards.iter().zip(mailboxes.iter_mut()).enumerate() {
+                    for (src, msg) in mailbox.drain() {
+                        let ProtocolMsg::Expand { q, node } = msg else {
+                            unreachable!("request round carries only expansions");
+                        };
+                        let table = &shard.contacts[node.index() - shard.start];
+                        let list = table.contacts().iter().map(|c| (c.id, c.hops())).collect();
+                        outboxes[s].send(src as usize, ProtocolMsg::Contacts { q, node, list });
+                    }
+                }
+            }
+            plane.exchange();
+            // Integrate phase: replies in a mailbox are sorted by serving
+            // shard; within one serving shard they appear in the order the
+            // requests were delivered there — i.e. in this pair shard's
+            // send order. A cursor per serving shard therefore re-aligns
+            // replies with frontier entries exactly.
+            for (p, span) in spans.iter().enumerate() {
+                let msgs = plane.mailbox(p).msgs();
+                let mut cursors = vec![usize::MAX; k];
+                for (i, (src, _)) in msgs.iter().enumerate() {
+                    let src = *src as usize;
+                    if cursors[src] == usize::MAX {
+                        cursors[src] = i;
+                    }
+                }
+                for qi in span.clone() {
+                    let q = &mut queries[qi];
+                    if q.done.is_some() {
+                        continue;
+                    }
+                    let mut answered = false;
+                    let mut level_msgs = 0u64;
+                    q.next.clear();
+                    for fi in 0..q.frontier.len() {
+                        let (node, dist) = q.frontier[fi];
+                        let src = node.index() / per;
+                        let cur = cursors[src];
+                        cursors[src] = cur + 1;
+                        let (_, msg) = &msgs[cur];
+                        let ProtocolMsg::Contacts {
+                            q: rq,
+                            node: rnode,
+                            list,
+                        } = msg
+                        else {
+                            unreachable!("reply round carries only contact lists");
+                        };
+                        debug_assert_eq!(*rq, qi as u32, "reply misaligned with query");
+                        debug_assert_eq!(*rnode, node, "reply misaligned with frontier");
+                        if answered {
+                            // Mid-level abort: the answer was found earlier
+                            // this level; later replies are consumed (the
+                            // cursor must advance) but never charged —
+                            // exactly the serial walk's abort semantics.
+                            continue;
+                        }
+                        for &(c, hops) in list {
+                            if q.seen.contains(&c) {
+                                continue;
+                            }
+                            q.seen.push(c);
+                            let at_contact = dist + hops as u64;
+                            q.query_msgs += hops as u64;
+                            level_msgs += hops as u64;
+                            if tables.of(c).contains(q.target) {
+                                q.done = Some(QueryOutcome {
+                                    found: true,
+                                    depth_used: depth,
+                                    query_msgs: q.query_msgs,
+                                    reply_msgs: at_contact,
+                                });
+                                answered = true;
+                                break;
+                            }
+                            q.next.push((c, at_contact));
+                        }
+                    }
+                    if !answered {
+                        std::mem::swap(&mut q.frontier, &mut q.next);
+                        q.walked += level_msgs;
+                    }
+                }
+            }
+        }
+        // Per-pair-shard counter deltas, recorded in shard order — the
+        // same bulk recording the direct-read sweep performs.
+        let out: Vec<QueryOutcome> = queries
+            .into_iter()
+            .map(|q| {
+                q.done.unwrap_or(QueryOutcome {
+                    found: false,
+                    depth_used: depth_max,
+                    query_msgs: q.query_msgs,
+                    reply_msgs: 0,
+                })
+            })
+            .collect();
+        for span in &spans {
+            let mut dsq = 0u64;
+            let mut reply = 0u64;
+            for o in &out[span.clone()] {
+                dsq += o.query_msgs;
+                reply += o.reply_msgs;
+            }
+            stats.record_n(at, MsgKind::Dsq, dsq);
+            stats.record_n(at, MsgKind::DsqReply, reply);
         }
         out
     }
@@ -930,7 +1589,7 @@ impl CardWorld {
 
     /// Reachability distribution at contact depth `depth` (Figs 5–9).
     pub fn reachability_summary(&self, depth: u16) -> ReachabilitySummary {
-        ReachabilitySummary::compute(&self.net, &self.contacts, depth)
+        ReachabilitySummary::compute(&self.net, self.contact_tables(), depth)
     }
 
     /// Run the mobile protocol loop for `duration`: mobility ticks every
@@ -963,23 +1622,8 @@ impl CardWorld {
                     self.net.advance(model, self.cfg.mobility_tick);
                     // Mobility invalidation: hints *held at* nodes whose
                     // neighborhood changed point along links that may be
-                    // gone, so evict them eagerly. Correctness never
-                    // depends on this — a surviving stale hint is caught by
-                    // the probe's live contact-table check — it just keeps
-                    // the stale_contact miss rate down under churn.
-                    if let Some(store) = &mut self.hints {
-                        match self.net.dirty_report() {
-                            DirtyReport::All => {
-                                self.hint_stats.evicted_mobility += store.invalidate_all() as u64;
-                            }
-                            DirtyReport::Exact(dirty) => {
-                                for &node in dirty {
-                                    self.hint_stats.evicted_mobility +=
-                                        store.invalidate_node(node) as u64;
-                                }
-                            }
-                        }
-                    }
+                    // gone, so evict them eagerly.
+                    self.evict_dirty_hints();
                     engine.schedule_in(self.cfg.mobility_tick, SimEvent::MobilityTick);
                 }
                 SimEvent::ValidationRound => {
@@ -1024,18 +1668,7 @@ impl CardWorld {
     /// the number of audit violations (0 in a healthy pipeline).
     pub fn event_mobility_refresh(&mut self, movers: &[NodeId], audit_samples: usize) -> usize {
         self.net.refresh_movers(movers);
-        if let Some(store) = &mut self.hints {
-            match self.net.dirty_report() {
-                DirtyReport::All => {
-                    self.hint_stats.evicted_mobility += store.invalidate_all() as u64;
-                }
-                DirtyReport::Exact(dirty) => {
-                    for &node in dirty {
-                        self.hint_stats.evicted_mobility += store.invalidate_node(node) as u64;
-                    }
-                }
-            }
-        }
+        self.evict_dirty_hints();
         if !self.standing.is_empty() {
             match self.net.dirty_report() {
                 DirtyReport::All => self.standing.mark_all(),
@@ -1085,12 +1718,14 @@ impl CardWorld {
     /// sits in the source's own neighborhood, otherwise a full escalation
     /// whose answer chain is captured from the walk's parent pointers.
     fn standing_resolve(&mut self, id: u32, initial: bool) {
+        let per = self.per;
+        let n = self.net.node_count();
         let CardWorld {
             net,
             cfg,
-            contacts,
             stats,
             now,
+            shards,
             query_scratch,
             standing,
             ..
@@ -1104,22 +1739,20 @@ impl CardWorld {
             standing.set_resolved(id, vec![source], *now, initial);
             return;
         }
+        let view = TablesView {
+            shards: &*shards,
+            per,
+            n,
+        };
         let scratch = &mut query_scratch[0];
         let mut answer = None;
-        let out = escalate_unrecorded(
-            net.node_count(),
-            contacts,
-            source,
-            cfg.depth,
-            scratch,
-            |c| {
-                let hit = tables.of(c).contains(target);
-                if hit {
-                    answer = Some(c);
-                }
-                hit
-            },
-        );
+        let out = escalate_unrecorded(n, view, source, cfg.depth, scratch, |c| {
+            let hit = tables.of(c).contains(target);
+            if hit {
+                answer = Some(c);
+            }
+            hit
+        });
         stats.record_n(*now, MsgKind::StandingDsq, out.query_msgs);
         stats.record_n(*now, MsgKind::StandingReply, out.reply_msgs);
         match answer {
@@ -1140,7 +1773,7 @@ impl CardWorld {
         let q = self.standing.get(id);
         let mut msgs = 0u64;
         for w in q.path.windows(2) {
-            match self.contacts[w[0].index()].get(w[1]) {
+            match self.contact_table(w[0]).get(w[1]) {
                 Some(c) => msgs += c.hops() as u64,
                 None => return (false, msgs),
             }
@@ -1665,5 +2298,126 @@ mod tests {
             em >= pm * 0.95,
             "EM ({em:.1}%) should not trail PM ({pm:.1}%) meaningfully"
         );
+    }
+
+    #[test]
+    fn plane_sweep_matches_cache_off_and_serial() {
+        // The fully message-mediated walk must be bit-identical to the
+        // direct-read sweep and the serial reference — outcomes AND the
+        // recorded message series — at every shard count.
+        let pairs: Vec<(NodeId, NodeId)> = (0..70u32)
+            .map(|i| (NodeId::new((i * 11) % 150), NodeId::new((i * 29 + 3) % 150)))
+            .collect();
+        let build = |shards: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg().with_depth(3));
+            if let Some(k) = shards {
+                w.set_shard_count(k);
+            }
+            w.select_all_contacts();
+            w
+        };
+        let mut reference = build(Some(1));
+        let expected = reference.query_all_cache_off(&pairs);
+        let expected_series = reference.stats().series_where(|_| true);
+        for shards in [None, Some(1), Some(4), Some(150)] {
+            let mut w = build(shards);
+            let got = w.query_all_plane(&pairs);
+            assert_eq!(got, expected, "plane sweep diverged at shards {shards:?}");
+            assert_eq!(
+                w.stats().series_where(|_| true),
+                expected_series,
+                "plane sweep series diverged at shards {shards:?}"
+            );
+            let ps = w.plane_stats();
+            assert!(ps.rounds > 0, "plane sweep must exchange");
+            assert!(ps.sent > 0, "plane sweep must send expansions");
+        }
+    }
+
+    #[test]
+    fn reshard_migrates_state_mid_run() {
+        // Re-partitioning mid-run must carry contact tables, RNG streams,
+        // backoff counters, and cached hints across intact: a world
+        // resharded between sweeps stays bit-identical to one that never
+        // resharded.
+        let pairs: Vec<(NodeId, NodeId)> = (0..50u32)
+            .map(|i| (NodeId::new((i * 3) % 150), NodeId::new((i * 41 + 7) % 150)))
+            .collect();
+        let mut a = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+        a.select_all_contacts();
+        let mut b = a.clone();
+        let warm_a = a.query_all(&pairs); // deposits hints
+        let warm_b = b.query_all(&pairs);
+        assert_eq!(warm_a, warm_b);
+        b.set_shard_count(5); // migrate mid-run, hints warm
+        assert_eq!(b.shard_count(), 5);
+        a.validation_round();
+        b.validation_round();
+        let again_a = a.query_all(&pairs);
+        let again_b = b.query_all(&pairs);
+        assert_eq!(again_a, again_b, "resharding changed query outcomes");
+        assert_eq!(
+            a.hint_stats(),
+            b.hint_stats(),
+            "resharding changed hint state"
+        );
+        assert_eq!(snapshot(&a), snapshot(&b), "resharding changed world state");
+        // hint contents survived the migration (not just counters)
+        assert_eq!(
+            a.hint_store().map(|s| (s.len(), s.epoch())),
+            b.hint_store().map(|s| (s.len(), s.epoch())),
+        );
+    }
+
+    #[test]
+    fn query_all_into_reuses_buffers() {
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(2).with_hints(true));
+        w.select_all_contacts();
+        let pairs: Vec<(NodeId, NodeId)> = (0..30u32)
+            .map(|i| (NodeId::new(i % 150), NodeId::new((i * 17 + 9) % 150)))
+            .collect();
+        let mut buf = Vec::new();
+        w.query_all_into(&pairs, &mut buf);
+        let first = buf.clone();
+        let cap = buf.capacity();
+        w.query_all_into(&pairs, &mut buf);
+        assert_eq!(buf.len(), pairs.len());
+        assert_eq!(buf, w.query_all(&pairs.clone()), "buffer path diverged");
+        assert!(
+            buf.capacity() >= cap && cap >= pairs.len(),
+            "reused buffer must keep its capacity"
+        );
+        // identical world state ⇒ repeated sweeps only differ through
+        // fresh hint deposits, never through buffer reuse
+        assert_eq!(first.len(), buf.len());
+    }
+
+    #[test]
+    fn shard_memory_and_plane_stats_surface() {
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+        w.select_all_contacts();
+        let mem = w.shard_memory_bytes();
+        assert_eq!(mem.len(), w.shard_count());
+        assert!(
+            mem.iter().sum::<usize>() > 0,
+            "selected tables must occupy memory"
+        );
+        let pairs: Vec<(NodeId, NodeId)> = (0..40u32)
+            .map(|i| (NodeId::new(i % 150), NodeId::new((i * 31 + 11) % 150)))
+            .collect();
+        w.query_all(&pairs);
+        let ps = w.plane_stats().clone();
+        assert!(ps.rounds >= 1, "hinted sweep exchanges deposits");
+        if w.hint_stats().deposits > 0 {
+            assert!(ps.sent > 0, "deposits must travel the plane");
+            assert_eq!(ps.sent, ps.local + ps.cross_shard);
+        }
+        w.validation_round();
+        assert!(
+            w.plane_stats().metered_crossings >= ps.metered_crossings,
+            "validation meters crossings monotonically"
+        );
+        w.reset_plane_stats();
+        assert_eq!(w.plane_stats().sent, 0);
     }
 }

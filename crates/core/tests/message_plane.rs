@@ -1,0 +1,238 @@
+//! Proptest harness pinning the cross-shard message plane's delivery
+//! contract: every plane-routed protocol path — hint deposits drained in
+//! `(dst shard, src shard, seq)` order, the fully message-mediated
+//! `query_all_plane` walk, and the metered validation traffic — must be
+//! **bit-identical** across protocol shard counts (including the
+//! one-shard degenerate case and more shards than nodes) and across
+//! worker participation (the `*_serial` sweeps run the same rounds
+//! inline on one thread; the parallel sweeps fan out over the worker
+//! pool — the pool size itself is fixed per host, so serial-vs-pool is
+//! the worker axis a single process can vary).
+//!
+//! The observables compared are the ones the plane could corrupt if its
+//! ordering ever leaked scheduling: contact tables (ids *and* paths),
+//! the bucketed message-statistics series, maintenance totals, query
+//! outcomes entry for entry, and the hint store's observable state
+//! (counters, live-slot count, epoch — plus a probe sweep, which reads
+//! every slot that matters through the cache).
+
+use card_core::prelude::*;
+use card_core::world::MaintenanceTotals;
+use net_topology::node::NodeId;
+use net_topology::scenario::Scenario;
+use proptest::prelude::*;
+
+const NODES: usize = 140;
+
+fn scenario() -> Scenario {
+    Scenario::new(NODES, 500.0, 500.0, 60.0)
+}
+
+fn cfg(seed: u64, hints: bool) -> CardConfig {
+    CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_hints(hints)
+        .with_seed(seed)
+}
+
+fn pairs(seed: u64, count: usize) -> Vec<(NodeId, NodeId)> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::new((next() % NODES as u64) as u32),
+                NodeId::new((next() % NODES as u64) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Everything the plane could corrupt, captured after a protocol run.
+#[derive(Debug, PartialEq)]
+struct Trace {
+    contacts: Vec<Vec<(NodeId, Vec<NodeId>)>>,
+    msg_series: Vec<u64>,
+    maintenance: MaintenanceTotals,
+    cold: Vec<QueryOutcome>,
+    warm: Vec<QueryOutcome>,
+    hint_stats: HintStats,
+    hint_len: Option<usize>,
+    hint_epoch: Option<u32>,
+}
+
+/// Run the full protocol — selection, two validation rounds, a cold and
+/// a warm query sweep — on `shards` shards. `serial` switches selection
+/// and validation to their `*_serial` references (same rounds, one
+/// thread, no fan-out); the query sweeps always run through `query_all`
+/// so both modes keep the sweep's frozen-batch hint semantics (the
+/// one-at-a-time `query_all_serial` deliberately differs with hints on:
+/// each query's deposits become visible to the *next* query in the
+/// batch — that reference is pinned hints-off in the plane-walk
+/// property below).
+fn trace(seed: u64, hints: bool, shards: usize, serial: bool) -> Trace {
+    let mut w = CardWorld::build(&scenario(), cfg(seed, hints));
+    w.set_shard_count(shards);
+    let workload = pairs(seed ^ 0xbeef, 48);
+    if serial {
+        w.select_all_contacts_serial();
+        w.validation_round_serial();
+        w.validation_round_serial();
+    } else {
+        w.select_all_contacts();
+        w.validation_round();
+        w.validation_round();
+    }
+    let cold = w.query_all(&workload);
+    let warm = w.query_all(&workload);
+    // Plane accounting must always balance, and one shard can never
+    // cross a boundary.
+    let ps = w.plane_stats();
+    assert_eq!(ps.sent, ps.cross_shard + ps.local, "plane ledger");
+    if w.shard_count() == 1 {
+        assert_eq!(ps.cross_shard, 0, "one shard has no boundary to cross");
+    }
+    Trace {
+        contacts: w
+            .contact_tables()
+            .iter()
+            .map(|t| {
+                t.contacts()
+                    .iter()
+                    .map(|c| (c.id, c.path.clone()))
+                    .collect()
+            })
+            .collect(),
+        msg_series: w.stats().series_where(|_| true),
+        maintenance: w.maintenance_totals().clone(),
+        cold,
+        warm,
+        hint_stats: w.hint_stats().clone(),
+        hint_len: w.hint_store().map(|s| s.len()),
+        hint_epoch: w.hint_store().map(|s| s.epoch()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline invariance: for random seeds, any shard count
+    /// (1, a few, many, more-than-N) and either worker mode produces the
+    /// exact trace of the one-shard serial reference.
+    #[test]
+    fn prop_plane_delivery_is_shard_and_worker_invariant(
+        seed in 1u64..1_000_000,
+        shards_ix in 0usize..7,
+        serial in any::<bool>(),
+        hints in any::<bool>(),
+    ) {
+        let shards = [1usize, 2, 3, 5, 6, 32, NODES + 9][shards_ix];
+        let reference = trace(seed, hints, 1, true);
+        let candidate = trace(seed, hints, shards, serial);
+        prop_assert_eq!(
+            candidate, reference,
+            "shards={} serial={} hints={} diverged from the 1-shard serial reference",
+            shards, serial, hints
+        );
+    }
+
+    /// The fully message-mediated walk: `query_all_plane` must agree with
+    /// the batched escalation sweep outcome for outcome — and with the
+    /// recorded message series — at every shard count.
+    #[test]
+    fn prop_plane_walk_matches_escalation_sweep(
+        seed in 1u64..1_000_000,
+        shards_ix in 0usize..8,
+    ) {
+        let shards = [1usize, 2, 3, 4, 5, 7, 8, NODES * 2][shards_ix];
+        let workload = pairs(seed ^ 0x5eed, 40);
+        let build = || {
+            let mut w = CardWorld::build(&scenario(), cfg(seed, false));
+            w.set_shard_count(shards);
+            w.select_all_contacts();
+            w
+        };
+        let mut via_sweep = build();
+        let sweep_out = via_sweep.query_all_cache_off(&workload);
+        let mut via_plane = build();
+        let plane_out = via_plane.query_all_plane(&workload);
+        let mut via_serial = build();
+        let serial_out = via_serial.query_all_serial(&workload);
+        prop_assert_eq!(&plane_out, &sweep_out);
+        prop_assert_eq!(&plane_out, &serial_out, "one-at-a-time reference");
+        prop_assert_eq!(
+            via_plane.stats().series_where(|_| true),
+            via_sweep.stats().series_where(|_| true),
+            "plane-walk message accounting diverged at {} shards",
+            shards
+        );
+        prop_assert_eq!(
+            via_plane.stats().series_where(|_| true),
+            via_serial.stats().series_where(|_| true),
+            "plane-walk accounting diverged from the serial reference"
+        );
+        // The plane run actually exchanged (unless every query resolved
+        // in its source zone, which this workload does not allow).
+        if plane_out.iter().any(|o| o.query_msgs > 0) {
+            prop_assert!(via_plane.plane_stats().rounds > 0);
+        }
+    }
+
+    /// Hint deposits routed through the plane build the same cache as
+    /// depositing in pair order directly: resharding *mid-run* (state
+    /// migrated slot by slot) must not disturb a single counter of a
+    /// subsequent warm sweep.
+    #[test]
+    fn prop_deposits_survive_mid_run_reshard(
+        seed in 1u64..1_000_000,
+        before_ix in 0usize..5,
+        after_ix in 0usize..6,
+    ) {
+        let before = [1usize, 2, 3, 4, 5][before_ix];
+        let after = [1usize, 3, 4, 6, 7, NODES + 1][after_ix];
+        let workload = pairs(seed ^ 0xcafe, 48);
+        let run = |reshard: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg(seed, true));
+            w.set_shard_count(before);
+            w.select_all_contacts();
+            let cold = w.query_all(&workload); // deposits route via plane
+            if let Some(k) = reshard {
+                w.set_shard_count(k); // migrates hint slots + LRU clocks
+            }
+            w.reset_hint_stats();
+            let warm = w.query_all(&workload);
+            (cold, warm, w.hint_stats().clone(),
+             w.hint_store().map(|s| (s.len(), s.epoch())))
+        };
+        let stayed = run(None);
+        let moved = run(Some(after));
+        prop_assert_eq!(&stayed.0, &moved.0, "cold sweeps ran identically");
+        prop_assert_eq!(&stayed.1, &moved.1, "warm outcomes survive reshard");
+        prop_assert_eq!(&stayed.2, &moved.2, "hint counters survive reshard");
+        prop_assert_eq!(stayed.3, moved.3, "live slots + epoch survive reshard");
+    }
+}
+
+/// Non-proptest smoke pinning the degenerate cases by name: one shard,
+/// more shards than nodes, and a shard count equal to N.
+#[test]
+fn degenerate_shard_counts_agree_with_reference() {
+    let reference = trace(4242, true, 1, true);
+    for shards in [1usize, NODES, NODES + 17, 3] {
+        for serial in [false, true] {
+            assert_eq!(
+                trace(4242, true, shards, serial),
+                reference,
+                "shards={shards} serial={serial}"
+            );
+        }
+    }
+}

@@ -7,9 +7,11 @@
 //!
 //! `fig3`/`fig4` and `fig11`/`fig12` share runs and print together.
 //! `scale` (equivalently the `--scale` flag) runs the N = 10⁴–10⁵
-//! substrate scale family; `scale-raw` the N = 10⁶ topology-only
-//! raw-speed tier (kernel build + mobility/refresh loop, memory and
-//! throughput columns, no protocol phases). `--nodes` overrides either
+//! substrate scale family; `scale-raw` the N = 10⁶ raw-speed tier
+//! (kernel build + mobility/refresh loop, then the full protocol on
+//! shard-resident state: selection, validation rounds and hinted query
+//! sweeps through the cross-shard message plane, with per-shard memory
+//! and plane-traffic columns). `--nodes` overrides either
 //! family's node counts from the command line so new sizes need no
 //! recompile.
 //! Output is Markdown (tables matching the paper's figures); see
@@ -126,7 +128,8 @@ fn usage(err: &str) -> ! {
         "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|scale-events|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
          scale runs are excluded from `all` (minutes at N=10^5); invoke them\n\
          explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`.\n\
-         `repro scale-raw` runs the N=10^6 topology-only raw-speed tier.\n\
+         `repro scale-raw` runs the N=10^6 raw-speed tier (substrate loop\n\
+         plus the full protocol on shard-resident state).\n\
          `repro scale-events` races the event-driven drive against the tick\n\
          reference at N=10^5 (fidelity asserted in-run)."
     );

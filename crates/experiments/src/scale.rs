@@ -604,11 +604,16 @@ fn rss_bytes() -> usize {
         .map_or(0, |pages| pages * 4096)
 }
 
-/// Parameters of the raw-speed tier (`repro scale-raw`): the N=10⁶
-/// topology-substrate-only run — placement, kernel build, mobility +
-/// incremental refresh loop. No protocol, query, or hint phases: this
-/// tier measures exactly what the SoA plane and the batched distance
-/// kernels bought, with per-phase memory and throughput columns.
+/// Parameters of the raw-speed tier (`repro scale-raw`): the N=10⁶ run.
+/// First the topology substrate alone — placement, kernel build,
+/// mobility + incremental refresh loop (with the range-annulus mover
+/// pre-filter engaged; its skips land in the counter columns) — then a
+/// **full-protocol** phase on the post-mobility topology: sharded
+/// contact selection for every node, [`PROTOCOL_ROUNDS`] validation
+/// rounds, and a hinted query sweep whose cross-shard hint deposits
+/// travel the explicit message plane. Per-shard memory, throughput and
+/// plane-traffic columns show what shard-resident protocol state costs
+/// and carries at 10⁶ nodes.
 #[derive(Clone, Debug)]
 pub struct RawParams {
     /// Node counts to run (each at scenario-5 density).
@@ -617,9 +622,12 @@ pub struct RawParams {
     pub ticks: usize,
     /// Simulated time per tick.
     pub tick: SimDuration,
-    /// Zone radius R (kept at 1: the tier measures the topology
-    /// substrate, not table depth).
+    /// Zone radius R (kept at 1: the tier stresses scale, not table
+    /// depth — the paper's own r/NoC sweeps live in Figs 5–9).
     pub radius: u16,
+    /// Queries per sweep of the full-protocol phase (two sweeps run:
+    /// cold — deposits route through the plane — then warm).
+    pub queries: usize,
     /// Root seed.
     pub seed: u64,
 }
@@ -631,6 +639,7 @@ impl Default for RawParams {
             ticks: 20,
             tick: SimDuration::from_millis(100),
             radius: 1,
+            queries: 4096,
             seed: crate::DEFAULT_SEED,
         }
     }
@@ -642,9 +651,26 @@ impl RawParams {
         RawParams {
             nodes: vec![20_000],
             ticks: 5,
+            queries: 1024,
             ..RawParams::default()
         }
     }
+}
+
+/// The protocol configuration of the raw tier's full-protocol phase:
+/// shallow annulus and one hint slot per bucket so the per-node state
+/// stays lean at N = 10⁶ (the hint table is the dominant per-node cost;
+/// one slot × [`card_core::hints::HINT_BUCKETS`] buckets ≈ 100 MB total
+/// at a million nodes).
+pub fn raw_protocol_config(p: &RawParams) -> CardConfig {
+    CardConfig::default()
+        .with_radius(p.radius)
+        .with_max_contact_distance(4 * p.radius)
+        .with_target_contacts(4)
+        .with_depth(QUERY_DEPTH)
+        .with_hints(true)
+        .with_hint_slots_per_bucket(1)
+        .with_seed(p.seed)
 }
 
 /// Measured outcome of one raw-tier (N, mobility) run.
@@ -671,6 +697,9 @@ pub struct RawRow {
     pub node_ticks_per_s: f64,
     /// Mean movers reported per tick.
     pub mean_movers: f64,
+    /// Movers the range-annulus pre-filter proved inert (summed over all
+    /// ticks) — work the patch never had to do.
+    pub movers_skipped: u64,
     /// Ticks on which any wholesale fallback ran.
     pub full_fallback_ticks: usize,
     /// Total candidate lanes classified by the f32 kernel.
@@ -679,6 +708,42 @@ pub struct RawRow {
     pub kernel_exact: u64,
     /// Total neighborhood-table heap bytes.
     pub table_bytes: usize,
+    // --- full-protocol phase ---
+    /// Wall time of the sharded from-scratch contact selection (ms).
+    pub select_ms: f64,
+    /// Wall time of the [`PROTOCOL_ROUNDS`] validation rounds (ms).
+    pub validate_ms: f64,
+    /// Node sweeps per second across selection + validation
+    /// ((1 + PROTOCOL_ROUNDS) · N over their combined wall time).
+    pub protocol_nodes_per_s: f64,
+    /// Contacts held after selection + validation.
+    pub total_contacts: usize,
+    /// Queries per sweep of the query phase.
+    pub queries: usize,
+    /// Hit rate of the warm (second) sweep.
+    pub query_hit_rate: f64,
+    /// Queries per second over both sweeps (cold + warm).
+    pub queries_per_s: f64,
+    /// Protocol shards the world ran with.
+    pub shard_count: usize,
+    /// Smallest per-shard resident protocol state (contact tables + RNG
+    /// streams + backoff + hint slots), bytes.
+    pub shard_mem_min: usize,
+    /// Mean per-shard resident protocol state, bytes.
+    pub shard_mem_mean: usize,
+    /// Largest per-shard resident protocol state, bytes.
+    pub shard_mem_max: usize,
+    /// Messages routed through the cross-shard plane (total sent).
+    pub plane_sent: u64,
+    /// Plane messages that actually crossed a shard boundary.
+    pub plane_cross: u64,
+    /// Plane messages whose source and destination shard coincided.
+    pub plane_local: u64,
+    /// Validation-traffic span-boundary crossings metered (not
+    /// materialized) into the plane's stats.
+    pub plane_span_crossings: u64,
+    /// Resident-set size after the full-protocol phase (bytes).
+    pub protocol_rss_bytes: usize,
 }
 
 /// Run the raw tier: pedestrian (full-churn kernel rebuild every tick)
@@ -707,6 +772,7 @@ fn run_one_raw(scenario: &Scenario, profile: MobilityProfile, p: &RawParams) -> 
     let mut total_tick_ms = 0.0f64;
     let mut max_tick_ms = 0.0f64;
     let mut movers_sum = 0u64;
+    let mut movers_skipped = 0u64;
     let mut full_fallback_ticks = 0usize;
     let mut kernel_lanes = 0u64;
     let mut kernel_exact = 0u64;
@@ -718,31 +784,111 @@ fn run_one_raw(scenario: &Scenario, profile: MobilityProfile, p: &RawParams) -> 
         max_tick_ms = max_tick_ms.max(ms);
         let c = net.pipeline_counters();
         movers_sum += c.movers_reported as u64;
+        movers_skipped += c.movers_skipped as u64;
         full_fallback_ticks += c.full_fallback as usize;
         kernel_lanes += c.kernel_lanes;
         kernel_exact += c.kernel_exact;
     }
     let n = scenario.nodes;
+    let end_rss_bytes = rss_bytes();
+    let table_bytes = net.tables().approx_heap_bytes();
+
+    // Full-protocol phase: the network moves into a sharded CardWorld
+    // (per-node protocol state becomes shard-resident; cross-shard hint
+    // deposits route through the explicit message plane). One
+    // from-scratch selection pass, PROTOCOL_ROUNDS validation rounds,
+    // then a hinted query sweep run twice over the same pairs — the cold
+    // sweep's plane-routed deposits make the warm sweep's hits.
+    let mut world = CardWorld::from_network(net, raw_protocol_config(p));
+    let t_sel = Instant::now();
+    world.select_all_contacts();
+    let select_ms = t_sel.elapsed().as_secs_f64() * 1e3;
+    let t_val = Instant::now();
+    for _ in 0..PROTOCOL_ROUNDS {
+        world.validation_round();
+    }
+    let validate_ms = t_val.elapsed().as_secs_f64() * 1e3;
+
+    // Targets are aimed through the contact graph: two random contact
+    // hops from the source, then a random member of the landing node's
+    // zone — resolvable within D by construction. Uniform random pairs
+    // at N = 10⁶ essentially never resolve at this density, which would
+    // leave the hint deposits (and so the plane columns) vacuously near
+    // zero.
+    let splitter = SeedSplitter::new(p.seed);
+    let mut pair_rng = splitter.stream("scale-raw-query-pairs", 0);
+    let pairs: Vec<(NodeId, NodeId)> = {
+        let nbhd = world.network().tables();
+        (0..p.queries)
+            .map(|_| {
+                let s = NodeId::from(pair_rng.index(n));
+                let mut at = s;
+                for _ in 0..2 {
+                    let t = world.contact_table(at);
+                    if t.is_empty() {
+                        break;
+                    }
+                    at = t.contacts()[pair_rng.index(t.len())].id;
+                }
+                let members = nbhd.of(at).members();
+                let target = if members.is_empty() {
+                    at
+                } else {
+                    members[pair_rng.index(members.len())]
+                };
+                (s, target)
+            })
+            .collect()
+    };
+    let mut outcomes = Vec::new();
+    let t_query = Instant::now();
+    world.query_all_into(&pairs, &mut outcomes); // cold: deposits route
+    world.query_all_into(&pairs, &mut outcomes); // warm: hints pay out
+    let query_ms = t_query.elapsed().as_secs_f64() * 1e3;
+    let hits = outcomes.iter().filter(|o| o.found).count();
+
+    let shard_mem = world.shard_memory_bytes();
+    let ps = world.plane_stats();
     RawRow {
         scenario: *scenario,
         mobility: profile,
         build_ms,
         build_rss_bytes,
-        end_rss_bytes: rss_bytes(),
+        end_rss_bytes,
         ticks: p.ticks,
         mean_tick_ms: total_tick_ms / p.ticks.max(1) as f64,
         max_tick_ms,
         node_ticks_per_s: (n * p.ticks) as f64 / (total_tick_ms / 1e3).max(1e-9),
         mean_movers: movers_sum as f64 / p.ticks.max(1) as f64,
+        movers_skipped,
         full_fallback_ticks,
         kernel_lanes,
         kernel_exact,
-        table_bytes: net.tables().approx_heap_bytes(),
+        table_bytes,
+        select_ms,
+        validate_ms,
+        protocol_nodes_per_s: ((1 + PROTOCOL_ROUNDS) * n) as f64
+            / ((select_ms + validate_ms) / 1e3).max(1e-9),
+        total_contacts: world.total_contacts(),
+        queries: p.queries,
+        query_hit_rate: hits as f64 / p.queries.max(1) as f64,
+        queries_per_s: (2 * p.queries) as f64 / (query_ms / 1e3).max(1e-9),
+        shard_count: world.shard_count(),
+        shard_mem_min: shard_mem.iter().copied().min().unwrap_or(0),
+        shard_mem_mean: shard_mem.iter().sum::<usize>() / shard_mem.len().max(1),
+        shard_mem_max: shard_mem.iter().copied().max().unwrap_or(0),
+        plane_sent: ps.sent,
+        plane_cross: ps.cross_shard,
+        plane_local: ps.local,
+        plane_span_crossings: ps.metered_crossings,
+        protocol_rss_bytes: rss_bytes(),
     }
 }
 
-/// Render the raw tier as one Markdown table with per-phase memory and
-/// throughput columns plus the kernel hit rates.
+/// Render the raw tier as two Markdown tables: the topology-substrate
+/// speed columns (with the annulus pre-filter's skip counter), then the
+/// full-protocol columns — per-shard memory, protocol/query throughput
+/// and cross-shard plane traffic.
 pub fn render_raw(p: &RawParams, rows: &[RawRow]) -> String {
     let headers = [
         "N",
@@ -755,6 +901,7 @@ pub fn render_raw(p: &RawParams, rows: &[RawRow]) -> String {
         "Tick mean/max (ms)",
         "Node-ticks/s",
         "Movers/tick",
+        "Movers skipped",
         "Fallback ticks",
         "Kernel lanes",
         "Exact checks",
@@ -774,6 +921,7 @@ pub fn render_raw(p: &RawParams, rows: &[RawRow]) -> String {
                 format!("{:.2} / {:.2}", r.mean_tick_ms, r.max_tick_ms),
                 fmt_rate(r.node_ticks_per_s),
                 format!("{:.1}", r.mean_movers),
+                fmt_rate(r.movers_skipped as f64),
                 r.full_fallback_ticks.to_string(),
                 fmt_rate(r.kernel_lanes as f64),
                 fmt_rate(r.kernel_exact as f64),
@@ -784,11 +932,60 @@ pub fn render_raw(p: &RawParams, rows: &[RawRow]) -> String {
             ]
         })
         .collect();
+    let proto_headers = [
+        "N",
+        "Mobility",
+        "Select (ms)",
+        "Validate (ms)",
+        "Node-sweeps/s",
+        "Contacts",
+        "Queries ×2",
+        "Warm hit %",
+        "Queries/s",
+        "Shards",
+        "Shard mem min/mean/max",
+        "Plane sent",
+        "Cross-shard",
+        "Local",
+        "Span crossings",
+        "RSS protocol",
+    ];
+    let proto_body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.nodes.to_string(),
+                r.mobility.label().to_string(),
+                format!("{:.0}", r.select_ms),
+                format!("{:.0}", r.validate_ms),
+                fmt_rate(r.protocol_nodes_per_s),
+                fmt_rate(r.total_contacts as f64),
+                r.queries.to_string(),
+                format!("{:.1}%", 100.0 * r.query_hit_rate),
+                fmt_rate(r.queries_per_s),
+                r.shard_count.to_string(),
+                format!(
+                    "{} / {} / {}",
+                    fmt_bytes(r.shard_mem_min),
+                    fmt_bytes(r.shard_mem_mean),
+                    fmt_bytes(r.shard_mem_max)
+                ),
+                fmt_rate(r.plane_sent as f64),
+                fmt_rate(r.plane_cross as f64),
+                fmt_rate(r.plane_local as f64),
+                fmt_rate(r.plane_span_crossings as f64),
+                fmt_bytes(r.protocol_rss_bytes),
+            ]
+        })
+        .collect();
     format!(
-        "### Scale raw — topology-substrate speed runs at scenario-5 density (R={}, tick={:.0} ms, no protocol phases)\n\n{}",
+        "### Scale raw — topology-substrate speed runs at scenario-5 density (R={}, tick={:.0} ms)\n\n{}\n\n\
+         ### Scale raw — full protocol on shard-resident state (selection + {} validation rounds + hinted cold/warm query sweeps through the message plane)\n\n{}",
         p.radius,
         p.tick.as_secs_f64() * 1e3,
-        markdown_table(&headers, &body)
+        markdown_table(&headers, &body),
+        PROTOCOL_ROUNDS,
+        markdown_table(&proto_headers, &proto_body)
     )
 }
 
@@ -1211,15 +1408,65 @@ mod tests {
             assert!(r.kernel_lanes > 0, "{:?} classified no lanes", r.mobility);
             assert!(r.kernel_exact <= r.kernel_lanes);
             assert!(r.mean_movers > 0.0);
+            assert!(
+                r.movers_skipped <= r.ticks as u64 * r.scenario.nodes as u64,
+                "skips are bounded by the reports"
+            );
             // Linux (the only supported bench platform) must report RSS
             #[cfg(target_os = "linux")]
             assert!(r.build_rss_bytes > 0 && r.end_rss_bytes > 0);
+
+            // Full-protocol phase: shard-resident state + plane traffic
+            // must be populated on a 500-node world.
+            assert!(r.total_contacts > 0, "{:?} found no contacts", r.mobility);
+            assert!(r.protocol_nodes_per_s > 0.0);
+            assert!(r.queries_per_s > 0.0);
+            assert!((0.0..=1.0).contains(&r.query_hit_rate));
+            assert!(r.shard_count >= 1);
+            assert!(r.shard_mem_min > 0, "every shard owns resident state");
+            assert!(r.shard_mem_min <= r.shard_mem_mean);
+            assert!(r.shard_mem_mean <= r.shard_mem_max);
+            assert_eq!(
+                r.plane_sent,
+                r.plane_cross + r.plane_local,
+                "plane accounting must balance"
+            );
+            assert!(
+                r.plane_span_crossings > 0,
+                "validation traffic must meter span crossings"
+            );
         }
         let text = render_raw(&p, &rows);
         assert!(text.contains("Node-ticks/s"));
         assert!(text.contains("RSS build"));
         assert!(text.contains("f32-only %"));
         assert!(text.contains("ped-dwell"));
+        assert!(text.contains("Movers skipped"));
+        assert!(text.contains("Shard mem min/mean/max"));
+        assert!(text.contains("Cross-shard"));
+    }
+
+    #[test]
+    fn raw_tier_full_protocol_is_run_deterministic() {
+        // The raw tier's protocol phase rides the same sharded sweeps as
+        // `run`; repeat runs must land identical protocol outcomes and
+        // identical plane traffic.
+        let p = RawParams {
+            nodes: vec![400],
+            ticks: 2,
+            queries: 128,
+            ..RawParams::default()
+        };
+        let a = run_raw(&p);
+        let b = run_raw(&p);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.total_contacts, rb.total_contacts);
+            assert_eq!(ra.query_hit_rate, rb.query_hit_rate);
+            assert_eq!(ra.plane_sent, rb.plane_sent);
+            assert_eq!(ra.plane_cross, rb.plane_cross);
+            assert_eq!(ra.plane_local, rb.plane_local);
+            assert_eq!(ra.plane_span_crossings, rb.plane_span_crossings);
+        }
     }
 
     #[test]

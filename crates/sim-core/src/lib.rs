@@ -32,6 +32,10 @@
 //!   calling thread participating in every fan-out and nested fan-outs
 //!   automatically inlined. The pool is never torn down; its parked
 //!   threads die with the process.
+//! * [`plane`] — the cross-shard message plane: shard-owned outboxes and
+//!   mailboxes with batched, double-buffered exchange rounds and a
+//!   deterministic `(dst shard, src shard, send seq)` delivery order,
+//!   the seam along which in-process shards become process-level ones.
 //!
 //! The engine knows nothing about networks; `net-topology`, `manet-routing`
 //! and `card-core` build the MANET world on top of it.
@@ -68,6 +72,7 @@
 pub mod engine;
 pub mod event;
 pub mod par;
+pub mod plane;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventQueue;
     pub use crate::par::{parallel_map, parallel_map_with, parallel_shard_map};
+    pub use crate::plane::{Mailbox, MessagePlane, Outbox, PlaneStats};
     pub use crate::rng::{RngStream, SeedSplitter};
     pub use crate::stats::{Counter, MsgStats, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};

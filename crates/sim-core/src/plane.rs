@@ -1,0 +1,368 @@
+//! Cross-shard message plane: shard-owned outboxes, batched exchange
+//! rounds, deterministic delivery order.
+//!
+//! The sharded protocol layers (card-core) fan protocol state out as
+//! *owned* shards — contact tables, RNG streams, backoff state and hint
+//! stores all live inside their shard. Any effect one shard wants to have
+//! on state owned by another shard must travel as a typed message through
+//! a [`MessagePlane`]: the sending shard pushes into its own
+//! [`Outbox`] during a parallel phase (no locks, no sharing), the caller
+//! runs [`MessagePlane::exchange`] as a sequential barrier, and each
+//! receiving shard then drains its [`Mailbox`] in the next parallel
+//! phase.
+//!
+//! ## Delivery-order contract
+//!
+//! `exchange` moves every queued message into the destination mailboxes
+//! in **(destination shard, source shard, send sequence)** order:
+//!
+//! * mailbox `d` holds all messages addressed to shard `d`, grouped by
+//!   ascending source shard;
+//! * within one `(source, destination)` pair, messages appear in the
+//!   exact order the source pushed them (per-channel FIFO).
+//!
+//! Draining mailboxes `0..shards` in index order therefore replays the
+//! global `(dst, src, seq)` order — a pure function of *what each shard
+//! sent*, never of worker count or thread interleaving. This is what
+//! lets plane-routed protocol paths stay bit-identical to their retained
+//! serial references at any shard x worker combination.
+//!
+//! ## Double buffering
+//!
+//! Outbox lanes and mailboxes are long-lived `Vec`s: `exchange` drains
+//! lanes into mailboxes without freeing capacity, so steady-state rounds
+//! allocate nothing. A round trip (request phase, exchange, serve phase,
+//! exchange, integrate phase) reuses the same buffers each level.
+
+/// Per-source-shard send queue, one FIFO lane per destination shard.
+///
+/// Each parallel worker owns exactly one `Outbox` (its shard's), so
+/// sends are plain `Vec::push` — no synchronization.
+#[derive(Debug, Default, Clone)]
+pub struct Outbox<M> {
+    /// `lanes[dst]` holds messages for shard `dst` in send order.
+    lanes: Vec<Vec<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new(shards: usize) -> Self {
+        Outbox {
+            lanes: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Queue `msg` for delivery to `dst` at the next exchange.
+    #[inline]
+    pub fn send(&mut self, dst: usize, msg: M) {
+        self.lanes[dst].push(msg);
+    }
+
+    /// Messages queued across all lanes (not yet exchanged).
+    pub fn pending(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-destination-shard receive buffer.
+///
+/// After an exchange, holds `(source shard, message)` pairs sorted by
+/// ascending source shard, FIFO within each source.
+#[derive(Debug, Default, Clone)]
+pub struct Mailbox<M> {
+    msgs: Vec<(u32, M)>,
+}
+
+impl<M> Mailbox<M> {
+    /// Delivered messages in `(src, seq)` order.
+    #[inline]
+    pub fn msgs(&self) -> &[(u32, M)] {
+        &self.msgs
+    }
+
+    /// Number of delivered messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when nothing was delivered this round.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Iterate delivered messages in `(src, seq)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u32, M)> {
+        self.msgs.iter()
+    }
+
+    /// Drain delivered messages in `(src, seq)` order, keeping capacity.
+    pub fn drain(&mut self) -> impl Iterator<Item = (u32, M)> + '_ {
+        self.msgs.drain(..)
+    }
+}
+
+/// Traffic accounting for one plane. All counters are cumulative over
+/// the plane's lifetime (reset with [`MessagePlane::reset_stats`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Exchange barriers run.
+    pub rounds: u64,
+    /// Total messages moved through exchanges.
+    pub sent: u64,
+    /// Messages whose source and destination shard differ.
+    pub cross_shard: u64,
+    /// Messages delivered back to their own shard.
+    pub local: u64,
+    /// Largest single-exchange message count.
+    pub max_round_msgs: u64,
+    /// Shard-boundary crossings *metered* on paths that the in-process
+    /// build resolves by direct substrate reads (validation relay hops):
+    /// the traffic a process-level deployment would route as messages.
+    pub metered_crossings: u64,
+}
+
+impl PlaneStats {
+    /// Fold another stats block into this one (`max_round_msgs` takes
+    /// the max, everything else sums).
+    pub fn merge(&mut self, other: &PlaneStats) {
+        self.rounds += other.rounds;
+        self.sent += other.sent;
+        self.cross_shard += other.cross_shard;
+        self.local += other.local;
+        self.max_round_msgs = self.max_round_msgs.max(other.max_round_msgs);
+        self.metered_crossings += other.metered_crossings;
+    }
+}
+
+/// Shard-to-shard message plane with deterministic batched delivery.
+///
+/// See the [module docs](self) for the ordering contract. Typical use:
+///
+/// ```
+/// use sim_core::plane::MessagePlane;
+///
+/// let mut plane: MessagePlane<u64> = MessagePlane::new(3);
+/// // parallel phase: each worker owns one outbox
+/// for (src, ob) in plane.outboxes_mut().iter_mut().enumerate() {
+///     ob.send((src + 1) % 3, src as u64);
+/// }
+/// plane.exchange();
+/// // parallel phase: each worker drains its own mailbox
+/// assert_eq!(plane.mailbox(1).msgs(), &[(0, 0u64)]);
+/// assert_eq!(plane.stats().sent, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessagePlane<M> {
+    shards: usize,
+    outboxes: Vec<Outbox<M>>,
+    mailboxes: Vec<Mailbox<M>>,
+    stats: PlaneStats,
+}
+
+impl<M> MessagePlane<M> {
+    /// A plane connecting `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        MessagePlane {
+            shards,
+            outboxes: (0..shards).map(|_| Outbox::new(shards)).collect(),
+            mailboxes: (0..shards).map(|_| Mailbox { msgs: Vec::new() }).collect(),
+            stats: PlaneStats::default(),
+        }
+    }
+
+    /// Number of shards this plane connects.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The outboxes, one per source shard, for zipping into a parallel
+    /// fan-out alongside the protocol shards they belong to.
+    pub fn outboxes_mut(&mut self) -> &mut [Outbox<M>] {
+        &mut self.outboxes
+    }
+
+    /// The mailboxes, one per destination shard, for a parallel drain
+    /// phase after an exchange.
+    pub fn mailboxes_mut(&mut self) -> &mut [Mailbox<M>] {
+        &mut self.mailboxes
+    }
+
+    /// Read access to one mailbox.
+    pub fn mailbox(&self, dst: usize) -> &Mailbox<M> {
+        &self.mailboxes[dst]
+    }
+
+    /// Split mutable access: `(outboxes, mailboxes)` at once, for phases
+    /// that read a mailbox while queuing replies (serve phases).
+    pub fn split_mut(&mut self) -> (&mut [Outbox<M>], &mut [Mailbox<M>]) {
+        (&mut self.outboxes, &mut self.mailboxes)
+    }
+
+    /// Deliver every queued message: sequential barrier between two
+    /// parallel phases.
+    ///
+    /// Clears each mailbox (keeping capacity), then for destination
+    /// shards in ascending order appends each source shard's lane in
+    /// ascending source order, preserving per-lane FIFO. Returns the
+    /// number of messages moved this round.
+    pub fn exchange(&mut self) -> usize {
+        let mut round = 0u64;
+        for dst in 0..self.shards {
+            self.mailboxes[dst].msgs.clear();
+        }
+        for src in 0..self.shards {
+            for dst in 0..self.shards {
+                let lane = &mut self.outboxes[src].lanes[dst];
+                if lane.is_empty() {
+                    continue;
+                }
+                round += lane.len() as u64;
+                if src == dst {
+                    self.stats.local += lane.len() as u64;
+                } else {
+                    self.stats.cross_shard += lane.len() as u64;
+                }
+                self.mailboxes[dst]
+                    .msgs
+                    .extend(lane.drain(..).map(|m| (src as u32, m)));
+            }
+        }
+        // Mailbox order must be (src, seq): lanes were appended in
+        // ascending src per dst because the outer loop above fills each
+        // mailbox once per src in ascending order.
+        self.stats.rounds += 1;
+        self.stats.sent += round;
+        self.stats.max_round_msgs = self.stats.max_round_msgs.max(round);
+        round as usize
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &PlaneStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (for metering direct-read crossings
+    /// that a distributed build would route through the plane).
+    pub fn stats_mut(&mut self) -> &mut PlaneStats {
+        &mut self.stats
+    }
+
+    /// Zero the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PlaneStats::default();
+    }
+
+    /// Drop any queued-but-unexchanged messages (keeps capacity).
+    pub fn clear_pending(&mut self) {
+        for ob in &mut self.outboxes {
+            for lane in &mut ob.lanes {
+                lane.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_orders_by_dst_then_src_then_seq() {
+        let mut plane: MessagePlane<u32> = MessagePlane::new(3);
+        // shard 2 sends first; delivery order must not care.
+        plane.outboxes_mut()[2].send(0, 20);
+        plane.outboxes_mut()[2].send(0, 21);
+        plane.outboxes_mut()[0].send(0, 1);
+        plane.outboxes_mut()[1].send(0, 10);
+        plane.outboxes_mut()[0].send(2, 2);
+        let moved = plane.exchange();
+        assert_eq!(moved, 5);
+        // mailbox 0: src 0 first (FIFO), then src 1, then src 2 (FIFO)
+        assert_eq!(
+            plane.mailbox(0).msgs(),
+            &[(0, 1u32), (1, 10), (2, 20), (2, 21)]
+        );
+        assert_eq!(plane.mailbox(1).msgs(), &[]);
+        assert_eq!(plane.mailbox(2).msgs(), &[(0, 2u32)]);
+    }
+
+    #[test]
+    fn stats_split_local_and_cross() {
+        let mut plane: MessagePlane<u8> = MessagePlane::new(2);
+        plane.outboxes_mut()[0].send(0, 1);
+        plane.outboxes_mut()[0].send(1, 2);
+        plane.outboxes_mut()[1].send(0, 3);
+        plane.exchange();
+        plane.exchange(); // empty round still counts
+        let s = plane.stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.local, 1);
+        assert_eq!(s.cross_shard, 2);
+        assert_eq!(s.max_round_msgs, 3);
+    }
+
+    #[test]
+    fn buffers_are_reused_across_rounds() {
+        let mut plane: MessagePlane<u64> = MessagePlane::new(2);
+        for i in 0..64 {
+            plane.outboxes_mut()[0].send(1, i);
+        }
+        plane.exchange();
+        let cap = plane.mailboxes_mut()[1].msgs.capacity();
+        assert!(plane.mailbox(1).len() == 64);
+        for i in 0..64 {
+            plane.outboxes_mut()[0].send(1, i);
+        }
+        plane.exchange();
+        // same round shape: no mailbox regrowth
+        assert_eq!(plane.mailboxes_mut()[1].msgs.capacity(), cap);
+        assert_eq!(plane.mailbox(1).len(), 64);
+    }
+
+    #[test]
+    fn one_shard_degenerate_plane_works() {
+        let mut plane: MessagePlane<u8> = MessagePlane::new(1);
+        plane.outboxes_mut()[0].send(0, 7);
+        plane.exchange();
+        assert_eq!(plane.mailbox(0).msgs(), &[(0, 7u8)]);
+        assert_eq!(plane.stats().local, 1);
+        assert_eq!(plane.stats().cross_shard, 0);
+    }
+
+    #[test]
+    fn clear_pending_drops_queued_messages() {
+        let mut plane: MessagePlane<u8> = MessagePlane::new(2);
+        plane.outboxes_mut()[0].send(1, 9);
+        assert_eq!(plane.outboxes_mut()[0].pending(), 1);
+        plane.clear_pending();
+        assert_eq!(plane.outboxes_mut()[0].pending(), 0);
+        plane.exchange();
+        assert!(plane.mailbox(1).is_empty());
+    }
+
+    #[test]
+    fn merge_folds_stats() {
+        let mut a = PlaneStats {
+            rounds: 1,
+            sent: 10,
+            cross_shard: 4,
+            local: 6,
+            max_round_msgs: 10,
+            metered_crossings: 2,
+        };
+        let b = PlaneStats {
+            rounds: 2,
+            sent: 5,
+            cross_shard: 5,
+            local: 0,
+            max_round_msgs: 12,
+            metered_crossings: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.sent, 15);
+        assert_eq!(a.max_round_msgs, 12);
+        assert_eq!(a.metered_crossings, 3);
+    }
+}
