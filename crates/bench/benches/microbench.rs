@@ -875,7 +875,94 @@ fn bench_message_plane(c: &mut Criterion) {
             ))
         })
     });
+    // The same round under an armed hostile plan (10% churn, a half-field
+    // partition window, 1% probe loss): prices the fault plane's per-round
+    // overhead — event application, link vetoes, tombstone/retry
+    // bookkeeping — over the calm `plane` id. One warm-up round advances
+    // the runtime past round 0, so every measured round applies real
+    // crash/rejoin events from the plan.
+    group.bench_function("faulted", |b| {
+        use sim_core::faults::{FaultConfig, FaultPlan, PartitionWindow};
+        let mut seeded = card_core::CardWorld::from_network(net.clone(), cfg);
+        seeded.select_all_contacts();
+        seeded.enable_faults(FaultPlan::generate(
+            &FaultConfig {
+                churn_rate: 0.1,
+                rejoin_after: 2,
+                partition: Some(PartitionWindow {
+                    start_round: 1,
+                    end_round: 3,
+                    fraction: 0.5,
+                }),
+                drop_rate: 0.01,
+                delay_rate: 0.01,
+                rounds: 4,
+            },
+            n,
+            29,
+        ));
+        seeded.validation_round();
+        b.iter(|| {
+            let mut w = seeded.clone();
+            w.validation_round();
+            black_box((w.maintenance_totals().validated, w.fault_report().crashes))
+        })
+    });
     group.finish();
+}
+
+/// The query-retry path at N = 1000 (depth 3): a 256-query batch through
+/// the faulted `CardWorld::query` dispatch plus one validation round that
+/// drains the due retries. *calm* arms a no-op plan — every query walks
+/// the faulted code path (down-mask filter, verdict lookups) but nothing
+/// fails, pricing the fault plane's fixed overhead on healthy traffic.
+/// *churn* arms a 20% crash plan applied over two warm-up rounds, so a
+/// slice of the batch fails fast on down endpoints, enters the capped
+/// backoff queue and is re-run by the round's drain.
+fn bench_query_retry(c: &mut Criterion) {
+    use sim_core::faults::{FaultConfig, FaultPlan};
+    let n = 1000usize;
+    let cfg = CardConfig::default()
+        .with_radius(2)
+        .with_max_contact_distance(8)
+        .with_target_contacts(4)
+        .with_depth(3)
+        .with_seed(29);
+    let net = Network::from_scenario(&scaled_scenario(n), 2, 29);
+    let mut rng = SeedSplitter::new(31).stream("bench-query-retry", 0);
+    let pairs: Vec<(NodeId, NodeId)> = (0..256)
+        .map(|_| (NodeId::from(rng.index(n)), NodeId::from(rng.index(n))))
+        .collect();
+    let churny = FaultPlan::generate(
+        &FaultConfig {
+            churn_rate: 0.2,
+            rejoin_after: 2,
+            partition: None,
+            drop_rate: 0.05,
+            delay_rate: 0.05,
+            rounds: 4,
+        },
+        n,
+        29,
+    );
+    for (label, plan) in [("calm", FaultPlan::calm(29)), ("churn", churny)] {
+        c.bench_function(format!("query_retry/n{n}/{label}"), |b| {
+            let mut seeded = card_core::CardWorld::from_network(net.clone(), cfg);
+            seeded.select_all_contacts();
+            seeded.enable_faults(plan.clone());
+            seeded.validation_round();
+            seeded.validation_round();
+            b.iter(|| {
+                let mut w = seeded.clone();
+                let mut hits = 0u64;
+                for &(s, t) in &pairs {
+                    hits += w.query(s, t).found as u64;
+                }
+                w.validation_round();
+                black_box((hits, w.pending_query_retries()))
+            })
+        });
+    }
 }
 
 /// The event-driven drive loop vs the tick-synchronous reference at
@@ -943,6 +1030,7 @@ criterion_group! {
         bench_protocol_sweeps,
         bench_query_engine,
         bench_message_plane,
+        bench_query_retry,
         bench_drive_loops,
 }
 criterion_main!(micro);

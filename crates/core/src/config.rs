@@ -83,6 +83,16 @@ pub struct CardConfig {
     /// Hint TTL in validation rounds: a hint older than this is reported
     /// stale and recycled instead of probed.
     pub hint_ttl: u32,
+    /// Tombstone TTL in validation rounds: how long a confirmed-dead
+    /// contact is barred from CSQ re-selection (fault injection only;
+    /// irrelevant in a calm world).
+    pub tombstone_ttl: u32,
+    /// How many unacked validation probes a contact survives before it is
+    /// evicted (per-contact exponential retry; fault injection only).
+    pub validation_retry_cap: u32,
+    /// How many times a failed query is retried with capped exponential
+    /// backoff before being abandoned (fault injection only).
+    pub query_retry_cap: u32,
 }
 
 impl Default for CardConfig {
@@ -104,6 +114,9 @@ impl Default for CardConfig {
             hints_enabled: false,
             hint_slots_per_bucket: 4,
             hint_ttl: 32,
+            tombstone_ttl: 4,
+            validation_retry_cap: 3,
+            query_retry_cap: 3,
         }
     }
 }
@@ -163,6 +176,24 @@ impl CardConfig {
         self
     }
 
+    /// Builder-style tombstone TTL override (validation rounds).
+    pub fn with_tombstone_ttl(mut self, ttl: u32) -> Self {
+        self.tombstone_ttl = ttl;
+        self
+    }
+
+    /// Builder-style per-contact validation retry cap override.
+    pub fn with_validation_retry_cap(mut self, cap: u32) -> Self {
+        self.validation_retry_cap = cap;
+        self
+    }
+
+    /// Builder-style query retry cap override.
+    pub fn with_query_retry_cap(mut self, cap: u32) -> Self {
+        self.query_retry_cap = cap;
+        self
+    }
+
     /// Validate the parameter combination.
     ///
     /// # Panics
@@ -174,6 +205,7 @@ impl CardConfig {
     pub fn validate(&self) {
         assert!(self.radius >= 1, "R must be >= 1");
         assert!(self.depth >= 1, "D must be >= 1");
+        assert!(self.tombstone_ttl >= 1, "tombstone TTL must be >= 1 round");
         if self.hints_enabled {
             assert!(
                 self.hint_slots_per_bucket >= 1,
@@ -228,6 +260,21 @@ mod tests {
         assert!(!c.hints_enabled, "the cache-off reference is the default");
         assert_eq!(c.hint_slots_per_bucket, 4);
         assert_eq!(c.hint_ttl, 32);
+        assert_eq!(c.tombstone_ttl, 4);
+        assert_eq!(c.validation_retry_cap, 3);
+        assert_eq!(c.query_retry_cap, 3);
+        c.validate();
+    }
+
+    #[test]
+    fn fault_builders_chain() {
+        let c = CardConfig::default()
+            .with_tombstone_ttl(6)
+            .with_validation_retry_cap(2)
+            .with_query_retry_cap(5);
+        assert_eq!(c.tombstone_ttl, 6);
+        assert_eq!(c.validation_retry_cap, 2);
+        assert_eq!(c.query_retry_cap, 5);
         c.validate();
     }
 

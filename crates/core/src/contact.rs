@@ -86,17 +86,33 @@ impl<T: TableSource + ?Sized> TableSource for &mut T {
 }
 
 /// The contact table of one source node.
+///
+/// Besides the live contacts, the table carries two pieces of robustness
+/// state used only under fault injection (both empty, and cost-free, in a
+/// calm world):
+///
+/// * **tombstones** — contacts confirmed dead (crashed while listed here).
+///   A tombstoned id is skipped by CSQ re-selection until its TTL, counted
+///   in validation rounds, runs out; this stops a node from immediately
+///   re-selecting a peer it just watched die.
+/// * **retry state** — per-contact unacked-validation backoff. A contact
+///   whose validation probe went unanswered is kept but *skipped* for
+///   `2^level - 1` rounds (the same exponential shape as the table-wide
+///   `backoff_remaining`/`backoff_level` selection backoff in `world.rs`);
+///   each further miss bumps the level until a cap evicts the contact.
 #[derive(Clone, Debug, Default)]
 pub struct ContactTable {
     contacts: Vec<Contact>,
+    /// `(dead contact, remaining TTL in validation rounds)`.
+    tombstones: Vec<(NodeId, u32)>,
+    /// `(contact, retry level, rounds left to skip)`.
+    retries: Vec<(NodeId, u32, u32)>,
 }
 
 impl ContactTable {
     /// An empty table.
     pub fn new() -> Self {
-        ContactTable {
-            contacts: Vec::new(),
-        }
+        ContactTable::default()
     }
 
     /// Number of live contacts.
@@ -160,14 +176,106 @@ impl ContactTable {
         }
     }
 
-    /// Drop every contact (used when re-initializing a node).
+    /// Drop every contact, tombstone and retry record (used when
+    /// re-initializing a node, e.g. after a crash).
     pub fn clear(&mut self) {
         self.contacts.clear();
+        self.tombstones.clear();
+        self.retries.clear();
     }
 
     /// Mutable access for maintenance (retain-style filtering).
     pub(crate) fn contacts_mut(&mut self) -> &mut Vec<Contact> {
         &mut self.contacts
+    }
+
+    // ---- tombstones -----------------------------------------------------
+
+    /// Record `node` as confirmed dead for `ttl` validation rounds: the
+    /// contact (if present) and any retry state are dropped, and CSQ
+    /// re-selection will skip the id until the tombstone decays. A repeat
+    /// tombstone extends the TTL to at least `ttl`.
+    ///
+    /// # Panics
+    /// Panics if `ttl` is zero (a zero-TTL tombstone is a no-op bug).
+    pub fn tombstone(&mut self, node: NodeId, ttl: u32) {
+        assert!(ttl > 0, "tombstone TTL must be at least one round");
+        self.remove(node);
+        self.clear_retry(node);
+        if let Some(t) = self.tombstones.iter_mut().find(|t| t.0 == node) {
+            t.1 = t.1.max(ttl);
+        } else {
+            self.tombstones.push((node, ttl));
+        }
+    }
+
+    /// Is `node` currently tombstoned?
+    pub fn is_tombstoned(&self, node: NodeId) -> bool {
+        self.tombstones.iter().any(|t| t.0 == node)
+    }
+
+    /// The tombstones, in creation order, as `(node, remaining TTL)`.
+    pub fn tombstones(&self) -> &[(NodeId, u32)] {
+        &self.tombstones
+    }
+
+    /// Age every tombstone by one validation round, dropping the expired.
+    pub fn decay_tombstones(&mut self) {
+        for t in &mut self.tombstones {
+            t.1 -= 1;
+        }
+        self.tombstones.retain(|t| t.1 > 0);
+    }
+
+    /// The largest remaining tombstone TTL (0 when none). The liveness
+    /// contract asserts this never exceeds the configured TTL.
+    pub fn max_tombstone_ttl(&self) -> u32 {
+        self.tombstones.iter().map(|t| t.1).max().unwrap_or(0)
+    }
+
+    // ---- per-contact validation retry ----------------------------------
+
+    /// Note an unacked validation probe to `node`: bump its retry level
+    /// and schedule `2^level - 1` skipped rounds. Returns the new level
+    /// (first miss returns 1).
+    pub fn note_unacked(&mut self, node: NodeId) -> u32 {
+        if let Some(r) = self.retries.iter_mut().find(|r| r.0 == node) {
+            r.1 += 1;
+            r.2 = (1u32 << r.1) - 1;
+            r.1
+        } else {
+            self.retries.push((node, 1, 1));
+            1
+        }
+    }
+
+    /// If `node` is inside a retry-skip window, consume one round of it
+    /// and return `true` (the caller must not probe the contact this
+    /// round). Returns `false` when the contact is due for a retry.
+    pub fn retry_skip(&mut self, node: NodeId) -> bool {
+        if let Some(r) = self.retries.iter_mut().find(|r| r.0 == node) {
+            if r.2 > 0 {
+                r.2 -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The retry level of `node` (0 when no probe is outstanding).
+    pub fn retry_level(&self, node: NodeId) -> u32 {
+        self.retries.iter().find(|r| r.0 == node).map_or(0, |r| r.1)
+    }
+
+    /// Clear retry state for `node` (its validation was acked, or the
+    /// contact was evicted).
+    pub fn clear_retry(&mut self, node: NodeId) {
+        self.retries.retain(|r| r.0 != node);
+    }
+
+    /// Number of contacts with an outstanding validation retry.
+    pub fn retrying(&self) -> usize {
+        self.retries.len()
     }
 }
 
@@ -241,7 +349,49 @@ mod tests {
     fn clear_empties() {
         let mut t = ContactTable::new();
         t.add(Contact::new(n(1), chain(&[0, 1])));
+        t.tombstone(n(2), 3);
+        t.note_unacked(n(1));
         t.clear();
         assert!(t.is_empty());
+        assert!(t.tombstones().is_empty());
+        assert_eq!(t.retrying(), 0);
+    }
+
+    #[test]
+    fn tombstones_evict_and_decay() {
+        let mut t = ContactTable::new();
+        t.add(Contact::new(n(7), chain(&[0, 3, 7])));
+        t.note_unacked(n(7));
+        t.tombstone(n(7), 2);
+        assert!(!t.contains(n(7)), "tombstoning evicts the contact");
+        assert_eq!(t.retrying(), 0, "tombstoning clears retry state");
+        assert!(t.is_tombstoned(n(7)));
+        assert_eq!(t.max_tombstone_ttl(), 2);
+        // Repeat tombstone extends, never shortens.
+        t.tombstone(n(7), 1);
+        assert_eq!(t.max_tombstone_ttl(), 2);
+        t.decay_tombstones();
+        assert!(t.is_tombstoned(n(7)));
+        t.decay_tombstones();
+        assert!(!t.is_tombstoned(n(7)));
+        assert_eq!(t.max_tombstone_ttl(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_skip_windows() {
+        let mut t = ContactTable::new();
+        assert!(!t.retry_skip(n(4)), "no outstanding probe, no skip");
+        assert_eq!(t.note_unacked(n(4)), 1);
+        assert!(t.retry_skip(n(4)), "level 1 skips one round");
+        assert!(!t.retry_skip(n(4)), "then the contact is due again");
+        assert_eq!(t.note_unacked(n(4)), 2);
+        assert!(t.retry_skip(n(4)));
+        assert!(t.retry_skip(n(4)));
+        assert!(t.retry_skip(n(4)), "level 2 skips three rounds");
+        assert!(!t.retry_skip(n(4)));
+        assert_eq!(t.retry_level(n(4)), 2);
+        t.clear_retry(n(4));
+        assert_eq!(t.retry_level(n(4)), 0);
+        assert!(!t.retry_skip(n(4)));
     }
 }

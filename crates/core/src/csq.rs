@@ -290,7 +290,10 @@ pub fn select_contacts(
         );
         walk_stats.push(ws);
         if let Some(c) = found {
-            if !table.contains(c.id) {
+            // A tombstoned candidate was just watched dying: don't
+            // re-select it until its tombstone decays (calm worlds never
+            // tombstone, so this is the pre-fault behavior there).
+            if !table.contains(c.id) && !table.is_tombstoned(c.id) {
                 table.add(c);
             }
         }

@@ -45,6 +45,12 @@
 //!   intersect the tick lattice (`gcd(tick, period)` must exceed 1 µs).
 //! * The sampled grid audit (a rotating cursor) runs only on refreshes
 //!   that reported movers, so both modes advance the cursor identically.
+//! * Fault injection rides the ValidationRound lattice: an armed
+//!   `sim_core::faults` plan is applied inside
+//!   [`CardWorld::validation_round`] itself (crashes, rejoins, partition
+//!   windows — see the world module's fault section), so tick loops,
+//!   event drives and direct round calls replay one fault history by
+//!   construction; no separate fault event kind exists.
 //!
 //! At the end of each `drive` segment, regions still asleep are brought
 //! forward to the last tick-lattice instant before the horizon (a pure

@@ -83,6 +83,14 @@ impl HintKey {
     pub fn resource(resource: ResourceId) -> Self {
         HintKey(RESOURCE_BIT | resource.0 as u64)
     }
+
+    /// The packed word, for content-keyed hashing (fault verdicts must be
+    /// a pure function of the message payload, never of transport
+    /// coordinates).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
 }
 
 /// Slot sentinel: no hint stored.

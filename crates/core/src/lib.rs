@@ -40,7 +40,11 @@
 //!   validation sweeps fan out over the persistent `sim_core::par` worker
 //!   pool with shard-owned RNG streams and walk scratches, bit-identical
 //!   to their serial reference paths at any worker or shard count (the
-//!   module docs spell out the determinism contract).
+//!   module docs spell out the determinism contract). A seeded
+//!   `sim_core::faults` plan can be armed on any world
+//!   ([`world::CardWorld::enable_faults`]) for deterministic crash/
+//!   partition/message-loss injection with tombstone, retry-timer, and
+//!   query-retry hardening.
 
 #![warn(missing_docs)]
 pub mod config;
@@ -62,17 +66,17 @@ pub mod prelude {
     pub use crate::contact::{Contact, ContactTable};
     pub use crate::events::{Arrival, ArrivalKind, DriveMode, DriveReport, EventDriver};
     pub use crate::hints::{HintStats, HintStore};
-    pub use crate::query::{QueryOutcome, QueryScratch};
+    pub use crate::query::{QueryOutcome, QueryRetryQueue, QueryScratch, RetryStats};
     pub use crate::reachability::{ReachabilitySummary, REACH_BUCKET_PCT};
     pub use crate::resources::{ResourceDistribution, ResourceId, ResourceRegistry};
     pub use crate::standing::{StandingQueries, StandingQuery, StandingState, StandingStats};
-    pub use crate::world::CardWorld;
+    pub use crate::world::{CardWorld, FaultReport};
 }
 
 pub use config::{CardConfig, SelectionMethod};
 pub use contact::{Contact, ContactTable};
 pub use events::{Arrival, ArrivalKind, DriveMode, DriveReport, EventDriver};
-pub use query::{QueryOutcome, QueryScratch};
+pub use query::{QueryOutcome, QueryRetryQueue, QueryScratch, RetryStats};
 pub use reachability::ReachabilitySummary;
 pub use standing::{StandingQueries, StandingQuery, StandingState, StandingStats};
-pub use world::CardWorld;
+pub use world::{CardWorld, FaultReport};

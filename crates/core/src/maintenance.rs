@@ -54,11 +54,19 @@ fn compress_loops(path: &mut Vec<NodeId>) {
 /// Validate one stored path against the current topology, healing it with
 /// local recovery where allowed. Returns the healed path (`None` ⇒ lost)
 /// plus (validation message count, recovery-used flag).
+///
+/// `allowed` is an extra per-hop admission predicate layered on top of the
+/// substrate's `is_link`: the calm path passes `|_, _| true` (and compiles
+/// to exactly the pre-fault behavior), while fault injection uses it to
+/// veto hops into crashed nodes or across a partition cut — including the
+/// hops of a locally recovered splice, which would otherwise smuggle a
+/// route through a region the fault plane has taken down.
 fn validate_path(
     net: &Network,
     cfg: &CardConfig,
     path: &[NodeId],
     msgs: &mut u64,
+    allowed: &dyn Fn(NodeId, NodeId) -> bool,
 ) -> (Option<Vec<NodeId>>, bool) {
     let mut healed: Vec<NodeId> = vec![path[0]];
     let mut rest: Vec<NodeId> = path[1..].to_vec();
@@ -67,7 +75,7 @@ fn validate_path(
     'outer: while !rest.is_empty() {
         let cur = *healed.last().unwrap();
         let next = rest[0];
-        if net.is_link(cur, next) {
+        if net.is_link(cur, next) && allowed(cur, next) {
             *msgs += 1; // the validation message traverses this hop
             healed.push(next);
             rest.remove(0);
@@ -85,6 +93,9 @@ fn validate_path(
                     continue 'outer;
                 }
                 if let Some(route) = net.tables().of(cur).path_to(candidate) {
+                    if !route.windows(2).all(|w| allowed(w[0], w[1])) {
+                        continue;
+                    }
                     // route = [cur, ..., candidate]; message walks it
                     *msgs += route.len() as u64 - 1;
                     healed.extend_from_slice(&route[1..]);
@@ -123,6 +134,23 @@ pub fn validate_contacts(
     stats: &mut MsgStats,
     at: SimTime,
 ) -> ValidationReport {
+    validate_contacts_filtered(net, cfg, source, table, stats, at, &|_, _| true)
+}
+
+/// [`validate_contacts`] with a per-hop admission predicate: a hop
+/// `(cur, next)` is only traversable when it is a substrate link *and*
+/// `allowed(cur, next)` holds. Fault injection passes a predicate that
+/// vetoes crashed endpoints and partition-crossing hops; with the
+/// pass-all predicate this is byte-identical to [`validate_contacts`].
+pub fn validate_contacts_filtered(
+    net: &Network,
+    cfg: &CardConfig,
+    source: NodeId,
+    table: &mut ContactTable,
+    stats: &mut MsgStats,
+    at: SimTime,
+    allowed: &dyn Fn(NodeId, NodeId) -> bool,
+) -> ValidationReport {
     let mut report = ValidationReport::default();
     let (min_hops, max_hops) = cfg.valid_path_hops();
 
@@ -130,7 +158,7 @@ pub fn validate_contacts(
     for mut contact in contacts {
         debug_assert_eq!(contact.source(), source, "foreign contact in table");
         let mut msgs = 0u64;
-        let (healed, recovered) = validate_path(net, cfg, &contact.path, &mut msgs);
+        let (healed, recovered) = validate_path(net, cfg, &contact.path, &mut msgs, allowed);
         report.validation_msgs += msgs;
         if recovered {
             report.recovered += 1;
@@ -307,6 +335,36 @@ mod tests {
         let rep = validate_contacts(&net, &cfg, n(0), &mut table, &mut st, SimTime::ZERO);
         assert_eq!(rep.dropped_out_of_range, 1);
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn filtered_validation_vetoes_hops_and_recovery_routes() {
+        // Same topology as stale_hop_recovers_through_neighborhood, but
+        // node 2 — the only recovery relay for the 1->3 break — is down.
+        let net = line_net(6, 2);
+        let cfg = cfg(2, 5);
+        let broken = vec![n(0), n(1), n(3), n(4), n(5)];
+        let mut table = ContactTable::new();
+        table.add(Contact::new(n(5), broken.clone()));
+        let mut st = mk_stats();
+        let down = n(2);
+        let rep = validate_contacts_filtered(
+            &net,
+            &cfg,
+            n(0),
+            &mut table,
+            &mut st,
+            SimTime::ZERO,
+            &|a, b| a != down && b != down,
+        );
+        assert_eq!(rep.lost, 1, "recovery must not route through a down node");
+        assert!(table.is_empty());
+        // With the pass-all predicate the same path recovers.
+        let mut table = ContactTable::new();
+        table.add(Contact::new(n(5), broken));
+        let rep = validate_contacts(&net, &cfg, n(0), &mut table, &mut st, SimTime::ZERO);
+        assert_eq!(rep.validated, 1);
+        assert_eq!(rep.recovered, 1);
     }
 
     #[test]

@@ -183,6 +183,50 @@ impl QueryScratch {
         None
     }
 
+    /// [`advance_level`](Self::advance_level) with a fault filter: a
+    /// contact edge `(holder, contact)` vetoed by `edge_ok` is neither
+    /// traversed, marked, nor charged — the sender learned from its failed
+    /// validation that the relay is gone, so no probe is emitted. A vetoed
+    /// contact stays discoverable through a different (allowed) edge at
+    /// this or a deeper level. With a pass-all filter this is exactly
+    /// `advance_level`.
+    pub(crate) fn advance_level_filtered<R, T: TableSource + ?Sized>(
+        &mut self,
+        contact_tables: &T,
+        msgs: &mut u64,
+        edge_ok: &dyn Fn(NodeId, NodeId) -> bool,
+        mut visit: impl FnMut(NodeId, u64) -> Option<R>,
+    ) -> Option<R> {
+        self.next.clear();
+        let epoch = self.epoch;
+        let mut level_msgs = 0u64;
+        for fi in 0..self.frontier.len() {
+            let (node, dist) = self.frontier[fi];
+            for contact in contact_tables.table(node.index()).contacts() {
+                let c = contact.id;
+                if self.mark[c.index()] == epoch {
+                    continue;
+                }
+                if !edge_ok(node, c) {
+                    continue;
+                }
+                self.mark[c.index()] = epoch;
+                self.parent[c.index()] = node;
+                let hops = contact.hops() as u64;
+                let at_contact = dist + hops;
+                *msgs += hops;
+                level_msgs += hops;
+                if let Some(r) = visit(c, at_contact) {
+                    return Some(r);
+                }
+                self.next.push((c, at_contact));
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.walked += level_msgs;
+        None
+    }
+
     /// No contact remains to expand (deeper levels cannot discover — or
     /// charge — anything).
     pub(crate) fn exhausted(&self) -> bool {
@@ -648,6 +692,462 @@ pub fn dsq_query_hinted<T: TableSource, S: HintLookup>(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Faulted queries — the fault-injection variants of the walk and the chase.
+// ---------------------------------------------------------------------------
+
+/// Fault view threaded through the faulted query paths: the crash mask and
+/// (while a partition window is open) the frozen per-node sides. Borrowed
+/// from the world's `FaultState` for the duration of one query.
+#[derive(Clone, Copy)]
+pub struct QueryFaultFilter<'a> {
+    /// `down[i]` — node `i` is crashed.
+    pub down: &'a [bool],
+    /// Frozen partition sides, `None` while no partition is active.
+    pub sides: Option<&'a [u8]>,
+}
+
+impl QueryFaultFilter<'_> {
+    /// Can a query hop travel from `a` to `b`? `a` is assumed alive (it
+    /// is holding the query); `b` must be alive and on the same side of
+    /// an open partition.
+    #[inline]
+    pub fn edge_ok(&self, a: NodeId, b: NodeId) -> bool {
+        !self.down[b.index()] && self.sides.is_none_or(|s| s[a.index()] == s[b.index()])
+    }
+}
+
+/// [`escalate_unrecorded`] under a fault filter: contact edges into
+/// crashed nodes or across the partition cut are vetoed (see
+/// [`QueryScratch::advance_level_filtered`]). The `answers` predicate
+/// still decides resolution, so callers fold target-side fault checks
+/// into it.
+pub(crate) fn escalate_faulted_unrecorded<T: TableSource>(
+    n: usize,
+    contact_tables: T,
+    source: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    filter: &QueryFaultFilter<'_>,
+    mut answers: impl FnMut(NodeId) -> bool,
+) -> QueryOutcome {
+    scratch.begin(n, source);
+    let mut query_msgs = 0u64;
+    let edge_ok = |a: NodeId, b: NodeId| filter.edge_ok(a, b);
+    for depth in 1..=max_depth {
+        query_msgs += scratch.walked_msgs();
+        let reply =
+            scratch.advance_level_filtered(&contact_tables, &mut query_msgs, &edge_ok, |c, d| {
+                answers(c).then_some(d)
+            });
+        if let Some(reply) = reply {
+            return QueryOutcome {
+                found: true,
+                depth_used: depth,
+                query_msgs,
+                reply_msgs: reply,
+            };
+        }
+    }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
+}
+
+/// [`dsq_query_unrecorded`] under a fault filter. The depth-0 shortcut and
+/// the answer predicate both require the answering zone to actually reach
+/// the target: the target must be up (checked by the caller or by
+/// `edge_ok`) and on the answerer's side of an open partition.
+pub(crate) fn dsq_query_faulted_unrecorded<T: TableSource>(
+    net: &Network,
+    contact_tables: T,
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    filter: &QueryFaultFilter<'_>,
+) -> QueryOutcome {
+    let tables = net.tables();
+    if tables.of(source).contains(target) && filter.edge_ok(source, target) {
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
+    }
+    escalate_faulted_unrecorded(
+        net.node_count(),
+        contact_tables,
+        source,
+        max_depth,
+        scratch,
+        filter,
+        |c| tables.of(c).contains(target) && filter.edge_ok(c, target),
+    )
+}
+
+/// [`chase`] under a fault filter: a hint whose next hop is crashed or
+/// beyond the partition cut ends the probe as a `stale_contact` miss (the
+/// dead-relay fallback — the caller's walk takes over), instead of
+/// chasing a dead relay or forwarding into a stale id.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+fn chase_faulted<T: TableSource + ?Sized, S: HintLookup + ?Sized>(
+    contact_tables: &T,
+    store: &S,
+    stats: &mut HintStats,
+    key: HintKey,
+    start: NodeId,
+    start_dist: u64,
+    budget: usize,
+    chain: &mut [NodeId; MAX_CHAIN],
+    filter: &QueryFaultFilter<'_>,
+    answers: &mut impl FnMut(NodeId) -> bool,
+) -> Chase {
+    let budget = budget.min(MAX_CHAIN - 1);
+    chain[0] = start;
+    let mut node = start;
+    let mut dist = start_dist;
+    let mut probe_msgs = 0u64;
+    let mut steps = 0usize;
+    while steps < budget {
+        stats.lookups += 1;
+        let hint = match store.lookup(node, key) {
+            Lookup::Hit(h) => h,
+            Lookup::Expired => {
+                stats.stale_ttl += 1;
+                break;
+            }
+            Lookup::Absent => {
+                stats.miss_absent += 1;
+                break;
+            }
+        };
+        let Some(contact) = contact_tables.table(node.index()).get(hint.next_hop) else {
+            stats.stale_contact += 1;
+            break;
+        };
+        if !filter.edge_ok(node, hint.next_hop) {
+            stats.stale_contact += 1;
+            break;
+        }
+        stats.hits += 1;
+        let hops = contact.hops() as u64;
+        probe_msgs += hops;
+        dist += hops;
+        node = hint.next_hop;
+        steps += 1;
+        chain[steps] = node;
+        if answers(node) {
+            return Chase {
+                reply: Some(dist),
+                steps,
+                probe_msgs,
+            };
+        }
+    }
+    Chase {
+        reply: None,
+        steps,
+        probe_msgs,
+    }
+}
+
+/// [`escalate_hinted_unrecorded`] under a fault filter: the source probe,
+/// every relay probe and the fallback walk all veto edges into crashed
+/// nodes and across the partition cut, so a cached hint pointing at a
+/// dead relay degrades into a `stale_contact` miss and the query falls
+/// back to the (filtered) walk.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol message fields
+pub(crate) fn escalate_hinted_faulted_unrecorded<T: TableSource, S: HintLookup>(
+    n: usize,
+    contact_tables: T,
+    ctx: &mut HintContext<'_, S>,
+    key: HintKey,
+    source: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    filter: &QueryFaultFilter<'_>,
+    mut answers: impl FnMut(NodeId) -> bool,
+) -> QueryOutcome {
+    let mut src_chain = [source; MAX_CHAIN];
+    let src = chase_faulted(
+        &contact_tables,
+        &ctx.store,
+        ctx.stats,
+        key,
+        source,
+        0,
+        max_depth as usize,
+        &mut src_chain,
+        filter,
+        &mut answers,
+    );
+    if src.steps > 0 {
+        ctx.stats.chases += 1;
+    }
+    ctx.stats.probe_msgs += src.probe_msgs;
+    if let Some(reply) = src.reply {
+        ctx.stats.chase_hits += 1;
+        push_chain_deposits(ctx.deposits, key, &src_chain[..=src.steps]);
+        return QueryOutcome {
+            found: true,
+            depth_used: src.steps as u16,
+            query_msgs: src.probe_msgs,
+            reply_msgs: reply,
+        };
+    }
+    let mut failed_chases: u32 = (src.steps > 0) as u32;
+
+    scratch.begin(n, source);
+    let mut query_msgs = src.probe_msgs;
+    let mut chase_chain = [source; MAX_CHAIN];
+    let edge_ok = |a: NodeId, b: NodeId| filter.edge_ok(a, b);
+    for depth in 1..=max_depth {
+        query_msgs += scratch.walked_msgs();
+        let mut probe_spent = 0u64;
+        let hit = {
+            let tables = &contact_tables;
+            let stats = &mut *ctx.stats;
+            let store = &ctx.store;
+            let failed = &mut failed_chases;
+            let probe = &mut probe_spent;
+            let chain = &mut chase_chain;
+            let ans = &mut answers;
+            scratch.advance_level_filtered(tables, &mut query_msgs, &edge_ok, |c, at_contact| {
+                if ans(c) {
+                    return Some(HintedHit::Walk {
+                        answer: c,
+                        reply: at_contact,
+                    });
+                }
+                if depth < max_depth && *failed < MAX_FAILED_CHASES {
+                    let budget = (max_depth - depth) as usize;
+                    let res = chase_faulted(
+                        tables, store, stats, key, c, at_contact, budget, chain, filter, ans,
+                    );
+                    if res.steps > 0 {
+                        stats.chases += 1;
+                    }
+                    stats.probe_msgs += res.probe_msgs;
+                    *probe += res.probe_msgs;
+                    if let Some(reply) = res.reply {
+                        stats.chase_hits += 1;
+                        return Some(HintedHit::Chase {
+                            relay: c,
+                            steps: res.steps,
+                            reply,
+                        });
+                    }
+                    if res.steps > 0 {
+                        *failed += 1;
+                    }
+                }
+                None
+            })
+        };
+        query_msgs += probe_spent;
+        if let Some(hit) = hit {
+            let mut path: Vec<NodeId> = Vec::new();
+            return match hit {
+                HintedHit::Walk { answer, reply } => {
+                    scratch.walk_path(answer, &mut path);
+                    push_chain_deposits(ctx.deposits, key, &path);
+                    QueryOutcome {
+                        found: true,
+                        depth_used: depth,
+                        query_msgs,
+                        reply_msgs: reply,
+                    }
+                }
+                HintedHit::Chase {
+                    relay,
+                    steps,
+                    reply,
+                } => {
+                    scratch.walk_path(relay, &mut path);
+                    path.extend_from_slice(&chase_chain[1..=steps]);
+                    push_chain_deposits(ctx.deposits, key, &path);
+                    QueryOutcome {
+                        found: true,
+                        depth_used: depth + steps as u16,
+                        query_msgs,
+                        reply_msgs: reply,
+                    }
+                }
+            };
+        }
+    }
+    QueryOutcome {
+        found: false,
+        depth_used: max_depth,
+        query_msgs,
+        reply_msgs: 0,
+    }
+}
+
+/// [`dsq_query_hinted_unrecorded`] under a fault filter (see
+/// [`escalate_hinted_faulted_unrecorded`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dsq_query_hinted_faulted_unrecorded<T: TableSource, S: HintLookup>(
+    net: &Network,
+    contact_tables: T,
+    ctx: &mut HintContext<'_, S>,
+    source: NodeId,
+    target: NodeId,
+    max_depth: u16,
+    scratch: &mut QueryScratch,
+    filter: &QueryFaultFilter<'_>,
+) -> QueryOutcome {
+    let tables = net.tables();
+    if tables.of(source).contains(target) && filter.edge_ok(source, target) {
+        return QueryOutcome {
+            found: true,
+            depth_used: 0,
+            query_msgs: 0,
+            reply_msgs: 0,
+        };
+    }
+    escalate_hinted_faulted_unrecorded(
+        net.node_count(),
+        contact_tables,
+        ctx,
+        HintKey::node(target),
+        source,
+        max_depth,
+        scratch,
+        filter,
+        |c| tables.of(c).contains(target) && filter.edge_ok(c, target),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Query retry — capped exponential backoff for faulted misses.
+// ---------------------------------------------------------------------------
+
+/// Counters of one [`QueryRetryQueue`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Failed queries accepted for retry.
+    pub scheduled: u64,
+    /// Retry attempts actually re-run.
+    pub retried: u64,
+    /// Retries that resolved.
+    pub recovered: u64,
+    /// Queries given up after the attempt cap.
+    pub abandoned: u64,
+}
+
+#[derive(Clone, Debug)]
+struct RetryEntry {
+    source: NodeId,
+    target: NodeId,
+    attempt: u32,
+    wait: u32,
+}
+
+/// Retry queue for queries that failed under faults (frontier partitioned
+/// away, relays crashed): each failed query re-runs after an exponentially
+/// growing number of validation rounds (1, 2, 4, … capped at 8) until it
+/// resolves or `cap` attempts are spent. Draining is driven by the
+/// validation-round lattice, so retry timing — like everything else in the
+/// fault plane — is identical between tick and event drivers and across
+/// shard counts.
+#[derive(Clone, Debug)]
+pub struct QueryRetryQueue {
+    entries: Vec<RetryEntry>,
+    cap: u32,
+    stats: RetryStats,
+}
+
+impl QueryRetryQueue {
+    /// An empty queue abandoning queries after `cap` retry attempts.
+    pub fn new(cap: u32) -> Self {
+        QueryRetryQueue {
+            entries: Vec::new(),
+            cap,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Outstanding retries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is waiting to retry.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    /// Accept a freshly failed query for retry (first attempt re-runs at
+    /// the next round). A `(source, target)` pair already queued is not
+    /// queued twice.
+    pub fn schedule(&mut self, source: NodeId, target: NodeId) {
+        if self.cap == 0 {
+            return;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|e| e.source == source && e.target == target)
+        {
+            return;
+        }
+        self.stats.scheduled += 1;
+        self.entries.push(RetryEntry {
+            source,
+            target,
+            attempt: 1,
+            wait: 1,
+        });
+    }
+
+    /// Advance one validation round: every entry's wait decreases by one
+    /// and the now-due entries are moved into `due` (insertion order) as
+    /// `(source, target, attempt)`. The caller re-runs each and feeds the
+    /// outcome back through [`report`](Self::report).
+    pub fn tick(&mut self, due: &mut Vec<(NodeId, NodeId, u32)>) {
+        due.clear();
+        let mut i = 0;
+        while i < self.entries.len() {
+            self.entries[i].wait -= 1;
+            if self.entries[i].wait == 0 {
+                let e = self.entries.remove(i);
+                due.push((e.source, e.target, e.attempt));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Record the outcome of a due retry: a hit counts as recovered; a
+    /// miss re-queues with doubled backoff until `cap` attempts are spent.
+    pub fn report(&mut self, source: NodeId, target: NodeId, attempt: u32, found: bool) {
+        self.stats.retried += 1;
+        if found {
+            self.stats.recovered += 1;
+        } else if attempt >= self.cap {
+            self.stats.abandoned += 1;
+        } else {
+            self.entries.push(RetryEntry {
+                source,
+                target,
+                attempt: attempt + 1,
+                wait: 1 << attempt.min(3),
+            });
+        }
+    }
+}
+
 /// One from-scratch escalation attempt at exactly `depth` levels: a
 /// level-synchronous walk of the contact graph. Every contact is consumed
 /// at its *minimal* level (loop prevention via query IDs), so the set of
@@ -992,6 +1492,104 @@ mod tests {
             &mut scratch,
         );
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn pass_all_filter_matches_unfiltered_walk() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let down = vec![false; net.node_count()];
+        let filter = QueryFaultFilter {
+            down: &down,
+            sides: None,
+        };
+        let mut scratch = QueryScratch::new();
+        for target in 0..16u32 {
+            for depth in 1..=3u16 {
+                let faulted = dsq_query_faulted_unrecorded(
+                    &net,
+                    &tables,
+                    n(0),
+                    n(target),
+                    depth,
+                    &mut scratch,
+                    &filter,
+                );
+                let plain =
+                    dsq_query_unrecorded(&net, &tables, n(0), n(target), depth, &mut scratch);
+                assert_eq!(faulted, plain, "target {target} depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_relay_blocks_the_walk_through_it() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        // Depth-2 answers for target 13 route through contact 6; with 6
+        // down the walk must miss instead of relaying through a corpse.
+        let mut down = vec![false; net.node_count()];
+        down[6] = true;
+        let filter = QueryFaultFilter {
+            down: &down,
+            sides: None,
+        };
+        let mut scratch = QueryScratch::new();
+        let out =
+            dsq_query_faulted_unrecorded(&net, &tables, n(0), n(13), 3, &mut scratch, &filter);
+        assert!(!out.found);
+        assert_eq!(out.query_msgs, 0, "no probe is sent to a known-dead relay");
+    }
+
+    #[test]
+    fn partition_blocks_answers_across_the_cut() {
+        let net = line_net();
+        let tables = tables_for_line(&net);
+        let down = vec![false; net.node_count()];
+        // Cut between node 9 and 10: source side 0, far side 1.
+        let sides: Vec<u8> = (0..net.node_count()).map(|i| (i >= 10) as u8).collect();
+        let filter = QueryFaultFilter {
+            down: &down,
+            sides: Some(&sides),
+        };
+        let mut scratch = QueryScratch::new();
+        // Target 13 lives across the cut: depth-2 contact 12 is vetoed.
+        let out =
+            dsq_query_faulted_unrecorded(&net, &tables, n(0), n(13), 3, &mut scratch, &filter);
+        assert!(!out.found);
+        // Target 7 is on the source side and still resolves.
+        let out = dsq_query_faulted_unrecorded(&net, &tables, n(0), n(7), 3, &mut scratch, &filter);
+        assert!(out.found);
+        assert_eq!(out.depth_used, 1);
+    }
+
+    #[test]
+    fn retry_queue_backs_off_and_caps() {
+        let mut q = QueryRetryQueue::new(2);
+        let mut due = Vec::new();
+        q.schedule(n(1), n(2));
+        q.schedule(n(1), n(2)); // dedup: one outstanding entry per pair
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().scheduled, 1);
+        q.tick(&mut due);
+        assert_eq!(due, vec![(n(1), n(2), 1)]);
+        // First retry misses: re-queued with wait 2.
+        q.report(n(1), n(2), 1, false);
+        q.tick(&mut due);
+        assert!(due.is_empty(), "backoff wait of 2 rounds");
+        q.tick(&mut due);
+        assert_eq!(due, vec![(n(1), n(2), 2)]);
+        // Second retry misses at the cap: abandoned.
+        q.report(n(1), n(2), 2, false);
+        assert!(q.is_empty());
+        let st = q.stats().clone();
+        assert_eq!((st.retried, st.recovered, st.abandoned), (2, 0, 1));
+        // A recovery counts and does not re-queue.
+        q.schedule(n(3), n(4));
+        q.tick(&mut due);
+        q.report(n(3), n(4), 1, true);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().recovered, 1);
     }
 
     #[test]

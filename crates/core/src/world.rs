@@ -10,12 +10,12 @@
 //!
 //! Per-node protocol state — contact tables, per-node RNG streams, backoff
 //! counters, the §V hint-store span, and the CSQ walk workspace — is *owned*
-//! by its [`ProtocolShard`]: shard `k` holds the state of the contiguous
+//! by its `ProtocolShard`: shard `k` holds the state of the contiguous
 //! node span `[k·per, (k+1)·per)` (the canonical
 //! [`sim_core::par::shard_spans`] partition; `per = ceil(N / shards)`).
 //! There is no flat whole-network array behind the shards; cross-shard
 //! reads go through read-only views ([`TablesView`], [`HintsView`]) and
-//! cross-shard *writes* become typed [`ProtocolMsg`] messages routed
+//! cross-shard *writes* become typed `ProtocolMsg` messages routed
 //! through a [`MessagePlane`] and applied by the owning shard in a
 //! deterministic drain phase.
 //!
@@ -42,13 +42,13 @@
 //! Three protocol interactions cross shard-ownership boundaries and are
 //! expressed as messages:
 //!
-//! * **Hint deposits** ([`ProtocolMsg::Deposit`]): a resolved query of a
+//! * **Hint deposits** (`ProtocolMsg::Deposit`): a resolved query of a
 //!   batched sweep deposits hints at relay nodes that usually live on
 //!   other shards. The sweep logs deposits per source shard, routes them
 //!   to the holder's owner shard through one exchange round, and each
 //!   shard applies its own mailbox — see [`CardWorld::query_all`].
-//! * **Query expansion** ([`ProtocolMsg::Expand`] /
-//!   [`ProtocolMsg::Contacts`]): the plane-routed sweep
+//! * **Query expansion** (`ProtocolMsg::Expand` /
+//!   `ProtocolMsg::Contacts`): the plane-routed sweep
 //!   [`CardWorld::query_all_plane`] expands query frontiers by asking the
 //!   owner shard of each frontier node for its contact list instead of
 //!   reading the table directly (two exchange rounds per escalation
@@ -86,12 +86,33 @@
 //! are a pure function of `(network, tables, pair)`, so the sweep equals
 //! [`CardWorld::query_all_serial`] — and a loop of [`CardWorld::query`]
 //! calls — bit for bit at any worker or shard count.
+//!
+//! ## Fault injection
+//!
+//! [`CardWorld::enable_faults`] arms a seeded [`FaultPlan`]
+//! (crash/rejoin events, a partition window, per-message drop/delay —
+//! see [`sim_core::faults`]). Fault application is fused to the
+//! validation round itself: every driver (the tick loop, the event
+//! driver, direct calls) applies round `r`'s node events and partition
+//! transitions immediately before executing round `r`, so tick and
+//! event modes see identical fault histories by construction. All fault
+//! decisions key on protocol content (node ids, rounds, message
+//! payloads) hashed with the plan seed — never on shard or worker
+//! coordinates — which keeps a faulted run bit-identical at any shard
+//! count and against the serial reference paths. Protocol hardening
+//! under faults: confirmed-dead contacts are tombstoned (and skipped by
+//! re-selection until the TTL expires), unacked validations extend
+//! per-contact retry windows, hinted probes fall back to the plain walk
+//! when a hint's next hop is crashed, and failed queries re-run with
+//! capped exponential backoff through a [`QueryRetryQueue`] drained on
+//! the validation-round lattice.
 
 use manet_routing::network::Network;
 use mobility::model::MobilityModel;
 use net_topology::node::NodeId;
 use net_topology::scenario::Scenario;
 use sim_core::engine::Engine;
+use sim_core::faults::{FaultPlan, FaultState, FaultVerdict, NodeFaultKind};
 use sim_core::par::{max_workers, parallel_shard_map, shard_spans};
 use sim_core::plane::{MessagePlane, PlaneStats};
 use sim_core::rng::{RngStream, SeedSplitter};
@@ -102,10 +123,14 @@ use crate::config::CardConfig;
 use crate::contact::{ContactTable, TableSource};
 use crate::csq::{select_contacts, CsqScratch, ALL_EDGE_NODES};
 use crate::hints::{HintDeposit, HintLookup, HintStats, HintStore, Lookup};
-use crate::maintenance::{path_shard_crossings, validate_contacts, ValidationReport};
+use crate::maintenance::{
+    path_shard_crossings, validate_contacts, validate_contacts_filtered, ValidationReport,
+};
 use crate::query::{
-    dsq_query, dsq_query_hinted, dsq_query_hinted_unrecorded, dsq_query_unrecorded,
-    escalate_unrecorded, HintContext, QueryOutcome, QueryScratch,
+    dsq_query, dsq_query_faulted_unrecorded, dsq_query_hinted, dsq_query_hinted_faulted_unrecorded,
+    dsq_query_hinted_unrecorded, dsq_query_unrecorded, escalate_faulted_unrecorded,
+    escalate_unrecorded, HintContext, QueryFaultFilter, QueryOutcome, QueryRetryQueue,
+    QueryScratch, RetryStats,
 };
 use crate::reachability::ReachabilitySummary;
 use crate::resources::{resource_query, resource_query_hinted, ResourceId, ResourceRegistry};
@@ -139,6 +164,56 @@ impl MaintenanceTotals {
         self.dropped_out_of_range += other.dropped_out_of_range;
         self.recovered += other.recovered;
     }
+}
+
+/// Live fault-injection state of a world with faults armed: the immutable
+/// plan plus the evolving down/partition state and lifecycle counters.
+#[derive(Clone)]
+struct FaultRuntime {
+    plan: FaultPlan,
+    state: FaultState,
+    /// Fault rounds applied so far (the next validation round executes
+    /// round `round`'s events first).
+    round: u32,
+    crashes: u64,
+    rejoins: u64,
+    partitions_opened: u64,
+    partitions_healed: u64,
+    /// Tombstones found past their TTL by the in-run liveness check
+    /// (expected to stay 0; surfaced, never asserted, in release runs).
+    liveness_violations: u64,
+    /// Stale grid buckets found by the targeted residency audit of
+    /// crash/rejoin sites (expected to stay 0).
+    grid_audit_violations: u64,
+    /// Shard-invariant salt mixed into deposit-message verdict keys so
+    /// identical payloads in different sweeps draw independent verdicts.
+    sweep_counter: u64,
+}
+
+/// Snapshot of the fault subsystem, surfaced by
+/// [`CardWorld::fault_report`] (all-zero when faults are disabled).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Fault rounds applied so far.
+    pub rounds_applied: u32,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Rejoin events executed.
+    pub rejoins: u64,
+    /// Nodes currently down.
+    pub down_now: usize,
+    /// Partition windows opened.
+    pub partitions_opened: u64,
+    /// Partition windows healed.
+    pub partitions_healed: u64,
+    /// Is a partition open right now?
+    pub partition_active: bool,
+    /// Tombstones observed past their TTL (0 in a healthy run).
+    pub liveness_violations: u64,
+    /// Stale grid buckets at crash/rejoin sites (0 in a healthy run).
+    pub grid_audit_violations: u64,
+    /// Query-retry lifecycle counters.
+    pub retry: RetryStats,
 }
 
 /// One shard of the world's protocol state: the *owner* of a contiguous
@@ -311,6 +386,9 @@ struct ShardDelta {
     /// Span-boundary crossings of the round's validation traffic (metered,
     /// not materialized — see the module docs).
     crossings: u64,
+    /// Tombstones found past their TTL this round (always 0 on the calm
+    /// path, which never creates tombstones).
+    liveness_violations: u64,
 }
 
 /// Simulation events of the mobile run loop.
@@ -378,6 +456,13 @@ pub struct CardWorld {
     standing: StandingQueries,
     /// Reusable drain buffer for pending standing-query revalidations.
     standing_ids: Vec<u32>,
+    /// Armed fault plan and its evolving state; `None` (the common case)
+    /// keeps every calm path untouched.
+    faults: Option<FaultRuntime>,
+    /// Failed faulted queries waiting to re-run (drained each round).
+    query_retry: QueryRetryQueue,
+    /// Reusable drain buffer for due query retries.
+    retry_due: Vec<(NodeId, NodeId, u32)>,
 }
 
 /// Cap on the exponential selection backoff level (2^5 − 1 = 31 rounds).
@@ -489,6 +574,9 @@ impl CardWorld {
             sweep_deposits: (0..k).map(|_| Vec::new()).collect(),
             standing: StandingQueries::new(n),
             standing_ids: Vec::new(),
+            faults: None,
+            query_retry: QueryRetryQueue::new(cfg.query_retry_cap),
+            retry_due: Vec::new(),
         }
     }
 
@@ -553,9 +641,38 @@ impl CardWorld {
         self.query_scratch.shrink_to_fit();
         self.sweep_deposits.resize_with(shards, Vec::new);
         self.sweep_deposits.shrink_to_fit();
+        // Rebuild the plane at the new width, migrating any undelivered
+        // messages (a lossy fault plane can park deferred deposits between
+        // sweeps). Deferred messages re-enter the deferred lane of the
+        // holder's new owner — their delivery verdict is already spent, so
+        // re-sending them through an outbox would draw a second verdict
+        // and diverge from a run that never resharded. Queued messages
+        // (never yet exchanged) re-enter outboxes and are counted as sent
+        // at their first exchange, exactly as before the move. Both walks
+        // preserve global `(src, dst, seq)` order, so the per-holder
+        // delivery sequence is unchanged.
+        let (deferred, queued) = self.plane.take_undelivered();
         let plane_stats = self.plane.stats().clone();
         self.plane = MessagePlane::new(shards);
         *self.plane.stats_mut() = plane_stats;
+        let new_per = self.per;
+        let route = move |msg: &ProtocolMsg| -> usize {
+            let ProtocolMsg::Deposit(d) = msg else {
+                unreachable!("mid-call plane messages cannot survive a reshard");
+            };
+            d.holder.index() / new_per
+        };
+        for msg in deferred {
+            let dst = route(&msg);
+            self.plane.defer(dst, dst, msg);
+        }
+        if !queued.is_empty() {
+            let (outboxes, _) = self.plane.split_mut();
+            for msg in queued {
+                let dst = route(&msg);
+                outboxes[dst].send(dst, msg);
+            }
+        }
     }
 
     /// The underlying network.
@@ -589,9 +706,149 @@ impl CardWorld {
         self.plane.stats()
     }
 
+    /// Number of fault-delayed plane messages parked in the deferred lane
+    /// for the next exchange. With this the plane ledger closes at any
+    /// instant: `sent == local + cross_shard + dropped + deferred`.
+    pub fn plane_deferred_pending(&self) -> usize {
+        self.plane.deferred_pending()
+    }
+
     /// Zero the plane statistics (phase-by-phase measurement).
     pub fn reset_plane_stats(&mut self) {
         self.plane.reset_stats();
+    }
+
+    /// Arm deterministic fault injection: from the next validation round
+    /// on, `plan`'s node events, partition window, and message verdicts
+    /// apply. The faulted history is a pure function of `(world seed,
+    /// plan)` — identical at any shard or worker count and between the
+    /// tick and event drivers (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if the plan schedules an event for a node outside this
+    /// network.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        let n = self.net.node_count();
+        assert!(
+            plan.events().iter().all(|e| (e.node as usize) < n),
+            "fault plan targets a node outside the network"
+        );
+        self.faults = Some(FaultRuntime {
+            plan,
+            state: FaultState::new(n),
+            round: 0,
+            crashes: 0,
+            rejoins: 0,
+            partitions_opened: 0,
+            partitions_healed: 0,
+            liveness_violations: 0,
+            grid_audit_violations: 0,
+            sweep_counter: 0,
+        });
+    }
+
+    /// Is a fault plan armed?
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The live down/partition state, when faults are armed.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref().map(|rt| &rt.state)
+    }
+
+    /// Lifecycle counters of the fault subsystem (all-zero when disabled).
+    pub fn fault_report(&self) -> FaultReport {
+        let mut r = FaultReport {
+            retry: self.query_retry.stats().clone(),
+            ..FaultReport::default()
+        };
+        if let Some(rt) = &self.faults {
+            r.rounds_applied = rt.round;
+            r.crashes = rt.crashes;
+            r.rejoins = rt.rejoins;
+            r.down_now = rt.state.down_count();
+            r.partitions_opened = rt.partitions_opened;
+            r.partitions_healed = rt.partitions_healed;
+            r.partition_active = rt.state.partition_active();
+            r.liveness_violations = rt.liveness_violations;
+            r.grid_audit_violations = rt.grid_audit_violations;
+        }
+        r
+    }
+
+    /// Queries waiting in the retry queue.
+    pub fn pending_query_retries(&self) -> usize {
+        self.query_retry.len()
+    }
+
+    /// Execute the current fault round's scheduled events: crash/rejoin
+    /// the listed nodes (a crash wipes the node's protocol state — table,
+    /// backoff, held hints — and a rejoined node rebuilds through ordinary
+    /// rule-5 re-selection), open or heal the partition window (sides
+    /// frozen from live positions at the opening instant), and audit the
+    /// grid residency of every event site (positions are untouched by
+    /// radio-off faults, so any stale bucket is a pipeline bug).
+    fn apply_fault_round(&mut self) {
+        let per = self.per;
+        let CardWorld {
+            net,
+            shards,
+            hint_stats,
+            faults,
+            ..
+        } = self;
+        let Some(rt) = faults.as_mut() else {
+            return;
+        };
+        let round = rt.round;
+        rt.round += 1;
+        let events = rt.plan.events_at(round).to_vec();
+        let mut touched: Vec<NodeId> = Vec::with_capacity(events.len());
+        for ev in events {
+            let i = ev.node as usize;
+            touched.push(NodeId::from(i));
+            match ev.kind {
+                NodeFaultKind::Crash => {
+                    rt.state.set_down(i, true);
+                    rt.crashes += 1;
+                    let shard = &mut shards[i / per];
+                    let k = i - shard.start;
+                    shard.contacts[k].clear();
+                    shard.backoff_remaining[k] = 0;
+                    shard.backoff_level[k] = 0;
+                    if let Some(store) = &mut shard.hints {
+                        hint_stats.evicted_mobility +=
+                            store.invalidate_node(NodeId::from(i)) as u64;
+                    }
+                }
+                NodeFaultKind::Rejoin => {
+                    rt.state.set_down(i, false);
+                    rt.rejoins += 1;
+                }
+            }
+        }
+        if let Some(w) = rt.plan.partition().copied() {
+            if round == w.start_round {
+                let positions = net.positions();
+                let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+                for p in positions {
+                    min_x = min_x.min(p.x);
+                    max_x = max_x.max(p.x);
+                }
+                let cut = min_x + w.fraction * (max_x - min_x);
+                let sides = positions.iter().map(|p| u8::from(p.x > cut)).collect();
+                rt.state.activate_partition(sides);
+                rt.partitions_opened += 1;
+            }
+            if round == w.end_round && rt.state.partition_active() {
+                rt.state.heal_partition();
+                rt.partitions_healed += 1;
+            }
+        }
+        if !touched.is_empty() {
+            rt.grid_audit_violations += net.audit_grid_residency_nodes(&touched) as u64;
+        }
     }
 
     /// Estimated live heap bytes of each shard's owned protocol state
@@ -846,6 +1103,10 @@ impl CardWorld {
     ///   (NoC above the annulus capacity) therefore go quiet instead of
     ///   re-sweeping the region every period.
     pub fn validation_round(&mut self) {
+        if self.faults.is_some() {
+            self.validation_round_faulted(false);
+            return;
+        }
         let per = self.per;
         let CardWorld {
             net,
@@ -878,6 +1139,10 @@ impl CardWorld {
     /// validate-then-reselect pass over the shards in order on the
     /// caller's thread.
     pub fn validation_round_serial(&mut self) {
+        if self.faults.is_some() {
+            self.validation_round_faulted(true);
+            return;
+        }
         let per = self.per;
         let CardWorld {
             net,
@@ -900,6 +1165,65 @@ impl CardWorld {
         self.advance_hint_epochs();
         self.contacts_series
             .push(self.now, self.total_contacts() as f64);
+    }
+
+    /// A validation round under an armed fault plan: apply the round's
+    /// fault events, sweep every shard through the fault-aware span body
+    /// ([`CardWorld::validate_span_faulted`] — serial or fanned out, bit
+    /// for bit the same), then re-run the due query retries. Fused here so
+    /// every driver sees one fault history.
+    fn validation_round_faulted(&mut self, serial: bool) {
+        self.apply_fault_round();
+        let per = self.per;
+        let CardWorld {
+            net,
+            cfg,
+            stats,
+            now,
+            maintenance,
+            shards,
+            plane,
+            faults,
+            ..
+        } = self;
+        let rt = faults.as_ref().expect("faulted round without a runtime");
+        let plan = &rt.plan;
+        let state = &rt.state;
+        let round = rt.round - 1;
+        let width = stats.bucket_width();
+        let at = *now;
+        let mut crossings = 0u64;
+        let mut liveness = 0u64;
+        let mut fold = |delta: &ShardDelta| {
+            stats.merge(&delta.stats);
+            maintenance.merge(&delta.maintenance);
+            crossings += delta.crossings;
+            liveness += delta.liveness_violations;
+        };
+        if serial {
+            for shard in shards.iter_mut() {
+                let delta = Self::validate_span_faulted(
+                    net, cfg, shard, at, width, per, plan, state, round,
+                );
+                fold(&delta);
+            }
+        } else {
+            let deltas = parallel_shard_map(shards, |_, shard| {
+                Self::validate_span_faulted(net, cfg, shard, at, width, per, plan, state, round)
+            });
+            for delta in &deltas {
+                fold(delta);
+            }
+        }
+        plane.stats_mut().metered_crossings += crossings;
+        self.faults
+            .as_mut()
+            .expect("faulted round without a runtime")
+            .liveness_violations += liveness;
+        self.advance_hint_epochs();
+        self.contacts_series
+            .push(self.now, self.total_contacts() as f64);
+        self.drain_query_retries();
     }
 
     /// Advance the freshness epoch of every hint span (all spans move
@@ -931,6 +1255,7 @@ impl CardWorld {
             stats: MsgStats::new(bucket_width),
             maintenance: MaintenanceTotals::default(),
             crossings: 0,
+            liveness_violations: 0,
         };
         for k in 0..shard.contacts.len() {
             let node = NodeId::from(shard.start + k);
@@ -975,6 +1300,143 @@ impl CardWorld {
         delta
     }
 
+    /// The fault-aware span body of a validation round. Per up node:
+    /// tombstone confirmed-dead contacts (evicted now, barred from
+    /// re-selection until the TTL expires), hold out contacts inside a
+    /// retry window or whose probe the plan loses this round (unacked
+    /// probes extend the window; past `cfg.validation_retry_cap` the
+    /// contact is dropped), validate the rest with crashed/partitioned
+    /// hops vetoed (including local-recovery splices), then re-select
+    /// under the same throttles as the calm path. Crashed nodes send
+    /// nothing and maintain nothing. The in-run liveness check counts any
+    /// tombstone observed past its TTL before the round's decay.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_span_faulted(
+        net: &Network,
+        cfg: &CardConfig,
+        shard: &mut ProtocolShard,
+        at: SimTime,
+        bucket_width: SimDuration,
+        per: usize,
+        plan: &FaultPlan,
+        state: &FaultState,
+        round: u32,
+    ) -> ShardDelta {
+        let mut delta = ShardDelta {
+            stats: MsgStats::new(bucket_width),
+            maintenance: MaintenanceTotals::default(),
+            crossings: 0,
+            liveness_violations: 0,
+        };
+        let allowed = |a: NodeId, b: NodeId| state.link_allowed(a.index(), b.index());
+        let mut ids: Vec<NodeId> = Vec::new();
+        let mut held: Vec<crate::contact::Contact> = Vec::new();
+        for k in 0..shard.contacts.len() {
+            let node = NodeId::from(shard.start + k);
+            if state.is_down(node.index()) {
+                // Radio off: no probes, no selection; the table was wiped
+                // at the crash and stays empty until rejoin.
+                continue;
+            }
+            let table = &mut shard.contacts[k];
+            for c in table.contacts() {
+                delta.crossings += path_shard_crossings(&c.path, per);
+            }
+            // Confirmed-dead contacts: tombstoned up front so neither
+            // validation nor this round's re-selection resurrects them.
+            ids.clear();
+            ids.extend(table.contacts().iter().map(|c| c.id));
+            for &c in &ids {
+                if state.is_down(c.index()) {
+                    table.tombstone(c, cfg.tombstone_ttl);
+                    delta.maintenance.lost += 1;
+                }
+            }
+            // Retry windows: a contact mid-window skips this round's
+            // probe; a probe the plan loses goes unacked — its hops are
+            // still charged, the window doubles, and past the cap the
+            // contact is dropped.
+            ids.clear();
+            ids.extend(table.contacts().iter().map(|c| c.id));
+            held.clear();
+            for &c in &ids {
+                if table.retry_skip(c) {
+                    let cs = table.contacts_mut();
+                    let pos = cs
+                        .iter()
+                        .position(|x| x.id == c)
+                        .expect("retrying contact present");
+                    held.push(cs.remove(pos));
+                    continue;
+                }
+                if !plan.validation_lost(node.index() as u32, c.index() as u32, round) {
+                    continue;
+                }
+                let cs = table.contacts_mut();
+                let pos = cs
+                    .iter()
+                    .position(|x| x.id == c)
+                    .expect("probed contact present");
+                let entry = cs.remove(pos);
+                delta
+                    .stats
+                    .record_n(at, MsgKind::Validation, entry.hops() as u64);
+                let level = table.note_unacked(c);
+                if level > cfg.validation_retry_cap {
+                    table.clear_retry(c);
+                    delta.maintenance.lost += 1;
+                } else {
+                    held.push(entry);
+                }
+            }
+            let report =
+                validate_contacts_filtered(net, cfg, node, table, &mut delta.stats, at, &allowed);
+            delta.maintenance.absorb(&report);
+            // An acked validation resets the contact's retry state.
+            ids.clear();
+            ids.extend(table.contacts().iter().map(|c| c.id));
+            for &c in &ids {
+                table.clear_retry(c);
+            }
+            // Re-admit the held-out contacts, windows intact.
+            table.contacts_mut().append(&mut held);
+            // Liveness: no tombstone may be observed past its TTL.
+            if table.max_tombstone_ttl() > cfg.tombstone_ttl {
+                delta.liveness_violations += 1;
+            }
+            table.decay_tombstones();
+            if table.len() >= cfg.target_contacts {
+                shard.backoff_level[k] = 0;
+                shard.backoff_remaining[k] = 0;
+                continue;
+            }
+            if shard.backoff_remaining[k] > 0 {
+                shard.backoff_remaining[k] -= 1;
+                continue;
+            }
+            let before = shard.contacts[k].len();
+            select_contacts(
+                net,
+                cfg,
+                node,
+                &mut shard.contacts[k],
+                &mut shard.rngs[k],
+                &mut delta.stats,
+                at,
+                cfg.selection_walks_per_round,
+                &mut shard.scratch,
+            );
+            if shard.contacts[k].len() > before {
+                shard.backoff_level[k] = 0;
+                shard.backoff_remaining[k] = 0;
+            } else {
+                shard.backoff_level[k] = (shard.backoff_level[k] + 1).min(MAX_BACKOFF_LEVEL);
+                shard.backoff_remaining[k] = (1u32 << shard.backoff_level[k]) - 1;
+            }
+        }
+        delta
+    }
+
     /// Issue a resource-discovery query (§III.C.4) from `source` for
     /// `target`, escalating depth up to `cfg.depth`. Runs allocation-free
     /// on the world's first query scratch; batches should prefer
@@ -984,6 +1446,13 @@ impl CardWorld {
     /// very next call; this host-local apply is the plane's one-round
     /// degenerate case — a single query's deposits drain in log order).
     pub fn query(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
+        if self.faults.is_some() {
+            let out = self.query_faulted(source, target);
+            if !out.found {
+                self.query_retry.schedule(source, target);
+            }
+            return out;
+        }
         let per = self.per;
         let n = self.net.node_count();
         let CardWorld {
@@ -1046,6 +1515,111 @@ impl CardWorld {
                 &mut query_scratch[0],
             )
         }
+    }
+
+    /// One faulted query, without retry scheduling (the retry drain calls
+    /// this directly so a re-run never re-queues itself —
+    /// [`QueryRetryQueue::report`] owns the requeue decision). Crashed
+    /// endpoints fail fast; otherwise the walk runs with crashed relays
+    /// and cross-partition edges vetoed, falling back from a hint whose
+    /// next hop is down to the plain escalation. Messages are recorded
+    /// exactly as the calm sweeps record them (Dsq/DsqReply from the
+    /// outcome).
+    fn query_faulted(&mut self, source: NodeId, target: NodeId) -> QueryOutcome {
+        let per = self.per;
+        let n = self.net.node_count();
+        let CardWorld {
+            net,
+            cfg,
+            stats,
+            now,
+            shards,
+            query_scratch,
+            hints_on,
+            hint_stats,
+            hint_deposits,
+            faults,
+            ..
+        } = self;
+        let rt = faults.as_ref().expect("faulted query without a runtime");
+        if rt.state.is_down(source.index()) || rt.state.is_down(target.index()) {
+            return QueryOutcome {
+                found: false,
+                depth_used: 0,
+                query_msgs: 0,
+                reply_msgs: 0,
+            };
+        }
+        let filter = QueryFaultFilter {
+            down: rt.state.down_mask(),
+            sides: rt.state.sides(),
+        };
+        let out = if *hints_on {
+            hint_deposits.clear();
+            let out = {
+                let tables = TablesView {
+                    shards: &*shards,
+                    per,
+                    n,
+                };
+                let hview = HintsView {
+                    shards: &*shards,
+                    per,
+                };
+                let mut ctx = HintContext {
+                    store: hview,
+                    stats: hint_stats,
+                    deposits: hint_deposits,
+                };
+                dsq_query_hinted_faulted_unrecorded(
+                    net,
+                    tables,
+                    &mut ctx,
+                    source,
+                    target,
+                    cfg.depth,
+                    &mut query_scratch[0],
+                    &filter,
+                )
+            };
+            Self::apply_deposits_to_shards(shards, per, hint_stats, hint_deposits);
+            out
+        } else {
+            let tables = TablesView {
+                shards: &*shards,
+                per,
+                n,
+            };
+            dsq_query_faulted_unrecorded(
+                net,
+                tables,
+                source,
+                target,
+                cfg.depth,
+                &mut query_scratch[0],
+                &filter,
+            )
+        };
+        stats.record_n(*now, MsgKind::Dsq, out.query_msgs);
+        stats.record_n(*now, MsgKind::DsqReply, out.reply_msgs);
+        out
+    }
+
+    /// Advance the retry queue one round and re-run the due queries,
+    /// feeding outcomes back (recovered / requeued with doubled backoff /
+    /// abandoned past the cap).
+    fn drain_query_retries(&mut self) {
+        if self.query_retry.is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.retry_due);
+        self.query_retry.tick(&mut due);
+        for &(source, target, attempt) in &due {
+            let out = self.query_faulted(source, target);
+            self.query_retry.report(source, target, attempt, out.found);
+        }
+        due.clear();
+        self.retry_due = due;
     }
 
     /// Issue an anycast resource query (§III.C.4 with a resource target)
@@ -1180,6 +1754,16 @@ impl CardWorld {
         } else {
             self.sweep_cache_off(pairs, out);
         }
+        // Under faults, failed sweep queries enter the retry queue in pair
+        // order — the same sequence a loop of [`CardWorld::query`] calls
+        // would schedule (`schedule` dedups outstanding pairs).
+        if self.faults.is_some() {
+            for (&(s, t), o) in pairs.iter().zip(out.iter()) {
+                if !o.found {
+                    self.query_retry.schedule(s, t);
+                }
+            }
+        }
     }
 
     /// The retained cache-off sweep — the §V baseline the hinted sweep is
@@ -1215,6 +1799,7 @@ impl CardWorld {
             now,
             shards,
             query_scratch,
+            faults,
             ..
         } = self;
         let tables = TablesView {
@@ -1222,6 +1807,10 @@ impl CardWorld {
             per,
             n,
         };
+        let filter = faults.as_ref().map(|rt| QueryFaultFilter {
+            down: rt.state.down_mask(),
+            sides: rt.state.sides(),
+        });
         let at = *now;
         let depth = cfg.depth;
         let spans = shard_spans(pairs.len(), query_scratch.len());
@@ -1247,7 +1836,10 @@ impl CardWorld {
             let mut dsq = 0u64;
             let mut reply = 0u64;
             for (slot, &(s, t)) in slots.iter_mut().zip(pairs.iter()) {
-                let o = dsq_query_unrecorded(net, tables, s, t, depth, scratch);
+                let o = match &filter {
+                    Some(f) => Self::pair_query_faulted(net, tables, s, t, depth, scratch, f),
+                    None => dsq_query_unrecorded(net, tables, s, t, depth, scratch),
+                };
                 dsq += o.query_msgs;
                 reply += o.reply_msgs;
                 *slot = o;
@@ -1258,6 +1850,29 @@ impl CardWorld {
             stats.record_n(at, MsgKind::Dsq, dsq);
             stats.record_n(at, MsgKind::DsqReply, reply);
         }
+    }
+
+    /// One cache-off pair of a faulted sweep: crashed endpoints fail fast
+    /// (no messages — nobody to ask, nobody to answer), otherwise the walk
+    /// runs with crashed/partitioned edges vetoed.
+    fn pair_query_faulted(
+        net: &Network,
+        tables: TablesView<'_>,
+        source: NodeId,
+        target: NodeId,
+        depth: u16,
+        scratch: &mut QueryScratch,
+        filter: &QueryFaultFilter<'_>,
+    ) -> QueryOutcome {
+        if filter.down[source.index()] || filter.down[target.index()] {
+            return QueryOutcome {
+                found: false,
+                depth_used: 0,
+                query_msgs: 0,
+                reply_msgs: 0,
+            };
+        }
+        dsq_query_faulted_unrecorded(net, tables, source, target, depth, scratch, filter)
     }
 
     /// The hinted sharded sweep behind [`CardWorld::query_all`]. The
@@ -1289,6 +1904,7 @@ impl CardWorld {
             hint_stats,
             sweep_deposits,
             plane,
+            faults,
             ..
         } = self;
         let at = *now;
@@ -1304,6 +1920,10 @@ impl CardWorld {
                 shards: &*shards,
                 per,
             };
+            let filter = faults.as_ref().map(|rt| QueryFaultFilter {
+                down: rt.state.down_mask(),
+                sides: rt.state.sides(),
+            });
             let mut work = Vec::with_capacity(spans.len());
             let mut out_rest: &mut [QueryOutcome] = out;
             let mut scratches = query_scratch.iter_mut();
@@ -1329,8 +1949,20 @@ impl CardWorld {
                         stats: &mut shard_stats,
                         deposits,
                     };
-                    let o =
-                        dsq_query_hinted_unrecorded(net, tables, &mut ctx, s, t, depth, scratch);
+                    let o = match &filter {
+                        Some(f) if f.down[s.index()] || f.down[t.index()] => QueryOutcome {
+                            found: false,
+                            depth_used: 0,
+                            query_msgs: 0,
+                            reply_msgs: 0,
+                        },
+                        Some(f) => dsq_query_hinted_faulted_unrecorded(
+                            net, tables, &mut ctx, s, t, depth, scratch, f,
+                        ),
+                        None => {
+                            dsq_query_hinted_unrecorded(net, tables, &mut ctx, s, t, depth, scratch)
+                        }
+                    };
                     dsq += o.query_msgs;
                     reply += o.reply_msgs;
                     *slot = o;
@@ -1355,7 +1987,34 @@ impl CardWorld {
                 }
             }
         }
-        plane.exchange();
+        // A lossy fault plane judges each deposit by its *content* (plus a
+        // shard-invariant sweep salt, so identical payloads in different
+        // sweeps draw independent verdicts) — never by transport
+        // coordinates — keeping faulted deliveries bit-identical at any
+        // shard count. Delayed deposits park in the plane's deferred lane
+        // and land at the next exchange.
+        match faults.as_mut().filter(|rt| rt.plan.lossy()) {
+            Some(rt) => {
+                rt.sweep_counter += 1;
+                let sweep = rt.sweep_counter;
+                let plan = &rt.plan;
+                plane.exchange_faulted(|_, _, msg| {
+                    let ProtocolMsg::Deposit(d) = msg else {
+                        return FaultVerdict::Deliver;
+                    };
+                    plan.message_verdict(FaultPlan::salted_key(&[
+                        d.holder.index() as u64,
+                        d.next_hop.index() as u64,
+                        d.depth as u64,
+                        d.key.bits(),
+                        sweep,
+                    ]))
+                });
+            }
+            None => {
+                plane.exchange();
+            }
+        }
         // Deterministic drain: each shard applies its own mailbox to its
         // own span store (no cross-shard writes), counters merged in
         // shard order.
@@ -1386,11 +2045,46 @@ impl CardWorld {
         }
     }
 
+    /// Deliver and apply any hint deposits still parked in the plane's
+    /// deferred lane (a lossy fault plane delays deposits by one
+    /// exchange; normally the next hinted sweep drains them). The
+    /// plane-routed query sweep shares the plane, so it flushes first to
+    /// keep its own request/reply rounds homogeneous. Deposits landing
+    /// after the hint cache was disabled are dropped — the store they
+    /// were bound for no longer exists.
+    fn flush_deferred_deposits(&mut self) {
+        if self.plane.deferred_pending() == 0 {
+            return;
+        }
+        self.plane.exchange();
+        let CardWorld {
+            shards,
+            plane,
+            hint_stats,
+            ..
+        } = self;
+        let (_, mailboxes) = plane.split_mut();
+        for (shard, mailbox) in shards.iter_mut().zip(mailboxes.iter_mut()) {
+            for (_src, msg) in mailbox.drain() {
+                let ProtocolMsg::Deposit(d) = msg else {
+                    unreachable!("the deferred lane carries only deposits");
+                };
+                if let Some(store) = shard.hints.as_mut() {
+                    let out = store.deposit(d.holder, d.key, d.next_hop, d.depth);
+                    hint_stats.deposits += 1;
+                    if out.evicted_live {
+                        hint_stats.evicted_lru += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Cache-off sweep with *plane-routed* frontier expansion: instead of
     /// reading remote contact tables directly, each escalation depth asks
     /// the owner shard of every frontier node for its contact list
-    /// ([`ProtocolMsg::Expand`]) and integrates the replies
-    /// ([`ProtocolMsg::Contacts`]) — two exchange rounds per depth. This
+    /// (`ProtocolMsg::Expand`) and integrates the replies
+    /// (`ProtocolMsg::Contacts`) — two exchange rounds per depth. This
     /// is the fully message-mediated form of the protocol walk; outcomes
     /// and statistics are bit-identical to [`CardWorld::query_all_cache_off`]
     /// (and hence [`CardWorld::query_all_serial`]) at any shard count,
@@ -1398,6 +2092,7 @@ impl CardWorld {
     /// fast path; this one exists to validate the plane's ordering
     /// contract and to measure true cross-shard query traffic.
     pub fn query_all_plane(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<QueryOutcome> {
+        self.flush_deferred_deposits();
         let per = self.per;
         let k = self.shards.len();
         let CardWorld {
@@ -1728,14 +2423,30 @@ impl CardWorld {
             shards,
             query_scratch,
             standing,
+            faults,
             ..
         } = self;
         let (source, target) = {
             let q = standing.get(id);
             (q.source, q.target)
         };
+        // Under faults a crashed endpoint fails the subscription outright
+        // (the round heartbeat re-marks it, so a rejoin re-resolves), and
+        // the escalation walks with crashed/partitioned edges vetoed.
+        let filter = faults.as_ref().map(|rt| QueryFaultFilter {
+            down: rt.state.down_mask(),
+            sides: rt.state.sides(),
+        });
+        if let Some(f) = &filter {
+            if f.down[source.index()] || f.down[target.index()] {
+                standing.set_failed(id);
+                return;
+            }
+        }
         let tables = net.tables();
-        if tables.of(source).contains(target) {
+        if tables.of(source).contains(target)
+            && filter.as_ref().is_none_or(|f| f.edge_ok(source, target))
+        {
             standing.set_resolved(id, vec![source], *now, initial);
             return;
         }
@@ -1746,13 +2457,22 @@ impl CardWorld {
         };
         let scratch = &mut query_scratch[0];
         let mut answer = None;
-        let out = escalate_unrecorded(n, view, source, cfg.depth, scratch, |c| {
-            let hit = tables.of(c).contains(target);
-            if hit {
-                answer = Some(c);
-            }
-            hit
-        });
+        let out = match &filter {
+            Some(f) => escalate_faulted_unrecorded(n, view, source, cfg.depth, scratch, f, |c| {
+                let hit = tables.of(c).contains(target) && f.edge_ok(c, target);
+                if hit {
+                    answer = Some(c);
+                }
+                hit
+            }),
+            None => escalate_unrecorded(n, view, source, cfg.depth, scratch, |c| {
+                let hit = tables.of(c).contains(target);
+                if hit {
+                    answer = Some(c);
+                }
+                hit
+            }),
+        };
         stats.record_n(*now, MsgKind::StandingDsq, out.query_msgs);
         stats.record_n(*now, MsgKind::StandingReply, out.reply_msgs);
         match answer {
@@ -1771,6 +2491,18 @@ impl CardWorld {
     /// must still sit in the tail's neighborhood (a free local check).
     fn standing_probe(&self, id: u32) -> (bool, u64) {
         let q = self.standing.get(id);
+        // Fault-aware fast fail: a chain through a crashed node, or one
+        // whose endpoints straddle an open partition, cannot answer probes.
+        if let Some(rt) = &self.faults {
+            if rt.state.is_down(q.target.index())
+                || q.path.iter().any(|&p| rt.state.is_down(p.index()))
+                || q.path
+                    .windows(2)
+                    .any(|w| !rt.state.link_allowed(w[0].index(), w[1].index()))
+            {
+                return (false, 0);
+            }
+        }
         let mut msgs = 0u64;
         for w in q.path.windows(2) {
             match self.contact_table(w[0]).get(w[1]) {
@@ -2392,6 +3124,180 @@ mod tests {
         assert_eq!(first.len(), buf.len());
     }
 
+    fn fault_cfg() -> sim_core::faults::FaultConfig {
+        sim_core::faults::FaultConfig {
+            churn_rate: 0.2,
+            rejoin_after: 2,
+            partition: Some(sim_core::faults::PartitionWindow {
+                start_round: 1,
+                end_round: 3,
+                fraction: 0.5,
+            }),
+            drop_rate: 0.08,
+            delay_rate: 0.08,
+            rounds: 6,
+        }
+    }
+
+    #[test]
+    fn faulted_rounds_are_deterministic_across_shards_and_drivers() {
+        let pairs: Vec<(NodeId, NodeId)> = (0..30u32)
+            .map(|i| (NodeId::new(i % 150), NodeId::new((i * 37 + 5) % 150)))
+            .collect();
+        let run = |shards: usize, serial: bool| {
+            let mut w = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
+            w.set_shard_count(shards);
+            w.select_all_contacts();
+            w.enable_faults(FaultPlan::generate(&fault_cfg(), 150, 99));
+            let mut outcomes = Vec::new();
+            for _ in 0..6 {
+                if serial {
+                    w.validation_round_serial();
+                } else {
+                    w.validation_round();
+                }
+                outcomes.push(w.query_all(&pairs));
+            }
+            // Of the plane counters only the totals are shard-invariant:
+            // the local/cross_shard split (and metered crossings) depend on
+            // where the shard boundaries fall.
+            let ps = w.plane_stats();
+            let plane_totals = (
+                ps.sent,
+                ps.dropped,
+                ps.delayed,
+                ps.local + ps.cross_shard,
+                ps.rounds,
+            );
+            (
+                snapshot(&w),
+                outcomes,
+                w.fault_report(),
+                w.hint_stats().clone(),
+                plane_totals,
+            )
+        };
+        let reference = run(1, true);
+        assert!(reference.2.crashes > 0, "plan must crash someone");
+        assert!(reference.2.rejoins > 0, "crashed nodes must rejoin");
+        assert_eq!(reference.2.partitions_opened, 1);
+        assert_eq!(reference.2.partitions_healed, 1);
+        assert_eq!(reference.2.liveness_violations, 0);
+        assert_eq!(reference.2.grid_audit_violations, 0);
+        for (shards, serial) in [(1, false), (2, true), (2, false), (4, false), (4, true)] {
+            assert_eq!(
+                run(shards, serial),
+                reference,
+                "faulted run diverged at {shards} shards, serial={serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_wipes_state_and_tombstones_bar_reselection() {
+        let mut w = CardWorld::build(&scenario(), cfg());
+        w.select_all_contacts();
+        // Hand-build a plan: node 0 crashes at round 0, never rejoins.
+        let plan = FaultPlan::generate(
+            &sim_core::faults::FaultConfig {
+                churn_rate: 0.0,
+                rejoin_after: 0,
+                partition: None,
+                drop_rate: 0.0,
+                delay_rate: 0.0,
+                rounds: 4,
+            },
+            150,
+            7,
+        );
+        assert!(plan.events().is_empty(), "zero churn schedules nothing");
+        // Use a churny plan instead and inspect whichever node it crashes.
+        let plan = FaultPlan::generate(
+            &sim_core::faults::FaultConfig {
+                churn_rate: 0.1,
+                rejoin_after: 0,
+                partition: None,
+                drop_rate: 0.0,
+                delay_rate: 0.0,
+                rounds: 1,
+            },
+            150,
+            7,
+        );
+        let victims: Vec<usize> = plan.events().iter().map(|e| e.node as usize).collect();
+        assert!(!victims.is_empty());
+        w.enable_faults(plan);
+        for _ in 0..2 {
+            w.validation_round();
+        }
+        let report = w.fault_report();
+        assert_eq!(report.crashes as usize, victims.len());
+        assert_eq!(report.down_now, victims.len(), "nobody rejoins");
+        assert_eq!(report.liveness_violations, 0);
+        for &v in &victims {
+            assert_eq!(
+                w.contact_table(NodeId::from(v)).len(),
+                0,
+                "crashed node keeps no contacts"
+            );
+            // Tombstones bar re-selection: a table that has watched `v`
+            // die never lists it again while the tombstone lives. (A node
+            // that never held `v` may still pick it as a *fresh* contact —
+            // crashes are radio-off, so the graph keeps the node — and
+            // tombstones it on its next validation round.)
+            for i in 0..150 {
+                if victims.contains(&i) {
+                    continue;
+                }
+                let table = w.contact_table(NodeId::from(i));
+                assert!(
+                    !(table.is_tombstoned(NodeId::from(v)) && table.contains(NodeId::from(v))),
+                    "node {i} lists crashed contact {v} despite a live tombstone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_queries_fail_fast_on_down_endpoints_and_retry() {
+        let mut w = CardWorld::build(&scenario(), cfg().with_depth(3));
+        w.select_all_contacts();
+        let plan = FaultPlan::generate(
+            &sim_core::faults::FaultConfig {
+                churn_rate: 0.1,
+                rejoin_after: 2,
+                partition: None,
+                drop_rate: 0.0,
+                delay_rate: 0.0,
+                rounds: 1,
+            },
+            150,
+            13,
+        );
+        let victim = NodeId::from(plan.events()[0].node as usize);
+        w.enable_faults(plan);
+        // Crash rounds are drawn from [1, rounds]; the world's first round
+        // is 0, so two rounds cover every crash in this plan.
+        w.validation_round();
+        w.validation_round();
+        let down_now: Vec<usize> = (0..150)
+            .filter(|&i| w.fault_state().expect("armed").is_down(i))
+            .collect();
+        assert!(down_now.contains(&victim.index()));
+        let out = w.query(NodeId::new(1), victim);
+        assert!(!out.found, "query to a crashed node must fail");
+        assert_eq!(out.query_msgs, 0, "nobody to ask charges nothing");
+        assert_eq!(w.pending_query_retries(), 1, "failure enters the queue");
+        // Rounds drain the retry queue until the cap abandons the pair.
+        for _ in 0..20 {
+            w.validation_round();
+        }
+        let report = w.fault_report();
+        assert_eq!(report.retry.scheduled, 1);
+        assert!(report.retry.retried >= 1);
+        assert_eq!(w.pending_query_retries(), 0, "cap bounds the queue");
+    }
+
     #[test]
     fn shard_memory_and_plane_stats_surface() {
         let mut w = CardWorld::build(&scenario(), cfg().with_depth(3).with_hints(true));
@@ -2410,7 +3316,11 @@ mod tests {
         assert!(ps.rounds >= 1, "hinted sweep exchanges deposits");
         if w.hint_stats().deposits > 0 {
             assert!(ps.sent > 0, "deposits must travel the plane");
-            assert_eq!(ps.sent, ps.local + ps.cross_shard);
+            // Full ledger: faulted deliveries account drops and deferrals
+            // (both zero on this calm world).
+            assert_eq!(ps.sent, ps.local + ps.cross_shard + ps.dropped);
+            assert_eq!(ps.dropped, 0);
+            assert_eq!(ps.delayed, 0);
         }
         w.validation_round();
         assert!(

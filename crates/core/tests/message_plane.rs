@@ -21,6 +21,7 @@ use card_core::world::MaintenanceTotals;
 use net_topology::node::NodeId;
 use net_topology::scenario::Scenario;
 use proptest::prelude::*;
+use sim_core::faults::{FaultConfig, FaultPlan, PartitionWindow};
 
 const NODES: usize = 140;
 
@@ -93,10 +94,17 @@ fn trace(seed: u64, hints: bool, shards: usize, serial: bool) -> Trace {
     }
     let cold = w.query_all(&workload);
     let warm = w.query_all(&workload);
-    // Plane accounting must always balance, and one shard can never
-    // cross a boundary.
+    // Plane accounting must always balance — faulted deliveries (drops
+    // and the deferred lane) are part of the ledger, and on this calm
+    // world both fault legs are zero. One shard can never cross a
+    // boundary.
     let ps = w.plane_stats();
-    assert_eq!(ps.sent, ps.cross_shard + ps.local, "plane ledger");
+    assert_eq!(
+        ps.sent,
+        ps.cross_shard + ps.local + ps.dropped + w.plane_deferred_pending() as u64,
+        "plane ledger"
+    );
+    assert_eq!((ps.dropped, ps.delayed), (0, 0), "calm world never faults");
     if w.shard_count() == 1 {
         assert_eq!(ps.cross_shard, 0, "one shard has no boundary to cross");
     }
@@ -218,6 +226,85 @@ proptest! {
         prop_assert_eq!(&stayed.1, &moved.1, "warm outcomes survive reshard");
         prop_assert_eq!(&stayed.2, &moved.2, "hint counters survive reshard");
         prop_assert_eq!(stayed.3, moved.3, "live slots + epoch survive reshard");
+    }
+
+    /// Reshard *under churn*: `set_shard_count` fired between a lossy
+    /// sweep and the next round, while the plane's deferred lane may hold
+    /// fault-delayed deposits and contact tables carry live tombstone,
+    /// retry-backoff and fruitless-round state. The migrated world must
+    /// finish the run bit-identically to one that never resharded —
+    /// deferred messages are re-injected with their verdicts already
+    /// spent, so no message draws a second verdict.
+    #[test]
+    fn prop_reshard_under_churn_preserves_faulted_trace(
+        seed in 1u64..1_000_000,
+        before_ix in 0usize..4,
+        after_ix in 0usize..5,
+        churn_pct in 0u32..25,
+        drop_pct in 1u32..12,
+        delay_pct in 1u32..12,
+    ) {
+        let before = [1usize, 2, 3, 5][before_ix];
+        let after = [1usize, 2, 4, 6, NODES + 1][after_ix];
+        let fault_cfg = FaultConfig {
+            churn_rate: churn_pct as f64 / 100.0,
+            rejoin_after: 1,
+            partition: Some(PartitionWindow {
+                start_round: 1,
+                end_round: 3,
+                fraction: 0.5,
+            }),
+            drop_rate: drop_pct as f64 / 100.0,
+            delay_rate: delay_pct as f64 / 100.0,
+            rounds: 4,
+        };
+        let workload = pairs(seed ^ 0xd00d, 48);
+        let run = |reshard: Option<usize>| {
+            let mut w = CardWorld::build(&scenario(), cfg(seed, true));
+            w.set_shard_count(before);
+            w.select_all_contacts();
+            w.enable_faults(FaultPlan::generate(&fault_cfg, NODES, seed ^ 0xfa));
+            w.validation_round();
+            let cold = w.query_all(&workload); // lossy: deposits drop/defer
+            if let Some(k) = reshard {
+                w.set_shard_count(k); // migrates deferred + queued messages
+            }
+            w.validation_round();
+            let warm = w.query_all(&workload);
+            w.validation_round();
+            let ps = w.plane_stats();
+            (
+                cold,
+                warm,
+                w.contact_tables()
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.contacts()
+                                .iter()
+                                .map(|c| (c.id, c.path.clone()))
+                                .collect::<Vec<_>>(),
+                            t.tombstones().to_vec(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+                w.stats().series_where(|_| true),
+                w.maintenance_totals().clone(),
+                w.hint_stats().clone(),
+                w.fault_report(),
+                // Shard-invariant plane projection: the local/cross split
+                // moves with the boundaries, the totals may not.
+                (ps.sent, ps.dropped, ps.delayed, ps.local + ps.cross_shard),
+                w.plane_deferred_pending(),
+                w.pending_query_retries(),
+            )
+        };
+        let stayed = run(None);
+        let moved = run(Some(after));
+        prop_assert_eq!(&stayed, &moved, "reshard under churn changed the run");
+        // The ledger closes on both sides of the migration.
+        let (sent, dropped, _delayed, delivered) = stayed.7;
+        prop_assert_eq!(sent, delivered + dropped + stayed.8 as u64, "plane ledger");
     }
 }
 

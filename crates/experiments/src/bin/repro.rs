@@ -11,9 +11,11 @@
 //! (kernel build + mobility/refresh loop, then the full protocol on
 //! shard-resident state: selection, validation rounds and hinted query
 //! sweeps through the cross-shard message plane, with per-shard memory
-//! and plane-traffic columns). `--nodes` overrides either
-//! family's node counts from the command line so new sizes need no
-//! recompile.
+//! and plane-traffic columns); `scale-hostile` the fault-injection
+//! degradation grid (churn × partition × message loss, liveness asserted
+//! in-run). `--nodes` overrides any scale family's node counts from the
+//! command line so new sizes need no recompile. Scale tiers exit
+//! non-zero when an in-run fidelity/parity/liveness assertion fails.
 //! Output is Markdown (tables matching the paper's figures); see
 //! `docs/REPRO.md` for the experiment catalogue and conventions.
 
@@ -70,11 +72,11 @@ fn main() {
         which.push("scale".to_string());
     }
     if opts.nodes.is_some()
-        && !which
-            .iter()
-            .any(|w| w == "scale" || w == "scale-raw" || w == "scale-events")
+        && !which.iter().any(|w| {
+            w == "scale" || w == "scale-raw" || w == "scale-events" || w == "scale-hostile"
+        })
     {
-        usage("--nodes only applies to the scale / scale-raw / scale-events experiments");
+        usage("--nodes only applies to the scale / scale-raw / scale-events / scale-hostile experiments");
     }
     if which.is_empty() {
         usage("choose an experiment or `all`");
@@ -96,9 +98,10 @@ fn main() {
             "fig15" => fig15_cmd(&opts),
             "smallworld" => smallworld_cmd(&opts),
             "resources" => resources_cmd(&opts),
-            "scale" => scale_cmd(&opts),
-            "scale-raw" => scale_raw_cmd(&opts),
-            "scale-events" => scale_events_cmd(&opts),
+            "scale" => gate(name.as_str(), || scale_cmd(&opts)),
+            "scale-raw" => gate(name.as_str(), || scale_raw_cmd(&opts)),
+            "scale-events" => gate(name.as_str(), || scale_events_cmd(&opts)),
+            "scale-hostile" => gate(name.as_str(), || scale_hostile_cmd(&opts)),
             "all" => {
                 table1_cmd(&opts);
                 fig3_4_cmd(&opts);
@@ -125,15 +128,28 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|scale-events|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
+        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|smallworld|resources|scale|scale-raw|scale-events|scale-hostile|all> [--quick] [--seed N] [--scale] [--nodes N[,N...]]\n\n\
          scale runs are excluded from `all` (minutes at N=10^5); invoke them\n\
          explicitly via `repro scale`, `repro --scale`, or `repro --nodes N`.\n\
          `repro scale-raw` runs the N=10^6 raw-speed tier (substrate loop\n\
          plus the full protocol on shard-resident state).\n\
          `repro scale-events` races the event-driven drive against the tick\n\
-         reference at N=10^5 (fidelity asserted in-run)."
+         reference at N=10^5 (fidelity asserted in-run).\n\
+         `repro scale-hostile` measures degradation under churn, partition\n\
+         windows and message loss at N=10^5 (liveness asserted in-run).\n\
+         Scale tiers exit non-zero when an in-run fidelity, parity or\n\
+         liveness assertion fails."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Run a scale-tier command and turn any in-run fidelity/parity/liveness
+/// assertion failure into a clean non-zero exit, so CI gates on the run.
+fn gate(name: &str, cmd: impl FnOnce() + std::panic::UnwindSafe) {
+    if std::panic::catch_unwind(cmd).is_err() {
+        eprintln!("[repro] {name}: an in-run assertion failed");
+        std::process::exit(1);
+    }
 }
 
 fn stamp(name: &str) {
@@ -345,4 +361,23 @@ fn scale_events_cmd(opts: &Options) {
     }
     let rows = scale_events::run(&p);
     println!("{}", scale_events::render(&p, &rows));
+}
+
+fn scale_hostile_cmd(opts: &Options) {
+    stamp("scale-hostile");
+    let mut p = if opts.quick {
+        scale_hostile::Params::quick()
+    } else {
+        scale_hostile::Params::default()
+    };
+    p.seed = opts.seed;
+    if let Some(nodes) = &opts.nodes {
+        p.nodes = nodes.clone();
+    }
+    let report = scale_hostile::run(&p);
+    println!("{}", scale_hostile::render(&p, &report));
+    assert!(
+        scale_hostile::passed(&report),
+        "hostile tier failed its liveness invariants"
+    );
 }

@@ -20,9 +20,15 @@
 //! repro scale             # extension: N = 10⁴–10⁵ substrate + protocol runs
 //! repro scale --nodes N   # scale runs at a chosen N (no recompile)
 //! repro scale-events      # extension: event-driven vs tick-driven drive at N = 10⁵
+//! repro scale-hostile     # extension: degradation under churn/partition/loss at N = 10⁵
 //! repro all               # everything, paper-sized
 //! repro all --quick       # everything, small sizes (seconds)
 //! ```
+//!
+//! The scale binaries assert their fidelity/parity contracts *in-run*
+//! (bit-identity between drive modes, the hint cost-only contract, the
+//! hostile tier's liveness invariants) and `repro` exits non-zero when
+//! any of them fails, so CI can gate on the run itself.
 
 #![warn(missing_docs)]
 pub mod ext_resources;
@@ -43,6 +49,7 @@ pub mod output;
 pub mod runner;
 pub mod scale;
 pub mod scale_events;
+pub mod scale_hostile;
 pub mod table1;
 
 /// Default root seed for all experiments (every run is deterministic).

@@ -751,6 +751,15 @@ impl Network {
         self.grid.audit_residency(&self.positions, samples)
     }
 
+    /// Targeted grid-residency audit of exactly `nodes` (see
+    /// [`SpatialGrid::audit_nodes`]): crash and rejoin events leave a
+    /// node's position untouched, so the fault plane audits the affected
+    /// nodes directly — extending the sampled release audit to every
+    /// tombstoned/rejoined site without advancing its rotating cursor.
+    pub fn audit_grid_residency_nodes(&self, nodes: &[NodeId]) -> usize {
+        self.grid.audit_nodes(&self.positions, nodes)
+    }
+
     /// The last refresh's dirty set, for invalidating caches derived from
     /// the neighborhood tables. `Exact` whenever the refresh retained the
     /// per-node list (all incremental paths, including the no-motion

@@ -320,6 +320,24 @@ impl SpatialGrid {
         violations
     }
 
+    /// Targeted form of [`SpatialGrid::audit_residency`]: check exactly
+    /// `nodes` against the residency contract instead of a rotating
+    /// sample. Fault events (crash, rejoin) leave a node's position —
+    /// and therefore its bucket — untouched, so the event sites are
+    /// audited directly. Out-of-range ids are ignored; the sampling
+    /// cursor does not advance.
+    pub fn audit_nodes(&self, positions: &[Point2], nodes: &[NodeId]) -> usize {
+        let n = self.cell_of_node.len().min(positions.len());
+        let mut violations = 0;
+        for &node in nodes {
+            let i = node.index();
+            if i < n && self.cell_of_node[i] != self.cell_index(positions[i]) {
+                violations += 1;
+            }
+        }
+        violations
+    }
+
     /// Number of nodes the grid currently tracks residency for (the length
     /// of the position slice it was last rebuilt/updated with).
     #[inline]

@@ -36,6 +36,11 @@
 //!   mailboxes with batched, double-buffered exchange rounds and a
 //!   deterministic `(dst shard, src shard, send seq)` delivery order,
 //!   the seam along which in-process shards become process-level ones.
+//! * [`faults`] — deterministic fault injection: seeded [`faults::FaultPlan`]s
+//!   scheduling node crash/rejoin events, a frozen partition window, and
+//!   content-keyed per-message drop/delay verdicts applied at the plane's
+//!   exchange boundary, all replayable from `(seed, plan)` at any shard or
+//!   worker count.
 //!
 //! The engine knows nothing about networks; `net-topology`, `manet-routing`
 //! and `card-core` build the MANET world on top of it.
@@ -71,6 +76,7 @@
 #![deny(missing_docs)]
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod par;
 pub mod plane;
 pub mod rng;
@@ -83,6 +89,7 @@ pub mod util;
 pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::EventQueue;
+    pub use crate::faults::{FaultConfig, FaultPlan, FaultState, FaultVerdict};
     pub use crate::par::{parallel_map, parallel_map_with, parallel_shard_map};
     pub use crate::plane::{Mailbox, MessagePlane, Outbox, PlaneStats};
     pub use crate::rng::{RngStream, SeedSplitter};

@@ -25,7 +25,10 @@
 //! global `(dst, src, seq)` order — a pure function of *what each shard
 //! sent*, never of worker count or thread interleaving. This is what
 //! lets plane-routed protocol paths stay bit-identical to their retained
-//! serial references at any shard x worker combination.
+//! serial references at any shard x worker combination. The faulted
+//! exchange keeps the contract: verdicts are keyed on message content,
+//! and deferred messages re-enter delivery at the head of their original
+//! `(src, dst)` lane.
 //!
 //! ## Double buffering
 //!
@@ -33,6 +36,27 @@
 //! lanes into mailboxes without freeing capacity, so steady-state rounds
 //! allocate nothing. A round trip (request phase, exchange, serve phase,
 //! exchange, integrate phase) reuses the same buffers each level.
+//!
+//! ## Faulted exchange
+//!
+//! [`MessagePlane::exchange_faulted`] is the fault-injection boundary: a
+//! caller-supplied verdict function (see [`crate::faults::FaultPlan::message_verdict`])
+//! classifies each *fresh* message as delivered, dropped, or delayed.
+//! Delayed messages park in a per-`(src, dst)` deferred lane and are
+//! delivered **unconditionally** at the next exchange, *before* that
+//! round's fresh traffic on the same lane — so per-channel FIFO among
+//! surviving messages is preserved and nothing is delayed twice. The
+//! traffic ledger accounts for every message exactly once:
+//!
+//! ```text
+//! sent == local + cross_shard + dropped + deferred_pending()
+//! ```
+//!
+//! which collapses to `sent == local + cross_shard + dropped` whenever
+//! the deferred lanes are drained (and to the familiar
+//! `sent == local + cross_shard` on a fault-free plane).
+
+use crate::faults::FaultVerdict;
 
 /// Per-source-shard send queue, one FIFO lane per destination shard.
 ///
@@ -114,6 +138,11 @@ pub struct PlaneStats {
     pub local: u64,
     /// Largest single-exchange message count.
     pub max_round_msgs: u64,
+    /// Messages dropped by a faulted exchange (never delivered).
+    pub dropped: u64,
+    /// Messages delayed by one exchange via the deferred lanes. A message
+    /// is delayed at most once, so this also bounds the deferred backlog.
+    pub delayed: u64,
     /// Shard-boundary crossings *metered* on paths that the in-process
     /// build resolves by direct substrate reads (validation relay hops):
     /// the traffic a process-level deployment would route as messages.
@@ -129,6 +158,8 @@ impl PlaneStats {
         self.cross_shard += other.cross_shard;
         self.local += other.local;
         self.max_round_msgs = self.max_round_msgs.max(other.max_round_msgs);
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
         self.metered_crossings += other.metered_crossings;
     }
 }
@@ -154,6 +185,9 @@ impl PlaneStats {
 pub struct MessagePlane<M> {
     shards: usize,
     outboxes: Vec<Outbox<M>>,
+    /// Messages a faulted exchange delayed, kept in their original
+    /// `(src, dst)` lane; delivered unconditionally next exchange.
+    deferred: Vec<Outbox<M>>,
     mailboxes: Vec<Mailbox<M>>,
     stats: PlaneStats,
 }
@@ -165,6 +199,7 @@ impl<M> MessagePlane<M> {
         MessagePlane {
             shards,
             outboxes: (0..shards).map(|_| Outbox::new(shards)).collect(),
+            deferred: (0..shards).map(|_| Outbox::new(shards)).collect(),
             mailboxes: (0..shards).map(|_| Mailbox { msgs: Vec::new() }).collect(),
             stats: PlaneStats::default(),
         }
@@ -206,32 +241,78 @@ impl<M> MessagePlane<M> {
     /// ascending source order, preserving per-lane FIFO. Returns the
     /// number of messages moved this round.
     pub fn exchange(&mut self) -> usize {
+        self.exchange_faulted(|_, _, _| FaultVerdict::Deliver)
+    }
+
+    /// [`exchange`](Self::exchange) with a fault boundary: `verdict`
+    /// classifies each fresh message (given its source shard, destination
+    /// shard and content) as delivered, dropped, or delayed by one
+    /// exchange. Messages deferred by a *previous* exchange are delivered
+    /// unconditionally first, ahead of the same lane's fresh traffic, so
+    /// surviving messages keep per-channel FIFO order and nothing is
+    /// delayed twice. Returns the number of messages delivered.
+    ///
+    /// For the determinism contract, `verdict` must depend only on
+    /// message content (plus any round salt) — never on shard indices or
+    /// queue positions — so that re-sharding the same protocol history
+    /// yields the same fault history. The shard arguments are provided
+    /// for accounting, not for decision-making.
+    pub fn exchange_faulted<F>(&mut self, mut verdict: F) -> usize
+    where
+        F: FnMut(usize, usize, &M) -> FaultVerdict,
+    {
         let mut round = 0u64;
+        let mut fresh = 0u64;
         for dst in 0..self.shards {
             self.mailboxes[dst].msgs.clear();
         }
         for src in 0..self.shards {
             for dst in 0..self.shards {
+                // Deferred traffic first: its send sequence predates this
+                // round's lane and its verdict was already spent.
+                let dlane = &mut self.deferred[src].lanes[dst];
+                if !dlane.is_empty() {
+                    round += dlane.len() as u64;
+                    if src == dst {
+                        self.stats.local += dlane.len() as u64;
+                    } else {
+                        self.stats.cross_shard += dlane.len() as u64;
+                    }
+                    self.mailboxes[dst]
+                        .msgs
+                        .extend(dlane.drain(..).map(|m| (src as u32, m)));
+                }
                 let lane = &mut self.outboxes[src].lanes[dst];
                 if lane.is_empty() {
                     continue;
                 }
-                round += lane.len() as u64;
-                if src == dst {
-                    self.stats.local += lane.len() as u64;
-                } else {
-                    self.stats.cross_shard += lane.len() as u64;
+                fresh += lane.len() as u64;
+                for m in lane.drain(..) {
+                    match verdict(src, dst, &m) {
+                        FaultVerdict::Deliver => {
+                            round += 1;
+                            if src == dst {
+                                self.stats.local += 1;
+                            } else {
+                                self.stats.cross_shard += 1;
+                            }
+                            self.mailboxes[dst].msgs.push((src as u32, m));
+                        }
+                        FaultVerdict::Drop => self.stats.dropped += 1,
+                        FaultVerdict::Delay => {
+                            self.stats.delayed += 1;
+                            self.deferred[src].lanes[dst].push(m);
+                        }
+                    }
                 }
-                self.mailboxes[dst]
-                    .msgs
-                    .extend(lane.drain(..).map(|m| (src as u32, m)));
             }
         }
         // Mailbox order must be (src, seq): lanes were appended in
         // ascending src per dst because the outer loop above fills each
-        // mailbox once per src in ascending order.
+        // mailbox once per src in ascending order. `sent` counts each
+        // message exactly once, at its first exchange.
         self.stats.rounds += 1;
-        self.stats.sent += round;
+        self.stats.sent += fresh;
         self.stats.max_round_msgs = self.stats.max_round_msgs.max(round);
         round as usize
     }
@@ -252,13 +333,46 @@ impl<M> MessagePlane<M> {
         self.stats = PlaneStats::default();
     }
 
-    /// Drop any queued-but-unexchanged messages (keeps capacity).
+    /// Drop any undelivered messages — queued-but-unexchanged *and*
+    /// deferred-by-delay alike (keeps capacity).
     pub fn clear_pending(&mut self) {
-        for ob in &mut self.outboxes {
+        for ob in self.outboxes.iter_mut().chain(self.deferred.iter_mut()) {
             for lane in &mut ob.lanes {
                 lane.clear();
             }
         }
+    }
+
+    /// Messages currently parked in the deferred lanes (delayed by a
+    /// faulted exchange and not yet delivered).
+    pub fn deferred_pending(&self) -> usize {
+        self.deferred.iter().map(Outbox::pending).sum()
+    }
+
+    /// Take every undelivered message out of the plane, for migration to
+    /// a plane with a different shard count: returns `(deferred, queued)`
+    /// where each vector is in global `(src, dst, seq)` order. The
+    /// deferred messages have already spent their fault verdict and
+    /// should be re-injected with [`defer`](Self::defer); the queued ones
+    /// were never exchanged and should be re-sent through an outbox.
+    pub fn take_undelivered(&mut self) -> (Vec<M>, Vec<M>) {
+        let mut deferred = Vec::new();
+        let mut queued = Vec::new();
+        for src in 0..self.shards {
+            for dst in 0..self.shards {
+                deferred.append(&mut self.deferred[src].lanes[dst]);
+                queued.append(&mut self.outboxes[src].lanes[dst]);
+            }
+        }
+        (deferred, queued)
+    }
+
+    /// Park `msg` in the `(src, dst)` deferred lane: it will be delivered
+    /// unconditionally at the next exchange, before fresh traffic on the
+    /// same lane. Used to migrate in-flight delayed messages across a
+    /// shard-count change.
+    pub fn defer(&mut self, src: usize, dst: usize, msg: M) {
+        self.deferred[src].lanes[dst].push(msg);
     }
 }
 
@@ -349,6 +463,8 @@ mod tests {
             cross_shard: 4,
             local: 6,
             max_round_msgs: 10,
+            dropped: 1,
+            delayed: 2,
             metered_crossings: 2,
         };
         let b = PlaneStats {
@@ -357,12 +473,74 @@ mod tests {
             cross_shard: 5,
             local: 0,
             max_round_msgs: 12,
+            dropped: 3,
+            delayed: 1,
             metered_crossings: 1,
         };
         a.merge(&b);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.sent, 15);
         assert_eq!(a.max_round_msgs, 12);
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.delayed, 3);
         assert_eq!(a.metered_crossings, 3);
+    }
+
+    #[test]
+    fn faulted_exchange_keeps_the_ledger() {
+        let mut plane: MessagePlane<u32> = MessagePlane::new(2);
+        plane.outboxes_mut()[0].send(1, 1); // dropped
+        plane.outboxes_mut()[0].send(1, 2); // delayed
+        plane.outboxes_mut()[0].send(1, 3); // delivered
+        plane.outboxes_mut()[1].send(1, 4); // delivered (local)
+        let moved = plane.exchange_faulted(|_, _, &m| match m {
+            1 => FaultVerdict::Drop,
+            2 => FaultVerdict::Delay,
+            _ => FaultVerdict::Deliver,
+        });
+        assert_eq!(moved, 2);
+        assert_eq!(plane.mailbox(1).msgs(), &[(0, 3u32), (1, 4)]);
+        let s = plane.stats().clone();
+        assert_eq!((s.sent, s.dropped, s.delayed), (4, 1, 1));
+        assert_eq!(plane.deferred_pending(), 1);
+        assert_eq!(
+            s.sent,
+            s.local + s.cross_shard + s.dropped + plane.deferred_pending() as u64
+        );
+        // Next exchange delivers the deferred message unconditionally,
+        // even with an all-drop verdict, and ahead of fresh traffic.
+        plane.outboxes_mut()[0].send(1, 5);
+        let moved = plane.exchange_faulted(|_, _, &m| {
+            assert_ne!(m, 2, "deferred message must not be re-verdicted");
+            FaultVerdict::Deliver
+        });
+        assert_eq!(moved, 2);
+        assert_eq!(plane.mailbox(1).msgs(), &[(0, 2u32), (0, 5)]);
+        assert_eq!(plane.deferred_pending(), 0);
+        let s = plane.stats();
+        assert_eq!(s.sent, s.local + s.cross_shard + s.dropped);
+    }
+
+    #[test]
+    fn take_undelivered_splits_deferred_and_queued() {
+        let mut plane: MessagePlane<u32> = MessagePlane::new(2);
+        plane.outboxes_mut()[0].send(1, 10);
+        plane.exchange_faulted(|_, _, _| FaultVerdict::Delay);
+        plane.outboxes_mut()[1].send(0, 20);
+        plane.outboxes_mut()[1].send(0, 21);
+        let (deferred, queued) = plane.take_undelivered();
+        assert_eq!(deferred, vec![10]);
+        assert_eq!(queued, vec![20, 21]);
+        assert_eq!(plane.deferred_pending(), 0);
+        assert_eq!(plane.outboxes_mut()[1].pending(), 0);
+        // Re-injecting via defer() delivers at the next exchange.
+        let mut fresh: MessagePlane<u32> = MessagePlane::new(1);
+        fresh.defer(0, 0, 10);
+        fresh.exchange();
+        assert_eq!(fresh.mailbox(0).msgs(), &[(0, 10u32)]);
+        // defer() delivery adds to local/cross but not to sent: the
+        // message was already counted at its original exchange.
+        assert_eq!(fresh.stats().sent, 0);
+        assert_eq!(fresh.stats().local, 1);
     }
 }
